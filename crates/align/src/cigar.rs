@@ -1,0 +1,216 @@
+//! CIGAR strings: the standard edit-operation run-length encoding.
+
+/// One CIGAR operation kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// Alignment match (sequence match), `=` in SAM.
+    Eq,
+    /// Alignment mismatch, `X` in SAM.
+    Diff,
+    /// Insertion to the query (consumes query only), `I`.
+    Ins,
+    /// Deletion from the query (consumes target only), `D`.
+    Del,
+    /// Soft clip (query bases outside the local alignment), `S`.
+    SoftClip,
+}
+
+impl CigarOp {
+    /// SAM character for the op.
+    pub fn as_char(self) -> char {
+        match self {
+            CigarOp::Eq => '=',
+            CigarOp::Diff => 'X',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+            CigarOp::SoftClip => 'S',
+        }
+    }
+
+    /// Whether the op consumes a query base.
+    pub fn consumes_query(self) -> bool {
+        matches!(self, CigarOp::Eq | CigarOp::Diff | CigarOp::Ins | CigarOp::SoftClip)
+    }
+
+    /// Whether the op consumes a target base.
+    pub fn consumes_target(self) -> bool {
+        matches!(self, CigarOp::Eq | CigarOp::Diff | CigarOp::Del)
+    }
+}
+
+/// A run-length encoded CIGAR.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cigar {
+    runs: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Empty CIGAR.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `n` copies of `op`, merging with the trailing run.
+    pub fn push(&mut self, op: CigarOp, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.1 == op {
+                last.0 += n;
+                return;
+            }
+        }
+        self.runs.push((n, op));
+    }
+
+    /// Prepend `n` copies of `op` (used when tracebacks emit reversed paths).
+    pub fn push_front(&mut self, op: CigarOp, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if let Some(first) = self.runs.first_mut() {
+            if first.1 == op {
+                first.0 += n;
+                return;
+            }
+        }
+        self.runs.insert(0, (n, op));
+    }
+
+    /// The runs, in query order.
+    pub fn runs(&self) -> &[(u32, CigarOp)] {
+        &self.runs
+    }
+
+    /// Total query bases consumed.
+    pub fn query_len(&self) -> u32 {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_query())
+            .map(|(n, _)| n)
+            .sum()
+    }
+
+    /// Total target bases consumed.
+    pub fn target_len(&self) -> u32 {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_target())
+            .map(|(n, _)| n)
+            .sum()
+    }
+
+    /// Matches / aligned columns (excluding clips and gaps); the
+    /// percent-identity numerator and denominator.
+    pub fn identity(&self) -> (u32, u32) {
+        let mut matches = 0;
+        let mut columns = 0;
+        for &(n, op) in &self.runs {
+            match op {
+                CigarOp::Eq => {
+                    matches += n;
+                    columns += n;
+                }
+                CigarOp::Diff | CigarOp::Ins | CigarOp::Del => columns += n,
+                CigarOp::SoftClip => {}
+            }
+        }
+        (matches, columns)
+    }
+
+    /// Whether the CIGAR is internally consistent: non-empty runs, no
+    /// adjacent runs of the same op, clips only at the ends.
+    pub fn is_valid(&self) -> bool {
+        for w in self.runs.windows(2) {
+            if w[0].1 == w[1].1 {
+                return false;
+            }
+        }
+        if self.runs.iter().any(|&(n, _)| n == 0) {
+            return false;
+        }
+        for (i, &(_, op)) in self.runs.iter().enumerate() {
+            if op == CigarOp::SoftClip && i != 0 && i != self.runs.len() - 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reverse the run order (for reverse-strand reporting).
+    pub fn reversed(&self) -> Cigar {
+        Cigar {
+            runs: self.runs.iter().rev().copied().collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Cigar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.runs.is_empty() {
+            return f.write_str("*");
+        }
+        for &(n, op) in &self.runs {
+            write!(f, "{}{}", n, op.as_char())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_runs() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Eq, 5);
+        c.push(CigarOp::Eq, 3);
+        c.push(CigarOp::Ins, 1);
+        c.push(CigarOp::Eq, 2);
+        assert_eq!(c.to_string(), "8=1I2=");
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn lengths_and_identity() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::SoftClip, 2);
+        c.push(CigarOp::Eq, 10);
+        c.push(CigarOp::Diff, 1);
+        c.push(CigarOp::Del, 3);
+        c.push(CigarOp::Ins, 2);
+        assert_eq!(c.query_len(), 2 + 10 + 1 + 2);
+        assert_eq!(c.target_len(), 10 + 1 + 3);
+        assert_eq!(c.identity(), (10, 16));
+    }
+
+    #[test]
+    fn validity_checks() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Eq, 1);
+        c.push(CigarOp::SoftClip, 1);
+        c.push(CigarOp::Eq, 1);
+        assert!(!c.is_valid()); // clip in the middle
+
+        let mut d = Cigar::new();
+        d.push(CigarOp::Eq, 3);
+        assert!(d.is_valid());
+        assert_eq!(d.to_string(), "3=");
+    }
+
+    #[test]
+    fn empty_prints_star() {
+        assert_eq!(Cigar::new().to_string(), "*");
+    }
+
+    #[test]
+    fn push_front_and_reverse() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Eq, 4);
+        c.push_front(CigarOp::SoftClip, 2);
+        assert_eq!(c.to_string(), "2S4=");
+        assert_eq!(c.reversed().to_string(), "4=2S");
+    }
+}

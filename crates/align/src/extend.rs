@@ -1,0 +1,338 @@
+//! Seed extension: from a seed hit to a full local alignment.
+//!
+//! Algorithm 1 line 12: once a candidate target is located through the seed
+//! index, "the Smith-Waterman algorithm is executed with input the sequences
+//! t and q". Contigs can be much longer than reads, so the extension windows
+//! the target around the seed diagonal (with configurable padding) before
+//! running the engine — the alignment cannot leave that window without
+//! scoring worse than the seed match itself.
+
+use seq::PackedSeq;
+
+use crate::cigar::Cigar;
+use crate::scalar::sw_scalar;
+use crate::scoring::Scoring;
+use crate::striped::StripedProfile;
+
+/// Which Smith-Waterman engine to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Scalar Gotoh everywhere (reference behaviour).
+    Scalar,
+    /// Striped SIMD scoring pass + scalar traceback on the clipped region
+    /// (the SSW configuration the paper uses).
+    Striped,
+}
+
+/// Strand of the query relative to the target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strand {
+    /// Query aligned as given.
+    Forward,
+    /// The reverse complement of the query aligned.
+    Reverse,
+}
+
+/// Extension parameters.
+#[derive(Clone, Debug)]
+pub struct ExtendConfig {
+    /// Engine choice.
+    pub engine: Engine,
+    /// Extra target bases on each side of the projected query span.
+    pub window_pad: usize,
+    /// Alignments scoring below this are discarded.
+    pub min_score: i32,
+}
+
+impl Default for ExtendConfig {
+    fn default() -> Self {
+        ExtendConfig {
+            engine: Engine::Striped,
+            window_pad: 16,
+            min_score: 1,
+        }
+    }
+}
+
+/// A completed local alignment of a query against a target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// Query begin (inclusive), in query coordinates.
+    pub q_beg: usize,
+    /// Query end (exclusive).
+    pub q_end: usize,
+    /// Target begin (inclusive), in full-target coordinates.
+    pub t_beg: usize,
+    /// Target end (exclusive).
+    pub t_end: usize,
+    /// Smith-Waterman score.
+    pub score: i32,
+    /// Strand the query aligned on (set by the caller; extension itself is
+    /// strand-agnostic).
+    pub strand: Strand,
+    /// Edit script over `[q_beg,q_end) × [t_beg,t_end)`.
+    pub cigar: Cigar,
+}
+
+/// Result of one extension: the alignment (if any scored high enough) plus
+/// the number of DP cells computed — the quantity the cost model charges.
+#[derive(Clone, Debug)]
+pub struct ExtendOutcome {
+    /// The alignment, if it met `min_score`.
+    pub alignment: Option<Alignment>,
+    /// DP cells computed across all passes.
+    pub dp_cells: u64,
+}
+
+/// Decode a packed DNA sequence into engine codes (`N` → code 4, which the
+/// DNA scoring schemes treat as universal mismatch).
+pub fn dna_codes(seq: &PackedSeq) -> Vec<u8> {
+    (0..seq.len())
+        .map(|i| if seq.is_n(i) { 4 } else { seq.get(i) })
+        .collect()
+}
+
+/// Extend a seed match at `(q_pos, t_pos)` (seed length `k`) into a local
+/// alignment of `query` against `target`.
+///
+/// The target is windowed to the seed diagonal ± `cfg.window_pad`; reported
+/// coordinates are in full-target space.
+pub fn extend_seed(
+    query: &[u8],
+    target: &[u8],
+    q_pos: usize,
+    t_pos: usize,
+    k: usize,
+    scoring: &Scoring,
+    cfg: &ExtendConfig,
+) -> ExtendOutcome {
+    debug_assert!(q_pos + k <= query.len(), "seed exceeds query");
+    debug_assert!(t_pos + k <= target.len(), "seed exceeds target");
+    let m = query.len();
+    let win_beg = t_pos.saturating_sub(q_pos + cfg.window_pad);
+    let win_end = (t_pos + (m - q_pos) + cfg.window_pad).min(target.len());
+    let window = &target[win_beg..win_end];
+    align_window(query, window, win_beg, scoring, cfg)
+}
+
+/// Align `query` against an explicit target window starting at
+/// `win_offset` in full-target coordinates.
+pub fn align_window(
+    query: &[u8],
+    window: &[u8],
+    win_offset: usize,
+    scoring: &Scoring,
+    cfg: &ExtendConfig,
+) -> ExtendOutcome {
+    if query.is_empty() || window.is_empty() {
+        return ExtendOutcome {
+            alignment: None,
+            dp_cells: 0,
+        };
+    }
+    let mut cells = 0u64;
+    let hit = match cfg.engine {
+        Engine::Scalar => {
+            cells += (query.len() * window.len()) as u64;
+            sw_scalar(query, window, scoring)
+        }
+        Engine::Striped => {
+            let profile = StripedProfile::new(query, scoring);
+            let s = profile.align(window);
+            cells += (query.len() * window.len()) as u64;
+            if s.score <= 0 {
+                return ExtendOutcome {
+                    alignment: None,
+                    dp_cells: cells,
+                };
+            }
+            // Traceback only the clipped prefix rectangle.
+            let clipped_q = &query[..s.q_end];
+            let clipped_t = &window[..s.t_end];
+            cells += (clipped_q.len() * clipped_t.len()) as u64;
+            let full = sw_scalar(clipped_q, clipped_t, scoring);
+            debug_assert_eq!(full.score, s.score, "clip rescoring must agree");
+            full
+        }
+    };
+    if hit.score < cfg.min_score || hit.score <= 0 {
+        return ExtendOutcome {
+            alignment: None,
+            dp_cells: cells,
+        };
+    }
+    ExtendOutcome {
+        alignment: Some(Alignment {
+            q_beg: hit.q_beg,
+            q_end: hit.q_end,
+            t_beg: win_offset + hit.t_beg,
+            t_end: win_offset + hit.t_end,
+            score: hit.score,
+            strand: Strand::Forward,
+            cigar: hit.cigar,
+        }),
+        dp_cells: cells,
+    }
+}
+
+impl Alignment {
+    /// Fraction of aligned columns that are exact matches, in `[0, 1]`.
+    pub fn identity(&self) -> f64 {
+        let (matches, cols) = self.cigar.identity();
+        if cols == 0 {
+            0.0
+        } else {
+            f64::from(matches) / f64::from(cols)
+        }
+    }
+
+    /// Query bases covered by the alignment.
+    pub fn query_span(&self) -> usize {
+        self.q_end - self.q_beg
+    }
+
+    /// Mark which strand this alignment came from.
+    pub fn with_strand(mut self, strand: Strand) -> Self {
+        self.strand = strand;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::score_of_path;
+    use crate::scalar::SwHit;
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        s.iter()
+            .map(|&b| seq::encode_base(b).unwrap_or(4))
+            .collect()
+    }
+
+    /// Aperiodic pseudo-random DNA codes (an LCG, so no accidental repeats
+    /// that would create co-optimal alignments).
+    fn lcg_codes(n: usize, mut state: u64) -> Vec<u8> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) & 3) as u8
+            })
+            .collect()
+    }
+
+    fn sc() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn dna_codes_maps_n() {
+        let p = PackedSeq::from_ascii(b"ACGNT");
+        assert_eq!(dna_codes(&p), vec![0, 1, 2, 4, 3]);
+    }
+
+    #[test]
+    fn extend_perfect_seed_hit() {
+        // Query embedded at position 50 of a 200bp target; seed at q=5/t=55.
+        let t = lcg_codes(200, 42);
+        let q = t[50..150].to_vec();
+        for engine in [Engine::Scalar, Engine::Striped] {
+            let cfg = ExtendConfig {
+                engine,
+                ..Default::default()
+            };
+            let out = extend_seed(&q, &t, 5, 55, 19, &sc(), &cfg);
+            let aln = out.alignment.expect("must align");
+            assert_eq!(aln.score, 200); // 100 × 2
+            assert_eq!((aln.q_beg, aln.q_end), (0, 100));
+            assert_eq!((aln.t_beg, aln.t_end), (50, 150));
+            assert!(out.dp_cells > 0);
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_errors() {
+        let t = lcg_codes(300, 7);
+        let mut q = t[100..200].to_vec();
+        q[30] = (q[30] + 1) % 4; // substitution
+        q.remove(60); // deletion from query
+        let scalar = extend_seed(
+            &q,
+            &t,
+            0,
+            100,
+            19,
+            &sc(),
+            &ExtendConfig {
+                engine: Engine::Scalar,
+                ..Default::default()
+            },
+        );
+        let striped = extend_seed(
+            &q,
+            &t,
+            0,
+            100,
+            19,
+            &sc(),
+            &ExtendConfig {
+                engine: Engine::Striped,
+                ..Default::default()
+            },
+        );
+        let a = scalar.alignment.unwrap();
+        let b = striped.alignment.unwrap();
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.cigar, b.cigar);
+        // Path rescoring in full-target coordinates.
+        let hit = SwHit {
+            score: a.score,
+            q_beg: a.q_beg,
+            q_end: a.q_end,
+            t_beg: a.t_beg,
+            t_end: a.t_end,
+            cigar: a.cigar.clone(),
+        };
+        assert_eq!(score_of_path(&hit, &q, &t, &sc()), a.score);
+    }
+
+    #[test]
+    fn min_score_filters() {
+        let q = codes(b"ACGT");
+        let t = codes(b"ACGTTTTTTTTTTTTTTTTTTTT");
+        let out = extend_seed(
+            &q,
+            &t,
+            0,
+            0,
+            4,
+            &sc(),
+            &ExtendConfig {
+                min_score: 100,
+                ..Default::default()
+            },
+        );
+        assert!(out.alignment.is_none());
+        assert!(out.dp_cells > 0);
+    }
+
+    #[test]
+    fn window_clamps_at_target_edges() {
+        let t = codes(b"ACGTACGT");
+        let q = codes(b"ACGTACGT");
+        let out = extend_seed(&q, &t, 0, 0, 8, &sc(), &ExtendConfig::default());
+        let aln = out.alignment.unwrap();
+        assert_eq!((aln.t_beg, aln.t_end), (0, 8));
+    }
+
+    #[test]
+    fn identity_and_span() {
+        let t: Vec<u8> = codes(b"ACGTACGTACGTACGTACGT");
+        let mut q = t.clone();
+        q[10] = (q[10] + 2) % 4;
+        let out = extend_seed(&q, &t, 0, 0, 8, &sc(), &ExtendConfig::default());
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.query_span(), 20);
+        assert!((aln.identity() - 0.95).abs() < 1e-9);
+    }
+}

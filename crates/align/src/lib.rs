@@ -1,0 +1,38 @@
+//! # align — local sequence alignment engines
+//!
+//! merAligner spends most of its aligning-phase computation in
+//! Smith-Waterman seed extension and incorporates the SIMD *Striped
+//! Smith-Waterman* (SSW) library for it (paper §V-B). This crate provides:
+//!
+//! * [`scoring`] — affine-gap scoring schemes over arbitrary small alphabets:
+//!   DNA (with an `N` code that never matches) and protein (BLOSUM62), the
+//!   latter backing the paper's §VIII claim that the framework extends to
+//!   protein alphabets.
+//! * [`scalar`] — a full Gotoh scalar Smith-Waterman with affine gaps and
+//!   traceback. It is the correctness oracle for the SIMD kernel and the
+//!   CIGAR producer for clipped regions.
+//! * [`striped`] — the Farrar striped SIMD kernel, written from scratch:
+//!   8-bit saturating lanes with automatic 16-bit retry on overflow,
+//!   score + end-position output, exactly the SSW structure.
+//! * [`extend`] — seed extension: given a seed hit `(query_pos, target_pos)`,
+//!   windows the target, runs the configured engine, and produces a full
+//!   [`Alignment`] with begin/end coordinates on both sequences and a CIGAR.
+//! * [`cigar`] / [`records`] — CIGAR strings and SAM-like output records.
+//!
+//! All engines operate on small-integer symbol codes (`u8`), produced from
+//! packed DNA by [`extend::dna_codes`].
+
+pub mod cigar;
+pub mod extend;
+pub mod records;
+pub mod scalar;
+pub mod scoring;
+pub mod simdvec;
+pub mod striped;
+
+pub use cigar::{Cigar, CigarOp};
+pub use extend::{align_window, dna_codes, extend_seed, Alignment, Engine, ExtendConfig, ExtendOutcome, Strand};
+pub use records::{sam_header, AlignmentRecord};
+pub use scalar::{sw_scalar, sw_scalar_score, SwHit};
+pub use scoring::Scoring;
+pub use striped::{sw_striped, StripedProfile};

@@ -1,0 +1,150 @@
+//! SAM-like alignment records.
+//!
+//! merAligner "simply report[s] all alignments detected" (§VI-D); downstream
+//! Meraculous scaffolding consumes them. We emit a SAM-compatible text form
+//! (header + one line per alignment) with `=`/`X`/`I`/`D`/`S` CIGARs and the
+//! alignment score in the `AS:i:` tag.
+
+use crate::cigar::{Cigar, CigarOp};
+use crate::extend::{Alignment, Strand};
+
+/// One reported alignment, ready for serialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignmentRecord {
+    /// Query (read) name.
+    pub qname: String,
+    /// Target (contig) name.
+    pub rname: String,
+    /// 1-based target position of the first aligned base.
+    pub pos: u64,
+    /// Strand.
+    pub strand: Strand,
+    /// CIGAR including terminal soft clips covering the whole query.
+    pub cigar: Cigar,
+    /// Smith-Waterman score.
+    pub score: i32,
+}
+
+impl AlignmentRecord {
+    /// Build a record from an [`Alignment`], adding soft clips so the CIGAR
+    /// spans the full query of length `query_len`.
+    pub fn from_alignment(
+        qname: impl Into<String>,
+        rname: impl Into<String>,
+        aln: &Alignment,
+        query_len: usize,
+    ) -> Self {
+        let mut cigar = Cigar::new();
+        cigar.push(CigarOp::SoftClip, aln.q_beg as u32);
+        for &(n, op) in aln.cigar.runs() {
+            cigar.push(op, n);
+        }
+        cigar.push(CigarOp::SoftClip, (query_len - aln.q_end) as u32);
+        AlignmentRecord {
+            qname: qname.into(),
+            rname: rname.into(),
+            pos: aln.t_beg as u64 + 1,
+            strand: aln.strand,
+            cigar,
+            score: aln.score,
+        }
+    }
+
+    /// SAM FLAG field (only the strand bit is meaningful here).
+    pub fn flag(&self) -> u16 {
+        match self.strand {
+            Strand::Forward => 0,
+            Strand::Reverse => 16,
+        }
+    }
+
+    /// Serialize as one SAM line (no SEQ/QUAL; `*` placeholders).
+    pub fn to_sam_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t255\t{}\t*\t0\t0\t*\t*\tAS:i:{}",
+            self.qname,
+            self.flag(),
+            self.rname,
+            self.pos,
+            self.cigar,
+            self.score
+        )
+    }
+}
+
+/// A minimal SAM header for a set of `(name, length)` targets.
+pub fn sam_header(targets: &[(String, usize)]) -> String {
+    let mut out = String::from("@HD\tVN:1.6\tSO:unknown\n");
+    for (name, len) in targets {
+        out.push_str(&format!("@SQ\tSN:{name}\tLN:{len}\n"));
+    }
+    out.push_str("@PG\tID:meraligner-rs\tPN:meraligner-rs\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aln() -> Alignment {
+        let mut cigar = Cigar::new();
+        cigar.push(CigarOp::Eq, 10);
+        cigar.push(CigarOp::Diff, 1);
+        cigar.push(CigarOp::Eq, 4);
+        Alignment {
+            q_beg: 2,
+            q_end: 17,
+            t_beg: 100,
+            t_end: 115,
+            score: 25,
+            strand: Strand::Forward,
+            cigar,
+        }
+    }
+
+    #[test]
+    fn record_adds_clips_and_1based_pos() {
+        let rec = AlignmentRecord::from_alignment("read1", "ctg7", &aln(), 20);
+        assert_eq!(rec.pos, 101);
+        assert_eq!(rec.cigar.to_string(), "2S10=1X4=3S");
+        assert_eq!(rec.cigar.query_len(), 20);
+        assert!(rec.cigar.is_valid());
+    }
+
+    #[test]
+    fn sam_line_fields() {
+        let rec = AlignmentRecord::from_alignment("r", "c", &aln(), 20);
+        let line = rec.to_sam_line();
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 12);
+        assert_eq!(fields[0], "r");
+        assert_eq!(fields[1], "0");
+        assert_eq!(fields[2], "c");
+        assert_eq!(fields[3], "101");
+        assert_eq!(fields[5], "2S10=1X4=3S");
+        assert_eq!(fields[11], "AS:i:25");
+    }
+
+    #[test]
+    fn reverse_strand_flag() {
+        let a = aln().with_strand(Strand::Reverse);
+        let rec = AlignmentRecord::from_alignment("r", "c", &a, 20);
+        assert_eq!(rec.flag(), 16);
+    }
+
+    #[test]
+    fn header_lists_targets() {
+        let h = sam_header(&[("ctg1".into(), 500), ("ctg2".into(), 42)]);
+        assert!(h.contains("@SQ\tSN:ctg1\tLN:500"));
+        assert!(h.contains("@SQ\tSN:ctg2\tLN:42"));
+        assert!(h.starts_with("@HD"));
+    }
+
+    #[test]
+    fn zero_length_clips_omitted() {
+        let mut a = aln();
+        a.q_beg = 0;
+        let rec = AlignmentRecord::from_alignment("r", "c", &a, 17);
+        assert_eq!(rec.cigar.to_string(), "10=1X4=");
+    }
+}

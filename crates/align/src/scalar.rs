@@ -1,0 +1,445 @@
+//! Scalar affine-gap Smith-Waterman (Gotoh) with full traceback.
+//!
+//! This is the reference engine: exhaustively correct, used as the oracle
+//! for the striped SIMD kernel's scores and as the CIGAR producer on the
+//! (small) clipped region the SIMD pass identifies — the same division of
+//! labour as the SSW library the paper incorporates.
+//!
+//! Recurrences (query `q` indexed by row `i`, target `t` by column `j`):
+//!
+//! ```text
+//! E(i,j) = max(E(i,j−1) − ge, H(i,j−1) − go)   gap consuming target (D)
+//! F(i,j) = max(F(i−1,j) − ge, H(i−1,j) − go)   gap consuming query  (I)
+//! H(i,j) = max(0, H(i−1,j−1) + s(qᵢ,tⱼ), E(i,j), F(i,j))
+//! ```
+
+use crate::cigar::{Cigar, CigarOp};
+use crate::scoring::Scoring;
+
+/// A local alignment hit: score, half-open coordinate ranges on both
+/// sequences, and the CIGAR (query-order, no clips).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwHit {
+    /// Smith-Waterman score (≥ 0).
+    pub score: i32,
+    /// Query begin (inclusive).
+    pub q_beg: usize,
+    /// Query end (exclusive).
+    pub q_end: usize,
+    /// Target begin (inclusive).
+    pub t_beg: usize,
+    /// Target end (exclusive).
+    pub t_end: usize,
+    /// Edit script covering exactly `[q_beg, q_end) × [t_beg, t_end)`.
+    pub cigar: Cigar,
+}
+
+impl SwHit {
+    /// An empty (score-0) hit.
+    pub fn empty() -> Self {
+        SwHit {
+            score: 0,
+            q_beg: 0,
+            q_end: 0,
+            t_beg: 0,
+            t_end: 0,
+            cigar: Cigar::new(),
+        }
+    }
+}
+
+const NEG: i32 = i32::MIN / 2;
+
+// Traceback byte layout: bits 0–1 = H source, bit 2 = E extends E,
+// bit 3 = F extends F.
+const H_STOP: u8 = 0;
+const H_DIAG: u8 = 1;
+const H_FROM_E: u8 = 2;
+const H_FROM_F: u8 = 3;
+const E_EXT: u8 = 4;
+const F_EXT: u8 = 8;
+
+/// Full Smith-Waterman with traceback.
+///
+/// `query` and `target` are symbol codes valid for `scoring`. Returns the
+/// best-scoring local alignment (first maximum in row-major scan order).
+pub fn sw_scalar(query: &[u8], target: &[u8], scoring: &Scoring) -> SwHit {
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return SwHit::empty();
+    }
+    let go = scoring.gap_open;
+    let ge = scoring.gap_extend;
+    let width = n + 1;
+    let mut h_prev = vec![0i32; width];
+    let mut h_cur = vec![0i32; width];
+    let mut f_arr = vec![NEG; width]; // F(·, j), updated in place row by row
+    let mut tb = vec![0u8; (m + 1) * width];
+
+    let mut best = (0i32, 0usize, 0usize); // (score, i, j)
+    for i in 1..=m {
+        let qc = query[i - 1];
+        let mut e_run = NEG; // E(i, j−1)
+        h_cur[0] = 0;
+        for j in 1..=n {
+            let e_open = h_cur[j - 1] - go;
+            let e_from_e = e_run - ge;
+            let (e, e_is_ext) = if e_from_e >= e_open {
+                (e_from_e, true)
+            } else {
+                (e_open, false)
+            };
+            e_run = e;
+
+            let f_open = h_prev[j] - go;
+            let f_from_f = f_arr[j] - ge;
+            let (fv, f_is_ext) = if f_from_f >= f_open {
+                (f_from_f, true)
+            } else {
+                (f_open, false)
+            };
+            f_arr[j] = fv;
+
+            let diag = h_prev[j - 1] + scoring.score(qc, target[j - 1]);
+            let mut h = 0;
+            let mut src = H_STOP;
+            if diag > h {
+                h = diag;
+                src = H_DIAG;
+            }
+            if e > h {
+                h = e;
+                src = H_FROM_E;
+            }
+            if fv > h {
+                h = fv;
+                src = H_FROM_F;
+            }
+            h_cur[j] = h;
+            let mut byte = src;
+            if e_is_ext {
+                byte |= E_EXT;
+            }
+            if f_is_ext {
+                byte |= F_EXT;
+            }
+            tb[i * width + j] = byte;
+            if h > best.0 {
+                best = (h, i, j);
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+
+    let (score, bi, bj) = best;
+    if score <= 0 {
+        return SwHit::empty();
+    }
+
+    // Traceback from (bi, bj).
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let (mut i, mut j) = (bi, bj);
+    loop {
+        let byte = tb[i * width + j];
+        match byte & 3 {
+            H_DIAG => {
+                let op = if query[i - 1] == target[j - 1]
+                    && scoring.score(query[i - 1], target[j - 1]) > 0
+                {
+                    CigarOp::Eq
+                } else {
+                    CigarOp::Diff
+                };
+                ops_rev.push(op);
+                i -= 1;
+                j -= 1;
+            }
+            H_FROM_E => {
+                // Walk the D-gap chain leftwards until its opening cell.
+                loop {
+                    let b = tb[i * width + j];
+                    ops_rev.push(CigarOp::Del);
+                    let ext = b & E_EXT != 0;
+                    j -= 1;
+                    if !ext || j == 0 {
+                        break;
+                    }
+                }
+            }
+            H_FROM_F => {
+                // Walk the I-gap chain upwards until its opening cell.
+                loop {
+                    let b = tb[i * width + j];
+                    ops_rev.push(CigarOp::Ins);
+                    let ext = b & F_EXT != 0;
+                    i -= 1;
+                    if !ext || i == 0 {
+                        break;
+                    }
+                }
+            }
+            _ => break, // H_STOP
+        }
+        if i == 0 || j == 0 {
+            break;
+        }
+    }
+
+    let mut cigar = Cigar::new();
+    for op in ops_rev.into_iter().rev() {
+        cigar.push(op, 1);
+    }
+    SwHit {
+        score,
+        q_beg: i,
+        q_end: bi,
+        t_beg: j,
+        t_end: bj,
+        cigar,
+    }
+}
+
+/// Score-only Smith-Waterman: returns `(score, q_end, t_end)` with
+/// exclusive ends (`(0, 0, 0)` when nothing scores above zero).
+/// Linear memory; the oracle for the striped kernel.
+pub fn sw_scalar_score(query: &[u8], target: &[u8], scoring: &Scoring) -> (i32, usize, usize) {
+    let (m, n) = (query.len(), target.len());
+    if m == 0 || n == 0 {
+        return (0, 0, 0);
+    }
+    let go = scoring.gap_open;
+    let ge = scoring.gap_extend;
+    let mut h_prev = vec![0i32; n + 1];
+    let mut h_cur = vec![0i32; n + 1];
+    let mut f_arr = vec![NEG; n + 1];
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..=m {
+        let qc = query[i - 1];
+        let mut e_run = NEG;
+        h_cur[0] = 0;
+        for j in 1..=n {
+            let e = (e_run - ge).max(h_cur[j - 1] - go);
+            e_run = e;
+            let fv = (f_arr[j] - ge).max(h_prev[j] - go);
+            f_arr[j] = fv;
+            let diag = h_prev[j - 1] + scoring.score(qc, target[j - 1]);
+            let h = 0.max(diag).max(e).max(fv);
+            h_cur[j] = h;
+            if h > best.0 {
+                best = (h, i, j);
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+    best
+}
+
+/// Re-derive the score of a traceback path; used to validate hits.
+///
+/// # Panics
+/// Panics if the CIGAR does not span exactly `[q_beg,q_end) × [t_beg,t_end)`.
+pub fn score_of_path(hit: &SwHit, query: &[u8], target: &[u8], scoring: &Scoring) -> i32 {
+    let mut score = 0i32;
+    let (mut qi, mut ti) = (hit.q_beg, hit.t_beg);
+    for &(len, op) in hit.cigar.runs() {
+        match op {
+            CigarOp::Eq | CigarOp::Diff => {
+                for _ in 0..len {
+                    score += scoring.score(query[qi], target[ti]);
+                    qi += 1;
+                    ti += 1;
+                }
+            }
+            CigarOp::Ins => {
+                score -= scoring.gap_open + (len as i32 - 1) * scoring.gap_extend;
+                qi += len as usize;
+            }
+            CigarOp::Del => {
+                score -= scoring.gap_open + (len as i32 - 1) * scoring.gap_extend;
+                ti += len as usize;
+            }
+            CigarOp::SoftClip => qi += len as usize,
+        }
+    }
+    assert_eq!(qi, hit.q_end, "CIGAR query span mismatch");
+    assert_eq!(ti, hit.t_end, "CIGAR target span mismatch");
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        s.iter()
+            .map(|&b| seq::encode_base(b).unwrap_or(4))
+            .collect()
+    }
+
+    fn sc() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let q = codes(b"ACGTACGT");
+        let hit = sw_scalar(&q, &q, &sc());
+        assert_eq!(hit.score, 16); // 8 matches × 2
+        assert_eq!((hit.q_beg, hit.q_end), (0, 8));
+        assert_eq!((hit.t_beg, hit.t_end), (0, 8));
+        assert_eq!(hit.cigar.to_string(), "8=");
+    }
+
+    #[test]
+    fn embedded_match() {
+        let q = codes(b"CGTA");
+        let t = codes(b"TTTTCGTATTTT");
+        let hit = sw_scalar(&q, &t, &sc());
+        assert_eq!(hit.score, 8);
+        assert_eq!((hit.t_beg, hit.t_end), (4, 8));
+        assert_eq!(hit.cigar.to_string(), "4=");
+    }
+
+    #[test]
+    fn single_mismatch() {
+        let q = codes(b"ACGTACGTAC");
+        let t = codes(b"ACGTTCGTAC");
+        let hit = sw_scalar(&q, &t, &sc());
+        // 9 matches, 1 mismatch: 18 − 3 = 15.
+        assert_eq!(hit.score, 15);
+        assert_eq!(hit.cigar.to_string(), "4=1X5=");
+        assert_eq!(score_of_path(&hit, &q, &t, &sc()), hit.score);
+    }
+
+    #[test]
+    fn deletion_from_query() {
+        // Target has 2 extra bases; long flanks make gapping beat restarting.
+        let q = codes(b"ACGTACGTGGTTGGACCACC");
+        let t = codes(b"ACGTACGTGGAATTGGACCACC");
+        let hit = sw_scalar(&q, &t, &sc());
+        assert_eq!(hit.cigar.to_string(), "10=2D10=");
+        // 20 matches − (5 + 2) = 40 − 7 = 33.
+        assert_eq!(hit.score, 33);
+        assert_eq!(score_of_path(&hit, &q, &t, &sc()), hit.score);
+    }
+
+    #[test]
+    fn insertion_to_query() {
+        let q = codes(b"ACGTACGTGGAATTGGACCACC");
+        let t = codes(b"ACGTACGTGGTTGGACCACC");
+        let hit = sw_scalar(&q, &t, &sc());
+        assert_eq!(hit.cigar.to_string(), "10=2I10=");
+        assert_eq!(hit.score, 33);
+    }
+
+    #[test]
+    fn long_gap_uses_extension_pricing() {
+        let q = codes(b"AAAACCCCGGGGTTTTAAAACCCC");
+        let t = codes(b"AAAACCCCGGGGACGTACGTTTTTAAAACCCC");
+        let hit = sw_scalar(&q, &t, &sc());
+        assert_eq!(score_of_path(&hit, &q, &t, &sc()), hit.score);
+    }
+
+    #[test]
+    fn local_drops_poor_prefix() {
+        let q = codes(b"TTTTTTACGTACGTACGT");
+        let t = codes(b"GGGGGGACGTACGTACGT");
+        let hit = sw_scalar(&q, &t, &sc());
+        assert_eq!(hit.score, 24);
+        assert_eq!(hit.q_beg, 6);
+        assert_eq!(hit.t_beg, 6);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sw_scalar(&[], &[0, 1], &sc()), SwHit::empty());
+        assert_eq!(sw_scalar(&[0], &[], &sc()), SwHit::empty());
+        assert_eq!(sw_scalar_score(&[], &[], &sc()), (0, 0, 0));
+    }
+
+    #[test]
+    fn all_mismatch_is_empty() {
+        let q = codes(b"AAAA");
+        let t = codes(b"GGGG");
+        assert_eq!(sw_scalar(&q, &t, &sc()).score, 0);
+    }
+
+    #[test]
+    fn n_never_matches() {
+        let q = codes(b"ACGNACG");
+        let t = codes(b"ACGNACG");
+        let hit = sw_scalar(&q, &t, &sc());
+        // Take the N column as a mismatch: 6×2 − 3 = 9.
+        assert_eq!(hit.score, 9);
+        assert_eq!(hit.cigar.to_string(), "3=1X3=");
+    }
+
+    #[test]
+    fn score_only_agrees_with_traceback() {
+        let q = codes(b"ACGTGGTACCAGTTACGGT");
+        let t = codes(b"TTACGTGGACCAGTTACGGTAA");
+        let full = sw_scalar(&q, &t, &sc());
+        let (s, _qe, _te) = sw_scalar_score(&q, &t, &sc());
+        assert_eq!(s, full.score);
+        assert_eq!(score_of_path(&full, &q, &t, &sc()), full.score);
+    }
+
+    #[test]
+    fn protein_alignment_works() {
+        use crate::scoring::protein_codes;
+        let sc = Scoring::blosum62();
+        let q = protein_codes(b"MKWVTFISLLFLFSSAYS").unwrap();
+        let t = protein_codes(b"MKWVTFISLLFLFSSAYS").unwrap();
+        let hit = sw_scalar(&q, &t, &sc);
+        assert_eq!(hit.q_end - hit.q_beg, 18);
+        assert!(hit.score > 0);
+        assert_eq!(score_of_path(&hit, &q, &t, &sc), hit.score);
+    }
+
+    fn dna_codes_strat(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(0u8..4, 1..max)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_traceback_score_matches_dp(q in dna_codes_strat(40), t in dna_codes_strat(60)) {
+            let s = sc();
+            let hit = sw_scalar(&q, &t, &s);
+            let (best, _, _) = sw_scalar_score(&q, &t, &s);
+            prop_assert_eq!(hit.score, best);
+            if hit.score > 0 {
+                prop_assert_eq!(score_of_path(&hit, &q, &t, &s), hit.score);
+                prop_assert!(hit.cigar.is_valid());
+                prop_assert_eq!(hit.cigar.query_len() as usize, hit.q_end - hit.q_beg);
+                prop_assert_eq!(hit.cigar.target_len() as usize, hit.t_end - hit.t_beg);
+                // Local alignments begin and end on aligned columns.
+                let first = hit.cigar.runs().first().unwrap().1;
+                let last = hit.cigar.runs().last().unwrap().1;
+                prop_assert!(matches!(first, CigarOp::Eq | CigarOp::Diff));
+                prop_assert!(matches!(last, CigarOp::Eq | CigarOp::Diff));
+            }
+        }
+
+        #[test]
+        fn prop_score_symmetric_under_swap(q in dna_codes_strat(30), t in dna_codes_strat(30)) {
+            // Swapping query/target must preserve the optimal score
+            // (the scheme is symmetric).
+            let s = sc();
+            let (a, _, _) = sw_scalar_score(&q, &t, &s);
+            let (b, _, _) = sw_scalar_score(&t, &q, &s);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_embedding_scores_full_length(q in dna_codes_strat(24)) {
+            // Embedding q exactly inside a target aligns all of q.
+            let s = sc();
+            let mut t = vec![0u8; 5];
+            t.extend_from_slice(&q);
+            t.extend_from_slice(&[1u8; 5]);
+            let hit = sw_scalar(&q, &t, &s);
+            prop_assert!(hit.score >= q.len() as i32 * 2 - 2, "score {}", hit.score);
+        }
+    }
+}

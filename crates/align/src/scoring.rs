@@ -1,0 +1,183 @@
+//! Affine-gap scoring schemes over small alphabets.
+//!
+//! A gap of length `L` costs `gap_open + (L − 1) · gap_extend` (the first
+//! gapped base pays `gap_open`). Both penalties are stored as positive
+//! magnitudes.
+
+/// DNA alphabet size including the `N` code (code 4).
+pub const DNA_ALPHA: usize = 5;
+/// Protein alphabet size (the 20 standard amino acids).
+pub const PROTEIN_ALPHA: usize = 20;
+
+/// Substitution matrix + affine gap penalties over `alpha` symbol codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scoring {
+    alpha: usize,
+    /// Row-major `alpha × alpha` substitution scores.
+    matrix: Vec<i32>,
+    /// Positive cost of the first base of a gap.
+    pub gap_open: i32,
+    /// Positive cost of each subsequent gap base.
+    pub gap_extend: i32,
+}
+
+impl Scoring {
+    /// Build from an explicit matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `alpha × alpha` or penalties are not
+    /// positive with `gap_open >= gap_extend`.
+    pub fn new(alpha: usize, matrix: Vec<i32>, gap_open: i32, gap_extend: i32) -> Self {
+        assert_eq!(matrix.len(), alpha * alpha, "matrix must be alpha^2");
+        assert!(gap_open >= gap_extend && gap_extend > 0, "bad gap penalties");
+        Scoring {
+            alpha,
+            matrix,
+            gap_open,
+            gap_extend,
+        }
+    }
+
+    /// Simple DNA match/mismatch scheme over codes `0..5`, where code 4 (`N`)
+    /// mismatches everything, including itself.
+    pub fn dna(match_s: i32, mismatch: i32, gap_open: i32, gap_extend: i32) -> Self {
+        assert!(match_s > 0 && mismatch < 0, "need match>0, mismatch<0");
+        let mut m = vec![mismatch; DNA_ALPHA * DNA_ALPHA];
+        for a in 0..4 {
+            m[a * DNA_ALPHA + a] = match_s;
+        }
+        Self::new(DNA_ALPHA, m, gap_open, gap_extend)
+    }
+
+    /// The default DNA scheme used across the reproduction:
+    /// match 2, mismatch −3, gap open 5, gap extend 2 — a commonly employed
+    /// scoring matrix of the kind the paper reports using (§VI-D).
+    pub fn dna_default() -> Self {
+        Self::dna(2, -3, 5, 2)
+    }
+
+    /// BLOSUM62 with gap open 11, extend 1 — the conventional protein
+    /// scheme, for the §VIII "other alphabets" extension.
+    pub fn blosum62() -> Self {
+        let m: Vec<i32> = BLOSUM62.iter().map(|&v| v as i32).collect();
+        Self::new(PROTEIN_ALPHA, m, 11, 1)
+    }
+
+    /// Alphabet size.
+    #[inline]
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Substitution score of codes `a` vs `b`.
+    ///
+    /// # Panics
+    /// Debug-asserts codes are in range.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        debug_assert!((a as usize) < self.alpha && (b as usize) < self.alpha);
+        self.matrix[a as usize * self.alpha + b as usize]
+    }
+
+    /// Largest substitution score (used for banding/overflow bounds).
+    pub fn max_score(&self) -> i32 {
+        self.matrix.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest (most negative) substitution score.
+    pub fn min_score(&self) -> i32 {
+        self.matrix.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Map an amino-acid letter to its code in the BLOSUM62 row order
+/// `ARNDCQEGHILKMFPSTWYV`; `None` for anything else.
+pub fn protein_code(aa: u8) -> Option<u8> {
+    const ORDER: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+    ORDER
+        .iter()
+        .position(|&c| c == aa.to_ascii_uppercase())
+        .map(|i| i as u8)
+}
+
+/// Encode a protein string; `None` if any letter is not a standard residue.
+pub fn protein_codes(seq: &[u8]) -> Option<Vec<u8>> {
+    seq.iter().map(|&b| protein_code(b)).collect()
+}
+
+/// The standard BLOSUM62 matrix, row order `ARNDCQEGHILKMFPSTWYV`.
+#[rustfmt::skip]
+const BLOSUM62: [i8; 400] = [
+//   A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+     4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, // A
+    -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, // R
+    -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3, // N
+    -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3, // D
+     0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, // C
+    -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2, // Q
+    -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2, // E
+     0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, // G
+    -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3, // H
+    -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, // I
+    -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, // L
+    -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2, // K
+    -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, // M
+    -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, // F
+    -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, // P
+     1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2, // S
+     0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, // T
+    -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, // W
+    -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, // Y
+     0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, // V
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_scheme_basics() {
+        let s = Scoring::dna_default();
+        assert_eq!(s.alpha(), 5);
+        assert_eq!(s.score(0, 0), 2);
+        assert_eq!(s.score(0, 3), -3);
+        // N (code 4) never matches, even itself.
+        assert_eq!(s.score(4, 4), -3);
+        assert_eq!(s.max_score(), 2);
+        assert_eq!(s.min_score(), -3);
+    }
+
+    #[test]
+    fn blosum62_spot_checks() {
+        let s = Scoring::blosum62();
+        let w = protein_code(b'W').unwrap();
+        let a = protein_code(b'A').unwrap();
+        let y = protein_code(b'Y').unwrap();
+        assert_eq!(s.score(w, w), 11);
+        assert_eq!(s.score(a, a), 4);
+        assert_eq!(s.score(w, y), 2);
+        assert_eq!(s.score(a, w), -3);
+        // Matrix must be symmetric.
+        for x in 0..20u8 {
+            for z in 0..20u8 {
+                assert_eq!(s.score(x, z), s.score(z, x));
+            }
+        }
+    }
+
+    #[test]
+    fn protein_encoding() {
+        assert_eq!(protein_code(b'A'), Some(0));
+        assert_eq!(protein_code(b'V'), Some(19));
+        assert_eq!(protein_code(b'v'), Some(19));
+        assert_eq!(protein_code(b'B'), None);
+        assert!(protein_codes(b"MKWVT").is_some());
+        assert!(protein_codes(b"MKX").is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_gap_penalties_panic() {
+        Scoring::dna(1, -1, 1, 2); // extend > open
+    }
+}

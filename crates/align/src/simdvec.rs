@@ -1,0 +1,262 @@
+//! Fixed-width lane vectors for the striped kernel.
+//!
+//! The striped Smith-Waterman of Farrar (and the SSW library the paper uses)
+//! is defined over 16×u8 or 8×u16 saturating SIMD lanes. Here the lane
+//! operations are expressed over plain fixed-size arrays with `#[inline]`
+//! saturating arithmetic: on x86-64 LLVM lowers these loops to the same
+//! `paddusb`/`psubusb`/`pmaxub` forms the hand-written intrinsics would use,
+//! while staying portable and safe. The kernel in [`crate::striped`] is
+//! generic over this trait, which is how the u8 → u16 overflow retry reuses
+//! one implementation.
+
+/// A fixed-width vector of unsigned saturating lanes.
+pub trait SwSimd: Copy + Default {
+    /// Lane element type.
+    type Elem: Copy + Ord + Default + Into<u32> + std::fmt::Debug;
+    /// Number of lanes.
+    const LANES: usize;
+    /// Saturation ceiling of a lane.
+    const MAX_ELEM: u32;
+
+    /// All lanes set to `e`.
+    fn splat(e: Self::Elem) -> Self;
+    /// Lane-wise saturating add.
+    fn adds(self, o: Self) -> Self;
+    /// Lane-wise saturating subtract.
+    fn subs(self, o: Self) -> Self;
+    /// Lane-wise max.
+    fn max(self, o: Self) -> Self;
+    /// Shift lanes toward higher indices by one; lane 0 becomes zero.
+    /// (The `_mm_slli_si128` of the striped formulation.)
+    fn shift_lanes_up(self) -> Self;
+    /// Whether any lane of `self` is strictly greater than the matching
+    /// lane of `o`.
+    fn any_gt(self, o: Self) -> bool;
+    /// Maximum lane value.
+    fn hmax(self) -> Self::Elem;
+    /// Read lane `l`.
+    fn lane(self, l: usize) -> Self::Elem;
+    /// Write lane `l`.
+    fn set_lane(&mut self, l: usize, v: Self::Elem);
+    /// Convert a clamped `u32` into an element (values above `MAX_ELEM`
+    /// saturate).
+    fn elem_from_u32(v: u32) -> Self::Elem;
+}
+
+/// 16 × u8 lanes (the first-pass kernel).
+pub type U8x16 = [u8; 16];
+
+impl SwSimd for U8x16 {
+    type Elem = u8;
+    const LANES: usize = 16;
+    const MAX_ELEM: u32 = u8::MAX as u32;
+
+    #[inline]
+    fn splat(e: u8) -> Self {
+        [e; 16]
+    }
+
+    #[inline]
+    fn adds(self, o: Self) -> Self {
+        let mut r = [0u8; 16];
+        for i in 0..16 {
+            r[i] = self[i].saturating_add(o[i]);
+        }
+        r
+    }
+
+    #[inline]
+    fn subs(self, o: Self) -> Self {
+        let mut r = [0u8; 16];
+        for i in 0..16 {
+            r[i] = self[i].saturating_sub(o[i]);
+        }
+        r
+    }
+
+    #[inline]
+    fn max(self, o: Self) -> Self {
+        let mut r = [0u8; 16];
+        for i in 0..16 {
+            r[i] = self[i].max(o[i]);
+        }
+        r
+    }
+
+    #[inline]
+    fn shift_lanes_up(self) -> Self {
+        let mut r = [0u8; 16];
+        r[1..16].copy_from_slice(&self[0..15]);
+        r
+    }
+
+    #[inline]
+    fn any_gt(self, o: Self) -> bool {
+        for i in 0..16 {
+            if self[i] > o[i] {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn hmax(self) -> u8 {
+        let mut m = 0;
+        for v in self {
+            m = m.max(v);
+        }
+        m
+    }
+
+    #[inline]
+    fn lane(self, l: usize) -> u8 {
+        self[l]
+    }
+
+    #[inline]
+    fn set_lane(&mut self, l: usize, v: u8) {
+        self[l] = v;
+    }
+
+    #[inline]
+    fn elem_from_u32(v: u32) -> u8 {
+        v.min(u8::MAX as u32) as u8
+    }
+}
+
+/// 8 × u16 lanes (the overflow-retry kernel).
+pub type U16x8 = [u16; 8];
+
+impl SwSimd for U16x8 {
+    type Elem = u16;
+    const LANES: usize = 8;
+    const MAX_ELEM: u32 = u16::MAX as u32;
+
+    #[inline]
+    fn splat(e: u16) -> Self {
+        [e; 8]
+    }
+
+    #[inline]
+    fn adds(self, o: Self) -> Self {
+        let mut r = [0u16; 8];
+        for i in 0..8 {
+            r[i] = self[i].saturating_add(o[i]);
+        }
+        r
+    }
+
+    #[inline]
+    fn subs(self, o: Self) -> Self {
+        let mut r = [0u16; 8];
+        for i in 0..8 {
+            r[i] = self[i].saturating_sub(o[i]);
+        }
+        r
+    }
+
+    #[inline]
+    fn max(self, o: Self) -> Self {
+        let mut r = [0u16; 8];
+        for i in 0..8 {
+            r[i] = self[i].max(o[i]);
+        }
+        r
+    }
+
+    #[inline]
+    fn shift_lanes_up(self) -> Self {
+        let mut r = [0u16; 8];
+        r[1..8].copy_from_slice(&self[0..7]);
+        r
+    }
+
+    #[inline]
+    fn any_gt(self, o: Self) -> bool {
+        for i in 0..8 {
+            if self[i] > o[i] {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn hmax(self) -> u16 {
+        let mut m = 0;
+        for v in self {
+            m = m.max(v);
+        }
+        m
+    }
+
+    #[inline]
+    fn lane(self, l: usize) -> u16 {
+        self[l]
+    }
+
+    #[inline]
+    fn set_lane(&mut self, l: usize, v: u16) {
+        self[l] = v;
+    }
+
+    #[inline]
+    fn elem_from_u32(v: u32) -> u16 {
+        v.min(u16::MAX as u32) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_saturating_ops() {
+        let a = U8x16::splat(250);
+        let b = U8x16::splat(10);
+        assert_eq!(a.adds(b), U8x16::splat(255));
+        assert_eq!(b.subs(a), U8x16::splat(0));
+        assert_eq!(SwSimd::max(a, b), a);
+        assert_eq!(a.hmax(), 250);
+    }
+
+    #[test]
+    fn shift_inserts_zero_lane() {
+        let mut v = U8x16::default();
+        for i in 0..16 {
+            v.set_lane(i, i as u8 + 1);
+        }
+        let s = v.shift_lanes_up();
+        assert_eq!(s.lane(0), 0);
+        for i in 1..16 {
+            assert_eq!(s.lane(i), i as u8);
+        }
+    }
+
+    #[test]
+    fn any_gt_detects_single_lane() {
+        let mut a = U8x16::splat(5);
+        let b = U8x16::splat(5);
+        assert!(!a.any_gt(b));
+        a.set_lane(7, 6);
+        assert!(a.any_gt(b));
+    }
+
+    #[test]
+    fn u16_mirror_behaviour() {
+        let a = U16x8::splat(65_000);
+        let b = U16x8::splat(1_000);
+        assert_eq!(a.adds(b), U16x8::splat(u16::MAX));
+        assert_eq!(b.subs(a), U16x8::splat(0));
+        let s = a.shift_lanes_up();
+        assert_eq!(s.lane(0), 0);
+        assert_eq!(s.lane(1), 65_000);
+    }
+
+    #[test]
+    fn elem_from_u32_clamps() {
+        assert_eq!(<U8x16 as SwSimd>::elem_from_u32(300), 255);
+        assert_eq!(<U16x8 as SwSimd>::elem_from_u32(70_000), 65_535);
+    }
+}

@@ -1,0 +1,407 @@
+//! Striped SIMD Smith-Waterman (Farrar's algorithm — the SSW stand-in).
+//!
+//! The paper incorporates the SSW library because merAligner "spends a
+//! significant portion of its runtime" in seed extension (§V-B). This module
+//! reimplements SSW's structure from scratch:
+//!
+//! 1. A **query profile** is precomputed per (query, scoring) pair — one
+//!    biased score vector per alphabet symbol per segment.
+//! 2. The **8-bit kernel** runs first; if the score saturates, the
+//!    **16-bit kernel** re-runs the alignment (the classic SSW retry).
+//! 3. The kernel returns score and end positions; callers needing a CIGAR
+//!    clip the matrix and run the scalar traceback on the small remainder
+//!    (see [`crate::extend`]).
+//!
+//! Scores are identical to [`crate::scalar::sw_scalar_score`] — property
+//! tests enforce this.
+
+use crate::scalar::sw_scalar_score;
+use crate::scoring::Scoring;
+use crate::simdvec::{SwSimd, U16x8, U8x16};
+
+/// Score + exclusive end positions from a striped pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripedHit {
+    /// Best local score (0 ⇒ empty).
+    pub score: i32,
+    /// Exclusive query end of the best cell.
+    pub q_end: usize,
+    /// Exclusive target end of the best cell.
+    pub t_end: usize,
+}
+
+/// A reusable query profile (build once per query, align against many
+/// targets — merAligner extends each read against several candidates).
+pub struct StripedProfile {
+    query: Vec<u8>,
+    alpha: usize,
+    gap_open: u32,
+    gap_extend: u32,
+    bias: u32,
+    seg8: usize,
+    prof8: Vec<U8x16>,
+    seg16: usize,
+    prof16: Vec<U16x8>,
+    scoring: Scoring,
+}
+
+impl StripedProfile {
+    /// Precompute profiles for `query` under `scoring`.
+    ///
+    /// # Panics
+    /// Panics if any query code is outside the scoring alphabet.
+    pub fn new(query: &[u8], scoring: &Scoring) -> Self {
+        let alpha = scoring.alpha();
+        for &c in query {
+            assert!((c as usize) < alpha, "query code {c} outside alphabet");
+        }
+        let bias = (-scoring.min_score().min(0)) as u32;
+        let m = query.len();
+        let seg8 = m.div_ceil(<U8x16 as SwSimd>::LANES).max(1);
+        let seg16 = m.div_ceil(<U16x8 as SwSimd>::LANES).max(1);
+        let prof8 = build_profile::<U8x16>(query, scoring, seg8, bias);
+        let prof16 = build_profile::<U16x8>(query, scoring, seg16, bias);
+        StripedProfile {
+            query: query.to_vec(),
+            alpha,
+            gap_open: scoring.gap_open as u32,
+            gap_extend: scoring.gap_extend as u32,
+            bias,
+            seg8,
+            prof8,
+            seg16,
+            prof16,
+            scoring: scoring.clone(),
+        }
+    }
+
+    /// Query length.
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// Align against `target`: 8-bit kernel, 16-bit retry, scalar last
+    /// resort. Returns the same score as the scalar oracle.
+    ///
+    /// # Panics
+    /// Panics if any target code is outside the scoring alphabet.
+    pub fn align(&self, target: &[u8]) -> StripedHit {
+        if self.query.is_empty() || target.is_empty() {
+            return StripedHit {
+                score: 0,
+                q_end: 0,
+                t_end: 0,
+            };
+        }
+        for &c in target {
+            assert!((c as usize) < self.alpha, "target code {c} outside alphabet");
+        }
+        if let Some(hit) = kernel::<U8x16>(
+            &self.prof8,
+            self.seg8,
+            self.query.len(),
+            self.alpha,
+            target,
+            self.gap_open,
+            self.gap_extend,
+            self.bias,
+        ) {
+            return hit;
+        }
+        if let Some(hit) = kernel::<U16x8>(
+            &self.prof16,
+            self.seg16,
+            self.query.len(),
+            self.alpha,
+            target,
+            self.gap_open,
+            self.gap_extend,
+            self.bias,
+        ) {
+            return hit;
+        }
+        // Astronomically unlikely with i32 scores; fall back to the oracle.
+        let (score, q_end, t_end) = sw_scalar_score(&self.query, target, &self.scoring);
+        StripedHit { score, q_end, t_end }
+    }
+}
+
+/// One-shot convenience: build the profile and align.
+pub fn sw_striped(query: &[u8], target: &[u8], scoring: &Scoring) -> StripedHit {
+    StripedProfile::new(query, scoring).align(target)
+}
+
+/// Lay out the biased query profile in striped order: entry for
+/// (symbol `a`, segment row `i`, lane `l`) covers query position
+/// `l * seg_len + i`; padding positions get score 0 (entry = raw 0, i.e.
+/// −bias after un-biasing) so they can never create a new maximum.
+fn build_profile<V: SwSimd>(query: &[u8], scoring: &Scoring, seg_len: usize, bias: u32) -> Vec<V> {
+    let alpha = scoring.alpha();
+    let mut prof = vec![V::default(); alpha * seg_len];
+    for a in 0..alpha {
+        for i in 0..seg_len {
+            let mut v = V::default();
+            for l in 0..V::LANES {
+                let qpos = l * seg_len + i;
+                let entry = if qpos < query.len() {
+                    (scoring.score(a as u8, query[qpos]) as i64 + bias as i64).max(0) as u32
+                } else {
+                    0
+                };
+                v.set_lane(l, V::elem_from_u32(entry));
+            }
+            prof[a * seg_len + i] = v;
+        }
+    }
+    prof
+}
+
+/// The striped kernel. Returns `None` on lane saturation (retry wider).
+#[allow(clippy::too_many_arguments)]
+fn kernel<V: SwSimd>(
+    prof: &[V],
+    seg_len: usize,
+    query_len: usize,
+    alpha: usize,
+    target: &[u8],
+    gap_open: u32,
+    gap_extend: u32,
+    bias: u32,
+) -> Option<StripedHit> {
+    debug_assert_eq!(prof.len(), alpha * seg_len);
+    let v_zero = V::default();
+    let v_bias = V::splat(V::elem_from_u32(bias));
+    let v_go = V::splat(V::elem_from_u32(gap_open));
+    let v_ge = V::splat(V::elem_from_u32(gap_extend));
+    // Saturation guard: any true score at or above this is unreliable.
+    let ceiling = V::MAX_ELEM - bias;
+
+    let mut pv_h_store = vec![v_zero; seg_len];
+    let mut pv_h_load = vec![v_zero; seg_len];
+    let mut pv_e = vec![v_zero; seg_len];
+    let mut pv_h_best = vec![v_zero; seg_len];
+
+    let mut best: u32 = 0;
+    let mut best_col: usize = 0;
+
+    for (j, &tc) in target.iter().enumerate() {
+        let p = &prof[tc as usize * seg_len..(tc as usize + 1) * seg_len];
+        let mut v_f = v_zero;
+        let mut v_max_col = v_zero;
+        let mut v_h = pv_h_store[seg_len - 1].shift_lanes_up();
+        std::mem::swap(&mut pv_h_store, &mut pv_h_load);
+
+        for i in 0..seg_len {
+            v_h = v_h.adds(p[i]).subs(v_bias);
+            v_h = v_h.max(pv_e[i]).max(v_f);
+            v_max_col = v_max_col.max(v_h);
+            pv_h_store[i] = v_h;
+            let v_h_go = v_h.subs(v_go);
+            pv_e[i] = pv_e[i].subs(v_ge).max(v_h_go);
+            v_f = v_f.subs(v_ge).max(v_h_go);
+            v_h = pv_h_load[i];
+        }
+
+        // Lazy-F: propagate F across segment boundaries until it can no
+        // longer improve anything. Bounded by construction; the explicit
+        // cap is a belt-and-braces guard.
+        let mut i = 0usize;
+        let mut v_f2 = v_f.shift_lanes_up();
+        let mut guard = 0usize;
+        let cap = seg_len * V::LANES * 4 + 8;
+        while v_f2.any_gt(pv_h_store[i].subs(v_go)) {
+            pv_h_store[i] = pv_h_store[i].max(v_f2);
+            v_max_col = v_max_col.max(pv_h_store[i]);
+            // E-correction: a raised H may open a better D-gap next column.
+            pv_e[i] = pv_e[i].max(pv_h_store[i].subs(v_go));
+            v_f2 = v_f2.subs(v_ge);
+            i += 1;
+            if i == seg_len {
+                i = 0;
+                v_f2 = v_f2.shift_lanes_up();
+            }
+            guard += 1;
+            if guard > cap {
+                break;
+            }
+        }
+
+        let cmax: u32 = v_max_col.hmax().into();
+        if cmax >= ceiling {
+            return None; // saturated: retry with wider lanes
+        }
+        if cmax > best {
+            best = cmax;
+            best_col = j;
+            pv_h_best.copy_from_slice(&pv_h_store);
+        }
+    }
+
+    if best == 0 {
+        return Some(StripedHit {
+            score: 0,
+            q_end: 0,
+            t_end: 0,
+        });
+    }
+
+    // Recover the query end: smallest query position achieving `best`
+    // in the saved best column.
+    let mut q_end = usize::MAX;
+    for i in 0..seg_len {
+        for l in 0..V::LANES {
+            let qpos = l * seg_len + i;
+            if qpos < query_len {
+                let v: u32 = pv_h_best[i].lane(l).into();
+                if v == best && qpos < q_end {
+                    q_end = qpos;
+                }
+            }
+        }
+    }
+    debug_assert_ne!(q_end, usize::MAX, "best score must be at a real row");
+    Some(StripedHit {
+        score: best as i32,
+        q_end: q_end + 1,
+        t_end: best_col + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::sw_scalar_score;
+    use proptest::prelude::*;
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        s.iter()
+            .map(|&b| seq::encode_base(b).unwrap_or(4))
+            .collect()
+    }
+
+    fn sc() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn matches_scalar_on_basics() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"ACGT", b"ACGT"),
+            (b"ACGTACGTAC", b"ACGTTCGTAC"),
+            (b"CGTA", b"TTTTCGTATTTT"),
+            (b"ACGTACGTGGTTGGACCACC", b"ACGTACGTGGAATTGGACCACC"),
+            (b"AAAA", b"GGGG"),
+            (b"A", b"A"),
+        ];
+        for (q, t) in cases {
+            let q = codes(q);
+            let t = codes(t);
+            let striped = sw_striped(&q, &t, &sc());
+            let (scalar, _, _) = sw_scalar_score(&q, &t, &sc());
+            assert_eq!(striped.score, scalar, "q={q:?} t={t:?}");
+        }
+    }
+
+    #[test]
+    fn end_positions_are_consistent() {
+        let q = codes(b"CGTA");
+        let t = codes(b"TTTTCGTATTTT");
+        let hit = sw_striped(&q, &t, &sc());
+        assert_eq!(hit.score, 8);
+        assert_eq!(hit.q_end, 4);
+        assert_eq!(hit.t_end, 8);
+    }
+
+    #[test]
+    fn long_query_spans_segments() {
+        // Query longer than one 16-lane segment.
+        let qs: Vec<u8> = (0..200).map(|i| b"ACGT"[(i * 13 + 7) % 4]).collect();
+        let q = codes(&qs);
+        let t = q.clone();
+        let hit = sw_striped(&q, &t, &sc());
+        assert_eq!(hit.score, 400); // perfect 200×2
+        assert_eq!(hit.q_end, 200);
+        assert_eq!(hit.t_end, 200);
+    }
+
+    #[test]
+    fn u8_overflow_retries_in_u16() {
+        // Score 2×300 = 600 > 255 − bias: must take the u16 path and still
+        // be exact.
+        let qs: Vec<u8> = (0..300).map(|i| b"ACGT"[(i * 7 + 1) % 4]).collect();
+        let q = codes(&qs);
+        let hit = sw_striped(&q, &q, &sc());
+        assert_eq!(hit.score, 600);
+    }
+
+    #[test]
+    fn empty_inputs_are_empty_hits() {
+        let q = codes(b"ACGT");
+        let prof = StripedProfile::new(&q, &sc());
+        assert_eq!(prof.align(&[]).score, 0);
+        let empty = StripedProfile::new(&[], &sc());
+        assert_eq!(empty.align(&q).score, 0);
+    }
+
+    #[test]
+    fn profile_reuse_across_targets() {
+        let q = codes(b"ACGTACGTAC");
+        let prof = StripedProfile::new(&q, &sc());
+        let t1 = codes(b"ACGTACGTAC");
+        let t2 = codes(b"TTTTTTTTTT"); // only the two T's of q can match
+        assert_eq!(prof.align(&t1).score, 20);
+        assert_eq!(prof.align(&t2).score, 2);
+        // Reuse is stable.
+        assert_eq!(prof.align(&t1).score, 20);
+    }
+
+    #[test]
+    fn protein_striped_matches_scalar() {
+        use crate::scoring::protein_codes;
+        let s = Scoring::blosum62();
+        let q = protein_codes(b"MKWVTFISLLFLFSSAYSRGVFRR").unwrap();
+        let t = protein_codes(b"GGMKWVTFISLLELFSSAYSRGVFRRDD").unwrap();
+        let striped = sw_striped(&q, &t, &s);
+        let (scalar, _, _) = sw_scalar_score(&q, &t, &s);
+        assert_eq!(striped.score, scalar);
+    }
+
+    fn dna_strat(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(0u8..4, 1..max)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(300))]
+        #[test]
+        fn prop_striped_equals_scalar(q in dna_strat(80), t in dna_strat(120)) {
+            let s = sc();
+            let striped = sw_striped(&q, &t, &s);
+            let (scalar, _, _) = sw_scalar_score(&q, &t, &s);
+            prop_assert_eq!(striped.score, scalar);
+        }
+
+        #[test]
+        fn prop_striped_end_prefix_rescores(q in dna_strat(40), t in dna_strat(60)) {
+            // Clipping at the reported ends must reproduce the score.
+            let s = sc();
+            let hit = sw_striped(&q, &t, &s);
+            if hit.score > 0 {
+                let (again, _, _) = sw_scalar_score(&q[..hit.q_end], &t[..hit.t_end], &s);
+                prop_assert_eq!(again, hit.score);
+            }
+        }
+
+        #[test]
+        fn prop_gap_heavy_inputs(n in 1usize..6) {
+            // Repetitive sequences with indels stress the lazy-F loop.
+            let s = sc();
+            let q: Vec<u8> = std::iter::repeat([0u8,0,1,1,2,2,3,3]).take(n*2).flatten().collect();
+            let mut t = q.clone();
+            t.insert(q.len()/2, 3);
+            t.insert(q.len()/2, 3);
+            let striped = sw_striped(&q, &t, &s);
+            let (scalar, _, _) = sw_scalar_score(&q, &t, &s);
+            prop_assert_eq!(striped.score, scalar);
+        }
+    }
+}

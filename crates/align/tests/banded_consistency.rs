@@ -1,0 +1,93 @@
+//! Extension-level consistency: windowed extension must find embedded
+//! alignments wherever the seed anchors, for both engines, across indel
+//! and mismatch patterns.
+
+use align::{extend_seed, Engine, ExtendConfig, Scoring};
+use proptest::prelude::*;
+
+fn lcg_codes(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 3) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn prop_extension_recovers_embedded_read(
+        tlen in 300usize..800,
+        pos in 0usize..500,
+        qlen in 60usize..120,
+        seed_at in 0usize..40,
+        state in 1u64..10_000,
+    ) {
+        let t = lcg_codes(tlen, state);
+        let pos = pos.min(tlen.saturating_sub(qlen));
+        if pos + qlen > t.len() { return Ok(()); }
+        let q: Vec<u8> = t[pos..pos + qlen].to_vec();
+        let k = 19usize;
+        let seed_at = seed_at.min(qlen - k);
+        let scoring = Scoring::dna_default();
+        for engine in [Engine::Scalar, Engine::Striped] {
+            let cfg = ExtendConfig { engine, ..Default::default() };
+            let out = extend_seed(&q, &t, seed_at, pos + seed_at, k, &scoring, &cfg);
+            let aln = out.alignment.expect("embedded read must align");
+            prop_assert_eq!(aln.score, 2 * qlen as i32, "perfect embedding");
+            prop_assert_eq!((aln.q_beg, aln.q_end), (0, qlen));
+            prop_assert_eq!((aln.t_beg, aln.t_end), (pos, pos + qlen));
+        }
+    }
+
+    #[test]
+    fn prop_engines_agree_with_mutations(
+        state in 1u64..5_000,
+        err_at in proptest::collection::vec(5usize..95, 0..3),
+    ) {
+        let t = lcg_codes(400, state);
+        let mut q: Vec<u8> = t[150..250].to_vec();
+        for &e in &err_at {
+            q[e] = (q[e] + 1) % 4;
+        }
+        let scoring = Scoring::dna_default();
+        let run = |engine| {
+            let cfg = ExtendConfig { engine, ..Default::default() };
+            extend_seed(&q, &t, 0, 150, 19, &scoring, &cfg)
+                .alignment
+                .map(|a| (a.score, a.t_beg, a.t_end, a.cigar.to_string()))
+        };
+        let scalar = run(Engine::Scalar);
+        let striped = run(Engine::Striped);
+        match (&scalar, &striped) {
+            (Some(a), Some(b)) => prop_assert_eq!(a.0, b.0, "scores must agree"),
+            (None, None) => {}
+            _ => prop_assert!(false, "engines disagree on alignability"),
+        }
+    }
+
+    #[test]
+    fn prop_identity_tracks_mutation_count(
+        state in 1u64..5_000,
+        n_err in 0usize..8,
+    ) {
+        let t = lcg_codes(300, state);
+        let mut q: Vec<u8> = t[100..200].to_vec();
+        for e in 0..n_err {
+            let at = 10 + e * 11;
+            q[at] = (q[at] + 2) % 4;
+        }
+        let scoring = Scoring::dna_default();
+        let cfg = ExtendConfig::default();
+        if let Some(aln) = extend_seed(&q, &t, 0, 100, 9, &scoring, &cfg).alignment {
+            let (matches, cols) = aln.cigar.identity();
+            // Identity can only drop by as much as the mutations introduced.
+            prop_assert!(matches + n_err as u32 + 4 >= cols,
+                "identity {matches}/{cols} vs {n_err} errors");
+        }
+    }
+}

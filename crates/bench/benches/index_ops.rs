@@ -1,0 +1,127 @@
+//! Seed-index and sequence-substrate micro-benchmarks: 2-bit packing,
+//! rolling k-mer extraction, djb2 hashing, partition insert/lookup, and
+//! software-cache probes — the per-operation costs behind the
+//! `pgas::CostModel` constants.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use dht::{SeedCache, SeedEntry, TargetHit};
+use pgas::GlobalRef;
+use seq::{djb2_hash, Kmer, KmerIter, PackedSeq};
+
+fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[((state >> 33) & 3) as usize]
+        })
+        .collect()
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let ascii = lcg_dna(100_000, 3);
+
+    let mut group = c.benchmark_group("packing");
+    group.throughput(Throughput::Bytes(ascii.len() as u64));
+    group.sample_size(30);
+    group.bench_function("from_ascii_100kb", |b| {
+        b.iter(|| black_box(PackedSeq::from_ascii(&ascii)))
+    });
+    let packed = PackedSeq::from_ascii(&ascii);
+    group.bench_function("eq_range_100bp", |b| {
+        b.iter(|| black_box(packed.eq_range(1_000, &packed, 1_000, 100)))
+    });
+    group.bench_function("reverse_complement_100kb", |b| {
+        b.iter(|| black_box(packed.reverse_complement().len()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kmers_k51");
+    let seeds = packed.len() - 51 + 1;
+    group.throughput(Throughput::Elements(seeds as u64));
+    group.sample_size(30);
+    group.bench_function("rolling_extraction", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (_, km) in KmerIter::new(&packed, 51) {
+                acc ^= km.bits() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("extraction_plus_djb2", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (_, km) in KmerIter::new(&packed, 51) {
+                acc ^= djb2_hash(km, 51);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(30);
+    let entries: Vec<SeedEntry> = KmerIter::new(&packed, 51)
+        .map(|(off, km)| SeedEntry {
+            kmer: km,
+            target: GlobalRef::new(0, 0),
+            offset: off,
+        })
+        .collect();
+    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut p = dht::Partition::with_capacity(entries.len());
+            for e in &entries {
+                p.insert(*e);
+            }
+            black_box(p.distinct_seeds())
+        })
+    });
+    let mut part = dht::Partition::with_capacity(entries.len());
+    for e in &entries {
+        part.insert(*e);
+    }
+    group.bench_function("lookup_100k", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for e in &entries {
+                found += usize::from(part.get(e.kmer).is_some());
+            }
+            black_box(found)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("seed_cache");
+    group.sample_size(30);
+    let cache = SeedCache::new(8 << 20);
+    let hit = TargetHit {
+        target: GlobalRef::new(1, 2),
+        offset: 3,
+    };
+    let kmers: Vec<Kmer> = KmerIter::new(&packed, 51).map(|(_, km)| km).take(10_000).collect();
+    for km in &kmers {
+        cache.fill(*km, std::slice::from_ref(&hit));
+    }
+    group.throughput(Throughput::Elements(kmers.len() as u64));
+    group.bench_function("probe_10k_hits", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for km in &kmers {
+                out.clear();
+                hits += usize::from(cache.probe(*km, &mut out).is_some());
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

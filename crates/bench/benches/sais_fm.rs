@@ -1,0 +1,69 @@
+//! Baseline-substrate micro-benchmarks: SA-IS suffix array construction
+//! (the serial index build at the heart of Table II) and FM-index backward
+//! search / locate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fmindex::{suffix_array, FmIndex};
+
+fn lcg_codes(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 3) as u8
+        })
+        .collect()
+}
+
+fn bench_sais_fm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sais");
+    group.sample_size(15);
+    for n in [50_000usize, 200_000] {
+        let text: Vec<u8> = lcg_codes(n, 5).iter().map(|c| b"ACGT"[*c as usize]).collect();
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("suffix_array", n), &text, |b, t| {
+            b.iter(|| black_box(suffix_array(t).len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fm_index");
+    group.sample_size(20);
+    let text = lcg_codes(200_000, 9);
+    group.bench_function("build_200kb", |b| {
+        b.iter(|| black_box(FmIndex::build(&text).text_len()))
+    });
+    let fm = FmIndex::build(&text);
+    // 51-mer patterns sampled from the text (all present).
+    let patterns: Vec<Vec<u8>> = (0..200)
+        .map(|i| text[i * 997..i * 997 + 51].to_vec())
+        .collect();
+    group.throughput(Throughput::Elements(patterns.len() as u64));
+    group.bench_function("backward_search_51mers", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &patterns {
+                let (range, _) = fm.backward_search(p);
+                total += range.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("find_with_locate", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in &patterns {
+                let (hits, _) = fm.find(p, 4);
+                total += hits.len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sais_fm);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Smith-Waterman kernel micro-benchmarks: scalar Gotoh vs the striped
+//! SIMD kernel (the paper's §V-B motivation for adopting SSW — "orders of
+//! magnitude faster than reference implementations").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use align::{sw_scalar, sw_scalar_score, Scoring, StripedProfile};
+
+fn lcg_codes(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 3) as u8
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let scoring = Scoring::dna_default();
+    let mut group = c.benchmark_group("sw_100bp_read");
+    group.sample_size(30);
+    for target_len in [200usize, 400, 1_000] {
+        let q = lcg_codes(100, 7);
+        let mut t = lcg_codes(target_len, 8);
+        // Embed the read so the kernels do real extension work.
+        t[50..150].copy_from_slice(&q);
+        let cells = (q.len() * t.len()) as u64;
+        group.throughput(Throughput::Elements(cells));
+
+        group.bench_with_input(BenchmarkId::new("scalar_score", target_len), &t, |b, t| {
+            b.iter(|| black_box(sw_scalar_score(&q, t, &scoring)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scalar_traceback", target_len),
+            &t,
+            |b, t| b.iter(|| black_box(sw_scalar(&q, t, &scoring)).score),
+        );
+        let profile = StripedProfile::new(&q, &scoring);
+        group.bench_with_input(BenchmarkId::new("striped", target_len), &t, |b, t| {
+            b.iter(|| black_box(profile.align(t)).score)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sw_protein_blosum62");
+    group.sample_size(30);
+    let blosum = Scoring::blosum62();
+    let q: Vec<u8> = lcg_codes(80, 11).iter().map(|c| c % 20).collect();
+    let t: Vec<u8> = lcg_codes(200, 12).iter().map(|c| c % 20).collect();
+    group.bench_function("scalar", |b| {
+        b.iter(|| black_box(sw_scalar_score(&q, &t, &blosum)))
+    });
+    let profile = StripedProfile::new(&q, &blosum);
+    group.bench_function("striped", |b| b.iter(|| black_box(profile.align(&t)).score));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! §VI-D accuracy: fraction of reads aligned by each tool, plus the
+//! placement-correctness that synthetic ground truth makes measurable.
+//!
+//! Paper: human 86.3 % (merAligner) vs 83.8 % (BWA-mem) vs 82.6 % (Bowtie2);
+//! E. coli 97.4 % vs 96.3 % vs 95.8 %.
+
+use align::{ExtendConfig, Scoring};
+use bench::{header, pipeline_config, row, Cli};
+use fmindex::{run_pmap, BaselineAligner, BaselineConfig, BaselineCosts, PmapConfig};
+use genome::{evaluate_accuracy, Dataset};
+use meraligner::run_pipeline;
+use seq::PackedSeq;
+
+fn eval_dataset(d: &Dataset, cores: usize) {
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let truths: Vec<_> = d.reads.iter().map(|r| (r.truth, r.seq.len())).collect();
+
+    // merAligner.
+    let cfg = pipeline_config(d, cores, 2);
+    let res = run_pipeline(&cfg, &tdb, &qdb);
+    let placements: Vec<Option<(usize, usize, bool)>> = res
+        .placements
+        .iter()
+        .map(|p| p.map(|pl| (pl.contig as usize, pl.t_beg as usize, pl.reverse)))
+        .collect();
+    let acc = evaluate_accuracy(&d.contigs, &truths, &placements, 5);
+    row(&[
+        d.name.clone(),
+        "merAligner".to_string(),
+        format!("{:.3}", acc.aligned_fraction()),
+        format!("{:.3}", acc.placement_precision()),
+        format!("{:.3}", acc.recall_of_alignable()),
+    ]);
+
+    // Baselines.
+    let contigs: Vec<PackedSeq> = d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+    let reads: Vec<PackedSeq> = d.reads.iter().map(|r| r.seq.clone()).collect();
+    let costs = BaselineCosts::default();
+    for (name, mut bc) in [
+        ("BWA-mem-like", BaselineConfig::bwa_mem_like()),
+        ("Bowtie2-like", BaselineConfig::bowtie2_like()),
+    ] {
+        if d.k < bc.seed_len {
+            bc.seed_len = d.k;
+            bc.seed_stride = d.k / 2;
+        }
+        let aligner = BaselineAligner::build(&contigs, bc);
+        let report = run_pmap(
+            &aligner,
+            &reads,
+            &PmapConfig {
+                instances: 2,
+                threads_per_instance: 1,
+            },
+            &costs,
+            &Scoring::dna_default(),
+            &ExtendConfig::default(),
+        );
+        let acc = evaluate_accuracy(&d.contigs, &truths, &report.placements, 5);
+        row(&[
+            d.name.clone(),
+            name.to_string(),
+            format!("{:.3}", acc.aligned_fraction()),
+            format!("{:.3}", acc.placement_precision()),
+            format!("{:.3}", acc.recall_of_alignable()),
+        ]);
+    }
+}
+
+fn main() {
+    let cli = Cli::parse(0.05);
+    header(&[
+        "dataset",
+        "aligner",
+        "aligned_fraction",
+        "placement_precision",
+        "recall_of_alignable",
+    ]);
+    let human = genome::human_like(cli.scale, cli.seed);
+    eval_dataset(&human, 96);
+    let ecoli = genome::ecoli_like(cli.scale, cli.seed);
+    eval_dataset(&ecoli, 96);
+    eprintln!("# paper aligned fractions — human: 86.3/83.8/82.6 %; E. coli: 97.4/96.3/95.8 %");
+    eprintln!("# (absolute fractions depend on contig-gap coverage; the ordering meraligner ≥ bwa ≥ bowtie2 is the reproduced shape)");
+}

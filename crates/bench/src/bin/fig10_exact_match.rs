@@ -1,0 +1,77 @@
+//! Fig 10: impact of the exact-match optimization (§IV-A) on the aligning
+//! phase, split into communication and computation.
+//!
+//! Paper (human): aligning phase improves 2.8× / 3.4× / 3.1× at
+//! 480 / 1920 / 7680 cores; at 480 cores computation improves 2.48× and
+//! communication 2.82×; ~59 % of aligned reads took the fast path; the
+//! optimized aligning phase scales 15.9× from 480 to 7680 cores.
+
+use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, PPN};
+use meraligner::run_pipeline;
+
+fn main() {
+    let cli = Cli::parse(0.05);
+    let d = genome::human_like_cov(cli.scale, 100.0, cli.seed);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let sweep = ablation_sweep(&cli);
+    let min_nodes = sweep[0] / PPN;
+    eprintln!("# dataset {} | reads {}", d.name, d.reads.len());
+
+    header(&[
+        "cores",
+        "variant",
+        "align_s",
+        "comm_s",
+        "comp_s",
+        "align_ratio",
+        "comm_ratio",
+        "comp_ratio",
+        "exact_path_frac",
+    ]);
+    let mut opt_align = Vec::new();
+    for cores in sweep {
+        let mut per_variant = Vec::new();
+        for exact in [false, true] {
+            let mut cfg = pipeline_config(&d, cores, min_nodes);
+            cfg.exact_match_opt = exact;
+            cfg.fragment_targets = exact;
+            let res = run_pipeline(&cfg, &tdb, &qdb);
+            let phase = res.align_phase().expect("align phase");
+            let comm = phase.max_comm_seconds();
+            let comp = phase.max_comp_seconds();
+            per_variant.push((
+                exact,
+                phase.sim_seconds,
+                comm,
+                comp,
+                res.exact_path_fraction(),
+            ));
+        }
+        let (_, base_t, base_comm, base_comp, _) = per_variant[0];
+        for (exact, t, comm, comp, frac) in per_variant.iter().copied() {
+            if exact {
+                opt_align.push((cores, t));
+            }
+            row(&[
+                cores.to_string(),
+                if exact { "w/ opt" } else { "w/o opt" }.to_string(),
+                fmt_s(t),
+                fmt_s(comm),
+                fmt_s(comp),
+                format!("{:.1}x", base_t / t.max(1e-12)),
+                format!("{:.1}x", base_comm / comm.max(1e-12)),
+                format!("{:.1}x", base_comp / comp.max(1e-12)),
+                format!("{:.2}", frac),
+            ]);
+        }
+    }
+    if opt_align.len() >= 3 {
+        eprintln!(
+            "# optimized aligning phase scaling {:.1}x over a {:.0}x core increase (paper: 15.9x over 16x)",
+            opt_align[0].1 / opt_align[2].1,
+            opt_align[2].0 as f64 / opt_align[0].0 as f64
+        );
+    }
+    eprintln!("# paper align ratios: 2.8x @480, 3.4x @1920, 3.1x @7680; ~59% of aligned reads on the fast path");
+}

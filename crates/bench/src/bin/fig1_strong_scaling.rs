@@ -1,0 +1,97 @@
+//! Fig 1: end-to-end strong scaling of merAligner on the human-like and
+//! wheat-like datasets, with single BWA-mem-like / Bowtie2-like data points
+//! at the second-largest concurrency.
+//!
+//! Paper: human scales 480 → 15,360 cores with 0.70 parallel efficiency
+//! (4147 s → 185 s, 22×); wheat reaches 0.78 efficiency from 960 cores; the
+//! pMap baselines sit an order of magnitude above the merAligner curve.
+
+use align::{ExtendConfig, Scoring};
+use bench::{cores_sweep, fmt_s, header, pipeline_config, row, Cli, PPN};
+use fmindex::{run_pmap, BaselineAligner, BaselineConfig, BaselineCosts, PmapConfig};
+use genome::Dataset;
+use meraligner::run_pipeline;
+use seq::PackedSeq;
+
+fn scale_dataset(d: &Dataset, cli: &Cli, sweep: &[usize]) {
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let min_nodes = sweep[0] / PPN;
+    eprintln!(
+        "# dataset {} | contig bases {} | reads {}",
+        d.name,
+        d.contigs.total_bases(),
+        d.reads.len()
+    );
+    let mut first: Option<(usize, f64)> = None;
+    for &cores in sweep {
+        let cfg = pipeline_config(d, cores, min_nodes);
+        let res = run_pipeline(&cfg, &tdb, &qdb);
+        let t = res.sim_seconds();
+        let (c0, t0) = *first.get_or_insert((cores, t));
+        let speedup = t0 / t;
+        let ideal = cores as f64 / c0 as f64;
+        let reads_per_sec = res.total_reads as f64 / t;
+        row(&[
+            d.name.clone(),
+            cores.to_string(),
+            fmt_s(t),
+            format!("{speedup:.2}"),
+            format!("{ideal:.0}"),
+            format!("{:.2}", speedup / ideal),
+            format!("{reads_per_sec:.0}"),
+        ]);
+    }
+    let _ = cli;
+}
+
+fn main() {
+    let cli = Cli::parse(0.2);
+    let sweep = cores_sweep(&cli);
+    header(&[
+        "dataset",
+        "cores",
+        "end_to_end_s",
+        "speedup",
+        "ideal",
+        "efficiency",
+        "reads_per_sec",
+    ]);
+
+    let human = genome::human_like(cli.scale, cli.seed);
+    scale_dataset(&human, &cli, &sweep);
+    let wheat = genome::wheat_like(cli.scale * 0.75, cli.seed);
+    scale_dataset(&wheat, &cli, &sweep);
+
+    // Baseline data points (human only, as in the figure), at the
+    // second-largest concurrency of the sweep (7680 in the paper).
+    let cores = sweep[sweep.len() - 2];
+    let contigs: Vec<PackedSeq> = human.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+    let reads: Vec<PackedSeq> = human.reads.iter().map(|r| r.seq.clone()).collect();
+    let costs = BaselineCosts::default();
+    let pmap_cfg = PmapConfig::edison_like(cores);
+    for (name, bc) in [
+        ("BWAmem-like-human", BaselineConfig::bwa_mem_like()),
+        ("Bowtie2-like-human", BaselineConfig::bowtie2_like()),
+    ] {
+        let aligner = BaselineAligner::build(&contigs, bc);
+        let report = run_pmap(
+            &aligner,
+            &reads,
+            &pmap_cfg,
+            &costs,
+            &Scoring::dna_default(),
+            &ExtendConfig::default(),
+        );
+        row(&[
+            name.to_string(),
+            cores.to_string(),
+            fmt_s(report.total_seconds()),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{:.0}", report.total_reads as f64 / report.total_seconds()),
+        ]);
+    }
+    eprintln!("# paper: human 0.70 efficiency at 32x scale-up, wheat 0.78; baselines far above the curve");
+}

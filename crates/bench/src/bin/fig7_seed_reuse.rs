@@ -1,0 +1,55 @@
+//! Fig 7: probability of a seed being reused (on-node) as a function of
+//! core count, for d = 100, L = 100, k = 51 (⇒ f = 50), ppn = 24.
+//!
+//! This is the paper's analytic balls-into-bins curve; we regenerate it from
+//! the same formula and additionally validate it against a Monte-Carlo
+//! simulation of the experiment.
+
+use bench::{header, row, Cli, PPN};
+use meraligner::{expected_seed_frequency, seed_reuse_probability};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cli = Cli::parse(1.0);
+    let f = expected_seed_frequency(100.0, 100, 51);
+    assert!((f - 50.0).abs() < 1e-9);
+
+    header(&[
+        "cores",
+        "nodes",
+        "p_reuse_analytic",
+        "p_reuse_montecarlo",
+    ]);
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+    for cores in (1..=15).map(|i| i * 1_000) {
+        let nodes = (cores as f64 / PPN as f64).max(1.0);
+        let analytic = seed_reuse_probability(cores, PPN, f);
+        // Monte-Carlo: f−1 other occurrences tossed into `nodes` bins;
+        // success = at least one lands in bin 0.
+        let trials = 20_000;
+        let mut hit = 0u32;
+        for _ in 0..trials {
+            let mut any = false;
+            for _ in 0..(f as usize - 1) {
+                if rng.gen_range(0..nodes as usize) == 0 {
+                    any = true;
+                    break;
+                }
+            }
+            hit += u32::from(any);
+        }
+        let mc = f64::from(hit) / f64::from(trials);
+        assert!(
+            (analytic - mc).abs() < 0.02,
+            "analytic {analytic} vs monte-carlo {mc} at {cores} cores"
+        );
+        row(&[
+            cores.to_string(),
+            format!("{nodes:.0}"),
+            format!("{analytic:.4}"),
+            format!("{mc:.4}"),
+        ]);
+    }
+    eprintln!("# paper: near 1.0 at ≤2k cores, ~0.08 at 15k cores (Fig 7)");
+}

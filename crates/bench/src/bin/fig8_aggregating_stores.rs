@@ -1,0 +1,87 @@
+//! Fig 8: distributed seed index construction time with and without the
+//! "aggregating stores" optimization (S = 1000), human-like dataset.
+//!
+//! Paper values (human, S=1000): 1229 s → 262 s at 480 cores (4.7×),
+//! 3.9× at 1920, 4.8× at 7680; the optimized build scales 12.7× from 480
+//! to 7680 cores.
+
+use bench::{ablation_sweep, fmt_s, header, row, Cli, PPN};
+use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
+use meraligner::TargetStore;
+use pgas::{GlobalRef, Machine, MachineConfig};
+use seq::KmerIter;
+
+fn build_time(cores: usize, tdb: &seq::SeqDb, k: usize, algo: BuildAlgorithm) -> (f64, u64, u64) {
+    let mut machine = Machine::new(MachineConfig::new(cores, PPN));
+    let store = TargetStore::load(&mut machine, tdb);
+    let cfg = BuildConfig {
+        k,
+        algorithm: algo,
+        buffer_size: 1000,
+    };
+    let seqs = &store.seqs;
+    let index = build_seed_index(&mut machine, &cfg, |r| {
+        seqs.part(r).iter().enumerate().flat_map(move |(idx, t)| {
+            KmerIter::new(t, k).map(move |(off, km)| SeedEntry {
+                kmer: km,
+                target: GlobalRef::new(r, idx),
+                offset: off,
+            })
+        })
+    });
+    let t = machine.phase_named("index-build").unwrap().sim_seconds
+        + machine
+            .phase_named("index-drain")
+            .map_or(0.0, |p| p.sim_seconds);
+    let agg = machine.phase_named("index-build").unwrap().aggregate();
+    (t, agg.msgs_local + agg.msgs_remote, index.total_entries())
+}
+
+fn main() {
+    let cli = Cli::parse(0.2);
+    let d = genome::human_like(cli.scale, cli.seed);
+    let tdb = d.contigs_seqdb();
+    eprintln!(
+        "# dataset {} | contigs {} | contig bases {}",
+        d.name,
+        d.contigs.len(),
+        d.contigs.total_bases()
+    );
+
+    header(&[
+        "cores",
+        "build_no_opt_s",
+        "build_with_opt_s",
+        "speedup",
+        "msgs_no_opt",
+        "msgs_with_opt",
+        "paper_speedup",
+    ]);
+    let paper = [(480, 4.7), (1_920, 3.9), (7_680, 4.8)];
+    let mut opt_times = Vec::new();
+    for (i, cores) in ablation_sweep(&cli).into_iter().enumerate() {
+        let (naive_t, naive_msgs, entries_a) =
+            build_time(cores, &tdb, d.k, BuildAlgorithm::NaiveFineGrained);
+        let (opt_t, opt_msgs, entries_b) =
+            build_time(cores, &tdb, d.k, BuildAlgorithm::AggregatingStores);
+        assert_eq!(entries_a, entries_b, "both algorithms must index all seeds");
+        opt_times.push((cores, opt_t));
+        row(&[
+            cores.to_string(),
+            fmt_s(naive_t),
+            fmt_s(opt_t),
+            format!("{:.1}x", naive_t / opt_t),
+            naive_msgs.to_string(),
+            opt_msgs.to_string(),
+            format!("{:.1}x", paper[i.min(2)].1),
+        ]);
+    }
+    if opt_times.len() >= 3 {
+        let scale_up = opt_times[0].1 / opt_times[2].1;
+        let cores_up = opt_times[2].0 as f64 / opt_times[0].0 as f64;
+        eprintln!(
+            "# optimized construction scaling {:.1}x over a {:.0}x core increase (paper: 12.7x over 16x)",
+            scale_up, cores_up
+        );
+    }
+}

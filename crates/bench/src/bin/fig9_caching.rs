@@ -1,0 +1,64 @@
+//! Fig 9: impact of the per-node software caches on aligning-phase
+//! communication, split into seed-lookup time and target-fetch time.
+//!
+//! Paper (human): overall communication reduced 2.3× / 1.7× / 1.8× at
+//! 480 / 1920 / 7680 cores; the target cache "essentially obviates all the
+//! communication involved with target sequences"; the seed-index cache
+//! helps most at small concurrency (≈35 % lookup-time reduction at 480
+//! cores) — the Fig 7 reuse probability at work.
+
+use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, PPN};
+use meraligner::run_pipeline;
+use pgas::CommTag;
+
+fn main() {
+    let cli = Cli::parse(0.05);
+    let d = genome::human_like_cov(cli.scale, 100.0, cli.seed);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let sweep = ablation_sweep(&cli);
+    let min_nodes = sweep[0] / PPN;
+    eprintln!("# dataset {} | reads {}", d.name, d.reads.len());
+
+    header(&[
+        "cores",
+        "variant",
+        "lookup_comm_s",
+        "fetch_comm_s",
+        "total_comm_s",
+        "comm_ratio",
+        "seed_cache_hit_rate",
+        "target_cache_hit_rate",
+    ]);
+    for cores in sweep {
+        let mut results = Vec::new();
+        for use_caches in [false, true] {
+            let mut cfg = pipeline_config(&d, cores, min_nodes);
+            cfg.use_caches = use_caches;
+            let res = run_pipeline(&cfg, &tdb, &qdb);
+            let phase = res.align_phase().expect("align phase");
+            let lookup = phase.mean_comm_seconds(CommTag::SeedLookup);
+            let fetch = phase.mean_comm_seconds(CommTag::TargetFetch);
+            let agg = phase.aggregate();
+            let seed_rate = agg.seed_cache_hits as f64
+                / (agg.seed_cache_hits + agg.seed_cache_misses).max(1) as f64;
+            let tgt_rate = agg.target_cache_hits as f64
+                / (agg.target_cache_hits + agg.target_cache_misses).max(1) as f64;
+            results.push((use_caches, lookup, fetch, lookup + fetch, seed_rate, tgt_rate));
+        }
+        let no_cache_total = results[0].3;
+        for (use_caches, lookup, fetch, total, seed_rate, tgt_rate) in results {
+            row(&[
+                cores.to_string(),
+                if use_caches { "w/ cache" } else { "no cache" }.to_string(),
+                fmt_s(lookup),
+                fmt_s(fetch),
+                fmt_s(total),
+                format!("{:.1}x", no_cache_total / total.max(1e-12)),
+                format!("{:.2}", seed_rate),
+                format!("{:.2}", tgt_rate),
+            ]);
+        }
+    }
+    eprintln!("# paper comm ratios: 2.3x @480, 1.7x @1920, 1.8x @7680");
+}

@@ -1,0 +1,175 @@
+//! Benchmark harness support: CLI parsing, dataset construction, and the
+//! shared configuration conventions of the figure/table binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale <f64>` — dataset scale factor (see `genome::presets`),
+//! * `--seed <u64>` — dataset RNG seed,
+//! * `--full` — paper-sized concurrency sweep (default sweeps are sized for
+//!   a small container).
+//!
+//! Output is TSV on stdout with a `#`-prefixed header, one experiment row
+//! per line, so EXPERIMENTS.md can quote results verbatim.
+
+use dht::CacheConfig;
+use genome::Dataset;
+use meraligner::PipelineConfig;
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Run the full paper-sized sweep.
+    pub full: bool,
+}
+
+impl Cli {
+    /// Parse from `std::env::args`, with a default scale per binary.
+    pub fn parse(default_scale: f64) -> Cli {
+        let mut cli = Cli {
+            scale: default_scale,
+            seed: 42,
+            full: false,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    cli.scale = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a number"));
+                    i += 2;
+                }
+                "--seed" => {
+                    cli.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a number"));
+                    i += 2;
+                }
+                "--full" => {
+                    cli.full = true;
+                    i += 1;
+                }
+                other => panic!("unknown argument {other} (supported: --scale --seed --full)"),
+            }
+        }
+        cli
+    }
+}
+
+/// The Edison ranks-per-node constant used throughout the paper.
+pub const PPN: usize = 24;
+
+/// The paper's Fig 1 concurrency sweep.
+pub const PAPER_CORES: [usize; 6] = [480, 960, 1_920, 3_840, 7_680, 15_360];
+
+/// A container-friendly sweep with the same 2× spacing.
+pub const SMALL_CORES: [usize; 6] = [48, 96, 192, 384, 768, 1_536];
+
+/// The Fig 8/9/10 ablation concurrencies.
+pub const PAPER_ABLATION_CORES: [usize; 3] = [480, 1_920, 7_680];
+
+/// Container-friendly ablation concurrencies.
+pub const SMALL_ABLATION_CORES: [usize; 3] = [48, 192, 768];
+
+/// Pick the sweep per `--full`.
+pub fn cores_sweep(cli: &Cli) -> Vec<usize> {
+    if cli.full {
+        PAPER_CORES.to_vec()
+    } else {
+        SMALL_CORES.to_vec()
+    }
+}
+
+/// Pick the ablation sweep per `--full`.
+pub fn ablation_sweep(cli: &Cli) -> Vec<usize> {
+    if cli.full {
+        PAPER_ABLATION_CORES.to_vec()
+    } else {
+        SMALL_ABLATION_CORES.to_vec()
+    }
+}
+
+/// Cache budgets sized like the paper's generous fixed per-node allocation
+/// (16 GB + 6 GB per node — effectively the whole working set): the
+/// aggregate capacity at the *smallest* sweep concurrency holds the full
+/// lookup working set, and stays constant per node as the sweep grows.
+///
+/// The seed working set is roughly 2.5× the contig seed count (forward
+/// genome seeds + reverse-complement and error seeds that negative-cache),
+/// at ~80 bytes per cached entry; the target working set is the 2-bit
+/// packed contig payload.
+pub fn cache_for_dataset(d: &Dataset, min_nodes: usize) -> CacheConfig {
+    let bases = d.contigs.total_bases() as usize;
+    let seed_bytes = bases.saturating_mul(80).saturating_mul(5) / 2;
+    let target_bytes = bases / 2;
+    CacheConfig {
+        seed_budget_bytes: (seed_bytes / min_nodes.max(1)).clamp(64 << 10, 512 << 20),
+        target_budget_bytes: (target_bytes / min_nodes.max(1)).clamp(64 << 10, 512 << 20),
+    }
+}
+
+/// The standard pipeline configuration for a dataset at a concurrency.
+pub fn pipeline_config(d: &Dataset, cores: usize, min_nodes: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(cores, PPN, d.k);
+    cfg.cache = cache_for_dataset(d, min_nodes);
+    cfg.max_hits_per_seed = 128;
+    cfg
+}
+
+/// Format seconds with sensible precision.
+pub fn fmt_s(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Print a TSV header line (prefixed with `#`).
+pub fn header(cols: &[&str]) {
+    println!("#{}", cols.join("\t"));
+}
+
+/// Print a TSV row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_doubling() {
+        for w in PAPER_CORES.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        for w in SMALL_CORES.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn cache_budgets_clamped() {
+        let d = genome::human_like(0.001, 7);
+        let c = cache_for_dataset(&d, 2);
+        assert!(c.seed_budget_bytes >= 64 << 10);
+        assert!(c.target_budget_bytes <= 64 << 20);
+    }
+
+    #[test]
+    fn fmt_has_precision_tiers() {
+        assert_eq!(fmt_s(123.456), "123.5");
+        assert_eq!(fmt_s(12.345), "12.35");
+        assert_eq!(fmt_s(0.01234), "0.0123");
+    }
+}

@@ -1,0 +1,324 @@
+//! Per-node software caches (§III-B).
+//!
+//! "On every node, a portion of the shared memory is dedicated for software
+//! caches that can store either remote parts of the distributed seed index
+//! (*seed index cache*) or target sequences owned by remote nodes (*target
+//! cache*)." Both caches here are direct-mapped with a byte budget — memory
+//! is traded for data reuse exactly as in the paper (16 GB/node seed cache
+//! and 6 GB/node target cache in the Fig 9 experiments; scaled budgets
+//! here).
+//!
+//! The caches are shared by all ranks of a node (they live per *node*, not
+//! per rank) and are filled concurrently during the aligning phase, so slots
+//! are `RwLock`-protected; lock cost is part of the modelled
+//! `cache_probe_ns`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pgas::GlobalRef;
+use seq::{bucket_hash, Kmer, PackedSeq};
+
+use crate::entry::TargetHit;
+
+/// Cache budgets for one node.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Bytes per node for the seed-index cache.
+    pub seed_budget_bytes: usize,
+    /// Bytes per node for the target cache.
+    pub target_budget_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // Scaled-down defaults (the paper used 16 GB + 6 GB per node).
+        CacheConfig {
+            seed_budget_bytes: 8 << 20,
+            target_budget_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Estimated bytes of one seed-cache entry (kmer + typical short hit list +
+/// slot overhead); sizes the direct-mapped slot array.
+const SEED_ENTRY_EST_BYTES: usize = 80;
+
+struct SeedCacheEntry {
+    kmer: Kmer,
+    /// Full hit list as fetched from the owner; empty = the seed is known
+    /// to be absent (negative caching — a cached region of the remote index
+    /// answers absent lookups too).
+    hits: Box<[TargetHit]>,
+}
+
+/// Direct-mapped cache over remote parts of the distributed seed index.
+pub struct SeedCache {
+    slots: Box<[RwLock<Option<SeedCacheEntry>>]>,
+}
+
+impl SeedCache {
+    /// A cache with ~`budget_bytes` capacity.
+    pub fn new(budget_bytes: usize) -> Self {
+        let n = (budget_bytes / SEED_ENTRY_EST_BYTES).max(1);
+        let slots = (0..n).map(|_| RwLock::new(None)).collect::<Vec<_>>();
+        SeedCache {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, kmer: Kmer) -> usize {
+        (bucket_hash(kmer) % self.slots.len() as u64) as usize
+    }
+
+    /// Probe for a seed. `None` = not cached; `Some(found)` = cached, with
+    /// hits appended to `out` (`found == false` means cached-absent).
+    pub fn probe(&self, kmer: Kmer, out: &mut Vec<TargetHit>) -> Option<bool> {
+        let slot = self.slots[self.slot_of(kmer)].read();
+        match slot.as_ref() {
+            Some(e) if e.kmer == kmer => {
+                out.extend_from_slice(&e.hits);
+                Some(!e.hits.is_empty())
+            }
+            _ => None,
+        }
+    }
+
+    /// Install (or replace) the entry for a seed.
+    pub fn fill(&self, kmer: Kmer, hits: &[TargetHit]) {
+        let mut slot = self.slots[self.slot_of(kmer)].write();
+        *slot = Some(SeedCacheEntry {
+            kmer,
+            hits: hits.into(),
+        });
+    }
+}
+
+/// Direct-mapped, byte-budgeted cache of remote target sequences.
+pub struct TargetCache {
+    slots: Box<[RwLock<Option<(GlobalRef, Arc<PackedSeq>)>>]>,
+    used_bytes: AtomicUsize,
+    budget_bytes: usize,
+}
+
+/// Average contig size estimate used only to size the slot array.
+const TARGET_ENTRY_EST_BYTES: usize = 2048;
+
+impl TargetCache {
+    /// A cache with ~`budget_bytes` capacity.
+    pub fn new(budget_bytes: usize) -> Self {
+        let n = (budget_bytes / TARGET_ENTRY_EST_BYTES).max(1);
+        let slots = (0..n).map(|_| RwLock::new(None)).collect::<Vec<_>>();
+        TargetCache {
+            slots: slots.into_boxed_slice(),
+            used_bytes: AtomicUsize::new(0),
+            budget_bytes,
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn slot_of(&self, gref: GlobalRef) -> usize {
+        let key = (u64::from(gref.rank) << 32) | u64::from(gref.idx);
+        let mut z = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (z % self.slots.len() as u64) as usize
+    }
+
+    /// Probe for a target sequence.
+    pub fn probe(&self, gref: GlobalRef) -> Option<Arc<PackedSeq>> {
+        let slot = self.slots[self.slot_of(gref)].read();
+        match slot.as_ref() {
+            Some((key, seq)) if *key == gref => Some(Arc::clone(seq)),
+            _ => None,
+        }
+    }
+
+    /// Install a target, replacing the slot's occupant; skipped when the
+    /// byte budget would be exceeded and nothing is evicted in exchange.
+    pub fn fill(&self, gref: GlobalRef, seq: Arc<PackedSeq>) {
+        let new_bytes = seq.packed_bytes();
+        let mut slot = self.slots[self.slot_of(gref)].write();
+        let old_bytes = slot.as_ref().map_or(0, |(_, s)| s.packed_bytes());
+        let used = self.used_bytes.load(Ordering::Relaxed);
+        if used + new_bytes > self.budget_bytes + old_bytes {
+            return; // over budget; keep the current occupant
+        }
+        *slot = Some((gref, seq));
+        // Relaxed accounting: approximate, monotonic per slot transition.
+        if new_bytes >= old_bytes {
+            self.used_bytes.fetch_add(new_bytes - old_bytes, Ordering::Relaxed);
+        } else {
+            self.used_bytes.fetch_sub(old_bytes - new_bytes, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The two caches of one node.
+pub struct NodeCaches {
+    /// Seed-index cache.
+    pub seed: SeedCache,
+    /// Target cache.
+    pub target: TargetCache,
+}
+
+/// All nodes' caches, indexed by node id.
+pub struct CacheSet {
+    nodes: Vec<NodeCaches>,
+}
+
+impl CacheSet {
+    /// One cache pair per node.
+    pub fn new(nodes: usize, cfg: &CacheConfig) -> Self {
+        CacheSet {
+            nodes: (0..nodes)
+                .map(|_| NodeCaches {
+                    seed: SeedCache::new(cfg.seed_budget_bytes),
+                    target: TargetCache::new(cfg.target_budget_bytes),
+                })
+                .collect(),
+        }
+    }
+
+    /// The caches of `node`.
+    pub fn node(&self, node: usize) -> &NodeCaches {
+        &self.nodes[node]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km(s: &[u8]) -> Kmer {
+        Kmer::from_ascii(s).unwrap()
+    }
+
+    fn hit(rank: usize, idx: usize, off: u32) -> TargetHit {
+        TargetHit {
+            target: GlobalRef::new(rank, idx),
+            offset: off,
+        }
+    }
+
+    #[test]
+    fn seed_cache_miss_then_hit() {
+        let c = SeedCache::new(1 << 16);
+        let mut out = Vec::new();
+        assert_eq!(c.probe(km(b"ACGTA"), &mut out), None);
+        c.fill(km(b"ACGTA"), &[hit(1, 2, 3)]);
+        assert_eq!(c.probe(km(b"ACGTA"), &mut out), Some(true));
+        assert_eq!(out, vec![hit(1, 2, 3)]);
+    }
+
+    #[test]
+    fn seed_cache_negative_entries() {
+        let c = SeedCache::new(1 << 16);
+        c.fill(km(b"TTTTT"), &[]);
+        let mut out = Vec::new();
+        assert_eq!(c.probe(km(b"TTTTT"), &mut out), Some(false));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn seed_cache_direct_mapped_replacement() {
+        // A 1-slot cache: the second fill evicts the first.
+        let c = SeedCache::new(1);
+        assert_eq!(c.slots(), 1);
+        let mut out = Vec::new();
+        c.fill(km(b"AAAAA"), &[hit(0, 0, 0)]);
+        c.fill(km(b"CCCCC"), &[hit(0, 1, 0)]);
+        assert_eq!(c.probe(km(b"AAAAA"), &mut out), None);
+        assert_eq!(c.probe(km(b"CCCCC"), &mut out), Some(true));
+    }
+
+    #[test]
+    fn target_cache_roundtrip_and_budget() {
+        let c = TargetCache::new(4096);
+        let gref = GlobalRef::new(2, 7);
+        assert!(c.probe(gref).is_none());
+        let seqs: Vec<u8> = (0..800).map(|i| b"ACGT"[i % 4]).collect();
+        let seq = Arc::new(PackedSeq::from_ascii(&seqs));
+        c.fill(gref, Arc::clone(&seq));
+        let got = c.probe(gref).expect("cached");
+        assert_eq!(got.len(), 800);
+        assert!(c.used_bytes() > 0);
+    }
+
+    #[test]
+    fn target_cache_respects_budget() {
+        // Budget fits one 800-base sequence (200 payload bytes) but the
+        // fifth insert into distinct slots would exceed it.
+        let c = TargetCache::new(512);
+        let seqs: Vec<u8> = (0..800).map(|i| b"ACGT"[i % 4]).collect();
+        let seq = Arc::new(PackedSeq::from_ascii(&seqs));
+        for i in 0..40 {
+            c.fill(GlobalRef::new(0, i), Arc::clone(&seq));
+        }
+        assert!(
+            c.used_bytes() <= 512 + seq.packed_bytes(),
+            "budget must bound usage: {}",
+            c.used_bytes()
+        );
+    }
+
+    #[test]
+    fn cache_set_indexes_nodes() {
+        let set = CacheSet::new(3, &CacheConfig::default());
+        assert_eq!(set.len(), 3);
+        let mut out = Vec::new();
+        set.node(1).seed.fill(km(b"ACGTA"), &[hit(0, 0, 0)]);
+        assert_eq!(set.node(1).seed.probe(km(b"ACGTA"), &mut out), Some(true));
+        out.clear();
+        assert_eq!(set.node(0).seed.probe(km(b"ACGTA"), &mut out), None);
+    }
+
+    #[test]
+    fn concurrent_fills_are_safe() {
+        let c = Arc::new(SeedCache::new(1 << 12));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let mut kmer = Kmer::ZERO;
+                    for b in 0..8 {
+                        kmer = kmer.roll(((i + b + u32::from(t)) % 4) as u8, 8);
+                    }
+                    c.fill(kmer, &[hit(t as usize, i as usize, i)]);
+                    let mut out = Vec::new();
+                    let _ = c.probe(kmer, &mut out);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # dht — the distributed seed index
+//!
+//! The paper's central data structure (§II-B, §III): a global hash table
+//! mapping every length-k seed of the target sequences to the targets (and
+//! offsets) it was extracted from, distributed across ranks by the djb2
+//! seed→processor map, with:
+//!
+//! * [`build`] — both construction algorithms of §III-A: the optimized
+//!   **aggregating stores** path (per-destination buffers of size `S`, one
+//!   `atomic_fetchadd` + one aggregate transfer per full buffer, lock-free
+//!   drain into local buckets) and the **naive** fine-grained path it is
+//!   compared against in Fig 8 (one remote lock + one small message per
+//!   seed).
+//! * [`cache`] — the per-*node* software caches of §III-B: a direct-mapped
+//!   seed-index cache and a byte-budgeted target cache.
+//! * [`lookup`] — the charged lookup path used by the aligning phase,
+//!   implementing the paper's locality hierarchy: own partition → same-node
+//!   partition → node cache → remote fetch (+ cache fill).
+//!
+//! Both construction algorithms produce bit-identical indexes; tests enforce
+//! this.
+
+pub mod build;
+pub mod cache;
+pub mod entry;
+pub mod lookup;
+pub mod partition;
+
+pub use build::{build_seed_index, BuildAlgorithm, BuildConfig};
+pub use cache::{CacheConfig, CacheSet, NodeCaches, SeedCache, TargetCache};
+pub use entry::{seed_owner, seed_wire_bytes, SeedEntry, TargetHit};
+pub use lookup::{fetch_target, LookupEnv};
+pub use partition::{Partition, SeedIndex};

@@ -1,0 +1,358 @@
+//! The charged lookup path of the aligning phase.
+//!
+//! Locality hierarchy for a seed lookup (and likewise for a target fetch):
+//!
+//! 1. **Own partition** — free of communication (local shared memory).
+//! 2. **Same-node partition** — direct shared-memory access at on-node cost;
+//!    the caches only hold *remote* data, as in the paper.
+//! 3. **Node cache** — a hit avoids the network entirely (Fig 9's savings).
+//! 4. **Remote get** — α + β·bytes off-node, then fill the node cache.
+
+use std::sync::Arc;
+
+use pgas::{CommTag, GlobalRef, RankCtx, SharedArray};
+use seq::{Kmer, PackedSeq};
+
+use crate::cache::CacheSet;
+use crate::entry::TargetHit;
+use crate::partition::SeedIndex;
+
+/// Fixed per-response header bytes for a seed lookup.
+const LOOKUP_RESP_HEADER: u64 = 4;
+
+/// A bound lookup environment: index + optional caches + sensitivity cap.
+pub struct LookupEnv<'a> {
+    /// The distributed seed index.
+    pub index: &'a SeedIndex,
+    /// Per-node software caches (`None` disables caching, the Fig 9
+    /// ablation).
+    pub caches: Option<&'a CacheSet>,
+    /// The paper's §IV-C threshold: maximum candidate alignments returned
+    /// per seed (`0` = unlimited). "This threshold determines the
+    /// sensitivity of our aligner."
+    pub max_hits: usize,
+}
+
+impl LookupEnv<'_> {
+    /// Look up `kmer`, appending at most `max_hits` hits to `out`.
+    /// Returns whether the seed exists in the index. All communication and
+    /// computation is charged to `ctx`.
+    pub fn lookup(&self, ctx: &mut RankCtx, kmer: Kmer, out: &mut Vec<TargetHit>) -> bool {
+        out.clear();
+        ctx.charge_lookup_probe(1);
+        let owner = self.index.owner_of(kmer);
+
+        // 1. Own partition: pure local work.
+        if owner == ctx.rank {
+            let found = self.read_owner(kmer, owner, out);
+            self.truncate(out);
+            return found;
+        }
+
+        // 2. Same node: direct shared-memory read, on-node message cost.
+        if ctx.same_node(owner) {
+            let found = self.read_owner(kmer, owner, out);
+            let bytes = LOOKUP_RESP_HEADER + out.len() as u64 * TargetHit::WIRE_BYTES;
+            ctx.charge_message(owner, bytes, CommTag::SeedLookup);
+            self.truncate(out);
+            return found;
+        }
+
+        // 3. Node cache.
+        if let Some(caches) = self.caches {
+            let nc = caches.node(ctx.node());
+            ctx.charge_cache_probe(1);
+            if let Some(found) = nc.seed.probe(kmer, out) {
+                ctx.note_seed_cache(true);
+                self.truncate(out);
+                return found;
+            }
+            ctx.note_seed_cache(false);
+        }
+
+        // 4. Remote one-sided get + cache fill.
+        let found = self.read_owner(kmer, owner, out);
+        let bytes = LOOKUP_RESP_HEADER + out.len() as u64 * TargetHit::WIRE_BYTES;
+        ctx.charge_message(owner, bytes, CommTag::SeedLookup);
+        if let Some(caches) = self.caches {
+            caches.node(ctx.node()).seed.fill(kmer, out);
+        }
+        self.truncate(out);
+        found
+    }
+
+    fn read_owner(&self, kmer: Kmer, owner: usize, out: &mut Vec<TargetHit>) -> bool {
+        match self.index.partition(owner).get(kmer) {
+            Some(hits) => {
+                out.extend_from_slice(hits);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn truncate(&self, out: &mut Vec<TargetHit>) {
+        if self.max_hits > 0 && out.len() > self.max_hits {
+            out.truncate(self.max_hits);
+        }
+    }
+}
+
+/// Fetch a target sequence through the same locality hierarchy: local part →
+/// same-node part → node target cache → remote get (+ cache fill).
+pub fn fetch_target(
+    ctx: &mut RankCtx,
+    targets: &SharedArray<Arc<PackedSeq>>,
+    gref: GlobalRef,
+    caches: Option<&CacheSet>,
+) -> Arc<PackedSeq> {
+    let owner = gref.rank as usize;
+    if owner == ctx.rank {
+        return Arc::clone(targets.get(gref));
+    }
+    if ctx.same_node(owner) {
+        let seq = targets.get(gref);
+        ctx.charge_message(owner, seq.packed_bytes() as u64, CommTag::TargetFetch);
+        return Arc::clone(seq);
+    }
+    if let Some(caches) = caches {
+        let nc = caches.node(ctx.node());
+        ctx.charge_cache_probe(1);
+        if let Some(seq) = nc.target.probe(gref) {
+            ctx.note_target_cache(true);
+            return seq;
+        }
+        ctx.note_target_cache(false);
+    }
+    let seq = targets.get(gref);
+    ctx.charge_message(owner, seq.packed_bytes() as u64, CommTag::TargetFetch);
+    let seq = Arc::clone(seq);
+    if let Some(caches) = caches {
+        caches.node(ctx.node()).target.fill(gref, Arc::clone(&seq));
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_seed_index, BuildConfig};
+    use crate::cache::CacheConfig;
+    use crate::entry::SeedEntry;
+    use pgas::{Machine, MachineConfig};
+    use seq::KmerIter;
+
+    const K: usize = 7;
+
+    /// 4 ranks, 2 per node; each rank owns one 40-base target.
+    fn setup() -> (Machine, SeedIndex, SharedArray<Arc<PackedSeq>>) {
+        let mut state = 99u64;
+        let mut parts = Vec::new();
+        for _ in 0..4 {
+            let mut s = Vec::new();
+            for _ in 0..40 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s.push(b"ACGT"[((state >> 33) & 3) as usize]);
+            }
+            parts.push(vec![Arc::new(PackedSeq::from_ascii(&s))]);
+        }
+        let targets = SharedArray::from_parts(parts);
+        let mut machine = Machine::new(MachineConfig::new(4, 2));
+        let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
+            let t = Arc::clone(&targets.part(r)[0]);
+            KmerIter::new(&t, K)
+                .map(move |(off, km)| SeedEntry {
+                    kmer: km,
+                    target: GlobalRef::new(r, 0),
+                    offset: off,
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        });
+        (machine, idx, targets)
+    }
+
+    #[test]
+    fn lookup_finds_every_indexed_seed() {
+        let (mut machine, idx, targets) = setup();
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        let found_counts = machine.phase("align", |ctx| {
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            let mut out = Vec::new();
+            let mut found = 0usize;
+            // Every rank looks up every seed of every target.
+            for r in 0..4 {
+                let t = &targets.part(r)[0];
+                for (_off, km) in KmerIter::new(t, K) {
+                    if env.lookup(ctx, km, &mut out) {
+                        found += 1;
+                    }
+                }
+            }
+            found
+        });
+        let per_rank_seeds = 4 * (40 - K + 1);
+        for f in found_counts {
+            assert_eq!(f, per_rank_seeds);
+        }
+    }
+
+    #[test]
+    fn cache_converts_remote_lookups_into_hits() {
+        let (mut machine, idx, targets) = setup();
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("warm", |ctx| {
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            let mut out = Vec::new();
+            for r in 0..4 {
+                let t = &targets.part(r)[0];
+                for (_off, km) in KmerIter::new(t, K) {
+                    env.lookup(ctx, km, &mut out);
+                    env.lookup(ctx, km, &mut out); // immediate reuse
+                }
+            }
+        });
+        let agg = machine.phase_named("warm").unwrap().aggregate();
+        assert!(agg.seed_cache_hits > 0, "repeat lookups must hit the cache");
+        // With an ample cache, at least half the off-node probes are hits
+        // (every second probe repeats the first).
+        assert!(agg.seed_cache_hits >= agg.seed_cache_misses);
+    }
+
+    #[test]
+    fn no_cache_means_every_offnode_lookup_pays() {
+        let (mut machine, idx, targets) = setup();
+        machine.phase("nocache", |ctx| {
+            let env = LookupEnv {
+                index: &idx,
+                caches: None,
+                max_hits: 0,
+            };
+            let mut out = Vec::new();
+            let t = &targets.part(0)[0];
+            for (_off, km) in KmerIter::new(t, K) {
+                env.lookup(ctx, km, &mut out);
+                env.lookup(ctx, km, &mut out);
+            }
+        });
+        let agg = machine.phase_named("nocache").unwrap().aggregate();
+        assert_eq!(agg.seed_cache_hits, 0);
+        assert!(agg.msgs_remote > 0);
+        // Cached run must move strictly fewer remote messages.
+        let (mut m2, idx2, targets2) = {
+            let x = setup();
+            (x.0, x.1, x.2)
+        };
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        m2.phase("cache", |ctx| {
+            let env = LookupEnv {
+                index: &idx2,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            let mut out = Vec::new();
+            let t = &targets2.part(0)[0];
+            for (_off, km) in KmerIter::new(t, K) {
+                env.lookup(ctx, km, &mut out);
+                env.lookup(ctx, km, &mut out);
+            }
+        });
+        let agg2 = m2.phase_named("cache").unwrap().aggregate();
+        assert!(
+            agg2.msgs_remote < agg.msgs_remote,
+            "cache must cut remote messages: {} vs {}",
+            agg2.msgs_remote,
+            agg.msgs_remote
+        );
+    }
+
+    #[test]
+    fn max_hits_caps_results() {
+        // Index where one seed maps to many targets.
+        let mut machine = Machine::new(MachineConfig::new(2, 2));
+        let km = Kmer::from_ascii(b"ACGTACG").unwrap();
+        let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
+            (0..10u32)
+                .map(move |i| SeedEntry {
+                    kmer: km,
+                    target: GlobalRef::new(r, i as usize),
+                    offset: i,
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        });
+        machine.phase("capped", |ctx| {
+            let env = LookupEnv {
+                index: &idx,
+                caches: None,
+                max_hits: 3,
+            };
+            let mut out = Vec::new();
+            assert!(env.lookup(ctx, km, &mut out));
+            assert_eq!(out.len(), 3);
+            let env_uncapped = LookupEnv {
+                index: &idx,
+                caches: None,
+                max_hits: 0,
+            };
+            assert!(env_uncapped.lookup(ctx, km, &mut out));
+            assert_eq!(out.len(), 20);
+        });
+    }
+
+    #[test]
+    fn fetch_target_uses_cache() {
+        let (mut machine, _idx, targets) = setup();
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("fetch", |ctx| {
+            // Rank on node 0 fetching rank 3's target (node 1): miss then hit.
+            if ctx.rank == 0 {
+                let gref = GlobalRef::new(3, 0);
+                let a = fetch_target(ctx, &targets, gref, Some(&caches));
+                let b = fetch_target(ctx, &targets, gref, Some(&caches));
+                assert_eq!(a.to_ascii(), b.to_ascii());
+                assert_eq!(ctx.stats().target_cache_hits, 1);
+                assert_eq!(ctx.stats().target_cache_misses, 1);
+                assert_eq!(ctx.stats().msgs_remote, 1);
+                // Local fetch is free.
+                let c = fetch_target(ctx, &targets, GlobalRef::new(0, 0), Some(&caches));
+                assert_eq!(c.len(), 40);
+                assert_eq!(ctx.stats().msgs_remote, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn absent_seed_is_negative_cached() {
+        let (mut machine, idx, _targets) = setup();
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("absent", |ctx| {
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            // A seed that cannot exist (would need 7 N's — never extracted).
+            let bogus = Kmer::from_ascii(b"AAAAAAA").unwrap();
+            let owner = idx.owner_of(bogus);
+            if !ctx.same_node(owner) {
+                let mut out = Vec::new();
+                let found1 = env.lookup(ctx, bogus, &mut out);
+                let hits_before = ctx.stats().seed_cache_hits;
+                let found2 = env.lookup(ctx, bogus, &mut out);
+                assert_eq!(found1, found2);
+                assert!(ctx.stats().seed_cache_hits > hits_before || found1);
+            }
+        });
+    }
+}

@@ -1,0 +1,314 @@
+//! Partitions (the per-rank "local buckets") and the assembled seed index.
+//!
+//! After construction the index is immutable and read by any rank through
+//! [`crate::lookup`]; during the drain pass each rank fills **only its own**
+//! partition, which is what makes the optimized construction lock-free
+//! (§III-A: "each processor iterates over its local-shared stack and stores
+//! the received seeds in the appropriate local buckets ... there is no need
+//! for locks").
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use seq::{bucket_hash, Kmer};
+
+use crate::entry::{seed_owner, SeedEntry, TargetHit};
+
+/// Hits stored for one distinct seed: almost all seeds occur once or twice,
+/// so the single-hit case is inline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Hits {
+    One(TargetHit),
+    Many(Vec<TargetHit>),
+}
+
+/// Value slot for one distinct seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct SeedSlot {
+    hits: Hits,
+}
+
+impl SeedSlot {
+    fn new(hit: TargetHit) -> Self {
+        SeedSlot {
+            hits: Hits::One(hit),
+        }
+    }
+
+    fn push(&mut self, hit: TargetHit) {
+        match &mut self.hits {
+            Hits::One(first) => {
+                self.hits = Hits::Many(vec![*first, hit]);
+            }
+            Hits::Many(v) => v.push(hit),
+        }
+    }
+
+    /// All hits as a slice.
+    pub(crate) fn as_slice(&self) -> &[TargetHit] {
+        match &self.hits {
+            Hits::One(h) => std::slice::from_ref(h),
+            Hits::Many(v) => v,
+        }
+    }
+
+    /// Occurrence count of the seed across all targets — the quantity the
+    /// exact-match preprocessing reads ("it counts the number of occurrences
+    /// of each seed — a cheap and local operation", §IV-A).
+    pub(crate) fn count(&self) -> u32 {
+        self.as_slice().len() as u32
+    }
+}
+
+/// Pass the already-mixed `bucket_hash` value straight through to the
+/// `HashMap` — hashing a `Kmer` twice would be wasted work.
+#[derive(Default)]
+pub struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PassThroughHasher only accepts u64 writes");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type SeedMap = HashMap<u64, (Kmer, SeedSlot), BuildHasherDefault<PassThroughHasher>>;
+
+/// One rank's local buckets.
+///
+/// Keyed by the 64-bit `bucket_hash` of the seed with the full seed stored
+/// for verification (the probability of a 64-bit collision within one
+/// partition is negligible, but correctness never depends on it: the stored
+/// kmer is always compared).
+#[derive(Default)]
+pub struct Partition {
+    map: SeedMap,
+    /// Total entries inserted (not distinct seeds).
+    entries: u64,
+}
+
+impl Partition {
+    /// An empty partition with room for `cap` distinct seeds.
+    pub fn with_capacity(cap: usize) -> Self {
+        Partition {
+            map: SeedMap::with_capacity_and_hasher(cap, Default::default()),
+            entries: 0,
+        }
+    }
+
+    /// Insert one seed occurrence.
+    pub fn insert(&mut self, entry: SeedEntry) {
+        let h = bucket_hash(entry.kmer);
+        let hit = TargetHit {
+            target: entry.target,
+            offset: entry.offset,
+        };
+        self.entries += 1;
+        match self.map.entry(h) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let (stored, slot) = o.get_mut();
+                debug_assert_eq!(*stored, entry.kmer, "64-bit bucket hash collision");
+                slot.push(hit);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((entry.kmer, SeedSlot::new(hit)));
+            }
+        }
+    }
+
+    /// Hits for a seed, if present (with key verification).
+    pub fn get(&self, kmer: Kmer) -> Option<&[TargetHit]> {
+        let h = bucket_hash(kmer);
+        match self.map.get(&h) {
+            Some((stored, slot)) if *stored == kmer => Some(slot.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Occurrence count of a seed (0 if absent).
+    pub fn seed_count(&self, kmer: Kmer) -> u32 {
+        let h = bucket_hash(kmer);
+        match self.map.get(&h) {
+            Some((stored, slot)) if *stored == kmer => slot.count(),
+            _ => 0,
+        }
+    }
+
+    /// Number of distinct seeds in this partition.
+    pub fn distinct_seeds(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total seed occurrences inserted.
+    pub fn total_entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Iterate `(kmer, hits)` over all distinct seeds (drain-order
+    /// unspecified). Used by the exact-match preprocessing to visit local
+    /// seeds and flag targets with repeated seeds.
+    pub fn iter(&self) -> impl Iterator<Item = (Kmer, &[TargetHit])> {
+        self.map.values().map(|(k, slot)| (*k, slot.as_slice()))
+    }
+
+    /// Canonicalize the partition: sort each seed's hit list by
+    /// (target, offset). Makes the index content independent of the
+    /// arrival order of entries, so the aggregating and naive
+    /// constructions produce bit-identical tables.
+    pub fn finalize(&mut self) {
+        for (_, slot) in self.map.values_mut() {
+            if let Hits::Many(v) = &mut slot.hits {
+                v.sort_unstable_by_key(|h| (h.target, h.offset));
+            }
+        }
+    }
+}
+
+/// The assembled distributed seed index: one [`Partition`] per rank,
+/// read-only after construction.
+pub struct SeedIndex {
+    k: usize,
+    parts: Vec<Partition>,
+}
+
+impl SeedIndex {
+    /// Assemble from per-rank partitions.
+    pub(crate) fn new(k: usize, parts: Vec<Partition>) -> Self {
+        SeedIndex { k, parts }
+    }
+
+    /// Seed length the index was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of ranks / partitions.
+    pub fn ranks(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The rank owning a seed (djb2 map).
+    #[inline]
+    pub fn owner_of(&self, kmer: Kmer) -> usize {
+        seed_owner(kmer, self.k, self.parts.len())
+    }
+
+    /// Direct access to a partition.
+    pub fn partition(&self, rank: usize) -> &Partition {
+        &self.parts[rank]
+    }
+
+    /// Uncharged global lookup (for tests and sequential tools): routes to
+    /// the owner partition directly.
+    pub fn get(&self, kmer: Kmer) -> Option<&[TargetHit]> {
+        self.parts[self.owner_of(kmer)].get(kmer)
+    }
+
+    /// Occurrence count of a seed anywhere in the index.
+    pub fn seed_count(&self, kmer: Kmer) -> u32 {
+        self.parts[self.owner_of(kmer)].seed_count(kmer)
+    }
+
+    /// Total distinct seeds.
+    pub fn distinct_seeds(&self) -> usize {
+        self.parts.iter().map(Partition::distinct_seeds).sum()
+    }
+
+    /// Total seed occurrences.
+    pub fn total_entries(&self) -> u64 {
+        self.parts.iter().map(Partition::total_entries).sum()
+    }
+
+    /// Load-balance report: (min, max, mean) distinct seeds per partition —
+    /// the paper reports "almost perfect load balance in terms of the number
+    /// of distinct seeds assigned to each processor".
+    pub fn partition_balance(&self) -> (usize, usize, f64) {
+        let sizes: Vec<usize> = self.parts.iter().map(Partition::distinct_seeds).collect();
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+        (min, max, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgas::GlobalRef;
+
+    fn entry(seed: &[u8], rank: usize, idx: usize, off: u32) -> SeedEntry {
+        SeedEntry {
+            kmer: Kmer::from_ascii(seed).unwrap(),
+            target: GlobalRef::new(rank, idx),
+            offset: off,
+        }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Partition::default();
+        p.insert(entry(b"ACGTA", 0, 0, 7));
+        let km = Kmer::from_ascii(b"ACGTA").unwrap();
+        let hits = p.get(km).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].offset, 7);
+        assert_eq!(p.seed_count(km), 1);
+        assert_eq!(p.get(Kmer::from_ascii(b"ACGTT").unwrap()), None);
+    }
+
+    #[test]
+    fn multi_target_seed_accumulates() {
+        let mut p = Partition::default();
+        p.insert(entry(b"GGCCA", 0, 0, 1));
+        p.insert(entry(b"GGCCA", 1, 3, 9));
+        p.insert(entry(b"GGCCA", 2, 5, 0));
+        let km = Kmer::from_ascii(b"GGCCA").unwrap();
+        let hits = p.get(km).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(p.seed_count(km), 3);
+        assert_eq!(p.distinct_seeds(), 1);
+        assert_eq!(p.total_entries(), 3);
+    }
+
+    #[test]
+    fn index_routes_to_owner() {
+        let k = 5;
+        let p = 8;
+        let mut parts: Vec<Partition> = (0..p).map(|_| Partition::default()).collect();
+        let seeds: Vec<&[u8]> = vec![b"ACGTA", b"TTTTT", b"GGCCA", b"ACGTT", b"CCCCC"];
+        for (i, s) in seeds.iter().enumerate() {
+            let e = entry(s, 0, i, i as u32);
+            let owner = seed_owner(e.kmer, k, p);
+            parts[owner].insert(e);
+        }
+        let idx = SeedIndex::new(k, parts);
+        for s in &seeds {
+            let km = Kmer::from_ascii(s).unwrap();
+            assert!(idx.get(km).is_some(), "seed {s:?} must be found");
+            assert_eq!(idx.seed_count(km), 1);
+        }
+        assert_eq!(idx.distinct_seeds(), seeds.len());
+        assert_eq!(idx.total_entries(), seeds.len() as u64);
+        assert!(idx.get(Kmer::from_ascii(b"AAAAC").unwrap()).is_none());
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut p = Partition::default();
+        p.insert(entry(b"ACGTA", 0, 0, 0));
+        p.insert(entry(b"TTTTT", 0, 1, 1));
+        p.insert(entry(b"TTTTT", 0, 2, 2));
+        let mut total = 0;
+        for (_k, hits) in p.iter() {
+            total += hits.len();
+        }
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Model-based property tests: the distributed seed index must behave
+//! exactly like a plain `HashMap<kmer, Vec<(target, offset)>>` regardless
+//! of construction algorithm, buffer size, or machine shape.
+
+use std::collections::HashMap;
+
+use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry, TargetHit};
+use pgas::{GlobalRef, Machine, MachineConfig};
+use proptest::prelude::*;
+use seq::Kmer;
+
+const K: usize = 9;
+
+/// Generate an arbitrary multiset of seed entries spread over `p` ranks.
+fn entries_strategy(p: usize) -> impl Strategy<Value = Vec<Vec<SeedEntry>>> {
+    let entry = (0u32..200, 0usize..p, 0u32..4, 0u32..500).prop_map(
+        move |(kmer_id, rank, idx, offset)| {
+            // Derive a valid k-mer from the id deterministically.
+            let mut km = Kmer::ZERO;
+            let mut v = u128::from(kmer_id) * 2_654_435_761;
+            for _ in 0..K {
+                km = km.roll((v & 3) as u8, K);
+                v >>= 2;
+            }
+            SeedEntry {
+                kmer: km,
+                target: GlobalRef::new(rank, idx as usize),
+                offset,
+            }
+        },
+    );
+    proptest::collection::vec(proptest::collection::vec(entry, 0..60), p..=p)
+}
+
+fn reference_model(per_rank: &[Vec<SeedEntry>]) -> HashMap<u128, Vec<TargetHit>> {
+    let mut model: HashMap<u128, Vec<TargetHit>> = HashMap::new();
+    for rank in per_rank {
+        for e in rank {
+            model.entry(e.kmer.bits()).or_default().push(TargetHit {
+                target: e.target,
+                offset: e.offset,
+            });
+        }
+    }
+    for hits in model.values_mut() {
+        hits.sort_unstable_by_key(|h| (h.target, h.offset));
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn index_matches_hashmap_model(
+        per_rank in entries_strategy(6),
+        aggregating in proptest::bool::ANY,
+        buffer_size in 1usize..16,
+    ) {
+        let mut machine = Machine::new(MachineConfig::new(6, 3));
+        let cfg = BuildConfig {
+            k: K,
+            algorithm: if aggregating {
+                BuildAlgorithm::AggregatingStores
+            } else {
+                BuildAlgorithm::NaiveFineGrained
+            },
+            buffer_size,
+        };
+        let idx = build_seed_index(&mut machine, &cfg, |r| per_rank[r].clone().into_iter());
+        let model = reference_model(&per_rank);
+
+        prop_assert_eq!(idx.distinct_seeds(), model.len());
+        let total: usize = model.values().map(Vec::len).sum();
+        prop_assert_eq!(idx.total_entries() as usize, total);
+
+        for (bits, hits) in &model {
+            let km = Kmer::from_bits(*bits);
+            let got = idx.get(km).expect("model seed must exist");
+            prop_assert_eq!(got, hits.as_slice());
+            prop_assert_eq!(idx.seed_count(km) as usize, hits.len());
+        }
+    }
+
+    #[test]
+    fn machine_shape_never_changes_content(
+        per_rank in entries_strategy(4),
+        ppn in 1usize..5,
+    ) {
+        // The same entries distributed over the same 4 ranks must produce
+        // the same logical content regardless of node shape.
+        let build = |ppn: usize| {
+            let mut machine = Machine::new(MachineConfig::new(4, ppn));
+            build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
+                per_rank[r].clone().into_iter()
+            })
+        };
+        let a = build(ppn);
+        let b = build(4);
+        prop_assert_eq!(a.distinct_seeds(), b.distinct_seeds());
+        prop_assert_eq!(a.total_entries(), b.total_entries());
+        for rank in 0..4 {
+            for (km, hits) in a.partition(rank).iter() {
+                prop_assert_eq!(Some(hits), b.get(km));
+            }
+        }
+    }
+}

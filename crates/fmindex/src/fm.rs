@@ -1,0 +1,304 @@
+//! BWT + FM-index with occurrence checkpoints and sampled SA.
+//!
+//! The classic backward-search machinery of BWA/Bowtie2: `O(|pattern|)` LF
+//! steps narrow an SA interval; `locate` walks LF until a sampled SA entry.
+//! Operation counts (search steps, LF walks) are returned to the caller so
+//! baseline mapping time can be modelled deterministically.
+
+use crate::sais::suffix_array;
+
+/// Occ checkpoint spacing (positions).
+const CHECK: usize = 128;
+/// SA sampling rate (every text position divisible by this is sampled).
+const SA_RATE: usize = 32;
+/// Alphabet: 0 = sentinel, 1..=4 = A,C,G,T (input codes shifted by +1).
+const SIGMA: usize = 5;
+
+/// An FM-index over a 2-bit DNA text (codes `0..4`).
+pub struct FmIndex {
+    bwt: Vec<u8>,
+    /// `c_less[c]` = number of symbols strictly smaller than `c` in the text
+    /// (sentinel included).
+    c_less: [u32; SIGMA],
+    /// Occ counts at every `CHECK` positions.
+    checkpoints: Vec<[u32; SIGMA]>,
+    /// Sampled SA values, indexed by rank among sampled positions.
+    sa_samples: Vec<u32>,
+    /// Bit `i` set ⇔ SA[i] is sampled.
+    sampled_bits: Vec<u64>,
+    /// Popcount prefix sums of `sampled_bits` per word.
+    sampled_rank: Vec<u32>,
+    /// Text length including the sentinel.
+    n: usize,
+}
+
+impl FmIndex {
+    /// Build from text codes (`0..4` = ACGT). The sentinel is appended
+    /// internally. Serial, as in the baseline tools.
+    pub fn build(text: &[u8]) -> FmIndex {
+        let n = text.len() + 1;
+        // Full SA: sentinel suffix first, then the text suffix order.
+        let sa_text = suffix_array(text);
+        let mut sa_full = Vec::with_capacity(n);
+        sa_full.push(text.len() as u32);
+        sa_full.extend_from_slice(&sa_text);
+
+        // BWT over shifted codes (0 = sentinel).
+        let mut bwt = Vec::with_capacity(n);
+        for &p in &sa_full {
+            if p == 0 {
+                bwt.push(0u8); // char before suffix 0 is the sentinel
+            } else {
+                bwt.push(text[p as usize - 1] + 1);
+            }
+        }
+
+        // C array.
+        let mut freq = [0u32; SIGMA];
+        freq[0] = 1;
+        for &c in text {
+            freq[c as usize + 1] += 1;
+        }
+        let mut c_less = [0u32; SIGMA];
+        let mut sum = 0;
+        for c in 0..SIGMA {
+            c_less[c] = sum;
+            sum += freq[c];
+        }
+
+        // Occ checkpoints.
+        let n_checks = n.div_ceil(CHECK) + 1;
+        let mut checkpoints = Vec::with_capacity(n_checks);
+        let mut running = [0u32; SIGMA];
+        for (i, &b) in bwt.iter().enumerate() {
+            if i % CHECK == 0 {
+                checkpoints.push(running);
+            }
+            running[b as usize] += 1;
+        }
+        checkpoints.push(running); // final checkpoint at position n
+
+        // SA sampling.
+        let words = n.div_ceil(64);
+        let mut sampled_bits = vec![0u64; words];
+        let mut order: Vec<(usize, u32)> = Vec::new();
+        for (i, &p) in sa_full.iter().enumerate() {
+            if p as usize % SA_RATE == 0 {
+                sampled_bits[i / 64] |= 1u64 << (i % 64);
+                order.push((i, p));
+            }
+        }
+        let mut sampled_rank = Vec::with_capacity(words + 1);
+        let mut acc = 0u32;
+        for w in &sampled_bits {
+            sampled_rank.push(acc);
+            acc += w.count_ones();
+        }
+        sampled_rank.push(acc);
+        let sa_samples: Vec<u32> = order.into_iter().map(|(_, p)| p).collect();
+
+        FmIndex {
+            bwt,
+            c_less,
+            checkpoints,
+            sa_samples,
+            sampled_bits,
+            sampled_rank,
+            n,
+        }
+    }
+
+    /// Text length (without the sentinel).
+    pub fn text_len(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Approximate heap footprint (for index-replication cost modelling).
+    pub fn heap_bytes(&self) -> usize {
+        self.bwt.len()
+            + self.checkpoints.len() * std::mem::size_of::<[u32; SIGMA]>()
+            + self.sa_samples.len() * 4
+            + self.sampled_bits.len() * 8
+            + self.sampled_rank.len() * 4
+    }
+
+    /// Occurrences of symbol `c` in `bwt[0..i)`.
+    #[inline]
+    fn occ(&self, c: u8, i: usize) -> u32 {
+        let cp = i / CHECK;
+        let mut count = self.checkpoints[cp][c as usize];
+        for &b in &self.bwt[cp * CHECK..i] {
+            count += u32::from(b == c);
+        }
+        count
+    }
+
+    /// One LF step.
+    #[inline]
+    fn lf(&self, i: usize) -> usize {
+        let c = self.bwt[i];
+        (self.c_less[c as usize] + self.occ(c, i)) as usize
+    }
+
+    /// Backward search for `pattern` (codes `0..4`, most-significant first).
+    /// Returns the SA interval `[lo, hi)` and the number of search steps
+    /// executed (for the cost model). An empty interval means no match.
+    pub fn backward_search(&self, pattern: &[u8]) -> (std::ops::Range<usize>, u64) {
+        let mut lo = 0usize;
+        let mut hi = self.n;
+        let mut steps = 0u64;
+        for &pc in pattern.iter().rev() {
+            debug_assert!(pc < 4, "pattern code out of range");
+            let c = pc + 1;
+            lo = (self.c_less[c as usize] + self.occ(c, lo)) as usize;
+            hi = (self.c_less[c as usize] + self.occ(c, hi)) as usize;
+            steps += 1;
+            if lo >= hi {
+                return (0..0, steps);
+            }
+        }
+        (lo..hi, steps)
+    }
+
+    /// Resolve SA index `i` to a text position. Returns `(position,
+    /// lf_steps_walked)`.
+    pub fn locate(&self, mut i: usize) -> (usize, u64) {
+        let mut steps = 0u64;
+        loop {
+            let bit = (self.sampled_bits[i / 64] >> (i % 64)) & 1;
+            if bit == 1 {
+                let rank = self.sampled_rank[i / 64]
+                    + (self.sampled_bits[i / 64] & ((1u64 << (i % 64)) - 1)).count_ones();
+                let pos = self.sa_samples[rank as usize] as usize + steps as usize;
+                return (pos, steps);
+            }
+            i = self.lf(i);
+            steps += 1;
+        }
+    }
+
+    /// All text positions matching `pattern`, capped at `max_hits`
+    /// (0 = unlimited). Returns `(positions, total_op_steps)`.
+    pub fn find(&self, pattern: &[u8], max_hits: usize) -> (Vec<usize>, u64) {
+        let (range, mut steps) = self.backward_search(pattern);
+        let take = if max_hits == 0 {
+            range.len()
+        } else {
+            range.len().min(max_hits)
+        };
+        let mut out = Vec::with_capacity(take);
+        for i in range.take(take) {
+            let (pos, lf_steps) = self.locate(i);
+            steps += lf_steps;
+            out.push(pos);
+        }
+        (out, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        s.iter().map(|&b| seq::encode_base(b).unwrap()).collect()
+    }
+
+    fn naive_find(text: &[u8], pat: &[u8]) -> Vec<usize> {
+        if pat.is_empty() || pat.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pat.len())
+            .filter(|&i| &text[i..i + pat.len()] == pat)
+            .collect()
+    }
+
+    #[test]
+    fn finds_all_occurrences() {
+        let text = codes(b"ACGTACGTTACGA");
+        let fm = FmIndex::build(&text);
+        for pat_s in [&b"ACG"[..], b"ACGT", b"T", b"GA", b"ACGTACGTTACGA"] {
+            let pat = codes(pat_s);
+            let (mut got, _) = fm.find(&pat, 0);
+            got.sort_unstable();
+            assert_eq!(got, naive_find(&text, &pat), "pattern {pat_s:?}");
+        }
+    }
+
+    #[test]
+    fn absent_pattern_is_empty() {
+        let text = codes(b"AAAACCCC");
+        let fm = FmIndex::build(&text);
+        let (hits, steps) = fm.find(&codes(b"GT"), 0);
+        assert!(hits.is_empty());
+        assert!(steps >= 1);
+    }
+
+    #[test]
+    fn max_hits_caps() {
+        let text = codes(b"ACACACACACACAC");
+        let fm = FmIndex::build(&text);
+        let (all, _) = fm.find(&codes(b"AC"), 0);
+        assert_eq!(all.len(), 7);
+        let (capped, _) = fm.find(&codes(b"AC"), 3);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn locate_covers_every_sa_index() {
+        let text = codes(b"GATTACAGATTACAGGG");
+        let fm = FmIndex::build(&text);
+        // Every single-symbol search must locate to a valid text position.
+        for c in 0..4u8 {
+            let (positions, _) = fm.find(&[c], 0);
+            for p in positions {
+                assert!(p < text.len());
+                assert_eq!(text[p], c);
+            }
+        }
+    }
+
+    #[test]
+    fn step_counts_scale_with_pattern() {
+        let text = codes(b"ACGTACGTACGTACGTACGTACGTACGT");
+        let fm = FmIndex::build(&text);
+        let (_, s1) = fm.backward_search(&codes(b"ACG"));
+        let (_, s2) = fm.backward_search(&codes(b"ACGTACGT"));
+        assert_eq!(s1, 3);
+        assert_eq!(s2, 8);
+    }
+
+    #[test]
+    fn heap_bytes_reported() {
+        let text = codes(b"ACGTACGTACGT");
+        let fm = FmIndex::build(&text);
+        assert!(fm.heap_bytes() > text.len());
+        assert_eq!(fm.text_len(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_find_matches_naive(
+            text in proptest::collection::vec(0u8..4, 1..200),
+            pat in proptest::collection::vec(0u8..4, 1..8),
+        ) {
+            let fm = FmIndex::build(&text);
+            let (mut got, _) = fm.find(&pat, 0);
+            got.sort_unstable();
+            prop_assert_eq!(got, naive_find(&text, &pat));
+        }
+
+        #[test]
+        fn prop_every_suffix_found(text in proptest::collection::vec(0u8..4, 2..100), start in 0usize..50) {
+            // Any substring of the text must be found at its position.
+            if start < text.len() {
+                let len = ((text.len() - start) / 2).max(1);
+                let pat = text[start..start + len].to_vec();
+                let fm = FmIndex::build(&text);
+                let (hits, _) = fm.find(&pat, 0);
+                prop_assert!(hits.contains(&start));
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # fmindex — the baseline aligners (BWA-mem / Bowtie2 stand-ins)
+//!
+//! The paper compares merAligner against BWA-mem and Bowtie2 run under the
+//! pMap framework (Table II, Figs 1 and 11). Those tools are BWT/FM-index
+//! aligners whose **index construction is serial** — the structural fact the
+//! comparison turns on. This crate rebuilds that stack from scratch:
+//!
+//! * [`sais`] — linear-time SA-IS suffix array construction (verified
+//!   against a naive sort by property tests).
+//! * [`fm`] — BWT + FM-index with occurrence checkpoints and sampled SA for
+//!   `locate`, over the concatenated contig catalog ([`reference`]).
+//! * [`aligner`] — two seed-and-extend configurations: `bwa_mem_like`
+//!   (long exact seeds, one index) and `bowtie2_like` (31-mer seeds,
+//!   forward + mirror index ⇒ ~2× construction work, as Bowtie2's
+//!   bidirectional index costs roughly double BWA's). Extension reuses the
+//!   same Smith-Waterman engines as merAligner, so the quality of the
+//!   alignments is comparable and the *performance structure* is what
+//!   differs.
+//! * [`pmap`] — the pMap structure: serial read partitioning, serial index
+//!   build, replicated per-instance loading, embarrassingly parallel
+//!   mapping.
+//!
+//! Mapping executes for real (real backward searches, real extensions);
+//! operation counts feed the same deterministic cost-model style as the
+//! `pgas` crate so baseline and merAligner times are comparable.
+
+pub mod aligner;
+pub mod fm;
+pub mod pmap;
+pub mod reference;
+pub mod sais;
+
+pub use aligner::{BaselineAligner, BaselineConfig, BaselineCosts, Flavor, MapOutcome};
+pub use fm::FmIndex;
+pub use pmap::{run_pmap, PmapConfig, PmapReport};
+pub use reference::ReferenceIndex;
+pub use sais::suffix_array;

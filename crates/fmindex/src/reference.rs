@@ -1,0 +1,135 @@
+//! The concatenated contig catalog behind one FM-index.
+//!
+//! Baseline tools index the whole reference as one text. Contigs are
+//! concatenated (no separators needed: hits that straddle a boundary are
+//! rejected by span-checking against the boundary table). `N` bases are
+//! written as `A` — the affected seeds are a vanishing fraction and the
+//! final Smith-Waterman verification rejects spurious matches, mirroring
+//! how the real tools treat ambiguity codes in practice.
+
+use seq::PackedSeq;
+
+use crate::fm::FmIndex;
+
+/// One FM-index over a set of contigs, with boundary bookkeeping.
+pub struct ReferenceIndex {
+    fm: FmIndex,
+    /// Start offset of each contig in the concatenated text, plus a final
+    /// sentinel entry holding the total length.
+    starts: Vec<u64>,
+}
+
+impl ReferenceIndex {
+    /// Build the index (serial).
+    pub fn build(contigs: &[PackedSeq]) -> ReferenceIndex {
+        let total: usize = contigs.iter().map(PackedSeq::len).sum();
+        let mut text = Vec::with_capacity(total);
+        let mut starts = Vec::with_capacity(contigs.len() + 1);
+        for c in contigs {
+            starts.push(text.len() as u64);
+            // N packs as A (code 0) — that is already what `get` returns.
+            text.extend(c.codes());
+        }
+        starts.push(text.len() as u64);
+        ReferenceIndex {
+            fm: FmIndex::build(&text),
+            starts,
+        }
+    }
+
+    /// The underlying FM-index.
+    pub fn fm(&self) -> &FmIndex {
+        &self.fm
+    }
+
+    /// Number of contigs.
+    pub fn contig_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Length of contig `i`.
+    pub fn contig_len(&self, i: usize) -> usize {
+        (self.starts[i + 1] - self.starts[i]) as usize
+    }
+
+    /// Total indexed bases.
+    pub fn total_bases(&self) -> u64 {
+        *self.starts.last().unwrap()
+    }
+
+    /// Map a concatenated-text position to `(contig, offset)`.
+    pub fn contig_of(&self, text_pos: usize) -> (usize, usize) {
+        let i = match self.starts.binary_search(&(text_pos as u64)) {
+            Ok(i) if i == self.starts.len() - 1 => i - 1,
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (i, text_pos - self.starts[i] as usize)
+    }
+
+    /// Find `pattern` (codes `0..4`): contig-local hits whose span stays
+    /// inside one contig, capped at `max_hits`. Returns hits + op steps.
+    pub fn find(&self, pattern: &[u8], max_hits: usize) -> (Vec<(usize, usize)>, u64) {
+        let (positions, steps) = self.fm.find(pattern, max_hits);
+        let hits = positions
+            .into_iter()
+            .filter_map(|p| {
+                let (ci, off) = self.contig_of(p);
+                (off + pattern.len() <= self.contig_len(ci)).then_some((ci, off))
+            })
+            .collect();
+        (hits, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack(s: &[u8]) -> PackedSeq {
+        PackedSeq::from_ascii(s)
+    }
+
+    fn codes(s: &[u8]) -> Vec<u8> {
+        s.iter().map(|&b| seq::encode_base(b).unwrap()).collect()
+    }
+
+    #[test]
+    fn contig_of_maps_boundaries() {
+        let r = ReferenceIndex::build(&[pack(b"ACGTACGT"), pack(b"TTTT"), pack(b"GGGGGG")]);
+        assert_eq!(r.contig_count(), 3);
+        assert_eq!(r.contig_of(0), (0, 0));
+        assert_eq!(r.contig_of(7), (0, 7));
+        assert_eq!(r.contig_of(8), (1, 0));
+        assert_eq!(r.contig_of(11), (1, 3));
+        assert_eq!(r.contig_of(12), (2, 0));
+        assert_eq!(r.contig_len(1), 4);
+        assert_eq!(r.total_bases(), 18);
+    }
+
+    #[test]
+    fn find_reports_contig_local_hits() {
+        let r = ReferenceIndex::build(&[pack(b"ACGTACGT"), pack(b"ACGG")]);
+        let (mut hits, _) = r.find(&codes(b"ACG"), 0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(0, 0), (0, 4), (1, 0)]);
+    }
+
+    #[test]
+    fn boundary_straddling_hits_rejected() {
+        // "TTAA" appears only across the boundary of TT|AA: must not match.
+        let r = ReferenceIndex::build(&[pack(b"GGTT"), pack(b"AAGG")]);
+        let (hits, _) = r.find(&codes(b"TTAA"), 0);
+        assert!(hits.is_empty());
+        // But fully-internal patterns do match.
+        let (hits2, _) = r.find(&codes(b"AAGG"), 0);
+        assert_eq!(hits2, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn single_contig_degenerate() {
+        let r = ReferenceIndex::build(&[pack(b"ACGT")]);
+        let (hits, _) = r.find(&codes(b"ACGT"), 0);
+        assert_eq!(hits, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,297 @@
+//! SA-IS: linear-time suffix array construction by induced sorting
+//! (Nong, Zhang & Chan, 2009).
+//!
+//! This is the algorithm class behind the serial index construction of the
+//! BWT-based aligners the paper compares against. The implementation is the
+//! textbook recursive formulation: classify S/L types, induce-sort LMS
+//! substrings, name them, recurse if names repeat, then induce the final
+//! order. Property tests cross-check against a naive `sort_by` oracle.
+
+const EMPTY: u32 = u32::MAX;
+
+/// Suffix array of `text` (arbitrary bytes). Returns the starting positions
+/// of all suffixes of `text` in lexicographic order (the implicit sentinel
+/// suffix is dropped).
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    // Shift codes by +1 so 0 is the unique sentinel, appended at the end.
+    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    s.extend(text.iter().map(|&c| u32::from(c) + 1));
+    s.push(0);
+    let sa = sais(&s, 257);
+    // sa[0] is the sentinel suffix (position n); drop it.
+    sa.into_iter().skip(1).collect()
+}
+
+/// Core SA-IS over a u32 string whose last element is the unique minimum
+/// (the sentinel). `sigma` is an exclusive upper bound on symbol values.
+fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
+    let n = s.len();
+    debug_assert!(n > 0);
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        // Sentinel is last and unique: suffix 1 (the sentinel) sorts first.
+        return vec![1, 0];
+    }
+
+    // --- 1. S/L classification. t[i] = true ⇔ suffix i is S-type.
+    let mut t = vec![false; n];
+    t[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        t[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && t[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && t[i] && !t[i - 1];
+
+    // --- bucket bookkeeping.
+    let mut bucket_sizes = vec![0u32; sigma];
+    for &c in s {
+        bucket_sizes[c as usize] += 1;
+    }
+    let bucket_heads = |bs: &[u32]| -> Vec<u32> {
+        let mut heads = vec![0u32; sigma];
+        let mut sum = 0;
+        for c in 0..sigma {
+            heads[c] = sum;
+            sum += bs[c];
+        }
+        heads
+    };
+    let bucket_tails = |bs: &[u32]| -> Vec<u32> {
+        let mut tails = vec![0u32; sigma];
+        let mut sum = 0;
+        for c in 0..sigma {
+            sum += bs[c];
+            tails[c] = sum;
+        }
+        tails
+    };
+
+    let induce = |sa: &mut Vec<u32>, t: &[bool]| {
+        // Induce L-type from sorted LMS/S positions.
+        let mut heads = bucket_heads(&bucket_sizes);
+        // The sentinel's predecessor is L-type; the sentinel itself sits
+        // at sa[0] already by construction of the callers.
+        for i in 0..n {
+            let j = sa[i];
+            if j != EMPTY && j > 0 {
+                let j = j as usize - 1;
+                if !t[j] {
+                    let c = s[j] as usize;
+                    sa[heads[c] as usize] = j as u32;
+                    heads[c] += 1;
+                }
+            }
+        }
+        // Induce S-type right-to-left.
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (0..n).rev() {
+            let j = sa[i];
+            if j != EMPTY && j > 0 {
+                let j = j as usize - 1;
+                if t[j] {
+                    let c = s[j] as usize;
+                    tails[c] -= 1;
+                    sa[tails[c] as usize] = j as u32;
+                }
+            }
+        }
+    };
+
+    // --- 2. First induction: LMS positions in text order at bucket tails.
+    let mut sa = vec![EMPTY; n];
+    {
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (1..n).rev() {
+            if is_lms(i) {
+                let c = s[i] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = i as u32;
+            }
+        }
+    }
+    induce(&mut sa, &t);
+
+    // --- 3. Collect LMS suffixes in induced order; name LMS substrings.
+    let lms_count = (1..n).filter(|&i| is_lms(i)).count();
+    let mut lms_sorted = Vec::with_capacity(lms_count);
+    for &j in sa.iter() {
+        if j != EMPTY && is_lms(j as usize) {
+            lms_sorted.push(j as usize);
+        }
+    }
+    debug_assert_eq!(lms_sorted.len(), lms_count);
+
+    // Map position → rank among LMS positions in text order.
+    let mut lms_positions = Vec::with_capacity(lms_count);
+    for i in 1..n {
+        if is_lms(i) {
+            lms_positions.push(i);
+        }
+    }
+
+    // Name consecutive LMS substrings (equal substrings share a name).
+    let mut name_of = vec![EMPTY; n];
+    let mut name = 0u32;
+    let mut prev: Option<usize> = None;
+    for &pos in &lms_sorted {
+        if let Some(pv) = prev {
+            if !lms_substrings_equal(s, &t, pv, pos, &is_lms) {
+                name += 1;
+            }
+        }
+        name_of[pos] = name;
+        prev = Some(pos);
+    }
+    let distinct = name as usize + 1;
+
+    // --- 4. Order LMS suffixes: directly if names unique, else recurse.
+    let lms_order: Vec<usize> = if distinct == lms_count {
+        lms_sorted
+    } else {
+        let s1: Vec<u32> = lms_positions.iter().map(|&p| name_of[p]).collect();
+        let sa1 = sais(&s1, distinct);
+        sa1.into_iter()
+            .map(|r| lms_positions[r as usize])
+            .collect()
+    };
+
+    // --- 5. Final induction from fully ordered LMS suffixes.
+    sa.iter_mut().for_each(|v| *v = EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket_sizes);
+        for &pos in lms_order.iter().rev() {
+            let c = s[pos] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = pos as u32;
+        }
+    }
+    induce(&mut sa, &t);
+    debug_assert!(sa.iter().all(|&v| v != EMPTY));
+    sa
+}
+
+/// Compare two LMS substrings (from their start up to and including the
+/// next LMS position) for exact equality of symbols and types.
+fn lms_substrings_equal(
+    s: &[u32],
+    t: &[bool],
+    a: usize,
+    b: usize,
+    is_lms: &impl Fn(usize) -> bool,
+) -> bool {
+    let n = s.len();
+    if a == b {
+        return true;
+    }
+    let mut i = 0;
+    loop {
+        let ai = a + i;
+        let bi = b + i;
+        if ai >= n || bi >= n {
+            return false;
+        }
+        let a_lms = i > 0 && is_lms(ai);
+        let b_lms = i > 0 && is_lms(bi);
+        if a_lms && b_lms {
+            return true; // both ended simultaneously with equal content
+        }
+        if a_lms != b_lms || s[ai] != s[bi] || t[ai] != t[bi] {
+            return false;
+        }
+        i += 1;
+    }
+}
+
+/// Naive O(n² log n) suffix array — the property-test oracle.
+pub fn suffix_array_naive(text: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_banana() {
+        assert_eq!(suffix_array(b"banana"), suffix_array_naive(b"banana"));
+        assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(suffix_array(b""), Vec::<u32>::new());
+        assert_eq!(suffix_array(b"a"), vec![0]);
+        assert_eq!(suffix_array(b"aa"), vec![1, 0]);
+        assert_eq!(suffix_array(b"ab"), vec![0, 1]);
+        assert_eq!(suffix_array(b"ba"), vec![1, 0]);
+    }
+
+    #[test]
+    fn repetitive_strings() {
+        for t in [
+            &b"aaaaaaaaaa"[..],
+            b"abababab",
+            b"abcabcabc",
+            b"mississippi",
+            b"ACGTACGTACGTACGT",
+            b"AAAACCCCGGGGTTTT",
+        ] {
+            assert_eq!(suffix_array(t), suffix_array_naive(t), "text {t:?}");
+        }
+    }
+
+    #[test]
+    fn dna_medium() {
+        // 10 kb pseudo-random DNA; SA-IS must agree with the oracle.
+        let mut state = 42u64;
+        let text: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b"ACGT"[((state >> 33) & 3) as usize]
+            })
+            .collect();
+        assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn sa_is_a_permutation() {
+        let text = b"GATTACAGATTACA";
+        let sa = suffix_array(text);
+        let mut seen = vec![false; text.len()];
+        for &i in &sa {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive_dna(text in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..300)) {
+            prop_assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+        }
+
+        #[test]
+        fn prop_matches_naive_binary(text in proptest::collection::vec(0u8..2, 0..200)) {
+            // Small alphabets force deep recursion in SA-IS.
+            prop_assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+        }
+
+        #[test]
+        fn prop_sorted_suffixes(text in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 2..150)) {
+            let sa = suffix_array(&text);
+            for w in sa.windows(2) {
+                prop_assert!(text[w[0] as usize..] < text[w[1] as usize..]);
+            }
+        }
+    }
+}

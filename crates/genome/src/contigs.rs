@@ -1,0 +1,191 @@
+//! Assembler-style contigs cut from a genome.
+//!
+//! merAligner's targets are the contigs produced by the Meraculous contig
+//! generation stage. We model them by cutting the simulated genome into
+//! pieces with exponential-ish length variation separated by small
+//! unassembled gaps. Reads sampled over a gap align to no target — the
+//! paper's Table I traces its compute imbalance to exactly such reads
+//! ("some groups of reads did not map to any target").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seq::PackedSeq;
+
+/// Contig-cutting parameters.
+#[derive(Clone, Debug)]
+pub struct ContigConfig {
+    /// Mean contig length.
+    pub mean_len: usize,
+    /// Minimum contig length (shorter tails are discarded).
+    pub min_len: usize,
+    /// Mean gap between consecutive contigs.
+    pub mean_gap: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ContigConfig {
+    fn default() -> Self {
+        ContigConfig {
+            mean_len: 5_000,
+            min_len: 200,
+            mean_gap: 60,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// One contig with provenance.
+#[derive(Clone, Debug)]
+pub struct SimContig {
+    /// Contig name (`ctg000001`, …).
+    pub name: String,
+    /// The sequence.
+    pub seq: PackedSeq,
+    /// Start position in the source genome (for accuracy evaluation).
+    pub genome_start: usize,
+}
+
+/// The target set: contigs in genome order.
+#[derive(Clone, Debug, Default)]
+pub struct ContigSet {
+    /// Contigs in genome order.
+    pub contigs: Vec<SimContig>,
+}
+
+impl ContigSet {
+    /// Cut `genome` into contigs.
+    pub fn cut(genome: &PackedSeq, cfg: &ContigConfig) -> Self {
+        assert!(cfg.mean_len >= cfg.min_len.max(1), "mean_len < min_len");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut contigs = Vec::new();
+        let mut at = 0usize;
+        let n = genome.len();
+        while at < n {
+            // Exponential-ish length: mean_len × U(0.4, 1.6).
+            let len = ((cfg.mean_len as f64 * rng.gen_range(0.4..1.6)) as usize)
+                .max(cfg.min_len)
+                .min(n - at);
+            if len >= cfg.min_len {
+                contigs.push(SimContig {
+                    name: format!("ctg{:06}", contigs.len() + 1),
+                    seq: genome.subseq(at, len),
+                    genome_start: at,
+                });
+            }
+            let gap = if cfg.mean_gap == 0 {
+                0
+            } else {
+                rng.gen_range(0..=2 * cfg.mean_gap)
+            };
+            at += len + gap;
+        }
+        ContigSet { contigs }
+    }
+
+    /// Number of contigs.
+    pub fn len(&self) -> usize {
+        self.contigs.len()
+    }
+
+    /// Whether there are no contigs.
+    pub fn is_empty(&self) -> bool {
+        self.contigs.is_empty()
+    }
+
+    /// Total bases across contigs.
+    pub fn total_bases(&self) -> u64 {
+        self.contigs.iter().map(|c| c.seq.len() as u64).sum()
+    }
+
+    /// `(name, len)` pairs, e.g. for a SAM header.
+    pub fn name_lengths(&self) -> Vec<(String, usize)> {
+        self.contigs
+            .iter()
+            .map(|c| (c.name.clone(), c.seq.len()))
+            .collect()
+    }
+
+    /// Fraction of the genome covered by contigs.
+    pub fn genome_coverage(&self, genome_len: usize) -> f64 {
+        if genome_len == 0 {
+            return 0.0;
+        }
+        self.total_bases() as f64 / genome_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate_genome, GenomeConfig};
+
+    fn genome(len: usize) -> PackedSeq {
+        simulate_genome(&GenomeConfig {
+            length: len,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn contigs_match_genome_content() {
+        let g = genome(50_000);
+        let set = ContigSet::cut(&g, &ContigConfig::default());
+        assert!(!set.is_empty());
+        for c in &set.contigs {
+            assert!(c.seq.eq_range(0, &g, c.genome_start, c.seq.len()));
+        }
+    }
+
+    #[test]
+    fn contigs_are_ordered_and_disjoint() {
+        let g = genome(80_000);
+        let set = ContigSet::cut(&g, &ContigConfig::default());
+        for w in set.contigs.windows(2) {
+            assert!(
+                w[0].genome_start + w[0].seq.len() <= w[1].genome_start,
+                "contigs must not overlap"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_reflects_gaps() {
+        let g = genome(100_000);
+        let set = ContigSet::cut(
+            &g,
+            &ContigConfig {
+                mean_gap: 500,
+                ..Default::default()
+            },
+        );
+        let cov = set.genome_coverage(g.len());
+        assert!(cov < 0.999, "gaps must lose some coverage, got {cov}");
+        assert!(cov > 0.5, "most of the genome should remain, got {cov}");
+    }
+
+    #[test]
+    fn zero_gap_covers_nearly_everything() {
+        let g = genome(30_000);
+        let set = ContigSet::cut(
+            &g,
+            &ContigConfig {
+                mean_gap: 0,
+                min_len: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(set.total_bases(), 30_000);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let g = genome(60_000);
+        let set = ContigSet::cut(&g, &ContigConfig::default());
+        let mut names: Vec<&str> = set.contigs.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), set.len());
+    }
+}

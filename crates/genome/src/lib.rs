@@ -1,0 +1,37 @@
+//! # genome — synthetic workloads with ground truth
+//!
+//! The paper evaluates on real human (2.5 G reads), wheat (2.3 G reads) and
+//! E. coli data, none of which can ship with this reproduction. This crate
+//! generates synthetic stand-ins whose *statistical* properties — the ones
+//! the measured optimizations actually respond to — are controlled:
+//!
+//! * **depth of coverage `d`** drives seed reuse and hence software-cache
+//!   hit rates (paper §III-B, Fig 7);
+//! * **substitution error rate** sets the fraction of reads that match a
+//!   target exactly and can take the §IV-A exact-match fast path (~59 % of
+//!   aligned human reads in the paper);
+//! * **repeat content** creates non-uniquely-located seeds, exercising the
+//!   `single_copy_seeds` flags, target fragmentation and the max-hits
+//!   threshold (wheat ≫ human);
+//! * **read ordering** reproduces the Table I load-balance experiment
+//!   ("reads mapping to the same genome region are grouped together" in the
+//!   original files).
+//!
+//! Reads are sampled from the *genome* while targets are assembler-style
+//! *contigs* cut from it with gaps, so a realistic fraction of reads spans a
+//! gap and aligns nowhere — the source of compute imbalance the paper
+//! observed.
+//!
+//! Every generator is seeded and deterministic.
+
+pub mod accuracy;
+pub mod contigs;
+pub mod presets;
+pub mod reads;
+pub mod sim;
+
+pub use accuracy::{evaluate_accuracy, placement_is_correct, AccuracyReport};
+pub use contigs::{ContigConfig, ContigSet, SimContig};
+pub use presets::{ecoli_like, human_like, human_like_cov, wheat_like, Dataset, DatasetStats};
+pub use reads::{simulate_reads, ReadConfig, ReadOrder, ReadTruth, SimRead};
+pub use sim::{simulate_genome, GenomeConfig};

@@ -1,0 +1,278 @@
+//! Short-read simulation with ground truth.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use seq::PackedSeq;
+
+/// Order of reads in the simulated input file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOrder {
+    /// Sorted by genome position — the ordering the paper found in its real
+    /// input files ("the reads mapping to the same genome region are grouped
+    /// together", §VI-C-4). This is the order that stresses load balance.
+    Grouped,
+    /// Uniformly shuffled at generation time.
+    Shuffled,
+}
+
+/// Read-simulation parameters.
+#[derive(Clone, Debug)]
+pub struct ReadConfig {
+    /// Read length `L`.
+    pub read_len: usize,
+    /// Depth of coverage `d`; the number of reads is `d · |G| / L`.
+    pub depth: f64,
+    /// Per-base substitution error probability.
+    pub error_rate: f64,
+    /// Per-base probability of an uncalled base (`N`).
+    pub n_rate: f64,
+    /// Probability a read is sampled from the reverse strand.
+    pub rc_prob: f64,
+    /// File ordering.
+    pub order: ReadOrder,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReadConfig {
+    fn default() -> Self {
+        ReadConfig {
+            read_len: 100,
+            depth: 20.0,
+            error_rate: 0.005,
+            n_rate: 0.0005,
+            rc_prob: 0.5,
+            order: ReadOrder::Grouped,
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// Where a read truly came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadTruth {
+    /// Genome coordinate of the read's first base (forward-strand
+    /// coordinates, i.e. of the leftmost base).
+    pub genome_start: usize,
+    /// Whether the read is the reverse complement of the genome segment.
+    pub reverse: bool,
+    /// Number of substitution errors introduced.
+    pub errors: u32,
+    /// Number of `N` bases introduced.
+    pub n_bases: u32,
+}
+
+impl ReadTruth {
+    /// Whether the read is an exact copy of its genome segment — these are
+    /// the reads eligible for the paper's §IV-A exact-match fast path.
+    pub fn is_exact(&self) -> bool {
+        self.errors == 0 && self.n_bases == 0
+    }
+}
+
+/// One simulated read.
+#[derive(Clone, Debug)]
+pub struct SimRead {
+    /// Read name (`read0000001`, …, in generation order).
+    pub name: String,
+    /// The (possibly errored, possibly reverse-complemented) sequence.
+    pub seq: PackedSeq,
+    /// Ground truth.
+    pub truth: ReadTruth,
+}
+
+/// Sample reads from `genome` at the configured depth.
+///
+/// # Panics
+/// Panics if the genome is shorter than the read length.
+pub fn simulate_reads(genome: &PackedSeq, cfg: &ReadConfig) -> Vec<SimRead> {
+    assert!(
+        genome.len() >= cfg.read_len && cfg.read_len > 0,
+        "genome shorter than read length"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_reads = ((cfg.depth * genome.len() as f64) / cfg.read_len as f64).round() as usize;
+    let mut starts: Vec<usize> = (0..n_reads)
+        .map(|_| rng.gen_range(0..=genome.len() - cfg.read_len))
+        .collect();
+    starts.sort_unstable(); // Grouped ordering = position-sorted.
+
+    let mut reads = Vec::with_capacity(n_reads);
+    for (i, &start) in starts.iter().enumerate() {
+        let reverse = rng.gen_bool(cfg.rc_prob);
+        let mut segment = genome.subseq(start, cfg.read_len);
+        if reverse {
+            segment = segment.reverse_complement();
+        }
+        let mut out = PackedSeq::with_capacity(cfg.read_len);
+        let mut errors = 0u32;
+        let mut n_bases = 0u32;
+        for p in 0..cfg.read_len {
+            if rng.gen_bool(cfg.n_rate) {
+                out.push_n();
+                n_bases += 1;
+            } else if !segment.is_n(p) && rng.gen_bool(cfg.error_rate) {
+                out.push_code((segment.get(p) + rng.gen_range(1..4u8)) % 4);
+                errors += 1;
+            } else if segment.is_n(p) {
+                out.push_n();
+                n_bases += 1;
+            } else {
+                out.push_code(segment.get(p));
+            }
+        }
+        reads.push(SimRead {
+            name: format!("read{i:07}"),
+            seq: out,
+            truth: ReadTruth {
+                genome_start: start,
+                reverse,
+                errors,
+                n_bases,
+            },
+        });
+    }
+
+    if cfg.order == ReadOrder::Shuffled {
+        reads.shuffle(&mut rng);
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate_genome, GenomeConfig};
+
+    fn genome() -> PackedSeq {
+        simulate_genome(&GenomeConfig {
+            length: 20_000,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn read_count_tracks_depth() {
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &ReadConfig {
+                depth: 10.0,
+                read_len: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(reads.len(), 2_000); // 10 × 20000 / 100
+    }
+
+    #[test]
+    fn error_free_reads_match_genome_exactly() {
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &ReadConfig {
+                error_rate: 0.0,
+                n_rate: 0.0,
+                rc_prob: 0.0,
+                depth: 2.0,
+                ..Default::default()
+            },
+        );
+        for r in &reads {
+            assert!(r.truth.is_exact());
+            assert!(
+                r.seq.eq_range(0, &g, r.truth.genome_start, r.seq.len()),
+                "exact read must equal its genome segment"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_reads_match_after_rc() {
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &ReadConfig {
+                error_rate: 0.0,
+                n_rate: 0.0,
+                rc_prob: 1.0,
+                depth: 1.0,
+                ..Default::default()
+            },
+        );
+        for r in reads.iter().take(50) {
+            let rc = r.seq.reverse_complement();
+            assert!(rc.eq_range(0, &g, r.truth.genome_start, rc.len()));
+        }
+    }
+
+    #[test]
+    fn error_rate_is_respected() {
+        let g = genome();
+        let reads = simulate_reads(
+            &g,
+            &ReadConfig {
+                error_rate: 0.01,
+                n_rate: 0.0,
+                depth: 20.0,
+                ..Default::default()
+            },
+        );
+        let total_errors: u32 = reads.iter().map(|r| r.truth.errors).sum();
+        let total_bases = (reads.len() * 100) as f64;
+        let rate = f64::from(total_errors) / total_bases;
+        assert!((0.007..0.013).contains(&rate), "error rate {rate}");
+        // Exact-read fraction ≈ (1 − e)^L = 0.99^100 ≈ 0.366.
+        let exact = reads.iter().filter(|r| r.truth.is_exact()).count() as f64
+            / reads.len() as f64;
+        assert!((0.30..0.43).contains(&exact), "exact fraction {exact}");
+    }
+
+    #[test]
+    fn grouped_is_sorted_shuffled_is_not() {
+        let g = genome();
+        let grouped = simulate_reads(
+            &g,
+            &ReadConfig {
+                order: ReadOrder::Grouped,
+                depth: 5.0,
+                ..Default::default()
+            },
+        );
+        assert!(grouped
+            .windows(2)
+            .all(|w| w[0].truth.genome_start <= w[1].truth.genome_start));
+        let shuffled = simulate_reads(
+            &g,
+            &ReadConfig {
+                order: ReadOrder::Shuffled,
+                depth: 5.0,
+                ..Default::default()
+            },
+        );
+        assert!(!shuffled
+            .windows(2)
+            .all(|w| w[0].truth.genome_start <= w[1].truth.genome_start));
+        // Same multiset of reads either way (same seed).
+        let mut a: Vec<usize> = grouped.iter().map(|r| r.truth.genome_start).collect();
+        let mut b: Vec<usize> = shuffled.iter().map(|r| r.truth.genome_start).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn determinism() {
+        let g = genome();
+        let cfg = ReadConfig::default();
+        let a = simulate_reads(&g, &cfg);
+        let b = simulate_reads(&g, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seq.to_ascii(), y.seq.to_ascii());
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Random genome synthesis with controlled repeat content.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seq::PackedSeq;
+
+/// Parameters for genome synthesis.
+#[derive(Clone, Debug)]
+pub struct GenomeConfig {
+    /// Genome length in bases.
+    pub length: usize,
+    /// Fraction of the genome overwritten by repeat-family copies
+    /// (0.0 – 0.9). Human ≈ low single digits of *exact* young repeats;
+    /// wheat is famously repeat-rich.
+    pub repeat_fraction: f64,
+    /// Length of one repeat element.
+    pub repeat_unit_len: usize,
+    /// Number of distinct repeat families.
+    pub repeat_families: usize,
+    /// Per-copy mutation rate applied to repeat copies (diverged repeats
+    /// stop being exact seed duplicates).
+    pub repeat_divergence: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        GenomeConfig {
+            length: 1_000_000,
+            repeat_fraction: 0.05,
+            repeat_unit_len: 400,
+            repeat_families: 8,
+            repeat_divergence: 0.02,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generate a genome: i.i.d. random bases, then paste mutated copies of
+/// `repeat_families` repeat elements until `repeat_fraction` of the genome
+/// is repeat-derived.
+///
+/// # Panics
+/// Panics if `repeat_fraction` is not in `[0, 0.9]` or the genome is
+/// shorter than one repeat unit while repeats are requested.
+pub fn simulate_genome(cfg: &GenomeConfig) -> PackedSeq {
+    assert!(
+        (0.0..=0.9).contains(&cfg.repeat_fraction),
+        "repeat_fraction out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut codes: Vec<u8> = (0..cfg.length).map(|_| rng.gen_range(0..4u8)).collect();
+
+    if cfg.repeat_fraction > 0.0 && cfg.length > 0 {
+        assert!(
+            cfg.repeat_unit_len > 0 && cfg.repeat_unit_len <= cfg.length,
+            "repeat unit longer than genome"
+        );
+        let families: Vec<Vec<u8>> = (0..cfg.repeat_families.max(1))
+            .map(|_| (0..cfg.repeat_unit_len).map(|_| rng.gen_range(0..4u8)).collect())
+            .collect();
+        let target_bases = (cfg.length as f64 * cfg.repeat_fraction) as usize;
+        let mut pasted = 0usize;
+        while pasted < target_bases {
+            let fam = &families[rng.gen_range(0..families.len())];
+            let at = rng.gen_range(0..=cfg.length - fam.len());
+            for (i, &b) in fam.iter().enumerate() {
+                codes[at + i] = if rng.gen_bool(cfg.repeat_divergence) {
+                    // Mutate to one of the three other bases.
+                    (b + rng.gen_range(1..4u8)) % 4
+                } else {
+                    b
+                };
+            }
+            pasted += fam.len();
+        }
+    }
+
+    PackedSeq::from_codes(&codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seq::KmerIter;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = GenomeConfig {
+            length: 10_000,
+            ..Default::default()
+        };
+        let a = simulate_genome(&cfg);
+        let b = simulate_genome(&cfg);
+        assert_eq!(a.to_ascii(), b.to_ascii());
+        let c = simulate_genome(&GenomeConfig {
+            seed: 1,
+            ..cfg.clone()
+        });
+        assert_ne!(a.to_ascii(), c.to_ascii());
+    }
+
+    #[test]
+    fn length_is_exact() {
+        for len in [0usize, 1, 31, 32, 33, 12345] {
+            let g = simulate_genome(&GenomeConfig {
+                length: len,
+                repeat_fraction: 0.0,
+                ..Default::default()
+            });
+            assert_eq!(g.len(), len);
+        }
+    }
+
+    #[test]
+    fn base_composition_is_roughly_uniform() {
+        let g = simulate_genome(&GenomeConfig {
+            length: 40_000,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        });
+        let mut counts = [0usize; 4];
+        for c in g.codes() {
+            counts[c as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 40_000.0;
+            assert!((0.22..0.28).contains(&frac), "skewed base {frac}");
+        }
+    }
+
+    #[test]
+    fn repeats_create_duplicate_seeds() {
+        let k = 21;
+        let count_dups = |repeat_fraction: f64| {
+            let g = simulate_genome(&GenomeConfig {
+                length: 60_000,
+                repeat_fraction,
+                repeat_unit_len: 300,
+                repeat_families: 3,
+                repeat_divergence: 0.0,
+                seed: 7,
+            });
+            let mut seen: HashMap<u128, u32> = HashMap::new();
+            for (_off, km) in KmerIter::new(&g, k) {
+                *seen.entry(km.bits()).or_insert(0) += 1;
+            }
+            seen.values().filter(|&&c| c > 1).count()
+        };
+        let none = count_dups(0.0);
+        let lots = count_dups(0.3);
+        assert!(
+            lots > none * 10 + 100,
+            "repeats must create duplicate seeds: {none} vs {lots}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Pipeline configuration: every optimization the paper evaluates is an
+//! independent switch here, so the figure harnesses can ablate them one at
+//! a time (Figs 8–10, Table I).
+
+use align::{Engine, Scoring};
+use dht::{BuildAlgorithm, CacheConfig};
+use pgas::CostModel;
+
+/// Full configuration of one merAligner run.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    // ---- machine ----
+    /// Total ranks (the paper's "cores").
+    pub ranks: usize,
+    /// Ranks per node (24 on Edison).
+    pub ppn: usize,
+    /// Cost model for the simulated machine.
+    pub cost: CostModel,
+    /// Execute ranks sequentially (bit-reproducible timing; same results).
+    pub sequential: bool,
+
+    // ---- algorithm ----
+    /// Seed length `k` (51 for human/wheat, 19 for E. coli in the paper).
+    pub k: usize,
+    /// Distance between consecutive query seed positions (1 in Algorithm 1).
+    pub seed_stride: usize,
+    /// Smith-Waterman engine (striped SIMD in the paper).
+    pub engine: Engine,
+    /// Scoring scheme.
+    pub scoring: Scoring,
+    /// Extra target bases on each side of the extension window.
+    pub window_pad: usize,
+    /// Minimum alignment score to report.
+    pub min_score: i32,
+
+    // ---- §III-A: construction ----
+    /// Use the aggregating-stores construction (`false` = naive
+    /// fine-grained, the Fig 8 baseline).
+    pub aggregating_stores: bool,
+    /// The aggregation buffer size `S` (1000 in the paper's experiments).
+    pub buffer_size: usize,
+
+    // ---- §III-B: software caches ----
+    /// Enable the per-node seed-index and target caches.
+    pub use_caches: bool,
+    /// Cache byte budgets per node.
+    pub cache: CacheConfig,
+
+    // ---- §IV-A: exact-match optimization ----
+    /// Enable `single_copy_seeds` preprocessing + the exact-match fast path.
+    pub exact_match_opt: bool,
+    /// Also fragment targets with non-unique seeds (the recursive bisection
+    /// refinement of §IV-A).
+    pub fragment_targets: bool,
+    /// Minimum fragment length in seed positions before bisection stops.
+    pub min_fragment_seeds: usize,
+
+    // ---- §IV-B: load balancing ----
+    /// Randomly permute query order before distribution.
+    pub load_balance: bool,
+    /// Permutation seed.
+    pub permute_seed: u64,
+
+    // ---- §IV-C: sensitivity threshold ----
+    /// Maximum candidate alignments per seed (0 = unlimited).
+    pub max_hits_per_seed: usize,
+
+    // ---- output ----
+    /// Collect full alignment records (CIGARs) — memory-heavy; off for the
+    /// scaling experiments, on for the SAM-emitting examples.
+    pub collect_alignments: bool,
+}
+
+impl PipelineConfig {
+    /// All-optimizations-on defaults for a machine of `ranks` ranks
+    /// (`ppn` = 24 as on Edison) and seed length `k`.
+    pub fn new(ranks: usize, ppn: usize, k: usize) -> Self {
+        PipelineConfig {
+            ranks,
+            ppn,
+            cost: CostModel::default(),
+            sequential: false,
+            k,
+            seed_stride: 1,
+            engine: Engine::Striped,
+            scoring: Scoring::dna_default(),
+            window_pad: 16,
+            min_score: 20,
+            aggregating_stores: true,
+            buffer_size: 1000,
+            use_caches: true,
+            cache: CacheConfig::default(),
+            exact_match_opt: true,
+            fragment_targets: true,
+            min_fragment_seeds: 128,
+            load_balance: true,
+            permute_seed: 0x5EED,
+            max_hits_per_seed: 256,
+            collect_alignments: false,
+        }
+    }
+
+    /// The dht build configuration implied by this pipeline configuration.
+    pub fn build_config(&self) -> dht::BuildConfig {
+        dht::BuildConfig {
+            k: self.k,
+            algorithm: if self.aggregating_stores {
+                BuildAlgorithm::AggregatingStores
+            } else {
+                BuildAlgorithm::NaiveFineGrained
+            },
+            buffer_size: self.buffer_size,
+        }
+    }
+
+    /// The extension configuration implied by this pipeline configuration.
+    pub fn extend_config(&self) -> align::ExtendConfig {
+        align::ExtendConfig {
+            engine: self.engine,
+            window_pad: self.window_pad,
+            min_score: self.min_score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimizations() {
+        let c = PipelineConfig::new(48, 24, 51);
+        assert!(c.aggregating_stores);
+        assert!(c.use_caches);
+        assert!(c.exact_match_opt);
+        assert!(c.fragment_targets);
+        assert!(c.load_balance);
+        assert_eq!(c.buffer_size, 1000);
+        assert_eq!(c.seed_stride, 1);
+    }
+
+    #[test]
+    fn build_config_tracks_toggle() {
+        let mut c = PipelineConfig::new(8, 4, 21);
+        assert_eq!(c.build_config().algorithm, BuildAlgorithm::AggregatingStores);
+        c.aggregating_stores = false;
+        assert_eq!(c.build_config().algorithm, BuildAlgorithm::NaiveFineGrained);
+        assert_eq!(c.build_config().k, 21);
+    }
+}

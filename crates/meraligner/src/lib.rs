@@ -1,0 +1,34 @@
+//! # meraligner — the paper's system
+//!
+//! End-to-end reproduction of *merAligner: A Fully Parallel Sequence
+//! Aligner* (Georganas et al., IPDPS 2015) over the simulated PGAS machine
+//! of the [`pgas`] crate. Algorithm 1's phases map one-to-one onto
+//! [`pipeline::run_pipeline`]:
+//!
+//! 1. **Read target sequences** — each rank decodes its slice of the SDB1
+//!    container (parallel I/O, §V-A) into shared memory.
+//! 2. **Extract seeds + build the distributed seed index** — via
+//!    [`dht::build_seed_index`], with or without aggregating stores (§III-A).
+//! 3. **Exact-match preprocessing** — seed-occurrence counts →
+//!    `single_copy_seeds` flags → recursive target fragmentation (§IV-A).
+//! 4. **Read query sequences** — parallel I/O, with the optional random
+//!    permutation that is the paper's load-balancing scheme (§IV-B).
+//! 5. **Align** — per-seed lookups through the software caches (§III-B),
+//!    the exact-match fast path, and striped Smith-Waterman extension
+//!    (§V-B), all charged to the cost model.
+//!
+//! Every optimization is independently toggleable from [`PipelineConfig`],
+//! which is how the Fig 8/9/10 and Table I ablations are produced.
+
+pub mod analysis;
+pub mod config;
+pub mod pipeline;
+pub mod query;
+pub mod targets;
+
+pub use analysis::{
+    expected_seed_frequency, load_imbalance_bound, seed_reuse_probability,
+};
+pub use config::PipelineConfig;
+pub use pipeline::{run_pipeline, Placement, PipelineResult};
+pub use targets::{FragMeta, TargetStore};

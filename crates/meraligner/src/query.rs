@@ -1,0 +1,290 @@
+//! Per-query alignment: the exact-match fast path and the general
+//! seed-lookup-extend loop of Algorithm 1.
+
+
+use align::{align_window, Alignment, CigarOp, Engine, Strand};
+use dht::{fetch_target, LookupEnv, TargetHit};
+use pgas::{GlobalRef, RankCtx};
+use seq::{kmer_at, KmerIter, PackedSeq};
+
+use crate::config::PipelineConfig;
+use crate::targets::TargetStore;
+
+/// Everything a rank needs to align queries.
+pub struct AlignContext<'a> {
+    /// Bound lookup environment (index + caches + max-hits).
+    pub env: LookupEnv<'a>,
+    /// Target store (sequences + fragment metadata).
+    pub store: &'a TargetStore,
+    /// The run configuration.
+    pub cfg: &'a PipelineConfig,
+}
+
+/// One candidate position collected during the lookup pass.
+#[derive(Clone, Copy, Debug)]
+struct CandHit {
+    target: GlobalRef,
+    reverse: bool,
+    /// Target offset − query offset (the alignment diagonal).
+    diag: i64,
+    q_off: u32,
+    t_off: u32,
+}
+
+/// Reused per-rank buffers (allocation-free inner loop).
+#[derive(Default)]
+pub struct QueryScratch {
+    hits: Vec<TargetHit>,
+    /// All candidate positions of the query (both strands).
+    cands: Vec<CandHit>,
+    /// De-duplication of reported alignments.
+    reported: Vec<(GlobalRef, u32, u32, bool)>,
+}
+
+impl QueryScratch {
+    fn reset(&mut self) {
+        self.hits.clear();
+        self.cands.clear();
+        self.reported.clear();
+    }
+}
+
+/// The outcome of aligning one query.
+#[derive(Default)]
+pub struct QueryOutcome {
+    /// Best alignment and its target.
+    pub best: Option<(GlobalRef, Alignment)>,
+    /// Number of distinct alignments found (≥ min score).
+    pub n_alignments: u32,
+    /// Whether the §IV-A exact-match fast path resolved this query.
+    pub used_exact_path: bool,
+    /// All alignments, when `collect_alignments` is set.
+    pub all: Vec<(GlobalRef, Alignment)>,
+}
+
+/// Align one query against the index (both strands).
+pub fn process_query(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    read: &PackedSeq,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    scratch.reset();
+    let cfg = actx.cfg;
+    let k = cfg.k;
+    let mut outcome = QueryOutcome::default();
+    if read.len() < k {
+        return outcome;
+    }
+    let rc = read.reverse_complement();
+
+    // ---- Exact-match fast path (§IV-A). One lookup, one fetch, one
+    // word-wise compare; provably the unique alignment when it fires.
+    if cfg.exact_match_opt && actx.store.frags.is_some() && !read.has_n() {
+        for (reverse, oriented) in [(false, read), (true, &rc)] {
+            if let Some((gref, aln)) = try_exact(ctx, actx, oriented, reverse, scratch) {
+                outcome.n_alignments = 1;
+                outcome.used_exact_path = true;
+                if cfg.collect_alignments {
+                    outcome.all.push((gref, aln.clone()));
+                }
+                outcome.best = Some((gref, aln));
+                return outcome;
+            }
+        }
+    }
+
+    // ---- General path, pass 1 (Algorithm 1 lines 8–10): look up every
+    // seed of both strands through the cache hierarchy, collecting
+    // candidate positions.
+    for (reverse, oriented) in [(false, read), (true, &rc)] {
+        for (off, km) in KmerIter::new(oriented, k) {
+            if cfg.seed_stride > 1 && off as usize % cfg.seed_stride != 0 {
+                continue;
+            }
+            ctx.charge_extract(1);
+            if !actx.env.lookup(ctx, km, &mut scratch.hits) {
+                continue;
+            }
+            for hit in &scratch.hits {
+                scratch.cands.push(CandHit {
+                    target: hit.target,
+                    reverse,
+                    diag: i64::from(hit.offset) - i64::from(off),
+                    q_off: off,
+                    t_off: hit.offset,
+                });
+            }
+        }
+    }
+
+    // ---- Pass 2 (lines 11–12): one fetch per candidate *target* and one
+    // Smith-Waterman per diagonal band — the paper's `C·(t_fetch + t_SW)`
+    // with C the number of candidate targets a query can align to.
+    scratch
+        .cands
+        .sort_unstable_by_key(|c| (c.target, c.reverse, c.diag));
+    let cands = std::mem::take(&mut scratch.cands);
+    let mut i = 0usize;
+    while i < cands.len() {
+        let head = cands[i];
+        // All candidates on this (target, strand).
+        let mut j = i;
+        while j < cands.len()
+            && cands[j].target == head.target
+            && cands[j].reverse == head.reverse
+        {
+            j += 1;
+        }
+        let target = fetch_target(ctx, &actx.store.seqs, head.target, actx.env.caches);
+        let codes = if head.reverse {
+            align::dna_codes(&rc)
+        } else {
+            align::dna_codes(read)
+        };
+        // Cluster diagonals: a gap larger than the read length means a
+        // distinct candidate locus, extended independently.
+        let mut c = i;
+        while c < j {
+            let mut e = c;
+            while e + 1 < j && cands[e + 1].diag - cands[e].diag <= read.len() as i64 {
+                e += 1;
+            }
+            let span_extra = (cands[e].diag - cands[c].diag) as usize;
+            extend_candidate(
+                ctx,
+                actx,
+                &codes,
+                &target,
+                cands[c].q_off as usize,
+                cands[c].t_off as usize,
+                span_extra,
+                head.target,
+                head.reverse,
+                scratch,
+                &mut outcome,
+            );
+            c = e + 1;
+        }
+        i = j;
+    }
+    scratch.cands = cands;
+    outcome
+}
+
+/// Run one extension over a diagonal band, charge its DP cells, and record
+/// any alignment.
+#[allow(clippy::too_many_arguments)]
+fn extend_candidate(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    query_codes: &[u8],
+    target: &PackedSeq,
+    q_pos: usize,
+    t_pos: usize,
+    span_extra: usize,
+    gref: GlobalRef,
+    reverse: bool,
+    scratch: &mut QueryScratch,
+    outcome: &mut QueryOutcome,
+) {
+    let cfg = actx.cfg;
+    let m = query_codes.len();
+    // Window the target around the cluster's diagonal band.
+    let win_beg = t_pos.saturating_sub(q_pos + cfg.window_pad);
+    let win_end = (t_pos + (m - q_pos) + span_extra + cfg.window_pad).min(target.len());
+    if win_beg >= win_end {
+        return;
+    }
+    let window: Vec<u8> = (win_beg..win_end)
+        .map(|i| if target.is_n(i) { 4 } else { target.get(i) })
+        .collect();
+    let out = align_window(
+        query_codes,
+        &window,
+        win_beg,
+        &cfg.scoring,
+        &cfg.extend_config(),
+    );
+    ctx.charge_sw_cells(out.dp_cells, cfg.engine == Engine::Striped);
+    let Some(aln) = out.alignment else {
+        return;
+    };
+    let key = (gref, aln.t_beg as u32, aln.t_end as u32, reverse);
+    if scratch.reported.contains(&key) {
+        return;
+    }
+    scratch.reported.push(key);
+    let aln = aln.with_strand(if reverse {
+        Strand::Reverse
+    } else {
+        Strand::Forward
+    });
+    outcome.n_alignments += 1;
+    let better = outcome
+        .best
+        .as_ref()
+        .is_none_or(|(_, b)| aln.score > b.score);
+    if cfg.collect_alignments {
+        outcome.all.push((gref, aln.clone()));
+    }
+    if better {
+        outcome.best = Some((gref, aln));
+    }
+}
+
+/// The §IV-A fast path for one orientation: first seed → single hit →
+/// unique-fragment window → `memcmp`.
+fn try_exact(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    oriented: &PackedSeq,
+    reverse: bool,
+    scratch: &mut QueryScratch,
+) -> Option<(GlobalRef, Alignment)> {
+    let cfg = actx.cfg;
+    let k = cfg.k;
+    let qlen = oriented.len();
+    let km = kmer_at(oriented, 0, k)?;
+    ctx.charge_extract(1);
+    if !actx.env.lookup(ctx, km, &mut scratch.hits) || scratch.hits.len() != 1 {
+        return None;
+    }
+    let hit = scratch.hits[0];
+    // The candidate window is [hit.offset, hit.offset + qlen) on the target.
+    let start = hit.offset as usize;
+    let frag = actx.store.frags.as_ref().expect("flags computed").get(hit.target);
+    // All seed offsets of the window must fall in unique fragments; the
+    // range check also guarantees the window fits inside the target.
+    if !frag.range_is_unique(hit.offset, hit.offset + (qlen - k) as u32) {
+        return None;
+    }
+    let target = fetch_target(ctx, &actx.store.seqs, hit.target, actx.env.caches);
+    ctx.charge_memcmp(qlen as u64);
+    if !oriented.eq_range(0, &target, start, qlen) {
+        return None;
+    }
+    // Provably unique full-length exact match (Lemma 1).
+    let mut score = 0i32;
+    for c in oriented.codes() {
+        score += cfg.scoring.score(c, c);
+    }
+    let mut cigar = align::Cigar::new();
+    cigar.push(CigarOp::Eq, qlen as u32);
+    Some((
+        hit.target,
+        Alignment {
+            q_beg: 0,
+            q_end: qlen,
+            t_beg: start,
+            t_end: start + qlen,
+            score,
+            strand: if reverse {
+                Strand::Reverse
+            } else {
+                Strand::Forward
+            },
+            cigar,
+        },
+    ))
+}

@@ -1,0 +1,361 @@
+//! Target storage and the exact-match preprocessing (§IV-A).
+//!
+//! Targets are block-distributed: rank `r` reads records `[r·n/p, (r+1)·n/p)`
+//! of the SDB1 container into its shared heap. After index construction the
+//! preprocessing runs:
+//!
+//! 1. every rank scans **its own** partition's seed counts (a "cheap and
+//!    local operation");
+//! 2. for each seed occurring in more than one place, it notifies the
+//!    owners of the involved targets with aggregated messages (the same
+//!    buffering machinery as construction);
+//! 3. each target owner derives per-target fragment metadata: targets whose
+//!    seeds are all uniquely located keep `single_copy_seeds = true`; others
+//!    are recursively bisected into fragments with disjoint seed sets until
+//!    fragments are either unique or minimal (§IV-A's refinement).
+//!
+//! At query time the fast path asks: *do all seeds of this candidate window
+//! fall in unique fragments?* — if yes and the window `memcmp`s equal, the
+//! alignment is provably unique (Lemma 1) and the query is done after a
+//! single lookup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dht::SeedIndex;
+use pgas::{CommTag, GlobalRef, Machine, ReservationStack, SharedArray};
+use seq::seqdb::block_range;
+use seq::{PackedSeq, SeqDb};
+
+/// Per-target fragment metadata: boundaries in *seed-offset* space and a
+/// uniqueness flag per fragment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FragMeta {
+    /// `bounds[i]..bounds[i+1]` is fragment `i`'s seed-offset range;
+    /// `bounds.len() == unique.len() + 1`. Empty when the target has no
+    /// seeds.
+    pub bounds: Vec<u32>,
+    /// Whether all seeds of fragment `i` are uniquely located (globally).
+    pub unique: Vec<bool>,
+}
+
+impl FragMeta {
+    /// Metadata for a target with `n_seeds` seed positions and the given
+    /// sorted list of non-uniquely-located seed offsets. When `fragment` is
+    /// false the whole target is one fragment (plain `single_copy_seeds`
+    /// flag semantics); otherwise non-unique regions are isolated by
+    /// recursive bisection down to `min_len` seed positions.
+    pub fn build(n_seeds: u32, nonunique: &[u32], fragment: bool, min_len: u32) -> FragMeta {
+        debug_assert!(nonunique.windows(2).all(|w| w[0] <= w[1]));
+        if n_seeds == 0 {
+            return FragMeta::default();
+        }
+        let mut meta = FragMeta {
+            bounds: vec![0],
+            unique: Vec::new(),
+        };
+        if !fragment {
+            meta.bounds.push(n_seeds);
+            meta.unique.push(nonunique.is_empty());
+            return meta;
+        }
+        let min_len = min_len.max(1);
+        // Iterative bisection (explicit stack to avoid recursion limits).
+        let mut work = vec![(0u32, n_seeds)];
+        let mut frags: Vec<(u32, u32, bool)> = Vec::new();
+        while let Some((lo, hi)) = work.pop() {
+            let l = nonunique.partition_point(|&x| x < lo);
+            let r = nonunique.partition_point(|&x| x < hi);
+            let has_nonunique = l < r;
+            if !has_nonunique {
+                frags.push((lo, hi, true));
+            } else if hi - lo < 2 * min_len {
+                frags.push((lo, hi, false));
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                // Push right first so the left pops first (ordered output).
+                work.push((mid, hi));
+                work.push((lo, mid));
+            }
+        }
+        frags.sort_unstable_by_key(|&(lo, _, _)| lo);
+        for (lo, hi, uniq) in frags {
+            debug_assert_eq!(lo, *meta.bounds.last().unwrap());
+            meta.bounds.push(hi);
+            meta.unique.push(uniq);
+        }
+        meta
+    }
+
+    /// Number of fragments.
+    pub fn fragments(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Whether all seed offsets in `[lo, hi]` (inclusive) fall in unique
+    /// fragments. `false` for empty metadata or out-of-range queries.
+    pub fn range_is_unique(&self, lo: u32, hi: u32) -> bool {
+        if self.unique.is_empty() || lo > hi {
+            return false;
+        }
+        let n_seeds = *self.bounds.last().unwrap();
+        if hi >= n_seeds {
+            return false;
+        }
+        // Fragment containing `lo`: last bound ≤ lo.
+        let mut i = self.bounds.partition_point(|&b| b <= lo) - 1;
+        loop {
+            if !self.unique[i] {
+                return false;
+            }
+            if self.bounds[i + 1] > hi {
+                return true;
+            }
+            i += 1;
+        }
+    }
+
+    /// Whether the whole target is one unique fragment (the plain
+    /// `single_copy_seeds == true` state).
+    pub fn all_unique(&self) -> bool {
+        self.unique.len() == 1 && self.unique[0]
+    }
+}
+
+/// A notification "seed at `offset` of your target `idx` is non-unique".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct FlagNote {
+    idx: u32,
+    offset: u32,
+}
+
+/// Wire bytes of one flag notification.
+const FLAG_NOTE_BYTES: u64 = 8;
+
+/// Block-distributed target sequences with provenance and (optionally)
+/// exact-match fragment metadata.
+pub struct TargetStore {
+    /// Per-rank shared heaps of contig sequences.
+    pub seqs: SharedArray<Arc<PackedSeq>>,
+    /// Fragment metadata, aligned with `seqs` (present after
+    /// [`TargetStore::compute_flags`]).
+    pub frags: Option<SharedArray<FragMeta>>,
+    /// Original contig index of the first target on each rank.
+    starts: Vec<usize>,
+    n_targets: usize,
+}
+
+impl TargetStore {
+    /// Phase 1 of Algorithm 1: every rank reads its slice of the target
+    /// container into shared memory (I/O charged to the cost model).
+    pub fn load(machine: &mut Machine, db: &SeqDb) -> TargetStore {
+        let p = machine.topo().ranks();
+        let parts = machine.phase("read-targets", |ctx| {
+            ctx.charge_io(db.rank_slice_bytes(ctx.rank, p));
+            db.read_range(db.rank_slice(ctx.rank, p))
+                .into_iter()
+                .map(|rec| Arc::new(rec.seq))
+                .collect::<Vec<_>>()
+        });
+        let starts = (0..p).map(|r| block_range(db.len(), r, p).start).collect();
+        TargetStore {
+            seqs: SharedArray::from_parts(parts),
+            frags: None,
+            starts,
+            n_targets: db.len(),
+        }
+    }
+
+    /// Total targets.
+    pub fn n_targets(&self) -> usize {
+        self.n_targets
+    }
+
+    /// Original contig index of a stored target.
+    pub fn orig_id(&self, gref: GlobalRef) -> usize {
+        self.starts[gref.rank as usize] + gref.idx as usize
+    }
+
+    /// §IV-A preprocessing: derive per-target fragment metadata from the
+    /// seed-occurrence counts already sitting in the index partitions.
+    pub fn compute_flags(
+        &mut self,
+        machine: &mut Machine,
+        index: &SeedIndex,
+        fragment: bool,
+        min_fragment_seeds: usize,
+        buffer_size: usize,
+    ) {
+        let p = machine.topo().ranks();
+        let k = index.k();
+        let s = buffer_size.max(1);
+
+        // Sizing pass (uncharged): notifications per destination.
+        let dest_counts: Vec<AtomicU64> = (0..p).map(|_| AtomicU64::new(0)).collect();
+        machine.phase("flag-size", |ctx| {
+            let mut local = vec![0u64; p];
+            for (_kmer, hits) in index.partition(ctx.rank).iter() {
+                if hits.len() > 1 {
+                    for h in hits {
+                        local[h.target.rank as usize] += 1;
+                    }
+                }
+            }
+            for (dest, &n) in local.iter().enumerate() {
+                if n > 0 {
+                    dest_counts[dest].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        });
+        let stacks: Vec<ReservationStack<FlagNote>> = dest_counts
+            .iter()
+            .map(|c| ReservationStack::with_capacity(c.load(Ordering::Relaxed) as usize))
+            .collect();
+
+        // Send pass (charged): scan local seeds, notify target owners with
+        // aggregated transfers.
+        machine.phase("flag-send", |ctx| {
+            let part = index.partition(ctx.rank);
+            ctx.charge_lookup_probe(part.distinct_seeds() as u64);
+            let mut bufs: Vec<Vec<FlagNote>> = vec![Vec::new(); p];
+            let flush = |ctx: &mut pgas::RankCtx, dest: usize, buf: &mut Vec<FlagNote>| {
+                if buf.is_empty() {
+                    return;
+                }
+                ctx.charge_atomic(dest, CommTag::FlagPush);
+                ctx.charge_message(dest, FLAG_NOTE_BYTES * buf.len() as u64, CommTag::FlagPush);
+                stacks[dest].push_slice(buf);
+                buf.clear();
+            };
+            for (_kmer, hits) in part.iter() {
+                if hits.len() > 1 {
+                    for h in hits {
+                        let dest = h.target.rank as usize;
+                        bufs[dest].push(FlagNote {
+                            idx: h.target.idx,
+                            offset: h.offset,
+                        });
+                        if bufs[dest].len() == s {
+                            let mut buf = std::mem::take(&mut bufs[dest]);
+                            flush(ctx, dest, &mut buf);
+                            bufs[dest] = buf;
+                        }
+                    }
+                }
+            }
+            for dest in 0..p {
+                let mut buf = std::mem::take(&mut bufs[dest]);
+                flush(ctx, dest, &mut buf);
+            }
+        });
+
+        // Apply pass (charged, local): group notes per target, build
+        // fragment metadata for every local target.
+        let frag_parts = machine.phase("flag-apply", |ctx| {
+            let stack = &stacks[ctx.rank];
+            stack.seal();
+            let notes = stack.filled();
+            ctx.charge_drain(notes.len() as u64);
+            let my_targets = self.seqs.part(ctx.rank);
+            let mut per_target: Vec<Vec<u32>> = vec![Vec::new(); my_targets.len()];
+            for n in notes {
+                per_target[n.idx as usize].push(n.offset);
+            }
+            my_targets
+                .iter()
+                .zip(per_target.iter_mut())
+                .map(|(seqref, nonuniq)| {
+                    nonuniq.sort_unstable();
+                    nonuniq.dedup();
+                    let n_seeds = (seqref.len() + 1).saturating_sub(k) as u32;
+                    FragMeta::build(n_seeds, nonuniq, fragment, min_fragment_seeds as u32)
+                })
+                .collect::<Vec<_>>()
+        });
+        self.frags = Some(SharedArray::from_parts(frag_parts));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    mod fragmeta {
+        use super::*;
+
+        #[test]
+        fn all_unique_single_fragment() {
+            let m = FragMeta::build(100, &[], true, 16);
+            assert_eq!(m.fragments(), 1);
+            assert!(m.all_unique());
+            assert!(m.range_is_unique(0, 99));
+            assert!(!m.range_is_unique(0, 100)); // out of range
+        }
+
+        #[test]
+        fn unfragmented_nonunique_is_all_false() {
+            let m = FragMeta::build(100, &[50], false, 16);
+            assert_eq!(m.fragments(), 1);
+            assert!(!m.all_unique());
+            assert!(!m.range_is_unique(0, 10));
+        }
+
+        #[test]
+        fn bisection_isolates_bad_region() {
+            // One bad seed at offset 10 of 256: bisection should leave most
+            // of the right side unique.
+            let m = FragMeta::build(256, &[10], true, 16);
+            assert!(m.fragments() > 1);
+            // The right half must be unique.
+            assert!(m.range_is_unique(128, 255));
+            // A range covering the bad seed must not be unique.
+            assert!(!m.range_is_unique(0, 20));
+            // Bounds partition [0, 256] exactly.
+            assert_eq!(m.bounds[0], 0);
+            assert_eq!(*m.bounds.last().unwrap(), 256);
+            for w in m.bounds.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+
+        #[test]
+        fn min_len_stops_bisection() {
+            let m = FragMeta::build(64, &[1], true, 64);
+            // Can't split below 2×64: whole target is one non-unique frag.
+            assert_eq!(m.fragments(), 1);
+            assert!(!m.unique[0]);
+        }
+
+        #[test]
+        fn range_spanning_unique_fragments_is_unique() {
+            // Bad seeds only in [192, 256): ranges inside [0,192) are unique
+            // even when they span several unique fragments.
+            let m = FragMeta::build(256, &[200, 210, 220], true, 16);
+            assert!(m.range_is_unique(0, 191 - 0));
+            assert!(!m.range_is_unique(100, 210));
+        }
+
+        #[test]
+        fn empty_target() {
+            let m = FragMeta::build(0, &[], true, 16);
+            assert_eq!(m.fragments(), 0);
+            assert!(!m.range_is_unique(0, 0));
+        }
+
+        #[test]
+        fn fragments_partition_seed_space() {
+            let nonuniq: Vec<u32> = (40..60).chain(150..155).collect();
+            let m = FragMeta::build(300, &nonuniq, true, 8);
+            assert_eq!(m.bounds[0], 0);
+            assert_eq!(*m.bounds.last().unwrap(), 300);
+            // Every non-unique offset must be in a non-unique fragment;
+            // every offset outside must be in a unique one... verify by
+            // point queries.
+            for &off in &nonuniq {
+                assert!(!m.range_is_unique(off, off), "offset {off}");
+            }
+            assert!(m.range_is_unique(0, 30));
+            assert!(m.range_is_unique(200, 299));
+        }
+    }
+}

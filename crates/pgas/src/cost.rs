@@ -1,0 +1,177 @@
+//! The α–β communication / per-operation computation cost model.
+//!
+//! Every network and compute operation the algorithms perform is *executed
+//! for real* (buffers are copied, hash tables are filled, DP matrices are
+//! computed) and simultaneously *priced* through this model, yielding a
+//! deterministic simulated runtime for machines much larger than the host.
+//!
+//! Calibration (see DESIGN.md §5): latency/bandwidth constants are set to
+//! Cray-Aries-class values; per-operation compute constants are set so that
+//! phase-time *ratios* land where the paper's Figures 8–10 put them. The
+//! paper's reported ratios are driven by executed operation counts (messages,
+//! lookups, DP cells), not by these constants — `bench/benches` contains a
+//! cost-model ablation that perturbs the constants and re-derives the
+//! headline ratios to demonstrate this.
+
+/// Cost constants for the simulated machine. All times in nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    // ---- one-sided communication (α) ----
+    /// Latency of a one-sided get/put to a rank on another node.
+    pub alpha_remote_ns: f64,
+    /// Latency of a one-sided get/put to a rank on the same node
+    /// (shared-memory bypass).
+    pub alpha_local_ns: f64,
+
+    // ---- bandwidth (β) ----
+    /// Per-byte cost off-node.
+    pub beta_remote_ns_per_byte: f64,
+    /// Per-byte cost on-node.
+    pub beta_local_ns_per_byte: f64,
+
+    // ---- global atomics ----
+    /// A global atomic (e.g. `atomic_fetchadd`) targeting another node.
+    pub atomic_remote_ns: f64,
+    /// A global atomic targeting the same node.
+    pub atomic_local_ns: f64,
+    /// Acquiring/releasing a distributed lock (the naive hash-table build;
+    /// UPC software locks are far more expensive than bare AMOs).
+    pub lock_remote_ns: f64,
+    /// Same-node lock cost.
+    pub lock_local_ns: f64,
+
+    // ---- computation (per semantic operation) ----
+    /// Extracting one seed from a sequence and hashing it (rolling update +
+    /// djb2 + buffer bookkeeping).
+    pub seed_extract_ns: f64,
+    /// Draining one entry from the local-shared stack into a local bucket
+    /// (hash probe + list push + occurrence count).
+    pub bucket_insert_ns: f64,
+    /// Local probe cost of one seed-index lookup (hashing + bucket walk).
+    pub lookup_probe_ns: f64,
+    /// Probing a per-node software cache.
+    pub cache_probe_ns: f64,
+    /// One Smith-Waterman DP cell with the vectorized (striped) kernel.
+    pub sw_cell_simd_ns: f64,
+    /// One Smith-Waterman DP cell with the scalar kernel.
+    pub sw_cell_scalar_ns: f64,
+    /// Comparing one base in the exact-match `memcmp` fast path (word-wise,
+    /// 2-bit packed — far below 1 ns/base).
+    pub memcmp_ns_per_base: f64,
+
+    // ---- I/O ----
+    /// Sustained read bandwidth available to one node (bytes/s).
+    pub io_node_bw: f64,
+    /// Filesystem-wide saturation bandwidth (bytes/s); the aggregate across
+    /// all nodes cannot exceed this.
+    pub io_aggregate_bw: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alpha_remote_ns: 1_500.0,
+            alpha_local_ns: 80.0,
+            beta_remote_ns_per_byte: 0.32,
+            beta_local_ns_per_byte: 0.02,
+            atomic_remote_ns: 2_500.0,
+            atomic_local_ns: 50.0,
+            lock_remote_ns: 3_000.0,
+            lock_local_ns: 120.0,
+            seed_extract_ns: 600.0,
+            bucket_insert_ns: 400.0,
+            lookup_probe_ns: 150.0,
+            cache_probe_ns: 25.0,
+            sw_cell_simd_ns: 0.12,
+            sw_cell_scalar_ns: 1.1,
+            memcmp_ns_per_base: 0.06,
+            io_node_bw: 1.5e9,
+            io_aggregate_bw: 120e9,
+        }
+    }
+}
+
+impl CostModel {
+    /// Latency + bandwidth cost of one message of `bytes` between two ranks.
+    #[inline]
+    pub fn message_ns(&self, same_node: bool, bytes: u64) -> f64 {
+        if same_node {
+            self.alpha_local_ns + bytes as f64 * self.beta_local_ns_per_byte
+        } else {
+            self.alpha_remote_ns + bytes as f64 * self.beta_remote_ns_per_byte
+        }
+    }
+
+    /// Cost of a global atomic.
+    #[inline]
+    pub fn atomic_ns(&self, same_node: bool) -> f64 {
+        if same_node {
+            self.atomic_local_ns
+        } else {
+            self.atomic_remote_ns
+        }
+    }
+
+    /// Cost of a distributed lock acquire+release.
+    #[inline]
+    pub fn lock_ns(&self, same_node: bool) -> f64 {
+        if same_node {
+            self.lock_local_ns
+        } else {
+            self.lock_remote_ns
+        }
+    }
+
+    /// Per-rank time to read `bytes` from the parallel filesystem when all
+    /// `ppn` ranks of a node stream concurrently and `nodes` nodes share the
+    /// aggregate: each rank sees the worse of its node-share and its
+    /// aggregate-share bandwidth.
+    #[inline]
+    pub fn io_ns(&self, bytes: u64, ppn: usize, nodes: usize) -> f64 {
+        let node_share = self.io_node_bw / ppn as f64;
+        let agg_share = self.io_aggregate_bw / (ppn * nodes) as f64;
+        let bw = node_share.min(agg_share);
+        bytes as f64 / bw * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_costs_dominate_local() {
+        let c = CostModel::default();
+        assert!(c.message_ns(false, 0) > c.message_ns(true, 0));
+        assert!(c.atomic_ns(false) > c.atomic_ns(true));
+        assert!(c.lock_ns(false) > c.lock_ns(true));
+    }
+
+    #[test]
+    fn message_cost_scales_with_bytes() {
+        let c = CostModel::default();
+        let small = c.message_ns(false, 8);
+        let big = c.message_ns(false, 8 * 1024);
+        assert!(big > small);
+        // An aggregated transfer of S entries is far cheaper than S tiny ones.
+        let s = 1000u64;
+        let entry = 24u64;
+        let aggregated = c.message_ns(false, s * entry);
+        let finegrained = s as f64 * c.message_ns(false, entry);
+        assert!(
+            aggregated < finegrained / 50.0,
+            "aggregation must win big: {aggregated} vs {finegrained}"
+        );
+    }
+
+    #[test]
+    fn io_saturates_at_aggregate() {
+        let c = CostModel::default();
+        // 1 node: node bandwidth governs.
+        let one = c.io_ns(1_000_000, 24, 1);
+        // 640 nodes: aggregate bandwidth (120 GB/s) caps each node below
+        // its local 1.5 GB/s, so per-rank time is longer than naive scaling.
+        let many = c.io_ns(1_000_000, 24, 640);
+        assert!(many > one);
+    }
+}

@@ -1,0 +1,44 @@
+//! # pgas — a simulated PGAS runtime
+//!
+//! merAligner is written in UPC and runs on a Cray XC30; neither is available
+//! here, so this crate provides the UPC subset the paper uses as a *simulated
+//! distributed machine*:
+//!
+//! * [`Topology`] — `p` ranks packed `ppn`-per-node, the paper's
+//!   processor/node distinction that drives on-node vs off-node costs and the
+//!   per-*node* software caches.
+//! * [`Machine`] — an SPMD phase executor. Each call to [`Machine::phase`]
+//!   runs a closure once per rank (multiplexed over host threads) with an
+//!   implicit barrier at the end, mirroring UPC's bulk-synchronous structure
+//!   of Algorithm 1.
+//! * [`RankCtx`] — the per-rank handle through which algorithm code *charges*
+//!   communication (one-sided get/put, global atomics, I/O) and computation
+//!   to the [`CostModel`]. All charged operations are also **executed for
+//!   real** by the calling code — the model only prices them.
+//! * [`shared`] — global-address-space building blocks: [`GlobalRef`],
+//!   [`SharedArray`] (per-rank shared heaps) and [`ReservationStack`], the
+//!   pre-allocated "local-shared stack" with an atomic `stack_ptr` that the
+//!   aggregating-stores optimization reserves into with `atomic_fetchadd`
+//!   (paper §III-A).
+//!
+//! ## Timing model
+//!
+//! Simulated time for a phase is `max over ranks(compute + comm + io)`;
+//! end-to-end time is the sum over phases. Communication is α–β: each
+//! one-sided operation costs a latency α (different on-node vs off-node) plus
+//! bytes×β. Computation is charged per semantic operation (seed extracted,
+//! bucket filled, DP cell, byte compared…) with constants in [`CostModel`].
+//! Wall-clock time is recorded alongside as a secondary measurement. See
+//! DESIGN.md §5 for calibration.
+
+pub mod cost;
+pub mod machine;
+pub mod shared;
+pub mod stats;
+pub mod topology;
+
+pub use cost::CostModel;
+pub use machine::{Machine, MachineConfig, PhaseReport, RankCtx};
+pub use shared::{GlobalRef, ReservationStack, SharedArray};
+pub use stats::{CommTag, CompTag, RankStats, COMM_TAGS, COMP_TAGS};
+pub use topology::Topology;

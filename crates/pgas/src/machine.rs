@@ -1,0 +1,481 @@
+//! The SPMD phase executor and per-rank context.
+//!
+//! merAligner (Algorithm 1) is bulk-synchronous: read targets → extract →
+//! build index → read queries → align, with barriers between stages.
+//! [`Machine::phase`] runs one such stage: the closure executes once per
+//! rank, multiplexed over the host's threads, and the call returns only when
+//! every rank has finished — the implicit barrier.
+//!
+//! Simulated time for the phase is `max over ranks` of the per-rank charged
+//! time; phases accumulate into the machine's log, from which the figure
+//! harnesses read phase times, per-rank distributions (Table I) and
+//! communication breakdowns (Figs 9/10).
+
+use rayon::prelude::*;
+
+use crate::cost::CostModel;
+use crate::stats::{CommTag, CompTag, RankStats};
+use crate::topology::Topology;
+
+/// Configuration for a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Total ranks (the paper's "cores").
+    pub ranks: usize,
+    /// Ranks per node (24 on Edison).
+    pub ppn: usize,
+    /// The cost model pricing every operation.
+    pub cost: CostModel,
+    /// Run ranks sequentially in rank order instead of in parallel.
+    /// Slower, but makes cache-interleaving effects bit-for-bit
+    /// reproducible; results (alignments) are identical either way.
+    pub sequential: bool,
+}
+
+impl MachineConfig {
+    /// A machine with `ranks` ranks, `ppn` per node, default cost model.
+    pub fn new(ranks: usize, ppn: usize) -> Self {
+        MachineConfig {
+            ranks,
+            ppn,
+            cost: CostModel::default(),
+            sequential: false,
+        }
+    }
+}
+
+/// Everything measured about one completed phase.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Phase name (e.g. `"build-index"`).
+    pub name: String,
+    /// Simulated seconds: max over ranks of charged time.
+    pub sim_seconds: f64,
+    /// Host wall-clock seconds the phase actually took (secondary metric).
+    pub wall_seconds: f64,
+    /// Per-rank stats for this phase.
+    pub rank_stats: Vec<RankStats>,
+}
+
+impl PhaseReport {
+    /// All ranks' stats merged.
+    pub fn aggregate(&self) -> RankStats {
+        let mut agg = RankStats::default();
+        for s in &self.rank_stats {
+            agg.merge(s);
+        }
+        agg
+    }
+
+    /// (min, max, mean) of per-rank total simulated seconds.
+    pub fn rank_time_spread(&self) -> (f64, f64, f64) {
+        spread(self.rank_stats.iter().map(RankStats::total_ns))
+    }
+
+    /// (min, max, mean) of per-rank *computation* simulated seconds.
+    pub fn rank_comp_spread(&self) -> (f64, f64, f64) {
+        spread(self.rank_stats.iter().map(RankStats::comp_total_ns))
+    }
+
+    /// Mean over ranks of communication seconds charged to `tag`.
+    pub fn mean_comm_seconds(&self, tag: CommTag) -> f64 {
+        let n = self.rank_stats.len().max(1) as f64;
+        self.rank_stats
+            .iter()
+            .map(|s| s.comm_ns_for(tag))
+            .sum::<f64>()
+            / n
+            / 1e9
+    }
+
+    /// Max over ranks of total communication seconds.
+    pub fn max_comm_seconds(&self) -> f64 {
+        self.rank_stats
+            .iter()
+            .map(RankStats::comm_total_ns)
+            .fold(0.0, f64::max)
+            / 1e9
+    }
+
+    /// Max over ranks of total computation seconds.
+    pub fn max_comp_seconds(&self) -> f64 {
+        self.rank_stats
+            .iter()
+            .map(RankStats::comp_total_ns)
+            .fold(0.0, f64::max)
+            / 1e9
+    }
+}
+
+fn spread(it: impl Iterator<Item = f64>) -> (f64, f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in it {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        (0.0, 0.0, 0.0)
+    } else {
+        (min / 1e9, max / 1e9, sum / n as f64 / 1e9)
+    }
+}
+
+/// A simulated PGAS machine: topology + cost model + phase log.
+pub struct Machine {
+    topo: Topology,
+    cost: CostModel,
+    sequential: bool,
+    phases: Vec<PhaseReport>,
+}
+
+impl Machine {
+    /// Build a machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine {
+            topo: Topology::new(cfg.ranks, cfg.ppn),
+            cost: cfg.cost,
+            sequential: cfg.sequential,
+            phases: Vec::new(),
+        }
+    }
+
+    /// The machine's topology.
+    pub fn topo(&self) -> Topology {
+        self.topo
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Run one SPMD phase: `f` executes once per rank (in parallel unless
+    /// the machine is sequential); returns the per-rank results, rank-major.
+    /// The phase's timing lands in [`Machine::phases`].
+    pub fn phase<T, F>(&mut self, name: &str, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        let started = std::time::Instant::now();
+        let run_one = |rank: usize| -> (T, RankStats) {
+            let mut ctx = RankCtx {
+                rank,
+                topo: self.topo,
+                cost: &self.cost,
+                stats: RankStats::default(),
+            };
+            let out = f(&mut ctx);
+            (out, ctx.stats)
+        };
+        let pairs: Vec<(T, RankStats)> = if self.sequential {
+            (0..self.topo.ranks()).map(run_one).collect()
+        } else {
+            (0..self.topo.ranks()).into_par_iter().map(run_one).collect()
+        };
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let mut outs = Vec::with_capacity(pairs.len());
+        let mut rank_stats = Vec::with_capacity(pairs.len());
+        for (out, st) in pairs {
+            outs.push(out);
+            rank_stats.push(st);
+        }
+        let sim_seconds = rank_stats
+            .iter()
+            .map(RankStats::total_ns)
+            .fold(0.0, f64::max)
+            / 1e9;
+        self.phases.push(PhaseReport {
+            name: name.to_string(),
+            sim_seconds,
+            wall_seconds,
+            rank_stats,
+        });
+        outs
+    }
+
+    /// The phase log so far.
+    pub fn phases(&self) -> &[PhaseReport] {
+        &self.phases
+    }
+
+    /// Find a phase by name (last occurrence wins).
+    pub fn phase_named(&self, name: &str) -> Option<&PhaseReport> {
+        self.phases.iter().rev().find(|p| p.name == name)
+    }
+
+    /// Sum of simulated phase times — the end-to-end simulated runtime.
+    pub fn total_sim_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.sim_seconds).sum()
+    }
+
+    /// Sum of wall-clock phase times.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_seconds).sum()
+    }
+
+    /// Drop the phase log (e.g. between independent experiment repetitions).
+    pub fn clear_phases(&mut self) {
+        self.phases.clear();
+    }
+}
+
+/// Per-rank handle: identity, topology, and the charging interface.
+///
+/// Algorithm code performs its real work (hashing, copying, aligning) and
+/// calls `charge_*` to price it. The borrow is exclusive, so charging is
+/// plain arithmetic — no atomics on the measurement path.
+pub struct RankCtx<'a> {
+    /// This rank's id in `0..topo.ranks()`.
+    pub rank: usize,
+    topo: Topology,
+    cost: &'a CostModel,
+    stats: RankStats,
+}
+
+impl RankCtx<'_> {
+    /// Machine topology.
+    #[inline]
+    pub fn topo(&self) -> Topology {
+        self.topo
+    }
+
+    /// Cost model.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        self.cost
+    }
+
+    /// This rank's node.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.topo.node_of(self.rank)
+    }
+
+    /// Whether `other` shares this rank's node.
+    #[inline]
+    pub fn same_node(&self, other: usize) -> bool {
+        self.topo.same_node(self.rank, other)
+    }
+
+    /// Charge a one-sided message (get or put) of `bytes` to/from `dst`.
+    #[inline]
+    pub fn charge_message(&mut self, dst: usize, bytes: u64, tag: CommTag) {
+        let local = self.same_node(dst);
+        self.stats.comm_ns[tag.idx()] += self.cost.message_ns(local, bytes);
+        if local {
+            self.stats.msgs_local += 1;
+            self.stats.bytes_local += bytes;
+        } else {
+            self.stats.msgs_remote += 1;
+            self.stats.bytes_remote += bytes;
+        }
+    }
+
+    /// Charge a global atomic (the `atomic_fetchadd` of §III-A) on `dst`.
+    #[inline]
+    pub fn charge_atomic(&mut self, dst: usize, tag: CommTag) {
+        let local = self.same_node(dst);
+        self.stats.comm_ns[tag.idx()] += self.cost.atomic_ns(local);
+        if local {
+            self.stats.atomics_local += 1;
+        } else {
+            self.stats.atomics_remote += 1;
+        }
+    }
+
+    /// Charge a distributed lock acquire+release on `dst` (naive build).
+    #[inline]
+    pub fn charge_lock(&mut self, dst: usize, tag: CommTag) {
+        let local = self.same_node(dst);
+        self.stats.comm_ns[tag.idx()] += self.cost.lock_ns(local);
+        if local {
+            self.stats.atomics_local += 1;
+        } else {
+            self.stats.atomics_remote += 1;
+        }
+    }
+
+    /// Charge reading `bytes` from the parallel filesystem (all nodes
+    /// streaming concurrently).
+    #[inline]
+    pub fn charge_io(&mut self, bytes: u64) {
+        self.stats.io_bytes += bytes;
+        self.stats.comm_ns[CommTag::Io.idx()] +=
+            self.cost.io_ns(bytes, self.topo.ppn(), self.topo.nodes());
+    }
+
+    /// Charge extracting + hashing `n` seeds.
+    #[inline]
+    pub fn charge_extract(&mut self, n: u64) {
+        self.stats.comp_ns[CompTag::Extract.idx()] += n as f64 * self.cost.seed_extract_ns;
+    }
+
+    /// Charge draining `n` stack entries into local buckets.
+    #[inline]
+    pub fn charge_drain(&mut self, n: u64) {
+        self.stats.comp_ns[CompTag::Drain.idx()] += n as f64 * self.cost.bucket_insert_ns;
+    }
+
+    /// Charge the local compute of `n` index probes.
+    #[inline]
+    pub fn charge_lookup_probe(&mut self, n: u64) {
+        self.stats.comp_ns[CompTag::Lookup.idx()] += n as f64 * self.cost.lookup_probe_ns;
+    }
+
+    /// Charge `n` software-cache probes.
+    #[inline]
+    pub fn charge_cache_probe(&mut self, n: u64) {
+        self.stats.comp_ns[CompTag::Lookup.idx()] += n as f64 * self.cost.cache_probe_ns;
+    }
+
+    /// Charge `cells` Smith-Waterman DP cells (`simd` selects the kernel
+    /// constant).
+    #[inline]
+    pub fn charge_sw_cells(&mut self, cells: u64, simd: bool) {
+        let per = if simd {
+            self.cost.sw_cell_simd_ns
+        } else {
+            self.cost.sw_cell_scalar_ns
+        };
+        self.stats.comp_ns[CompTag::SmithWaterman.idx()] += cells as f64 * per;
+    }
+
+    /// Charge a word-wise exact comparison over `bases` bases.
+    #[inline]
+    pub fn charge_memcmp(&mut self, bases: u64) {
+        self.stats.comp_ns[CompTag::Memcmp.idx()] += bases as f64 * self.cost.memcmp_ns_per_base;
+    }
+
+    /// Charge arbitrary extra computation.
+    #[inline]
+    pub fn charge_compute_ns(&mut self, ns: f64, tag: CompTag) {
+        self.stats.comp_ns[tag.idx()] += ns;
+    }
+
+    /// Record a seed-index cache probe outcome.
+    #[inline]
+    pub fn note_seed_cache(&mut self, hit: bool) {
+        if hit {
+            self.stats.seed_cache_hits += 1;
+        } else {
+            self.stats.seed_cache_misses += 1;
+        }
+    }
+
+    /// Record a target cache probe outcome.
+    #[inline]
+    pub fn note_target_cache(&mut self, hit: bool) {
+        if hit {
+            self.stats.target_cache_hits += 1;
+        } else {
+            self.stats.target_cache_misses += 1;
+        }
+    }
+
+    /// Read access to the accumulating stats.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_runs_every_rank_and_barriers() {
+        let mut m = Machine::new(MachineConfig::new(16, 4));
+        let out = m.phase("ids", |ctx| ctx.rank * 2);
+        assert_eq!(out, (0..16).map(|r| r * 2).collect::<Vec<_>>());
+        assert_eq!(m.phases().len(), 1);
+        assert_eq!(m.phases()[0].rank_stats.len(), 16);
+    }
+
+    #[test]
+    fn sim_time_is_max_over_ranks() {
+        let mut m = Machine::new(MachineConfig::new(4, 2));
+        m.phase("skewed", |ctx| {
+            // Rank 3 does 10× the work.
+            let n = if ctx.rank == 3 { 1000 } else { 100 };
+            ctx.charge_extract(n);
+        });
+        let p = &m.phases()[0];
+        let expected = 1000.0 * m.cost().seed_extract_ns / 1e9;
+        assert!((p.sim_seconds - expected).abs() < 1e-12);
+        let (min, max, _avg) = p.rank_time_spread();
+        assert!(max > min);
+    }
+
+    #[test]
+    fn local_vs_remote_classification() {
+        let mut m = Machine::new(MachineConfig::new(8, 4));
+        m.phase("msgs", |ctx| {
+            if ctx.rank == 0 {
+                ctx.charge_message(1, 100, CommTag::Build); // same node (0..4)
+                ctx.charge_message(5, 100, CommTag::Build); // other node
+                ctx.charge_atomic(5, CommTag::Build);
+            }
+        });
+        let agg = m.phases()[0].aggregate();
+        assert_eq!(agg.msgs_local, 1);
+        assert_eq!(agg.msgs_remote, 1);
+        assert_eq!(agg.bytes_local, 100);
+        assert_eq!(agg.bytes_remote, 100);
+        assert_eq!(agg.atomics_remote, 1);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_charges() {
+        let run = |sequential| {
+            let mut cfg = MachineConfig::new(12, 4);
+            cfg.sequential = sequential;
+            let mut m = Machine::new(cfg);
+            m.phase("work", |ctx| {
+                ctx.charge_extract((ctx.rank + 1) as u64);
+                ctx.charge_message((ctx.rank + 1) % 12, 64, CommTag::SeedLookup);
+            });
+            let p = &m.phases()[0];
+            (
+                p.sim_seconds,
+                p.aggregate().msgs_local + p.aggregate().msgs_remote,
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn total_time_sums_phases() {
+        let mut m = Machine::new(MachineConfig::new(2, 2));
+        m.phase("a", |ctx| ctx.charge_extract(100));
+        m.phase("b", |ctx| ctx.charge_extract(300));
+        let a = m.phases()[0].sim_seconds;
+        let b = m.phases()[1].sim_seconds;
+        assert!((m.total_sim_seconds() - (a + b)).abs() < 1e-15);
+        assert!(m.phase_named("a").is_some());
+        assert!(m.phase_named("zzz").is_none());
+    }
+
+    #[test]
+    fn strong_scaling_of_balanced_work() {
+        // Fixed total work, growing machine ⇒ sim time shrinks ~linearly.
+        let total = 960_000u64;
+        let t = |p: usize| {
+            let mut m = Machine::new(MachineConfig::new(p, 24));
+            m.phase("w", |ctx| {
+                let _ = ctx;
+                ctx.charge_extract(total / p as u64);
+            });
+            m.total_sim_seconds()
+        };
+        let t480 = t(480);
+        let t960 = t(960);
+        let speedup = t480 / t960;
+        assert!((speedup - 2.0).abs() < 0.01, "speedup {speedup}");
+    }
+}

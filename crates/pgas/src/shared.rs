@@ -1,0 +1,322 @@
+//! Global-address-space building blocks.
+//!
+//! UPC programs place data in *shared* memory with affinity to a thread; any
+//! thread may read or write it with one-sided operations. Three primitives
+//! cover everything merAligner needs:
+//!
+//! * [`GlobalRef`] — a global pointer: (owner rank, index in the owner's
+//!   shared heap). The seed index stores these to name target sequences
+//!   ("the value is a pointer to the target sequence", §II-B).
+//! * [`SharedArray`] — per-rank shared heaps gathered after a phase; any rank
+//!   can read any part (the caller charges the communication).
+//! * [`ReservationStack`] — the paper's pre-allocated **local-shared stack**
+//!   with a shared `stack_ptr`: writers reserve a range with
+//!   `atomic_fetchadd` and copy their aggregated buffer into the reserved
+//!   slots (§III-A, steps (a)–(c)). Lock-free by construction.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A global pointer: which rank owns the object, and where it sits in that
+/// rank's shared heap. 8 bytes, `Copy` — these flow through the hash table by
+/// the hundreds of millions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalRef {
+    /// Owning rank.
+    pub rank: u32,
+    /// Index within the owner's shared heap.
+    pub idx: u32,
+}
+
+impl GlobalRef {
+    /// Construct from rank + index.
+    #[inline]
+    pub fn new(rank: usize, idx: usize) -> Self {
+        GlobalRef {
+            rank: rank as u32,
+            idx: idx as u32,
+        }
+    }
+}
+
+/// Per-rank shared heaps: `parts[r]` has affinity to rank `r`, and any rank
+/// may read any element through a [`GlobalRef`].
+///
+/// The array itself is immutable once built (merAligner's targets are written
+/// once in the read phase and only read afterwards); mutation happens through
+/// the dedicated concurrent structures instead.
+#[derive(Clone, Debug)]
+pub struct SharedArray<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T> SharedArray<T> {
+    /// Gather per-rank heaps (typically the per-rank outputs of a
+    /// [`crate::Machine::phase`] call).
+    pub fn from_parts(parts: Vec<Vec<T>>) -> Self {
+        SharedArray { parts }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The heap with affinity to `rank`.
+    pub fn part(&self, rank: usize) -> &[T] {
+        &self.parts[rank]
+    }
+
+    /// Read through a global pointer. The *caller* charges the communication
+    /// cost (it knows whether the access was cached, local or remote).
+    #[inline]
+    pub fn get(&self, r: GlobalRef) -> &T {
+        &self.parts[r.rank as usize][r.idx as usize]
+    }
+
+    /// Whether a global pointer is in range.
+    pub fn contains(&self, r: GlobalRef) -> bool {
+        (r.rank as usize) < self.parts.len()
+            && (r.idx as usize) < self.parts[r.rank as usize].len()
+    }
+
+    /// Total elements across all ranks.
+    pub fn total_len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate `(GlobalRef, &T)` over every element, rank-major.
+    pub fn iter_refs(&self) -> impl Iterator<Item = (GlobalRef, &T)> {
+        self.parts.iter().enumerate().flat_map(|(r, part)| {
+            part.iter()
+                .enumerate()
+                .map(move |(i, t)| (GlobalRef::new(r, i), t))
+        })
+    }
+}
+
+/// The paper's pre-allocated local-shared stack.
+///
+/// Writers call [`reserve`](Self::reserve) (the `atomic_fetchadd` on the
+/// shared `stack_ptr`) and then [`write`](Self::write) their aggregated
+/// entries into the reserved range; distinct reservations never overlap, so
+/// no locks are needed. After the phase barrier the owner calls
+/// [`seal`](Self::seal) and drains [`filled`](Self::filled) into its local
+/// hash-table buckets.
+///
+/// # Write/read protocol
+///
+/// Writing is only legal before [`seal`](Self::seal); reading only after.
+/// Both are checked at runtime. The cross-thread happens-before edge is
+/// provided by the phase barrier (thread join) that separates the writing
+/// phase from the reading phase.
+pub struct ReservationStack<T> {
+    slots: Box<[UnsafeCell<T>]>,
+    /// The paper's `stack_ptr`.
+    head: AtomicUsize,
+    sealed: AtomicBool,
+}
+
+// SAFETY: concurrent access to `slots` is confined to disjoint ranges handed
+// out by `reserve`'s fetch_add, and reads only happen after `seal` (checked).
+unsafe impl<T: Send> Sync for ReservationStack<T> {}
+
+impl<T: Copy + Default> ReservationStack<T> {
+    /// Pre-allocate space for exactly `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots: Vec<UnsafeCell<T>> = (0..capacity).map(|_| UnsafeCell::default()).collect();
+        ReservationStack {
+            slots: slots.into_boxed_slice(),
+            head: AtomicUsize::new(0),
+            sealed: AtomicBool::new(false),
+        }
+    }
+
+    /// Total pre-allocated slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries reserved so far.
+    pub fn len(&self) -> usize {
+        self.head.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Whether nothing has been reserved.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Atomically reserve `n` consecutive slots; returns the start offset.
+    /// This is the paper's steps (a)+(b): read `stack_ptr`, advance it by
+    /// `S` — fused into one `fetch_add`.
+    ///
+    /// # Panics
+    /// Panics if the stack is sealed or the reservation exceeds capacity
+    /// (the paper pre-allocates exact/ample space; overflow is a sizing bug).
+    pub fn reserve(&self, n: usize) -> usize {
+        assert!(
+            !self.sealed.load(Ordering::Acquire),
+            "reserve() on a sealed stack"
+        );
+        let start = self.head.fetch_add(n, Ordering::AcqRel);
+        assert!(
+            start + n <= self.slots.len(),
+            "local-shared stack overflow: reserved {}..{} of {}",
+            start,
+            start + n,
+            self.slots.len()
+        );
+        start
+    }
+
+    /// Copy `items` into previously reserved slots starting at `offset`
+    /// (the paper's step (c): the aggregate transfer).
+    ///
+    /// # Panics
+    /// Panics if the range was never reserved or the stack is sealed.
+    pub fn write(&self, offset: usize, items: &[T]) {
+        assert!(
+            !self.sealed.load(Ordering::Acquire),
+            "write() on a sealed stack"
+        );
+        assert!(
+            offset + items.len() <= self.head.load(Ordering::Acquire),
+            "write into unreserved slots"
+        );
+        for (i, item) in items.iter().enumerate() {
+            // SAFETY: `offset..offset+len` was handed out by exactly one
+            // `reserve` call; no other thread writes these slots, and no
+            // reads happen until `seal`.
+            unsafe {
+                *self.slots[offset + i].get() = *item;
+            }
+        }
+    }
+
+    /// Reserve-and-write in one call.
+    pub fn push_slice(&self, items: &[T]) -> usize {
+        let off = self.reserve(items.len());
+        self.write(off, items);
+        off
+    }
+
+    /// Freeze the stack for reading. Idempotent.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// The filled prefix, for the owner's drain pass.
+    ///
+    /// # Panics
+    /// Panics if the stack has not been sealed.
+    pub fn filled(&self) -> &[T] {
+        assert!(
+            self.sealed.load(Ordering::Acquire),
+            "filled() before seal()"
+        );
+        let n = self.len();
+        // SAFETY: sealed ⇒ no more writes; `0..n` were all written through
+        // exclusive reservations, and the phase barrier ordered those writes
+        // before this read.
+        unsafe { std::slice::from_raw_parts(self.slots.as_ptr() as *const T, n) }
+    }
+}
+
+impl<T: Copy + Default> std::fmt::Debug for ReservationStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReservationStack(len={}, cap={}, sealed={})",
+            self.len(),
+            self.capacity(),
+            self.sealed.load(Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn global_ref_roundtrip() {
+        let r = GlobalRef::new(7, 42);
+        assert_eq!(r.rank, 7);
+        assert_eq!(r.idx, 42);
+    }
+
+    #[test]
+    fn shared_array_access() {
+        let a = SharedArray::from_parts(vec![vec![1, 2], vec![3], vec![]]);
+        assert_eq!(a.ranks(), 3);
+        assert_eq!(*a.get(GlobalRef::new(0, 1)), 2);
+        assert_eq!(*a.get(GlobalRef::new(1, 0)), 3);
+        assert_eq!(a.total_len(), 3);
+        assert!(a.contains(GlobalRef::new(0, 0)));
+        assert!(!a.contains(GlobalRef::new(2, 0)));
+        let all: Vec<i32> = a.iter_refs().map(|(_, v)| *v).collect();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stack_single_thread() {
+        let s = ReservationStack::<u64>::with_capacity(10);
+        let off = s.push_slice(&[1, 2, 3]);
+        assert_eq!(off, 0);
+        let off2 = s.push_slice(&[4, 5]);
+        assert_eq!(off2, 3);
+        s.seal();
+        assert_eq!(s.filled(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn stack_overflow_panics() {
+        let s = ReservationStack::<u64>::with_capacity(2);
+        s.push_slice(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before seal")]
+    fn read_before_seal_panics() {
+        let s = ReservationStack::<u64>::with_capacity(2);
+        s.push_slice(&[1]);
+        let _ = s.filled();
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn write_after_seal_panics() {
+        let s = ReservationStack::<u64>::with_capacity(2);
+        s.seal();
+        s.push_slice(&[1]);
+    }
+
+    #[test]
+    fn stack_concurrent_writers_lose_nothing() {
+        // 8 writers × 1000 distinct items: every item must appear exactly once.
+        let s = Arc::new(ReservationStack::<u64>::with_capacity(8 * 1000));
+        let mut handles = Vec::new();
+        for w in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                // Aggregate in chunks of 100, like the S-sized buffers.
+                for chunk in 0..10u64 {
+                    let items: Vec<u64> =
+                        (0..100).map(|i| w * 1000 + chunk * 100 + i).collect();
+                    s.push_slice(&items);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        s.seal();
+        let mut got: Vec<u64> = s.filled().to_vec();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..8000).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-rank operation counters and time accumulators.
+//!
+//! Communication and computation are tagged so the figures can slice them the
+//! way the paper does: Fig 9 splits alignment-phase communication into *seed
+//! lookup* vs *fetching targets*; Fig 10 splits the aligning phase into
+//! *communication* vs *computation*; Table I needs per-rank min/max/avg.
+
+/// What a communication operation was for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommTag {
+    /// Seed-index construction traffic (aggregated flushes or naive inserts).
+    Build,
+    /// Seed-index lookups during the aligning phase.
+    SeedLookup,
+    /// Fetching candidate target sequences during the aligning phase.
+    TargetFetch,
+    /// Pushing `single_copy_seeds` flags / fragmentation metadata to target
+    /// owners (exact-match preprocessing).
+    FlagPush,
+    /// Parallel file I/O.
+    Io,
+    /// Anything else.
+    Other,
+}
+
+/// Number of [`CommTag`] variants (array-indexed accumulators).
+pub const COMM_TAGS: usize = 6;
+
+/// What a computation was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompTag {
+    /// Seed extraction + hashing.
+    Extract,
+    /// Draining stack entries into local buckets.
+    Drain,
+    /// Local portion of index lookups and cache probes.
+    Lookup,
+    /// Smith-Waterman DP cells.
+    SmithWaterman,
+    /// Exact-match word-wise comparison.
+    Memcmp,
+    /// Anything else.
+    Other,
+}
+
+/// Number of [`CompTag`] variants.
+pub const COMP_TAGS: usize = 6;
+
+impl CommTag {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            CommTag::Build => 0,
+            CommTag::SeedLookup => 1,
+            CommTag::TargetFetch => 2,
+            CommTag::FlagPush => 3,
+            CommTag::Io => 4,
+            CommTag::Other => 5,
+        }
+    }
+}
+
+impl CompTag {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            CompTag::Extract => 0,
+            CompTag::Drain => 1,
+            CompTag::Lookup => 2,
+            CompTag::SmithWaterman => 3,
+            CompTag::Memcmp => 4,
+            CompTag::Other => 5,
+        }
+    }
+}
+
+/// Counters and simulated-time accumulators for one rank in one phase.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankStats {
+    /// Off-node messages issued.
+    pub msgs_remote: u64,
+    /// On-node messages issued.
+    pub msgs_local: u64,
+    /// Bytes moved off-node.
+    pub bytes_remote: u64,
+    /// Bytes moved on-node.
+    pub bytes_local: u64,
+    /// Off-node global atomics.
+    pub atomics_remote: u64,
+    /// On-node global atomics.
+    pub atomics_local: u64,
+    /// Bytes read from the filesystem.
+    pub io_bytes: u64,
+    /// Simulated communication nanoseconds, by [`CommTag`].
+    pub comm_ns: [f64; COMM_TAGS],
+    /// Simulated computation nanoseconds, by [`CompTag`].
+    pub comp_ns: [f64; COMP_TAGS],
+    /// Software-cache hits (seed-index cache).
+    pub seed_cache_hits: u64,
+    /// Software-cache misses (seed-index cache).
+    pub seed_cache_misses: u64,
+    /// Software-cache hits (target cache).
+    pub target_cache_hits: u64,
+    /// Software-cache misses (target cache).
+    pub target_cache_misses: u64,
+}
+
+impl RankStats {
+    /// Total simulated communication time (ns), I/O included.
+    pub fn comm_total_ns(&self) -> f64 {
+        self.comm_ns.iter().sum()
+    }
+
+    /// Total simulated computation time (ns).
+    pub fn comp_total_ns(&self) -> f64 {
+        self.comp_ns.iter().sum()
+    }
+
+    /// Total simulated time (ns) this rank spent in the phase.
+    pub fn total_ns(&self) -> f64 {
+        self.comm_total_ns() + self.comp_total_ns()
+    }
+
+    /// Simulated communication time for one tag (ns).
+    pub fn comm_ns_for(&self, tag: CommTag) -> f64 {
+        self.comm_ns[tag.idx()]
+    }
+
+    /// Simulated computation time for one tag (ns).
+    pub fn comp_ns_for(&self, tag: CompTag) -> f64 {
+        self.comp_ns[tag.idx()]
+    }
+
+    /// Merge another rank/phase accumulator into this one.
+    pub fn merge(&mut self, other: &RankStats) {
+        self.msgs_remote += other.msgs_remote;
+        self.msgs_local += other.msgs_local;
+        self.bytes_remote += other.bytes_remote;
+        self.bytes_local += other.bytes_local;
+        self.atomics_remote += other.atomics_remote;
+        self.atomics_local += other.atomics_local;
+        self.io_bytes += other.io_bytes;
+        for i in 0..COMM_TAGS {
+            self.comm_ns[i] += other.comm_ns[i];
+        }
+        for i in 0..COMP_TAGS {
+            self.comp_ns[i] += other.comp_ns[i];
+        }
+        self.seed_cache_hits += other.seed_cache_hits;
+        self.seed_cache_misses += other.seed_cache_misses;
+        self.target_cache_hits += other.target_cache_hits;
+        self.target_cache_misses += other.target_cache_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_channels() {
+        let mut s = RankStats::default();
+        s.comm_ns[CommTag::Build.idx()] = 10.0;
+        s.comm_ns[CommTag::SeedLookup.idx()] = 5.0;
+        s.comp_ns[CompTag::SmithWaterman.idx()] = 7.0;
+        assert_eq!(s.comm_total_ns(), 15.0);
+        assert_eq!(s.comp_total_ns(), 7.0);
+        assert_eq!(s.total_ns(), 22.0);
+        assert_eq!(s.comm_ns_for(CommTag::SeedLookup), 5.0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = RankStats {
+            msgs_remote: 3,
+            bytes_local: 10,
+            ..Default::default()
+        };
+        a.comm_ns[0] = 1.0;
+        let mut b = RankStats {
+            msgs_remote: 4,
+            bytes_local: 5,
+            seed_cache_hits: 2,
+            ..Default::default()
+        };
+        b.comm_ns[0] = 2.0;
+        a.merge(&b);
+        assert_eq!(a.msgs_remote, 7);
+        assert_eq!(a.bytes_local, 15);
+        assert_eq!(a.seed_cache_hits, 2);
+        assert_eq!(a.comm_ns[0], 3.0);
+    }
+
+    #[test]
+    fn tag_indices_are_distinct() {
+        let comm = [
+            CommTag::Build,
+            CommTag::SeedLookup,
+            CommTag::TargetFetch,
+            CommTag::FlagPush,
+            CommTag::Io,
+            CommTag::Other,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in comm {
+            assert!(seen.insert(t.idx()));
+            assert!(t.idx() < COMM_TAGS);
+        }
+    }
+}

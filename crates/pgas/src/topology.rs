@@ -1,0 +1,108 @@
+//! Machine topology: ranks packed onto nodes.
+//!
+//! The paper's testbed (NERSC Edison) has 24 cores per node; merAligner maps
+//! one UPC thread per core, and locality matters twice: off-node one-sided
+//! operations are ~20× more expensive than on-node ones, and the software
+//! caches of §III-B are shared per *node*.
+
+/// Shape of the simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    ranks: usize,
+    ppn: usize,
+}
+
+impl Topology {
+    /// A machine with `ranks` total processors, `ppn` per node.
+    ///
+    /// The last node may be partially filled if `ppn` does not divide
+    /// `ranks`.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(ranks: usize, ppn: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        assert!(ppn > 0, "need at least one rank per node");
+        Topology { ranks, ppn }
+    }
+
+    /// A single-node machine (shared-memory mode, as in the paper's Fig 11).
+    pub fn single_node(ranks: usize) -> Self {
+        Self::new(ranks, ranks)
+    }
+
+    /// Total ranks.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Ranks per node.
+    #[inline]
+    pub fn ppn(&self) -> usize {
+        self.ppn
+    }
+
+    /// Number of nodes (`⌈ranks / ppn⌉`).
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.ranks.div_ceil(self.ppn)
+    }
+
+    /// Node housing `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.ranks);
+        rank / self.ppn
+    }
+
+    /// Whether two ranks share a node (⇒ cheap communication, shared cache).
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The ranks living on `node`.
+    pub fn ranks_on_node(&self, node: usize) -> std::ops::Range<usize> {
+        let lo = node * self.ppn;
+        let hi = ((node + 1) * self.ppn).min(self.ranks);
+        lo..hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_layout() {
+        let t = Topology::new(48, 24);
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(23), 0);
+        assert_eq!(t.node_of(24), 1);
+        assert!(t.same_node(0, 23));
+        assert!(!t.same_node(23, 24));
+        assert_eq!(t.ranks_on_node(1), 24..48);
+    }
+
+    #[test]
+    fn partial_last_node() {
+        let t = Topology::new(30, 24);
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.ranks_on_node(1), 24..30);
+    }
+
+    #[test]
+    fn single_node_is_one_node() {
+        let t = Topology::single_node(24);
+        assert_eq!(t.nodes(), 1);
+        assert!(t.same_node(0, 23));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        Topology::new(0, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Concurrency stress tests for the PGAS primitives: the lock-free
+//! reservation stack under heavy contention and phase-level determinism of
+//! charged statistics.
+
+use pgas::{CommTag, Machine, MachineConfig, ReservationStack};
+use proptest::prelude::*;
+
+#[test]
+fn reservation_stack_stress_many_writers_varied_chunks() {
+    // 16 simulated writers × irregular chunk sizes; every item exactly once.
+    let total: usize = (1..=16).map(|w| w * 97).sum();
+    let stack = std::sync::Arc::new(ReservationStack::<u64>::with_capacity(total));
+    let mut handles = Vec::new();
+    for w in 1..=16usize {
+        let stack = std::sync::Arc::clone(&stack);
+        handles.push(std::thread::spawn(move || {
+            let items: Vec<u64> = (0..w * 97).map(|i| (w as u64) << 32 | i as u64).collect();
+            // Irregular chunking exercises interleaved reservations.
+            let mut at = 0;
+            let mut chunk = 1;
+            while at < items.len() {
+                let end = (at + chunk).min(items.len());
+                stack.push_slice(&items[at..end]);
+                at = end;
+                chunk = chunk % 13 + 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stack.seal();
+    let mut got: Vec<u64> = stack.filled().to_vec();
+    assert_eq!(got.len(), total);
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got.len(), total, "no item may be lost or duplicated");
+}
+
+#[test]
+fn phase_charges_are_schedule_independent() {
+    // Aggregated charge totals must not depend on rayon's scheduling.
+    let run = || {
+        let mut m = Machine::new(MachineConfig::new(64, 8));
+        m.phase("work", |ctx| {
+            for i in 0..100u64 {
+                ctx.charge_message((ctx.rank + i as usize) % 64, i, CommTag::SeedLookup);
+                ctx.charge_extract(i);
+            }
+        });
+        let agg = m.phases()[0].aggregate();
+        (
+            agg.msgs_local,
+            agg.msgs_remote,
+            agg.bytes_local + agg.bytes_remote,
+            agg.comp_total_ns().to_bits(),
+        )
+    };
+    let first = run();
+    for _ in 0..3 {
+        assert_eq!(run(), first);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn prop_stack_capacity_boundary(cap in 0usize..64, chunks in proptest::collection::vec(1usize..8, 0..10)) {
+        let total: usize = chunks.iter().sum();
+        let stack = ReservationStack::<u32>::with_capacity(cap);
+        let mut pushed = 0usize;
+        for c in chunks {
+            if pushed + c <= cap {
+                let items: Vec<u32> = (0..c as u32).collect();
+                stack.push_slice(&items);
+                pushed += c;
+            }
+        }
+        stack.seal();
+        prop_assert_eq!(stack.filled().len(), pushed.min(cap));
+        prop_assert!(stack.len() <= cap || total <= cap);
+    }
+
+    #[test]
+    fn prop_io_model_monotone(bytes in 1u64..1_000_000, ppn in 1usize..32, nodes in 1usize..700) {
+        // More bytes never takes less time; more nodes never *reduces*
+        // per-rank time (aggregate saturation only slows things down).
+        let cost = pgas::CostModel::default();
+        let t = cost.io_ns(bytes, ppn, nodes);
+        prop_assert!(t > 0.0);
+        prop_assert!(cost.io_ns(bytes * 2, ppn, nodes) >= t);
+        prop_assert!(cost.io_ns(bytes, ppn, nodes * 2) >= t);
+    }
+
+    #[test]
+    fn prop_message_cost_linear_in_bytes(b1 in 0u64..100_000, b2 in 0u64..100_000) {
+        let cost = pgas::CostModel::default();
+        let f = |b| cost.message_ns(false, b);
+        // α + βb is affine: f(b1) + f(b2) == f(b1+b2) + α.
+        let lhs = f(b1) + f(b2);
+        let rhs = f(b1 + b2) + cost.alpha_remote_ns;
+        prop_assert!((lhs - rhs).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,111 @@
+//! The 2-bit DNA alphabet.
+//!
+//! The paper (§V-C) packs `{A,C,G,T}` into two bits per base to cut memory
+//! and communication volume by 4×. We use the conventional encoding
+//! `A=0, C=1, G=2, T=3`, chosen so that the complement of a code is its
+//! bitwise XOR with 3 (`A↔T`, `C↔G`).
+
+/// Number of distinct nucleotide codes.
+pub const ALPHABET_SIZE: usize = 4;
+
+/// Encode an ASCII nucleotide into its 2-bit code.
+///
+/// Accepts upper- and lower-case `ACGT`. Returns `None` for anything else
+/// (including `N`, which callers must track separately via the `N`-mask on
+/// [`crate::PackedSeq`]).
+#[inline]
+pub fn encode_base(ascii: u8) -> Option<u8> {
+    match ascii {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// Decode a 2-bit code back into upper-case ASCII.
+///
+/// # Panics
+/// Panics in debug builds if `code > 3`.
+#[inline]
+pub fn decode_base(code: u8) -> u8 {
+    debug_assert!(code < 4, "invalid 2-bit base code {code}");
+    const LUT: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    LUT[(code & 3) as usize]
+}
+
+/// Complement of a 2-bit code: `A↔T`, `C↔G`.
+#[inline]
+pub fn complement(code: u8) -> u8 {
+    code ^ 3
+}
+
+/// Whether an ASCII byte is a strict `ACGT` base (either case).
+#[inline]
+pub fn is_valid_base(ascii: u8) -> bool {
+    encode_base(ascii).is_some()
+}
+
+/// Complement an ASCII nucleotide, passing `N`/unknown bytes through
+/// unchanged. Used by the text-level reverse-complement helpers.
+#[inline]
+pub fn complement_ascii(ascii: u8) -> u8 {
+    match ascii {
+        b'A' => b'T',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'T' => b'A',
+        b'a' => b't',
+        b'c' => b'g',
+        b'g' => b'c',
+        b't' => b'a',
+        other => other,
+    }
+}
+
+/// Reverse-complement an ASCII sequence into a fresh `Vec`.
+pub fn reverse_complement_ascii(seq: &[u8]) -> Vec<u8> {
+    seq.iter().rev().map(|&b| complement_ascii(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for &b in b"ACGT" {
+            let code = encode_base(b).unwrap();
+            assert_eq!(decode_base(code), b);
+        }
+        for &b in b"acgt" {
+            let code = encode_base(b).unwrap();
+            assert_eq!(decode_base(code), b.to_ascii_uppercase());
+        }
+    }
+
+    #[test]
+    fn non_bases_rejected() {
+        for &b in b"NnXU*-. 0" {
+            assert_eq!(encode_base(b), None);
+            assert!(!is_valid_base(b));
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for code in 0..4u8 {
+            assert_eq!(complement(complement(code)), code);
+        }
+        assert_eq!(complement(0), 3); // A -> T
+        assert_eq!(complement(1), 2); // C -> G
+    }
+
+    #[test]
+    fn ascii_reverse_complement() {
+        assert_eq!(reverse_complement_ascii(b"ACGT"), b"ACGT".to_vec());
+        assert_eq!(reverse_complement_ascii(b"AACG"), b"CGTT".to_vec());
+        assert_eq!(reverse_complement_ascii(b"ANA"), b"TNT".to_vec());
+    }
+}

@@ -1,0 +1,225 @@
+//! FASTA / FASTQ text parsing and writing.
+//!
+//! The paper's pipeline ingests FASTQ ("a text file that includes one read
+//! per line with another line of the same length encoding the quality",
+//! §V-A) and notes that text formats cannot be read scalably in parallel —
+//! which is exactly why [`crate::seqdb`] exists. These parsers are used to
+//! produce SDB1 containers and for small-scale interchange.
+
+use std::io::{self, BufRead, Write};
+
+use crate::packed::PackedSeq;
+
+/// One FASTA record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header line, without the leading `>`.
+    pub id: String,
+    /// Raw sequence bytes (possibly multi-line in the source).
+    pub seq: Vec<u8>,
+}
+
+impl FastaRecord {
+    /// Pack the sequence (N-aware).
+    pub fn packed(&self) -> PackedSeq {
+        PackedSeq::from_ascii(&self.seq)
+    }
+}
+
+/// One FASTQ record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Header line, without the leading `@`.
+    pub id: String,
+    /// Raw sequence bytes.
+    pub seq: Vec<u8>,
+    /// Phred+33 quality string, same length as `seq`.
+    pub qual: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Pack the sequence (N-aware).
+    pub fn packed(&self) -> PackedSeq {
+        PackedSeq::from_ascii(&self.seq)
+    }
+}
+
+/// Parse a whole FASTA stream.
+///
+/// Multi-line sequences are concatenated; blank lines are ignored.
+pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<FastaRecord>> {
+    let mut records = Vec::new();
+    let mut cur: Option<FastaRecord> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = cur.take() {
+                records.push(rec);
+            }
+            cur = Some(FastaRecord {
+                id: header.to_string(),
+                seq: Vec::new(),
+            });
+        } else {
+            match &mut cur {
+                Some(rec) => rec.seq.extend_from_slice(line.as_bytes()),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "FASTA sequence data before first header",
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(rec) = cur.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Write FASTA with the given line width (0 = unwrapped).
+pub fn write_fasta<W: Write>(mut w: W, records: &[FastaRecord], width: usize) -> io::Result<()> {
+    for rec in records {
+        writeln!(w, ">{}", rec.id)?;
+        if width == 0 {
+            w.write_all(&rec.seq)?;
+            writeln!(w)?;
+        } else {
+            for chunk in rec.seq.chunks(width) {
+                w.write_all(chunk)?;
+                writeln!(w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse a whole FASTQ stream (strict 4-line records).
+pub fn read_fastq<R: BufRead>(reader: R) -> io::Result<Vec<FastqRecord>> {
+    let mut lines = reader.lines();
+    let mut records = Vec::new();
+    loop {
+        let Some(header) = lines.next() else { break };
+        let header = header?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("FASTQ header must start with '@', got {header:?}"),
+                )
+            })?
+            .to_string();
+        let seq = next_line(&mut lines, "sequence")?;
+        let plus = next_line(&mut lines, "separator")?;
+        if !plus.starts_with('+') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "FASTQ separator line must start with '+'",
+            ));
+        }
+        let qual = next_line(&mut lines, "quality")?;
+        if qual.len() != seq.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "FASTQ quality length {} != sequence length {} for record {id}",
+                    qual.len(),
+                    seq.len()
+                ),
+            ));
+        }
+        records.push(FastqRecord {
+            id,
+            seq: seq.into_bytes(),
+            qual: qual.into_bytes(),
+        });
+    }
+    Ok(records)
+}
+
+fn next_line<I: Iterator<Item = io::Result<String>>>(
+    lines: &mut I,
+    what: &str,
+) -> io::Result<String> {
+    match lines.next() {
+        Some(l) => Ok(l?.trim_end().to_string()),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("truncated FASTQ record: missing {what} line"),
+        )),
+    }
+}
+
+/// Write FASTQ records.
+pub fn write_fastq<W: Write>(mut w: W, records: &[FastqRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(w, "@{}", rec.id)?;
+        w.write_all(&rec.seq)?;
+        writeln!(w)?;
+        writeln!(w, "+")?;
+        w.write_all(&rec.qual)?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fasta_roundtrip() {
+        let input = b">ctg1 first\nACGT\nACGT\n>ctg2\nTTTT\n";
+        let recs = read_fasta(&input[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "ctg1 first");
+        assert_eq!(recs[0].seq, b"ACGTACGT");
+        let mut out = Vec::new();
+        write_fasta(&mut out, &recs, 0).unwrap();
+        let again = read_fasta(&out[..]).unwrap();
+        assert_eq!(again, recs);
+    }
+
+    #[test]
+    fn fasta_wrapping() {
+        let recs = vec![FastaRecord {
+            id: "x".into(),
+            seq: b"ACGTACGTAC".to_vec(),
+        }];
+        let mut out = Vec::new();
+        write_fasta(&mut out, &recs, 4).unwrap();
+        assert_eq!(out, b">x\nACGT\nACGT\nAC\n".to_vec());
+    }
+
+    #[test]
+    fn fastq_roundtrip() {
+        let input = b"@r1\nACGT\n+\nIIII\n@r2\nTTAA\n+\n!!!!\n";
+        let recs = read_fastq(&input[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].seq, b"TTAA");
+        let mut out = Vec::new();
+        write_fastq(&mut out, &recs).unwrap();
+        assert_eq!(read_fastq(&out[..]).unwrap(), recs);
+    }
+
+    #[test]
+    fn fastq_rejects_malformed() {
+        assert!(read_fastq(&b"ACGT\n"[..]).is_err());
+        assert!(read_fastq(&b"@r1\nACGT\n+\nII\n"[..]).is_err()); // qual too short
+        assert!(read_fastq(&b"@r1\nACGT\n"[..]).is_err()); // truncated
+    }
+
+    #[test]
+    fn fasta_data_before_header_is_error() {
+        assert!(read_fasta(&b"ACGT\n>x\nA\n"[..]).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Fixed-length seeds (k-mers) packed into 128 bits.
+//!
+//! merAligner's seeds are length-k substrings (k = 51 for the human/wheat
+//! runs, k = 19 for E. coli). A [`Kmer`] stores up to k = 64 bases as a
+//! 2-bit-packed big-endian integer: the first base of the seed occupies the
+//! highest-order bit pair. Rolling extraction over a [`PackedSeq`] produces
+//! every seed of a target or query in O(1) amortized time per position, and
+//! windows containing an `N` are skipped (an unknown base can never anchor an
+//! exact seed match).
+//!
+//! The seed → processor map uses the djb2 hash, as in the paper (§VI-C-1:
+//! "thanks to our use of the djb2 hash function to implement the seed to
+//! processor map").
+
+use crate::packed::PackedSeq;
+
+/// Maximum supported seed length.
+pub const MAX_K: usize = 64;
+
+/// A 2-bit packed seed of length ≤ [`MAX_K`].
+///
+/// The seed length `k` is a property of the index, not of each seed, so it is
+/// passed to the methods that need it; this keeps the type at 16 bytes, which
+/// matters when hundreds of millions of seed entries flow through the
+/// distributed hash table.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Kmer {
+    bits: u128,
+}
+
+impl Kmer {
+    /// The all-`A` seed (zero bits).
+    pub const ZERO: Kmer = Kmer { bits: 0 };
+
+    /// Build from raw bits (low `2k` bits significant).
+    #[inline]
+    pub fn from_bits(bits: u128) -> Self {
+        Kmer { bits }
+    }
+
+    /// Raw packed bits.
+    #[inline]
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Append base `code` on the right, dropping the leftmost base of a
+    /// length-`k` window (rolling update).
+    #[inline]
+    pub fn roll(self, code: u8, k: usize) -> Self {
+        debug_assert!(code < 4 && k <= MAX_K);
+        let bits = ((self.bits << 2) | u128::from(code)) & mask(k);
+        Kmer { bits }
+    }
+
+    /// The 2-bit code of base `i` (0 = first/leftmost base of the seed).
+    #[inline]
+    pub fn base(&self, i: usize, k: usize) -> u8 {
+        debug_assert!(i < k);
+        ((self.bits >> (2 * (k - 1 - i))) & 3) as u8
+    }
+
+    /// Parse from ASCII; `None` if any byte is not a strict `ACGT` base or
+    /// the length exceeds [`MAX_K`].
+    pub fn from_ascii(s: &[u8]) -> Option<Self> {
+        if s.len() > MAX_K {
+            return None;
+        }
+        let mut km = Kmer::ZERO;
+        for &b in s {
+            km = km.roll(crate::alphabet::encode_base(b)?, s.len());
+        }
+        Some(km)
+    }
+
+    /// Decode to ASCII.
+    pub fn to_ascii(&self, k: usize) -> Vec<u8> {
+        (0..k)
+            .map(|i| crate::alphabet::decode_base(self.base(i, k)))
+            .collect()
+    }
+
+    /// Reverse complement of this seed.
+    pub fn reverse_complement(&self, k: usize) -> Self {
+        // Complement: every 2-bit group XOR 0b11 == bitwise NOT (masked).
+        // Reverse: byte-swap, then swap nibbles, then swap bit pairs, which
+        // reverses all 64 2-bit groups of the u128; finally shift the seed
+        // down from the top.
+        let mut x = !self.bits;
+        x = x.swap_bytes();
+        x = ((x >> 4) & NIBBLES) | ((x & NIBBLES) << 4);
+        x = ((x >> 2) & PAIRS) | ((x & PAIRS) << 2);
+        Kmer {
+            bits: (x >> (128 - 2 * k)) & mask(k),
+        }
+    }
+
+    /// The lexicographically smaller of the seed and its reverse complement.
+    pub fn canonical(&self, k: usize) -> Self {
+        let rc = self.reverse_complement(k);
+        if rc.bits < self.bits {
+            rc
+        } else {
+            *self
+        }
+    }
+
+    /// The packed little-endian bytes carrying this seed (`ceil(2k/8)` of
+    /// them) — the representation that travels over the wire and that the
+    /// djb2 processor map hashes.
+    pub fn packed_bytes(&self, k: usize) -> impl Iterator<Item = u8> {
+        let n = (2 * k).div_ceil(8);
+        let le = self.bits.to_le_bytes();
+        le.into_iter().take(n)
+    }
+}
+
+const NIBBLES: u128 = 0x0f0f_0f0f_0f0f_0f0f_0f0f_0f0f_0f0f_0f0f;
+const PAIRS: u128 = 0x3333_3333_3333_3333_3333_3333_3333_3333;
+
+#[inline]
+fn mask(k: usize) -> u128 {
+    if 2 * k >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << (2 * k)) - 1
+    }
+}
+
+impl std::fmt::Debug for Kmer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kmer({:#x})", self.bits)
+    }
+}
+
+/// The djb2 string hash over a seed's packed bytes.
+///
+/// `h = 5381; h = h * 33 + c` — exactly the function the paper credits for
+/// its near-perfect distribution of distinct seeds over processors.
+#[inline]
+pub fn djb2_hash(kmer: Kmer, k: usize) -> u64 {
+    let mut h: u64 = 5381;
+    for b in kmer.packed_bytes(k) {
+        h = h.wrapping_mul(33).wrapping_add(u64::from(b));
+    }
+    h
+}
+
+/// A fast 64-bit mixer (splitmix64 finalizer) used for *bucket* placement
+/// within a partition — independent from the djb2 processor map so the two
+/// levels of hashing don't correlate.
+#[inline]
+pub fn bucket_hash(kmer: Kmer) -> u64 {
+    let mut z = (kmer.bits as u64) ^ ((kmer.bits >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Extract the seed starting at `pos`; `None` if it runs past the end or
+/// covers an `N`.
+pub fn kmer_at(seq: &PackedSeq, pos: usize, k: usize) -> Option<Kmer> {
+    if pos + k > seq.len() || seq.count_n_in(pos, k) > 0 {
+        return None;
+    }
+    let mut km = Kmer::ZERO;
+    for i in pos..pos + k {
+        km = km.roll(seq.get(i), k);
+    }
+    Some(km)
+}
+
+/// Rolling iterator over every seed of a sequence, in offset order, skipping
+/// windows that contain an `N`. Yields `(offset, kmer)`.
+///
+/// This is the `EXTRACTSEEDS` routine of Algorithm 1: a target of length `L`
+/// yields `L − k + 1` seeds (fewer if `N`s interrupt).
+pub struct KmerIter<'a> {
+    seq: &'a PackedSeq,
+    k: usize,
+    pos: usize,
+    /// How many consecutive non-N bases end at `pos` (exclusive).
+    run: usize,
+    cur: Kmer,
+}
+
+impl<'a> KmerIter<'a> {
+    /// Iterate seeds of length `k` over `seq`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > MAX_K`.
+    pub fn new(seq: &'a PackedSeq, k: usize) -> Self {
+        assert!(k >= 1 && k <= MAX_K, "seed length {k} out of range");
+        KmerIter {
+            seq,
+            k,
+            pos: 0,
+            run: 0,
+            cur: Kmer::ZERO,
+        }
+    }
+}
+
+impl Iterator for KmerIter<'_> {
+    type Item = (u32, Kmer);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pos < self.seq.len() {
+            let i = self.pos;
+            self.pos += 1;
+            if self.seq.is_n(i) {
+                self.run = 0;
+                continue;
+            }
+            self.cur = self.cur.roll(self.seq.get(i), self.k);
+            self.run += 1;
+            if self.run >= self.k {
+                let offset = (i + 1 - self.k) as u32;
+                return Some((offset, self.cur));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.seq.len().saturating_sub(self.pos)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_to_ascii() {
+        let km = Kmer::from_ascii(b"ACGTT").unwrap();
+        assert_eq!(km.to_ascii(5), b"ACGTT".to_vec());
+        assert_eq!(km.base(0, 5), 0);
+        assert_eq!(km.base(4, 5), 3);
+        assert!(Kmer::from_ascii(b"ACGN").is_none());
+    }
+
+    #[test]
+    fn rolling_matches_direct() {
+        let seq = PackedSeq::from_ascii(b"ACGTACGTGGTACC");
+        let k = 5;
+        let got: Vec<_> = KmerIter::new(&seq, k).collect();
+        assert_eq!(got.len(), seq.len() - k + 1);
+        for (off, km) in got {
+            let direct = kmer_at(&seq, off as usize, k).unwrap();
+            assert_eq!(km, direct, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn iter_skips_n_windows() {
+        let seq = PackedSeq::from_ascii(b"ACGTNACGTA");
+        let got: Vec<_> = KmerIter::new(&seq, 3).collect();
+        let offsets: Vec<u32> = got.iter().map(|(o, _)| *o).collect();
+        // Windows covering position 4 (the N) are absent.
+        assert_eq!(offsets, vec![0, 1, 5, 6, 7]);
+    }
+
+    #[test]
+    fn revcomp_known() {
+        let km = Kmer::from_ascii(b"AACGT").unwrap();
+        assert_eq!(km.reverse_complement(5).to_ascii(5), b"ACGTT".to_vec());
+        // Palindrome (even-length): rc equals itself.
+        let pal = Kmer::from_ascii(b"ACGT").unwrap();
+        assert_eq!(pal.reverse_complement(4), pal);
+    }
+
+    #[test]
+    fn revcomp_k51_involution() {
+        let s: Vec<u8> = (0..51).map(|i| b"ACGT"[(i * 7 + 3) % 4]).collect();
+        let km = Kmer::from_ascii(&s).unwrap();
+        assert_eq!(km.reverse_complement(51).reverse_complement(51), km);
+        assert_eq!(
+            km.reverse_complement(51).to_ascii(51),
+            crate::alphabet::reverse_complement_ascii(&s)
+        );
+    }
+
+    #[test]
+    fn djb2_is_stable_and_spreads() {
+        let a = djb2_hash(Kmer::from_ascii(b"ACGTACGTACGTACGTACG").unwrap(), 19);
+        let b = djb2_hash(Kmer::from_ascii(b"ACGTACGTACGTACGTACC").unwrap(), 19);
+        assert_ne!(a, b);
+        // Stability: documented value so the partition map never silently changes.
+        let again = djb2_hash(Kmer::from_ascii(b"ACGTACGTACGTACGTACG").unwrap(), 19);
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn canonical_picks_smaller() {
+        let km = Kmer::from_ascii(b"TTTTT").unwrap();
+        assert_eq!(km.canonical(5).to_ascii(5), b"AAAAA".to_vec());
+    }
+
+    fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 1..max)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_revcomp_matches_ascii(s in dna(64)) {
+            let k = s.len();
+            let km = Kmer::from_ascii(&s).unwrap();
+            let rc_ascii = crate::alphabet::reverse_complement_ascii(&s);
+            prop_assert_eq!(km.reverse_complement(k).to_ascii(k), rc_ascii);
+        }
+
+        #[test]
+        fn prop_iter_matches_naive(s in dna(300), k in 1usize..20) {
+            let seq = PackedSeq::from_ascii(&s);
+            let got: Vec<_> = KmerIter::new(&seq, k).collect();
+            if s.len() >= k {
+                prop_assert_eq!(got.len(), s.len() - k + 1);
+                for (off, km) in got {
+                    prop_assert_eq!(km.to_ascii(k), s[off as usize..off as usize + k].to_vec());
+                }
+            } else {
+                prop_assert!(got.is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_roll_window(s in dna(100), k in 1usize..12) {
+            // Rolling k-mers equal direct extraction everywhere.
+            let seq = PackedSeq::from_ascii(&s);
+            for (off, km) in KmerIter::new(&seq, k) {
+                prop_assert_eq!(Some(km), kmer_at(&seq, off as usize, k));
+            }
+        }
+    }
+}

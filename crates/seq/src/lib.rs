@@ -1,0 +1,31 @@
+//! # seq — DNA sequence substrate for the merAligner reproduction
+//!
+//! This crate provides everything the aligner needs to represent and move
+//! nucleotide data around, mirroring the facilities the paper builds on:
+//!
+//! * [`alphabet`] — the 2-bit `{A,C,G,T}` code, complements, and ASCII maps
+//!   (paper §V-C: "only two-bits per base are required").
+//! * [`packed`] — [`PackedSeq`]: 2-bit packed sequences with an optional
+//!   `N`-mask, word-level random access and the fast sub-sequence comparison
+//!   that backs the exact-match optimization's `memcmp()` (paper §IV-A).
+//! * [`kmer`] — [`Kmer`]: fixed-length seeds up to k = 64 packed into 128
+//!   bits, rolling extraction over packed sequences, reverse complements and
+//!   the djb2 seed→processor hash the paper cites (§VI-C-1).
+//! * [`fastx`] — FASTA/FASTQ text parsing and writing.
+//! * [`seqdb`] — "SDB1", our block-indexed binary container standing in for
+//!   SeqDB-on-HDF5 (paper §V-A): any rank can read exactly its slice of
+//!   records without scanning the file.
+//!
+//! All types are deterministic and allocation-conscious; see DESIGN.md at the
+//! workspace root for how they map onto the paper.
+
+pub mod alphabet;
+pub mod fastx;
+pub mod kmer;
+pub mod packed;
+pub mod seqdb;
+
+pub use alphabet::{complement, decode_base, encode_base, is_valid_base};
+pub use kmer::{bucket_hash, djb2_hash, kmer_at, Kmer, KmerIter};
+pub use packed::PackedSeq;
+pub use seqdb::{SeqDb, SeqDbBuilder, SeqRecord};

@@ -1,0 +1,451 @@
+//! 2-bit packed DNA sequences.
+//!
+//! [`PackedSeq`] is the workhorse sequence type of the reproduction: reads,
+//! contigs and contig fragments are all stored packed, 32 bases per `u64`
+//! word, which is the paper's §V-C compression ("reduces the memory footprint
+//! by 4×, while also reducing the bandwidth by 4×").
+//!
+//! Bases that were `N` (or any other non-`ACGT` byte) in the input are stored
+//! as `A` in the packed words and flagged in an optional side bitmask, so
+//! seeds overlapping an `N` can be skipped during extraction and exact-match
+//! comparisons involving an `N` correctly fail.
+
+use crate::alphabet::{complement, decode_base, encode_base};
+
+/// Bases stored per 64-bit word.
+const BASES_PER_WORD: usize = 32;
+
+/// A DNA sequence packed at 2 bits/base with an optional `N` mask.
+///
+/// Base `i` lives in word `i / 32` at bit offset `2 * (i % 32)` (LSB-first),
+/// so `word_at(i)` can assemble any 32-base window with two shifts — the
+/// primitive behind the word-wise `memcmp` used by the exact-match
+/// optimization (paper §IV-A).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct PackedSeq {
+    words: Vec<u64>,
+    len: usize,
+    /// 1 bit per base; set ⇒ the original base was not a strict `ACGT`.
+    /// `None` when the sequence is N-free (the common case).
+    nmask: Option<Vec<u64>>,
+}
+
+impl PackedSeq {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty sequence with capacity for `n` bases.
+    pub fn with_capacity(n: usize) -> Self {
+        PackedSeq {
+            words: Vec::with_capacity(n.div_ceil(BASES_PER_WORD)),
+            len: 0,
+            nmask: None,
+        }
+    }
+
+    /// Pack an ASCII sequence. Non-`ACGT` bytes become `A` + an N-mask bit.
+    pub fn from_ascii(seq: &[u8]) -> Self {
+        let mut s = Self::with_capacity(seq.len());
+        for &b in seq {
+            match encode_base(b) {
+                Some(code) => s.push_code(code),
+                None => s.push_n(),
+            }
+        }
+        s
+    }
+
+    /// Pack a slice of 2-bit codes (each must be `< 4`).
+    pub fn from_codes(codes: &[u8]) -> Self {
+        let mut s = Self::with_capacity(codes.len());
+        for &c in codes {
+            s.push_code(c);
+        }
+        s
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence holds no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one 2-bit code.
+    #[inline]
+    pub fn push_code(&mut self, code: u8) {
+        debug_assert!(code < 4);
+        let (word, off) = (self.len / BASES_PER_WORD, self.len % BASES_PER_WORD);
+        if off == 0 {
+            self.words.push(0);
+        }
+        self.words[word] |= u64::from(code) << (2 * off);
+        self.len += 1;
+        if let Some(mask) = &mut self.nmask {
+            grow_mask(mask, self.len);
+        }
+    }
+
+    /// Append an `N` (stored as `A`, flagged in the mask).
+    pub fn push_n(&mut self) {
+        let at = self.len;
+        self.push_code(0);
+        let mask = self.nmask.get_or_insert_with(Vec::new);
+        grow_mask(mask, at + 1);
+        mask[at / 64] |= 1u64 << (at % 64);
+    }
+
+    /// Append an ASCII base (non-`ACGT` becomes `N`).
+    pub fn push_ascii(&mut self, b: u8) {
+        match encode_base(b) {
+            Some(code) => self.push_code(code),
+            None => self.push_n(),
+        }
+    }
+
+    /// 2-bit code of base `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "base index {i} out of range (len {})", self.len);
+        ((self.words[i / BASES_PER_WORD] >> (2 * (i % BASES_PER_WORD))) & 3) as u8
+    }
+
+    /// Whether base `i` was an `N` in the original input.
+    #[inline]
+    pub fn is_n(&self, i: usize) -> bool {
+        match &self.nmask {
+            None => false,
+            Some(mask) => {
+                let w = i / 64;
+                w < mask.len() && (mask[w] >> (i % 64)) & 1 == 1
+            }
+        }
+    }
+
+    /// Whether any base is an `N`.
+    pub fn has_n(&self) -> bool {
+        self.nmask
+            .as_ref()
+            .is_some_and(|m| m.iter().any(|&w| w != 0))
+    }
+
+    /// Number of `N` bases in `[start, start+len)`.
+    pub fn count_n_in(&self, start: usize, len: usize) -> usize {
+        match &self.nmask {
+            None => 0,
+            Some(_) => (start..start + len).filter(|&i| self.is_n(i)).count(),
+        }
+    }
+
+    /// 32 bases starting at `i`, assembled into one word (base `i` in the two
+    /// lowest bits). Positions past the end read as zero.
+    #[inline]
+    pub fn word_at(&self, i: usize) -> u64 {
+        let j = i / BASES_PER_WORD;
+        let s = 2 * (i % BASES_PER_WORD);
+        let lo = self.words.get(j).copied().unwrap_or(0);
+        if s == 0 {
+            lo
+        } else {
+            let hi = self.words.get(j + 1).copied().unwrap_or(0);
+            (lo >> s) | (hi << (64 - s))
+        }
+    }
+
+    /// Word-wise equality of `self[start .. start+len]` vs
+    /// `other[ostart .. ostart+len]`.
+    ///
+    /// This is the paper's "simple and fast string comparison between q and
+    /// the appropriate location of t0" (§IV-A). A window containing an `N` on
+    /// either side never matches (an `N` is an unknown base).
+    pub fn eq_range(&self, start: usize, other: &PackedSeq, ostart: usize, len: usize) -> bool {
+        if start + len > self.len || ostart + len > other.len {
+            return false;
+        }
+        if self.count_n_in(start, len) > 0 || other.count_n_in(ostart, len) > 0 {
+            return false;
+        }
+        let mut done = 0;
+        while done + BASES_PER_WORD <= len {
+            if self.word_at(start + done) != other.word_at(ostart + done) {
+                return false;
+            }
+            done += BASES_PER_WORD;
+        }
+        let rem = len - done;
+        if rem > 0 {
+            let mask = (1u64 << (2 * rem)) - 1;
+            if (self.word_at(start + done) ^ other.word_at(ostart + done)) & mask != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Hamming distance between `self[start..start+len]` and
+    /// `other[ostart..ostart+len]`; `N` positions always count as mismatches.
+    pub fn mismatches_in(
+        &self,
+        start: usize,
+        other: &PackedSeq,
+        ostart: usize,
+        len: usize,
+    ) -> usize {
+        assert!(start + len <= self.len && ostart + len <= other.len);
+        let mut mism = 0;
+        for i in 0..len {
+            let a_n = self.is_n(start + i);
+            let b_n = other.is_n(ostart + i);
+            if a_n || b_n || self.get(start + i) != other.get(ostart + i) {
+                mism += 1;
+            }
+        }
+        mism
+    }
+
+    /// Copy of `self[start .. start+len]` as a new packed sequence
+    /// (N flags preserved).
+    pub fn subseq(&self, start: usize, len: usize) -> PackedSeq {
+        assert!(start + len <= self.len, "subseq out of range");
+        let mut s = Self::with_capacity(len);
+        for i in start..start + len {
+            if self.is_n(i) {
+                s.push_n();
+            } else {
+                s.push_code(self.get(i));
+            }
+        }
+        s
+    }
+
+    /// The reverse complement as a new packed sequence (N stays N).
+    pub fn reverse_complement(&self) -> PackedSeq {
+        let mut s = Self::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            if self.is_n(i) {
+                s.push_n();
+            } else {
+                s.push_code(complement(self.get(i)));
+            }
+        }
+        s
+    }
+
+    /// Decode to upper-case ASCII (`N` restored).
+    pub fn to_ascii(&self) -> Vec<u8> {
+        (0..self.len)
+            .map(|i| if self.is_n(i) { b'N' } else { decode_base(self.get(i)) })
+            .collect()
+    }
+
+    /// Iterator over 2-bit codes (N positions yield their stored `A` code;
+    /// pair with [`Self::is_n`] when that matters).
+    pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Bytes of heap memory used by the packed payload (words + mask). This
+    /// is what travels over the simulated network when a sequence is fetched,
+    /// and what the software target-cache budget (paper §III-B) accounts.
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8 + self.nmask.as_ref().map_or(0, |m| m.len() * 8)
+    }
+
+    /// The packed words (32 bases each, LSB-first). Used by the SDB1
+    /// container to serialize sequences without re-encoding.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The N-mask words (1 bit/base), if any base was an `N`.
+    pub fn n_mask_words(&self) -> Option<&[u64]> {
+        self.nmask.as_deref()
+    }
+
+    /// Reassemble from parts produced by [`Self::words`] /
+    /// [`Self::n_mask_words`] / [`Self::len`].
+    ///
+    /// # Panics
+    /// Panics if the word counts don't match `len`.
+    pub fn from_raw_parts(words: Vec<u64>, len: usize, nmask: Option<Vec<u64>>) -> Self {
+        assert_eq!(words.len(), len.div_ceil(BASES_PER_WORD), "word count mismatch");
+        if let Some(m) = &nmask {
+            assert_eq!(m.len(), len.div_ceil(64), "n-mask length mismatch");
+        }
+        PackedSeq { words, len, nmask }
+    }
+}
+
+fn grow_mask(mask: &mut Vec<u64>, len: usize) {
+    let need = len.div_ceil(64);
+    if mask.len() < need {
+        mask.resize(need, 0);
+    }
+}
+
+impl std::fmt::Debug for PackedSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ascii = self.to_ascii();
+        let shown = String::from_utf8_lossy(&ascii[..ascii.len().min(60)]);
+        if self.len > 60 {
+            write!(f, "PackedSeq(len={}, \"{shown}…\")", self.len)
+        } else {
+            write!(f, "PackedSeq(len={}, \"{shown}\")", self.len)
+        }
+    }
+}
+
+impl std::fmt::Display for PackedSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&String::from_utf8_lossy(&self.to_ascii()))
+    }
+}
+
+impl std::str::FromStr for PackedSeq {
+    type Err = std::convert::Infallible;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(PackedSeq::from_ascii(s.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_ascii() {
+        let s = PackedSeq::from_ascii(b"ACGTACGTTTGGCCAA");
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.to_ascii(), b"ACGTACGTTTGGCCAA".to_vec());
+        assert!(!s.has_n());
+    }
+
+    #[test]
+    fn n_handling() {
+        let s = PackedSeq::from_ascii(b"ACNGT");
+        assert_eq!(s.len(), 5);
+        assert!(s.has_n());
+        assert!(s.is_n(2));
+        assert!(!s.is_n(1));
+        assert_eq!(s.to_ascii(), b"ACNGT".to_vec());
+        assert_eq!(s.count_n_in(0, 5), 1);
+        assert_eq!(s.count_n_in(3, 2), 0);
+    }
+
+    #[test]
+    fn word_at_crosses_word_boundaries() {
+        // 40 bases: word_at(20) must stitch two words together.
+        let ascii: Vec<u8> = (0..40).map(|i| b"ACGT"[i % 4]).collect();
+        let s = PackedSeq::from_ascii(&ascii);
+        for start in 0..8 {
+            let w = s.word_at(start);
+            for j in 0..32 {
+                assert_eq!(((w >> (2 * j)) & 3) as u8, s.get(start + j));
+            }
+        }
+    }
+
+    #[test]
+    fn eq_range_basics() {
+        let a = PackedSeq::from_ascii(b"AAACGTACGTGGG");
+        let b = PackedSeq::from_ascii(b"TTACGTACGTCC");
+        assert!(a.eq_range(2, &b, 2, 8));
+        assert!(!a.eq_range(0, &b, 0, 4));
+        // Out-of-range never matches.
+        assert!(!a.eq_range(10, &b, 0, 10));
+    }
+
+    #[test]
+    fn eq_range_rejects_n() {
+        let a = PackedSeq::from_ascii(b"ACGTN");
+        let b = PackedSeq::from_ascii(b"ACGTA"); // N packs as A, but must not match
+        assert!(!a.eq_range(0, &b, 0, 5));
+        assert!(a.eq_range(0, &b, 0, 4));
+    }
+
+    #[test]
+    fn reverse_complement_small() {
+        let s = PackedSeq::from_ascii(b"AACGT");
+        assert_eq!(s.reverse_complement().to_ascii(), b"ACGTT".to_vec());
+        let n = PackedSeq::from_ascii(b"ANC");
+        assert_eq!(n.reverse_complement().to_ascii(), b"GNT".to_vec());
+    }
+
+    #[test]
+    fn mismatch_count() {
+        let a = PackedSeq::from_ascii(b"ACGTACGT");
+        let b = PackedSeq::from_ascii(b"ACCTACGA");
+        assert_eq!(a.mismatches_in(0, &b, 0, 8), 2);
+        let n = PackedSeq::from_ascii(b"ACNT");
+        assert_eq!(a.mismatches_in(0, &n, 0, 4), 1); // the N position
+    }
+
+    #[test]
+    fn subseq_copies_flags() {
+        let s = PackedSeq::from_ascii(b"AANCGT");
+        let sub = s.subseq(1, 4);
+        assert_eq!(sub.to_ascii(), b"ANCG".to_vec());
+        assert!(sub.is_n(1));
+    }
+
+    fn dna_string(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+    }
+
+    fn dna_string_with_n(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(b"ACGTN".to_vec()), 0..max_len)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(sq in dna_string_with_n(300)) {
+            let p = PackedSeq::from_ascii(&sq);
+            prop_assert_eq!(p.to_ascii(), sq);
+        }
+
+        #[test]
+        fn prop_rc_involution(sq in dna_string_with_n(200)) {
+            let p = PackedSeq::from_ascii(&sq);
+            prop_assert_eq!(p.reverse_complement().reverse_complement().to_ascii(), p.to_ascii());
+        }
+
+        #[test]
+        fn prop_eq_range_matches_naive(sq in dna_string(256), start in 0usize..64, len in 0usize..128) {
+            let p = PackedSeq::from_ascii(&sq);
+            let q = PackedSeq::from_ascii(&sq);
+            if start + len <= sq.len() {
+                prop_assert!(p.eq_range(start, &q, start, len));
+                // Shifted compare matches the naive slice compare.
+                if start + 1 + len <= sq.len() {
+                    let naive = sq[start..start+len] == sq[start+1..start+1+len];
+                    prop_assert_eq!(p.eq_range(start, &q, start + 1, len), naive);
+                }
+            } else {
+                prop_assert!(!p.eq_range(start, &q, start, len));
+            }
+        }
+
+        #[test]
+        fn prop_word_at_agrees_with_get(sq in dna_string(200), i in 0usize..200) {
+            let p = PackedSeq::from_ascii(&sq);
+            if i < p.len() {
+                let w = p.word_at(i);
+                let take = (p.len() - i).min(32);
+                for j in 0..take {
+                    prop_assert_eq!(((w >> (2*j)) & 3) as u8, p.get(i + j));
+                }
+            }
+        }
+    }
+}

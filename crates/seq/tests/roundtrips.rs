@@ -1,0 +1,103 @@
+//! Sequence substrate round-trips at crate-integration level: text formats
+//! ↔ packed ↔ SDB1 under arbitrary inputs.
+
+use proptest::prelude::*;
+use seq::fastx::{read_fastq, write_fastq, FastqRecord};
+use seq::seqdb::SeqDbBuilder;
+use seq::{Kmer, KmerIter, PackedSeq, SeqDb};
+
+fn dna_with_n() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGTN".to_vec()), 1..400)
+}
+
+proptest! {
+    #[test]
+    fn prop_fastq_sdb1_pipeline(seqs in proptest::collection::vec(dna_with_n(), 1..20)) {
+        // FASTQ text → parse → SDB1 → serialize → parse → same sequences.
+        let records: Vec<FastqRecord> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| FastqRecord {
+                id: format!("r{i}"),
+                seq: s.clone(),
+                qual: vec![b'F'; s.len()],
+            })
+            .collect();
+        let mut text = Vec::new();
+        write_fastq(&mut text, &records).unwrap();
+        let parsed = read_fastq(&text[..]).unwrap();
+        let db = SeqDb::from_fastq(&parsed);
+        let mut bytes = Vec::new();
+        db.write_to(&mut bytes).unwrap();
+        let db2 = SeqDb::read_from(&bytes[..]).unwrap();
+        prop_assert_eq!(db2.len(), seqs.len());
+        for (i, s) in seqs.iter().enumerate() {
+            let rec = db2.get(i);
+            prop_assert_eq!(rec.seq.to_ascii(), s.clone());
+            let quals = vec![b'F'; s.len()];
+            prop_assert_eq!(rec.qual.as_deref(), Some(&quals[..]));
+        }
+    }
+
+    #[test]
+    fn prop_subseq_composition(s in dna_with_n(), a in 0usize..100, b in 0usize..100) {
+        let p = PackedSeq::from_ascii(&s);
+        let (a, b) = (a.min(p.len()), b.min(p.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let sub = p.subseq(lo, hi - lo);
+        prop_assert_eq!(sub.to_ascii(), s[lo..hi].to_vec());
+        // Sub-subsequencing composes.
+        if sub.len() >= 2 {
+            let inner = sub.subseq(1, sub.len() - 1);
+            prop_assert_eq!(inner.to_ascii(), s[lo + 1..hi].to_vec());
+        }
+    }
+
+    #[test]
+    fn prop_kmer_count_matches_n_layout(s in dna_with_n(), k in 1usize..20) {
+        // The number of extracted seeds equals the number of k-windows
+        // free of N.
+        let p = PackedSeq::from_ascii(&s);
+        let expected = if s.len() >= k {
+            (0..=s.len() - k)
+                .filter(|&i| s[i..i + k].iter().all(|&b| b != b'N'))
+                .count()
+        } else {
+            0
+        };
+        prop_assert_eq!(KmerIter::new(&p, k).count(), expected);
+    }
+
+    #[test]
+    fn prop_canonical_is_strand_invariant(s in proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 21..60)) {
+        let k = 21;
+        let p = PackedSeq::from_ascii(&s);
+        let rc = p.reverse_complement();
+        let fwd: Vec<Kmer> = KmerIter::new(&p, k).map(|(_, km)| km.canonical(k)).collect();
+        let mut rev: Vec<Kmer> = KmerIter::new(&rc, k).map(|(_, km)| km.canonical(k)).collect();
+        rev.reverse();
+        prop_assert_eq!(fwd, rev, "canonical seeds are strand-invariant");
+    }
+
+    #[test]
+    fn prop_block_ranges_balanced(n in 0usize..10_000, p in 1usize..64) {
+        let sizes: Vec<usize> = (0..p).map(|r| seq::seqdb::block_range(n, r, p).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "block distribution balanced to ±1");
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+}
+
+#[test]
+fn sdb1_with_mixed_presence_of_quals_panics_cleanly() {
+    let mut b = SeqDbBuilder::new();
+    b.push(PackedSeq::from_ascii(b"ACGT"), None);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut b2 = SeqDbBuilder::new();
+        b2.push(PackedSeq::from_ascii(b"ACGT"), Some(b"IIII"));
+    }));
+    assert!(r.is_err(), "quality on a no-qual builder must panic");
+    let db = b.finish();
+    assert!(!db.has_qualities());
+}

@@ -1,0 +1,49 @@
+//! Mini strong-scaling study: the Fig 1 experiment at example scale.
+//!
+//! Runs the identical dataset on simulated machines of 48 → 384 cores and
+//! prints the per-phase breakdown, showing where the parallel efficiency
+//! goes (construction and alignment scale; fixed per-rank overheads and the
+//! declining cache reuse of Fig 7 eat into the tail).
+//!
+//! ```sh
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use meraligner::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let dataset = genome::human_like(0.02, 123);
+    let targets = dataset.contigs_seqdb();
+    let queries = dataset.reads_seqdb();
+    println!(
+        "dataset: {} | {} reads | {} contigs",
+        dataset.name,
+        dataset.reads.len(),
+        dataset.contigs.len()
+    );
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "cores", "total_s", "speedup", "io_s", "index_s", "align_s"
+    );
+
+    let mut base: Option<f64> = None;
+    for cores in [48usize, 96, 192, 384] {
+        let cfg = PipelineConfig::new(cores, 24, dataset.k);
+        let result = run_pipeline(&cfg, &targets, &queries);
+        let total = result.sim_seconds();
+        let speedup = base.get_or_insert(total).to_owned() / total;
+        println!(
+            "{:<8} {:>12.4} {:>9.1}x {:>12.4} {:>12.4} {:>12.4}",
+            cores,
+            total,
+            speedup,
+            result.io_seconds(),
+            result.construction_seconds(),
+            result.align_seconds()
+        );
+    }
+
+    println!("\nThe paper's Fig 1 runs this at 480–15,360 cores on real human/wheat data");
+    println!("(0.70–0.78 parallel efficiency); `cargo run --release -p bench --bin");
+    println!("fig1_strong_scaling -- --full` reproduces that sweep.");
+}

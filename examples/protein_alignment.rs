@@ -1,0 +1,63 @@
+//! The paper's §VIII extension: "one can also use the same methods to align
+//! protein sequences (strings of 20 characters ...) against protein
+//! datasets".
+//!
+//! The alignment engines are alphabet-generic, so BLOSUM62 protein
+//! alignment works with the identical scalar and striped kernels used for
+//! DNA. This example aligns a few classic protein fragments and prints the
+//! scores, CIGARs and identities from both engines.
+//!
+//! ```sh
+//! cargo run --release --example protein_alignment
+//! ```
+
+use align::scoring::protein_codes;
+use align::{sw_scalar, sw_striped, Scoring};
+
+fn main() {
+    let scoring = Scoring::blosum62();
+
+    // Bovine serum albumin signal peptide vs a mutated/indel'd variant,
+    // plus a pair of unrelated fragments as a negative control.
+    let cases: [(&str, &[u8], &[u8]); 3] = [
+        (
+            "identical",
+            b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIA",
+            b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIA",
+        ),
+        (
+            "mutated+indel",
+            b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIA",
+            b"MKWVTFISLLELFSSAYSRGVFRRDTHKSEVAHRFKDLGENFKALVLIA",
+        ),
+        (
+            "unrelated",
+            b"MKWVTFISLLFLFSSAYS",
+            b"GAVLIPFYWSTCMNQDEKRHG",
+        ),
+    ];
+
+    for (name, a, b) in cases {
+        let q = protein_codes(a).expect("valid residues");
+        let t = protein_codes(b).expect("valid residues");
+
+        let hit = sw_scalar(&q, &t, &scoring);
+        let striped = sw_striped(&q, &t, &scoring);
+        assert_eq!(
+            hit.score, striped.score,
+            "striped SIMD must agree with the scalar oracle"
+        );
+
+        let (matches, columns) = hit.cigar.identity();
+        println!("case: {name}");
+        println!("  query : {}", String::from_utf8_lossy(a));
+        println!("  target: {}", String::from_utf8_lossy(b));
+        println!(
+            "  score {} | span q[{}..{}) t[{}..{}) | cigar {} | identity {}/{}",
+            hit.score, hit.q_beg, hit.q_end, hit.t_beg, hit.t_end, hit.cigar, matches, columns
+        );
+    }
+
+    println!("\nBoth engines run the same striped-SIMD structure the paper adopts from");
+    println!("the SSW library — only the scoring matrix changed (BLOSUM62, gap 11/1).");
+}

@@ -1,0 +1,87 @@
+//! Quickstart: align simulated reads to simulated contigs on a small
+//! simulated machine, then print a run summary and a few SAM records.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use align::AlignmentRecord;
+use meraligner::{run_pipeline, PipelineConfig};
+
+fn main() {
+    // 1. A synthetic dataset with ground truth: 25 kb "human-like" genome,
+    //    assembler-style contigs (the targets) and ~5k reads (the queries).
+    let dataset = genome::human_like(0.005, 7);
+    let stats = dataset.stats();
+    println!(
+        "dataset: {} | {} contigs ({} bp) | {} reads ({:.0}% error-free)",
+        dataset.name,
+        stats.contigs,
+        stats.contig_bases,
+        stats.reads,
+        stats.exact_read_fraction * 100.0
+    );
+
+    // 2. Serialize to SDB1 containers — the binary format every simulated
+    //    rank reads its own slice of (the paper's SeqDB role).
+    let targets = dataset.contigs_seqdb();
+    let queries = dataset.reads_seqdb();
+
+    // 3. Configure a 48-core (2-node) machine with every paper optimization
+    //    on, and ask for full alignment records.
+    let mut cfg = PipelineConfig::new(48, 24, dataset.k);
+    cfg.collect_alignments = true;
+
+    // 4. Run Algorithm 1 end to end.
+    let result = run_pipeline(&cfg, &targets, &queries);
+
+    println!(
+        "aligned {}/{} reads ({:.1}%), {} via the exact-match fast path",
+        result.aligned_reads,
+        result.total_reads,
+        result.aligned_fraction() * 100.0,
+        result.exact_path_reads
+    );
+    println!(
+        "index: {} distinct seeds, {} entries, partition balance (min/max/mean) = {:?}",
+        result.index_distinct_seeds, result.index_total_entries, result.index_balance
+    );
+    println!("simulated end-to-end: {:.4} s", result.sim_seconds());
+    for phase in &result.phases {
+        println!("  {:<14} {:.5} s", phase.name, phase.sim_seconds);
+    }
+
+    // 5. Check a few placements against the simulator's ground truth.
+    let mut correct = 0;
+    let mut checked = 0;
+    for (read, placement) in dataset.reads.iter().zip(&result.placements) {
+        if let Some(p) = placement {
+            checked += 1;
+            if genome::placement_is_correct(
+                &dataset.contigs,
+                p.contig as usize,
+                p.t_beg as usize,
+                p.reverse,
+                &read.truth,
+                5,
+            ) {
+                correct += 1;
+            }
+        }
+    }
+    println!("placement precision: {correct}/{checked}");
+
+    // 6. Emit the first few alignments as SAM.
+    println!("\nfirst alignments as SAM:");
+    let names = dataset.contigs.name_lengths();
+    print!("{}", align::sam_header(&names));
+    for (read_idx, contig, aln) in result.alignments.iter().take(5) {
+        let rec = AlignmentRecord::from_alignment(
+            &dataset.reads[*read_idx as usize].name,
+            &names[*contig as usize].0,
+            aln,
+            dataset.reads[*read_idx as usize].seq.len(),
+        );
+        println!("{}", rec.to_sam_line());
+    }
+}

@@ -1,0 +1,24 @@
+//! # meraligner-repro — workspace umbrella
+//!
+//! This crate re-exports the workspace's public surface so the examples and
+//! cross-crate integration tests have a single import root. The actual
+//! functionality lives in the member crates:
+//!
+//! * [`seq`] — 2-bit packed sequences, k-mer seeds, FASTA/FASTQ, SDB1.
+//! * [`pgas`] — the simulated PGAS machine and cost model.
+//! * [`dht`] — the distributed seed index and software caches.
+//! * [`align`] — Smith-Waterman engines (scalar + striped SIMD).
+//! * [`genome`] — synthetic datasets with ground truth.
+//! * [`fmindex`] — the FM-index baseline aligners and pMap driver.
+//! * [`meraligner`] — the paper's end-to-end pipeline.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use align;
+pub use dht;
+pub use fmindex;
+pub use genome;
+pub use meraligner;
+pub use pgas;
+pub use seq;

@@ -1,0 +1,82 @@
+//! End-to-end test of the `meraligner` CLI binary: FASTA + FASTQ in,
+//! SAM out.
+
+use std::io::Write;
+use std::process::Command;
+
+#[test]
+fn cli_aligns_fasta_fastq_to_sam() {
+    // Build a small dataset on disk.
+    let d = genome::ecoli_like(0.002, 321); // ~9 kb genome, k=19 scale
+    let dir = std::env::temp_dir().join("meraligner_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let contigs_path = dir.join("contigs.fa");
+    let reads_path = dir.join("reads.fq");
+    let sam_path = dir.join("out.sam");
+
+    {
+        let mut f = std::fs::File::create(&contigs_path).unwrap();
+        for c in &d.contigs.contigs {
+            writeln!(f, ">{}", c.name).unwrap();
+            f.write_all(&c.seq.to_ascii()).unwrap();
+            writeln!(f).unwrap();
+        }
+    }
+    {
+        let mut f = std::fs::File::create(&reads_path).unwrap();
+        for r in d.reads.iter().take(300) {
+            writeln!(f, "@{}", r.name).unwrap();
+            f.write_all(&r.seq.to_ascii()).unwrap();
+            writeln!(f, "\n+").unwrap();
+            f.write_all(&vec![b'I'; r.seq.len()]).unwrap();
+            writeln!(f).unwrap();
+        }
+    }
+
+    // The test binary lives next to the crate binaries.
+    let exe = std::env::current_exe().unwrap();
+    let bin_dir = exe.parent().unwrap().parent().unwrap();
+    let tool = bin_dir.join("meraligner");
+    assert!(
+        tool.exists(),
+        "meraligner binary not built at {tool:?} (run cargo build --workspace)"
+    );
+    let status = Command::new(&tool)
+        .args([
+            "--contigs",
+            contigs_path.to_str().unwrap(),
+            "--reads",
+            reads_path.to_str().unwrap(),
+            "--out",
+            sam_path.to_str().unwrap(),
+            "--k",
+            "19",
+            "--ranks",
+            "8",
+        ])
+        .status()
+        .expect("failed to launch meraligner");
+    assert!(status.success(), "meraligner exited with {status:?}");
+
+    let sam = std::fs::read_to_string(&sam_path).unwrap();
+    assert!(sam.starts_with("@HD"), "SAM header present");
+    assert!(sam.contains("@SQ\tSN:ctg"), "targets in header");
+    let body_lines: Vec<&str> = sam.lines().filter(|l| !l.starts_with('@')).collect();
+    assert!(
+        body_lines.len() > 100,
+        "most of the 300 reads should produce alignments, got {}",
+        body_lines.len()
+    );
+    for line in body_lines.iter().take(50) {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 12, "SAM line must have 12 fields: {line}");
+        assert!(fields[0].starts_with("read"));
+        let flag: u16 = fields[1].parse().unwrap();
+        assert!(flag == 0 || flag == 16);
+        let pos: u64 = fields[3].parse().unwrap();
+        assert!(pos >= 1);
+        assert!(fields[11].starts_with("AS:i:"));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

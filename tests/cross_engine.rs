@@ -1,0 +1,108 @@
+//! Cross-engine and cross-alphabet agreement at workspace level: the
+//! striped SIMD kernel, the scalar oracle and the FM-index all describe the
+//! same biology.
+
+use align::{sw_scalar, sw_scalar_score, sw_striped, Engine, Scoring};
+use fmindex::suffix_array;
+use seq::{Kmer, KmerIter, PackedSeq};
+
+fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[((state >> 33) & 3) as usize]
+        })
+        .collect()
+}
+
+#[test]
+fn striped_equals_scalar_on_simulated_reads() {
+    let d = genome::human_like(0.001, 42);
+    let scoring = Scoring::dna_default();
+    let contig = &d.contigs.contigs[0].seq;
+    let t: Vec<u8> = align::dna_codes(contig);
+    for read in d.reads.iter().take(60) {
+        let q = align::dna_codes(&read.seq);
+        let window = &t[..t.len().min(400)];
+        let striped = sw_striped(&q, window, &scoring);
+        let (scalar, _, _) = sw_scalar_score(&q, window, &scoring);
+        assert_eq!(striped.score, scalar);
+    }
+}
+
+#[test]
+fn engines_give_identical_pipeline_results() {
+    let d = genome::human_like(0.002, 43);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let mut scalar_cfg = meraligner::PipelineConfig::new(8, 4, d.k);
+    scalar_cfg.engine = Engine::Scalar;
+    let mut striped_cfg = scalar_cfg.clone();
+    striped_cfg.engine = Engine::Striped;
+    let a = meraligner::run_pipeline(&scalar_cfg, &tdb, &qdb);
+    let b = meraligner::run_pipeline(&striped_cfg, &tdb, &qdb);
+    assert_eq!(a.aligned_reads, b.aligned_reads);
+    assert_eq!(a.placements, b.placements);
+}
+
+#[test]
+fn fm_index_finds_exactly_the_seed_index_hits() {
+    // Build both index families over the same contig and compare seed hit
+    // sets for every seed of the contig.
+    let text = lcg_dna(3_000, 99);
+    let contig = PackedSeq::from_ascii(&text);
+    let k = 21;
+    let fm = fmindex::FmIndex::build(&align::dna_codes(&contig));
+    for (off, km) in KmerIter::new(&contig, k).step_by(37) {
+        let pattern: Vec<u8> = (0..k).map(|i| km.base(i, k)).collect();
+        let (hits, _) = fm.find(&pattern, 0);
+        assert!(
+            hits.contains(&(off as usize)),
+            "FM index must find seed at {off}"
+        );
+    }
+}
+
+#[test]
+fn suffix_array_of_real_contig_is_sorted() {
+    let d = genome::ecoli_like(0.01, 17);
+    let contig = &d.contigs.contigs[0].seq;
+    let text = contig.to_ascii();
+    let sa = suffix_array(&text);
+    assert_eq!(sa.len(), text.len());
+    for w in sa.windows(2).step_by(101) {
+        assert!(text[w[0] as usize..] < text[w[1] as usize..]);
+    }
+}
+
+#[test]
+fn kmer_reverse_complement_consistency_with_packed() {
+    let text = lcg_dna(500, 4);
+    let p = PackedSeq::from_ascii(&text);
+    let rc = p.reverse_complement();
+    let k = 31;
+    // The i-th seed of the forward strand equals the rc of the
+    // (n-k-i)-th seed of the reverse strand.
+    let fwd: Vec<Kmer> = KmerIter::new(&p, k).map(|(_, km)| km).collect();
+    let rev: Vec<Kmer> = KmerIter::new(&rc, k).map(|(_, km)| km).collect();
+    let n = fwd.len();
+    for i in (0..n).step_by(13) {
+        assert_eq!(fwd[i].reverse_complement(k), rev[n - 1 - i]);
+    }
+}
+
+#[test]
+fn protein_and_dna_share_the_engine() {
+    use align::scoring::protein_codes;
+    let blosum = Scoring::blosum62();
+    let q = protein_codes(b"HEAGAWGHEE").unwrap();
+    let t = protein_codes(b"PAWHEAE").unwrap();
+    // The classic Durbin et al. example pair; both engines agree.
+    let scalar = sw_scalar(&q, &t, &blosum);
+    let striped = sw_striped(&q, &t, &blosum);
+    assert_eq!(scalar.score, striped.score);
+    assert!(scalar.score > 0);
+    assert!(scalar.cigar.is_valid());
+}

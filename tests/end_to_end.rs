@@ -1,0 +1,146 @@
+//! Cross-crate integration: the full merAligner pipeline against ground
+//! truth and against the independently-implemented FM-index baseline.
+
+use align::{ExtendConfig, Scoring};
+use fmindex::{BaselineAligner, BaselineConfig};
+use genome::Dataset;
+use meraligner::{run_pipeline, PipelineConfig};
+use seq::PackedSeq;
+
+fn dataset() -> Dataset {
+    genome::human_like(0.004, 20240609)
+}
+
+#[test]
+fn meraligner_places_exact_reads_at_truth() {
+    let d = dataset();
+    let cfg = PipelineConfig::new(24, 24, d.k);
+    let res = run_pipeline(&cfg, &d.contigs_seqdb(), &d.reads_seqdb());
+
+    let mut aligned = 0usize;
+    let mut correct = 0usize;
+    let mut eligible = 0usize;
+    for (read, placement) in d.reads.iter().zip(&res.placements) {
+        if !read.truth.is_exact()
+            || !genome::accuracy::read_is_alignable(&d.contigs, &read.truth, read.seq.len())
+        {
+            continue;
+        }
+        eligible += 1;
+        if let Some(p) = placement {
+            aligned += 1;
+            if genome::placement_is_correct(
+                &d.contigs,
+                p.contig as usize,
+                p.t_beg as usize,
+                p.reverse,
+                &read.truth,
+                5,
+            ) {
+                correct += 1;
+            }
+        }
+    }
+    assert!(eligible > 200, "need a meaningful sample, got {eligible}");
+    // Every exact, alignable read must align (guaranteed by the seed-index
+    // construction: all its seeds are in the table).
+    assert_eq!(aligned, eligible, "exact alignable reads must all align");
+    let precision = correct as f64 / aligned as f64;
+    assert!(precision > 0.97, "placement precision {precision}");
+}
+
+#[test]
+fn meraligner_and_fm_baseline_agree_on_unique_reads() {
+    // Two completely independent aligner stacks (hash-based distributed
+    // index vs FM-index backward search) must place unique exact reads at
+    // the same loci.
+    let d = dataset();
+    let cfg = PipelineConfig::new(16, 8, d.k);
+    let res = run_pipeline(&cfg, &d.contigs_seqdb(), &d.reads_seqdb());
+
+    let contigs: Vec<PackedSeq> = d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+    let baseline = BaselineAligner::build(&contigs, BaselineConfig::bwa_mem_like());
+    let scoring = Scoring::dna_default();
+    let ext = ExtendConfig::default();
+
+    let mut compared = 0usize;
+    let mut agreed = 0usize;
+    for (i, read) in d.reads.iter().enumerate().take(600) {
+        if !read.truth.is_exact() {
+            continue;
+        }
+        let Some(mer) = &res.placements[i] else { continue };
+        let out = baseline.map_read(&read.seq, &scoring, &ext);
+        let Some((ci, t_beg, rev, _)) = out.placement else {
+            continue;
+        };
+        compared += 1;
+        if mer.contig as usize == ci
+            && mer.reverse == rev
+            && (mer.t_beg as usize).abs_diff(t_beg) <= 2
+        {
+            agreed += 1;
+        }
+    }
+    assert!(compared > 100, "need a meaningful overlap, got {compared}");
+    let agreement = agreed as f64 / compared as f64;
+    assert!(
+        agreement > 0.95,
+        "independent aligners must agree on unique exact reads: {agreement}"
+    );
+}
+
+#[test]
+fn all_optimizations_beat_no_optimizations_in_sim_time() {
+    let d = dataset();
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let mut fast = PipelineConfig::new(48, 24, d.k);
+    fast.load_balance = false;
+    let mut slow = fast.clone();
+    slow.aggregating_stores = false;
+    slow.use_caches = false;
+    slow.exact_match_opt = false;
+    slow.fragment_targets = false;
+    let t_fast = run_pipeline(&fast, &tdb, &qdb);
+    let t_slow = run_pipeline(&slow, &tdb, &qdb);
+    assert!(
+        t_fast.sim_seconds() < t_slow.sim_seconds() / 2.0,
+        "all optimizations together must win clearly: {} vs {}",
+        t_fast.sim_seconds(),
+        t_slow.sim_seconds()
+    );
+    // And they must not change what gets aligned.
+    assert_eq!(t_fast.aligned_reads, t_slow.aligned_reads);
+}
+
+#[test]
+fn sam_output_is_well_formed() {
+    let d = genome::human_like(0.001, 5);
+    let mut cfg = PipelineConfig::new(8, 4, d.k);
+    cfg.collect_alignments = true;
+    let res = run_pipeline(&cfg, &d.contigs_seqdb(), &d.reads_seqdb());
+    assert!(!res.alignments.is_empty());
+    let names = d.contigs.name_lengths();
+    let header = align::sam_header(&names);
+    assert!(header.contains("@SQ"));
+    for (read_idx, contig, aln) in res.alignments.iter().take(100) {
+        let rec = align::AlignmentRecord::from_alignment(
+            &d.reads[*read_idx as usize].name,
+            &names[*contig as usize].0,
+            aln,
+            d.reads[*read_idx as usize].seq.len(),
+        );
+        let line = rec.to_sam_line();
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 12);
+        assert!(rec.cigar.is_valid());
+        assert_eq!(
+            rec.cigar.query_len() as usize,
+            d.reads[*read_idx as usize].seq.len(),
+            "CIGAR+clips must span the whole read"
+        );
+        let pos: u64 = fields[3].parse().unwrap();
+        assert!(pos >= 1);
+    }
+}

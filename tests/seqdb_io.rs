@@ -1,0 +1,136 @@
+//! Disk round-trips: FASTQ/FASTA → SDB1 on disk → parallel pipeline.
+
+use std::io::Write;
+
+use meraligner::{run_pipeline, PipelineConfig};
+use seq::fastx::{read_fasta, read_fastq, write_fasta, write_fastq, FastaRecord, FastqRecord};
+use seq::{SeqDb, SeqDbBuilder};
+
+#[test]
+fn fastq_to_sdb1_file_roundtrip() {
+    let d = genome::human_like(0.001, 77);
+    // Write reads as FASTQ text.
+    let records: Vec<FastqRecord> = d
+        .reads
+        .iter()
+        .map(|r| FastqRecord {
+            id: r.name.clone(),
+            seq: r.seq.to_ascii(),
+            qual: vec![b'I'; r.seq.len()],
+        })
+        .collect();
+    let mut fastq_text = Vec::new();
+    write_fastq(&mut fastq_text, &records).unwrap();
+
+    // Parse back + convert to SDB1 (the paper's one-time lossless
+    // FASTQ→SeqDB conversion).
+    let parsed = read_fastq(&fastq_text[..]).unwrap();
+    assert_eq!(parsed.len(), records.len());
+    let db = SeqDb::from_fastq(&parsed);
+
+    // SDB1 is smaller than the FASTQ text (paper: "typically 40-50%
+    // smaller"; we also carry qualities).
+    assert!(
+        db.file_bytes() < fastq_text.len(),
+        "SDB1 {} must beat FASTQ {}",
+        db.file_bytes(),
+        fastq_text.len()
+    );
+
+    // Through a real file.
+    let dir = std::env::temp_dir().join("meraligner_sdb1_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reads.sdb");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        db.write_to(&mut f).unwrap();
+        f.flush().unwrap();
+    }
+    let back = SeqDb::read_from(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back.len(), db.len());
+    for i in (0..back.len()).step_by(113) {
+        assert_eq!(back.get(i), db.get(i));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pipeline_runs_from_disk_containers() {
+    let d = genome::human_like(0.001, 13);
+    let dir = std::env::temp_dir().join("meraligner_pipeline_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tpath = dir.join("contigs.sdb");
+    let qpath = dir.join("reads.sdb");
+    d.contigs_seqdb()
+        .write_to(std::fs::File::create(&tpath).unwrap())
+        .unwrap();
+    d.reads_seqdb()
+        .write_to(std::fs::File::create(&qpath).unwrap())
+        .unwrap();
+
+    let targets = SeqDb::read_from(std::fs::File::open(&tpath).unwrap()).unwrap();
+    let queries = SeqDb::read_from(std::fs::File::open(&qpath).unwrap()).unwrap();
+    let cfg = PipelineConfig::new(8, 4, d.k);
+    let res = run_pipeline(&cfg, &targets, &queries);
+    assert!(res.aligned_fraction() > 0.7);
+    assert!(res.io_seconds() > 0.0, "parallel I/O must be charged");
+    std::fs::remove_file(&tpath).ok();
+    std::fs::remove_file(&qpath).ok();
+}
+
+#[test]
+fn fasta_contigs_roundtrip() {
+    let d = genome::human_like(0.001, 21);
+    let records: Vec<FastaRecord> = d
+        .contigs
+        .contigs
+        .iter()
+        .map(|c| FastaRecord {
+            id: c.name.clone(),
+            seq: c.seq.to_ascii(),
+        })
+        .collect();
+    let mut text = Vec::new();
+    write_fasta(&mut text, &records, 70).unwrap();
+    let parsed = read_fasta(&text[..]).unwrap();
+    assert_eq!(parsed.len(), records.len());
+    for (a, b) in parsed.iter().zip(&records) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.seq, b.seq);
+    }
+}
+
+#[test]
+fn sdb1_rank_slices_cover_everything_once() {
+    let d = genome::human_like(0.001, 3);
+    let db = d.reads_seqdb();
+    for p in [1usize, 3, 7, 16] {
+        let mut seen = vec![false; db.len()];
+        let mut bytes = 0u64;
+        for r in 0..p {
+            for i in db.rank_slice(r, p) {
+                assert!(!seen[i], "record {i} read twice");
+                seen[i] = true;
+            }
+            bytes += db.rank_slice_bytes(r, p);
+        }
+        assert!(seen.iter().all(|&s| s), "all records read");
+        assert!(bytes > 0);
+    }
+}
+
+#[test]
+fn empty_and_single_record_containers() {
+    let empty = SeqDbBuilder::new().finish();
+    assert_eq!(empty.len(), 0);
+    assert!(empty.is_empty());
+    let mut one = SeqDbBuilder::new();
+    one.push(seq::PackedSeq::from_ascii(b"ACGT"), None);
+    let one = one.finish();
+    assert_eq!(one.len(), 1);
+    assert_eq!(one.get(0).seq.to_ascii(), b"ACGT".to_vec());
+    // With 1 record over 4 ranks, exactly one rank owns it.
+    let owners: Vec<usize> = (0..4).filter(|&r| !one.rank_slice(r, 4).is_empty()).collect();
+    assert_eq!(owners.len(), 1);
+    assert_eq!(one.rank_slice(owners[0], 4), 0..1);
+}
