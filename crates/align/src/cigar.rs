@@ -29,7 +29,10 @@ impl CigarOp {
 
     /// Whether the op consumes a query base.
     pub fn consumes_query(self) -> bool {
-        matches!(self, CigarOp::Eq | CigarOp::Diff | CigarOp::Ins | CigarOp::SoftClip)
+        matches!(
+            self,
+            CigarOp::Eq | CigarOp::Diff | CigarOp::Ins | CigarOp::SoftClip
+        )
     }
 
     /// Whether the op consumes a target base.

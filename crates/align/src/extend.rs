@@ -215,7 +215,9 @@ mod tests {
     fn lcg_codes(n: usize, mut state: u64) -> Vec<u8> {
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) & 3) as u8
             })
             .collect()

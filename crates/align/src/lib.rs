@@ -31,7 +31,9 @@ pub mod simdvec;
 pub mod striped;
 
 pub use cigar::{Cigar, CigarOp};
-pub use extend::{align_window, dna_codes, extend_seed, Alignment, Engine, ExtendConfig, ExtendOutcome, Strand};
+pub use extend::{
+    align_window, dna_codes, extend_seed, Alignment, Engine, ExtendConfig, ExtendOutcome, Strand,
+};
 pub use records::{sam_header, AlignmentRecord};
 pub use scalar::{sw_scalar, sw_scalar_score, SwHit};
 pub use scoring::Scoring;

@@ -29,7 +29,10 @@ impl Scoring {
     /// positive with `gap_open >= gap_extend`.
     pub fn new(alpha: usize, matrix: Vec<i32>, gap_open: i32, gap_extend: i32) -> Self {
         assert_eq!(matrix.len(), alpha * alpha, "matrix must be alpha^2");
-        assert!(gap_open >= gap_extend && gap_extend > 0, "bad gap penalties");
+        assert!(
+            gap_open >= gap_extend && gap_extend > 0,
+            "bad gap penalties"
+        );
         Scoring {
             alpha,
             matrix,

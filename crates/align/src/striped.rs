@@ -94,7 +94,10 @@ impl StripedProfile {
             };
         }
         for &c in target {
-            assert!((c as usize) < self.alpha, "target code {c} outside alphabet");
+            assert!(
+                (c as usize) < self.alpha,
+                "target code {c} outside alphabet"
+            );
         }
         if let Some(hit) = kernel::<U8x16>(
             &self.prof8,
@@ -122,7 +125,11 @@ impl StripedProfile {
         }
         // Astronomically unlikely with i32 scores; fall back to the oracle.
         let (score, q_end, t_end) = sw_scalar_score(&self.query, target, &self.scoring);
-        StripedHit { score, q_end, t_end }
+        StripedHit {
+            score,
+            q_end,
+            t_end,
+        }
     }
 }
 
@@ -248,11 +255,11 @@ fn kernel<V: SwSimd>(
     // Recover the query end: smallest query position achieving `best`
     // in the saved best column.
     let mut q_end = usize::MAX;
-    for i in 0..seg_len {
+    for (i, best_col) in pv_h_best.iter().enumerate().take(seg_len) {
         for l in 0..V::LANES {
             let qpos = l * seg_len + i;
             if qpos < query_len {
-                let v: u32 = pv_h_best[i].lane(l).into();
+                let v: u32 = best_col.lane(l).into();
                 if v == best && qpos < q_end {
                     q_end = qpos;
                 }
@@ -395,7 +402,7 @@ mod tests {
         fn prop_gap_heavy_inputs(n in 1usize..6) {
             // Repetitive sequences with indels stress the lazy-F loop.
             let s = sc();
-            let q: Vec<u8> = std::iter::repeat([0u8,0,1,1,2,2,3,3]).take(n*2).flatten().collect();
+            let q: Vec<u8> = std::iter::repeat_n([0u8,0,1,1,2,2,3,3], n*2).flatten().collect();
             let mut t = q.clone();
             t.insert(q.len()/2, 3);
             t.insert(q.len()/2, 3);

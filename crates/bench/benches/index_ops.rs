@@ -104,7 +104,10 @@ fn bench_substrate(c: &mut Criterion) {
         target: GlobalRef::new(1, 2),
         offset: 3,
     };
-    let kmers: Vec<Kmer> = KmerIter::new(&packed, 51).map(|(_, km)| km).take(10_000).collect();
+    let kmers: Vec<Kmer> = KmerIter::new(&packed, 51)
+        .map(|(_, km)| km)
+        .take(10_000)
+        .collect();
     for km in &kmers {
         cache.fill(*km, std::slice::from_ref(&hit));
     }

@@ -22,7 +22,10 @@ fn bench_sais_fm(c: &mut Criterion) {
     let mut group = c.benchmark_group("sais");
     group.sample_size(15);
     for n in [50_000usize, 200_000] {
-        let text: Vec<u8> = lcg_codes(n, 5).iter().map(|c| b"ACGT"[*c as usize]).collect();
+        let text: Vec<u8> = lcg_codes(n, 5)
+            .iter()
+            .map(|c| b"ACGT"[*c as usize])
+            .collect();
         group.throughput(Throughput::Bytes(n as u64));
         group.bench_with_input(BenchmarkId::new("suffix_array", n), &text, |b, t| {
             b.iter(|| black_box(suffix_array(t).len()))

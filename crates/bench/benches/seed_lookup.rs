@@ -1,0 +1,152 @@
+//! Seed-lookup kernel benchmarks: the wall-clock side of the frozen CSR
+//! index and owner-batched lookups.
+//!
+//! * `point/` — HashMap-backed build-time `Partition` vs the frozen
+//!   open-addressed CSR table, one probe per seed (hit-heavy and
+//!   miss-heavy mixes).
+//! * `batch/` — N point probes against one `get_many` batch (sorted-hash
+//!   probe order, shared arena), the kernel under `LookupEnv::lookup_batch`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use dht::{Partition, SeedEntry};
+use pgas::GlobalRef;
+use seq::{Kmer, KmerIter, PackedSeq};
+
+fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[((state >> 33) & 3) as usize]
+        })
+        .collect()
+}
+
+fn bench_seed_lookup(c: &mut Criterion) {
+    const K: usize = 51;
+    let packed = PackedSeq::from_ascii(&lcg_dna(100_000, 3));
+    let entries: Vec<SeedEntry> = KmerIter::new(&packed, K)
+        .map(|(off, km)| SeedEntry {
+            kmer: km,
+            target: GlobalRef::new(0, 0),
+            offset: off,
+        })
+        .collect();
+    let mut part = Partition::with_capacity(entries.len());
+    for e in &entries {
+        part.insert(*e);
+    }
+    part.finalize();
+    let frozen = part.freeze();
+    let present: Vec<Kmer> = entries.iter().map(|e| e.kmer).collect();
+    let absent: Vec<Kmer> = KmerIter::new(&PackedSeq::from_ascii(&lcg_dna(100_000, 77)), K)
+        .map(|(_, km)| km)
+        .collect();
+
+    let mut group = c.benchmark_group("point");
+    group.throughput(Throughput::Elements(present.len() as u64));
+    group.sample_size(20);
+    group.bench_function("hashmap_hits_100k", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for km in &present {
+                found += usize::from(part.get(*km).is_some());
+            }
+            black_box(found)
+        })
+    });
+    group.bench_function("frozen_hits_100k", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for km in &present {
+                found += usize::from(frozen.get(*km).is_some());
+            }
+            black_box(found)
+        })
+    });
+    // The aligning phase's real stream: both strands of every read are
+    // looked up, so roughly half the probes miss (reverse-complement and
+    // error seeds rarely occur in the target).
+    let mixed: Vec<Kmer> = present
+        .iter()
+        .zip(&absent)
+        .flat_map(|(p, a)| [*p, *a])
+        .collect();
+    group.bench_function("hashmap_mixed_200k", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for km in &mixed {
+                found += usize::from(part.get(*km).is_some());
+            }
+            black_box(found)
+        })
+    });
+    group.bench_function("frozen_mixed_200k", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for km in &mixed {
+                found += usize::from(frozen.get(*km).is_some());
+            }
+            black_box(found)
+        })
+    });
+    group.bench_function("hashmap_misses_100k", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for km in &absent {
+                found += usize::from(part.get(*km).is_some());
+            }
+            black_box(found)
+        })
+    });
+    group.bench_function("frozen_misses_100k", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for km in &absent {
+                found += usize::from(frozen.get(*km).is_some());
+            }
+            black_box(found)
+        })
+    });
+    group.finish();
+
+    // Batched probe kernel: a read's worth of seeds per batch.
+    let mut group = c.benchmark_group("batch");
+    group.throughput(Throughput::Elements(present.len() as u64));
+    group.sample_size(20);
+    for batch in [64usize, 512] {
+        group.bench_function(format!("frozen_point_probe_batch{batch}"), |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for chunk in present.chunks(batch) {
+                    for km in chunk {
+                        found += usize::from(frozen.get(*km).is_some());
+                    }
+                }
+                black_box(found)
+            })
+        });
+        group.bench_function(format!("frozen_get_many_batch{batch}"), |b| {
+            let mut order = Vec::new();
+            let mut hits = Vec::new();
+            let mut spans = Vec::new();
+            b.iter(|| {
+                let mut found = 0usize;
+                for chunk in present.chunks(batch) {
+                    hits.clear();
+                    spans.clear();
+                    frozen.get_many(chunk, &mut order, &mut hits, &mut spans);
+                    found += spans.iter().filter(|s| s.found).count();
+                }
+                black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seed_lookup);
+criterion_main!(benches);

@@ -86,5 +86,7 @@ fn main() {
             format!("{fig10:.2}x"),
         ]);
     }
-    eprintln!("# both optimizations win under every ±2x perturbation — the ratios are count-driven");
+    eprintln!(
+        "# both optimizations win under every ±2x perturbation — the ratios are count-driven"
+    );
 }

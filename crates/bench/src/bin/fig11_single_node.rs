@@ -60,12 +60,7 @@ fn main() {
         let b = run_pmap(&bwa, &reads, &pmap_cfg, &costs, &scoring, &ext).total_seconds();
         let t = run_pmap(&bt2, &reads, &pmap_cfg, &costs, &scoring, &ext).total_seconds();
         last = Some((mer, b, t));
-        row(&[
-            cores.to_string(),
-            fmt_s(mer),
-            fmt_s(b),
-            fmt_s(t),
-        ]);
+        row(&[cores.to_string(), fmt_s(mer), fmt_s(b), fmt_s(t)]);
     }
     if let Some((mer, b, t)) = last {
         eprintln!(

@@ -66,7 +66,12 @@ fn main() {
     // Baseline data points (human only, as in the figure), at the
     // second-largest concurrency of the sweep (7680 in the paper).
     let cores = sweep[sweep.len() - 2];
-    let contigs: Vec<PackedSeq> = human.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+    let contigs: Vec<PackedSeq> = human
+        .contigs
+        .contigs
+        .iter()
+        .map(|c| c.seq.clone())
+        .collect();
     let reads: Vec<PackedSeq> = human.reads.iter().map(|r| r.seq.clone()).collect();
     let costs = BaselineCosts::default();
     let pmap_cfg = PmapConfig::edison_like(cores);
@@ -93,5 +98,7 @@ fn main() {
             format!("{:.0}", report.total_reads as f64 / report.total_seconds()),
         ]);
     }
-    eprintln!("# paper: human 0.70 efficiency at 32x scale-up, wheat 0.78; baselines far above the curve");
+    eprintln!(
+        "# paper: human 0.70 efficiency at 32x scale-up, wheat 0.78; baselines far above the curve"
+    );
 }

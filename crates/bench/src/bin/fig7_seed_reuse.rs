@@ -15,12 +15,7 @@ fn main() {
     let f = expected_seed_frequency(100.0, 100, 51);
     assert!((f - 50.0).abs() < 1e-9);
 
-    header(&[
-        "cores",
-        "nodes",
-        "p_reuse_analytic",
-        "p_reuse_montecarlo",
-    ]);
+    header(&["cores", "nodes", "p_reuse_analytic", "p_reuse_montecarlo"]);
     let mut rng = StdRng::seed_from_u64(cli.seed);
     for cores in (1..=15).map(|i| i * 1_000) {
         let nodes = (cores as f64 / PPN as f64).max(1.0);

@@ -1,14 +1,16 @@
 //! Fig 8: distributed seed index construction time with and without the
-//! "aggregating stores" optimization (S = 1000), human-like dataset.
+//! "aggregating stores" optimization (S = 1000), human-like dataset —
+//! plus the query-side mirror: per-read seed-lookup message counts with
+//! point lookups vs owner-batched lookups in the aligning phase.
 //!
 //! Paper values (human, S=1000): 1229 s → 262 s at 480 cores (4.7×),
 //! 3.9× at 1920, 4.8× at 7680; the optimized build scales 12.7× from 480
 //! to 7680 cores.
 
-use bench::{ablation_sweep, fmt_s, header, row, Cli, PPN};
+use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, PPN};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
-use meraligner::TargetStore;
-use pgas::{GlobalRef, Machine, MachineConfig};
+use meraligner::{run_pipeline, TargetStore};
+use pgas::{CommTag, GlobalRef, Machine, MachineConfig};
 use seq::KmerIter;
 
 fn build_time(cores: usize, tdb: &seq::SeqDb, k: usize, algo: BuildAlgorithm) -> (f64, u64, u64) {
@@ -32,6 +34,9 @@ fn build_time(cores: usize, tdb: &seq::SeqDb, k: usize, algo: BuildAlgorithm) ->
     let t = machine.phase_named("index-build").unwrap().sim_seconds
         + machine
             .phase_named("index-drain")
+            .map_or(0.0, |p| p.sim_seconds)
+        + machine
+            .phase_named("index-freeze")
             .map_or(0.0, |p| p.sim_seconds);
     let agg = machine.phase_named("index-build").unwrap().aggregate();
     (t, agg.msgs_local + agg.msgs_remote, index.total_entries())
@@ -84,4 +89,44 @@ fn main() {
             scale_up, cores_up
         );
     }
+
+    // ---- Query-side aggregation: the same idea applied to the aligning
+    // phase. One full pipeline run per mode; the align phase's seed-lookup
+    // message count collapses from ~one per off-rank seed to ~one per
+    // (read, owner) batch.
+    let cores = ablation_sweep(&cli)[0];
+    let qdb = d.reads_seqdb();
+    let n_reads = qdb.len().max(1) as f64;
+    eprintln!(
+        "# query-side batching at {cores} cores | reads {}",
+        qdb.len()
+    );
+    header(&[
+        "lookup_mode",
+        "seed_lookup_msgs",
+        "msgs_per_read",
+        "lookup_comm_s",
+        "align_s",
+    ]);
+    let mut per_read = Vec::new();
+    for batched in [false, true] {
+        let mut cfg = pipeline_config(&d, cores, cores / PPN);
+        cfg.batch_lookups = batched;
+        let res = run_pipeline(&cfg, &tdb, &qdb);
+        let phase = res.align_phase().expect("align phase");
+        let agg = phase.aggregate();
+        let msgs = agg.msgs_for(CommTag::SeedLookup);
+        per_read.push(msgs as f64 / n_reads);
+        row(&[
+            if batched { "batched" } else { "point" }.to_string(),
+            msgs.to_string(),
+            format!("{:.1}", msgs as f64 / n_reads),
+            fmt_s(phase.mean_comm_seconds(CommTag::SeedLookup)),
+            fmt_s(res.align_seconds()),
+        ]);
+    }
+    eprintln!(
+        "# owner batching cuts seed-lookup messages {:.1}x per read",
+        per_read[0] / per_read[1].max(1e-9)
+    );
 }

@@ -44,7 +44,14 @@ fn main() {
                 / (agg.seed_cache_hits + agg.seed_cache_misses).max(1) as f64;
             let tgt_rate = agg.target_cache_hits as f64
                 / (agg.target_cache_hits + agg.target_cache_misses).max(1) as f64;
-            results.push((use_caches, lookup, fetch, lookup + fetch, seed_rate, tgt_rate));
+            results.push((
+                use_caches,
+                lookup,
+                fetch,
+                lookup + fetch,
+                seed_rate,
+                tgt_rate,
+            ));
         }
         let no_cache_total = results[0].3;
         for (use_caches, lookup, fetch, total, seed_rate, tgt_rate) in results {

@@ -65,7 +65,11 @@ impl BuildConfig {
 /// local targets; it is invoked once per rank per pass (the sizing pass is
 /// an uncharged implementation detail — the paper pre-allocates its stacks
 /// from capacity estimates instead).
-pub fn build_seed_index<F, I>(machine: &mut Machine, cfg: &BuildConfig, entries_for_rank: F) -> SeedIndex
+pub fn build_seed_index<F, I>(
+    machine: &mut Machine,
+    cfg: &BuildConfig,
+    entries_for_rank: F,
+) -> SeedIndex
 where
     F: Fn(usize) -> I + Sync,
     I: Iterator<Item = SeedEntry>,
@@ -76,7 +80,11 @@ where
     }
 }
 
-fn build_aggregating<F, I>(machine: &mut Machine, cfg: &BuildConfig, entries_for_rank: &F) -> SeedIndex
+fn build_aggregating<F, I>(
+    machine: &mut Machine,
+    cfg: &BuildConfig,
+    entries_for_rank: &F,
+) -> SeedIndex
 where
     F: Fn(usize) -> I + Sync,
     I: Iterator<Item = SeedEntry>,
@@ -139,8 +147,10 @@ where
     });
 
     // Drain pass (charged, local-only): each rank seals and empties its own
-    // stack into its local buckets — lock-free, no communication.
-    let mut parts = machine.phase("index-drain", |ctx| {
+    // stack into its local buckets — lock-free, no communication — then
+    // freezes the accumulator into the immutable CSR table the aligning
+    // phase reads. The mutable partition never leaves this phase.
+    let frozen = machine.phase("index-drain", |ctx| {
         let stack = &stacks[ctx.rank];
         stack.seal();
         let entries = stack.filled();
@@ -150,10 +160,11 @@ where
         }
         ctx.charge_drain(entries.len() as u64);
         part.finalize();
-        part
+        ctx.charge_freeze(part.distinct_seeds() as u64);
+        part.freeze()
     });
 
-    SeedIndex::new(k, std::mem::take(&mut parts))
+    SeedIndex::from_frozen(k, frozen)
 }
 
 fn build_naive<F, I>(machine: &mut Machine, cfg: &BuildConfig, entries_for_rank: &F) -> SeedIndex
@@ -179,15 +190,20 @@ where
         }
     });
 
-    let parts: Vec<Partition> = parts
+    // Freeze pass (charged, local): same canonicalize-and-freeze step as
+    // the aggregated path, so both algorithms pay for — and produce —
+    // identical read-path tables.
+    let cells: Vec<Mutex<Option<Partition>>> = parts
         .into_iter()
-        .map(|m| {
-            let mut part = m.into_inner();
-            part.finalize();
-            part
-        })
+        .map(|m| Mutex::new(Some(m.into_inner())))
         .collect();
-    SeedIndex::new(k, parts)
+    let frozen = machine.phase("index-freeze", |ctx| {
+        let mut part = cells[ctx.rank].lock().take().expect("one take per rank");
+        part.finalize();
+        ctx.charge_freeze(part.distinct_seeds() as u64);
+        part.freeze()
+    });
+    SeedIndex::from_frozen(k, frozen)
 }
 
 #[cfg(test)]
@@ -281,7 +297,8 @@ mod tests {
             for e in entries_from_targets(&targets, k, r) {
                 let hits = idx.get(e.kmer).expect("extracted seed must be indexed");
                 assert!(
-                    hits.iter().any(|h| h.target == e.target && h.offset == e.offset),
+                    hits.iter()
+                        .any(|h| h.target == e.target && h.offset == e.offset),
                     "hit for the exact source position must exist"
                 );
             }

@@ -101,9 +101,12 @@ impl SeedCache {
     }
 }
 
+/// One target-cache slot: the cached target's global ref and payload.
+type TargetSlot = RwLock<Option<(GlobalRef, Arc<PackedSeq>)>>;
+
 /// Direct-mapped, byte-budgeted cache of remote target sequences.
 pub struct TargetCache {
-    slots: Box<[RwLock<Option<(GlobalRef, Arc<PackedSeq>)>>]>,
+    slots: Box<[TargetSlot]>,
     used_bytes: AtomicUsize,
     budget_bytes: usize,
 }
@@ -163,9 +166,11 @@ impl TargetCache {
         *slot = Some((gref, seq));
         // Relaxed accounting: approximate, monotonic per slot transition.
         if new_bytes >= old_bytes {
-            self.used_bytes.fetch_add(new_bytes - old_bytes, Ordering::Relaxed);
+            self.used_bytes
+                .fetch_add(new_bytes - old_bytes, Ordering::Relaxed);
         } else {
-            self.used_bytes.fetch_sub(old_bytes - new_bytes, Ordering::Relaxed);
+            self.used_bytes
+                .fetch_sub(old_bytes - new_bytes, Ordering::Relaxed);
         }
     }
 }

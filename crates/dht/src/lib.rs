@@ -15,7 +15,14 @@
 //!   seed-index cache and a byte-budgeted target cache.
 //! * [`lookup`] — the charged lookup path used by the aligning phase,
 //!   implementing the paper's locality hierarchy: own partition → same-node
-//!   partition → node cache → remote fetch (+ cache fill).
+//!   partition → node cache → remote fetch (+ cache fill), as point
+//!   lookups or owner-batched lookups (one aggregated message per
+//!   (read, owner) — the query-side mirror of aggregating stores).
+//! * [`frozen`] — the immutable read-path form of each partition: an
+//!   open-addressed flat table over a contiguous CSR hit arena. The
+//!   mutable [`Partition`] exists only while construction drains; see
+//!   `README.md` in this crate for the build→freeze lifecycle and memory
+//!   layout.
 //!
 //! Both construction algorithms produce bit-identical indexes; tests enforce
 //! this.
@@ -23,11 +30,13 @@
 pub mod build;
 pub mod cache;
 pub mod entry;
+pub mod frozen;
 pub mod lookup;
 pub mod partition;
 
 pub use build::{build_seed_index, BuildAlgorithm, BuildConfig};
 pub use cache::{CacheConfig, CacheSet, NodeCaches, SeedCache, TargetCache};
 pub use entry::{seed_owner, seed_wire_bytes, SeedEntry, TargetHit};
-pub use lookup::{fetch_target, LookupEnv};
+pub use frozen::{FrozenPartition, HitSpan};
+pub use lookup::{fetch_target, BatchScratch, LookupEnv};
 pub use partition::{Partition, SeedIndex};

@@ -15,10 +15,20 @@ use seq::{Kmer, PackedSeq};
 
 use crate::cache::CacheSet;
 use crate::entry::TargetHit;
+use crate::frozen::HitSpan;
 use crate::partition::SeedIndex;
 
 /// Fixed per-response header bytes for a seed lookup.
 const LOOKUP_RESP_HEADER: u64 = 4;
+
+/// Request bytes per seed in an owner-batched lookup (the bucket hash the
+/// owner probes with). A point lookup is a one-sided get and ships no key;
+/// a batch is an RPC-style exchange and pays for the keys it aggregates.
+const BATCH_REQ_BYTES_PER_SEED: u64 = 8;
+
+/// Per-seed response sub-header in a batched lookup (hit count), matching
+/// the point lookup's `LOOKUP_RESP_HEADER`.
+const BATCH_RESP_BYTES_PER_SEED: u64 = 4;
 
 /// A bound lookup environment: index + optional caches + sensitivity cap.
 pub struct LookupEnv<'a> {
@@ -96,6 +106,150 @@ impl LookupEnv<'_> {
             out.truncate(self.max_hits);
         }
     }
+
+    /// Owner-batched lookup: all `seeds` of one read that the djb2 map
+    /// assigns to `owner`, resolved with at most **one** message for the
+    /// whole batch — the query-side mirror of the paper's aggregating
+    /// stores (§III-A), applied to the aligning phase's lookups.
+    ///
+    /// Results and final cache contents match issuing [`LookupEnv::lookup`]
+    /// once per seed: the same locality hierarchy applies (own partition →
+    /// same-node partition → node cache → remote get + cache fill), hit
+    /// lists are cached untruncated and spans report at most `max_hits`
+    /// hits. What changes is the communication pattern: the PGAS model
+    /// charges one aggregated message per (read, owner) — carrying 8
+    /// request bytes and a 4-byte response sub-header per seed plus the hit
+    /// payload — instead of one α-dominated message per seed. Off-node, a
+    /// batch whose seeds all hit the node cache sends nothing.
+    ///
+    /// One [`HitSpan`] per seed is appended to `spans` (input order),
+    /// indexing into `hits`. Duplicate in-batch seeds share one probe and
+    /// one span; they count as cache misses where the point path would
+    /// count the repeats as hits, so batch cache-hit *counters* lower-bound
+    /// the point path's (contents are identical). Returns the number of
+    /// seeds found.
+    pub fn lookup_batch(
+        &self,
+        ctx: &mut RankCtx,
+        owner: usize,
+        seeds: &[Kmer],
+        hits: &mut Vec<TargetHit>,
+        spans: &mut Vec<HitSpan>,
+        scratch: &mut BatchScratch,
+    ) -> usize {
+        let span_base = spans.len();
+        if seeds.is_empty() {
+            return 0;
+        }
+        ctx.charge_lookup_probe(seeds.len() as u64);
+        let part = self.index.partition(owner);
+
+        if owner == ctx.rank || ctx.same_node(owner) || self.caches.is_none() {
+            // Whole batch reads the owner partition directly; off-rank
+            // batches pay one aggregated message.
+            part.get_many(seeds, &mut scratch.order, hits, spans);
+            if owner != ctx.rank {
+                let payload: u64 = spans[span_base..]
+                    .iter()
+                    .map(|s| u64::from(s.len) * TargetHit::WIRE_BYTES)
+                    .sum();
+                let bytes = LOOKUP_RESP_HEADER
+                    + seeds.len() as u64 * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
+                    + payload;
+                ctx.charge_lookup_batch(owner, seeds.len() as u64, bytes, CommTag::SeedLookup);
+            }
+            return self.cap_spans(spans, span_base);
+        }
+
+        // Off-node with caches: probe the node cache per seed, aggregate
+        // only the misses into the single remote exchange, fill per miss.
+        let caches = self.caches.expect("checked above");
+        let nc = caches.node(ctx.node());
+        scratch.miss_kmers.clear();
+        scratch.miss_slots.clear();
+        scratch.miss_spans.clear();
+        for (i, &km) in seeds.iter().enumerate() {
+            ctx.charge_cache_probe(1);
+            let start = hits.len() as u32;
+            match nc.seed.probe(km, hits) {
+                Some(found) => {
+                    ctx.note_seed_cache(true);
+                    spans.push(HitSpan {
+                        found,
+                        start,
+                        len: (hits.len() as u32) - start,
+                    });
+                }
+                None => {
+                    ctx.note_seed_cache(false);
+                    spans.push(HitSpan::default());
+                    scratch.miss_kmers.push(km);
+                    scratch.miss_slots.push(span_base as u32 + i as u32);
+                }
+            }
+        }
+        if !scratch.miss_kmers.is_empty() {
+            part.get_many(
+                &scratch.miss_kmers,
+                &mut scratch.order,
+                hits,
+                &mut scratch.miss_spans,
+            );
+            let payload: u64 = scratch
+                .miss_spans
+                .iter()
+                .map(|s| u64::from(s.len) * TargetHit::WIRE_BYTES)
+                .sum();
+            let bytes = LOOKUP_RESP_HEADER
+                + scratch.miss_kmers.len() as u64
+                    * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
+                + payload;
+            ctx.charge_lookup_batch(
+                owner,
+                scratch.miss_kmers.len() as u64,
+                bytes,
+                CommTag::SeedLookup,
+            );
+            // Install in seed order (deterministic direct-mapped state),
+            // caching full hit lists exactly like the point path.
+            for ((&slot, &km), span) in scratch
+                .miss_slots
+                .iter()
+                .zip(&scratch.miss_kmers)
+                .zip(&scratch.miss_spans)
+            {
+                nc.seed.fill(km, &hits[span.range()]);
+                spans[slot as usize] = *span;
+            }
+        }
+        self.cap_spans(spans, span_base)
+    }
+
+    /// Apply `max_hits` to every span of this batch and count found seeds.
+    fn cap_spans(&self, spans: &mut [HitSpan], base: usize) -> usize {
+        let mut found = 0usize;
+        for s in &mut spans[base..] {
+            if self.max_hits > 0 && s.len as usize > self.max_hits {
+                s.len = self.max_hits as u32;
+            }
+            found += usize::from(s.found);
+        }
+        found
+    }
+}
+
+/// Reusable scratch for [`LookupEnv::lookup_batch`] (allocation-free steady
+/// state).
+#[derive(Default)]
+pub struct BatchScratch {
+    /// Packed (hash high bits | input index) probe order.
+    order: Vec<u64>,
+    /// Cache-missing seeds awaiting the aggregated exchange.
+    miss_kmers: Vec<Kmer>,
+    /// Output span slot of each missing seed.
+    miss_slots: Vec<u32>,
+    /// Spans of the missing seeds within the arena.
+    miss_spans: Vec<HitSpan>,
 }
 
 /// Fetch a target sequence through the same locality hierarchy: local part →

@@ -1,11 +1,13 @@
 //! Partitions (the per-rank "local buckets") and the assembled seed index.
 //!
-//! After construction the index is immutable and read by any rank through
-//! [`crate::lookup`]; during the drain pass each rank fills **only its own**
-//! partition, which is what makes the optimized construction lock-free
-//! (§III-A: "each processor iterates over its local-shared stack and stores
-//! the received seeds in the appropriate local buckets ... there is no need
-//! for locks").
+//! [`Partition`] is strictly the **build-time accumulator**: during the
+//! drain pass each rank fills only its own partition, which is what makes
+//! the optimized construction lock-free (§III-A: "each processor iterates
+//! over its local-shared stack and stores the received seeds in the
+//! appropriate local buckets ... there is no need for locks"). Once a
+//! partition is complete it is [`Partition::freeze`]-ed into a
+//! [`FrozenPartition`] — the immutable open-addressed CSR table every
+//! rank reads through [`crate::lookup`] — and the accumulator is dropped.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -13,6 +15,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 use seq::{bucket_hash, Kmer};
 
 use crate::entry::{seed_owner, SeedEntry, TargetHit};
+use crate::frozen::FrozenPartition;
 
 /// Hits stored for one distinct seed: almost all seeds occur once or twice,
 /// so the single-hit case is inline.
@@ -81,12 +84,21 @@ impl Hasher for PassThroughHasher {
 
 type SeedMap = HashMap<u64, (Kmer, SeedSlot), BuildHasherDefault<PassThroughHasher>>;
 
-/// One rank's local buckets.
+/// Re-keying step for the (astronomically unlikely) case of two distinct
+/// seeds sharing one 64-bit bucket hash: the colliding insert walks
+/// `h, h+STEP, h+2·STEP, …` until it finds its own key or a vacant one.
+/// Odd, so the walk visits every `u64` before cycling; lookups follow the
+/// same walk and stop at the first vacant key, so the fallback is safe in
+/// release builds (no silent merging of two seeds' hit lists) without any
+/// cost on the non-colliding fast path.
+const COLLISION_STEP: u64 = 0x9E37_79B9_7F4A_7C17;
+
+/// One rank's build-time local buckets.
 ///
 /// Keyed by the 64-bit `bucket_hash` of the seed with the full seed stored
-/// for verification (the probability of a 64-bit collision within one
-/// partition is negligible, but correctness never depends on it: the stored
-/// kmer is always compared).
+/// for verification: correctness never depends on 64-bit uniqueness — the
+/// stored kmer is always compared, and genuine collisions re-key via
+/// [`COLLISION_STEP`] probing.
 #[derive(Default)]
 pub struct Partition {
     map: SeedMap,
@@ -105,40 +117,60 @@ impl Partition {
 
     /// Insert one seed occurrence.
     pub fn insert(&mut self, entry: SeedEntry) {
-        let h = bucket_hash(entry.kmer);
+        self.insert_keyed(bucket_hash(entry.kmer), entry);
+    }
+
+    /// Insert starting the probe walk at `h` (seam for collision tests).
+    pub(crate) fn insert_keyed(&mut self, mut h: u64, entry: SeedEntry) {
         let hit = TargetHit {
             target: entry.target,
             offset: entry.offset,
         };
         self.entries += 1;
-        match self.map.entry(h) {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                let (stored, slot) = o.get_mut();
-                debug_assert_eq!(*stored, entry.kmer, "64-bit bucket hash collision");
-                slot.push(hit);
+        loop {
+            match self.map.entry(h) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let (stored, slot) = o.get_mut();
+                    if *stored == entry.kmer {
+                        slot.push(hit);
+                        return;
+                    }
+                    // 64-bit bucket-hash collision: re-key and keep probing.
+                    h = h.wrapping_add(COLLISION_STEP);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((entry.kmer, SeedSlot::new(hit)));
+                    return;
+                }
             }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert((entry.kmer, SeedSlot::new(hit)));
+        }
+    }
+
+    fn probe(&self, mut h: u64, kmer: Kmer) -> Option<&SeedSlot> {
+        loop {
+            match self.map.get(&h) {
+                Some((stored, slot)) if *stored == kmer => return Some(slot),
+                Some(_) => h = h.wrapping_add(COLLISION_STEP),
+                None => return None,
             }
         }
     }
 
     /// Hits for a seed, if present (with key verification).
     pub fn get(&self, kmer: Kmer) -> Option<&[TargetHit]> {
-        let h = bucket_hash(kmer);
-        match self.map.get(&h) {
-            Some((stored, slot)) if *stored == kmer => Some(slot.as_slice()),
-            _ => None,
-        }
+        self.probe(bucket_hash(kmer), kmer).map(SeedSlot::as_slice)
+    }
+
+    /// Lookup starting the probe walk at `h` (seam for collision tests).
+    #[cfg(test)]
+    pub(crate) fn get_keyed(&self, h: u64, kmer: Kmer) -> Option<&[TargetHit]> {
+        self.probe(h, kmer).map(SeedSlot::as_slice)
     }
 
     /// Occurrence count of a seed (0 if absent).
     pub fn seed_count(&self, kmer: Kmer) -> u32 {
-        let h = bucket_hash(kmer);
-        match self.map.get(&h) {
-            Some((stored, slot)) if *stored == kmer => slot.count(),
-            _ => 0,
-        }
+        self.probe(bucket_hash(kmer), kmer)
+            .map_or(0, SeedSlot::count)
     }
 
     /// Number of distinct seeds in this partition.
@@ -152,8 +184,7 @@ impl Partition {
     }
 
     /// Iterate `(kmer, hits)` over all distinct seeds (drain-order
-    /// unspecified). Used by the exact-match preprocessing to visit local
-    /// seeds and flag targets with repeated seeds.
+    /// unspecified).
     pub fn iter(&self) -> impl Iterator<Item = (Kmer, &[TargetHit])> {
         self.map.values().map(|(k, slot)| (*k, slot.as_slice()))
     }
@@ -169,18 +200,36 @@ impl Partition {
             }
         }
     }
+
+    /// Freeze into the immutable open-addressed CSR form the read path
+    /// uses. Call after [`Partition::finalize`]; the accumulator can be
+    /// dropped afterwards.
+    pub fn freeze(&self) -> FrozenPartition {
+        FrozenPartition::from_seeds(self.iter(), self.entries)
+    }
 }
 
-/// The assembled distributed seed index: one [`Partition`] per rank,
-/// read-only after construction.
+/// The assembled distributed seed index: one [`FrozenPartition`] per rank,
+/// immutable and read by any rank.
 pub struct SeedIndex {
     k: usize,
-    parts: Vec<Partition>,
+    parts: Vec<FrozenPartition>,
 }
 
 impl SeedIndex {
-    /// Assemble from per-rank partitions.
+    /// Assemble from per-rank build accumulators (freezes each in place —
+    /// used by tests; the charged build freezes inside a phase and calls
+    /// [`SeedIndex::from_frozen`]).
+    #[cfg(test)]
     pub(crate) fn new(k: usize, parts: Vec<Partition>) -> Self {
+        SeedIndex {
+            k,
+            parts: parts.iter().map(Partition::freeze).collect(),
+        }
+    }
+
+    /// Assemble from already-frozen partitions.
+    pub(crate) fn from_frozen(k: usize, parts: Vec<FrozenPartition>) -> Self {
         SeedIndex { k, parts }
     }
 
@@ -200,8 +249,8 @@ impl SeedIndex {
         seed_owner(kmer, self.k, self.parts.len())
     }
 
-    /// Direct access to a partition.
-    pub fn partition(&self, rank: usize) -> &Partition {
+    /// Direct access to a (frozen) partition.
+    pub fn partition(&self, rank: usize) -> &FrozenPartition {
         &self.parts[rank]
     }
 
@@ -218,19 +267,23 @@ impl SeedIndex {
 
     /// Total distinct seeds.
     pub fn distinct_seeds(&self) -> usize {
-        self.parts.iter().map(Partition::distinct_seeds).sum()
+        self.parts.iter().map(FrozenPartition::distinct_seeds).sum()
     }
 
     /// Total seed occurrences.
     pub fn total_entries(&self) -> u64 {
-        self.parts.iter().map(Partition::total_entries).sum()
+        self.parts.iter().map(FrozenPartition::total_entries).sum()
     }
 
     /// Load-balance report: (min, max, mean) distinct seeds per partition —
     /// the paper reports "almost perfect load balance in terms of the number
     /// of distinct seeds assigned to each processor".
     pub fn partition_balance(&self) -> (usize, usize, f64) {
-        let sizes: Vec<usize> = self.parts.iter().map(Partition::distinct_seeds).collect();
+        let sizes: Vec<usize> = self
+            .parts
+            .iter()
+            .map(FrozenPartition::distinct_seeds)
+            .collect();
         let min = sizes.iter().copied().min().unwrap_or(0);
         let max = sizes.iter().copied().max().unwrap_or(0);
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
@@ -275,6 +328,51 @@ mod tests {
         assert_eq!(p.seed_count(km), 3);
         assert_eq!(p.distinct_seeds(), 1);
         assert_eq!(p.total_entries(), 3);
+    }
+
+    #[test]
+    fn bucket_hash_collision_keeps_seeds_separate() {
+        // Force both inserts to start their probe walk at the same key —
+        // exactly what a genuine 64-bit bucket_hash collision would do.
+        let mut p = Partition::default();
+        let a = entry(b"ACGTA", 0, 0, 1);
+        let b = entry(b"TGCAT", 1, 1, 2);
+        let h = 0xDEAD_BEEF_u64;
+        p.insert_keyed(h, a);
+        p.insert_keyed(h, b);
+        p.insert_keyed(h, entry(b"ACGTA", 0, 2, 5));
+        assert_eq!(p.distinct_seeds(), 2, "collision must not merge seeds");
+        assert_eq!(p.total_entries(), 3);
+        let got_a = p.get_keyed(h, a.kmer).expect("first seed present");
+        assert_eq!(got_a.len(), 2);
+        assert!(got_a.iter().all(|t| t.target.rank == 0));
+        let got_b = p.get_keyed(h, b.kmer).expect("collided seed present");
+        assert_eq!(
+            got_b,
+            &[TargetHit {
+                target: GlobalRef::new(1, 1),
+                offset: 2
+            }]
+        );
+        // A third kmer probing the same walk finds vacancy ⇒ absent.
+        assert!(p
+            .get_keyed(h, Kmer::from_ascii(b"CCCCC").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn freeze_preserves_content() {
+        let mut p = Partition::default();
+        p.insert(entry(b"ACGTA", 0, 0, 0));
+        p.insert(entry(b"TTTTT", 0, 1, 1));
+        p.insert(entry(b"TTTTT", 1, 2, 2));
+        p.finalize();
+        let f = p.freeze();
+        assert_eq!(f.distinct_seeds(), p.distinct_seeds());
+        assert_eq!(f.total_entries(), p.total_entries());
+        for (km, hits) in p.iter() {
+            assert_eq!(f.get(km).unwrap(), hits);
+        }
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Property tests for the frozen CSR read path:
+//!
+//! 1. The frozen open-addressed table must return byte-identical hit
+//!    slices to the build-time `Partition` accumulator for arbitrary entry
+//!    multisets.
+//! 2. `lookup_batch` must agree with issuing N point `lookup`s — same
+//!    found flags, same (truncated) hit slices, matching node-cache
+//!    contents — while sending no more messages.
+
+use dht::{
+    build_seed_index, BatchScratch, BuildConfig, CacheConfig, CacheSet, LookupEnv, Partition,
+    SeedEntry, TargetHit,
+};
+use pgas::{GlobalRef, Machine, MachineConfig};
+use proptest::prelude::*;
+use seq::{bucket_hash, Kmer};
+
+const K: usize = 9;
+
+/// Derive a valid k-mer deterministically from a small id.
+fn kmer_from_id(kmer_id: u32) -> Kmer {
+    let mut km = Kmer::ZERO;
+    let mut v = u128::from(kmer_id) * 2_654_435_761;
+    for _ in 0..K {
+        km = km.roll((v & 3) as u8, K);
+        v >>= 2;
+    }
+    km
+}
+
+fn entry_strategy(p: usize) -> impl Strategy<Value = SeedEntry> {
+    (0u32..120, 0usize..p, 0u32..4, 0u32..500).prop_map(move |(kmer_id, rank, idx, offset)| {
+        SeedEntry {
+            kmer: kmer_from_id(kmer_id),
+            target: GlobalRef::new(rank, idx as usize),
+            offset,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn frozen_matches_builder_partition(entries in proptest::collection::vec(entry_strategy(4), 0..200)) {
+        let mut part = Partition::default();
+        for e in &entries {
+            part.insert(*e);
+        }
+        part.finalize();
+        let frozen = part.freeze();
+
+        prop_assert_eq!(frozen.distinct_seeds(), part.distinct_seeds());
+        prop_assert_eq!(frozen.total_entries(), part.total_entries());
+        // Byte-identical hit slices for every present seed...
+        for (km, hits) in part.iter() {
+            prop_assert_eq!(frozen.get(km), Some(hits));
+            prop_assert_eq!(frozen.seed_count(km), hits.len() as u32);
+        }
+        // ... the same seed set from the frozen side ...
+        for (km, hits) in frozen.iter() {
+            prop_assert_eq!(part.get(km), Some(hits));
+        }
+        // ... and agreement on absent seeds.
+        for id in 120u32..150 {
+            let km = kmer_from_id(id);
+            prop_assert_eq!(frozen.get(km), part.get(km));
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_point_lookups(
+        per_rank in proptest::collection::vec(
+            proptest::collection::vec(entry_strategy(6), 1..60), 6..=6),
+        query_ids in proptest::collection::vec(0u32..150, 1..80),
+        max_hits in 0usize..4,
+    ) {
+        let mk_machine = || {
+            Machine::new(MachineConfig {
+                ranks: 6,
+                ppn: 2,
+                cost: Default::default(),
+                sequential: true,
+            })
+        };
+        let mut machine = mk_machine();
+        let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
+            per_rank[r].clone().into_iter()
+        });
+        let queries: Vec<Kmer> = query_ids.iter().map(|&id| kmer_from_id(id)).collect();
+        let nodes = machine.topo().nodes();
+        let cache_cfg = CacheConfig::default();
+        let caches_point = CacheSet::new(nodes, &cache_cfg);
+        let caches_batch = CacheSet::new(nodes, &cache_cfg);
+
+        // Point path: every rank looks up every query in order.
+        let point_results = machine.phase("point", |ctx| {
+            let env = LookupEnv { index: &idx, caches: Some(&caches_point), max_hits };
+            let mut out = Vec::new();
+            let mut results: Vec<(bool, Vec<TargetHit>)> = Vec::new();
+            for &km in &queries {
+                let found = env.lookup(ctx, km, &mut out);
+                results.push((found, out.clone()));
+            }
+            results
+        });
+
+        // Batched path: same queries, grouped by owner, original order
+        // restored for comparison.
+        let batch_results = machine.phase("batch", |ctx| {
+            let env = LookupEnv { index: &idx, caches: Some(&caches_batch), max_hits };
+            let mut by_owner: Vec<(u32, u32)> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, &km)| (idx.owner_of(km) as u32, i as u32))
+                .collect();
+            by_owner.sort_by_key(|&(owner, _)| owner);
+            let mut results: Vec<(bool, Vec<TargetHit>)> =
+                vec![(false, Vec::new()); queries.len()];
+            let mut scratch = BatchScratch::default();
+            let (mut kmers, mut hits, mut spans) = (Vec::new(), Vec::new(), Vec::new());
+            let mut i = 0usize;
+            while i < by_owner.len() {
+                let owner = by_owner[i].0;
+                let mut j = i;
+                while j < by_owner.len() && by_owner[j].0 == owner {
+                    j += 1;
+                }
+                kmers.clear();
+                kmers.extend(by_owner[i..j].iter().map(|&(_, qi)| queries[qi as usize]));
+                hits.clear();
+                spans.clear();
+                env.lookup_batch(ctx, owner as usize, &kmers, &mut hits, &mut spans, &mut scratch);
+                for (&(_, qi), span) in by_owner[i..j].iter().zip(&spans) {
+                    results[qi as usize] = (span.found, hits[span.range()].to_vec());
+                }
+                i = j;
+            }
+            results
+        });
+
+        // Identical results on every rank.
+        for (rank, (p, b)) in point_results.iter().zip(&batch_results).enumerate() {
+            prop_assert_eq!(p.len(), b.len());
+            for (qi, (pr, br)) in p.iter().zip(b).enumerate() {
+                prop_assert_eq!(pr.0, br.0, "found flag differs: rank {} query {}", rank, qi);
+                prop_assert_eq!(&pr.1, &br.1, "hits differ: rank {} query {}", rank, qi);
+            }
+        }
+
+        // Batching must not send more messages than the point path.
+        let agg = |name: &str| {
+            let a = machine.phase_named(name).unwrap().aggregate();
+            (a.msgs_local + a.msgs_remote, a.lookup_batches)
+        };
+        let (point_msgs, point_batches) = agg("point");
+        let (batch_msgs, batch_batches) = agg("batch");
+        prop_assert_eq!(point_batches, 0);
+        prop_assert!(
+            batch_msgs <= point_msgs,
+            "batching sent more messages: {} > {}", batch_msgs, point_msgs
+        );
+        prop_assert!(batch_batches <= batch_msgs);
+
+        // Node-cache contents agree for every queried seed whose
+        // direct-mapped slot is uncontended within the query set (a shared
+        // slot's final occupant legitimately depends on fill order).
+        let slots = caches_point.node(0).seed.slots();
+        for n in 0..nodes {
+            for &km in &queries {
+                let slot = bucket_hash(km) % slots as u64;
+                let contended = queries
+                    .iter()
+                    .any(|&other| other != km && bucket_hash(other) % slots as u64 == slot);
+                if contended {
+                    continue;
+                }
+                let mut out_p = Vec::new();
+                let mut out_b = Vec::new();
+                let p = caches_point.node(n).seed.probe(km, &mut out_p);
+                let b = caches_batch.node(n).seed.probe(km, &mut out_b);
+                prop_assert_eq!(p, b, "cache presence differs on node {}", n);
+                prop_assert_eq!(&out_p, &out_b, "cached hits differ on node {}", n);
+            }
+        }
+    }
+}

@@ -13,8 +13,8 @@ const K: usize = 9;
 
 /// Generate an arbitrary multiset of seed entries spread over `p` ranks.
 fn entries_strategy(p: usize) -> impl Strategy<Value = Vec<Vec<SeedEntry>>> {
-    let entry = (0u32..200, 0usize..p, 0u32..4, 0u32..500).prop_map(
-        move |(kmer_id, rank, idx, offset)| {
+    let entry =
+        (0u32..200, 0usize..p, 0u32..4, 0u32..500).prop_map(move |(kmer_id, rank, idx, offset)| {
             // Derive a valid k-mer from the id deterministically.
             let mut km = Kmer::ZERO;
             let mut v = u128::from(kmer_id) * 2_654_435_761;
@@ -27,8 +27,7 @@ fn entries_strategy(p: usize) -> impl Strategy<Value = Vec<Vec<SeedEntry>>> {
                 target: GlobalRef::new(rank, idx as usize),
                 offset,
             }
-        },
-    );
+        });
     proptest::collection::vec(proptest::collection::vec(entry, 0..60), p..=p)
 }
 

@@ -216,8 +216,7 @@ impl BaselineAligner {
 
     /// Index bytes one pMap instance must load.
     pub fn index_bytes(&self) -> usize {
-        self.index.fm().heap_bytes()
-            + self.mirror.as_ref().map_or(0, |m| m.fm().heap_bytes())
+        self.index.fm().heap_bytes() + self.mirror.as_ref().map_or(0, |m| m.fm().heap_bytes())
     }
 
     /// The configuration in force.
@@ -243,10 +242,9 @@ impl BaselineAligner {
         let mut best_meta: Option<(usize, bool)> = None;
         let mut extends_left = self.cfg.max_extends;
 
-        'strand: for (reverse, oriented) in [
-            (false, read.clone()),
-            (true, read.reverse_complement()),
-        ] {
+        'strand: for (reverse, oriented) in
+            [(false, read.clone()), (true, read.reverse_complement())]
+        {
             if oriented.len() < self.cfg.seed_len {
                 continue;
             }
@@ -323,8 +321,7 @@ mod tests {
     #[test]
     fn maps_exact_reads_correctly() {
         let d = mini_dataset();
-        let contigs: Vec<PackedSeq> =
-            d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+        let contigs: Vec<PackedSeq> = d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
         let aligner = BaselineAligner::build(&contigs, BaselineConfig::bwa_mem_like());
         let scoring = Scoring::dna_default();
         let ext = ExtendConfig::default();
@@ -376,8 +373,7 @@ mod tests {
     #[test]
     fn op_counts_accumulate() {
         let d = mini_dataset();
-        let contigs: Vec<PackedSeq> =
-            d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+        let contigs: Vec<PackedSeq> = d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
         let aligner = BaselineAligner::build(&contigs, BaselineConfig::bowtie2_like());
         let scoring = Scoring::dna_default();
         let ext = ExtendConfig::default();
@@ -390,8 +386,7 @@ mod tests {
     #[test]
     fn errored_reads_still_map_via_other_seeds() {
         let d = mini_dataset();
-        let contigs: Vec<PackedSeq> =
-            d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+        let contigs: Vec<PackedSeq> = d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
         let aligner = BaselineAligner::build(&contigs, BaselineConfig::bwa_mem_like());
         let scoring = Scoring::dna_default();
         let ext = ExtendConfig::default();

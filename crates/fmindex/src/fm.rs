@@ -83,7 +83,7 @@ impl FmIndex {
         let mut sampled_bits = vec![0u64; words];
         let mut order: Vec<(usize, u32)> = Vec::new();
         for (i, &p) in sa_full.iter().enumerate() {
-            if p as usize % SA_RATE == 0 {
+            if (p as usize).is_multiple_of(SA_RATE) {
                 sampled_bits[i / 64] |= 1u64 << (i % 64);
                 order.push((i, p));
             }

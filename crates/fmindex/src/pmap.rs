@@ -98,8 +98,9 @@ pub fn run_pmap(
     let load_seconds = aligner.index_bytes() as f64 * costs.index_load_ns_per_byte / 1e9;
 
     // (4) Mapping: real execution, modelled per-instance time.
+    type InstanceOutcome = (f64, usize, Vec<Option<(usize, usize, bool)>>);
     let chunk = n.div_ceil(instances);
-    let per_instance: Vec<(f64, usize, Vec<Option<(usize, usize, bool)>>)> = (0..instances)
+    let per_instance: Vec<InstanceOutcome> = (0..instances)
         .into_par_iter()
         .map(|inst| {
             let lo = (inst * chunk).min(n);
@@ -153,8 +154,7 @@ mod tests {
     #[test]
     fn pmap_structure_and_accuracy() {
         let d = human_like(0.004, 123);
-        let contigs: Vec<PackedSeq> =
-            d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+        let contigs: Vec<PackedSeq> = d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
         let aligner = BaselineAligner::build(&contigs, BaselineConfig::bwa_mem_like());
         let reads: Vec<PackedSeq> = d.reads.iter().take(400).map(|r| r.seq.clone()).collect();
         let costs = BaselineCosts::default();
@@ -171,7 +171,11 @@ mod tests {
         );
         assert_eq!(report.total_reads, 400);
         assert_eq!(report.placements.len(), 400);
-        assert!(report.aligned_fraction() > 0.6, "{}", report.aligned_fraction());
+        assert!(
+            report.aligned_fraction() > 0.6,
+            "{}",
+            report.aligned_fraction()
+        );
         assert!(report.build_seconds > 0.0);
         assert!(report.map_seconds > 0.0);
         assert!(report.partition_seconds > 0.0);
@@ -187,8 +191,7 @@ mod tests {
     #[test]
     fn more_instances_speed_up_mapping_not_build() {
         let d = human_like(0.003, 321);
-        let contigs: Vec<PackedSeq> =
-            d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
+        let contigs: Vec<PackedSeq> = d.contigs.contigs.iter().map(|c| c.seq.clone()).collect();
         let aligner = BaselineAligner::build(&contigs, BaselineConfig::bwa_mem_like());
         let reads: Vec<PackedSeq> = d.reads.iter().take(300).map(|r| r.seq.clone()).collect();
         let costs = BaselineCosts::default();

@@ -154,9 +154,7 @@ fn sais(s: &[u32], sigma: usize) -> Vec<u32> {
     } else {
         let s1: Vec<u32> = lms_positions.iter().map(|&p| name_of[p]).collect();
         let sa1 = sais(&s1, distinct);
-        sa1.into_iter()
-            .map(|r| lms_positions[r as usize])
-            .collect()
+        sa1.into_iter().map(|r| lms_positions[r as usize]).collect()
     };
 
     // --- 5. Final induction from fully ordered LMS suffixes.

@@ -67,9 +67,10 @@ pub fn placement_is_correct(
 pub fn read_is_alignable(contigs: &ContigSet, truth: &ReadTruth, read_len: usize) -> bool {
     let start = truth.genome_start;
     let end = start + read_len;
-    contigs.contigs.iter().any(|c| {
-        start >= c.genome_start && end <= c.genome_start + c.seq.len()
-    })
+    contigs
+        .contigs
+        .iter()
+        .any(|c| start >= c.genome_start && end <= c.genome_start + c.seq.len())
 }
 
 /// Aggregate an accuracy report from per-read best placements.
@@ -144,15 +145,50 @@ mod tests {
     fn correct_placement_accepted() {
         let c = toy_contigs();
         // Read truly at genome 150 ⇒ contig 0 offset 50.
-        assert!(placement_is_correct(&c, 0, 50, false, &truth(150, false), 2));
+        assert!(placement_is_correct(
+            &c,
+            0,
+            50,
+            false,
+            &truth(150, false),
+            2
+        ));
         // Off by one within tolerance.
-        assert!(placement_is_correct(&c, 0, 51, false, &truth(150, false), 2));
+        assert!(placement_is_correct(
+            &c,
+            0,
+            51,
+            false,
+            &truth(150, false),
+            2
+        ));
         // Wrong contig.
-        assert!(!placement_is_correct(&c, 1, 50, false, &truth(150, false), 2));
+        assert!(!placement_is_correct(
+            &c,
+            1,
+            50,
+            false,
+            &truth(150, false),
+            2
+        ));
         // Wrong strand.
-        assert!(!placement_is_correct(&c, 0, 50, true, &truth(150, false), 2));
+        assert!(!placement_is_correct(
+            &c,
+            0,
+            50,
+            true,
+            &truth(150, false),
+            2
+        ));
         // Out of tolerance.
-        assert!(!placement_is_correct(&c, 0, 80, false, &truth(150, false), 2));
+        assert!(!placement_is_correct(
+            &c,
+            0,
+            80,
+            false,
+            &truth(150, false),
+            2
+        ));
     }
 
     #[test]
@@ -210,8 +246,7 @@ mod tests {
                 .enumerate()
                 .find(|(_, cc)| {
                     r.truth.genome_start >= cc.genome_start
-                        && r.truth.genome_start + r.seq.len()
-                            <= cc.genome_start + cc.seq.len()
+                        && r.truth.genome_start + r.seq.len() <= cc.genome_start + cc.seq.len()
                 })
                 .map(|(i, cc)| (i, r.truth.genome_start - cc.genome_start, r.truth.reverse));
             placements.push(placed);

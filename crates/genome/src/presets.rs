@@ -268,8 +268,8 @@ mod tests {
         assert_eq!(s.genome_bases, 50_000);
         assert!(s.contigs > 5);
         assert!(s.reads > 5_000); // depth 20 × 50k / 101
-        // ~60 % exact reads at 0.5 % error over 101 bp (0.995^101 ≈ 0.60),
-        // slightly reduced by the N rate.
+                                  // ~60 % exact reads at 0.5 % error over 101 bp (0.995^101 ≈ 0.60),
+                                  // slightly reduced by the N rate.
         assert!(
             (0.45..0.70).contains(&s.exact_read_fraction),
             "exact fraction {}",

@@ -225,8 +225,7 @@ mod tests {
         let rate = f64::from(total_errors) / total_bases;
         assert!((0.007..0.013).contains(&rate), "error rate {rate}");
         // Exact-read fraction ≈ (1 − e)^L = 0.99^100 ≈ 0.366.
-        let exact = reads.iter().filter(|r| r.truth.is_exact()).count() as f64
-            / reads.len() as f64;
+        let exact = reads.iter().filter(|r| r.truth.is_exact()).count() as f64 / reads.len() as f64;
         assert!((0.30..0.43).contains(&exact), "exact fraction {exact}");
     }
 

@@ -58,7 +58,11 @@ pub fn simulate_genome(cfg: &GenomeConfig) -> PackedSeq {
             "repeat unit longer than genome"
         );
         let families: Vec<Vec<u8>> = (0..cfg.repeat_families.max(1))
-            .map(|_| (0..cfg.repeat_unit_len).map(|_| rng.gen_range(0..4u8)).collect())
+            .map(|_| {
+                (0..cfg.repeat_unit_len)
+                    .map(|_| rng.gen_range(0..4u8))
+                    .collect()
+            })
             .collect();
         let target_bases = (cfg.length as f64 * cfg.repeat_fraction) as usize;
         let mut pasted = 0usize;

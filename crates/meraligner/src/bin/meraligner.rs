@@ -81,9 +81,7 @@ fn parse_args() -> Args {
 
 /// Read queries from FASTQ, falling back to FASTA on parse shape.
 fn read_queries(path: &str) -> std::io::Result<(Vec<String>, seq::SeqDb)> {
-    let looks_fasta = path.ends_with(".fa")
-        || path.ends_with(".fasta")
-        || path.ends_with(".fna");
+    let looks_fasta = path.ends_with(".fa") || path.ends_with(".fasta") || path.ends_with(".fna");
     if looks_fasta {
         let recs = read_fasta(BufReader::new(File::open(path)?))?;
         let names = recs.iter().map(|r| r.id.clone()).collect();

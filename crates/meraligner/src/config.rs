@@ -61,6 +61,14 @@ pub struct PipelineConfig {
     /// Permutation seed.
     pub permute_seed: u64,
 
+    // ---- aligning-phase lookup batching ----
+    /// Group each read's seed lookups by owner rank and issue one
+    /// aggregated `lookup_batch` per (read, owner) — the query-side mirror
+    /// of §III-A's aggregating stores. `false` falls back to one point
+    /// lookup per seed. Results are identical either way; only the
+    /// communication pattern (and thus simulated align time) changes.
+    pub batch_lookups: bool,
+
     // ---- §IV-C: sensitivity threshold ----
     /// Maximum candidate alignments per seed (0 = unlimited).
     pub max_hits_per_seed: usize,
@@ -95,6 +103,7 @@ impl PipelineConfig {
             min_fragment_seeds: 128,
             load_balance: true,
             permute_seed: 0x5EED,
+            batch_lookups: true,
             max_hits_per_seed: 256,
             collect_alignments: false,
         }
@@ -131,6 +140,7 @@ mod tests {
     fn defaults_enable_all_optimizations() {
         let c = PipelineConfig::new(48, 24, 51);
         assert!(c.aggregating_stores);
+        assert!(c.batch_lookups);
         assert!(c.use_caches);
         assert!(c.exact_match_opt);
         assert!(c.fragment_targets);
@@ -142,7 +152,10 @@ mod tests {
     #[test]
     fn build_config_tracks_toggle() {
         let mut c = PipelineConfig::new(8, 4, 21);
-        assert_eq!(c.build_config().algorithm, BuildAlgorithm::AggregatingStores);
+        assert_eq!(
+            c.build_config().algorithm,
+            BuildAlgorithm::AggregatingStores
+        );
         c.aggregating_stores = false;
         assert_eq!(c.build_config().algorithm, BuildAlgorithm::NaiveFineGrained);
         assert_eq!(c.build_config().k, 21);

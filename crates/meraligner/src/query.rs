@@ -1,11 +1,10 @@
 //! Per-query alignment: the exact-match fast path and the general
 //! seed-lookup-extend loop of Algorithm 1.
 
-
 use align::{align_window, Alignment, CigarOp, Engine, Strand};
-use dht::{fetch_target, LookupEnv, TargetHit};
+use dht::{fetch_target, BatchScratch, HitSpan, LookupEnv, TargetHit};
 use pgas::{GlobalRef, RankCtx};
-use seq::{kmer_at, KmerIter, PackedSeq};
+use seq::{kmer_at, Kmer, KmerIter, PackedSeq};
 
 use crate::config::PipelineConfig;
 use crate::targets::TargetStore;
@@ -31,6 +30,19 @@ struct CandHit {
     t_off: u32,
 }
 
+/// One extracted query seed awaiting its owner-batched lookup.
+#[derive(Clone, Copy, Debug)]
+struct SeedReq {
+    /// Owner rank under the djb2 seed→processor map.
+    owner: u32,
+    /// Query offset of the seed (in its orientation).
+    q_off: u32,
+    /// Which strand the seed came from.
+    reverse: bool,
+    /// The packed seed.
+    kmer: Kmer,
+}
+
 /// Reused per-rank buffers (allocation-free inner loop).
 #[derive(Default)]
 pub struct QueryScratch {
@@ -39,6 +51,16 @@ pub struct QueryScratch {
     cands: Vec<CandHit>,
     /// De-duplication of reported alignments.
     reported: Vec<(GlobalRef, u32, u32, bool)>,
+    /// Extracted seeds of the read, later grouped by owner rank.
+    reqs: Vec<SeedReq>,
+    /// Seeds of the owner group currently being looked up.
+    batch_kmers: Vec<Kmer>,
+    /// Shared hit arena of the current batch.
+    batch_hits: Vec<TargetHit>,
+    /// Per-seed spans into `batch_hits`.
+    batch_spans: Vec<HitSpan>,
+    /// Batched-lookup internals.
+    batch: BatchScratch,
 }
 
 impl QueryScratch {
@@ -46,6 +68,7 @@ impl QueryScratch {
         self.hits.clear();
         self.cands.clear();
         self.reported.clear();
+        self.reqs.clear();
     }
 }
 
@@ -96,43 +119,99 @@ pub fn process_query(
 
     // ---- General path, pass 1 (Algorithm 1 lines 8–10): look up every
     // seed of both strands through the cache hierarchy, collecting
-    // candidate positions.
+    // candidate positions. With `batch_lookups` (the default) the seeds
+    // are first extracted into scratch, grouped by owner rank, and each
+    // owner is asked once per read with an aggregated `lookup_batch` —
+    // the PGAS model then charges one message per (read, owner) instead
+    // of one per seed. The fallback issues the point lookup per seed the
+    // paper's unoptimized aligning phase would.
     for (reverse, oriented) in [(false, read), (true, &rc)] {
         for (off, km) in KmerIter::new(oriented, k) {
-            if cfg.seed_stride > 1 && off as usize % cfg.seed_stride != 0 {
+            if cfg.seed_stride > 1 && !(off as usize).is_multiple_of(cfg.seed_stride) {
                 continue;
             }
             ctx.charge_extract(1);
-            if !actx.env.lookup(ctx, km, &mut scratch.hits) {
+            scratch.reqs.push(SeedReq {
+                owner: actx.env.index.owner_of(km) as u32,
+                q_off: off,
+                reverse,
+                kmer: km,
+            });
+        }
+    }
+    let mut reqs = std::mem::take(&mut scratch.reqs);
+    if cfg.batch_lookups {
+        // Group by owner. Extraction order is exactly ascending
+        // (reverse, q_off), so the full unstable key reproduces it within
+        // each owner group without a stable sort's allocation.
+        reqs.sort_unstable_by_key(|r| (r.owner, r.reverse, r.q_off));
+        let mut i = 0usize;
+        while i < reqs.len() {
+            let owner = reqs[i].owner;
+            let mut j = i;
+            while j < reqs.len() && reqs[j].owner == owner {
+                j += 1;
+            }
+            scratch.batch_kmers.clear();
+            scratch
+                .batch_kmers
+                .extend(reqs[i..j].iter().map(|r| r.kmer));
+            scratch.batch_hits.clear();
+            scratch.batch_spans.clear();
+            actx.env.lookup_batch(
+                ctx,
+                owner as usize,
+                &scratch.batch_kmers,
+                &mut scratch.batch_hits,
+                &mut scratch.batch_spans,
+                &mut scratch.batch,
+            );
+            for (req, span) in reqs[i..j].iter().zip(&scratch.batch_spans) {
+                for hit in &scratch.batch_hits[span.range()] {
+                    scratch.cands.push(CandHit {
+                        target: hit.target,
+                        reverse: req.reverse,
+                        diag: i64::from(hit.offset) - i64::from(req.q_off),
+                        q_off: req.q_off,
+                        t_off: hit.offset,
+                    });
+                }
+            }
+            i = j;
+        }
+    } else {
+        for req in &reqs {
+            if !actx.env.lookup(ctx, req.kmer, &mut scratch.hits) {
                 continue;
             }
             for hit in &scratch.hits {
                 scratch.cands.push(CandHit {
                     target: hit.target,
-                    reverse,
-                    diag: i64::from(hit.offset) - i64::from(off),
-                    q_off: off,
+                    reverse: req.reverse,
+                    diag: i64::from(hit.offset) - i64::from(req.q_off),
+                    q_off: req.q_off,
                     t_off: hit.offset,
                 });
             }
         }
     }
+    scratch.reqs = reqs;
 
     // ---- Pass 2 (lines 11–12): one fetch per candidate *target* and one
     // Smith-Waterman per diagonal band — the paper's `C·(t_fetch + t_SW)`
-    // with C the number of candidate targets a query can align to.
+    // with C the number of candidate targets a query can align to. The
+    // sort key is total, so the extension order (and every tie-break) is
+    // identical whichever lookup path filled `cands`.
     scratch
         .cands
-        .sort_unstable_by_key(|c| (c.target, c.reverse, c.diag));
+        .sort_unstable_by_key(|c| (c.target, c.reverse, c.diag, c.q_off, c.t_off));
     let cands = std::mem::take(&mut scratch.cands);
     let mut i = 0usize;
     while i < cands.len() {
         let head = cands[i];
         // All candidates on this (target, strand).
         let mut j = i;
-        while j < cands.len()
-            && cands[j].target == head.target
-            && cands[j].reverse == head.reverse
+        while j < cands.len() && cands[j].target == head.target && cands[j].reverse == head.reverse
         {
             j += 1;
         }
@@ -253,7 +332,12 @@ fn try_exact(
     let hit = scratch.hits[0];
     // The candidate window is [hit.offset, hit.offset + qlen) on the target.
     let start = hit.offset as usize;
-    let frag = actx.store.frags.as_ref().expect("flags computed").get(hit.target);
+    let frag = actx
+        .store
+        .frags
+        .as_ref()
+        .expect("flags computed")
+        .get(hit.target);
     // All seed offsets of the window must fall in unique fragments; the
     // range check also guarantees the window fits inside the target.
     if !frag.range_is_unique(hit.offset, hit.offset + (qlen - k) as u32) {

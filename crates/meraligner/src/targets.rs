@@ -243,8 +243,8 @@ impl TargetStore {
                     }
                 }
             }
-            for dest in 0..p {
-                let mut buf = std::mem::take(&mut bufs[dest]);
+            for (dest, bucket) in bufs.iter_mut().enumerate() {
+                let mut buf = std::mem::take(bucket);
                 flush(ctx, dest, &mut buf);
             }
         });
@@ -331,7 +331,7 @@ mod tests {
             // Bad seeds only in [192, 256): ranges inside [0,192) are unique
             // even when they span several unique fragments.
             let m = FragMeta::build(256, &[200, 210, 220], true, 16);
-            assert!(m.range_is_unique(0, 191 - 0));
+            assert!(m.range_is_unique(0, 191));
             assert!(!m.range_is_unique(100, 210));
         }
 

@@ -49,6 +49,16 @@ pub struct CostModel {
     pub bucket_insert_ns: f64,
     /// Local probe cost of one seed-index lookup (hashing + bucket walk).
     pub lookup_probe_ns: f64,
+    /// Packing/unpacking one seed into an aggregated lookup request (the
+    /// query-side analogue of the construction-time aggregating stores):
+    /// buffer append on the sender plus batched unpack on the owner. Paid
+    /// per seed carried by a batched lookup message, on top of the single
+    /// α–β message charge.
+    pub batch_pack_ns_per_seed: f64,
+    /// Moving one distinct seed from the build-time accumulator into the
+    /// frozen open-addressed CSR table (hash, probe for a vacant slot,
+    /// arena append) at the end of index construction.
+    pub freeze_slot_ns: f64,
     /// Probing a per-node software cache.
     pub cache_probe_ns: f64,
     /// One Smith-Waterman DP cell with the vectorized (striped) kernel.
@@ -81,6 +91,8 @@ impl Default for CostModel {
             seed_extract_ns: 600.0,
             bucket_insert_ns: 400.0,
             lookup_probe_ns: 150.0,
+            batch_pack_ns_per_seed: 12.0,
+            freeze_slot_ns: 60.0,
             cache_probe_ns: 25.0,
             sw_cell_simd_ns: 0.12,
             sw_cell_scalar_ns: 1.1,
@@ -161,6 +173,22 @@ mod tests {
         assert!(
             aggregated < finegrained / 50.0,
             "aggregation must win big: {aggregated} vs {finegrained}"
+        );
+    }
+
+    #[test]
+    fn batched_lookup_beats_per_seed_messages() {
+        // A read's ~100 seeds bound for one owner: one batched message plus
+        // per-seed packing must come in far below 100 α-dominated messages.
+        let c = CostModel::default();
+        let seeds = 100u64;
+        let per_seed_bytes = 4 + 12u64;
+        let point = seeds as f64 * c.message_ns(false, per_seed_bytes);
+        let batched = c.message_ns(false, seeds * (8 + per_seed_bytes))
+            + seeds as f64 * c.batch_pack_ns_per_seed;
+        assert!(
+            batched < point / 10.0,
+            "batching must win big: {batched} vs {point}"
         );
     }
 

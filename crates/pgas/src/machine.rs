@@ -176,7 +176,10 @@ impl Machine {
         let pairs: Vec<(T, RankStats)> = if self.sequential {
             (0..self.topo.ranks()).map(run_one).collect()
         } else {
-            (0..self.topo.ranks()).into_par_iter().map(run_one).collect()
+            (0..self.topo.ranks())
+                .into_par_iter()
+                .map(run_one)
+                .collect()
         };
         let wall_seconds = started.elapsed().as_secs_f64();
         let mut outs = Vec::with_capacity(pairs.len());
@@ -268,6 +271,7 @@ impl RankCtx<'_> {
     pub fn charge_message(&mut self, dst: usize, bytes: u64, tag: CommTag) {
         let local = self.same_node(dst);
         self.stats.comm_ns[tag.idx()] += self.cost.message_ns(local, bytes);
+        self.stats.msgs_by_tag[tag.idx()] += 1;
         if local {
             self.stats.msgs_local += 1;
             self.stats.bytes_local += bytes;
@@ -326,6 +330,25 @@ impl RankCtx<'_> {
     #[inline]
     pub fn charge_lookup_probe(&mut self, n: u64) {
         self.stats.comp_ns[CompTag::Lookup.idx()] += n as f64 * self.cost.lookup_probe_ns;
+    }
+
+    /// Charge one owner-batched seed-lookup message to `dst` carrying
+    /// `seeds` seeds and `bytes` total (request keys + response hits): the
+    /// single α–β message, per-seed pack/unpack compute, and the batch
+    /// counters the Fig 8 query-side harness reads.
+    #[inline]
+    pub fn charge_lookup_batch(&mut self, dst: usize, seeds: u64, bytes: u64, tag: CommTag) {
+        self.charge_message(dst, bytes, tag);
+        self.stats.comp_ns[CompTag::Lookup.idx()] +=
+            seeds as f64 * self.cost.batch_pack_ns_per_seed;
+        self.stats.lookup_batches += 1;
+        self.stats.lookup_batch_seeds += seeds;
+    }
+
+    /// Charge freezing `n` distinct seeds into the immutable CSR table.
+    #[inline]
+    pub fn charge_freeze(&mut self, n: u64) {
+        self.stats.comp_ns[CompTag::Drain.idx()] += n as f64 * self.cost.freeze_slot_ns;
     }
 
     /// Charge `n` software-cache probes.

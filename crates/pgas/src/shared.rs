@@ -76,8 +76,7 @@ impl<T> SharedArray<T> {
 
     /// Whether a global pointer is in range.
     pub fn contains(&self, r: GlobalRef) -> bool {
-        (r.rank as usize) < self.parts.len()
-            && (r.idx as usize) < self.parts[r.rank as usize].len()
+        (r.rank as usize) < self.parts.len() && (r.idx as usize) < self.parts[r.rank as usize].len()
     }
 
     /// Total elements across all ranks.
@@ -304,8 +303,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 // Aggregate in chunks of 100, like the S-sized buffers.
                 for chunk in 0..10u64 {
-                    let items: Vec<u64> =
-                        (0..100).map(|i| w * 1000 + chunk * 100 + i).collect();
+                    let items: Vec<u64> = (0..100).map(|i| w * 1000 + chunk * 100 + i).collect();
                     s.push_slice(&items);
                 }
             }));

@@ -81,6 +81,9 @@ pub struct RankStats {
     pub msgs_remote: u64,
     /// On-node messages issued.
     pub msgs_local: u64,
+    /// Messages (local + remote) by [`CommTag`] — lets the harnesses
+    /// report e.g. seed-lookup messages per read.
+    pub msgs_by_tag: [u64; COMM_TAGS],
     /// Bytes moved off-node.
     pub bytes_remote: u64,
     /// Bytes moved on-node.
@@ -95,6 +98,11 @@ pub struct RankStats {
     pub comm_ns: [f64; COMM_TAGS],
     /// Simulated computation nanoseconds, by [`CompTag`].
     pub comp_ns: [f64; COMP_TAGS],
+    /// Owner-batched seed-lookup messages issued (one per (read, owner)
+    /// batch that actually had to leave the rank).
+    pub lookup_batches: u64,
+    /// Seeds carried by those batched messages.
+    pub lookup_batch_seeds: u64,
     /// Software-cache hits (seed-index cache).
     pub seed_cache_hits: u64,
     /// Software-cache misses (seed-index cache).
@@ -126,6 +134,11 @@ impl RankStats {
         self.comm_ns[tag.idx()]
     }
 
+    /// Messages (local + remote) issued for one tag.
+    pub fn msgs_for(&self, tag: CommTag) -> u64 {
+        self.msgs_by_tag[tag.idx()]
+    }
+
     /// Simulated computation time for one tag (ns).
     pub fn comp_ns_for(&self, tag: CompTag) -> f64 {
         self.comp_ns[tag.idx()]
@@ -135,6 +148,9 @@ impl RankStats {
     pub fn merge(&mut self, other: &RankStats) {
         self.msgs_remote += other.msgs_remote;
         self.msgs_local += other.msgs_local;
+        for i in 0..COMM_TAGS {
+            self.msgs_by_tag[i] += other.msgs_by_tag[i];
+        }
         self.bytes_remote += other.bytes_remote;
         self.bytes_local += other.bytes_local;
         self.atomics_remote += other.atomics_remote;
@@ -146,6 +162,8 @@ impl RankStats {
         for i in 0..COMP_TAGS {
             self.comp_ns[i] += other.comp_ns[i];
         }
+        self.lookup_batches += other.lookup_batches;
+        self.lookup_batch_seeds += other.lookup_batch_seeds;
         self.seed_cache_hits += other.seed_cache_hits;
         self.seed_cache_misses += other.seed_cache_misses;
         self.target_cache_hits += other.target_cache_hits;

@@ -103,8 +103,7 @@ pub fn write_fasta<W: Write>(mut w: W, records: &[FastaRecord], width: usize) ->
 pub fn read_fastq<R: BufRead>(reader: R) -> io::Result<Vec<FastqRecord>> {
     let mut lines = reader.lines();
     let mut records = Vec::new();
-    loop {
-        let Some(header) = lines.next() else { break };
+    while let Some(header) = lines.next() {
         let header = header?;
         if header.trim().is_empty() {
             continue;

@@ -190,7 +190,7 @@ impl<'a> KmerIter<'a> {
     /// # Panics
     /// Panics if `k == 0` or `k > MAX_K`.
     pub fn new(seq: &'a PackedSeq, k: usize) -> Self {
-        assert!(k >= 1 && k <= MAX_K, "seed length {k} out of range");
+        assert!((1..=MAX_K).contains(&k), "seed length {k} out of range");
         KmerIter {
             seq,
             k,

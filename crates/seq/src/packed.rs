@@ -116,7 +116,11 @@ impl PackedSeq {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn get(&self, i: usize) -> u8 {
-        assert!(i < self.len, "base index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "base index {i} out of range (len {})",
+            self.len
+        );
         ((self.words[i / BASES_PER_WORD] >> (2 * (i % BASES_PER_WORD))) & 3) as u8
     }
 
@@ -244,7 +248,13 @@ impl PackedSeq {
     /// Decode to upper-case ASCII (`N` restored).
     pub fn to_ascii(&self) -> Vec<u8> {
         (0..self.len)
-            .map(|i| if self.is_n(i) { b'N' } else { decode_base(self.get(i)) })
+            .map(|i| {
+                if self.is_n(i) {
+                    b'N'
+                } else {
+                    decode_base(self.get(i))
+                }
+            })
             .collect()
     }
 
@@ -278,7 +288,11 @@ impl PackedSeq {
     /// # Panics
     /// Panics if the word counts don't match `len`.
     pub fn from_raw_parts(words: Vec<u64>, len: usize, nmask: Option<Vec<u64>>) -> Self {
-        assert_eq!(words.len(), len.div_ceil(BASES_PER_WORD), "word count mismatch");
+        assert_eq!(
+            words.len(),
+            len.div_ceil(BASES_PER_WORD),
+            "word count mismatch"
+        );
         if let Some(m) = &nmask {
             assert_eq!(m.len(), len.div_ceil(64), "n-mask length mismatch");
         }

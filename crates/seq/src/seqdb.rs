@@ -334,10 +334,7 @@ mod tests {
         b.push(PackedSeq::from_ascii(b"ACGTACGT"), Some(b"IIIIIIII"));
         b.push(PackedSeq::from_ascii(b"TTNNA"), Some(b"ABCDE"));
         b.push(PackedSeq::from_ascii(b""), Some(b""));
-        b.push(
-            PackedSeq::from_ascii(&vec![b'G'; 100]),
-            Some(&vec![b'#'; 100]),
-        );
+        b.push(PackedSeq::from_ascii(&[b'G'; 100]), Some(&[b'#'; 100]));
         b.finish()
     }
 

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `bytes` crate (API subset).
+//!
+//! [`Bytes`] is a cheaply-clonable (`Arc`-backed) immutable byte buffer;
+//! [`BytesMut`] is a growable builder that [`BytesMut::freeze`]s into one.
+//! [`Buf`] provides advancing little-endian reads over `&[u8]`, [`BufMut`]
+//! the matching appends. Only the operations the SDB1 container uses are
+//! implemented; notably there is no zero-copy sub-slicing.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply-clonable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Wrap a static slice (copied; the real crate borrows).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes(Arc::new(s.to_vec()))
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::new(v))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::new(self.0))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Advancing little-endian reads (API subset of `bytes::Buf`).
+pub trait Buf {
+    /// Read a `u32` (LE) and advance.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a `u64` (LE) and advance.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Appending little-endian writes (API subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append a `u32` (LE).
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a `u64` (LE).
+    fn put_u64_le(&mut self, v: u64);
+    /// Append raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.0.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        b.put_slice(b"xy");
+        assert_eq!(b.len(), 14);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r, b"xy");
+    }
+
+    #[test]
+    fn bytes_clone_shares() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(Bytes::from_static(b"hi").len(), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! Provides `Criterion`, `benchmark_group` with `throughput` /
+//! `sample_size` / `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros, so
+//! `cargo bench` runs the workspace's benches without a registry. Timing is
+//! deliberately simple: a warm-up, then `sample_size` samples whose
+//! iteration count targets a few milliseconds each; the report prints the
+//! minimum, median, and mean ns/iter plus derived throughput. No HTML
+//! reports, no statistical regression testing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier with a parameter (API subset of criterion's).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// The per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording ns/iter samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up and per-sample iteration sizing: target ~2 ms per sample.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (2_000_000 / once.as_nanos().max(1) as u64).clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_name());
+        run_bench(full, self.sample_size, self.throughput, |b| f(b));
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_name());
+        run_bench(full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; results already printed).
+    pub fn finish(self) {}
+}
+
+/// Things usable as a benchmark name.
+pub trait IntoBenchName {
+    /// The display name.
+    fn into_bench_name(self) -> String;
+}
+
+impl IntoBenchName for &str {
+    fn into_bench_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchName for String {
+    fn into_bench_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchName for BenchmarkId {
+    fn into_bench_name(self) -> String {
+        self.name
+    }
+}
+
+fn run_bench(
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<56} (no samples)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let rate = |per_iter_ns: f64| -> String {
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / per_iter_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / per_iter_ns * 1e9 / 1e6)
+            }
+            None => String::new(),
+        }
+    };
+    println!(
+        "{name:<56} min {min:>12.1} ns  median {median:>12.1} ns  mean {mean:>12.1} ns{}",
+        rate(median)
+    );
+}
+
+/// The benchmark driver (API subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.into_bench_name(), 10, None, |b| f(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(2u64 + 2)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! Implements the slice of proptest this workspace uses: the [`proptest!`]
+//! macro, [`prop_assert!`]/[`prop_assert_eq!`], [`Strategy`] with
+//! `prop_map`, range/tuple strategies, `collection::vec`, `sample::select`,
+//! `bool::ANY`, and [`ProptestConfig::with_cases`]. Cases are drawn from a
+//! deterministic per-test RNG (seeded from the test name), so failures are
+//! reproducible run-to-run. There is **no shrinking**: a failing case
+//! reports its inputs verbatim.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (API subset of `proptest::test_runner`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps debug-mode suites quick
+        // while still exploring the space every run.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (carries the failure message).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Construct from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic test RNG (xoshiro256**, seeded from the test name).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(bound);
+            if (m as u64) >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator (API subset of `proptest::strategy::Strategy`; sampling
+/// only — no value trees, no shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always-this-value strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for [`vec`].
+    pub trait IntoSizeBounds {
+        /// `(min, max)` inclusive lengths.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeBounds for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeBounds for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeBounds for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max - self.min + 1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from empty set");
+        Select(values)
+    }
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Fair coin strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// Uniform `bool`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::ProptestConfig;
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, Strategy, TestCaseError};
+}
+
+/// Define property tests: zero or more `#[test] fn name(arg in strategy, ..)
+/// { body }` items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(stringify!($arg));
+                        __inputs.push_str(" = ");
+                        __inputs.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property failed at case {}/{}: {}\n  inputs: {}",
+                            __case + 1,
+                            __config.cases,
+                            e,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property-scope assertion: fails the case (with formatted context) rather
+/// than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Property-scope equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)*),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let mut c = crate::TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..17, y in 10usize..=12, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((10..=12).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_select(v in crate::collection::vec(crate::sample::select(b"ACGT".to_vec()), 0..9)) {
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|b| b"ACGT".contains(b)));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b), flag in crate::bool::ANY) {
+            prop_assert!(pair < 19, "sum {} flag {}", pair, flag);
+        }
+
+        #[test]
+        fn early_return_ok(n in 0usize..4) {
+            if n > 1 { return Ok(()); }
+            prop_assert_eq!(n * 2, n + n);
+        }
+    }
+}

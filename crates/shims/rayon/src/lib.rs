@@ -1,0 +1,115 @@
+//! Offline stand-in for the `rayon` crate (API subset).
+//!
+//! Supports the one pattern this workspace uses:
+//!
+//! ```
+//! use rayon::prelude::*;
+//! let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+//! assert_eq!(out[99], 198);
+//! ```
+//!
+//! `map(f).collect()` fans the index range out over `available_parallelism`
+//! scoped threads in contiguous chunks and reassembles results in input
+//! order, which is all the SPMD phase executor needs. There is no work
+//! stealing; ranks with skewed work simply finish late, exactly like a
+//! bulk-synchronous phase.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Types convertible into a parallel iterator (here: `Range<usize>` only).
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange(self)
+    }
+}
+
+/// A parallel iterator over a `usize` range.
+pub struct ParRange(Range<usize>);
+
+impl ParRange {
+    /// Map each index through `f` (executed in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParMap { range: self.0, f }
+    }
+}
+
+/// A mapped parallel range, ready to collect.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Execute the map in parallel and collect results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let n = self.range.len();
+        let start = self.range.start;
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n <= 1 {
+            return (start..start + n).map(f).collect::<Vec<R>>().into();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = start + (t * chunk).min(n);
+                    let hi = start + ((t + 1) * chunk).min(n);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in &mut parts {
+            out.append(part);
+        }
+        out.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_parallel_map() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = (7..8usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

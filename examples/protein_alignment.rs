@@ -30,11 +30,7 @@ fn main() {
             b"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIA",
             b"MKWVTFISLLELFSSAYSRGVFRRDTHKSEVAHRFKDLGENFKALVLIA",
         ),
-        (
-            "unrelated",
-            b"MKWVTFISLLFLFSSAYS",
-            b"GAVLIPFYWSTCMNQDEKRHG",
-        ),
+        ("unrelated", b"MKWVTFISLLFLFSSAYS", b"GAVLIPFYWSTCMNQDEKRHG"),
     ];
 
     for (name, a, b) in cases {

@@ -69,7 +69,9 @@ fn meraligner_and_fm_baseline_agree_on_unique_reads() {
         if !read.truth.is_exact() {
             continue;
         }
-        let Some(mer) = &res.placements[i] else { continue };
+        let Some(mer) = &res.placements[i] else {
+            continue;
+        };
         let out = baseline.map_read(&read.seq, &scoring, &ext);
         let Some((ci, t_beg, rev, _)) = out.placement else {
             continue;

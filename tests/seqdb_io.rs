@@ -130,7 +130,9 @@ fn empty_and_single_record_containers() {
     assert_eq!(one.len(), 1);
     assert_eq!(one.get(0).seq.to_ascii(), b"ACGT".to_vec());
     // With 1 record over 4 ranks, exactly one rank owns it.
-    let owners: Vec<usize> = (0..4).filter(|&r| !one.rank_slice(r, 4).is_empty()).collect();
+    let owners: Vec<usize> = (0..4)
+        .filter(|&r| !one.rank_slice(r, 4).is_empty())
+        .collect();
     assert_eq!(owners.len(), 1);
     assert_eq!(one.rank_slice(owners[0], 4), 0..1);
 }
