@@ -1,16 +1,25 @@
 //! Seed-lookup kernel benchmarks: the wall-clock side of the frozen CSR
-//! index and owner-batched lookups.
+//! index and batched lookups.
 //!
 //! * `point/` — HashMap-backed build-time `Partition` vs the frozen
 //!   open-addressed CSR table, one probe per seed (hit-heavy and
-//!   miss-heavy mixes).
-//! * `batch/` — N point probes against one `get_many` batch (sorted-hash
-//!   probe order, shared arena), the kernel under `LookupEnv::lookup_batch`.
+//!   miss-heavy mixes), on a cache-resident table (PR-1's comparison).
+//! * `batch_*/` — the batch kernel under `LookupEnv::lookup_batch` /
+//!   `lookup_batch_node` on a **DRAM-resident** table (the regime real
+//!   partitions live in: a human-genome run holds billions of seeds).
+//!   Three kernels per batch size and stream:
+//!   - `point_probe` / `point_materialize` — N point probes; the first
+//!     only tests presence, the second copies out the hit list the way
+//!     `LookupEnv::lookup` (and any real consumer) does.
+//!   - `get_many` — the adaptive batch probe: radix bucketing on the
+//!     hash high bits for dense walks, input order for sparse ones, with
+//!     the two-stage prefetch pipeline.
+//!   - `get_many_sorted` — the PR-1 full-`sort_unstable` baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use dht::{Partition, SeedEntry};
+use dht::{FrozenPartition, Partition, ProbeScratch, SeedEntry, TargetHit};
 use pgas::GlobalRef;
 use seq::{Kmer, KmerIter, PackedSeq};
 
@@ -25,9 +34,12 @@ fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
         .collect()
 }
 
-fn bench_seed_lookup(c: &mut Criterion) {
-    const K: usize = 51;
-    let packed = PackedSeq::from_ascii(&lcg_dna(100_000, 3));
+const K: usize = 51;
+
+/// Build a frozen table over `bases` random bases plus matching present /
+/// absent / 50-50 mixed probe streams.
+fn setup(bases: usize) -> (Partition, FrozenPartition, Vec<Kmer>, Vec<Kmer>, Vec<Kmer>) {
+    let packed = PackedSeq::from_ascii(&lcg_dna(bases, 3));
     let entries: Vec<SeedEntry> = KmerIter::new(&packed, K)
         .map(|(off, km)| SeedEntry {
             kmer: km,
@@ -42,31 +54,9 @@ fn bench_seed_lookup(c: &mut Criterion) {
     part.finalize();
     let frozen = part.freeze();
     let present: Vec<Kmer> = entries.iter().map(|e| e.kmer).collect();
-    let absent: Vec<Kmer> = KmerIter::new(&PackedSeq::from_ascii(&lcg_dna(100_000, 77)), K)
+    let absent: Vec<Kmer> = KmerIter::new(&PackedSeq::from_ascii(&lcg_dna(bases, 77)), K)
         .map(|(_, km)| km)
         .collect();
-
-    let mut group = c.benchmark_group("point");
-    group.throughput(Throughput::Elements(present.len() as u64));
-    group.sample_size(20);
-    group.bench_function("hashmap_hits_100k", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for km in &present {
-                found += usize::from(part.get(*km).is_some());
-            }
-            black_box(found)
-        })
-    });
-    group.bench_function("frozen_hits_100k", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for km in &present {
-                found += usize::from(frozen.get(*km).is_some());
-            }
-            black_box(found)
-        })
-    });
     // The aligning phase's real stream: both strands of every read are
     // looked up, so roughly half the probes miss (reverse-complement and
     // error seeds rarely occur in the target).
@@ -75,71 +65,35 @@ fn bench_seed_lookup(c: &mut Criterion) {
         .zip(&absent)
         .flat_map(|(p, a)| [*p, *a])
         .collect();
-    group.bench_function("hashmap_mixed_200k", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for km in &mixed {
-                found += usize::from(part.get(*km).is_some());
-            }
-            black_box(found)
-        })
-    });
-    group.bench_function("frozen_mixed_200k", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for km in &mixed {
-                found += usize::from(frozen.get(*km).is_some());
-            }
-            black_box(found)
-        })
-    });
-    group.bench_function("hashmap_misses_100k", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for km in &absent {
-                found += usize::from(part.get(*km).is_some());
-            }
-            black_box(found)
-        })
-    });
-    group.bench_function("frozen_misses_100k", |b| {
-        b.iter(|| {
-            let mut found = 0usize;
-            for km in &absent {
-                found += usize::from(frozen.get(*km).is_some());
-            }
-            black_box(found)
-        })
-    });
-    group.finish();
+    (part, frozen, present, absent, mixed)
+}
 
-    // Batched probe kernel: a read's worth of seeds per batch.
-    let mut group = c.benchmark_group("batch");
+fn bench_point(c: &mut Criterion) {
+    // Cache-resident table: the PR-1 hashmap-vs-frozen comparison.
+    let (part, frozen, present, absent, mixed) = setup(100_000);
+    let mut group = c.benchmark_group("point");
     group.throughput(Throughput::Elements(present.len() as u64));
     group.sample_size(20);
-    for batch in [64usize, 512] {
-        group.bench_function(format!("frozen_point_probe_batch{batch}"), |b| {
+    let streams: [(&str, &[Kmer]); 3] = [
+        ("hits_100k", &present),
+        ("mixed_200k", &mixed),
+        ("misses_100k", &absent),
+    ];
+    for (label, stream) in streams {
+        group.bench_function(format!("hashmap_{label}"), |b| {
             b.iter(|| {
                 let mut found = 0usize;
-                for chunk in present.chunks(batch) {
-                    for km in chunk {
-                        found += usize::from(frozen.get(*km).is_some());
-                    }
+                for km in stream {
+                    found += usize::from(part.get(*km).is_some());
                 }
                 black_box(found)
             })
         });
-        group.bench_function(format!("frozen_get_many_batch{batch}"), |b| {
-            let mut order = Vec::new();
-            let mut hits = Vec::new();
-            let mut spans = Vec::new();
+        group.bench_function(format!("frozen_{label}"), |b| {
             b.iter(|| {
                 let mut found = 0usize;
-                for chunk in present.chunks(batch) {
-                    hits.clear();
-                    spans.clear();
-                    frozen.get_many(chunk, &mut order, &mut hits, &mut spans);
-                    found += spans.iter().filter(|s| s.found).count();
+                for km in stream {
+                    found += usize::from(frozen.get(*km).is_some());
                 }
                 black_box(found)
             })
@@ -148,5 +102,73 @@ fn bench_seed_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seed_lookup);
+fn bench_batch(c: &mut Criterion) {
+    // DRAM-resident table (~2M distinct seeds, table + arena well past
+    // LLC): the regime the batch kernels target.
+    let (_, frozen, present, _, mixed) = setup(2_000_000);
+    let streams: [(&str, &[Kmer]); 2] = [("hits", &present), ("mixed", &mixed)];
+    for (label, stream) in streams {
+        let mut group = c.benchmark_group(format!("batch_{label}"));
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.sample_size(20);
+        group.bench_function("point_probe", |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for km in stream {
+                    found += usize::from(frozen.get(*km).is_some());
+                }
+                black_box(found)
+            })
+        });
+        group.bench_function("point_materialize", |b| {
+            let mut out: Vec<TargetHit> = Vec::new();
+            b.iter(|| {
+                let mut found = 0usize;
+                for km in stream {
+                    out.clear();
+                    if let Some(h) = frozen.get(*km) {
+                        out.extend_from_slice(h);
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            })
+        });
+        for batch in [64usize, 512, 4096] {
+            group.bench_function(format!("get_many_batch{batch}"), |b| {
+                let mut scratch = ProbeScratch::default();
+                let mut hits = Vec::new();
+                let mut spans = Vec::new();
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for chunk in stream.chunks(batch) {
+                        hits.clear();
+                        spans.clear();
+                        frozen.get_many(chunk, &mut scratch, &mut hits, &mut spans);
+                        found += spans.iter().filter(|s| s.found).count();
+                    }
+                    black_box(found)
+                })
+            });
+            group.bench_function(format!("get_many_sorted_batch{batch}"), |b| {
+                let mut scratch = ProbeScratch::default();
+                let mut hits = Vec::new();
+                let mut spans = Vec::new();
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for chunk in stream.chunks(batch) {
+                        hits.clear();
+                        spans.clear();
+                        frozen.get_many_sorted(chunk, &mut scratch, &mut hits, &mut spans);
+                        found += spans.iter().filter(|s| s.found).count();
+                    }
+                    black_box(found)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_point, bench_batch);
 criterion_main!(benches);

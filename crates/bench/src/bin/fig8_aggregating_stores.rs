@@ -91,9 +91,10 @@ fn main() {
     }
 
     // ---- Query-side aggregation: the same idea applied to the aligning
-    // phase. One full pipeline run per mode; the align phase's seed-lookup
-    // message count collapses from ~one per off-rank seed to ~one per
-    // (read, owner) batch.
+    // phase, one rung at a time. One full pipeline run per mode; the
+    // align phase's seed-lookup message count collapses from ~one per
+    // off-rank seed (point) to ~one per (read, owner rank) batch, then to
+    // ~one per (read-chunk, owner node).
     let cores = ablation_sweep(&cli)[0];
     let qdb = d.reads_seqdb();
     let n_reads = qdb.len().max(1) as f64;
@@ -105,28 +106,50 @@ fn main() {
         "lookup_mode",
         "seed_lookup_msgs",
         "msgs_per_read",
+        "rank_batches",
+        "node_batches",
         "lookup_comm_s",
         "align_s",
     ]);
     let mut per_read = Vec::new();
-    for batched in [false, true] {
+    let mut node_breakdown: Vec<u64> = Vec::new();
+    for mode in ["point", "rank-batched", "node-chunked"] {
         let mut cfg = pipeline_config(&d, cores, cores / PPN);
-        cfg.batch_lookups = batched;
+        match mode {
+            "point" => cfg.batch_lookups = false,
+            "rank-batched" => cfg.lookup_chunk = 0,
+            _ => {} // node-chunked is the default configuration
+        }
         let res = run_pipeline(&cfg, &tdb, &qdb);
         let phase = res.align_phase().expect("align phase");
         let agg = phase.aggregate();
         let msgs = agg.msgs_for(CommTag::SeedLookup);
         per_read.push(msgs as f64 / n_reads);
+        if mode == "node-chunked" {
+            node_breakdown = agg.msgs_to_node.clone();
+        }
         row(&[
-            if batched { "batched" } else { "point" }.to_string(),
+            mode.to_string(),
             msgs.to_string(),
             format!("{:.1}", msgs as f64 / n_reads),
+            agg.lookup_batches.to_string(),
+            agg.node_batches.to_string(),
             fmt_s(phase.mean_comm_seconds(CommTag::SeedLookup)),
             fmt_s(res.align_seconds()),
         ]);
     }
     eprintln!(
-        "# owner batching cuts seed-lookup messages {:.1}x per read",
-        per_read[0] / per_read[1].max(1e-9)
+        "# rank batching cuts seed-lookup messages {:.1}x per read; node chunking {:.1}x more ({:.1}x total)",
+        per_read[0] / per_read[1].max(1e-9),
+        per_read[1] / per_read[2].max(1e-9),
+        per_read[0] / per_read[2].max(1e-9),
     );
+    // Per-destination-node breakdown of the chunked run's align-phase
+    // messages (all tags): aggregation should spread one batch per node
+    // per chunk rather than hammer any single owner.
+    eprintln!("# node-chunked align-phase messages by destination node:");
+    header(&["dst_node", "msgs"]);
+    for (node, msgs) in node_breakdown.iter().enumerate() {
+        row(&[node.to_string(), msgs.to_string()]);
+    }
 }

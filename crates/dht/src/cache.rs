@@ -73,8 +73,11 @@ impl SeedCache {
         self.slots.len()
     }
 
+    /// The direct-mapped slot a seed hashes to. Public so equivalence
+    /// tests can detect slot contention between two seeds (a contended
+    /// slot's final occupant legitimately depends on fill order).
     #[inline]
-    fn slot_of(&self, kmer: Kmer) -> usize {
+    pub fn slot_of(&self, kmer: Kmer) -> usize {
         (bucket_hash(kmer) % self.slots.len() as u64) as usize
     }
 

@@ -8,21 +8,30 @@
 //! pointer-chasing (bucket → heap `Vec` per multi-hit seed) is pure
 //! overhead. Freezing converts each partition into:
 //!
-//! * `tags` — one byte per slot: `0` = vacant, else 7 bits of the bucket
-//!   hash (high bit set). The probe loop scans this dense array eight
-//!   slots per step with SWAR zero-byte tests — the control-byte idea of
-//!   SwissTable/hashbrown, portable scalar — and touches a slot only on a
-//!   tag match, so absent seeds usually resolve in one cached `u64` load
-//!   without any wide-table access.
+//! * `tags` — one byte per slot: `0` = vacant, else 7 bucket-hash bits
+//!   (high bit set) drawn from *below* the index bits. The probe loop
+//!   scans this dense array eight slots per step with SWAR zero-byte
+//!   tests — the control-byte idea of SwissTable/hashbrown, portable
+//!   scalar — and touches a slot only on a tag match, so absent seeds
+//!   usually resolve in one cached `u64` load without any wide-table
+//!   access.
 //! * `slots` — the matching open-addressed array of 32-byte entries
 //!   packing the bucket hash, the full seed (key verification), and the
 //!   CSR extent (`u32` start/len): hash check, key verify, and arena
 //!   offsets all come from one cache-line touch.
-//! * `hits` — ONE contiguous `TargetHit` arena per partition. Seeds are
-//!   laid out in ascending bucket-hash order, so a batch of lookups probed
-//!   in sorted-hash order ([`FrozenPartition::get_many`]) walks both the
-//!   slot array and the arena in address order — the prefetch-friendly
-//!   access pattern the aligning phase's owner-batched lookups exploit.
+//! * `hits` — ONE contiguous `TargetHit` arena per partition.
+//!
+//! A seed's **home slot is the bucket hash's high bits** (`hash >>
+//! shift`), and freezing inserts seeds in ascending (hash, seed) order —
+//! so table position, arena position, and hash order all coincide. That
+//! is what [`FrozenPartition::get_many`]'s radix bucketing (on those same
+//! high bits) exploits: an ordered batch walks tags, slots, and arena in
+//! address order. Batches too small to walk the table densely keep their
+//! input order instead (reordering would only randomize the hit/miss
+//! branch stream); either way a two-stage software prefetch pipeline
+//! (slot line, then arena line) keeps the probes' cache misses
+//! overlapped far beyond the out-of-order window — which is how the
+//! batch probe beats issuing point probes per seed.
 //!
 //! Two distinct seeds colliding on the full 64-bit bucket hash stay
 //! separate: open addressing probes past the mismatching `kmers` entry,
@@ -73,11 +82,19 @@ const VACANT: Slot = Slot {
     len: 0,
 };
 
-/// Control tag of a present slot: the top 7 bits of the bucket hash with
-/// the high bit forced on (so it can never collide with `0` = vacant).
+/// Bit the control tag is taken from: just above the packed-key index
+/// bits ([`IDX_BITS`]) and — for any realistic partition (capacity
+/// ≤ 2^37) — below the index bits, so tag and table position stay
+/// independent and the SWAR filter keeps its discrimination.
+const TAG_SHIFT: u32 = 20;
+
+/// Control tag of a present slot: 7 bucket-hash bits from [`TAG_SHIFT`]
+/// with the high bit forced on (so it can never collide with `0` =
+/// vacant). The table *index* comes from the hash top bits, so the tag
+/// deliberately comes from elsewhere.
 #[inline]
 fn tag_of(hash: u64) -> u8 {
-    ((hash >> 57) as u8) | 0x80
+    (((hash >> TAG_SHIFT) as u8) & 0x7f) | 0x80
 }
 
 const SWAR_LSB: u64 = 0x0101_0101_0101_0101;
@@ -92,10 +109,158 @@ fn zero_bytes(x: u64) -> u64 {
 /// Tag-group width: slots examined per probe step.
 const GROUP: usize = 8;
 
+/// Low bits of each packed probe key carrying the input index; the high
+/// bits carry the bucket hash (which includes the bits selecting the
+/// open-addressing group).
+const IDX_BITS: u32 = 20;
+const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+
+// `tag_of` is applied to packed keys directly (probe_ordered), which is
+// only sound while the tag bits sit at or above the index bits.
+const _: () = assert!(TAG_SHIFT >= IDX_BITS);
+
+/// Batches at or below this size skip radix bucketing: sorting a handful
+/// of u64s is cheaper than the counting pass.
+const RADIX_MIN: usize = 48;
+
+/// Reusable ordering state for [`FrozenPartition::get_many`]: packed probe
+/// keys, the radix scatter buffer, and the per-bucket counters. One
+/// instance per caller keeps the batch path allocation-free in steady
+/// state regardless of batch size.
+#[derive(Default)]
+pub struct ProbeScratch {
+    /// Packed (hash high bits | input index) keys, in probe order after
+    /// [`ProbeScratch::order_radix`].
+    keys: Vec<u64>,
+    /// Radix scatter destination (swapped with `keys` after the pass).
+    tmp: Vec<u64>,
+    /// Per-bucket counters / running cursors of the counting scatter.
+    counts: Vec<u32>,
+}
+
+impl ProbeScratch {
+    /// Pack one u64 key per seed: hash high bits | input index. Sorting
+    /// or bucketing plain u64s is markedly cheaper than (hash, index)
+    /// tuples, and the high bits order the probes by hash — duplicates
+    /// (same full hash) compare equal above the index bits, so any
+    /// ascending order keeps them adjacent with input order preserved.
+    fn pack_keys(&mut self, kmers: &[Kmer]) {
+        assert!(
+            kmers.len() <= IDX_MASK as usize,
+            "batch larger than 2^{IDX_BITS} seeds"
+        );
+        self.keys.clear();
+        self.keys.extend(
+            kmers
+                .iter()
+                .enumerate()
+                .map(|(i, km)| (bucket_hash(*km) & !IDX_MASK) | i as u64),
+        );
+    }
+
+    /// Order `keys` ascending by radix bucketing on the high bits: one
+    /// counting pass over ~`n/8` buckets, one stable scatter, and an
+    /// insertion sort per (tiny) bucket. Equivalent order to a full
+    /// `sort_unstable`, reached in O(n) while buckets stay small; past
+    /// the bucket-count cap (n > 2^16) oversized buckets fall back to a
+    /// comparison sort per bucket, O(n log(n/B)) with tiny constants.
+    fn order_radix(&mut self) {
+        let n = self.keys.len();
+        if n <= RADIX_MIN {
+            self.keys.sort_unstable();
+            return;
+        }
+        let buckets = (n / 8).next_power_of_two().clamp(64, 1 << 13);
+        let shift = 64 - buckets.trailing_zeros();
+        self.counts.clear();
+        self.counts.resize(buckets, 0);
+        for &k in &self.keys {
+            self.counts[(k >> shift) as usize] += 1;
+        }
+        // Exclusive prefix sums turn counts into running write cursors.
+        let mut run = 0u32;
+        for c in &mut self.counts {
+            let start = run;
+            run += *c;
+            *c = start;
+        }
+        self.tmp.clear();
+        self.tmp.resize(n, 0);
+        for &k in &self.keys {
+            let b = (k >> shift) as usize;
+            self.tmp[self.counts[b] as usize] = k;
+            self.counts[b] += 1;
+        }
+        // After the scatter each counter holds its bucket's END offset.
+        // Buckets average ~8 keys (insertion sort's sweet spot) until the
+        // bucket-count cap bites; an oversized bucket — the cap, or a
+        // skewed batch piling duplicates — takes the comparison sort
+        // instead of going quadratic.
+        let mut start = 0usize;
+        for &end in &self.counts {
+            let bucket = &mut self.tmp[start..end as usize];
+            if bucket.len() <= 24 {
+                insertion_sort(bucket);
+            } else {
+                bucket.sort_unstable();
+            }
+            start = end as usize;
+        }
+        std::mem::swap(&mut self.keys, &mut self.tmp);
+    }
+}
+
+/// Cheap detector for repeated seeds beyond adjacent runs: a direct-mapped
+/// filter of recently seen key high bits. A hit makes the caller order
+/// the walk, so the repeats become adjacent and share one probe and one
+/// arena copy (a low-complexity read would otherwise copy a fat hit list
+/// once per occurrence). A missed repeat (evicted between occurrences)
+/// only costs that sharing, never correctness.
+fn repeats_hint(keys: &[u64]) -> bool {
+    // A prefix sample suffices: the batches this guards against
+    // (low-complexity reads) repeat their few distinct seeds densely, so
+    // they betray themselves within any window; scanning the whole batch
+    // would tax every repeat-free batch instead.
+    const SAMPLE: usize = 384;
+    let mut seen = [u64::MAX; 128];
+    let mut prev = u64::MAX;
+    for &k in &keys[..keys.len().min(SAMPLE)] {
+        let hi = k & !IDX_MASK;
+        if hi == prev {
+            continue; // adjacent run: input-order dedup already shares it
+        }
+        prev = hi;
+        let slot = ((hi >> 27) ^ (hi >> 45)) as usize & 127;
+        if seen[slot] == hi {
+            return true;
+        }
+        seen[slot] = hi;
+    }
+    false
+}
+
+/// Insertion sort — optimal for the ≤ ~8-element buckets the radix pass
+/// produces.
+fn insertion_sort(a: &mut [u64]) {
+    for i in 1..a.len() {
+        let v = a[i];
+        let mut j = i;
+        while j > 0 && a[j - 1] > v {
+            a[j] = a[j - 1];
+            j -= 1;
+        }
+        a[j] = v;
+    }
+}
+
 /// An immutable open-addressed seed table over a contiguous CSR hit arena.
 pub struct FrozenPartition {
     /// Capacity − 1; capacity is a power of two.
     mask: u64,
+    /// `64 − log2(capacity)`: a seed's home slot is `hash >> shift` — the
+    /// hash **high bits** pick the open-addressing group, so ascending-hash
+    /// probe order walks the table in address order.
+    shift: u32,
     /// Per-slot control byte: 0 = vacant, else `tag_of(hash)` — plus a
     /// `GROUP`-byte tail mirroring the first bytes so unaligned group
     /// loads never wrap.
@@ -130,13 +295,17 @@ impl FrozenPartition {
         // sparser table at scale).
         let capacity = (distinct.max(1) * 4 / 3 + 1).next_power_of_two().max(GROUP);
         let mask = capacity as u64 - 1;
+        let shift = 64 - capacity.trailing_zeros();
+        // Keeps the tag bits below the index bits (perf, not correctness:
+        // overlap would only weaken the tag prefilter).
+        debug_assert!(shift > TAG_SHIFT + 7, "partition capacity over 2^37");
 
         let mut tags = vec![0u8; capacity + GROUP].into_boxed_slice();
         let mut slots = vec![VACANT; capacity].into_boxed_slice();
         let mut hits = Vec::with_capacity(entries as usize);
         for &(h, km, seed_hits) in &keyed {
             debug_assert!(!seed_hits.is_empty(), "present seed with no hits");
-            let mut i = (h & mask) as usize;
+            let mut i = (h >> shift) as usize;
             while tags[i] != 0 {
                 i = (i + 1) & mask as usize;
             }
@@ -154,6 +323,7 @@ impl FrozenPartition {
         tail.copy_from_slice(&head[..GROUP]);
         FrozenPartition {
             mask,
+            shift,
             tags,
             slots,
             hits: hits.into_boxed_slice(),
@@ -169,13 +339,27 @@ impl FrozenPartition {
     }
 
     /// [`FrozenPartition::get`] with the bucket hash precomputed (the batch
-    /// path hashes once, sorts, then probes).
+    /// path hashes once, orders, then probes).
     #[inline]
     pub fn get_hashed(&self, hash: u64, kmer: Kmer) -> Option<&[TargetHit]> {
-        let tag_splat = u64::from(tag_of(hash)) * SWAR_LSB;
-        let mut i = (hash & self.mask) as usize;
-        // Overlap the (usually DRAM) slot fetch with the tag check: the
-        // home slot is where a present seed almost always lives.
+        self.probe_hi(
+            (hash >> self.shift) as usize,
+            tag_of(hash),
+            hash & !IDX_MASK,
+            kmer,
+        )
+    }
+
+    /// The probe loop over (home slot, control tag, hash high bits, seed).
+    /// Everything it needs is derivable from a packed batch key, so the
+    /// batch path never re-hashes. Slot verification prefilters on the
+    /// stored hash's high bits and decides on the full seed compare.
+    #[inline]
+    fn probe_hi(&self, home: usize, tag: u8, hash_hi: u64, kmer: Kmer) -> Option<&[TargetHit]> {
+        let tag_splat = u64::from(tag) * SWAR_LSB;
+        let mut i = home;
+        // Overlap the (often out-of-cache) slot fetch with the tag check:
+        // the home slot is where a present seed almost always lives.
         #[cfg(target_arch = "x86_64")]
         unsafe {
             core::arch::x86_64::_mm_prefetch(
@@ -194,7 +378,7 @@ impl FrozenPartition {
             while cand != 0 {
                 let idx = (i + (cand.trailing_zeros() >> 3) as usize) & self.mask as usize;
                 let slot = unsafe { self.slots.get_unchecked(idx) };
-                if slot.hash == hash && slot.kmer == kmer {
+                if (slot.hash & !IDX_MASK) == hash_hi && slot.kmer == kmer {
                     let s = slot.start as usize;
                     return Some(&self.hits[s..s + slot.len as usize]);
                 }
@@ -209,56 +393,156 @@ impl FrozenPartition {
 
     /// Batched lookup: one [`HitSpan`] per input seed is appended to
     /// `spans` (in input order), hit payloads are appended to the shared
-    /// `hits` arena. Seeds are probed in ascending bucket-hash order so
-    /// the frozen arena is read near-sequentially; duplicate seeds within
-    /// the batch share one probe and one arena span. `order` is caller
-    /// scratch (cleared here) so the hot loop never allocates.
+    /// `hits` arena. Duplicate seeds share one probe and one arena span
+    /// whenever the probe order makes them adjacent: always under an
+    /// ordered walk — which batches detected to repeat seeds get, see
+    /// below — and for adjacent-in-input repeats otherwise. Batches of
+    /// any size are accepted (processed in sub-batches of 2^20 seeds;
+    /// sharing applies within a sub-batch). `scratch` is caller state so
+    /// the hot loop never allocates in steady state.
+    ///
+    /// Probe order adapts to the batch. Batches large enough to walk the
+    /// table densely — and batches the repeat filter flags, so their
+    /// duplicates become adjacent — are ordered by **radix bucketing on
+    /// the hash high bits** — the bits that select the open-addressing
+    /// group, so bucket order *is* table-address order — via a counting
+    /// scatter into ~`n/8` buckets plus a tiny insertion sort per
+    /// bucket: O(n) with small constants where a full [`sort_unstable`]
+    /// pays O(n log n) with branchy partitioning. Sparse repeat-free
+    /// batches keep input order (an ordered sparse walk revisits nothing
+    /// and only randomizes the hit/miss branch stream); tiny batches
+    /// sort outright. In every mode the probe loop runs a two-stage
+    /// prefetch pipeline, which is what removes the per-seed latency
+    /// stalls point probes pay.
+    ///
+    /// [`sort_unstable`]: slice::sort_unstable
     pub fn get_many(
         &self,
         kmers: &[Kmer],
-        order: &mut Vec<u64>,
+        scratch: &mut ProbeScratch,
         hits: &mut Vec<TargetHit>,
         spans: &mut Vec<HitSpan>,
     ) {
-        /// Low bits of each packed order key carrying the input index.
-        const IDX_BITS: u32 = 20;
-        const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
-        assert!(
-            kmers.len() <= IDX_MASK as usize,
-            "batch larger than 2^{IDX_BITS} seeds"
-        );
+        for sub in kmers.chunks(IDX_MASK as usize) {
+            self.get_many_bounded(sub, scratch, hits, spans);
+        }
+    }
+
+    /// One sub-batch (≤ 2^20 seeds) of [`FrozenPartition::get_many`].
+    fn get_many_bounded(
+        &self,
+        kmers: &[Kmer],
+        scratch: &mut ProbeScratch,
+        hits: &mut Vec<TargetHit>,
+        spans: &mut Vec<HitSpan>,
+    ) {
+        /// Order the walk only when batch size × this factor covers the
+        /// table: below that the ordered walk strides too far to revisit
+        /// lines or pages, and randomizing the (input-predictable)
+        /// hit/miss branch stream costs more than the locality returns.
+        /// The prefetch pipeline hides the latency either way.
+        const DENSE_FACTOR: usize = 8;
+        scratch.pack_keys(kmers);
+        let n = scratch.keys.len();
+        if n <= RADIX_MIN {
+            // Tiny batches: a full sort is trivially cheap and keeps
+            // duplicate seeds adjacent (shared probes) unconditionally.
+            scratch.keys.sort_unstable();
+        } else if n * DENSE_FACTOR >= self.capacity() || repeats_hint(&scratch.keys) {
+            scratch.order_radix();
+        }
+        self.probe_ordered(kmers, &scratch.keys, hits, spans);
+    }
+
+    /// [`FrozenPartition::get_many`] with the probe order produced by a
+    /// full `sort_unstable` instead of radix bucketing — the PR-1 batch
+    /// kernel, kept as the comparison baseline for the `seed_lookup`
+    /// bench (`batch/` group). Results are identical.
+    pub fn get_many_sorted(
+        &self,
+        kmers: &[Kmer],
+        scratch: &mut ProbeScratch,
+        hits: &mut Vec<TargetHit>,
+        spans: &mut Vec<HitSpan>,
+    ) {
+        for sub in kmers.chunks(IDX_MASK as usize) {
+            scratch.pack_keys(sub);
+            scratch.keys.sort_unstable();
+            self.probe_ordered(sub, &scratch.keys, hits, spans);
+        }
+    }
+
+    /// Shared probe loop over pre-ordered packed keys: walk the table in
+    /// ascending home-slot order (the table is indexed by the hash high
+    /// bits, the same bits the keys are ordered by), sharing one probe and
+    /// one arena span among adjacent duplicates. A group-prefetch pipeline
+    /// issues the tag and slot line of the probe [`LOOKAHEAD`] positions
+    /// ahead — the batch knows its future, which a point-probe stream
+    /// doesn't, so misses overlap far beyond the out-of-order window.
+    /// Home slot, control tag, and hash prefilter all come straight from
+    /// the packed key: the loop never re-hashes a seed.
+    fn probe_ordered(
+        &self,
+        kmers: &[Kmer],
+        keys: &[u64],
+        hits: &mut Vec<TargetHit>,
+        spans: &mut Vec<HitSpan>,
+    ) {
+        /// Far stage of the prefetch pipeline: tag + slot lines.
+        const LOOKAHEAD_SLOT: usize = 16;
+        /// Near stage: the arena line, addressed through the (by now
+        /// cached) home slot. The home slot usually holds the probed seed;
+        /// even when displacement moved it, the ascending-hash layout
+        /// keeps its hits within a line or two of the home slot's
+        /// `start`, so the speculative prefetch still lands.
+        const LOOKAHEAD_ARENA: usize = 6;
         let base = spans.len();
         spans.resize(base + kmers.len(), HitSpan::default());
-        // One packed u64 per seed: hash high bits | input index. Sorting
-        // plain u64s is markedly cheaper than (hash, index) tuples, and
-        // the high bits order the probes by hash — duplicates (same full
-        // hash) stay adjacent with input order preserved; distinct hashes
-        // sharing the top bits merely interleave, which only perturbs
-        // locality, never correctness (the probe re-derives the full
-        // hash and verifies the kmer).
-        order.clear();
-        order.extend(
-            kmers
-                .iter()
-                .enumerate()
-                .map(|(i, km)| (bucket_hash(*km) & !IDX_MASK) | i as u64),
-        );
-        order.sort_unstable();
-        let mut prev: Option<(u64, u128, u32)> = None;
-        for &packed in order.iter() {
-            let i = (packed & IDX_MASK) as u32;
-            let km = kmers[i as usize];
-            let h = bucket_hash(km);
-            if let Some((ph, pb, pi)) = prev {
-                if ph == h && pb == km.bits() {
-                    spans[base + i as usize] = spans[base + pi as usize];
-                    continue;
+        // Last probed key, for duplicate sharing. `u64::MAX` = none (a
+        // real hash-high value has zero low bits); the kmer is re-read
+        // through `prev_idx` only on a hash match, keeping the loop's
+        // per-iteration state to 12 bytes.
+        let mut prev_hi = u64::MAX;
+        let mut prev_idx = 0u32;
+        for (j, &packed) in keys.iter().enumerate() {
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                if let Some(&far) = keys.get(j + LOOKAHEAD_SLOT) {
+                    let fi = (far >> self.shift) as usize;
+                    _mm_prefetch(self.tags.as_ptr().add(fi) as *const i8, _MM_HINT_T0);
+                    _mm_prefetch(self.slots.as_ptr().add(fi) as *const i8, _MM_HINT_T0);
+                }
+                if let Some(&near) = keys.get(j + LOOKAHEAD_ARENA) {
+                    let ni = (near >> self.shift) as usize;
+                    let start = self.slots.get_unchecked(ni).start as usize;
+                    _mm_prefetch(
+                        self.hits.as_ptr().add(start.min(self.hits.len())) as *const i8,
+                        _MM_HINT_T0,
+                    );
                 }
             }
-            spans[base + i as usize] = match self.get_hashed(h, km) {
+            let i = (packed & IDX_MASK) as u32;
+            let km = kmers[i as usize];
+            let hash_hi = packed & !IDX_MASK;
+            if hash_hi == prev_hi && kmers[prev_idx as usize] == km {
+                spans[base + i as usize] = spans[base + prev_idx as usize];
+                continue;
+            }
+            let home = (packed >> self.shift) as usize;
+            // The packed key's bits at TAG_SHIFT are the hash's (the low
+            // IDX_BITS carry the index), so tag_of applies directly.
+            let tag = tag_of(packed);
+            spans[base + i as usize] = match self.probe_hi(home, tag, hash_hi, km) {
                 Some(seed_hits) => {
                     let start = hits.len() as u32;
-                    hits.extend_from_slice(seed_hits);
+                    // Almost every genomic seed is unique: a single push
+                    // beats the slice-extend machinery on that path.
+                    if let [one] = seed_hits {
+                        hits.push(*one);
+                    } else {
+                        hits.extend_from_slice(seed_hits);
+                    }
                     HitSpan {
                         found: true,
                         start,
@@ -271,7 +555,8 @@ impl FrozenPartition {
                     len: 0,
                 },
             };
-            prev = Some((h, km.bits(), i));
+            prev_hi = hash_hi;
+            prev_idx = i;
         }
     }
 
@@ -404,10 +689,10 @@ mod tests {
             km(b"ACGTA"),
             km(b"TTTTT"), // duplicate
         ];
-        let mut order = Vec::new();
+        let mut scratch = ProbeScratch::default();
         let mut hits_arena = Vec::new();
         let mut spans = Vec::new();
-        f.get_many(&queries, &mut order, &mut hits_arena, &mut spans);
+        f.get_many(&queries, &mut scratch, &mut hits_arena, &mut spans);
         assert_eq!(spans.len(), 4);
         for (q, s) in queries.iter().zip(&spans) {
             match f.get(*q) {
@@ -425,5 +710,127 @@ mod tests {
         assert_eq!(spans[0], spans[3]);
         // Arena holds each distinct found seed's hits exactly once.
         assert_eq!(hits_arena.len(), 3);
+    }
+
+    /// Deterministically generate `n` k-mers (with repeats) for batch tests.
+    fn kmer_stream(n: usize, seed: u64) -> Vec<Kmer> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mut k = Kmer::ZERO;
+                let mut v = state >> 16;
+                for _ in 0..8 {
+                    k = k.roll((v & 3) as u8, 8);
+                    v >>= 2;
+                }
+                k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_batches_share_nonadjacent_duplicates() {
+        // A large-but-sparse batch (input-order regime) containing a
+        // repeated fat-hit-list seed at scattered positions: the repeat
+        // filter must force an ordered walk so every occurrence shares
+        // one probe and ONE arena copy.
+        let backing = kmer_stream(5_000, 11);
+        let fat = km(b"ACGTACGT");
+        let fat_hits: Vec<TargetHit> = (0..200).map(|i| hit(0, i, i as u32)).collect();
+        let mut pairs: Vec<(Kmer, Vec<TargetHit>)> = backing
+            .iter()
+            .filter(|k| **k != fat)
+            .enumerate()
+            .map(|(i, &k)| (k, vec![hit(1, i, i as u32)]))
+            .collect();
+        pairs.push((fat, fat_hits.clone()));
+        let mut dedup: Vec<(Kmer, Vec<TargetHit>)> = Vec::new();
+        for (k, h) in pairs {
+            if !dedup.iter().any(|(dk, _)| *dk == k) {
+                dedup.push((k, h));
+            }
+        }
+        let total: u64 = dedup.iter().map(|(_, h)| h.len() as u64).sum();
+        let f = FrozenPartition::from_seeds(dedup.iter().map(|(k, v)| (*k, v.as_slice())), total);
+        // 300 seeds, table capacity ~8192 → sparse; the fat seed repeats
+        // every 30 positions (far beyond adjacent).
+        let mut queries = kmer_stream(300, 555);
+        for i in (0..queries.len()).step_by(30) {
+            queries[i] = fat;
+        }
+        let mut scratch = ProbeScratch::default();
+        let (mut hits_arena, mut spans) = (Vec::new(), Vec::new());
+        f.get_many(&queries, &mut scratch, &mut hits_arena, &mut spans);
+        let fat_spans: Vec<&HitSpan> = (0..queries.len()).step_by(30).map(|i| &spans[i]).collect();
+        assert!(fat_spans.iter().all(|s| s.found));
+        assert!(
+            fat_spans.iter().all(|s| s.start == fat_spans[0].start),
+            "all occurrences must share one arena copy"
+        );
+        assert_eq!(&hits_arena[fat_spans[0].range()], fat_hits.as_slice());
+    }
+
+    #[test]
+    fn huge_batches_split_transparently() {
+        // Over the 2^20 packed-key index limit: get_many must process in
+        // sub-batches instead of asserting.
+        let pairs = [(km(b"ACGTA"), vec![hit(0, 0, 3)])];
+        let f = FrozenPartition::from_seeds(pairs.iter().map(|(k, v)| (*k, v.as_slice())), 1);
+        let n = (1usize << 20) + 5;
+        let queries: Vec<Kmer> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    km(b"ACGTA")
+                } else {
+                    km(b"TTTTT")
+                }
+            })
+            .collect();
+        let mut scratch = ProbeScratch::default();
+        let (mut hits_arena, mut spans) = (Vec::new(), Vec::new());
+        f.get_many(&queries, &mut scratch, &mut hits_arena, &mut spans);
+        assert_eq!(spans.len(), n);
+        assert!(spans[0].found && !spans[1].found);
+        assert_eq!(spans[n - 1].found, queries[n - 1] == km(b"ACGTA"));
+        assert_eq!(&hits_arena[spans[0].range()], &[hit(0, 0, 3)]);
+    }
+
+    #[test]
+    fn radix_order_matches_full_sort_on_large_batches() {
+        // Past RADIX_MIN, the bucketed order must be the exact ascending
+        // key order the sort baseline produces — duplicate adjacency (and
+        // thus span sharing) included.
+        let indexed = kmer_stream(300, 7);
+        let pairs: Vec<(Kmer, Vec<TargetHit>)> = indexed
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, vec![hit(0, i, i as u32)]))
+            .collect();
+        let total = pairs.len() as u64;
+        let f = FrozenPartition::from_seeds(pairs.iter().map(|(k, v)| (*k, v.as_slice())), total);
+        // Queries with repeats and misses, well past the RADIX_MIN cutoff.
+        let mut queries = kmer_stream(800, 99);
+        queries.extend_from_slice(&indexed[..200]);
+        queries.extend_from_slice(&indexed[..50]); // cross-batch repeats
+
+        let mut s_radix = ProbeScratch::default();
+        let mut s_sort = ProbeScratch::default();
+        let (mut h_radix, mut sp_radix) = (Vec::new(), Vec::new());
+        let (mut h_sort, mut sp_sort) = (Vec::new(), Vec::new());
+        f.get_many(&queries, &mut s_radix, &mut h_radix, &mut sp_radix);
+        f.get_many_sorted(&queries, &mut s_sort, &mut h_sort, &mut sp_sort);
+        assert_eq!(sp_radix.len(), queries.len());
+        assert_eq!(sp_radix, sp_sort, "radix and sorted probes must agree");
+        assert_eq!(h_radix, h_sort);
+        // And both match point gets.
+        for (q, s) in queries.iter().zip(&sp_radix) {
+            match f.get(*q) {
+                Some(expected) => assert_eq!(&h_radix[s.range()], expected),
+                None => assert!(!s.found),
+            }
+        }
     }
 }

@@ -16,8 +16,10 @@
 //! * [`lookup`] — the charged lookup path used by the aligning phase,
 //!   implementing the paper's locality hierarchy: own partition → same-node
 //!   partition → node cache → remote fetch (+ cache fill), as point
-//!   lookups or owner-batched lookups (one aggregated message per
-//!   (read, owner) — the query-side mirror of aggregating stores).
+//!   lookups, owner-batched lookups (one aggregated message per
+//!   (read, owner) — the query-side mirror of aggregating stores), or
+//!   node-batched lookups (one aggregated message per (read-chunk, owner
+//!   *node*), demultiplexed to the node's partitions on arrival).
 //! * [`frozen`] — the immutable read-path form of each partition: an
 //!   open-addressed flat table over a contiguous CSR hit arena. The
 //!   mutable [`Partition`] exists only while construction drains; see
@@ -37,6 +39,6 @@ pub mod partition;
 pub use build::{build_seed_index, BuildAlgorithm, BuildConfig};
 pub use cache::{CacheConfig, CacheSet, NodeCaches, SeedCache, TargetCache};
 pub use entry::{seed_owner, seed_wire_bytes, SeedEntry, TargetHit};
-pub use frozen::{FrozenPartition, HitSpan};
-pub use lookup::{fetch_target, BatchScratch, LookupEnv};
+pub use frozen::{FrozenPartition, HitSpan, ProbeScratch};
+pub use lookup::{fetch_target, BatchScratch, LookupEnv, NodeBatchScratch, SeedProbe};
 pub use partition::{Partition, SeedIndex};

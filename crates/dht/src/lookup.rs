@@ -15,7 +15,7 @@ use seq::{Kmer, PackedSeq};
 
 use crate::cache::CacheSet;
 use crate::entry::TargetHit;
-use crate::frozen::HitSpan;
+use crate::frozen::{HitSpan, ProbeScratch};
 use crate::partition::SeedIndex;
 
 /// Fixed per-response header bytes for a seed lookup.
@@ -147,7 +147,7 @@ impl LookupEnv<'_> {
         if owner == ctx.rank || ctx.same_node(owner) || self.caches.is_none() {
             // Whole batch reads the owner partition directly; off-rank
             // batches pay one aggregated message.
-            part.get_many(seeds, &mut scratch.order, hits, spans);
+            part.get_many(seeds, &mut scratch.probe, hits, spans);
             if owner != ctx.rank {
                 let payload: u64 = spans[span_base..]
                     .iter()
@@ -191,7 +191,7 @@ impl LookupEnv<'_> {
         if !scratch.miss_kmers.is_empty() {
             part.get_many(
                 &scratch.miss_kmers,
-                &mut scratch.order,
+                &mut scratch.probe,
                 hits,
                 &mut scratch.miss_spans,
             );
@@ -225,6 +225,155 @@ impl LookupEnv<'_> {
         self.cap_spans(spans, span_base)
     }
 
+    /// Node-batched lookup: all `probes` of one *chunk of reads* that the
+    /// djb2 map assigns to any rank of `node`, resolved with at most
+    /// **one** message per (chunk, node) — the next aggregation rung above
+    /// [`LookupEnv::lookup_batch`]'s per-(read, owner-rank) batches. The
+    /// caller groups seeds by owner node (and typically deduplicates
+    /// repeats across the chunk); each probe carries its owner rank so the
+    /// receiving node can demultiplex seeds to its partitions (priced by
+    /// `node_route_ns_per_seed`).
+    ///
+    /// Results and final node-cache contents match issuing
+    /// [`LookupEnv::lookup`] once per seed: self-owned seeds are free,
+    /// same-node partitions are read directly (one aggregated *local*
+    /// message for the off-rank portion), and off-node seeds probe the
+    /// node cache per seed with only the misses aggregated into the single
+    /// remote exchange, filled back in input order (deterministic
+    /// direct-mapped state). Duplicate seeds share probes like
+    /// [`LookupEnv::lookup_batch`], with the same cache-counter
+    /// lower-bound caveat. One [`HitSpan`] per probe is appended to
+    /// `spans` (input order); returns the number of seeds found.
+    pub fn lookup_batch_node(
+        &self,
+        ctx: &mut RankCtx,
+        node: usize,
+        probes: &[SeedProbe],
+        hits: &mut Vec<TargetHit>,
+        spans: &mut Vec<HitSpan>,
+        scratch: &mut NodeBatchScratch,
+    ) -> usize {
+        let span_base = spans.len();
+        if probes.is_empty() {
+            return 0;
+        }
+        ctx.charge_lookup_probe(probes.len() as u64);
+
+        if node == ctx.node() || self.caches.is_none() {
+            // Every owner partition on `node` is read directly; the
+            // off-self-rank portion pays one aggregated message.
+            spans.resize(span_base + probes.len(), HitSpan::default());
+            scratch.by_owner.clear();
+            scratch
+                .by_owner
+                .extend(probes.iter().enumerate().map(|(i, p)| p.group_key(i)));
+            let (wire_seeds, payload) =
+                self.probe_owner_groups(ctx.rank, probes, hits, spans, span_base, scratch);
+            if wire_seeds > 0 {
+                let bytes = LOOKUP_RESP_HEADER
+                    + wire_seeds * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
+                    + payload;
+                let dst = ctx.topo().lead_rank(node);
+                ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
+            }
+            return self.cap_spans(spans, span_base);
+        }
+
+        // Off-node with caches: per-seed node-cache probe, misses
+        // aggregated into the single node-addressed exchange, fills in
+        // input order.
+        let caches = self.caches.expect("checked above");
+        let nc = caches.node(ctx.node());
+        scratch.by_owner.clear();
+        scratch.miss_inputs.clear();
+        for (i, p) in probes.iter().enumerate() {
+            ctx.charge_cache_probe(1);
+            let start = hits.len() as u32;
+            match nc.seed.probe(p.kmer, hits) {
+                Some(found) => {
+                    ctx.note_seed_cache(true);
+                    spans.push(HitSpan {
+                        found,
+                        start,
+                        len: (hits.len() as u32) - start,
+                    });
+                }
+                None => {
+                    ctx.note_seed_cache(false);
+                    spans.push(HitSpan::default());
+                    scratch.by_owner.push(p.group_key(i));
+                    scratch.miss_inputs.push(i as u32);
+                }
+            }
+        }
+        if !scratch.by_owner.is_empty() {
+            let (wire_seeds, payload) =
+                self.probe_owner_groups(ctx.rank, probes, hits, spans, span_base, scratch);
+            let bytes = LOOKUP_RESP_HEADER
+                + wire_seeds * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
+                + payload;
+            let dst = ctx.topo().lead_rank(node);
+            ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
+            // Fill in input order: the direct-mapped cache's final
+            // occupant of a contended slot must match N point lookups.
+            // Full (uncapped) hit lists are cached, like the point path.
+            for &i in &scratch.miss_inputs {
+                let span = spans[span_base + i as usize];
+                nc.seed.fill(probes[i as usize].kmer, &hits[span.range()]);
+            }
+        }
+        self.cap_spans(spans, span_base)
+    }
+
+    /// Probe the owner groups listed (pre-packed) in `scratch.by_owner`
+    /// against their partitions, scattering each result to
+    /// `spans[span_base + input_slot]`. Returns `(wire_seeds, payload)`
+    /// accumulated over owners other than `self_rank` (self-owned seeds
+    /// ship no bytes).
+    fn probe_owner_groups(
+        &self,
+        self_rank: usize,
+        probes: &[SeedProbe],
+        hits: &mut Vec<TargetHit>,
+        spans: &mut [HitSpan],
+        span_base: usize,
+        scratch: &mut NodeBatchScratch,
+    ) -> (u64, u64) {
+        scratch.by_owner.sort_unstable();
+        let (mut wire_seeds, mut payload) = (0u64, 0u64);
+        let mut g = 0usize;
+        while g < scratch.by_owner.len() {
+            let owner = (scratch.by_owner[g] >> 32) as usize;
+            scratch.group_kmers.clear();
+            let mut e = g;
+            while e < scratch.by_owner.len() && (scratch.by_owner[e] >> 32) as usize == owner {
+                let slot = (scratch.by_owner[e] & 0xFFFF_FFFF) as usize;
+                scratch.group_kmers.push(probes[slot].kmer);
+                e += 1;
+            }
+            scratch.group_spans.clear();
+            self.index.partition(owner).get_many(
+                &scratch.group_kmers,
+                &mut scratch.probe,
+                hits,
+                &mut scratch.group_spans,
+            );
+            for (key, sp) in scratch.by_owner[g..e].iter().zip(&scratch.group_spans) {
+                spans[span_base + (key & 0xFFFF_FFFF) as usize] = *sp;
+            }
+            if owner != self_rank {
+                wire_seeds += (e - g) as u64;
+                payload += scratch
+                    .group_spans
+                    .iter()
+                    .map(|s| u64::from(s.len) * TargetHit::WIRE_BYTES)
+                    .sum::<u64>();
+            }
+            g = e;
+        }
+        (wire_seeds, payload)
+    }
+
     /// Apply `max_hits` to every span of this batch and count found seeds.
     fn cap_spans(&self, spans: &mut [HitSpan], base: usize) -> usize {
         let mut found = 0usize;
@@ -238,18 +387,55 @@ impl LookupEnv<'_> {
     }
 }
 
+/// One seed of a node-addressed batch: the packed seed plus its owner rank
+/// under the djb2 map (the caller computes owners while grouping by node;
+/// the receiving node demultiplexes by it).
+#[derive(Clone, Copy, Debug)]
+pub struct SeedProbe {
+    /// The packed seed.
+    pub kmer: Kmer,
+    /// Its owner rank.
+    pub owner: u32,
+}
+
+impl SeedProbe {
+    /// Pack (owner, input slot) into one sortable u64 group key.
+    #[inline]
+    fn group_key(&self, slot: usize) -> u64 {
+        debug_assert!(slot <= u32::MAX as usize);
+        (u64::from(self.owner) << 32) | slot as u64
+    }
+}
+
 /// Reusable scratch for [`LookupEnv::lookup_batch`] (allocation-free steady
 /// state).
 #[derive(Default)]
 pub struct BatchScratch {
-    /// Packed (hash high bits | input index) probe order.
-    order: Vec<u64>,
+    /// Probe ordering state of the radix-bucketed batch probe.
+    probe: ProbeScratch,
     /// Cache-missing seeds awaiting the aggregated exchange.
     miss_kmers: Vec<Kmer>,
     /// Output span slot of each missing seed.
     miss_slots: Vec<u32>,
     /// Spans of the missing seeds within the arena.
     miss_spans: Vec<HitSpan>,
+}
+
+/// Reusable scratch for [`LookupEnv::lookup_batch_node`].
+#[derive(Default)]
+pub struct NodeBatchScratch {
+    /// Probe ordering state of the radix-bucketed batch probe.
+    probe: ProbeScratch,
+    /// Packed (owner rank << 32 | input slot) keys, sorted to group the
+    /// batch by owner partition.
+    by_owner: Vec<u64>,
+    /// Kmers of the owner group currently being probed.
+    group_kmers: Vec<Kmer>,
+    /// Spans of the owner group currently being probed.
+    group_spans: Vec<HitSpan>,
+    /// Input slots of cache-missing seeds, in input order (cache-fill
+    /// order must match the point path).
+    miss_inputs: Vec<u32>,
 }
 
 /// Fetch a target sequence through the same locality hierarchy: local part →

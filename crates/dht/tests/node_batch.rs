@@ -1,0 +1,189 @@
+//! Property tests for the node-batched lookup path:
+//!
+//! Chunked node-level batching (`LookupEnv::lookup_batch_node` driven the
+//! way the aligner's chunked pipeline drives it — chunk the query stream,
+//! group each chunk by owner node, deduplicate repeated seeds) must return
+//! results — and leave node-cache contents — **identical** to issuing N
+//! point lookups, across cache sizes, node shapes (ppn ∈ {1, 6, 24}), and
+//! chunk sizes including 1 and > #queries, while never sending more
+//! messages.
+
+use dht::{
+    build_seed_index, BuildConfig, CacheConfig, CacheSet, LookupEnv, NodeBatchScratch, SeedEntry,
+    SeedProbe, TargetHit,
+};
+use pgas::{GlobalRef, Machine, MachineConfig};
+use proptest::prelude::*;
+use seq::Kmer;
+
+const K: usize = 9;
+
+/// Derive a valid k-mer deterministically from a small id.
+fn kmer_from_id(kmer_id: u32) -> Kmer {
+    let mut km = Kmer::ZERO;
+    let mut v = u128::from(kmer_id) * 2_654_435_761;
+    for _ in 0..K {
+        km = km.roll((v & 3) as u8, K);
+        v >>= 2;
+    }
+    km
+}
+
+fn entry_strategy(p: usize) -> impl Strategy<Value = SeedEntry> {
+    (0u32..120, 0usize..p, 0u32..4, 0u32..500).prop_map(move |(kmer_id, rank, idx, offset)| {
+        SeedEntry {
+            kmer: kmer_from_id(kmer_id),
+            target: GlobalRef::new(rank, idx as usize),
+            offset,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn node_chunks_agree_with_point_lookups(
+        per_rank in proptest::collection::vec(
+            proptest::collection::vec(entry_strategy(6), 1..50), 6..=6),
+        query_ids in proptest::collection::vec(0u32..150, 1..80),
+        ppn_sel in 0usize..3,
+        chunk_sel in 0usize..3,
+        budget_sel in 0usize..3,
+        max_hits in 0usize..4,
+    ) {
+        let ppn = [1usize, 6, 24][ppn_sel];
+        // 1-slot (all contended), small (some contention), ample.
+        let seed_budget = [1usize, 2 << 10, 1 << 20][budget_sel];
+        let mut machine = Machine::new(MachineConfig {
+            ranks: 6,
+            ppn,
+            cost: Default::default(),
+            sequential: true,
+        });
+        let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
+            per_rank[r].clone().into_iter()
+        });
+        let queries: Vec<Kmer> = query_ids.iter().map(|&id| kmer_from_id(id)).collect();
+        let chunk = [1usize, 7, queries.len() + 5][chunk_sel];
+        let nodes = machine.topo().nodes();
+        let cache_cfg = CacheConfig {
+            seed_budget_bytes: seed_budget,
+            target_budget_bytes: 1 << 12,
+        };
+        let caches_point = CacheSet::new(nodes, &cache_cfg);
+        let caches_node = CacheSet::new(nodes, &cache_cfg);
+
+        // Point path: every rank looks up every query in order.
+        let point_results = machine.phase("point", |ctx| {
+            let env = LookupEnv { index: &idx, caches: Some(&caches_point), max_hits };
+            let mut out = Vec::new();
+            let mut results: Vec<(bool, Vec<TargetHit>)> = Vec::new();
+            for &km in &queries {
+                let found = env.lookup(ctx, km, &mut out);
+                results.push((found, out.clone()));
+            }
+            results
+        });
+
+        // Chunked node path: the query stream is cut into chunks; each
+        // chunk is grouped by owner node with repeated seeds deduplicated,
+        // and resolved with one lookup_batch_node per (chunk, node).
+        let node_results = machine.phase("node", |ctx| {
+            let env = LookupEnv { index: &idx, caches: Some(&caches_node), max_hits };
+            let topo = ctx.topo();
+            let mut results: Vec<(bool, Vec<TargetHit>)> =
+                vec![(false, Vec::new()); queries.len()];
+            let mut scratch = NodeBatchScratch::default();
+            let (mut hits, mut spans) = (Vec::new(), Vec::new());
+            for (ci, qchunk) in queries.chunks(chunk).enumerate() {
+                let base = ci * chunk;
+                let mut keyed: Vec<(u32, Kmer, u32)> = qchunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &km)| {
+                        let owner = idx.owner_of(km);
+                        (topo.node_of(owner) as u32, km, (base + i) as u32)
+                    })
+                    .collect();
+                keyed.sort_by_key(|&(n, km, qi)| (n, km.bits(), qi));
+                let mut g = 0usize;
+                while g < keyed.len() {
+                    let node = keyed[g].0;
+                    let mut probes: Vec<SeedProbe> = Vec::new();
+                    let mut slots: Vec<(u32, u32)> = Vec::new(); // (query, span)
+                    let mut e = g;
+                    while e < keyed.len() && keyed[e].0 == node {
+                        if e == g || keyed[e].1 != keyed[e - 1].1 {
+                            probes.push(SeedProbe {
+                                kmer: keyed[e].1,
+                                owner: idx.owner_of(keyed[e].1) as u32,
+                            });
+                        }
+                        slots.push((keyed[e].2, probes.len() as u32 - 1));
+                        e += 1;
+                    }
+                    hits.clear();
+                    spans.clear();
+                    env.lookup_batch_node(
+                        ctx, node as usize, &probes, &mut hits, &mut spans, &mut scratch,
+                    );
+                    for &(qi, sp) in &slots {
+                        let s = spans[sp as usize];
+                        results[qi as usize] = (s.found, hits[s.range()].to_vec());
+                    }
+                    g = e;
+                }
+            }
+            results
+        });
+
+        // Identical results on every rank.
+        for (rank, (p, b)) in point_results.iter().zip(&node_results).enumerate() {
+            prop_assert_eq!(p.len(), b.len());
+            for (qi, (pr, br)) in p.iter().zip(b).enumerate() {
+                prop_assert_eq!(pr.0, br.0, "found flag differs: rank {} query {}", rank, qi);
+                prop_assert_eq!(&pr.1, &br.1, "hits differ: rank {} query {}", rank, qi);
+            }
+        }
+
+        // Node batching must never send more messages than the point path,
+        // and every aggregated message must be accounted as a node batch.
+        let agg = |name: &str| {
+            let a = machine.phase_named(name).unwrap().aggregate();
+            (a.msgs_local + a.msgs_remote, a.node_batches, a.lookup_batches)
+        };
+        let (point_msgs, point_nb, point_rb) = agg("point");
+        let (node_msgs, node_nb, node_rb) = agg("node");
+        prop_assert_eq!(point_nb, 0);
+        prop_assert_eq!(point_rb, 0);
+        prop_assert_eq!(node_rb, 0);
+        prop_assert!(
+            node_msgs <= point_msgs,
+            "node batching sent more messages: {} > {}", node_msgs, point_msgs
+        );
+        prop_assert_eq!(node_nb, node_msgs, "every chunked message is a node batch");
+
+        // Node-cache contents agree for every queried seed whose
+        // direct-mapped slot is uncontended within the query set (a shared
+        // slot's final occupant legitimately depends on fill order).
+        for n in 0..nodes {
+            let cache = &caches_point.node(n).seed;
+            for &km in &queries {
+                let slot = cache.slot_of(km);
+                let contended = queries
+                    .iter()
+                    .any(|&other| other != km && cache.slot_of(other) == slot);
+                if contended {
+                    continue;
+                }
+                let mut out_p = Vec::new();
+                let mut out_b = Vec::new();
+                let p = cache.probe(km, &mut out_p);
+                let b = caches_node.node(n).seed.probe(km, &mut out_b);
+                prop_assert_eq!(p, b, "cache presence differs on node {}", n);
+                prop_assert_eq!(&out_p, &out_b, "cached hits differ on node {}", n);
+            }
+        }
+    }
+}

@@ -62,12 +62,20 @@ pub struct PipelineConfig {
     pub permute_seed: u64,
 
     // ---- aligning-phase lookup batching ----
-    /// Group each read's seed lookups by owner rank and issue one
-    /// aggregated `lookup_batch` per (read, owner) — the query-side mirror
-    /// of §III-A's aggregating stores. `false` falls back to one point
-    /// lookup per seed. Results are identical either way; only the
-    /// communication pattern (and thus simulated align time) changes.
+    /// Aggregate seed lookups instead of issuing one point lookup per
+    /// seed — the query-side mirror of §III-A's aggregating stores.
+    /// `false` falls back to one point lookup per seed. Results are
+    /// identical either way; only the communication pattern (and thus
+    /// simulated align time) changes. See [`PipelineConfig::lookup_chunk`]
+    /// for the aggregation granularity.
     pub batch_lookups: bool,
+    /// Reads per aggregation chunk when `batch_lookups` is on. `> 0`
+    /// selects the **chunked, node-aware** pipeline: all seeds of a chunk
+    /// of reads are collected, deduplicated, grouped by owner *node*, and
+    /// resolved with one aggregated message per (chunk, node) — with the
+    /// exact-match fast path's probes folded into the chunk's first
+    /// batch. `0` falls back to PR-1's per-(read, owner-rank) batching.
+    pub lookup_chunk: usize,
 
     // ---- §IV-C: sensitivity threshold ----
     /// Maximum candidate alignments per seed (0 = unlimited).
@@ -104,6 +112,7 @@ impl PipelineConfig {
             load_balance: true,
             permute_seed: 0x5EED,
             batch_lookups: true,
+            lookup_chunk: 64,
             max_hits_per_seed: 256,
             collect_alignments: false,
         }
@@ -120,6 +129,12 @@ impl PipelineConfig {
             },
             buffer_size: self.buffer_size,
         }
+    }
+
+    /// Whether the align phase runs the chunked, node-aware lookup
+    /// pipeline (vs per-read batches or point lookups).
+    pub fn chunked_lookups(&self) -> bool {
+        self.batch_lookups && self.lookup_chunk > 0
     }
 
     /// The extension configuration implied by this pipeline configuration.
@@ -141,12 +156,27 @@ mod tests {
         let c = PipelineConfig::new(48, 24, 51);
         assert!(c.aggregating_stores);
         assert!(c.batch_lookups);
+        assert!(c.chunked_lookups());
+        assert!(c.lookup_chunk > 0);
         assert!(c.use_caches);
         assert!(c.exact_match_opt);
         assert!(c.fragment_targets);
         assert!(c.load_balance);
         assert_eq!(c.buffer_size, 1000);
         assert_eq!(c.seed_stride, 1);
+    }
+
+    #[test]
+    fn chunked_lookups_requires_both_knobs() {
+        let mut c = PipelineConfig::new(8, 4, 21);
+        c.lookup_chunk = 0;
+        assert!(!c.chunked_lookups(), "chunk 0 falls back to rank batches");
+        c.lookup_chunk = 64;
+        c.batch_lookups = false;
+        assert!(
+            !c.chunked_lookups(),
+            "batch_lookups off falls back to point"
+        );
     }
 
     #[test]

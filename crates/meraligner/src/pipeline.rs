@@ -10,7 +10,8 @@ use seq::seqdb::block_range;
 use seq::{KmerIter, SeqDb};
 
 use crate::config::PipelineConfig;
-use crate::query::{process_query, AlignContext, QueryScratch};
+use crate::query::QueryOutcome;
+use crate::query::{process_query, process_read_chunk, AlignContext, ChunkScratch, QueryScratch};
 use crate::targets::TargetStore;
 
 /// A reported read placement in original-contig coordinates.
@@ -102,6 +103,42 @@ impl PipelineResult {
     }
 }
 
+/// Per-rank accumulation of query outcomes (shared by the chunked and
+/// per-read align loops).
+#[derive(Default)]
+struct RankOutcomes {
+    placements: Vec<(u32, Option<Placement>)>,
+    exact_path: u64,
+    alignments_total: u64,
+    collected: Vec<(u32, u32, Alignment)>,
+}
+
+impl RankOutcomes {
+    fn record(
+        &mut self,
+        store: &TargetStore,
+        cfg: &PipelineConfig,
+        orig_idx: u32,
+        outcome: QueryOutcome,
+    ) {
+        self.exact_path += u64::from(outcome.used_exact_path);
+        self.alignments_total += u64::from(outcome.n_alignments);
+        let placement = outcome.best.as_ref().map(|(gref, aln)| Placement {
+            contig: store.orig_id(*gref) as u32,
+            t_beg: aln.t_beg as u32,
+            reverse: aln.strand == align::Strand::Reverse,
+            score: aln.score,
+        });
+        self.placements.push((orig_idx, placement));
+        if cfg.collect_alignments {
+            for (gref, aln) in outcome.all {
+                self.collected
+                    .push((orig_idx, store.orig_id(gref) as u32, aln));
+            }
+        }
+    }
+}
+
 /// Run the full pipeline: targets and queries come from SDB1 containers
 /// (the parallel-I/O path), everything else per `cfg`.
 pub fn run_pipeline(
@@ -186,29 +223,34 @@ pub fn run_pipeline(
                 store: store_ref,
                 cfg,
             };
-            let mut scratch = QueryScratch::default();
-            let mut placements: Vec<(u32, Option<Placement>)> = Vec::new();
-            let mut exact_path = 0u64;
-            let mut alignments_total = 0u64;
-            let mut collected: Vec<(u32, u32, Alignment)> = Vec::new();
-            for (orig_idx, read) in &reads_ref[ctx.rank] {
-                let outcome = process_query(ctx, &actx, read, &mut scratch);
-                exact_path += u64::from(outcome.used_exact_path);
-                alignments_total += u64::from(outcome.n_alignments);
-                let placement = outcome.best.as_ref().map(|(gref, aln)| Placement {
-                    contig: store_ref.orig_id(*gref) as u32,
-                    t_beg: aln.t_beg as u32,
-                    reverse: aln.strand == align::Strand::Reverse,
-                    score: aln.score,
-                });
-                placements.push((*orig_idx, placement));
-                if cfg.collect_alignments {
-                    for (gref, aln) in outcome.all {
-                        collected.push((*orig_idx, store_ref.orig_id(gref) as u32, aln));
+            let mut acc = RankOutcomes::default();
+            let reads = &reads_ref[ctx.rank];
+            if cfg.chunked_lookups() {
+                // Chunked, node-aware aggregation: one batch per
+                // (chunk, owner node) per stage.
+                let mut scratch = ChunkScratch::default();
+                let mut outcomes: Vec<QueryOutcome> = Vec::new();
+                for chunk in reads.chunks(cfg.lookup_chunk) {
+                    process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
+                    for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..)) {
+                        acc.record(store_ref, cfg, *orig_idx, outcome);
                     }
                 }
+            } else {
+                // Per-read fallback: point lookups or per-(read, owner
+                // rank) batches per `batch_lookups`.
+                let mut scratch = QueryScratch::default();
+                for (orig_idx, read) in reads {
+                    let outcome = process_query(ctx, &actx, read, &mut scratch);
+                    acc.record(store_ref, cfg, *orig_idx, outcome);
+                }
             }
-            (placements, exact_path, alignments_total, collected)
+            (
+                acc.placements,
+                acc.exact_path,
+                acc.alignments_total,
+                acc.collected,
+            )
         })
     };
 
@@ -319,7 +361,7 @@ mod tests {
         base.load_balance = false; // isolate result comparison from order
         let reference = run(&d, &base);
 
-        for tweak in 0..5 {
+        for tweak in 0..7 {
             let mut cfg = base.clone();
             match tweak {
                 0 => cfg.aggregating_stores = false,
@@ -329,6 +371,8 @@ mod tests {
                 }
                 3 => cfg.fragment_targets = false,
                 4 => cfg.batch_lookups = false,
+                5 => cfg.lookup_chunk = 0, // per-(read, rank) batches
+                6 => cfg.lookup_chunk = usize::MAX, // one chunk per rank
                 _ => unreachable!(),
             }
             let res = run(&d, &cfg);
@@ -365,23 +409,68 @@ mod tests {
         let d = tiny();
         let mut point_cfg = base_cfg(&d, 8);
         point_cfg.batch_lookups = false;
-        let mut batch_cfg = base_cfg(&d, 8);
-        batch_cfg.batch_lookups = true;
+        let mut rank_cfg = base_cfg(&d, 8);
+        rank_cfg.lookup_chunk = 0; // per-(read, owner-rank) fallback
+        let chunk_cfg = base_cfg(&d, 8); // default: chunked node batches
         let msgs = |cfg: &PipelineConfig| {
             let res = run(&d, cfg);
             let agg = res.align_phase().expect("align phase").aggregate();
-            (agg.msgs_for(pgas::CommTag::SeedLookup), agg.lookup_batches)
+            (
+                agg.msgs_for(pgas::CommTag::SeedLookup),
+                agg.lookup_batches,
+                agg.node_batches,
+            )
         };
-        let (point_msgs, point_batches) = msgs(&point_cfg);
-        let (batch_msgs, batch_batches) = msgs(&batch_cfg);
+        let (point_msgs, point_batches, point_nb) = msgs(&point_cfg);
+        let (rank_msgs, rank_batches, rank_nb) = msgs(&rank_cfg);
+        let (chunk_msgs, chunk_batches, chunk_nb) = msgs(&chunk_cfg);
         assert_eq!(point_batches, 0);
-        assert!(batch_batches > 0, "batched run must batch");
-        // One message per (read, owner) instead of one per off-rank seed:
-        // a large multiple at 8 ranks with ~100 seeds per strand per read.
+        assert_eq!(point_nb, 0);
+        assert!(rank_batches > 0, "rank-batched run must batch");
+        assert_eq!(rank_nb, 0);
+        assert_eq!(chunk_batches, 0);
+        assert!(chunk_nb > 0, "chunked run must issue node batches");
+        // One message per (read, owner rank) instead of one per off-rank
+        // seed: a large multiple at 8 ranks with ~100 seeds per strand.
         assert!(
-            batch_msgs * 4 < point_msgs,
-            "batching must slash lookup messages: {batch_msgs} vs {point_msgs}"
+            rank_msgs * 4 < point_msgs,
+            "rank batching must slash lookup messages: {rank_msgs} vs {point_msgs}"
         );
+        // One message per (chunk, node) per stage cuts further still.
+        assert!(
+            chunk_msgs * 2 < rank_msgs,
+            "node chunking must cut messages again: {chunk_msgs} vs {rank_msgs}"
+        );
+    }
+
+    #[test]
+    fn chunked_lookups_match_rank_batches_exactly() {
+        // The chunked node-aware path preserves per-seed results and
+        // extension order exactly, so placements must be bit-identical to
+        // the per-(read, owner-rank) fallback — across node shapes and
+        // chunk sizes including 1 and > #reads.
+        let d = human_like(0.0015, 4242);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        for ppn in [1usize, 6, 24] {
+            let mut reference = PipelineConfig::new(12, ppn, d.k);
+            reference.sequential = false;
+            reference.lookup_chunk = 0;
+            let ref_res = run_pipeline(&reference, &tdb, &qdb);
+            for chunk in [1usize, 7, usize::MAX] {
+                let mut cfg = reference.clone();
+                cfg.lookup_chunk = chunk;
+                let res = run_pipeline(&cfg, &tdb, &qdb);
+                assert_eq!(
+                    res.placements, ref_res.placements,
+                    "placements diverged at ppn {ppn} chunk {chunk}"
+                );
+                assert_eq!(res.exact_path_reads, ref_res.exact_path_reads);
+                assert_eq!(res.alignments_total, ref_res.alignments_total);
+                let agg = res.align_phase().unwrap().aggregate();
+                assert!(agg.node_batches > 0, "chunked run must node-batch");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! seed-lookup-extend loop of Algorithm 1.
 
 use align::{align_window, Alignment, CigarOp, Engine, Strand};
-use dht::{fetch_target, BatchScratch, HitSpan, LookupEnv, TargetHit};
+use dht::{fetch_target, BatchScratch, HitSpan, LookupEnv, NodeBatchScratch, SeedProbe, TargetHit};
 use pgas::{GlobalRef, RankCtx};
 use seq::{kmer_at, Kmer, KmerIter, PackedSeq};
 
@@ -312,8 +312,313 @@ fn extend_candidate(
     }
 }
 
+/// One extracted probe of the chunked lookup pipeline, keyed for node
+/// grouping and cross-read dedup.
+#[derive(Clone, Copy, Debug)]
+struct ChunkReq {
+    /// Owner node of the seed.
+    node: u32,
+    /// Owner rank of the seed (djb2 map).
+    owner: u32,
+    /// Read slot within the chunk.
+    slot: u32,
+    /// Query offset of the seed (in its orientation).
+    q_off: u32,
+    /// Which strand the seed came from.
+    reverse: bool,
+    /// The packed seed.
+    kmer: Kmer,
+}
+
+/// Reused per-rank buffers of the chunked, node-aware lookup pipeline.
+#[derive(Default)]
+pub struct ChunkScratch {
+    /// Per-read reverse complements (computed once per chunk, used by the
+    /// exact stage and the extension pass).
+    rcs: Vec<PackedSeq>,
+    /// Per-read "done after the exact stage" flags.
+    resolved: Vec<bool>,
+    /// Extracted probes of the current stage (sorted by (node, seed)).
+    reqs: Vec<ChunkReq>,
+    /// Deduplicated probes of the node group being issued.
+    probes: Vec<SeedProbe>,
+    /// Span index of each sorted request: `reqs[i]` reads
+    /// `spans[req_span[i]]` (duplicates share an index).
+    req_span: Vec<u32>,
+    /// Shared hit arena of the chunk's node batches.
+    hits: Vec<TargetHit>,
+    /// Per-unique-probe spans into `hits`.
+    spans: Vec<HitSpan>,
+    /// Exact-stage span index per (read slot, strand); `u32::MAX` = no
+    /// probe extracted.
+    exact_span: Vec<[u32; 2]>,
+    /// Candidate positions of the whole chunk, keyed by read slot.
+    cands: Vec<(u32, CandHit)>,
+    /// Node-batched lookup internals.
+    node: NodeBatchScratch,
+    /// Extension internals (reported-alignment dedup), reset per read.
+    query: QueryScratch,
+}
+
+/// Align one chunk of reads with cross-read, node-aware lookup
+/// aggregation: both stages collect every outstanding probe of the chunk,
+/// deduplicate repeated seeds, group them by owner **node**, and resolve
+/// each group with one [`LookupEnv::lookup_batch_node`] — at most one
+/// message per (chunk, node) per stage instead of one per (read, owner
+/// rank).
+///
+/// * **Stage 1** folds the §IV-A exact-match probes (first seed of each
+///   orientation) of all chunk reads into the chunk's first aggregated
+///   batch — the point lookups `try_exact` would issue disappear. Reads
+///   the fast path resolves are done.
+/// * **Stage 2** extracts all seeds of the surviving reads (both
+///   strands), resolves them the same way, scatters hits to per-read
+///   candidate lists, and runs the per-read extension pass unchanged.
+///
+/// Placements are identical to running [`process_query`] per read: both
+/// stages preserve per-seed results exactly (the node batch mirrors the
+/// point-lookup hierarchy), and the extension pass sorts candidates by
+/// the same total key. One [`QueryOutcome`] per read lands in `out`
+/// (chunk order). The only charge-profile difference: the exact stage
+/// extracts and probes *both* orientations' first seeds up front, where
+/// the sequential path skips the reverse probe when the forward one
+/// resolves.
+pub fn process_read_chunk(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    reads: &[(u32, PackedSeq)],
+    scratch: &mut ChunkScratch,
+    out: &mut Vec<QueryOutcome>,
+) {
+    let cfg = actx.cfg;
+    let k = cfg.k;
+    let topo = ctx.topo();
+    out.clear();
+    out.resize_with(reads.len(), QueryOutcome::default);
+    scratch.rcs.clear();
+    scratch.resolved.clear();
+    scratch.resolved.resize(reads.len(), false);
+    for (_, read) in reads {
+        scratch.rcs.push(read.reverse_complement());
+    }
+    for (s, (_, read)) in reads.iter().enumerate() {
+        if read.len() < k {
+            scratch.resolved[s] = true; // empty outcome, as the point path
+        }
+    }
+
+    // ---- Stage 1: exact-match fast path, probes folded into the chunk's
+    // first aggregated batch.
+    if cfg.exact_match_opt && actx.store.frags.is_some() {
+        scratch.reqs.clear();
+        for (s, (_, read)) in reads.iter().enumerate() {
+            if scratch.resolved[s] || read.has_n() {
+                continue;
+            }
+            for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+                let Some(km) = kmer_at(oriented, 0, k) else {
+                    continue;
+                };
+                ctx.charge_extract(1);
+                let owner = actx.env.index.owner_of(km) as u32;
+                scratch.reqs.push(ChunkReq {
+                    node: topo.node_of(owner as usize) as u32,
+                    owner,
+                    slot: s as u32,
+                    q_off: 0,
+                    reverse,
+                    kmer: km,
+                });
+            }
+        }
+        issue_node_batches(ctx, actx, scratch);
+        scratch.exact_span.clear();
+        scratch.exact_span.resize(reads.len(), [u32::MAX; 2]);
+        for (req, &sp) in scratch.reqs.iter().zip(&scratch.req_span) {
+            scratch.exact_span[req.slot as usize][usize::from(req.reverse)] = sp;
+        }
+        for (s, (_, read)) in reads.iter().enumerate() {
+            if scratch.resolved[s] {
+                continue;
+            }
+            for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+                let sp = scratch.exact_span[s][usize::from(reverse)];
+                if sp == u32::MAX {
+                    continue;
+                }
+                let span = scratch.spans[sp as usize];
+                if let Some((gref, aln)) = exact_from_hits(
+                    ctx,
+                    actx,
+                    oriented,
+                    reverse,
+                    span.found,
+                    &scratch.hits[span.range()],
+                ) {
+                    let o = &mut out[s];
+                    o.n_alignments = 1;
+                    o.used_exact_path = true;
+                    if cfg.collect_alignments {
+                        o.all.push((gref, aln.clone()));
+                    }
+                    o.best = Some((gref, aln));
+                    scratch.resolved[s] = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- Stage 2: all seeds of the surviving reads, aggregated across
+    // the chunk (Algorithm 1 lines 8–10 at chunk granularity).
+    scratch.reqs.clear();
+    for (s, (_, read)) in reads.iter().enumerate() {
+        if scratch.resolved[s] {
+            continue;
+        }
+        for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+            for (off, km) in KmerIter::new(oriented, k) {
+                if cfg.seed_stride > 1 && !(off as usize).is_multiple_of(cfg.seed_stride) {
+                    continue;
+                }
+                ctx.charge_extract(1);
+                let owner = actx.env.index.owner_of(km) as u32;
+                scratch.reqs.push(ChunkReq {
+                    node: topo.node_of(owner as usize) as u32,
+                    owner,
+                    slot: s as u32,
+                    q_off: off,
+                    reverse,
+                    kmer: km,
+                });
+            }
+        }
+    }
+    issue_node_batches(ctx, actx, scratch);
+
+    // Scatter hits to per-read candidates; the per-read total sort key
+    // below restores exactly the order the per-read path extends in.
+    scratch.cands.clear();
+    for (req, &sp) in scratch.reqs.iter().zip(&scratch.req_span) {
+        let span = scratch.spans[sp as usize];
+        for hit in &scratch.hits[span.range()] {
+            scratch.cands.push((
+                req.slot,
+                CandHit {
+                    target: hit.target,
+                    reverse: req.reverse,
+                    diag: i64::from(hit.offset) - i64::from(req.q_off),
+                    q_off: req.q_off,
+                    t_off: hit.offset,
+                },
+            ));
+        }
+    }
+    scratch
+        .cands
+        .sort_unstable_by_key(|(slot, c)| (*slot, c.target, c.reverse, c.diag, c.q_off, c.t_off));
+
+    // ---- Extension pass (lines 11–12), per read, as in `process_query`.
+    let cands = std::mem::take(&mut scratch.cands);
+    let mut i = 0usize;
+    while i < cands.len() {
+        let slot = cands[i].0;
+        let mut r = i;
+        while r < cands.len() && cands[r].0 == slot {
+            r += 1;
+        }
+        let read = &reads[slot as usize].1;
+        let rc = &scratch.rcs[slot as usize];
+        scratch.query.reported.clear();
+        while i < r {
+            let head = cands[i].1;
+            let mut j = i;
+            while j < r && cands[j].1.target == head.target && cands[j].1.reverse == head.reverse {
+                j += 1;
+            }
+            let target = fetch_target(ctx, &actx.store.seqs, head.target, actx.env.caches);
+            let codes = if head.reverse {
+                align::dna_codes(rc)
+            } else {
+                align::dna_codes(read)
+            };
+            let mut c = i;
+            while c < j {
+                let mut e = c;
+                while e + 1 < j && cands[e + 1].1.diag - cands[e].1.diag <= read.len() as i64 {
+                    e += 1;
+                }
+                let span_extra = (cands[e].1.diag - cands[c].1.diag) as usize;
+                extend_candidate(
+                    ctx,
+                    actx,
+                    &codes,
+                    &target,
+                    cands[c].1.q_off as usize,
+                    cands[c].1.t_off as usize,
+                    span_extra,
+                    head.target,
+                    head.reverse,
+                    &mut scratch.query,
+                    &mut out[slot as usize],
+                );
+                c = e + 1;
+            }
+            i = j;
+        }
+    }
+    scratch.cands = cands;
+}
+
+/// Sort the chunk's requests by (owner node, seed), deduplicate repeated
+/// seeds within each node group, issue one [`LookupEnv::lookup_batch_node`]
+/// per node, and record each request's span index in `req_span` (aligned
+/// with the sorted `reqs`; duplicates share one span). Clears and refills
+/// the chunk's `hits`/`spans` arenas.
+fn issue_node_batches(ctx: &mut RankCtx, actx: &AlignContext<'_>, scratch: &mut ChunkScratch) {
+    scratch.hits.clear();
+    scratch.spans.clear();
+    scratch.req_span.clear();
+    if scratch.reqs.is_empty() {
+        return;
+    }
+    scratch
+        .reqs
+        .sort_unstable_by_key(|r| (r.node, r.kmer.bits()));
+    scratch.req_span.resize(scratch.reqs.len(), 0);
+    let mut g = 0usize;
+    while g < scratch.reqs.len() {
+        let node = scratch.reqs[g].node;
+        let span_base = scratch.spans.len() as u32;
+        scratch.probes.clear();
+        let mut e = g;
+        while e < scratch.reqs.len() && scratch.reqs[e].node == node {
+            if e == g || scratch.reqs[e].kmer != scratch.reqs[e - 1].kmer {
+                scratch.probes.push(SeedProbe {
+                    kmer: scratch.reqs[e].kmer,
+                    owner: scratch.reqs[e].owner,
+                });
+            }
+            scratch.req_span[e] = span_base + scratch.probes.len() as u32 - 1;
+            e += 1;
+        }
+        actx.env.lookup_batch_node(
+            ctx,
+            node as usize,
+            &scratch.probes,
+            &mut scratch.hits,
+            &mut scratch.spans,
+            &mut scratch.node,
+        );
+        g = e;
+    }
+}
+
 /// The §IV-A fast path for one orientation: first seed → single hit →
-/// unique-fragment window → `memcmp`.
+/// unique-fragment window → `memcmp`. This variant issues its own point
+/// lookup (the non-chunked pipeline); the chunked pipeline resolves the
+/// probe inside the chunk's first node batch and feeds the result to
+/// [`exact_from_hits`] directly.
 fn try_exact(
     ctx: &mut RankCtx,
     actx: &AlignContext<'_>,
@@ -321,15 +626,31 @@ fn try_exact(
     reverse: bool,
     scratch: &mut QueryScratch,
 ) -> Option<(GlobalRef, Alignment)> {
+    let km = kmer_at(oriented, 0, actx.cfg.k)?;
+    ctx.charge_extract(1);
+    let found = actx.env.lookup(ctx, km, &mut scratch.hits);
+    exact_from_hits(ctx, actx, oriented, reverse, found, &scratch.hits)
+}
+
+/// The lookup-free tail of the exact-match fast path: given the first
+/// seed's (possibly truncated) hit list, verify single-occurrence,
+/// unique-fragment window, and word-wise equality, and build the provably
+/// unique alignment (Lemma 1).
+fn exact_from_hits(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    oriented: &PackedSeq,
+    reverse: bool,
+    found: bool,
+    hit_list: &[TargetHit],
+) -> Option<(GlobalRef, Alignment)> {
     let cfg = actx.cfg;
     let k = cfg.k;
     let qlen = oriented.len();
-    let km = kmer_at(oriented, 0, k)?;
-    ctx.charge_extract(1);
-    if !actx.env.lookup(ctx, km, &mut scratch.hits) || scratch.hits.len() != 1 {
+    if !found || hit_list.len() != 1 {
         return None;
     }
-    let hit = scratch.hits[0];
+    let hit = hit_list[0];
     // The candidate window is [hit.offset, hit.offset + qlen) on the target.
     let start = hit.offset as usize;
     let frag = actx

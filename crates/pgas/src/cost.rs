@@ -55,6 +55,12 @@ pub struct CostModel {
     /// per seed carried by a batched lookup message, on top of the single
     /// α–β message charge.
     pub batch_pack_ns_per_seed: f64,
+    /// Demultiplexing one seed of a *node*-batched lookup to the owner
+    /// partition on the receiving node (the request carries seeds for
+    /// every rank of the node, so the handler routes each seed by its
+    /// djb2 owner before probing). Paid per seed on top of
+    /// [`CostModel::batch_pack_ns_per_seed`] for node-addressed batches.
+    pub node_route_ns_per_seed: f64,
     /// Moving one distinct seed from the build-time accumulator into the
     /// frozen open-addressed CSR table (hash, probe for a vacant slot,
     /// arena append) at the end of index construction.
@@ -92,6 +98,7 @@ impl Default for CostModel {
             bucket_insert_ns: 400.0,
             lookup_probe_ns: 150.0,
             batch_pack_ns_per_seed: 12.0,
+            node_route_ns_per_seed: 4.0,
             freeze_slot_ns: 60.0,
             cache_probe_ns: 25.0,
             sw_cell_simd_ns: 0.12,
@@ -189,6 +196,26 @@ mod tests {
         assert!(
             batched < point / 10.0,
             "batching must win big: {batched} vs {point}"
+        );
+    }
+
+    #[test]
+    fn node_batched_lookup_beats_rank_batches_at_high_ppn() {
+        // A chunk's seeds bound for one 24-rank node: one node-addressed
+        // message (with per-seed routing) must undercut 24 rank-addressed
+        // batch messages carrying the same seeds.
+        let c = CostModel::default();
+        let seeds_per_rank = 40u64;
+        let ranks = 24u64;
+        let per_seed_bytes = 8 + 4 + 12u64;
+        let rank_batched = ranks as f64 * c.message_ns(false, seeds_per_rank * per_seed_bytes)
+            + (ranks * seeds_per_rank) as f64 * c.batch_pack_ns_per_seed;
+        let node_batched = c.message_ns(false, ranks * seeds_per_rank * per_seed_bytes)
+            + (ranks * seeds_per_rank) as f64
+                * (c.batch_pack_ns_per_seed + c.node_route_ns_per_seed);
+        assert!(
+            node_batched < rank_batched / 2.0,
+            "node batching must win: {node_batched} vs {rank_batched}"
         );
     }
 

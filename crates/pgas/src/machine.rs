@@ -272,6 +272,11 @@ impl RankCtx<'_> {
         let local = self.same_node(dst);
         self.stats.comm_ns[tag.idx()] += self.cost.message_ns(local, bytes);
         self.stats.msgs_by_tag[tag.idx()] += 1;
+        let dst_node = self.topo.node_of(dst);
+        if self.stats.msgs_to_node.len() <= dst_node {
+            self.stats.msgs_to_node.resize(dst_node + 1, 0);
+        }
+        self.stats.msgs_to_node[dst_node] += 1;
         if local {
             self.stats.msgs_local += 1;
             self.stats.bytes_local += bytes;
@@ -343,6 +348,22 @@ impl RankCtx<'_> {
             seeds as f64 * self.cost.batch_pack_ns_per_seed;
         self.stats.lookup_batches += 1;
         self.stats.lookup_batch_seeds += seeds;
+    }
+
+    /// Charge one *node*-batched seed-lookup message carrying `seeds` seeds
+    /// and `bytes` total, addressed to `dst` (the destination node's lead
+    /// rank, or any rank of it — only the node matters for pricing). On top
+    /// of the single α–β message and the per-seed pack/unpack compute, each
+    /// seed pays the owner-side routing cost of being demultiplexed to its
+    /// partition, and the node-batch counters feed the per-node breakdown
+    /// of the fig8 query-side harness.
+    #[inline]
+    pub fn charge_lookup_node_batch(&mut self, dst: usize, seeds: u64, bytes: u64, tag: CommTag) {
+        self.charge_message(dst, bytes, tag);
+        self.stats.comp_ns[CompTag::Lookup.idx()] +=
+            seeds as f64 * (self.cost.batch_pack_ns_per_seed + self.cost.node_route_ns_per_seed);
+        self.stats.node_batches += 1;
+        self.stats.node_batch_seeds += seeds;
     }
 
     /// Charge freezing `n` distinct seeds into the immutable CSR table.
@@ -451,6 +472,26 @@ mod tests {
         assert_eq!(agg.bytes_local, 100);
         assert_eq!(agg.bytes_remote, 100);
         assert_eq!(agg.atomics_remote, 1);
+    }
+
+    #[test]
+    fn per_node_message_counts_and_node_batches() {
+        let mut m = Machine::new(MachineConfig::new(8, 4));
+        m.phase("node-msgs", |ctx| {
+            if ctx.rank == 0 {
+                ctx.charge_message(1, 10, CommTag::SeedLookup); // node 0
+                ctx.charge_message(5, 10, CommTag::SeedLookup); // node 1
+                let lead = ctx.topo().lead_rank(1);
+                ctx.charge_lookup_node_batch(lead, 16, 256, CommTag::SeedLookup);
+            }
+        });
+        let agg = m.phases()[0].aggregate();
+        assert_eq!(agg.msgs_to_node, vec![1, 2]);
+        assert_eq!(agg.node_batches, 1);
+        assert_eq!(agg.node_batch_seeds, 16);
+        // The node batch is also an ordinary (tagged, remote) message.
+        assert_eq!(agg.msgs_remote, 2);
+        assert_eq!(agg.msgs_for(CommTag::SeedLookup), 3);
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub struct RankStats {
     pub lookup_batches: u64,
     /// Seeds carried by those batched messages.
     pub lookup_batch_seeds: u64,
+    /// Node-batched seed-lookup messages issued (one per (chunk, node)
+    /// batch that actually had to leave the rank).
+    pub node_batches: u64,
+    /// Seeds carried by those node-batched messages.
+    pub node_batch_seeds: u64,
+    /// Messages by *destination node*, indexed by node id (grown on
+    /// demand) — the per-node breakdown the fig8 query-side harness
+    /// reports. Counts every charged message regardless of tag.
+    pub msgs_to_node: Vec<u64>,
     /// Software-cache hits (seed-index cache).
     pub seed_cache_hits: u64,
     /// Software-cache misses (seed-index cache).
@@ -164,6 +173,14 @@ impl RankStats {
         }
         self.lookup_batches += other.lookup_batches;
         self.lookup_batch_seeds += other.lookup_batch_seeds;
+        self.node_batches += other.node_batches;
+        self.node_batch_seeds += other.node_batch_seeds;
+        if self.msgs_to_node.len() < other.msgs_to_node.len() {
+            self.msgs_to_node.resize(other.msgs_to_node.len(), 0);
+        }
+        for (acc, &n) in self.msgs_to_node.iter_mut().zip(&other.msgs_to_node) {
+            *acc += n;
+        }
         self.seed_cache_hits += other.seed_cache_hits;
         self.seed_cache_misses += other.seed_cache_misses;
         self.target_cache_hits += other.target_cache_hits;
@@ -207,6 +224,24 @@ mod tests {
         assert_eq!(a.bytes_local, 15);
         assert_eq!(a.seed_cache_hits, 2);
         assert_eq!(a.comm_ns[0], 3.0);
+    }
+
+    #[test]
+    fn merge_extends_per_node_counts() {
+        let mut a = RankStats {
+            msgs_to_node: vec![1, 2],
+            node_batches: 1,
+            ..Default::default()
+        };
+        let b = RankStats {
+            msgs_to_node: vec![10, 0, 5],
+            node_batch_seeds: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.msgs_to_node, vec![11, 2, 5]);
+        assert_eq!(a.node_batches, 1);
+        assert_eq!(a.node_batch_seeds, 9);
     }
 
     #[test]

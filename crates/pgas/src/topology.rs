@@ -68,6 +68,16 @@ impl Topology {
         let hi = ((node + 1) * self.ppn).min(self.ranks);
         lo..hi
     }
+
+    /// The lowest rank on `node` — the representative a node-addressed
+    /// aggregated message is charged against (any rank of the node prices
+    /// identically under the α–β model; picking the first makes the charge
+    /// deterministic).
+    #[inline]
+    pub fn lead_rank(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes());
+        node * self.ppn
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +94,14 @@ mod tests {
         assert!(t.same_node(0, 23));
         assert!(!t.same_node(23, 24));
         assert_eq!(t.ranks_on_node(1), 24..48);
+    }
+
+    #[test]
+    fn lead_rank_is_first_on_node() {
+        let t = Topology::new(48, 24);
+        assert_eq!(t.lead_rank(0), 0);
+        assert_eq!(t.lead_rank(1), 24);
+        assert_eq!(t.node_of(t.lead_rank(1)), 1);
     }
 
     #[test]
