@@ -3,23 +3,13 @@
 //! software-cache probes — the per-operation costs behind the
 //! `pgas::CostModel` constants.
 
+use bench::lcg_dna;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use dht::{SeedCache, SeedEntry, TargetHit};
 use pgas::GlobalRef;
 use seq::{djb2_hash, Kmer, KmerIter, PackedSeq};
-
-fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
-    (0..n)
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            b"ACGT"[((state >> 33) & 3) as usize]
-        })
-        .collect()
-}
 
 fn bench_substrate(c: &mut Criterion) {
     let ascii = lcg_dna(100_000, 3);

@@ -16,23 +16,13 @@
 //!     the two-stage prefetch pipeline.
 //!   - `get_many_sorted` — the PR-1 full-`sort_unstable` baseline.
 
+use bench::lcg_dna;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use dht::{FrozenPartition, Partition, ProbeScratch, SeedEntry, TargetHit};
 use pgas::GlobalRef;
 use seq::{Kmer, KmerIter, PackedSeq};
-
-fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
-    (0..n)
-        .map(|_| {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            b"ACGT"[((state >> 33) & 3) as usize]
-        })
-        .collect()
-}
 
 const K: usize = 51;
 

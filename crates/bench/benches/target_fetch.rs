@@ -1,0 +1,154 @@
+//! Target-fetch kernel benchmarks: the wall-clock side of the node-batched
+//! candidate-target fetching (`LookupEnv::fetch_targets_batch_node`) vs
+//! issuing one `fetch_target` per candidate.
+//!
+//! The store is **DRAM-resident** (64 k targets, ~400–1600 bases each,
+//! ~16 MB of packed payload plus `Arc` headers — well past LLC), the
+//! regime a real per-node target working set lives in. Streams:
+//!
+//! * `cold/` — caches disabled: every fetch walks the shared heap and is
+//!   charged; batch vs point isolates the per-message accounting and the
+//!   aggregated fill loop.
+//! * `warm/` — an ample pre-filled node cache: the steady state of the
+//!   aligning phase (Fig 9's ~70 % target-cache hit rates round up to all
+//!   hits here); batch vs point isolates the probe + `Arc` clone path.
+//!
+//! Batch sizes sweep 1–4096: the chunked pipeline's (chunk, node) groups
+//! land in the hundreds at the default adaptive chunk.
+
+use bench::lcg_dna;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use dht::{
+    build_seed_index, fetch_target, BuildConfig, CacheConfig, CacheSet, LookupEnv, SeedEntry,
+    TargetFetchScratch,
+};
+use pgas::{GlobalRef, Machine, MachineConfig, SharedArray};
+use seq::{Kmer, PackedSeq};
+
+/// Targets owned by the remote rank.
+const TARGETS: usize = 1 << 16;
+
+/// Fetches per measured pass.
+const STREAM: usize = 1 << 17;
+
+/// 2 ranks, 1 per node: rank 0 is the fetching rank, rank 1 owns every
+/// target off-node.
+fn setup() -> (Machine, SharedArray<Arc<PackedSeq>>, Vec<GlobalRef>) {
+    let parts = (0..2)
+        .map(|r| {
+            if r == 0 {
+                Vec::new()
+            } else {
+                (0..TARGETS)
+                    .map(|i| {
+                        let len = 400 + (i * 37) % 1200;
+                        Arc::new(PackedSeq::from_ascii(&lcg_dna(len, i as u64 + 11)))
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+    let targets = SharedArray::from_parts(parts);
+    let mut cfg = MachineConfig::new(2, 1);
+    cfg.sequential = true;
+    let machine = Machine::new(cfg);
+    let mut state = 99u64;
+    let refs = (0..STREAM)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            GlobalRef::new(1, ((state >> 33) as usize) % TARGETS)
+        })
+        .collect();
+    (machine, targets, refs)
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let (mut machine, targets, refs) = setup();
+    let idx = build_seed_index(&mut machine, &BuildConfig::new(9), |r| {
+        std::iter::once(SeedEntry {
+            kmer: Kmer::from_ascii(b"ACGTACGTA").unwrap(),
+            target: GlobalRef::new(r, 0),
+            offset: 0,
+        })
+    });
+    let warm_caches = CacheSet::new(
+        2,
+        &CacheConfig {
+            seed_budget_bytes: 1 << 12,
+            target_budget_bytes: 256 << 20,
+        },
+    );
+    // Pre-fill the warm cache with the full working set.
+    machine.phase("warm", |ctx| {
+        if ctx.rank == 0 {
+            for i in 0..TARGETS {
+                let _ = fetch_target(ctx, &targets, GlobalRef::new(1, i), Some(&warm_caches));
+            }
+        }
+    });
+
+    for (label, caches) in [("cold", None), ("warm", Some(&warm_caches))] {
+        let mut group = c.benchmark_group(format!("fetch_{label}"));
+        group.throughput(Throughput::Elements(refs.len() as u64));
+        group.sample_size(20);
+        group.bench_function("point", |b| {
+            b.iter(|| {
+                machine.clear_phases();
+                let total = machine.phase("bench", |ctx| {
+                    if ctx.rank != 0 {
+                        return 0usize;
+                    }
+                    let mut total = 0usize;
+                    for &gref in &refs {
+                        total += fetch_target(ctx, &targets, gref, caches).len();
+                    }
+                    total
+                });
+                black_box(total)
+            })
+        });
+        for batch in [1usize, 16, 128, 1024, 4096] {
+            group.bench_function(format!("batch{batch}"), |b| {
+                b.iter(|| {
+                    machine.clear_phases();
+                    let total = machine.phase("bench", |ctx| {
+                        if ctx.rank != 0 {
+                            return 0usize;
+                        }
+                        let env = LookupEnv {
+                            index: &idx,
+                            caches,
+                            max_hits: 0,
+                        };
+                        let mut scratch = TargetFetchScratch::default();
+                        let mut out = Vec::new();
+                        let mut total = 0usize;
+                        for chunk in refs.chunks(batch) {
+                            out.clear();
+                            env.fetch_targets_batch_node(
+                                ctx,
+                                &targets,
+                                1,
+                                chunk,
+                                &mut out,
+                                &mut scratch,
+                            );
+                            total += out.iter().map(|s| s.len()).sum::<usize>();
+                        }
+                        total
+                    });
+                    black_box(total)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fetch);
+criterion_main!(benches);

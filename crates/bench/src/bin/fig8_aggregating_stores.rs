@@ -9,7 +9,7 @@
 
 use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, PPN};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
-use meraligner::{run_pipeline, TargetStore};
+use meraligner::{run_pipeline, LookupChunk, TargetStore};
 use pgas::{CommTag, GlobalRef, Machine, MachineConfig};
 use seq::KmerIter;
 
@@ -94,7 +94,8 @@ fn main() {
     // phase, one rung at a time. One full pipeline run per mode; the
     // align phase's seed-lookup message count collapses from ~one per
     // off-rank seed (point) to ~one per (read, owner rank) batch, then to
-    // ~one per (read-chunk, owner node).
+    // ~one per (read-chunk, owner node) — and the chunked mode batches
+    // the extension phase's candidate *target fetches* the same way.
     let cores = ablation_sweep(&cli)[0];
     let qdb = d.reads_seqdb();
     let n_reads = qdb.len().max(1) as f64;
@@ -102,6 +103,31 @@ fn main() {
         "# query-side batching at {cores} cores | reads {}",
         qdb.len()
     );
+    struct ModeStats {
+        mode: &'static str,
+        agg: pgas::RankStats,
+        lookup_comm_s: f64,
+        fetch_comm_s: f64,
+        align_s: f64,
+    }
+    let mut modes = Vec::new();
+    for mode in ["point", "rank-batched", "node-chunked"] {
+        let mut cfg = pipeline_config(&d, cores, cores / PPN);
+        match mode {
+            "point" => cfg.batch_lookups = false,
+            "rank-batched" => cfg.lookup_chunk = LookupChunk::Fixed(0),
+            _ => {} // node-chunked (adaptive chunk) is the default
+        }
+        let res = run_pipeline(&cfg, &tdb, &qdb);
+        let phase = res.align_phase().expect("align phase");
+        modes.push(ModeStats {
+            mode,
+            agg: phase.aggregate(),
+            lookup_comm_s: phase.mean_comm_seconds(CommTag::SeedLookup),
+            fetch_comm_s: phase.mean_comm_seconds(CommTag::TargetFetch),
+            align_s: res.align_seconds(),
+        });
+    }
     header(&[
         "lookup_mode",
         "seed_lookup_msgs",
@@ -111,45 +137,75 @@ fn main() {
         "lookup_comm_s",
         "align_s",
     ]);
-    let mut per_read = Vec::new();
-    let mut node_breakdown: Vec<u64> = Vec::new();
-    for mode in ["point", "rank-batched", "node-chunked"] {
-        let mut cfg = pipeline_config(&d, cores, cores / PPN);
-        match mode {
-            "point" => cfg.batch_lookups = false,
-            "rank-batched" => cfg.lookup_chunk = 0,
-            _ => {} // node-chunked is the default configuration
-        }
-        let res = run_pipeline(&cfg, &tdb, &qdb);
-        let phase = res.align_phase().expect("align phase");
-        let agg = phase.aggregate();
-        let msgs = agg.msgs_for(CommTag::SeedLookup);
-        per_read.push(msgs as f64 / n_reads);
-        if mode == "node-chunked" {
-            node_breakdown = agg.msgs_to_node.clone();
-        }
+    for m in &modes {
+        let msgs = m.agg.msgs_for(CommTag::SeedLookup);
         row(&[
-            mode.to_string(),
+            m.mode.to_string(),
             msgs.to_string(),
             format!("{:.1}", msgs as f64 / n_reads),
-            agg.lookup_batches.to_string(),
-            agg.node_batches.to_string(),
-            fmt_s(phase.mean_comm_seconds(CommTag::SeedLookup)),
-            fmt_s(res.align_seconds()),
+            m.agg.lookup_batches.to_string(),
+            m.agg.node_batches.to_string(),
+            fmt_s(m.lookup_comm_s),
+            fmt_s(m.align_s),
         ]);
     }
+    let lookup_per_read: Vec<f64> = modes
+        .iter()
+        .map(|m| m.agg.msgs_for(CommTag::SeedLookup) as f64 / n_reads)
+        .collect();
     eprintln!(
         "# rank batching cuts seed-lookup messages {:.1}x per read; node chunking {:.1}x more ({:.1}x total)",
-        per_read[0] / per_read[1].max(1e-9),
-        per_read[1] / per_read[2].max(1e-9),
-        per_read[0] / per_read[2].max(1e-9),
+        lookup_per_read[0] / lookup_per_read[1].max(1e-9),
+        lookup_per_read[1] / lookup_per_read[2].max(1e-9),
+        lookup_per_read[0] / lookup_per_read[2].max(1e-9),
     );
+
+    // ---- Target-fetch batching: the extension phase's per-candidate
+    // fetches collapse to one aggregated message per (chunk, node).
+    header(&[
+        "lookup_mode",
+        "target_fetch_msgs",
+        "fetch_msgs_per_read",
+        "target_batches",
+        "fetch_comm_s",
+    ]);
+    for m in &modes {
+        let msgs = m.agg.msgs_for(CommTag::TargetFetch);
+        row(&[
+            m.mode.to_string(),
+            msgs.to_string(),
+            format!("{:.2}", msgs as f64 / n_reads),
+            m.agg.target_batches.to_string(),
+            fmt_s(m.fetch_comm_s),
+        ]);
+    }
+    let fetch_point = modes[0].agg.msgs_for(CommTag::TargetFetch) as f64 / n_reads;
+    let fetch_chunked = modes[2].agg.msgs_for(CommTag::TargetFetch) as f64 / n_reads;
+    let fetch_drop = fetch_point / fetch_chunked.max(1e-9);
+    eprintln!(
+        "# fetch batching cuts target-fetch messages {:.1}x per read vs per-candidate fetching",
+        fetch_drop
+    );
+    // CI smoke assertion: the chunked pipeline must hold a >= 10x
+    // target-fetch message reduction (placements are pinned bit-identical
+    // by the meraligner and dht test suites).
+    assert!(
+        fetch_drop >= 10.0,
+        "target-fetch batching regressed: only {fetch_drop:.1}x below per-candidate fetching"
+    );
+
     // Per-destination-node breakdown of the chunked run's align-phase
-    // messages (all tags): aggregation should spread one batch per node
-    // per chunk rather than hammer any single owner.
+    // messages (all tags) and target-fetch batches: aggregation should
+    // spread one batch per node per chunk rather than hammer one owner.
     eprintln!("# node-chunked align-phase messages by destination node:");
-    header(&["dst_node", "msgs"]);
-    for (node, msgs) in node_breakdown.iter().enumerate() {
-        row(&[node.to_string(), msgs.to_string()]);
+    header(&["dst_node", "msgs", "target_fetch_batches"]);
+    let chunked = &modes[2].agg;
+    for (node, msgs) in chunked.msgs_to_node.iter().enumerate() {
+        let tb = chunked
+            .target_batches_to_node
+            .get(node)
+            .copied()
+            .unwrap_or(0);
+        row(&[node.to_string(), msgs.to_string(), tb.to_string()]);
     }
 }

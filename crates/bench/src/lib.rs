@@ -123,6 +123,18 @@ pub fn pipeline_config(d: &Dataset, cores: usize, min_nodes: usize) -> PipelineC
     cfg
 }
 
+/// Deterministic LCG random DNA, shared by the microbench setups.
+pub fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[((state >> 33) & 3) as usize]
+        })
+        .collect()
+}
+
 /// Format seconds with sensible precision.
 pub fn fmt_s(s: f64) -> String {
     if s >= 100.0 {

@@ -40,5 +40,7 @@ pub use build::{build_seed_index, BuildAlgorithm, BuildConfig};
 pub use cache::{CacheConfig, CacheSet, NodeCaches, SeedCache, TargetCache};
 pub use entry::{seed_owner, seed_wire_bytes, SeedEntry, TargetHit};
 pub use frozen::{FrozenPartition, HitSpan, ProbeScratch};
-pub use lookup::{fetch_target, BatchScratch, LookupEnv, NodeBatchScratch, SeedProbe};
+pub use lookup::{
+    fetch_target, BatchScratch, LookupEnv, NodeBatchScratch, SeedProbe, TargetFetchScratch,
+};
 pub use partition::{Partition, SeedIndex};

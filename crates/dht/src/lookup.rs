@@ -30,6 +30,18 @@ const BATCH_REQ_BYTES_PER_SEED: u64 = 8;
 /// the point lookup's `LOOKUP_RESP_HEADER`.
 const BATCH_RESP_BYTES_PER_SEED: u64 = 4;
 
+/// Fixed per-response header bytes for an aggregated target fetch.
+const FETCH_RESP_HEADER: u64 = 4;
+
+/// Request bytes per candidate ref in a node-batched target fetch (the
+/// `GlobalRef` the owner reads the sequence through). A point fetch is a
+/// one-sided get and ships no key; a batch is an RPC-style exchange and
+/// pays for the refs it aggregates.
+const FETCH_REQ_BYTES_PER_REF: u64 = 8;
+
+/// Per-ref response sub-header (sequence length) in a batched target fetch.
+const FETCH_RESP_BYTES_PER_REF: u64 = 4;
+
 /// A bound lookup environment: index + optional caches + sensitivity cap.
 pub struct LookupEnv<'a> {
     /// The distributed seed index.
@@ -374,6 +386,107 @@ impl LookupEnv<'_> {
         (wire_seeds, payload)
     }
 
+    /// Node-batched target fetch: all candidate target `refs` of one chunk
+    /// of reads owned by any rank of `node`, resolved with at most **one**
+    /// message per (chunk, node) — the extension-phase mirror of
+    /// [`LookupEnv::lookup_batch_node`], closing the paper's
+    /// `C·(t_fetch + t_SW)` fetch term the same way the lookups were
+    /// closed. The caller groups refs by owner node and deduplicates
+    /// repeats across the chunk (a duplicate ref in one batch is fetched
+    /// twice where N point fetches would hit the cache on the repeat —
+    /// contents end identical, cache-hit counters lower-bound the point
+    /// path's).
+    ///
+    /// Results and final node-cache contents match issuing [`fetch_target`]
+    /// once per ref in the same order: self-owned refs are free, same-node
+    /// heaps are read directly (one aggregated *local* message for the
+    /// off-rank portion, its size the summed packed payload), and off-node
+    /// refs probe the node target cache per ref with only the misses
+    /// aggregated into the single remote exchange — per-seq payload bytes
+    /// summed into the message size plus 8 request + 4 response bytes per
+    /// ref — and filled back in **input order**, so the direct-mapped
+    /// cache's final occupant of every slot (and the byte-budget skip
+    /// sequence) is bit-identical to those equally-ordered point fetches.
+    /// (A caller that regroups its fetch stream — the chunked pipeline
+    /// orders refs by owner node — inherits that regrouped order as its
+    /// cache-fill order; equivalence is per the order actually issued.)
+    /// One `Arc<PackedSeq>` per ref is appended to `out` (input order).
+    pub fn fetch_targets_batch_node(
+        &self,
+        ctx: &mut RankCtx,
+        targets: &SharedArray<Arc<PackedSeq>>,
+        node: usize,
+        refs: &[GlobalRef],
+        out: &mut Vec<Arc<PackedSeq>>,
+        scratch: &mut TargetFetchScratch,
+    ) {
+        if refs.is_empty() {
+            return;
+        }
+        debug_assert!(refs
+            .iter()
+            .all(|r| ctx.topo().node_of(r.rank as usize) == node));
+        let base = out.len();
+
+        if node == ctx.node() || self.caches.is_none() {
+            // Every owner heap on `node` is read directly; the
+            // off-self-rank portion pays one aggregated message.
+            let (mut wire_refs, mut payload) = (0u64, 0u64);
+            for &gref in refs {
+                let seq = targets.get(gref);
+                if gref.rank as usize != ctx.rank {
+                    wire_refs += 1;
+                    payload += seq.packed_bytes() as u64;
+                }
+                out.push(Arc::clone(seq));
+            }
+            if wire_refs > 0 {
+                let bytes = FETCH_RESP_HEADER
+                    + wire_refs * (FETCH_REQ_BYTES_PER_REF + FETCH_RESP_BYTES_PER_REF)
+                    + payload;
+                let dst = ctx.topo().lead_rank(node);
+                ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
+            }
+            return;
+        }
+
+        // Off-node with caches: per-ref target-cache probe, misses
+        // aggregated into the single node-addressed exchange, fills in
+        // input order.
+        let caches = self.caches.expect("checked above");
+        let nc = caches.node(ctx.node());
+        scratch.miss.clear();
+        let (mut wire_refs, mut payload) = (0u64, 0u64);
+        for (i, &gref) in refs.iter().enumerate() {
+            ctx.charge_cache_probe(1);
+            if let Some(seq) = nc.target.probe(gref) {
+                ctx.note_target_cache(true);
+                out.push(seq);
+            } else {
+                ctx.note_target_cache(false);
+                let seq = targets.get(gref);
+                wire_refs += 1;
+                payload += seq.packed_bytes() as u64;
+                out.push(Arc::clone(seq));
+                scratch.miss.push(i as u32);
+            }
+        }
+        if wire_refs > 0 {
+            let bytes = FETCH_RESP_HEADER
+                + wire_refs * (FETCH_REQ_BYTES_PER_REF + FETCH_RESP_BYTES_PER_REF)
+                + payload;
+            let dst = ctx.topo().lead_rank(node);
+            ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
+            // Fill in input order: the direct-mapped cache's final occupant
+            // of a contended slot — and the budget accountant's skip
+            // decisions — must match N point fetches.
+            for &i in &scratch.miss {
+                let gref = refs[i as usize];
+                nc.target.fill(gref, Arc::clone(&out[base + i as usize]));
+            }
+        }
+    }
+
     /// Apply `max_hits` to every span of this batch and count found seeds.
     fn cap_spans(&self, spans: &mut [HitSpan], base: usize) -> usize {
         let mut found = 0usize;
@@ -436,6 +549,14 @@ pub struct NodeBatchScratch {
     /// Input slots of cache-missing seeds, in input order (cache-fill
     /// order must match the point path).
     miss_inputs: Vec<u32>,
+}
+
+/// Reusable scratch for [`LookupEnv::fetch_targets_batch_node`].
+#[derive(Default)]
+pub struct TargetFetchScratch {
+    /// Input slots of cache-missing refs, in input order (cache-fill order
+    /// must match the point path).
+    miss: Vec<u32>,
 }
 
 /// Fetch a target sequence through the same locality hierarchy: local part →
@@ -669,6 +790,86 @@ mod tests {
                 assert_eq!(c.len(), 40);
                 assert_eq!(ctx.stats().msgs_remote, 1);
             }
+        });
+    }
+
+    #[test]
+    fn fetch_batch_matches_point_fetches_and_charges_once() {
+        let (mut machine, idx, targets) = setup();
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("fetch-batch", |ctx| {
+            if ctx.rank != 0 {
+                return;
+            }
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            let mut scratch = TargetFetchScratch::default();
+            let mut out = Vec::new();
+            // Node 1 group: ranks 2 and 3 — off-node, both cold misses,
+            // one aggregated message.
+            let offnode = [GlobalRef::new(2, 0), GlobalRef::new(3, 0)];
+            env.fetch_targets_batch_node(ctx, &targets, 1, &offnode, &mut out, &mut scratch);
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].to_ascii(), targets.get(offnode[0]).to_ascii());
+            assert_eq!(out[1].to_ascii(), targets.get(offnode[1]).to_ascii());
+            assert_eq!(ctx.stats().msgs_remote, 1);
+            assert_eq!(ctx.stats().target_batches, 1);
+            assert_eq!(ctx.stats().target_batch_refs, 2);
+            assert_eq!(ctx.stats().target_cache_misses, 2);
+            let payload = out[0].packed_bytes() as u64 + out[1].packed_bytes() as u64;
+            assert_eq!(
+                ctx.stats().bytes_remote,
+                FETCH_RESP_HEADER
+                    + 2 * (FETCH_REQ_BYTES_PER_REF + FETCH_RESP_BYTES_PER_REF)
+                    + payload
+            );
+            // A repeat batch hits the cache: no further messages.
+            out.clear();
+            env.fetch_targets_batch_node(ctx, &targets, 1, &offnode, &mut out, &mut scratch);
+            assert_eq!(ctx.stats().msgs_remote, 1);
+            assert_eq!(ctx.stats().target_batches, 1);
+            assert_eq!(ctx.stats().target_cache_hits, 2);
+            // Self-node group: rank 0 is free, rank 1 rides one aggregated
+            // local message; the cache is never touched.
+            out.clear();
+            let cache_probes = ctx.stats().target_cache_hits + ctx.stats().target_cache_misses;
+            let selfnode = [GlobalRef::new(0, 0), GlobalRef::new(1, 0)];
+            env.fetch_targets_batch_node(ctx, &targets, 0, &selfnode, &mut out, &mut scratch);
+            assert_eq!(out.len(), 2);
+            assert_eq!(ctx.stats().msgs_local, 1);
+            assert_eq!(ctx.stats().target_batches, 2);
+            assert_eq!(ctx.stats().target_batch_refs, 3);
+            assert_eq!(
+                ctx.stats().target_cache_hits + ctx.stats().target_cache_misses,
+                cache_probes
+            );
+        });
+    }
+
+    #[test]
+    fn fetch_batch_without_caches_aggregates_everything() {
+        let (mut machine, idx, targets) = setup();
+        machine.phase("fetch-nocache", |ctx| {
+            if ctx.rank != 0 {
+                return;
+            }
+            let env = LookupEnv {
+                index: &idx,
+                caches: None,
+                max_hits: 0,
+            };
+            let mut scratch = TargetFetchScratch::default();
+            let mut out = Vec::new();
+            let refs = [GlobalRef::new(2, 0), GlobalRef::new(3, 0)];
+            env.fetch_targets_batch_node(ctx, &targets, 1, &refs, &mut out, &mut scratch);
+            env.fetch_targets_batch_node(ctx, &targets, 1, &refs, &mut out, &mut scratch);
+            // No cache: every batch pays its message, none are absorbed.
+            assert_eq!(ctx.stats().msgs_remote, 2);
+            assert_eq!(ctx.stats().target_batches, 2);
+            assert_eq!(out.len(), 4);
         });
     }
 

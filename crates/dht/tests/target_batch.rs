@@ -1,0 +1,190 @@
+//! Property tests for the node-batched target-fetch path:
+//!
+//! `LookupEnv::fetch_targets_batch_node` driven the way the aligner's
+//! chunked pipeline drives it — chunk the candidate-ref stream, group each
+//! chunk by owner node, deduplicate repeated refs — must return sequences,
+//! and leave **target-cache contents** (occupants *and* the byte-budget
+//! accountant), identical to issuing N point `fetch_target` calls in the
+//! same node-grouped order, across cache budgets, node shapes
+//! (ppn ∈ {1, 3, 6}), and chunk sizes including 1 and > #refs, while never
+//! sending more messages.
+//!
+//! The fill sequence of the batch path (misses in input order, per node
+//! group) is exactly the fill sequence of the equally-ordered point
+//! fetches, so the comparison holds for every slot — contended or not —
+//! and for every budget, including ones small enough that some fills are
+//! skipped.
+
+use std::sync::Arc;
+
+use dht::{
+    build_seed_index, fetch_target, BuildConfig, CacheConfig, CacheSet, LookupEnv, SeedEntry,
+    TargetFetchScratch,
+};
+use pgas::{GlobalRef, Machine, MachineConfig};
+use proptest::prelude::*;
+use seq::{Kmer, PackedSeq};
+
+const K: usize = 9;
+const RANKS: usize = 6;
+
+fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[((state >> 33) & 3) as usize]
+        })
+        .collect()
+}
+
+/// Per-rank target heaps with varied sequence lengths (so budget skips
+/// trigger at different refs).
+fn make_targets(per_rank: &[Vec<u16>]) -> pgas::SharedArray<Arc<PackedSeq>> {
+    let parts = per_rank
+        .iter()
+        .enumerate()
+        .map(|(r, lens)| {
+            lens.iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    Arc::new(PackedSeq::from_ascii(&lcg_dna(
+                        usize::from(len) + K,
+                        (r * 1000 + i) as u64 + 7,
+                    )))
+                })
+                .collect()
+        })
+        .collect();
+    pgas::SharedArray::from_parts(parts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn node_fetch_batches_agree_with_point_fetches(
+        lens in proptest::collection::vec(
+            proptest::collection::vec(20u16..400, 1..4), RANKS..=RANKS),
+        picks in proptest::collection::vec((0usize..RANKS, 0usize..4), 1..60),
+        ppn_sel in 0usize..3,
+        chunk_sel in 0usize..3,
+        budget_sel in 0usize..3,
+    ) {
+        let ppn = [1usize, 3, 6][ppn_sel];
+        // Tiny (skips + evictions), small, ample.
+        let target_budget = [96usize, 1 << 10, 1 << 20][budget_sel];
+        let targets = make_targets(&lens);
+        let refs: Vec<GlobalRef> = picks
+            .iter()
+            .map(|&(r, i)| GlobalRef::new(r, i % lens[r].len()))
+            .collect();
+        let chunk = [1usize, 7, refs.len() + 5][chunk_sel];
+
+        let mut machine = Machine::new(MachineConfig {
+            ranks: RANKS,
+            ppn,
+            cost: Default::default(),
+            sequential: true,
+        });
+        // A minimal index: LookupEnv requires one, fetches never touch it.
+        let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
+            std::iter::once(SeedEntry {
+                kmer: Kmer::from_ascii(b"ACGTACGTA").unwrap(),
+                target: GlobalRef::new(r, 0),
+                offset: 0,
+            })
+        });
+        let nodes = machine.topo().nodes();
+        let cache_cfg = CacheConfig {
+            seed_budget_bytes: 1 << 12,
+            target_budget_bytes: target_budget,
+        };
+        let caches_point = CacheSet::new(nodes, &cache_cfg);
+        let caches_batch = CacheSet::new(nodes, &cache_cfg);
+        let topo = machine.topo();
+
+        // The chunked pipeline's order: per chunk, refs grouped by owner
+        // node (stable within a group), repeats deduplicated per group.
+        // Both paths perform their fetches in exactly this order.
+        let mut grouped: Vec<(usize, Vec<GlobalRef>)> = Vec::new();
+        for chunk_refs in refs.chunks(chunk) {
+            for node in 0..nodes {
+                let mut group: Vec<GlobalRef> = Vec::new();
+                for &gref in chunk_refs {
+                    if topo.node_of(gref.rank as usize) == node && !group.contains(&gref) {
+                        group.push(gref);
+                    }
+                }
+                if !group.is_empty() {
+                    grouped.push((node, group));
+                }
+            }
+        }
+
+        // Point path: fetch_target per ref, in the grouped order.
+        let point_results = machine.phase("point", |ctx| {
+            let mut results: Vec<Vec<u8>> = Vec::new();
+            for (_, group) in &grouped {
+                for &gref in group {
+                    let seq = fetch_target(ctx, &targets, gref, Some(&caches_point));
+                    results.push(seq.to_ascii());
+                }
+            }
+            results
+        });
+
+        // Batch path: one fetch_targets_batch_node per (chunk, node) group.
+        let batch_results = machine.phase("batch", |ctx| {
+            let env = LookupEnv { index: &idx, caches: Some(&caches_batch), max_hits: 0 };
+            let mut scratch = TargetFetchScratch::default();
+            let mut results: Vec<Vec<u8>> = Vec::new();
+            let mut out = Vec::new();
+            for (node, group) in &grouped {
+                out.clear();
+                env.fetch_targets_batch_node(ctx, &targets, *node, group, &mut out, &mut scratch);
+                results.extend(out.iter().map(|s| s.to_ascii()));
+            }
+            results
+        });
+
+        // Identical sequences on every rank.
+        for (rank, (p, b)) in point_results.iter().zip(&batch_results).enumerate() {
+            prop_assert_eq!(p.len(), b.len());
+            for (i, (ps, bs)) in p.iter().zip(b).enumerate() {
+                prop_assert_eq!(ps, bs, "sequence differs: rank {} fetch {}", rank, i);
+            }
+        }
+
+        // Identical target-cache contents: every distinct ref resolves the
+        // same way (the fill sequences were identical, so this holds even
+        // on contended slots and under budget-induced skips), and the byte
+        // accountant agrees.
+        for n in 0..nodes {
+            let pc = &caches_point.node(n).target;
+            let bc = &caches_batch.node(n).target;
+            prop_assert_eq!(pc.used_bytes(), bc.used_bytes(), "used bytes differ on node {}", n);
+            for &gref in &refs {
+                let p = pc.probe(gref).map(|s| s.to_ascii());
+                let b = bc.probe(gref).map(|s| s.to_ascii());
+                prop_assert_eq!(p, b, "cached occupant differs on node {} for {:?}", n, gref);
+            }
+        }
+
+        // Fetch batching must never send more messages than the point
+        // path, and every aggregated message must be a target batch.
+        let agg = |name: &str| {
+            let a = machine.phase_named(name).unwrap().aggregate();
+            (a.msgs_local + a.msgs_remote, a.target_batches)
+        };
+        let (point_msgs, point_tb) = agg("point");
+        let (batch_msgs, batch_tb) = agg("batch");
+        prop_assert_eq!(point_tb, 0);
+        prop_assert!(
+            batch_msgs <= point_msgs,
+            "fetch batching sent more messages: {} > {}", batch_msgs, point_msgs
+        );
+        prop_assert_eq!(batch_tb, batch_msgs, "every batched message is a target batch");
+    }
+}

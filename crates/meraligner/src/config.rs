@@ -6,6 +6,35 @@ use align::{Engine, Scoring};
 use dht::{BuildAlgorithm, CacheConfig};
 use pgas::CostModel;
 
+/// Granularity of the chunked, node-aware lookup/fetch aggregation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupChunk {
+    /// Derive the reads-per-chunk from the cost model (α/β), the machine
+    /// shape (ranks per node), and the observed seeds per read, so the
+    /// per-(chunk, node) batch fill factor stays near-optimal across
+    /// scales. See [`PipelineConfig::effective_lookup_chunk`].
+    Auto,
+    /// Fixed reads per chunk. `Fixed(0)` falls back to PR-1's
+    /// per-(read, owner-rank) batching.
+    Fixed(usize),
+}
+
+/// `Auto` floor: below this the per-chunk scratch reuse stops paying.
+const AUTO_CHUNK_MIN: usize = 16;
+
+/// `Auto` ceiling: bounds per-chunk scratch memory (hits/candidate arenas
+/// and the prefetched target table are O(chunk)).
+const AUTO_CHUNK_MAX: usize = 2048;
+
+/// Typical wire bytes one seed contributes to a node batch: 8 request key
+/// + 4 response sub-header + one short hit payload.
+const AUTO_WIRE_BYTES_PER_SEED: f64 = 24.0;
+
+/// Target payload-to-latency ratio of one (chunk, node) batch: the chunk
+/// is sized so α shrinks to ~1/50 of the batch's β cost, past which
+/// growing the chunk buys little but memory.
+const AUTO_FILL_FACTOR: f64 = 50.0;
+
 /// Full configuration of one merAligner run.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
@@ -69,13 +98,17 @@ pub struct PipelineConfig {
     /// simulated align time) changes. See [`PipelineConfig::lookup_chunk`]
     /// for the aggregation granularity.
     pub batch_lookups: bool,
-    /// Reads per aggregation chunk when `batch_lookups` is on. `> 0`
-    /// selects the **chunked, node-aware** pipeline: all seeds of a chunk
-    /// of reads are collected, deduplicated, grouped by owner *node*, and
-    /// resolved with one aggregated message per (chunk, node) — with the
-    /// exact-match fast path's probes folded into the chunk's first
-    /// batch. `0` falls back to PR-1's per-(read, owner-rank) batching.
-    pub lookup_chunk: usize,
+    /// Reads per aggregation chunk when `batch_lookups` is on. Anything
+    /// but `Fixed(0)` selects the **chunked, node-aware** pipeline: all
+    /// seeds of a chunk of reads are collected, deduplicated, grouped by
+    /// owner *node*, and resolved with one aggregated message per
+    /// (chunk, node) — with the exact-match fast path's probes folded into
+    /// the chunk's first batch, and the chunk's candidate *target fetches*
+    /// batched per (chunk, node) the same way. [`LookupChunk::Auto`] (the
+    /// default) derives the chunk size from the cost model and machine
+    /// shape; `Fixed(0)` falls back to PR-1's per-(read, owner-rank)
+    /// batching.
+    pub lookup_chunk: LookupChunk,
 
     // ---- §IV-C: sensitivity threshold ----
     /// Maximum candidate alignments per seed (0 = unlimited).
@@ -112,7 +145,7 @@ impl PipelineConfig {
             load_balance: true,
             permute_seed: 0x5EED,
             batch_lookups: true,
-            lookup_chunk: 64,
+            lookup_chunk: LookupChunk::Auto,
             max_hits_per_seed: 256,
             collect_alignments: false,
         }
@@ -134,7 +167,29 @@ impl PipelineConfig {
     /// Whether the align phase runs the chunked, node-aware lookup
     /// pipeline (vs per-read batches or point lookups).
     pub fn chunked_lookups(&self) -> bool {
-        self.batch_lookups && self.lookup_chunk > 0
+        self.batch_lookups && self.lookup_chunk != LookupChunk::Fixed(0)
+    }
+
+    /// The reads-per-chunk the align phase actually uses, given the mean
+    /// number of seeds one read contributes (both strands, stride
+    /// applied). `Fixed` passes through; `Auto` sizes the chunk so one
+    /// (chunk, node) batch carries enough seed payload for the α term of
+    /// its message to shrink to ~1/[`AUTO_FILL_FACTOR`] of the β term —
+    /// the fill factor then stays near-optimal whether the run has 2
+    /// nodes or 640, short reads or long.
+    pub fn effective_lookup_chunk(&self, seeds_per_read: f64) -> usize {
+        match self.lookup_chunk {
+            LookupChunk::Fixed(n) => n,
+            LookupChunk::Auto => {
+                let nodes = self.ranks.div_ceil(self.ppn.max(1)).max(1);
+                let seeds_per_batch = AUTO_FILL_FACTOR * self.cost.alpha_remote_ns
+                    / (self.cost.beta_remote_ns_per_byte * AUTO_WIRE_BYTES_PER_SEED);
+                // A chunk's seeds spread over all nodes: scale the target
+                // back up by the node count, then down to reads.
+                let chunk = (seeds_per_batch * nodes as f64 / seeds_per_read.max(1.0)).ceil();
+                (chunk as usize).clamp(AUTO_CHUNK_MIN, AUTO_CHUNK_MAX)
+            }
+        }
     }
 
     /// The extension configuration implied by this pipeline configuration.
@@ -157,7 +212,7 @@ mod tests {
         assert!(c.aggregating_stores);
         assert!(c.batch_lookups);
         assert!(c.chunked_lookups());
-        assert!(c.lookup_chunk > 0);
+        assert_eq!(c.lookup_chunk, LookupChunk::Auto);
         assert!(c.use_caches);
         assert!(c.exact_match_opt);
         assert!(c.fragment_targets);
@@ -169,14 +224,34 @@ mod tests {
     #[test]
     fn chunked_lookups_requires_both_knobs() {
         let mut c = PipelineConfig::new(8, 4, 21);
-        c.lookup_chunk = 0;
+        c.lookup_chunk = LookupChunk::Fixed(0);
         assert!(!c.chunked_lookups(), "chunk 0 falls back to rank batches");
-        c.lookup_chunk = 64;
+        c.lookup_chunk = LookupChunk::Fixed(64);
         c.batch_lookups = false;
         assert!(
             !c.chunked_lookups(),
             "batch_lookups off falls back to point"
         );
+    }
+
+    #[test]
+    fn auto_chunk_tracks_machine_shape() {
+        let mut c = PipelineConfig::new(48, 24, 51);
+        let two_nodes = c.effective_lookup_chunk(102.0);
+        assert!((AUTO_CHUNK_MIN..=AUTO_CHUNK_MAX).contains(&two_nodes));
+        // More nodes at the same ppn ⇒ a chunk's seeds spread thinner per
+        // node ⇒ the chunk grows (until the ceiling).
+        c.ranks = 192;
+        let eight_nodes = c.effective_lookup_chunk(102.0);
+        assert!(eight_nodes >= two_nodes, "{eight_nodes} < {two_nodes}");
+        // Longer reads (more seeds each) need fewer reads per chunk.
+        c.ranks = 48;
+        assert!(c.effective_lookup_chunk(500.0) <= two_nodes);
+        // Fixed passes through; degenerate observations stay clamped.
+        c.lookup_chunk = LookupChunk::Fixed(7);
+        assert_eq!(c.effective_lookup_chunk(102.0), 7);
+        c.lookup_chunk = LookupChunk::Auto;
+        assert!(c.effective_lookup_chunk(0.0) <= AUTO_CHUNK_MAX);
     }
 
     #[test]

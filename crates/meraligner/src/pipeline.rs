@@ -227,10 +227,25 @@ pub fn run_pipeline(
             let reads = &reads_ref[ctx.rank];
             if cfg.chunked_lookups() {
                 // Chunked, node-aware aggregation: one batch per
-                // (chunk, owner node) per stage.
+                // (chunk, owner node) per stage. `Auto` derives the chunk
+                // from α/β, the node count, and this rank's observed
+                // seeds per read (cheap: read lengths only).
+                let seeds_per_read = if reads.is_empty() {
+                    0.0
+                } else {
+                    let stride = cfg.seed_stride.max(1);
+                    reads
+                        .iter()
+                        .map(|(_, r)| {
+                            (2 * (r.len() + 1).saturating_sub(cfg.k).div_ceil(stride)) as f64
+                        })
+                        .sum::<f64>()
+                        / reads.len() as f64
+                };
+                let chunk_reads = cfg.effective_lookup_chunk(seeds_per_read).max(1);
                 let mut scratch = ChunkScratch::default();
                 let mut outcomes: Vec<QueryOutcome> = Vec::new();
-                for chunk in reads.chunks(cfg.lookup_chunk) {
+                for chunk in reads.chunks(chunk_reads) {
                     process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
                     for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..)) {
                         acc.record(store_ref, cfg, *orig_idx, outcome);
@@ -287,6 +302,7 @@ pub fn run_pipeline(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::LookupChunk;
     use genome::{human_like, Dataset};
 
     fn tiny() -> Dataset {
@@ -371,8 +387,8 @@ mod tests {
                 }
                 3 => cfg.fragment_targets = false,
                 4 => cfg.batch_lookups = false,
-                5 => cfg.lookup_chunk = 0, // per-(read, rank) batches
-                6 => cfg.lookup_chunk = usize::MAX, // one chunk per rank
+                5 => cfg.lookup_chunk = LookupChunk::Fixed(0), // per-(read, rank) batches
+                6 => cfg.lookup_chunk = LookupChunk::Fixed(usize::MAX), // one chunk per rank
                 _ => unreachable!(),
             }
             let res = run(&d, &cfg);
@@ -410,7 +426,7 @@ mod tests {
         let mut point_cfg = base_cfg(&d, 8);
         point_cfg.batch_lookups = false;
         let mut rank_cfg = base_cfg(&d, 8);
-        rank_cfg.lookup_chunk = 0; // per-(read, owner-rank) fallback
+        rank_cfg.lookup_chunk = LookupChunk::Fixed(0); // per-(read, owner-rank) fallback
         let chunk_cfg = base_cfg(&d, 8); // default: chunked node batches
         let msgs = |cfg: &PipelineConfig| {
             let res = run(&d, cfg);
@@ -445,32 +461,64 @@ mod tests {
 
     #[test]
     fn chunked_lookups_match_rank_batches_exactly() {
-        // The chunked node-aware path preserves per-seed results and
-        // extension order exactly, so placements must be bit-identical to
-        // the per-(read, owner-rank) fallback — across node shapes and
-        // chunk sizes including 1 and > #reads.
+        // The chunked node-aware path preserves per-seed results,
+        // fetched target bytes, and extension order exactly, so
+        // placements must be bit-identical to the per-(read, owner-rank)
+        // fallback — across node shapes and chunk sizes including 1,
+        // adaptive, and > #reads.
         let d = human_like(0.0015, 4242);
         let tdb = d.contigs_seqdb();
         let qdb = d.reads_seqdb();
         for ppn in [1usize, 6, 24] {
             let mut reference = PipelineConfig::new(12, ppn, d.k);
             reference.sequential = false;
-            reference.lookup_chunk = 0;
+            reference.lookup_chunk = LookupChunk::Fixed(0);
             let ref_res = run_pipeline(&reference, &tdb, &qdb);
-            for chunk in [1usize, 7, usize::MAX] {
+            let chunks = [
+                LookupChunk::Fixed(1),
+                LookupChunk::Fixed(7),
+                LookupChunk::Auto,
+                LookupChunk::Fixed(usize::MAX),
+            ];
+            for chunk in chunks {
                 let mut cfg = reference.clone();
                 cfg.lookup_chunk = chunk;
                 let res = run_pipeline(&cfg, &tdb, &qdb);
                 assert_eq!(
                     res.placements, ref_res.placements,
-                    "placements diverged at ppn {ppn} chunk {chunk}"
+                    "placements diverged at ppn {ppn} chunk {chunk:?}"
                 );
                 assert_eq!(res.exact_path_reads, ref_res.exact_path_reads);
                 assert_eq!(res.alignments_total, ref_res.alignments_total);
                 let agg = res.align_phase().unwrap().aggregate();
                 assert!(agg.node_batches > 0, "chunked run must node-batch");
+                assert!(
+                    agg.target_batches > 0,
+                    "chunked run must batch target fetches"
+                );
             }
         }
+    }
+
+    #[test]
+    fn chunking_cuts_target_fetch_messages() {
+        let d = tiny();
+        let mut point_cfg = base_cfg(&d, 8);
+        point_cfg.lookup_chunk = LookupChunk::Fixed(0); // per-candidate fetches
+        let chunk_cfg = base_cfg(&d, 8); // default: chunked fetch batches
+        let fetches = |cfg: &PipelineConfig| {
+            let res = run(&d, cfg);
+            let agg = res.align_phase().expect("align phase").aggregate();
+            (agg.msgs_for(pgas::CommTag::TargetFetch), agg.target_batches)
+        };
+        let (point_msgs, point_tb) = fetches(&point_cfg);
+        let (chunk_msgs, chunk_tb) = fetches(&chunk_cfg);
+        assert_eq!(point_tb, 0);
+        assert!(chunk_tb > 0, "chunked run must batch target fetches");
+        assert!(
+            chunk_msgs * 4 < point_msgs,
+            "fetch batching must slash target-fetch messages: {chunk_msgs} vs {point_msgs}"
+        );
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Per-query alignment: the exact-match fast path and the general
 //! seed-lookup-extend loop of Algorithm 1.
 
+use std::sync::Arc;
+
 use align::{align_window, Alignment, CigarOp, Engine, Strand};
-use dht::{fetch_target, BatchScratch, HitSpan, LookupEnv, NodeBatchScratch, SeedProbe, TargetHit};
+use dht::{
+    fetch_target, BatchScratch, HitSpan, LookupEnv, NodeBatchScratch, SeedProbe,
+    TargetFetchScratch, TargetHit,
+};
 use pgas::{GlobalRef, RankCtx};
 use seq::{kmer_at, Kmer, KmerIter, PackedSeq};
 
@@ -47,8 +52,10 @@ struct SeedReq {
 #[derive(Default)]
 pub struct QueryScratch {
     hits: Vec<TargetHit>,
-    /// All candidate positions of the query (both strands).
-    cands: Vec<CandHit>,
+    /// All candidate positions of the query (both strands), keyed by read
+    /// slot (always 0 on the per-read path; the chunked path shares the
+    /// walk over multi-read slices).
+    cands: Vec<(u32, CandHit)>,
     /// De-duplication of reported alignments.
     reported: Vec<(GlobalRef, u32, u32, bool)>,
     /// Extracted seeds of the read, later grouped by owner rank.
@@ -168,13 +175,16 @@ pub fn process_query(
             );
             for (req, span) in reqs[i..j].iter().zip(&scratch.batch_spans) {
                 for hit in &scratch.batch_hits[span.range()] {
-                    scratch.cands.push(CandHit {
-                        target: hit.target,
-                        reverse: req.reverse,
-                        diag: i64::from(hit.offset) - i64::from(req.q_off),
-                        q_off: req.q_off,
-                        t_off: hit.offset,
-                    });
+                    scratch.cands.push((
+                        0,
+                        CandHit {
+                            target: hit.target,
+                            reverse: req.reverse,
+                            diag: i64::from(hit.offset) - i64::from(req.q_off),
+                            q_off: req.q_off,
+                            t_off: hit.offset,
+                        },
+                    ));
                 }
             }
             i = j;
@@ -185,13 +195,16 @@ pub fn process_query(
                 continue;
             }
             for hit in &scratch.hits {
-                scratch.cands.push(CandHit {
-                    target: hit.target,
-                    reverse: req.reverse,
-                    diag: i64::from(hit.offset) - i64::from(req.q_off),
-                    q_off: req.q_off,
-                    t_off: hit.offset,
-                });
+                scratch.cands.push((
+                    0,
+                    CandHit {
+                        target: hit.target,
+                        reverse: req.reverse,
+                        diag: i64::from(hit.offset) - i64::from(req.q_off),
+                        q_off: req.q_off,
+                        t_off: hit.offset,
+                    },
+                ));
             }
         }
     }
@@ -204,20 +217,45 @@ pub fn process_query(
     // identical whichever lookup path filled `cands`.
     scratch
         .cands
-        .sort_unstable_by_key(|c| (c.target, c.reverse, c.diag, c.q_off, c.t_off));
+        .sort_unstable_by_key(|(_, c)| (c.target, c.reverse, c.diag, c.q_off, c.t_off));
     let cands = std::mem::take(&mut scratch.cands);
+    extend_read_candidates(ctx, actx, &cands, read, &rc, None, scratch, &mut outcome);
+    scratch.cands = cands;
+    outcome
+}
+
+/// The extension walk over one read's sorted candidate slice (lines
+/// 11–12): group by (target, strand), fetch each group's target **once**,
+/// cluster diagonals, and extend each cluster — the candidate-group walk
+/// shared by the per-read and chunked paths. `table` carries the chunk's
+/// prefetched targets (`None` = point fetches through the cache
+/// hierarchy).
+#[allow(clippy::too_many_arguments)]
+fn extend_read_candidates(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    cands: &[(u32, CandHit)],
+    read: &PackedSeq,
+    rc: &PackedSeq,
+    table: Option<&TargetTable>,
+    scratch: &mut QueryScratch,
+    outcome: &mut QueryOutcome,
+) {
+    debug_assert!(cands.windows(2).all(|w| w[0].0 == w[1].0), "one read slot");
     let mut i = 0usize;
     while i < cands.len() {
-        let head = cands[i];
+        let head = cands[i].1;
         // All candidates on this (target, strand).
         let mut j = i;
-        while j < cands.len() && cands[j].target == head.target && cands[j].reverse == head.reverse
+        while j < cands.len()
+            && cands[j].1.target == head.target
+            && cands[j].1.reverse == head.reverse
         {
             j += 1;
         }
-        let target = fetch_target(ctx, &actx.store.seqs, head.target, actx.env.caches);
+        let target = fetch_candidate_target(ctx, actx, head.target, table);
         let codes = if head.reverse {
-            align::dna_codes(&rc)
+            align::dna_codes(rc)
         } else {
             align::dna_codes(read)
         };
@@ -226,29 +264,49 @@ pub fn process_query(
         let mut c = i;
         while c < j {
             let mut e = c;
-            while e + 1 < j && cands[e + 1].diag - cands[e].diag <= read.len() as i64 {
+            while e + 1 < j && cands[e + 1].1.diag - cands[e].1.diag <= read.len() as i64 {
                 e += 1;
             }
-            let span_extra = (cands[e].diag - cands[c].diag) as usize;
+            let span_extra = (cands[e].1.diag - cands[c].1.diag) as usize;
             extend_candidate(
                 ctx,
                 actx,
                 &codes,
                 &target,
-                cands[c].q_off as usize,
-                cands[c].t_off as usize,
+                cands[c].1.q_off as usize,
+                cands[c].1.t_off as usize,
                 span_extra,
                 head.target,
                 head.reverse,
                 scratch,
-                &mut outcome,
+                outcome,
             );
             c = e + 1;
         }
         i = j;
     }
-    scratch.cands = cands;
-    outcome
+}
+
+/// Resolve one candidate target sequence: from the chunk's prefetched
+/// table when one is in force, else through the point [`fetch_target`]
+/// locality hierarchy — the single target-fetch call site shared by the
+/// exact-match and extension paths.
+fn fetch_candidate_target(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    gref: GlobalRef,
+    table: Option<&TargetTable>,
+) -> Arc<PackedSeq> {
+    if let Some(table) = table {
+        if let Some(seq) = table.get(gref) {
+            return Arc::clone(seq);
+        }
+        debug_assert!(
+            false,
+            "candidate target missing from the chunk's prefetch table"
+        );
+    }
+    fetch_target(ctx, &actx.store.seqs, gref, actx.env.caches)
 }
 
 /// Run one extension over a diagonal band, charge its DP cells, and record
@@ -330,6 +388,93 @@ struct ChunkReq {
     kmer: Kmer,
 }
 
+/// The chunk-level prefetched target table: every distinct candidate
+/// target ref a chunk touches, fetched with one aggregated message per
+/// (chunk, node) and indexed by the extension walk in place of per-
+/// candidate [`fetch_target`] calls.
+///
+/// Lifecycle per stage: [`TargetTable::clear`] → [`TargetTable::note`]
+/// every touch in walk order → [`TargetTable::fetch`] (dedup keeping
+/// first touch, group by owner node preserving first-touch order within a
+/// group, one [`LookupEnv::fetch_targets_batch_node`] per group) →
+/// [`TargetTable::get`] during the walk.
+#[derive(Default)]
+struct TargetTable {
+    /// Candidate refs in first-touch order; `fetch` dedups and regroups
+    /// in place (the u32 is the first-touch position).
+    touches: Vec<(GlobalRef, u32)>,
+    /// Refs of the node group currently being fetched.
+    group: Vec<GlobalRef>,
+    /// `(ref, index into seqs)`, sorted by ref for the walk's lookups.
+    index: Vec<(GlobalRef, u32)>,
+    /// Fetched sequences, aligned with the deduped `touches`.
+    seqs: Vec<Arc<PackedSeq>>,
+}
+
+impl TargetTable {
+    fn clear(&mut self) {
+        self.touches.clear();
+        self.index.clear();
+        self.seqs.clear();
+    }
+
+    /// Record one candidate-target touch (walk order, repeats welcome).
+    fn note(&mut self, gref: GlobalRef) {
+        let pos = self.touches.len() as u32;
+        self.touches.push((gref, pos));
+    }
+
+    /// Resolve every noted ref: dedup repeats (keeping first-touch order),
+    /// group by owner node, and fetch each group with one aggregated
+    /// message per (chunk, node). Within a group the refs keep first-touch
+    /// order, so the node cache fills in exactly the order the point
+    /// path's first fetches would.
+    fn fetch(&mut self, ctx: &mut RankCtx, actx: &AlignContext<'_>, fs: &mut TargetFetchScratch) {
+        if self.touches.is_empty() {
+            return;
+        }
+        self.touches.sort_unstable();
+        self.touches.dedup_by_key(|&mut (gref, _)| gref);
+        let topo = ctx.topo();
+        self.touches
+            .sort_unstable_by_key(|&(gref, pos)| (topo.node_of(gref.rank as usize), pos));
+        let mut g = 0usize;
+        while g < self.touches.len() {
+            let node = topo.node_of(self.touches[g].0.rank as usize);
+            self.group.clear();
+            let mut e = g;
+            while e < self.touches.len() && topo.node_of(self.touches[e].0.rank as usize) == node {
+                self.group.push(self.touches[e].0);
+                e += 1;
+            }
+            actx.env.fetch_targets_batch_node(
+                ctx,
+                &actx.store.seqs,
+                node,
+                &self.group,
+                &mut self.seqs,
+                fs,
+            );
+            g = e;
+        }
+        self.index.extend(
+            self.touches
+                .iter()
+                .enumerate()
+                .map(|(i, &(gref, _))| (gref, i as u32)),
+        );
+        self.index.sort_unstable_by_key(|&(gref, _)| gref);
+    }
+
+    /// The prefetched sequence of a candidate ref.
+    fn get(&self, gref: GlobalRef) -> Option<&Arc<PackedSeq>> {
+        self.index
+            .binary_search_by_key(&gref, |&(g, _)| g)
+            .ok()
+            .map(|i| &self.seqs[self.index[i].1 as usize])
+    }
+}
+
 /// Reused per-rank buffers of the chunked, node-aware lookup pipeline.
 #[derive(Default)]
 pub struct ChunkScratch {
@@ -352,8 +497,15 @@ pub struct ChunkScratch {
     /// Exact-stage span index per (read slot, strand); `u32::MAX` = no
     /// probe extracted.
     exact_span: Vec<[u32; 2]>,
+    /// Exact-stage candidate hit per (read slot, strand) that passed the
+    /// lookup-free prechecks and awaits its prefetched target.
+    exact_cand: Vec<[Option<TargetHit>; 2]>,
     /// Candidate positions of the whole chunk, keyed by read slot.
     cands: Vec<(u32, CandHit)>,
+    /// The chunk's prefetched target table (rebuilt per stage).
+    table: TargetTable,
+    /// Node-batched target-fetch internals.
+    tfetch: TargetFetchScratch,
     /// Node-batched lookup internals.
     node: NodeBatchScratch,
     /// Extension internals (reported-alignment dedup), reset per read.
@@ -369,20 +521,26 @@ pub struct ChunkScratch {
 ///
 /// * **Stage 1** folds the §IV-A exact-match probes (first seed of each
 ///   orientation) of all chunk reads into the chunk's first aggregated
-///   batch — the point lookups `try_exact` would issue disappear. Reads
-///   the fast path resolves are done.
+///   batch — the point lookups `try_exact` would issue disappear. The
+///   surviving candidates' target windows are then fetched with the
+///   chunk's first **fetch batch** (one message per (chunk, node)) and
+///   verified word-wise. Reads the fast path resolves are done.
 /// * **Stage 2** extracts all seeds of the surviving reads (both
 ///   strands), resolves them the same way, scatters hits to per-read
-///   candidate lists, and runs the per-read extension pass unchanged.
+///   candidate lists, prefetches **all candidate targets** of the chunk —
+///   deduplicated across reads, one aggregated message per (chunk, node)
+///   — and runs the per-read extension walk against the prefetched table,
+///   closing the paper's per-candidate `t_fetch` term the way the lookup
+///   batches closed the lookup term.
 ///
 /// Placements are identical to running [`process_query`] per read: both
 /// stages preserve per-seed results exactly (the node batch mirrors the
-/// point-lookup hierarchy), and the extension pass sorts candidates by
-/// the same total key. One [`QueryOutcome`] per read lands in `out`
-/// (chunk order). The only charge-profile difference: the exact stage
-/// extracts and probes *both* orientations' first seeds up front, where
-/// the sequential path skips the reverse probe when the forward one
-/// resolves.
+/// point-lookup hierarchy), target bytes are identical however they are
+/// fetched, and the extension pass sorts candidates by the same total
+/// key. One [`QueryOutcome`] per read lands in `out` (chunk order). The
+/// only charge-profile differences: the exact stage extracts, probes, and
+/// prefetches *both* orientations' first seeds up front, where the
+/// sequential path stops at the forward one when it resolves.
 pub fn process_read_chunk(
     ctx: &mut RankCtx,
     actx: &AlignContext<'_>,
@@ -437,6 +595,18 @@ pub fn process_read_chunk(
         for (req, &sp) in scratch.reqs.iter().zip(&scratch.req_span) {
             scratch.exact_span[req.slot as usize][usize::from(req.reverse)] = sp;
         }
+        // Precheck pass: find each read's per-orientation exact candidate
+        // (single occurrence, unique-fragment window) and note its target
+        // for the chunk's first fetch batch. Both orientations' targets are
+        // prefetched where the sequential path skips the reverse fetch when
+        // the forward window verifies — the same eager trade the lookup
+        // stage makes for probes. The extra fetch can fill a target-cache
+        // slot the sequential path would have left alone, so cache state
+        // (not placements — caches are transparent) may diverge from the
+        // per-read path's.
+        scratch.exact_cand.clear();
+        scratch.exact_cand.resize(reads.len(), [None; 2]);
+        scratch.table.clear();
         for (s, (_, read)) in reads.iter().enumerate() {
             if scratch.resolved[s] {
                 continue;
@@ -447,14 +617,27 @@ pub fn process_read_chunk(
                     continue;
                 }
                 let span = scratch.spans[sp as usize];
-                if let Some((gref, aln)) = exact_from_hits(
-                    ctx,
-                    actx,
-                    oriented,
-                    reverse,
-                    span.found,
-                    &scratch.hits[span.range()],
-                ) {
+                if let Some(hit) =
+                    exact_candidate(actx, oriented, span.found, &scratch.hits[span.range()])
+                {
+                    scratch.exact_cand[s][usize::from(reverse)] = Some(hit);
+                    scratch.table.note(hit.target);
+                }
+            }
+        }
+        scratch.table.fetch(ctx, actx, &mut scratch.tfetch);
+        // Verify pass: word-wise compare against the prefetched windows.
+        for (s, (_, read)) in reads.iter().enumerate() {
+            if scratch.resolved[s] {
+                continue;
+            }
+            for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+                let Some(hit) = scratch.exact_cand[s][usize::from(reverse)] else {
+                    continue;
+                };
+                let target = fetch_candidate_target(ctx, actx, hit.target, Some(&scratch.table));
+                if let Some((gref, aln)) = exact_verify(ctx, actx, oriented, reverse, hit, &target)
+                {
                     let o = &mut out[s];
                     o.n_alignments = 1;
                     o.used_exact_path = true;
@@ -518,8 +701,27 @@ pub fn process_read_chunk(
         .cands
         .sort_unstable_by_key(|(slot, c)| (*slot, c.target, c.reverse, c.diag, c.q_off, c.t_off));
 
-    // ---- Extension pass (lines 11–12), per read, as in `process_query`.
+    // ---- Target prefetch: every candidate target the extension walk will
+    // touch, deduplicated across the chunk's reads and fetched with one
+    // aggregated message per (chunk, node) — the fetch-side mirror of the
+    // lookup batches, replacing one `fetch_target` per candidate group.
     let cands = std::mem::take(&mut scratch.cands);
+    scratch.table.clear();
+    // The sort put each (slot, target, strand) group's candidates
+    // adjacent: one touch per run of equal targets keeps first-touch
+    // order while shrinking the table's dedup sort to ~one entry per
+    // candidate group instead of one per candidate position.
+    let mut last: Option<GlobalRef> = None;
+    for &(_, c) in &cands {
+        if last != Some(c.target) {
+            scratch.table.note(c.target);
+            last = Some(c.target);
+        }
+    }
+    scratch.table.fetch(ctx, actx, &mut scratch.tfetch);
+
+    // ---- Extension pass (lines 11–12), per read, as in `process_query`,
+    // indexing the prefetched table instead of fetching per candidate.
     let mut i = 0usize;
     while i < cands.len() {
         let slot = cands[i].0;
@@ -530,42 +732,17 @@ pub fn process_read_chunk(
         let read = &reads[slot as usize].1;
         let rc = &scratch.rcs[slot as usize];
         scratch.query.reported.clear();
-        while i < r {
-            let head = cands[i].1;
-            let mut j = i;
-            while j < r && cands[j].1.target == head.target && cands[j].1.reverse == head.reverse {
-                j += 1;
-            }
-            let target = fetch_target(ctx, &actx.store.seqs, head.target, actx.env.caches);
-            let codes = if head.reverse {
-                align::dna_codes(rc)
-            } else {
-                align::dna_codes(read)
-            };
-            let mut c = i;
-            while c < j {
-                let mut e = c;
-                while e + 1 < j && cands[e + 1].1.diag - cands[e].1.diag <= read.len() as i64 {
-                    e += 1;
-                }
-                let span_extra = (cands[e].1.diag - cands[c].1.diag) as usize;
-                extend_candidate(
-                    ctx,
-                    actx,
-                    &codes,
-                    &target,
-                    cands[c].1.q_off as usize,
-                    cands[c].1.t_off as usize,
-                    span_extra,
-                    head.target,
-                    head.reverse,
-                    &mut scratch.query,
-                    &mut out[slot as usize],
-                );
-                c = e + 1;
-            }
-            i = j;
-        }
+        extend_read_candidates(
+            ctx,
+            actx,
+            &cands[i..r],
+            read,
+            rc,
+            Some(&scratch.table),
+            &mut scratch.query,
+            &mut out[slot as usize],
+        );
+        i = r;
     }
     scratch.cands = cands;
 }
@@ -616,9 +793,10 @@ fn issue_node_batches(ctx: &mut RankCtx, actx: &AlignContext<'_>, scratch: &mut 
 
 /// The §IV-A fast path for one orientation: first seed → single hit →
 /// unique-fragment window → `memcmp`. This variant issues its own point
-/// lookup (the non-chunked pipeline); the chunked pipeline resolves the
-/// probe inside the chunk's first node batch and feeds the result to
-/// [`exact_from_hits`] directly.
+/// lookup and point fetch (the non-chunked pipeline); the chunked
+/// pipeline resolves the probe inside the chunk's first node batch, the
+/// fetch inside the chunk's first fetch batch, and runs
+/// [`exact_candidate`] / [`exact_verify`] around them directly.
 fn try_exact(
     ctx: &mut RankCtx,
     actx: &AlignContext<'_>,
@@ -629,30 +807,28 @@ fn try_exact(
     let km = kmer_at(oriented, 0, actx.cfg.k)?;
     ctx.charge_extract(1);
     let found = actx.env.lookup(ctx, km, &mut scratch.hits);
-    exact_from_hits(ctx, actx, oriented, reverse, found, &scratch.hits)
+    let hit = exact_candidate(actx, oriented, found, &scratch.hits)?;
+    let target = fetch_candidate_target(ctx, actx, hit.target, None);
+    exact_verify(ctx, actx, oriented, reverse, hit, &target)
 }
 
-/// The lookup-free tail of the exact-match fast path: given the first
-/// seed's (possibly truncated) hit list, verify single-occurrence,
-/// unique-fragment window, and word-wise equality, and build the provably
-/// unique alignment (Lemma 1).
-fn exact_from_hits(
-    ctx: &mut RankCtx,
+/// The lookup-free prechecks of the exact-match fast path: given the
+/// first seed's (possibly truncated) hit list, verify single occurrence
+/// and a unique-fragment window, returning the candidate hit whose target
+/// window still needs fetching and word-wise comparison.
+fn exact_candidate(
     actx: &AlignContext<'_>,
     oriented: &PackedSeq,
-    reverse: bool,
     found: bool,
     hit_list: &[TargetHit],
-) -> Option<(GlobalRef, Alignment)> {
-    let cfg = actx.cfg;
-    let k = cfg.k;
+) -> Option<TargetHit> {
+    let k = actx.cfg.k;
     let qlen = oriented.len();
     if !found || hit_list.len() != 1 {
         return None;
     }
     let hit = hit_list[0];
     // The candidate window is [hit.offset, hit.offset + qlen) on the target.
-    let start = hit.offset as usize;
     let frag = actx
         .store
         .frags
@@ -664,9 +840,25 @@ fn exact_from_hits(
     if !frag.range_is_unique(hit.offset, hit.offset + (qlen - k) as u32) {
         return None;
     }
-    let target = fetch_target(ctx, &actx.store.seqs, hit.target, actx.env.caches);
+    Some(hit)
+}
+
+/// The fetch-free tail of the exact-match fast path: word-wise compare
+/// the candidate window and build the provably unique alignment
+/// (Lemma 1).
+fn exact_verify(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    oriented: &PackedSeq,
+    reverse: bool,
+    hit: TargetHit,
+    target: &PackedSeq,
+) -> Option<(GlobalRef, Alignment)> {
+    let cfg = actx.cfg;
+    let qlen = oriented.len();
+    let start = hit.offset as usize;
     ctx.charge_memcmp(qlen as u64);
-    if !oriented.eq_range(0, &target, start, qlen) {
+    if !oriented.eq_range(0, target, start, qlen) {
         return None;
     }
     // Provably unique full-length exact match (Lemma 1).

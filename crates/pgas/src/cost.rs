@@ -61,6 +61,18 @@ pub struct CostModel {
     /// djb2 owner before probing). Paid per seed on top of
     /// [`CostModel::batch_pack_ns_per_seed`] for node-addressed batches.
     pub node_route_ns_per_seed: f64,
+    /// Packing/unpacking one candidate target ref into an aggregated
+    /// target-fetch request (the extension-phase analogue of
+    /// [`CostModel::batch_pack_ns_per_seed`]): buffer append on the sender
+    /// plus batched unpack of the sequence payload on the receiver. Paid
+    /// per ref carried by a node-batched target fetch, on top of the
+    /// single α–β message charge.
+    pub fetch_pack_ns_per_ref: f64,
+    /// Demultiplexing one ref of a *node*-batched target fetch to the
+    /// owner rank's shared heap on the receiving node (the request carries
+    /// refs for every rank of the node). Paid per ref on top of
+    /// [`CostModel::fetch_pack_ns_per_ref`].
+    pub target_route_ns_per_ref: f64,
     /// Moving one distinct seed from the build-time accumulator into the
     /// frozen open-addressed CSR table (hash, probe for a vacant slot,
     /// arena append) at the end of index construction.
@@ -99,6 +111,8 @@ impl Default for CostModel {
             lookup_probe_ns: 150.0,
             batch_pack_ns_per_seed: 12.0,
             node_route_ns_per_seed: 4.0,
+            fetch_pack_ns_per_ref: 10.0,
+            target_route_ns_per_ref: 4.0,
             freeze_slot_ns: 60.0,
             cache_probe_ns: 25.0,
             sw_cell_simd_ns: 0.12,
@@ -216,6 +230,23 @@ mod tests {
         assert!(
             node_batched < rank_batched / 2.0,
             "node batching must win: {node_batched} vs {rank_batched}"
+        );
+    }
+
+    #[test]
+    fn node_batched_target_fetch_beats_per_candidate_messages() {
+        // A chunk's candidate targets bound for one node: one aggregated
+        // message carrying the summed payload (with per-ref pack + routing)
+        // must undercut one α-dominated message per candidate.
+        let c = CostModel::default();
+        let refs = 60u64;
+        let seq_bytes = 300u64; // ~1.2 kb contig, 2-bit packed
+        let point = refs as f64 * c.message_ns(false, seq_bytes);
+        let batched = c.message_ns(false, refs * (8 + 4 + seq_bytes))
+            + refs as f64 * (c.fetch_pack_ns_per_ref + c.target_route_ns_per_ref);
+        assert!(
+            batched < point / 5.0,
+            "fetch batching must win big: {batched} vs {point}"
         );
     }
 

@@ -366,6 +366,28 @@ impl RankCtx<'_> {
         self.stats.node_batch_seeds += seeds;
     }
 
+    /// Charge one *node*-batched target-fetch message carrying `refs`
+    /// candidate target sequences and `bytes` total (request refs +
+    /// response sub-headers + summed packed payload), addressed to `dst`
+    /// (the destination node's lead rank, or any rank of it — only the
+    /// node matters for pricing). On top of the single α–β message, each
+    /// ref pays pack/unpack plus the owner-side routing cost of being
+    /// demultiplexed to its rank's shared heap, and the `TargetFetch`
+    /// batch counters feed the per-node breakdown of the fig8 harness.
+    #[inline]
+    pub fn charge_target_node_batch(&mut self, dst: usize, refs: u64, bytes: u64, tag: CommTag) {
+        self.charge_message(dst, bytes, tag);
+        self.stats.comp_ns[CompTag::Lookup.idx()] +=
+            refs as f64 * (self.cost.fetch_pack_ns_per_ref + self.cost.target_route_ns_per_ref);
+        self.stats.target_batches += 1;
+        self.stats.target_batch_refs += refs;
+        let dst_node = self.topo.node_of(dst);
+        if self.stats.target_batches_to_node.len() <= dst_node {
+            self.stats.target_batches_to_node.resize(dst_node + 1, 0);
+        }
+        self.stats.target_batches_to_node[dst_node] += 1;
+    }
+
     /// Charge freezing `n` distinct seeds into the immutable CSR table.
     #[inline]
     pub fn charge_freeze(&mut self, n: u64) {
@@ -483,15 +505,20 @@ mod tests {
                 ctx.charge_message(5, 10, CommTag::SeedLookup); // node 1
                 let lead = ctx.topo().lead_rank(1);
                 ctx.charge_lookup_node_batch(lead, 16, 256, CommTag::SeedLookup);
+                ctx.charge_target_node_batch(lead, 8, 2048, CommTag::TargetFetch);
             }
         });
         let agg = m.phases()[0].aggregate();
-        assert_eq!(agg.msgs_to_node, vec![1, 2]);
+        assert_eq!(agg.msgs_to_node, vec![1, 3]);
         assert_eq!(agg.node_batches, 1);
         assert_eq!(agg.node_batch_seeds, 16);
-        // The node batch is also an ordinary (tagged, remote) message.
-        assert_eq!(agg.msgs_remote, 2);
+        assert_eq!(agg.target_batches, 1);
+        assert_eq!(agg.target_batch_refs, 8);
+        assert_eq!(agg.target_batches_to_node, vec![0, 1]);
+        // The node batches are also ordinary (tagged, remote) messages.
+        assert_eq!(agg.msgs_remote, 3);
         assert_eq!(agg.msgs_for(CommTag::SeedLookup), 3);
+        assert_eq!(agg.msgs_for(CommTag::TargetFetch), 1);
     }
 
     #[test]

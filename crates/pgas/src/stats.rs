@@ -108,6 +108,15 @@ pub struct RankStats {
     pub node_batches: u64,
     /// Seeds carried by those node-batched messages.
     pub node_batch_seeds: u64,
+    /// Node-batched target-fetch messages issued (one per (chunk, node)
+    /// fetch batch that actually had to leave the rank).
+    pub target_batches: u64,
+    /// Candidate target refs carried by those fetch batches.
+    pub target_batch_refs: u64,
+    /// Target-fetch batches by *destination node*, indexed by node id
+    /// (grown on demand) — the per-node `TargetFetch` breakdown the fig8
+    /// harness reports.
+    pub target_batches_to_node: Vec<u64>,
     /// Messages by *destination node*, indexed by node id (grown on
     /// demand) — the per-node breakdown the fig8 query-side harness
     /// reports. Counts every charged message regardless of tag.
@@ -175,6 +184,19 @@ impl RankStats {
         self.lookup_batch_seeds += other.lookup_batch_seeds;
         self.node_batches += other.node_batches;
         self.node_batch_seeds += other.node_batch_seeds;
+        self.target_batches += other.target_batches;
+        self.target_batch_refs += other.target_batch_refs;
+        if self.target_batches_to_node.len() < other.target_batches_to_node.len() {
+            self.target_batches_to_node
+                .resize(other.target_batches_to_node.len(), 0);
+        }
+        for (acc, &n) in self
+            .target_batches_to_node
+            .iter_mut()
+            .zip(&other.target_batches_to_node)
+        {
+            *acc += n;
+        }
         if self.msgs_to_node.len() < other.msgs_to_node.len() {
             self.msgs_to_node.resize(other.msgs_to_node.len(), 0);
         }
@@ -231,17 +253,24 @@ mod tests {
         let mut a = RankStats {
             msgs_to_node: vec![1, 2],
             node_batches: 1,
+            target_batches_to_node: vec![3],
             ..Default::default()
         };
         let b = RankStats {
             msgs_to_node: vec![10, 0, 5],
             node_batch_seeds: 9,
+            target_batches: 2,
+            target_batch_refs: 40,
+            target_batches_to_node: vec![0, 2],
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.msgs_to_node, vec![11, 2, 5]);
         assert_eq!(a.node_batches, 1);
         assert_eq!(a.node_batch_seeds, 9);
+        assert_eq!(a.target_batches, 2);
+        assert_eq!(a.target_batch_refs, 40);
+        assert_eq!(a.target_batches_to_node, vec![3, 2]);
     }
 
     #[test]
