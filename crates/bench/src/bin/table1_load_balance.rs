@@ -37,6 +37,9 @@ fn main() {
         "total_max_s",
         "total_avg_s",
         "seed_cache_hit_rate",
+        "recv_busy_max_s",
+        "recv_imbalance",
+        "recv_queue_max",
     ]);
     for balance in [true, false] {
         let mut cfg = pipeline_config(&d, cores, cores / PPN);
@@ -48,6 +51,12 @@ fn main() {
         let agg = phase.aggregate();
         let hit_rate = agg.seed_cache_hits as f64
             / (agg.seed_cache_hits + agg.seed_cache_misses).max(1) as f64;
+        // Receiver imbalance from the owner-side service model: the lead
+        // ranks absorb their node's handler busy time on top of their own
+        // alignment work, so their phase time sticks out of the rank
+        // spread by max handler / mean total.
+        let (_, recv_max, _) = phase.rank_handler_spread();
+        let recv_imb = recv_max / tavg.max(1e-12);
         row(&[
             if balance { "Yes" } else { "No" }.to_string(),
             fmt_s(cmin),
@@ -57,7 +66,11 @@ fn main() {
             fmt_s(tmax),
             fmt_s(tavg),
             format!("{hit_rate:.2}"),
+            fmt_s(recv_max),
+            format!("{recv_imb:.3}"),
+            phase.max_queue_depth().to_string(),
         ]);
     }
     eprintln!("# expected shape: balancing shrinks comp max sharply; grouped order has the better cache hit rate");
+    eprintln!("# receiver-imbalance: recv_busy_max_s is the largest owner-side handler load any lead rank absorbed; recv_imbalance normalizes it by the mean rank time; recv_queue_max is the deepest handler queue any node built");
 }

@@ -7,6 +7,15 @@
 //!    the caches only hold *remote* data, as in the paper.
 //! 3. **Node cache** — a hit avoids the network entirely (Fig 9's savings).
 //! 4. **Remote get** — α + β·bytes off-node, then fill the node cache.
+//!
+//! The *aggregated* remote paths ([`LookupEnv::lookup_batch_node`],
+//! [`LookupEnv::fetch_targets_batch_node`]) additionally route through the
+//! owner-side service engine (`pgas::sim`): each off-node batch the charge
+//! methods record becomes an event on the destination node's FIFO handler
+//! queue — enqueue at the sender's clock, service at the cost model's
+//! handler rates, complete when the handler has drained every earlier
+//! arrival — and the handler busy time contends with the destination lead
+//! rank's own alignment work in the phase makespan.
 
 use std::sync::Arc;
 
@@ -243,8 +252,11 @@ impl LookupEnv<'_> {
     /// [`LookupEnv::lookup_batch`]'s per-(read, owner-rank) batches. The
     /// caller groups seeds by owner node (and typically deduplicates
     /// repeats across the chunk); each probe carries its owner rank so the
-    /// receiving node can demultiplex seeds to its partitions (priced by
-    /// `node_route_ns_per_seed`).
+    /// receiving node can demultiplex seeds to its partitions — serviced
+    /// by the destination node's handler queue for off-node batches (one
+    /// `pgas::sim` event per batch, `handler_dispatch_ns` +
+    /// `node_route_ns_per_seed`·seeds), by the sender itself for same-node
+    /// ones.
     ///
     /// Results and final node-cache contents match issuing
     /// [`LookupEnv::lookup`] once per seed: self-owned seeds are free,
@@ -391,7 +403,11 @@ impl LookupEnv<'_> {
     /// message per (chunk, node) — the extension-phase mirror of
     /// [`LookupEnv::lookup_batch_node`], closing the paper's
     /// `C·(t_fetch + t_SW)` fetch term the same way the lookups were
-    /// closed. The caller groups refs by owner node and deduplicates
+    /// closed. Off-node batches likewise become events on the destination
+    /// node's handler queue (`handler_dispatch_ns` +
+    /// `target_route_ns_per_ref`·refs of service demand); same-node
+    /// batches are demultiplexed by the sender directly.
+    /// The caller groups refs by owner node and deduplicates
     /// repeats across the chunk (a duplicate ref in one batch is fetched
     /// twice where N point fetches would hit the cache on the repeat —
     /// contents end identical, cache-hit counters lower-bound the point

@@ -19,6 +19,27 @@ pub enum LookupChunk {
     Fixed(usize),
 }
 
+/// How the chunked pipeline schedules a chunk's communication against the
+/// previous chunk's extension work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlapMode {
+    /// Strict per-chunk lockstep: a chunk's lookups → fetches → extension
+    /// complete before the next chunk starts (the PR-3 pipeline).
+    Lockstep,
+    /// Double-buffered comm/comp overlap: chunk *k+1*'s lookup and fetch
+    /// batches are issued (non-blocking sends into the owner-side event
+    /// queues) while chunk *k* extends, and the communication hidden
+    /// behind the extension is credited as *overlapped* (vs *exposed*)
+    /// in the rank stats — the sender waits for its batch responses at
+    /// chunk *k+1*'s scatter, net of that credit. Owner-side queue delay
+    /// is tracked per node (`PhaseReport::node_service`) but does not
+    /// yet feed back into the sender's stall (ROADMAP: "queue-aware
+    /// response gating"). Placements are bit-identical to
+    /// [`OverlapMode::Lockstep`]: the extension walk performs no cache
+    /// operation, so the cache-visible lookup/fetch order is unchanged.
+    DoubleBuffer,
+}
+
 /// `Auto` floor: below this the per-chunk scratch reuse stops paying.
 const AUTO_CHUNK_MIN: usize = 16;
 
@@ -109,6 +130,23 @@ pub struct PipelineConfig {
     /// shape; `Fixed(0)` falls back to PR-1's per-(read, owner-rank)
     /// batching.
     pub lookup_chunk: LookupChunk,
+    /// Communication–computation overlap of the chunked pipeline:
+    /// [`OverlapMode::DoubleBuffer`] (the default) issues chunk *k+1*'s
+    /// batches while extending chunk *k*; [`OverlapMode::Lockstep`] keeps
+    /// the strict per-chunk phases. Results are bit-identical either way;
+    /// only exposed communication (and thus simulated align time) drops.
+    /// Ignored outside the chunked pipeline (nothing to overlap).
+    pub overlap_mode: OverlapMode,
+    /// Exact-stage fetch filter: ship a 64-bit hash of each exact-stage
+    /// candidate window with the chunk's first lookup batch, and skip the
+    /// candidate's `TargetFetch` when the hashes already prove the
+    /// word-wise compare must fail. Skips are counted in the rank stats
+    /// (`exact_hash_skips`). Chunked pipeline only; never changes
+    /// placements (a skipped window could never `memcmp`-equal). The cost
+    /// model charges the hash computation (both sides) to the querying
+    /// rank and treats the hash's 8 response bytes as free — a documented
+    /// simplification that slightly understates the filter's own cost.
+    pub exact_hash_filter: bool,
 
     // ---- §IV-C: sensitivity threshold ----
     /// Maximum candidate alignments per seed (0 = unlimited).
@@ -146,6 +184,8 @@ impl PipelineConfig {
             permute_seed: 0x5EED,
             batch_lookups: true,
             lookup_chunk: LookupChunk::Auto,
+            overlap_mode: OverlapMode::DoubleBuffer,
+            exact_hash_filter: true,
             max_hits_per_seed: 256,
             collect_alignments: false,
         }
@@ -213,6 +253,8 @@ mod tests {
         assert!(c.batch_lookups);
         assert!(c.chunked_lookups());
         assert_eq!(c.lookup_chunk, LookupChunk::Auto);
+        assert_eq!(c.overlap_mode, OverlapMode::DoubleBuffer);
+        assert!(c.exact_hash_filter);
         assert!(c.use_caches);
         assert!(c.exact_match_opt);
         assert!(c.fragment_targets);

@@ -7,11 +7,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use seq::seqdb::block_range;
-use seq::{KmerIter, SeqDb};
+use seq::{KmerIter, PackedSeq, SeqDb};
 
-use crate::config::PipelineConfig;
+use crate::config::{OverlapMode, PipelineConfig};
 use crate::query::QueryOutcome;
-use crate::query::{process_query, process_read_chunk, AlignContext, ChunkScratch, QueryScratch};
+use crate::query::{
+    drain_chunk_outcomes, extend_read_chunk, issue_read_chunk, process_query, process_read_chunk,
+    AlignContext, ChunkScratch, ChunkState, QueryScratch,
+};
 use crate::targets::TargetStore;
 
 /// A reported read placement in original-contig coordinates.
@@ -244,11 +247,55 @@ pub fn run_pipeline(
                 };
                 let chunk_reads = cfg.effective_lookup_chunk(seeds_per_read).max(1);
                 let mut scratch = ChunkScratch::default();
-                let mut outcomes: Vec<QueryOutcome> = Vec::new();
-                for chunk in reads.chunks(chunk_reads) {
-                    process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
-                    for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..)) {
-                        acc.record(store_ref, cfg, *orig_idx, outcome);
+                match cfg.overlap_mode {
+                    OverlapMode::Lockstep => {
+                        let mut outcomes: Vec<QueryOutcome> = Vec::new();
+                        for chunk in reads.chunks(chunk_reads) {
+                            process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
+                            for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..)) {
+                                acc.record(store_ref, cfg, *orig_idx, outcome);
+                            }
+                        }
+                    }
+                    OverlapMode::DoubleBuffer => {
+                        // Software pipeline: chunk k+1's lookup/fetch
+                        // batches go out (non-blocking sends into the
+                        // owner-side event queues) while chunk k extends;
+                        // the sender waits for its responses at chunk
+                        // k+1's scatter, net of the overlap credit for
+                        // the comm hidden behind the extension. The
+                        // issue/extend op sequence per chunk is
+                        // unchanged — placements and cache state match
+                        // Lockstep bit for bit.
+                        let chunks: Vec<&[(u32, PackedSeq)]> = reads.chunks(chunk_reads).collect();
+                        let mut cur = ChunkState::default();
+                        let mut next = ChunkState::default();
+                        if let Some(first) = chunks.first() {
+                            issue_read_chunk(ctx, &actx, first, &mut scratch, &mut cur);
+                        }
+                        for k in 0..chunks.len() {
+                            if k + 1 < chunks.len() {
+                                let issue = ctx.overlap_mark();
+                                issue_read_chunk(
+                                    ctx,
+                                    &actx,
+                                    chunks[k + 1],
+                                    &mut scratch,
+                                    &mut next,
+                                );
+                                let extend = ctx.overlap_mark();
+                                extend_read_chunk(ctx, &actx, chunks[k], &mut scratch, &mut cur);
+                                ctx.credit_overlap(issue, extend);
+                            } else {
+                                extend_read_chunk(ctx, &actx, chunks[k], &mut scratch, &mut cur);
+                            }
+                            for ((orig_idx, _), outcome) in
+                                chunks[k].iter().zip(drain_chunk_outcomes(&mut cur))
+                            {
+                                acc.record(store_ref, cfg, *orig_idx, outcome);
+                            }
+                            std::mem::swap(&mut cur, &mut next);
+                        }
                     }
                 }
             } else {

@@ -475,14 +475,34 @@ impl TargetTable {
     }
 }
 
-/// Reused per-rank buffers of the chunked, node-aware lookup pipeline.
+/// Everything one *in-flight* chunk carries from its issue half (lookups,
+/// fetches, scatter) to its extension half. Two live at once under
+/// `OverlapMode::DoubleBuffer` — chunk *k+1* issues into one while chunk
+/// *k* extends out of the other — so this state is deliberately separate
+/// from the rank-wide [`ChunkScratch`].
 #[derive(Default)]
-pub struct ChunkScratch {
+pub struct ChunkState {
     /// Per-read reverse complements (computed once per chunk, used by the
     /// exact stage and the extension pass).
     rcs: Vec<PackedSeq>,
     /// Per-read "done after the exact stage" flags.
     resolved: Vec<bool>,
+    /// Candidate positions of the whole chunk, keyed by read slot, sorted
+    /// by the extension walk's total key.
+    cands: Vec<(u32, CandHit)>,
+    /// The chunk's prefetched target table (rebuilt per stage; holds the
+    /// extension-stage table once the issue half returns).
+    table: TargetTable,
+    /// One outcome per read (chunk order): exact-stage results land here
+    /// during issue, extension results during extend.
+    outcomes: Vec<QueryOutcome>,
+}
+
+/// Reused per-rank buffers of the chunked, node-aware lookup pipeline
+/// (transient within one issue/extend half — safe to share between the
+/// two chunks a double-buffered rank has in flight).
+#[derive(Default)]
+pub struct ChunkScratch {
     /// Extracted probes of the current stage (sorted by (node, seed)).
     reqs: Vec<ChunkReq>,
     /// Deduplicated probes of the node group being issued.
@@ -500,24 +520,23 @@ pub struct ChunkScratch {
     /// Exact-stage candidate hit per (read slot, strand) that passed the
     /// lookup-free prechecks and awaits its prefetched target.
     exact_cand: Vec<[Option<TargetHit>; 2]>,
-    /// Candidate positions of the whole chunk, keyed by read slot.
-    cands: Vec<(u32, CandHit)>,
-    /// The chunk's prefetched target table (rebuilt per stage).
-    table: TargetTable,
     /// Node-batched target-fetch internals.
     tfetch: TargetFetchScratch,
     /// Node-batched lookup internals.
     node: NodeBatchScratch,
     /// Extension internals (reported-alignment dedup), reset per read.
     query: QueryScratch,
+    /// Parked chunk state for the lockstep wrapper
+    /// [`process_read_chunk`] (keeps that path allocation-free too).
+    state: ChunkState,
 }
 
-/// Align one chunk of reads with cross-read, node-aware lookup
-/// aggregation: both stages collect every outstanding probe of the chunk,
-/// deduplicate repeated seeds, group them by owner **node**, and resolve
-/// each group with one [`LookupEnv::lookup_batch_node`] — at most one
-/// message per (chunk, node) per stage instead of one per (read, owner
-/// rank).
+/// The issue half of one chunk: cross-read, node-aware lookup
+/// aggregation — both stages collect every outstanding probe of the
+/// chunk, deduplicate repeated seeds, group them by owner **node**, and
+/// resolve each group with one [`LookupEnv::lookup_batch_node`] — at most
+/// one message per (chunk, node) per stage instead of one per (read,
+/// owner rank).
 ///
 /// * **Stage 1** folds the §IV-A exact-match probes (first seed of each
 ///   orientation) of all chunk reads into the chunk's first aggregated
@@ -527,41 +546,39 @@ pub struct ChunkScratch {
 ///   verified word-wise. Reads the fast path resolves are done.
 /// * **Stage 2** extracts all seeds of the surviving reads (both
 ///   strands), resolves them the same way, scatters hits to per-read
-///   candidate lists, prefetches **all candidate targets** of the chunk —
-///   deduplicated across reads, one aggregated message per (chunk, node)
-///   — and runs the per-read extension walk against the prefetched table,
-///   closing the paper's per-candidate `t_fetch` term the way the lookup
-///   batches closed the lookup term.
+///   candidate lists, and prefetches **all candidate targets** of the
+///   chunk — deduplicated across reads, one aggregated message per
+///   (chunk, node) — leaving `state` ready for [`extend_read_chunk`],
+///   which closes the paper's per-candidate `t_fetch` term the way the
+///   lookup batches closed the lookup term.
 ///
-/// Placements are identical to running [`process_query`] per read: both
-/// stages preserve per-seed results exactly (the node batch mirrors the
-/// point-lookup hierarchy), target bytes are identical however they are
-/// fetched, and the extension pass sorts candidates by the same total
-/// key. One [`QueryOutcome`] per read lands in `out` (chunk order). The
-/// only charge-profile differences: the exact stage extracts, probes, and
-/// prefetches *both* orientations' first seeds up front, where the
-/// sequential path stops at the forward one when it resolves.
-pub fn process_read_chunk(
+/// All of the chunk's *communication* happens here; the extension half
+/// performs none (and no cache operation), which is what lets
+/// `OverlapMode::DoubleBuffer` issue chunk *k+1* while chunk *k* extends
+/// without perturbing cache state or placements.
+pub fn issue_read_chunk(
     ctx: &mut RankCtx,
     actx: &AlignContext<'_>,
     reads: &[(u32, PackedSeq)],
     scratch: &mut ChunkScratch,
-    out: &mut Vec<QueryOutcome>,
+    state: &mut ChunkState,
 ) {
     let cfg = actx.cfg;
     let k = cfg.k;
     let topo = ctx.topo();
-    out.clear();
-    out.resize_with(reads.len(), QueryOutcome::default);
-    scratch.rcs.clear();
-    scratch.resolved.clear();
-    scratch.resolved.resize(reads.len(), false);
+    state.outcomes.clear();
+    state
+        .outcomes
+        .resize_with(reads.len(), QueryOutcome::default);
+    state.rcs.clear();
+    state.resolved.clear();
+    state.resolved.resize(reads.len(), false);
     for (_, read) in reads {
-        scratch.rcs.push(read.reverse_complement());
+        state.rcs.push(read.reverse_complement());
     }
     for (s, (_, read)) in reads.iter().enumerate() {
         if read.len() < k {
-            scratch.resolved[s] = true; // empty outcome, as the point path
+            state.resolved[s] = true; // empty outcome, as the point path
         }
     }
 
@@ -570,10 +587,10 @@ pub fn process_read_chunk(
     if cfg.exact_match_opt && actx.store.frags.is_some() {
         scratch.reqs.clear();
         for (s, (_, read)) in reads.iter().enumerate() {
-            if scratch.resolved[s] || read.has_n() {
+            if state.resolved[s] || read.has_n() {
                 continue;
             }
-            for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+            for (reverse, oriented) in [(false, read), (true, &state.rcs[s])] {
                 let Some(km) = kmer_at(oriented, 0, k) else {
                     continue;
                 };
@@ -604,48 +621,75 @@ pub fn process_read_chunk(
         // slot the sequential path would have left alone, so cache state
         // (not placements — caches are transparent) may diverge from the
         // per-read path's.
+        //
+        // With the fetch filter on, a 64-bit hash of the candidate window
+        // rides the lookup response: when it already differs from the
+        // query's own window hash, the word-wise compare is doomed and
+        // the candidate's `TargetFetch` is skipped outright (the read
+        // falls through exactly as a failed verify would).
         scratch.exact_cand.clear();
         scratch.exact_cand.resize(reads.len(), [None; 2]);
-        scratch.table.clear();
+        state.table.clear();
         for (s, (_, read)) in reads.iter().enumerate() {
-            if scratch.resolved[s] {
+            if state.resolved[s] {
                 continue;
             }
-            for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+            for (reverse, oriented) in [(false, read), (true, &state.rcs[s])] {
                 let sp = scratch.exact_span[s][usize::from(reverse)];
                 if sp == u32::MAX {
                     continue;
                 }
                 let span = scratch.spans[sp as usize];
-                if let Some(hit) =
+                let Some(hit) =
                     exact_candidate(actx, oriented, span.found, &scratch.hits[span.range()])
-                {
-                    scratch.exact_cand[s][usize::from(reverse)] = Some(hit);
-                    scratch.table.note(hit.target);
+                else {
+                    continue;
+                };
+                if cfg.exact_hash_filter {
+                    // Query-side hash of the read plus the candidate
+                    // window's hash from the lookup response. Modelling
+                    // simplifications (this is the filter's "small
+                    // version"): both hash computations are charged to
+                    // the querying rank, and the hash's 8 response bytes
+                    // are not added to the already-charged batch message
+                    // (noise next to its hit payload) — so the charged
+                    // benefit (skipped fetches) is exact while the
+                    // filter's own cost is slightly understated.
+                    let qlen = oriented.len();
+                    ctx.charge_window_hash(2 * qlen as u64);
+                    let target = actx.store.seqs.get(hit.target);
+                    let skip = oriented.window_hash(0, qlen)
+                        != target.window_hash(hit.offset as usize, qlen);
+                    ctx.note_exact_hash(skip);
+                    if skip {
+                        continue;
+                    }
                 }
+                scratch.exact_cand[s][usize::from(reverse)] = Some(hit);
+                state.table.note(hit.target);
             }
         }
-        scratch.table.fetch(ctx, actx, &mut scratch.tfetch);
+        state.table.fetch(ctx, actx, &mut scratch.tfetch);
         // Verify pass: word-wise compare against the prefetched windows.
         for (s, (_, read)) in reads.iter().enumerate() {
-            if scratch.resolved[s] {
+            if state.resolved[s] {
                 continue;
             }
-            for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+            for (reverse, oriented) in [(false, read), (true, &state.rcs[s])] {
                 let Some(hit) = scratch.exact_cand[s][usize::from(reverse)] else {
                     continue;
                 };
-                let target = fetch_candidate_target(ctx, actx, hit.target, Some(&scratch.table));
+                let target = fetch_candidate_target(ctx, actx, hit.target, Some(&state.table));
                 if let Some((gref, aln)) = exact_verify(ctx, actx, oriented, reverse, hit, &target)
                 {
-                    let o = &mut out[s];
+                    let o = &mut state.outcomes[s];
                     o.n_alignments = 1;
                     o.used_exact_path = true;
                     if cfg.collect_alignments {
                         o.all.push((gref, aln.clone()));
                     }
                     o.best = Some((gref, aln));
-                    scratch.resolved[s] = true;
+                    state.resolved[s] = true;
                     break;
                 }
             }
@@ -656,10 +700,10 @@ pub fn process_read_chunk(
     // the chunk (Algorithm 1 lines 8–10 at chunk granularity).
     scratch.reqs.clear();
     for (s, (_, read)) in reads.iter().enumerate() {
-        if scratch.resolved[s] {
+        if state.resolved[s] {
             continue;
         }
-        for (reverse, oriented) in [(false, read), (true, &scratch.rcs[s])] {
+        for (reverse, oriented) in [(false, read), (true, &state.rcs[s])] {
             for (off, km) in KmerIter::new(oriented, k) {
                 if cfg.seed_stride > 1 && !(off as usize).is_multiple_of(cfg.seed_stride) {
                     continue;
@@ -681,11 +725,11 @@ pub fn process_read_chunk(
 
     // Scatter hits to per-read candidates; the per-read total sort key
     // below restores exactly the order the per-read path extends in.
-    scratch.cands.clear();
+    state.cands.clear();
     for (req, &sp) in scratch.reqs.iter().zip(&scratch.req_span) {
         let span = scratch.spans[sp as usize];
         for hit in &scratch.hits[span.range()] {
-            scratch.cands.push((
+            state.cands.push((
                 req.slot,
                 CandHit {
                     target: hit.target,
@@ -697,7 +741,7 @@ pub fn process_read_chunk(
             ));
         }
     }
-    scratch
+    state
         .cands
         .sort_unstable_by_key(|(slot, c)| (*slot, c.target, c.reverse, c.diag, c.q_off, c.t_off));
 
@@ -705,23 +749,36 @@ pub fn process_read_chunk(
     // touch, deduplicated across the chunk's reads and fetched with one
     // aggregated message per (chunk, node) — the fetch-side mirror of the
     // lookup batches, replacing one `fetch_target` per candidate group.
-    let cands = std::mem::take(&mut scratch.cands);
-    scratch.table.clear();
+    state.table.clear();
     // The sort put each (slot, target, strand) group's candidates
     // adjacent: one touch per run of equal targets keeps first-touch
     // order while shrinking the table's dedup sort to ~one entry per
     // candidate group instead of one per candidate position.
     let mut last: Option<GlobalRef> = None;
-    for &(_, c) in &cands {
+    for &(_, c) in &state.cands {
         if last != Some(c.target) {
-            scratch.table.note(c.target);
+            state.table.note(c.target);
             last = Some(c.target);
         }
     }
-    scratch.table.fetch(ctx, actx, &mut scratch.tfetch);
+    state.table.fetch(ctx, actx, &mut scratch.tfetch);
+}
 
-    // ---- Extension pass (lines 11–12), per read, as in `process_query`,
-    // indexing the prefetched table instead of fetching per candidate.
+/// The extension half of one chunk (Algorithm 1 lines 11–12), per read as
+/// in [`process_query`], indexing the chunk's prefetched target table
+/// instead of fetching per candidate. Charges computation only — no
+/// communication, no cache operation — so under
+/// `OverlapMode::DoubleBuffer` it is the work the *next* chunk's batch
+/// issue hides behind. Extension results merge into the outcomes the
+/// issue half started (exact-path reads keep theirs untouched).
+pub fn extend_read_chunk(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    reads: &[(u32, PackedSeq)],
+    scratch: &mut ChunkScratch,
+    state: &mut ChunkState,
+) {
+    let cands = std::mem::take(&mut state.cands);
     let mut i = 0usize;
     while i < cands.len() {
         let slot = cands[i].0;
@@ -730,7 +787,7 @@ pub fn process_read_chunk(
             r += 1;
         }
         let read = &reads[slot as usize].1;
-        let rc = &scratch.rcs[slot as usize];
+        let rc = &state.rcs[slot as usize];
         scratch.query.reported.clear();
         extend_read_candidates(
             ctx,
@@ -738,13 +795,45 @@ pub fn process_read_chunk(
             &cands[i..r],
             read,
             rc,
-            Some(&scratch.table),
+            Some(&state.table),
             &mut scratch.query,
-            &mut out[slot as usize],
+            &mut state.outcomes[slot as usize],
         );
         i = r;
     }
-    scratch.cands = cands;
+    state.cands = cands;
+}
+
+/// Drain one finished chunk's outcomes (chunk order) out of its state.
+pub fn drain_chunk_outcomes(state: &mut ChunkState) -> std::vec::Drain<'_, QueryOutcome> {
+    state.outcomes.drain(..)
+}
+
+/// Align one chunk of reads in lockstep: issue, then immediately extend —
+/// the composition [`issue_read_chunk`] ∘ [`extend_read_chunk`] that
+/// `OverlapMode::Lockstep` (and the tests pinning it) run. One
+/// [`QueryOutcome`] per read lands in `out` (chunk order).
+///
+/// Placements are identical to running [`process_query`] per read: both
+/// stages preserve per-seed results exactly (the node batch mirrors the
+/// point-lookup hierarchy), target bytes are identical however they are
+/// fetched, and the extension pass sorts candidates by the same total
+/// key. The only charge-profile differences: the exact stage extracts,
+/// probes, and prefetches *both* orientations' first seeds up front,
+/// where the sequential path stops at the forward one when it resolves.
+pub fn process_read_chunk(
+    ctx: &mut RankCtx,
+    actx: &AlignContext<'_>,
+    reads: &[(u32, PackedSeq)],
+    scratch: &mut ChunkScratch,
+    out: &mut Vec<QueryOutcome>,
+) {
+    let mut state = std::mem::take(&mut scratch.state);
+    issue_read_chunk(ctx, actx, reads, scratch, &mut state);
+    extend_read_chunk(ctx, actx, reads, scratch, &mut state);
+    out.clear();
+    out.append(&mut state.outcomes);
+    scratch.state = state;
 }
 
 /// Sort the chunk's requests by (owner node, seed), deduplicate repeated

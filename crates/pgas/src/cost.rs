@@ -58,8 +58,10 @@ pub struct CostModel {
     /// Demultiplexing one seed of a *node*-batched lookup to the owner
     /// partition on the receiving node (the request carries seeds for
     /// every rank of the node, so the handler routes each seed by its
-    /// djb2 owner before probing). Paid per seed on top of
-    /// [`CostModel::batch_pack_ns_per_seed`] for node-addressed batches.
+    /// djb2 owner before probing). For a **same-node** batch the sender
+    /// performs the demux itself and pays this directly; for an off-node
+    /// batch it is the per-seed service rate of the destination node's
+    /// handler queue (see [`CostModel::handler_service_ns`]).
     pub node_route_ns_per_seed: f64,
     /// Packing/unpacking one candidate target ref into an aggregated
     /// target-fetch request (the extension-phase analogue of
@@ -70,9 +72,19 @@ pub struct CostModel {
     pub fetch_pack_ns_per_ref: f64,
     /// Demultiplexing one ref of a *node*-batched target fetch to the
     /// owner rank's shared heap on the receiving node (the request carries
-    /// refs for every rank of the node). Paid per ref on top of
-    /// [`CostModel::fetch_pack_ns_per_ref`].
+    /// refs for every rank of the node). Same split as
+    /// [`CostModel::node_route_ns_per_seed`]: sender-paid on-node, the
+    /// handler's per-ref service rate off-node.
     pub target_route_ns_per_ref: f64,
+    /// Owner-side handler: fixed cost of accepting one aggregated batch
+    /// off the network (queue pop, header decode, response setup). Paid
+    /// once per off-node batch by the destination node's handler — the
+    /// dispatch term of every [`sim`](crate::sim) service event.
+    pub handler_dispatch_ns: f64,
+    /// Hashing one base of a candidate window for the exact-stage fetch
+    /// filter (word-wise over the 2-bit packed words, like
+    /// [`CostModel::memcmp_ns_per_base`]).
+    pub window_hash_ns_per_base: f64,
     /// Moving one distinct seed from the build-time accumulator into the
     /// frozen open-addressed CSR table (hash, probe for a vacant slot,
     /// arena append) at the end of index construction.
@@ -113,6 +125,8 @@ impl Default for CostModel {
             node_route_ns_per_seed: 4.0,
             fetch_pack_ns_per_ref: 10.0,
             target_route_ns_per_ref: 4.0,
+            handler_dispatch_ns: 500.0,
+            window_hash_ns_per_base: 0.05,
             freeze_slot_ns: 60.0,
             cache_probe_ns: 25.0,
             sw_cell_simd_ns: 0.12,
@@ -153,6 +167,20 @@ impl CostModel {
         } else {
             self.lock_remote_ns
         }
+    }
+
+    /// Service demand of one off-node aggregated batch at the destination
+    /// node's handler: the fixed dispatch cost plus the per-item demux
+    /// rate of the batch kind. This is the service time of the
+    /// [`SimEvent`](crate::sim::SimEvent) the sender records when it
+    /// charges the batch.
+    #[inline]
+    pub fn handler_service_ns(&self, kind: crate::sim::EventKind, items: u64) -> f64 {
+        let per_item = match kind {
+            crate::sim::EventKind::LookupBatch => self.node_route_ns_per_seed,
+            crate::sim::EventKind::TargetFetchBatch => self.target_route_ns_per_ref,
+        };
+        self.handler_dispatch_ns + items as f64 * per_item
     }
 
     /// Per-rank time to read `bytes` from the parallel filesystem when all
@@ -248,6 +276,22 @@ mod tests {
             batched < point / 5.0,
             "fetch batching must win big: {batched} vs {point}"
         );
+    }
+
+    #[test]
+    fn handler_service_prices_dispatch_plus_items() {
+        let c = CostModel::default();
+        let lk = c.handler_service_ns(crate::sim::EventKind::LookupBatch, 100);
+        let tf = c.handler_service_ns(crate::sim::EventKind::TargetFetchBatch, 100);
+        assert_eq!(lk, c.handler_dispatch_ns + 100.0 * c.node_route_ns_per_seed);
+        assert_eq!(
+            tf,
+            c.handler_dispatch_ns + 100.0 * c.target_route_ns_per_ref
+        );
+        // Servicing a whole aggregated batch must stay far below what the
+        // batch saved the network (one message instead of `items`).
+        let saved = 100.0 * c.message_ns(false, 24);
+        assert!(lk < saved / 10.0, "handler must not eat the batching win");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   pre-allocated "local-shared stack" with an atomic `stack_ptr` that the
 //!   aggregating-stores optimization reserves into with `atomic_fetchadd`
 //!   (paper §III-A).
+//! * [`sim`] — the owner-side service engine: off-node aggregated batches
+//!   become discrete events on their destination node's FIFO handler
+//!   queue, replayed deterministically after each phase; the handler busy
+//!   time lands on the node's lead rank, contending with its own work.
 //!
 //! ## Timing model
 //!
@@ -28,17 +32,23 @@
 //! one-sided operation costs a latency α (different on-node vs off-node) plus
 //! bytes×β. Computation is charged per semantic operation (seed extracted,
 //! bucket filled, DP cell, byte compared…) with constants in [`CostModel`].
+//! A rank's phase time additionally includes the handler service its node's
+//! [`sim`] queue charged it with, minus any communication the
+//! double-buffered align pipeline hid behind computation
+//! ([`RankCtx::credit_overlap`]).
 //! Wall-clock time is recorded alongside as a secondary measurement. See
 //! DESIGN.md §5 for calibration.
 
 pub mod cost;
 pub mod machine;
 pub mod shared;
+pub mod sim;
 pub mod stats;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use machine::{Machine, MachineConfig, PhaseReport, RankCtx};
+pub use machine::{Machine, MachineConfig, OverlapMark, PhaseReport, RankCtx};
 pub use shared::{GlobalRef, ReservationStack, SharedArray};
+pub use sim::{EventKind, NodeQueue, QueueReport, SimEvent};
 pub use stats::{CommTag, CompTag, RankStats, COMM_TAGS, COMP_TAGS};
 pub use topology::Topology;

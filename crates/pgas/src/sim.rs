@@ -1,0 +1,62 @@
+//! # sim — owner-side service loops as a discrete-event engine
+//!
+//! Through PR 3 a node-addressed aggregated message (`lookup_batch_node`,
+//! `fetch_targets_batch_node`) was charged *flat*: the sender paid the α–β
+//! wire cost plus a per-item "routing" compute term, and the receiving node
+//! did no modelled work at all. That hides exactly the effect the paper's
+//! Table I / Fig 8 numbers fold in — the owner side must *service* the
+//! aggregated traffic, and that service time contends with the owner's own
+//! alignment work.
+//!
+//! This module family replaces the flat charge with an explicit
+//! trace-driven discrete-event simulation:
+//!
+//! * [`event`] — [`SimEvent`], one per off-node aggregated batch: recorded
+//!   by the sender at charge time with a deterministic arrival timestamp
+//!   (the sender's simulated clock after paying the batch's α–β message
+//!   and per-item pack compute) and a service demand priced by the
+//!   [`CostModel`](crate::CostModel) handler constants
+//!   (`handler_dispatch_ns` per batch + per-item demux rates).
+//! * [`queue`] — [`NodeQueue`], the FIFO handler queue of one destination
+//!   node: events are replayed in deterministic `(arrival, src rank, seq)`
+//!   order through a single-server service loop, yielding per-node busy
+//!   time, queue-depth high-water marks and total queueing delay.
+//! * [`service`] — [`service_phase`], the per-phase post-pass
+//!   [`Machine::phase`](crate::Machine::phase) runs after all ranks finish:
+//!   it routes every recorded event to its destination node's queue, runs
+//!   the service loops, and returns one [`QueueReport`] per node. The
+//!   phase executor then folds each node's handler busy time into the
+//!   node's **lead rank** (the rank the paper dedicates to servicing
+//!   aggregated remote traffic), so the owner's own work and its handler
+//!   work contend for the same simulated rank time — `max over ranks`
+//!   picks the contention up automatically.
+//!
+//! ## Model
+//!
+//! The handler is interrupt-style, like a UPC runtime progressing active
+//! messages: an arriving batch starts service as soon as the handler has
+//! finished every earlier arrival (FIFO, one server per node). Queue depth
+//! at an arrival counts the batches that have arrived but not yet completed
+//! service, the new one included — the receiver-imbalance signal Table I
+//! reports. Contention with the owner's own alignment work is modelled in
+//! the makespan: a lead rank's phase time is its own charged work *plus*
+//! its node's total handler busy time (one core timeshares both).
+//!
+//! Same-node batches never enter a queue: on-node aggregated access is a
+//! direct shared-memory read and the sender performs the demux itself (the
+//! per-item routing term stays on the sender for those).
+//!
+//! ## Determinism
+//!
+//! Every rank's event trace is a pure function of that rank's work, and the
+//! merge into each node queue orders by `(arrival time, source rank,
+//! per-source sequence number)` — so the service reports are bit-identical
+//! between sequential and parallel phase execution, run to run.
+
+pub mod event;
+pub mod queue;
+pub mod service;
+
+pub use event::{EventKind, SimEvent};
+pub use queue::{NodeQueue, QueueReport};
+pub use service::service_phase;

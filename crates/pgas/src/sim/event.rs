@@ -1,0 +1,76 @@
+//! The unit of owner-side work: one aggregated batch arriving at a node.
+
+/// What kind of aggregated batch a handler event carries (selects the
+/// per-item service rate in the [`CostModel`](crate::CostModel)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A node-batched seed-lookup request (`lookup_batch_node`): the
+    /// handler demultiplexes each seed to its owner partition.
+    LookupBatch,
+    /// A node-batched target-fetch request (`fetch_targets_batch_node`):
+    /// the handler resolves each ref against its owner rank's shared heap
+    /// and appends the packed payload.
+    TargetFetchBatch,
+}
+
+/// One off-node aggregated batch, recorded by the **sender** at charge time
+/// and replayed through the destination node's [`NodeQueue`]
+/// (crate::sim::NodeQueue) after the phase.
+#[derive(Clone, Copy, Debug)]
+pub struct SimEvent {
+    /// Destination node whose handler services the batch.
+    pub dst_node: u32,
+    /// Sending rank (deterministic tie-break, second key).
+    pub src_rank: u32,
+    /// Per-sender sequence number (deterministic tie-break, third key).
+    pub seq: u32,
+    /// What the handler must do with the batch.
+    pub kind: EventKind,
+    /// Items carried (seeds or refs).
+    pub items: u64,
+    /// Arrival at the destination: the sender's simulated clock after
+    /// charging the batch — the α–β message *and* the per-item pack
+    /// compute, both of which precede the send (ns from phase start).
+    pub arrival_ns: f64,
+    /// Service demand: dispatch + items × per-item handler rate (ns).
+    pub service_ns: f64,
+}
+
+impl SimEvent {
+    /// Strict deterministic replay order: arrival time, ties broken by
+    /// `(src rank, per-source seq)` so concurrent-rank traces merge the
+    /// same way every run.
+    #[inline]
+    pub fn replay_cmp(&self, other: &SimEvent) -> std::cmp::Ordering {
+        self.arrival_ns
+            .total_cmp(&other.arrival_ns)
+            .then(self.src_rank.cmp(&other.src_rank))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn ev(arrival_ns: f64, src_rank: u32, seq: u32) -> SimEvent {
+        SimEvent {
+            dst_node: 0,
+            src_rank,
+            seq,
+            kind: EventKind::LookupBatch,
+            items: 1,
+            arrival_ns,
+            service_ns: 1.0,
+        }
+    }
+
+    #[test]
+    fn replay_orders_by_time_then_src_then_seq() {
+        assert_eq!(ev(1.0, 5, 9).replay_cmp(&ev(2.0, 0, 0)), Ordering::Less);
+        assert_eq!(ev(1.0, 1, 9).replay_cmp(&ev(1.0, 2, 0)), Ordering::Less);
+        assert_eq!(ev(1.0, 1, 3).replay_cmp(&ev(1.0, 1, 4)), Ordering::Less);
+        assert_eq!(ev(1.0, 1, 3).replay_cmp(&ev(1.0, 1, 3)), Ordering::Equal);
+    }
+}

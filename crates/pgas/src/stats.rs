@@ -98,6 +98,18 @@ pub struct RankStats {
     pub comm_ns: [f64; COMM_TAGS],
     /// Simulated computation nanoseconds, by [`CompTag`].
     pub comp_ns: [f64; COMP_TAGS],
+    /// Communication nanoseconds hidden behind computation by the
+    /// double-buffered pipeline (non-blocking batch issue while the
+    /// previous chunk extends). Subtracted from [`RankStats::total_ns`];
+    /// the remainder of `comm_total_ns` is the *exposed* communication.
+    pub comm_overlapped_ns: f64,
+    /// Owner-side handler nanoseconds folded into this rank by the
+    /// [`sim`](crate::sim) service pass (nonzero only on node lead ranks):
+    /// time spent servicing other nodes' aggregated batches, contending
+    /// with this rank's own work in the phase makespan.
+    pub handler_ns: f64,
+    /// Aggregated batches this rank serviced as its node's handler.
+    pub handler_batches: u64,
     /// Owner-batched seed-lookup messages issued (one per (read, owner)
     /// batch that actually had to leave the rank).
     pub lookup_batches: u64,
@@ -121,6 +133,12 @@ pub struct RankStats {
     /// demand) — the per-node breakdown the fig8 query-side harness
     /// reports. Counts every charged message regardless of tag.
     pub msgs_to_node: Vec<u64>,
+    /// Exact-stage window-hash filter probes (candidate windows whose
+    /// 64-bit hash was compared before deciding whether to fetch).
+    pub exact_hash_checks: u64,
+    /// Exact-stage candidates whose window hash ruled the `memcmp` out,
+    /// skipping the target fetch entirely.
+    pub exact_hash_skips: u64,
     /// Software-cache hits (seed-index cache).
     pub seed_cache_hits: u64,
     /// Software-cache misses (seed-index cache).
@@ -142,9 +160,18 @@ impl RankStats {
         self.comp_ns.iter().sum()
     }
 
-    /// Total simulated time (ns) this rank spent in the phase.
+    /// Total simulated time (ns) this rank spent in the phase: its own
+    /// communication (minus what the double-buffered pipeline hid behind
+    /// computation) + its own computation + the handler service time its
+    /// node's [`sim`](crate::sim) queue charged it with.
     pub fn total_ns(&self) -> f64 {
-        self.comm_total_ns() + self.comp_total_ns()
+        self.comm_total_ns() - self.comm_overlapped_ns + self.comp_total_ns() + self.handler_ns
+    }
+
+    /// Communication time actually exposed on the critical path (ns):
+    /// total communication minus the overlapped share.
+    pub fn comm_exposed_ns(&self) -> f64 {
+        self.comm_total_ns() - self.comm_overlapped_ns
     }
 
     /// Simulated communication time for one tag (ns).
@@ -180,6 +207,11 @@ impl RankStats {
         for i in 0..COMP_TAGS {
             self.comp_ns[i] += other.comp_ns[i];
         }
+        self.comm_overlapped_ns += other.comm_overlapped_ns;
+        self.handler_ns += other.handler_ns;
+        self.handler_batches += other.handler_batches;
+        self.exact_hash_checks += other.exact_hash_checks;
+        self.exact_hash_skips += other.exact_hash_skips;
         self.lookup_batches += other.lookup_batches;
         self.lookup_batch_seeds += other.lookup_batch_seeds;
         self.node_batches += other.node_batches;
@@ -224,6 +256,22 @@ mod tests {
         assert_eq!(s.comp_total_ns(), 7.0);
         assert_eq!(s.total_ns(), 22.0);
         assert_eq!(s.comm_ns_for(CommTag::SeedLookup), 5.0);
+    }
+
+    #[test]
+    fn overlap_and_handler_enter_the_total() {
+        let mut s = RankStats::default();
+        s.comm_ns[CommTag::SeedLookup.idx()] = 100.0;
+        s.comp_ns[CompTag::SmithWaterman.idx()] = 50.0;
+        s.comm_overlapped_ns = 30.0;
+        s.handler_ns = 20.0;
+        assert_eq!(s.comm_exposed_ns(), 70.0);
+        assert_eq!(s.total_ns(), 70.0 + 50.0 + 20.0);
+        let mut t = RankStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.comm_overlapped_ns, 60.0);
+        assert_eq!(t.handler_ns, 40.0);
     }
 
     #[test]

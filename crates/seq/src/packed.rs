@@ -151,6 +151,34 @@ impl PackedSeq {
         }
     }
 
+    /// Whether `[start, start+len)` contains any `N` — a word-wise scan of
+    /// the mask (64 bases per step), the fast path `eq_range` and
+    /// `window_hash` gate on.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the sequence (debug builds).
+    pub fn has_n_in(&self, start: usize, len: usize) -> bool {
+        debug_assert!(start + len <= self.len, "window out of range");
+        let Some(mask) = &self.nmask else {
+            return false;
+        };
+        if len == 0 {
+            return false;
+        }
+        let word = |w: usize| mask.get(w).copied().unwrap_or(0);
+        let (end, w0) = (start + len, start / 64);
+        let w1 = (end - 1) / 64;
+        let lo = !0u64 << (start % 64);
+        let hi = !0u64 >> (63 - (end - 1) % 64);
+        if w0 == w1 {
+            return word(w0) & lo & hi != 0;
+        }
+        if word(w0) & lo != 0 || word(w1) & hi != 0 {
+            return true;
+        }
+        mask[w0 + 1..w1].iter().any(|&w| w != 0)
+    }
+
     /// 32 bases starting at `i`, assembled into one word (base `i` in the two
     /// lowest bits). Positions past the end read as zero.
     #[inline]
@@ -176,7 +204,7 @@ impl PackedSeq {
         if start + len > self.len || ostart + len > other.len {
             return false;
         }
-        if self.count_n_in(start, len) > 0 || other.count_n_in(ostart, len) > 0 {
+        if self.has_n_in(start, len) || other.has_n_in(ostart, len) {
             return false;
         }
         let mut done = 0;
@@ -194,6 +222,36 @@ impl PackedSeq {
             }
         }
         true
+    }
+
+    /// 64-bit hash of the window `self[start .. start+len]`, word-wise
+    /// over the packed 2-bit words (FNV-1a-style fold, 32 bases per step).
+    ///
+    /// Guarantee: two windows that [`Self::eq_range`] would call equal
+    /// hash identically — so a hash *mismatch* proves the windows cannot
+    /// `memcmp`-equal and the exact-match fast path can skip fetching the
+    /// candidate. A window containing an `N` never `eq_range`-matches
+    /// anything, so its hash is additionally scrambled; collisions in
+    /// either direction are harmless (the fast path still verifies
+    /// byte-wise after a hash match).
+    pub fn window_hash(&self, start: usize, len: usize) -> u64 {
+        assert!(start + len <= self.len, "window out of range");
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (len as u64).wrapping_mul(PRIME);
+        let mut done = 0;
+        while done + BASES_PER_WORD <= len {
+            h = (h ^ self.word_at(start + done)).wrapping_mul(PRIME);
+            done += BASES_PER_WORD;
+        }
+        let rem = len - done;
+        if rem > 0 {
+            let mask = (1u64 << (2 * rem)) - 1;
+            h = (h ^ (self.word_at(start + done) & mask)).wrapping_mul(PRIME);
+        }
+        if self.has_n_in(start, len) {
+            h = !h.rotate_left(31);
+        }
+        h
     }
 
     /// Hamming distance between `self[start..start+len]` and
@@ -336,6 +394,50 @@ impl std::str::FromStr for PackedSeq {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn has_n_in_matches_count_n_in_on_every_window() {
+        // 70 bases so windows straddle the 64-bit mask-word boundary.
+        let mut ascii: Vec<u8> = b"ACGT".repeat(18)[..70].to_vec();
+        for &i in &[0usize, 31, 63, 64, 69] {
+            ascii[i] = b'N';
+        }
+        let s = PackedSeq::from_ascii(&ascii);
+        let clean = PackedSeq::from_ascii(&b"ACGT".repeat(18)[..70]);
+        for start in 0..70 {
+            for len in 0..=(70 - start) {
+                assert_eq!(
+                    s.has_n_in(start, len),
+                    s.count_n_in(start, len) > 0,
+                    "window [{start}, +{len})"
+                );
+                assert!(!clean.has_n_in(start, len));
+            }
+        }
+    }
+
+    #[test]
+    fn window_hash_agrees_with_eq_range() {
+        let a = PackedSeq::from_ascii(b"ACGTACGTTTGGCCAAACGTACGTTTGGCCAAACGTAAC");
+        let b = PackedSeq::from_ascii(b"TTACGTACGTTTGGCCAAACGTACGTTTGGCCAAACGTAACGG");
+        // Equal windows (different alignments within the words) hash equal.
+        for len in [1usize, 7, 31, 32, 33, 39] {
+            assert!(a.eq_range(0, &b, 2, len));
+            assert_eq!(a.window_hash(0, len), b.window_hash(2, len));
+        }
+        // A one-base difference changes the hash (these literals do).
+        let c = PackedSeq::from_ascii(b"ACGTACGTTTGGCCAAACGTACGTTTGGCCAAACGTAAG");
+        assert!(!a.eq_range(0, &c, 0, 39));
+        assert_ne!(a.window_hash(0, 39), c.window_hash(0, 39));
+        // Same bases, different length ⇒ different hash domain.
+        assert_ne!(a.window_hash(0, 16), a.window_hash(0, 17));
+        // An N-bearing window (stored as `A`) must not hash like the
+        // equal-coded N-free window: eq_range rejects it, so must the hash.
+        let n = PackedSeq::from_ascii(b"ACGTNCGT");
+        let plain = PackedSeq::from_ascii(b"ACGTACGT");
+        assert!(!n.eq_range(0, &plain, 0, 8));
+        assert_ne!(n.window_hash(0, 8), plain.window_hash(0, 8));
+    }
 
     #[test]
     fn roundtrip_ascii() {
