@@ -7,9 +7,10 @@
 //! 3.9× at 1920, 4.8× at 7680; the optimized build scales 12.7× from 480
 //! to 7680 cores.
 
-use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, PPN};
+use bench::gates::{GATE_EXPOSED_EPS_S, MIN_TARGET_FETCH_DROP, OVERLAP_ALIGN_EPS_S};
+use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, Metrics, PPN};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
-use meraligner::{run_pipeline, LookupChunk, OverlapMode, TargetStore};
+use meraligner::{run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, TargetStore};
 use pgas::{CommTag, GlobalRef, Machine, MachineConfig};
 use seq::KmerIter;
 
@@ -113,6 +114,8 @@ fn main() {
         fetch_comm_s: f64,
         exposed_comm_s: f64,
         overlapped_comm_s: f64,
+        gate_stall_mean_s: f64,
+        gate_stall_max_s: f64,
         align_s: f64,
         placements: Vec<Option<meraligner::Placement>>,
     }
@@ -140,6 +143,8 @@ fn main() {
             fetch_comm_s: phase.mean_comm_seconds(CommTag::TargetFetch),
             exposed_comm_s: phase.mean_exposed_comm_seconds(),
             overlapped_comm_s: phase.mean_overlapped_comm_seconds(),
+            gate_stall_mean_s: phase.mean_gate_stall_seconds(),
+            gate_stall_max_s: phase.rank_gate_stall_spread().1,
             align_s: res.align_seconds(),
             placements: res.placements,
         });
@@ -202,11 +207,12 @@ fn main() {
         "# fetch batching cuts target-fetch messages {:.1}x per read vs per-candidate fetching",
         fetch_drop
     );
-    // CI smoke assertion: the chunked pipeline must hold a >= 10x
+    // CI smoke assertion: the chunked pipeline must hold the minimum
     // target-fetch message reduction (placements are pinned bit-identical
-    // by the meraligner and dht test suites).
+    // by the meraligner and dht test suites). Threshold lives in
+    // bench::gates, shared with the perf gate.
     assert!(
-        fetch_drop >= 10.0,
+        fetch_drop >= MIN_TARGET_FETCH_DROP,
         "target-fetch batching regressed: only {fetch_drop:.1}x below per-candidate fetching"
     );
 
@@ -322,11 +328,182 @@ fn main() {
     );
     // CI smoke assertion: overlapped align time must never exceed
     // lockstep's (placements are pinned identical above and by the
-    // meraligner overlap_equivalence suite).
+    // meraligner overlap_equivalence suite). Threshold in bench::gates.
     assert!(
-        db.align_seconds() <= ls.align_s + 1e-12,
+        db.align_seconds() <= ls.align_s + OVERLAP_ALIGN_EPS_S,
         "double-buffer regressed align time: {} vs lockstep {}",
         db.align_seconds(),
         ls.align_s
     );
+
+    // ---- Queue-aware backpressure: the default (gated) run stalls each
+    // chunk's extension until the chunk's off-node batches have actually
+    // completed service at their destination nodes; the ungated run
+    // credits only the flat α–β charge. Deep receiver queues now show up
+    // as *exposed* communication on the sender.
+    let ungated = {
+        let mut cfg = pipeline_config(&d, cores, cores / PPN);
+        cfg.overlap_mode = OverlapMode::DoubleBuffer;
+        cfg.queue_gate = false;
+        run_pipeline(&cfg, &tdb, &qdb)
+    };
+    assert_eq!(
+        ungated.placements, db.placements,
+        "queue gating must never move placements"
+    );
+    let ug_phase = ungated.align_phase().expect("align phase");
+    eprintln!("# queue-aware response gating at {cores} cores / ppn {PPN}:");
+    header(&[
+        "gating",
+        "align_s",
+        "exposed_comm_s",
+        "gate_stall_mean_s",
+        "gate_stall_max_s",
+        "max_queue_depth",
+    ]);
+    // The lockstep mode run above is gated too (no issue window absorbs
+    // the queue delay there, so backpressure bites it first).
+    row(&[
+        "on (lockstep)".to_string(),
+        fmt_s(ls.align_s),
+        fmt_s(ls.exposed_comm_s),
+        fmt_s(ls.gate_stall_mean_s),
+        fmt_s(ls.gate_stall_max_s),
+        ls.max_queue_depth.to_string(),
+    ]);
+    let gate_rows = [
+        ("off (double-buffer)", &ungated, ug_phase),
+        ("on (double-buffer)", &db, db_phase),
+    ];
+    for (name, res, phase) in gate_rows {
+        let (_, stall_max, _) = phase.rank_gate_stall_spread();
+        row(&[
+            name.to_string(),
+            fmt_s(res.align_seconds()),
+            fmt_s(phase.mean_exposed_comm_seconds()),
+            fmt_s(phase.mean_gate_stall_seconds()),
+            fmt_s(stall_max),
+            phase.max_queue_depth().to_string(),
+        ]);
+    }
+    let exposed_ungated = ug_phase.mean_exposed_comm_seconds();
+    let exposed_gated = db_phase.mean_exposed_comm_seconds();
+    eprintln!(
+        "# gating exposes {} s of receiver-queue backpressure the flat charge hid (exposed comm {} -> {} s)",
+        fmt_s(exposed_gated - exposed_ungated),
+        fmt_s(exposed_ungated),
+        fmt_s(exposed_gated),
+    );
+    // CI smoke assertion: exposed communication under gating must be at
+    // least the ungated exposure — the stall can only add.
+    assert!(
+        exposed_gated + GATE_EXPOSED_EPS_S >= exposed_ungated,
+        "gated exposed comm fell below ungated: {exposed_gated} vs {exposed_ungated}"
+    );
+
+    // ---- Handler placement policies: which rank of the destination node
+    // absorbs each serviced batch's busy time. Queue dynamics (and thus
+    // gating stalls) are policy-independent; the makespan and the
+    // receiver-imbalance spread are not. The default (gated,
+    // double-buffered) run above is the lead-rank row.
+    eprintln!(
+        "# handler placement policies at {cores} cores / ppn {PPN} (gated, double-buffered):"
+    );
+    header(&[
+        "policy",
+        "handler_busy_max_s",
+        "handler_busy_mean_s",
+        "recv_imbalance",
+        "align_s",
+    ]);
+    let mut policy_metrics: Vec<(HandlerPolicy, f64, f64)> = Vec::new();
+    for policy in HandlerPolicy::ALL {
+        let (res, phase);
+        let held;
+        if policy == HandlerPolicy::LeadRank {
+            (res, phase) = (&db, db_phase);
+        } else {
+            let mut cfg = pipeline_config(&d, cores, cores / PPN);
+            cfg.handler_policy = policy;
+            held = run_pipeline(&cfg, &tdb, &qdb);
+            assert_eq!(
+                held.placements, db.placements,
+                "handler policy {policy:?} must never move placements"
+            );
+            res = &held;
+            phase = res.align_phase().expect("align phase");
+        }
+        let (_, busy_max, busy_mean) = phase.rank_handler_spread();
+        let (_, _, total_mean) = phase.rank_time_spread();
+        let imb = busy_max / total_mean.max(1e-12);
+        policy_metrics.push((policy, busy_max, imb));
+        row(&[
+            policy.name().to_string(),
+            fmt_s(busy_max),
+            fmt_s(busy_mean),
+            format!("{imb:.3}"),
+            fmt_s(res.align_seconds()),
+        ]);
+    }
+    let lead_busy_max = policy_metrics[0].1;
+    let best = policy_metrics
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("policies ran");
+    eprintln!(
+        "# best receiver-imbalance: {} ({:.3} vs lead-rank {:.3})",
+        best.0.name(),
+        best.2,
+        policy_metrics[0].2
+    );
+    // CI smoke assertion: rotating must STRICTLY cut the worst per-rank
+    // handler load vs piling everything on the lead rank — guaranteed at
+    // ppn 24 with hundreds of serviced batches unless a regression sends
+    // a node's rotation back to one rank. (A bare `<=` would be a
+    // theorem: any spread of a node's busy total is bounded by the total
+    // LeadRank concentrates.)
+    for (policy, busy_max, _) in &policy_metrics {
+        if *policy == HandlerPolicy::RotateRanks {
+            assert!(
+                *busy_max < lead_busy_max,
+                "{policy:?} failed to spread the handler load: {busy_max} vs lead {lead_busy_max}"
+            );
+        }
+    }
+
+    // ---- Machine-readable metrics for the CI perf gate.
+    if let Some(path) = &cli.json {
+        let chunked_agg = &modes[2].agg;
+        let db_agg = db_phase.aggregate();
+        let (_, db_stall_max, _) = db_phase.rank_gate_stall_spread();
+        let mut m = Metrics::default();
+        m.push("info_lookup_msgs_per_read_point", lookup_per_read[0]);
+        m.push("lookup_msgs_per_read_chunked", lookup_per_read[2]);
+        m.push("lookup_comm_s_chunked", modes[2].lookup_comm_s);
+        m.push("info_fetch_msgs_per_read_point", fetch_point);
+        m.push("fetch_msgs_per_read_chunked", fetch_chunked);
+        m.push("fetch_drop", fetch_drop);
+        m.push("fetch_comm_s_chunked", modes[2].fetch_comm_s);
+        m.push("align_s_lockstep", ls.align_s);
+        m.push("align_s_double", db.align_seconds());
+        m.push(
+            "overlap_pct_double",
+            100.0 * db_agg.comm_overlapped_ns
+                / (db_agg.comm_overlapped_ns + db_agg.comm_exposed_ns()).max(1e-12),
+        );
+        m.push("handler_busy_max_s", modes[2].handler_max_s);
+        m.push("max_queue_depth", modes[2].max_queue_depth as f64);
+        m.push("info_exposed_comm_s_ungated", exposed_ungated);
+        m.push("exposed_comm_s_gated", exposed_gated);
+        m.push("gate_stall_max_s", db_stall_max);
+        m.push("info_recv_imbalance_lead", policy_metrics[0].2);
+        m.push("recv_imbalance_best", best.2);
+        m.push(
+            "exact_hash_skip_pct",
+            100.0 * chunked_agg.exact_hash_skips as f64
+                / chunked_agg.exact_hash_checks.max(1) as f64,
+        );
+        m.write(path).expect("write --json metrics");
+        eprintln!("# metrics written to {path}");
+    }
 }

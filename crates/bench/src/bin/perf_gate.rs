@@ -1,0 +1,172 @@
+//! The CI perf-regression gate: compare a harness run's `--json` metrics
+//! against a checked-in baseline and fail on drift past the tolerance
+//! band in a metric's *bad* direction.
+//!
+//! ```text
+//! perf_gate --baseline ci/baselines/fig8_scale0.02.json \
+//!           --current  fig8_current.json [--tolerance 0.15]
+//! ```
+//!
+//! Every key in the baseline must exist in the current run (a vanished
+//! metric is itself a regression — an emitter was dropped or renamed).
+//! Directions and the default tolerance live in `bench::gates`, shared
+//! with the in-binary fig8 assertions, so thresholds have exactly one
+//! home. Keys prefixed `info_` are contextual and never gated.
+
+use bench::gates::{metric_direction, Direction, PERF_TOLERANCE};
+use bench::Metrics;
+
+struct Args {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = PERF_TOLERANCE;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => {
+                baseline = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--current" => {
+                current = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--tolerance needs a number"));
+                i += 2;
+            }
+            other => {
+                panic!("unknown argument {other} (supported: --baseline --current --tolerance)")
+            }
+        }
+    }
+    Args {
+        baseline: baseline.expect("--baseline <path> is required"),
+        current: current.expect("--current <path> is required"),
+        tolerance,
+    }
+}
+
+fn load(path: &str) -> Metrics {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read metrics file {path}: {e}"));
+    Metrics::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// One comparison verdict.
+fn judge(key: &str, base: f64, cur: f64, tolerance: f64) -> (&'static str, f64) {
+    let rel = if base.abs() > f64::EPSILON {
+        (cur - base) / base.abs()
+    } else if cur.abs() <= f64::EPSILON {
+        0.0
+    } else {
+        // Baseline of exactly zero: any growth is infinite relative
+        // drift; signal it as a full-band move in the bad direction.
+        if cur > 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    };
+    let verdict = match metric_direction(key) {
+        Direction::Info => "info",
+        Direction::LowerIsBetter => {
+            if rel > tolerance {
+                "REGRESSED"
+            } else if rel < -tolerance {
+                "improved"
+            } else {
+                "ok"
+            }
+        }
+        Direction::HigherIsBetter => {
+            if rel < -tolerance {
+                "REGRESSED"
+            } else if rel > tolerance {
+                "improved"
+            } else {
+                "ok"
+            }
+        }
+    };
+    (verdict, rel)
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+    println!(
+        "#metric\tbaseline\tcurrent\tdrift_pct\tverdict (tolerance ±{:.0} %)",
+        args.tolerance * 100.0
+    );
+    let mut regressions = 0usize;
+    for (key, base) in baseline.entries() {
+        let Some(cur) = current.get(key) else {
+            println!("{key}\t{base}\t<missing>\t-\tREGRESSED (metric vanished)");
+            regressions += 1;
+            continue;
+        };
+        let (verdict, rel) = judge(key, *base, cur, args.tolerance);
+        if verdict == "REGRESSED" {
+            regressions += 1;
+        }
+        println!("{key}\t{base}\t{cur}\t{:+.1}\t{verdict}", rel * 100.0);
+    }
+    for (key, _) in current.entries() {
+        if baseline.get(key).is_none() {
+            println!(
+                "{key}\t<new>\t{}\t-\tinfo (not in baseline)",
+                current.get(key).unwrap()
+            );
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "perf gate FAILED: {regressions} metric(s) regressed past ±{:.0} % vs {}",
+            args.tolerance * 100.0,
+            args.baseline
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf gate passed: all gated metrics within the tolerance band");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::judge;
+
+    #[test]
+    fn lower_is_better_flags_growth() {
+        assert_eq!(judge("align_s_double", 1.0, 1.2, 0.15).0, "REGRESSED");
+        assert_eq!(judge("align_s_double", 1.0, 1.1, 0.15).0, "ok");
+        assert_eq!(judge("align_s_double", 1.0, 0.5, 0.15).0, "improved");
+    }
+
+    #[test]
+    fn higher_is_better_flags_shrinkage() {
+        assert_eq!(judge("fetch_drop", 10.0, 8.0, 0.15).0, "REGRESSED");
+        assert_eq!(judge("fetch_drop", 10.0, 12.0, 0.15).0, "improved");
+    }
+
+    #[test]
+    fn info_metrics_never_fail() {
+        assert_eq!(judge("info_whatever", 1.0, 100.0, 0.15).0, "info");
+    }
+
+    #[test]
+    fn zero_baseline_is_handled() {
+        assert_eq!(judge("gate_stall_max_s", 0.0, 0.0, 0.15).0, "ok");
+        assert_eq!(judge("gate_stall_max_s", 0.0, 1.0, 0.15).0, "REGRESSED");
+    }
+}

@@ -1,0 +1,74 @@
+//! The single home of every CI assertion threshold and perf-gate
+//! tolerance the bench harnesses use.
+//!
+//! The fig8 binary's in-run assertions (the ≥10× target-fetch message
+//! drop, double-buffer ≤ lockstep align time, gated exposed ≥ ungated)
+//! and the `perf_gate` comparator's tolerance bands all read from here,
+//! so a tolerance change happens in exactly one place.
+
+/// The chunked pipeline must cut target-fetch messages at least this much
+/// vs per-candidate fetching (fig8 CI smoke assertion).
+pub const MIN_TARGET_FETCH_DROP: f64 = 10.0;
+
+/// Slack for "double-buffered align time must not exceed lockstep's"
+/// (seconds; pure float-summation noise allowance).
+pub const OVERLAP_ALIGN_EPS_S: f64 = 1e-12;
+
+/// Slack for "queue-gated exposed communication must be at least the
+/// ungated exposure" (seconds).
+pub const GATE_EXPOSED_EPS_S: f64 = 1e-12;
+
+/// Relative tolerance band of the perf-regression gate: a gated metric
+/// may drift this fraction in its *bad* direction before the gate fails.
+pub const PERF_TOLERANCE: f64 = 0.15;
+
+/// Which direction of drift regresses a gated metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Growth beyond the tolerance band is a regression (times, message
+    /// counts, queue depths, stalls).
+    LowerIsBetter,
+    /// Shrinkage beyond the tolerance band is a regression (drop factors,
+    /// overlap/skip percentages).
+    HigherIsBetter,
+    /// Recorded for context only; never fails the gate.
+    Info,
+}
+
+/// The drift direction a metric key is gated on. Keys prefixed `info_`
+/// are contextual and never gated; percentage/drop metrics regress
+/// downward; everything else (seconds, counts, depths) regresses upward.
+pub fn metric_direction(key: &str) -> Direction {
+    match key {
+        "fetch_drop" | "overlap_pct_double" | "exact_hash_skip_pct" => Direction::HigherIsBetter,
+        k if k.starts_with("info_") => Direction::Info,
+        _ => Direction::LowerIsBetter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_classify_known_keys() {
+        assert_eq!(metric_direction("align_s_double"), Direction::LowerIsBetter);
+        assert_eq!(
+            metric_direction("max_queue_depth"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(metric_direction("fetch_drop"), Direction::HigherIsBetter);
+        assert_eq!(
+            metric_direction("info_lookup_msgs_per_read_point"),
+            Direction::Info
+        );
+    }
+
+    #[test]
+    fn tolerances_are_sane() {
+        // Runtime reads so the checks don't constant-fold away.
+        let (tol, drop) = std::hint::black_box((PERF_TOLERANCE, MIN_TARGET_FETCH_DROP));
+        assert!(tol > 0.0 && tol < 1.0);
+        assert!(drop >= 1.0);
+    }
+}

@@ -6,10 +6,14 @@
 //! * `--scale <f64>` — dataset scale factor (see `genome::presets`),
 //! * `--seed <u64>` — dataset RNG seed,
 //! * `--full` — paper-sized concurrency sweep (default sweeps are sized for
-//!   a small container).
+//!   a small container),
+//! * `--json <path>` — additionally emit the run's headline metrics as a
+//!   flat JSON object (the machine-readable feed of the CI perf gate).
 //!
 //! Output is TSV on stdout with a `#`-prefixed header, one experiment row
 //! per line, so EXPERIMENTS.md can quote results verbatim.
+
+pub mod gates;
 
 use dht::CacheConfig;
 use genome::Dataset;
@@ -24,6 +28,8 @@ pub struct Cli {
     pub seed: u64,
     /// Run the full paper-sized sweep.
     pub full: bool,
+    /// Where to write the run's metrics as flat JSON (`None` = don't).
+    pub json: Option<String>,
 }
 
 impl Cli {
@@ -33,6 +39,7 @@ impl Cli {
             scale: default_scale,
             seed: 42,
             full: false,
+            json: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -56,10 +63,110 @@ impl Cli {
                     cli.full = true;
                     i += 1;
                 }
-                other => panic!("unknown argument {other} (supported: --scale --seed --full)"),
+                "--json" => {
+                    cli.json = Some(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--json needs a path"))
+                            .clone(),
+                    );
+                    i += 2;
+                }
+                other => {
+                    panic!("unknown argument {other} (supported: --scale --seed --full --json)")
+                }
             }
         }
         cli
+    }
+}
+
+/// An ordered flat set of `name → f64` metrics, written as one JSON
+/// object (`{"key": value, ...}`, one entry per line) — the
+/// machine-readable contract between the figure harnesses and the
+/// `perf_gate` comparator. No external JSON crate exists in this
+/// container, so the format is deliberately flat: string keys (no quotes,
+/// colons or commas inside), finite f64 values.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    entries: Vec<(String, f64)>,
+}
+
+impl Metrics {
+    /// Record one metric.
+    ///
+    /// # Panics
+    /// Panics on a non-finite value: a NaN/inf metric means the emitting
+    /// harness broke, and silently recording a placeholder would let the
+    /// perf gate score the breakage as "ok" (or even "improved") —
+    /// the exact regression class the gate exists to catch. Failing
+    /// loudly at emission time keeps the CI signal honest.
+    pub fn push(&mut self, key: &str, value: f64) {
+        assert!(
+            value.is_finite(),
+            "metric {key} is non-finite ({value}) — the emitting harness is broken"
+        );
+        self.entries.push((key.to_string(), value));
+    }
+
+    /// The recorded `(key, value)` pairs, in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Serialize to the flat-JSON wire form.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            s.push_str(&format!("  \"{k}\": {v}"));
+            s.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write the flat-JSON form to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parse the flat-JSON form back (inverse of [`Metrics::to_json`];
+    /// also accepts single-line objects). Returns an error string on any
+    /// malformed entry.
+    pub fn parse(text: &str) -> Result<Metrics, String> {
+        let inner = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or("metrics JSON must be one {...} object")?;
+        let mut m = Metrics::default();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once(':')
+                .ok_or_else(|| format!("malformed entry {part:?}"))?;
+            let key = k.trim().trim_matches('"');
+            if key.is_empty() {
+                return Err(format!("empty key in {part:?}"));
+            }
+            let value: f64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("non-numeric value in {part:?}"))?;
+            m.entries.push((key.to_string(), value));
+        }
+        Ok(m)
+    }
+
+    /// Look a metric up by key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
 }
 
@@ -183,5 +290,33 @@ mod tests {
         assert_eq!(fmt_s(123.456), "123.5");
         assert_eq!(fmt_s(12.345), "12.35");
         assert_eq!(fmt_s(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn metrics_roundtrip_through_json() {
+        let mut m = Metrics::default();
+        m.push("align_s_double", 0.04567);
+        m.push("max_queue_depth", 29.0);
+        m.push("fetch_drop", 15.73);
+        let parsed = Metrics::parse(&m.to_json()).unwrap();
+        assert_eq!(parsed.entries(), m.entries());
+        assert_eq!(parsed.get("max_queue_depth"), Some(29.0));
+        assert_eq!(parsed.get("absent"), None);
+    }
+
+    #[test]
+    fn metrics_parse_rejects_garbage() {
+        assert!(Metrics::parse("not json").is_err());
+        assert!(Metrics::parse("{\"k\": notanumber}").is_err());
+        assert!(Metrics::parse("{\"\": 1.0}").is_err());
+        // Empty object is fine.
+        assert!(Metrics::parse("{}").unwrap().entries().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn metrics_reject_non_finite() {
+        let mut m = Metrics::default();
+        m.push("bad", f64::INFINITY);
     }
 }

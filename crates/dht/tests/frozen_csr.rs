@@ -80,6 +80,7 @@ proptest! {
                 ranks: 6,
                 ppn: 2,
                 cost: Default::default(),
+                handler_policy: Default::default(),
                 sequential: true,
             })
         };

@@ -59,6 +59,7 @@ proptest! {
             ranks: 6,
             ppn,
             cost: Default::default(),
+            handler_policy: Default::default(),
             sequential: true,
         });
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {

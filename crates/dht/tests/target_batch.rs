@@ -86,6 +86,7 @@ proptest! {
             ranks: RANKS,
             ppn,
             cost: Default::default(),
+            handler_policy: Default::default(),
             sequential: true,
         });
         // A minimal index: LookupEnv requires one, fetches never touch it.

@@ -4,7 +4,7 @@
 
 use align::{Engine, Scoring};
 use dht::{BuildAlgorithm, CacheConfig};
-use pgas::CostModel;
+use pgas::{CostModel, HandlerPolicy};
 
 /// Granularity of the chunked, node-aware lookup/fetch aggregation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,13 +30,14 @@ pub enum OverlapMode {
     /// batches are issued (non-blocking sends into the owner-side event
     /// queues) while chunk *k* extends, and the communication hidden
     /// behind the extension is credited as *overlapped* (vs *exposed*)
-    /// in the rank stats — the sender waits for its batch responses at
-    /// chunk *k+1*'s scatter, net of that credit. Owner-side queue delay
-    /// is tracked per node (`PhaseReport::node_service`) but does not
-    /// yet feed back into the sender's stall (ROADMAP: "queue-aware
-    /// response gating"). Placements are bit-identical to
-    /// [`OverlapMode::Lockstep`]: the extension walk performs no cache
-    /// operation, so the cache-visible lookup/fetch order is unchanged.
+    /// in the rank stats. With `queue_gate` on, chunk *k*'s extension
+    /// additionally stalls until *k*'s batches have completed service at
+    /// their destination nodes — but only after chunk *k+1*'s issue, so
+    /// one issue window of queue delay is absorbed before any stall is
+    /// charged (Lockstep awaits with no slack). Placements are
+    /// bit-identical to [`OverlapMode::Lockstep`]: the extension walk
+    /// performs no cache operation, so the cache-visible lookup/fetch
+    /// order is unchanged.
     DoubleBuffer,
 }
 
@@ -147,6 +148,32 @@ pub struct PipelineConfig {
     /// rank and treats the hash's 8 response bytes as free — a documented
     /// simplification that slightly understates the filter's own cost.
     pub exact_hash_filter: bool,
+    /// Queue-aware response gating (default on): the chunked pipeline
+    /// declares a gated synchronization point per chunk
+    /// (`RankCtx::await_batches`), so a chunk's extension stalls until
+    /// its off-node batches have actually completed service — arrival +
+    /// queue wait + service — at their destination nodes, instead of the
+    /// flat α–β charge. Deep receiver queues now throttle the sender:
+    /// exposed communication grows with queue depth. Never changes
+    /// placements or cache state (pure timing feedback). Chunked
+    /// pipeline only.
+    pub queue_gate: bool,
+    /// Which rank of a destination node absorbs each aggregated batch's
+    /// handler busy time — the receiver-imbalance mitigation axis of
+    /// Table I. Moves time only, never results.
+    pub handler_policy: HandlerPolicy,
+    /// Queue-aware chunk adaptation threshold for [`LookupChunk::Auto`]:
+    /// between chunks, the pipeline samples its rank-local congestion
+    /// mirror (`RankCtx::queue_pressure`) and *halves* the chunk when the
+    /// observed wait/service ratio exceeds this value (queues are backing
+    /// up — smaller batches complete sooner, shortening the gated stall),
+    /// or *doubles* it when the ratio sits below a quarter of it (queues
+    /// are idle — bigger batches amortize α and handler dispatch),
+    /// clamped to the `Auto` bounds. `f64::INFINITY` disables adaptation.
+    /// Independent of `queue_gate` (the mirror is always maintained), so
+    /// chunk boundaries — and thus placements and cache state — are
+    /// identical whether gating is on or off.
+    pub gate_wait_ratio: f64,
 
     // ---- §IV-C: sensitivity threshold ----
     /// Maximum candidate alignments per seed (0 = unlimited).
@@ -186,6 +213,9 @@ impl PipelineConfig {
             lookup_chunk: LookupChunk::Auto,
             overlap_mode: OverlapMode::DoubleBuffer,
             exact_hash_filter: true,
+            queue_gate: true,
+            handler_policy: HandlerPolicy::LeadRank,
+            gate_wait_ratio: 2.0,
             max_hits_per_seed: 256,
             collect_alignments: false,
         }
@@ -210,13 +240,16 @@ impl PipelineConfig {
         self.batch_lookups && self.lookup_chunk != LookupChunk::Fixed(0)
     }
 
-    /// The reads-per-chunk the align phase actually uses, given the mean
+    /// The reads-per-chunk the align phase *starts* with, given the mean
     /// number of seeds one read contributes (both strands, stride
     /// applied). `Fixed` passes through; `Auto` sizes the chunk so one
     /// (chunk, node) batch carries enough seed payload for the α term of
     /// its message to shrink to ~1/[`AUTO_FILL_FACTOR`] of the β term —
     /// the fill factor then stays near-optimal whether the run has 2
-    /// nodes or 640, short reads or long.
+    /// nodes or 640, short reads or long. From there the `Auto` chunk is
+    /// **queue-aware**: between chunks the pipeline re-sizes it through
+    /// [`PipelineConfig::adapt_lookup_chunk`] against the observed
+    /// handler-queue pressure.
     pub fn effective_lookup_chunk(&self, seeds_per_read: f64) -> usize {
         match self.lookup_chunk {
             LookupChunk::Fixed(n) => n,
@@ -229,6 +262,32 @@ impl PipelineConfig {
                 let chunk = (seeds_per_batch * nodes as f64 / seeds_per_read.max(1.0)).ceil();
                 (chunk as usize).clamp(AUTO_CHUNK_MIN, AUTO_CHUNK_MAX)
             }
+        }
+    }
+
+    /// Queue-aware re-sizing of an [`LookupChunk::Auto`] chunk between
+    /// chunks: `wait_ns`/`service_ns` are the congestion-mirror deltas
+    /// (`RankCtx::queue_pressure`) accumulated since the last decision.
+    /// A wait/service ratio above [`PipelineConfig::gate_wait_ratio`]
+    /// halves the chunk (backpressure: smaller batches complete sooner,
+    /// so the gated stall per synchronization point shrinks); a ratio
+    /// below a quarter of it doubles the chunk (idle queues: larger
+    /// batches amortize α and handler dispatch). `Fixed` chunks and
+    /// an infinite threshold pass through unchanged.
+    pub fn adapt_lookup_chunk(&self, current: usize, wait_ns: f64, service_ns: f64) -> usize {
+        if self.lookup_chunk != LookupChunk::Auto
+            || !self.gate_wait_ratio.is_finite()
+            || service_ns <= 0.0
+        {
+            return current;
+        }
+        let ratio = wait_ns / service_ns;
+        if ratio > self.gate_wait_ratio {
+            (current / 2).max(AUTO_CHUNK_MIN)
+        } else if ratio < self.gate_wait_ratio / 4.0 {
+            (current * 2).min(AUTO_CHUNK_MAX)
+        } else {
+            current
         }
     }
 
@@ -255,6 +314,9 @@ mod tests {
         assert_eq!(c.lookup_chunk, LookupChunk::Auto);
         assert_eq!(c.overlap_mode, OverlapMode::DoubleBuffer);
         assert!(c.exact_hash_filter);
+        assert!(c.queue_gate);
+        assert_eq!(c.handler_policy, HandlerPolicy::LeadRank);
+        assert!(c.gate_wait_ratio.is_finite());
         assert!(c.use_caches);
         assert!(c.exact_match_opt);
         assert!(c.fragment_targets);
@@ -294,6 +356,33 @@ mod tests {
         assert_eq!(c.effective_lookup_chunk(102.0), 7);
         c.lookup_chunk = LookupChunk::Auto;
         assert!(c.effective_lookup_chunk(0.0) <= AUTO_CHUNK_MAX);
+    }
+
+    #[test]
+    fn adapt_shrinks_under_pressure_and_grows_when_idle() {
+        let mut c = PipelineConfig::new(48, 24, 51);
+        // Congested: ratio 10 with threshold 2 → halve (floored).
+        assert_eq!(c.adapt_lookup_chunk(128, 1000.0, 100.0), 64);
+        assert_eq!(
+            c.adapt_lookup_chunk(AUTO_CHUNK_MIN, 1000.0, 100.0),
+            AUTO_CHUNK_MIN
+        );
+        // Idle: ratio 0 → double (capped).
+        assert_eq!(c.adapt_lookup_chunk(128, 0.0, 100.0), 256);
+        assert_eq!(
+            c.adapt_lookup_chunk(AUTO_CHUNK_MAX, 0.0, 100.0),
+            AUTO_CHUNK_MAX
+        );
+        // In the comfort band: unchanged.
+        assert_eq!(c.adapt_lookup_chunk(128, 100.0, 100.0), 128);
+        // No service observed: unchanged.
+        assert_eq!(c.adapt_lookup_chunk(128, 50.0, 0.0), 128);
+        // Fixed chunks and a disabled threshold never adapt.
+        c.lookup_chunk = LookupChunk::Fixed(64);
+        assert_eq!(c.adapt_lookup_chunk(64, 1000.0, 100.0), 64);
+        c.lookup_chunk = LookupChunk::Auto;
+        c.gate_wait_ratio = f64::INFINITY;
+        assert_eq!(c.adapt_lookup_chunk(128, 1000.0, 100.0), 128);
     }
 
     #[test]

@@ -2,12 +2,12 @@
 
 use align::Alignment;
 use dht::{build_seed_index, CacheSet, LookupEnv, SeedEntry};
-use pgas::{GlobalRef, Machine, MachineConfig, PhaseReport};
+use pgas::{GlobalRef, Machine, MachineConfig, PhaseReport, RankCtx};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use seq::seqdb::block_range;
-use seq::{KmerIter, PackedSeq, SeqDb};
+use seq::{KmerIter, SeqDb};
 
 use crate::config::{OverlapMode, PipelineConfig};
 use crate::query::QueryOutcome;
@@ -153,6 +153,7 @@ pub fn run_pipeline(
         ranks: cfg.ranks,
         ppn: cfg.ppn,
         cost: cfg.cost.clone(),
+        handler_policy: cfg.handler_policy,
         sequential: cfg.sequential,
     });
     let p = cfg.ranks;
@@ -245,56 +246,117 @@ pub fn run_pipeline(
                         .sum::<f64>()
                         / reads.len() as f64
                 };
-                let chunk_reads = cfg.effective_lookup_chunk(seeds_per_read).max(1);
+                // The starting chunk; `Auto` chunks then re-size between
+                // chunks against the rank's congestion mirror (the
+                // mirror — and thus every chunk boundary — is identical
+                // whether queue gating is on or off, and across overlap
+                // modes: only issue-order events feed it).
+                let mut chunk_reads = cfg.effective_lookup_chunk(seeds_per_read).max(1);
                 let mut scratch = ChunkScratch::default();
+                let (mut last_wait, mut last_service) = ctx.queue_pressure();
+                let mut adapt = |ctx: &RankCtx, chunk_reads: &mut usize| {
+                    let (w, s) = ctx.queue_pressure();
+                    *chunk_reads = cfg
+                        .adapt_lookup_chunk(*chunk_reads, w - last_wait, s - last_service)
+                        .max(1);
+                    (last_wait, last_service) = (w, s);
+                };
                 match cfg.overlap_mode {
                     OverlapMode::Lockstep => {
                         let mut outcomes: Vec<QueryOutcome> = Vec::new();
-                        for chunk in reads.chunks(chunk_reads) {
+                        let mut pos = 0usize;
+                        while pos < reads.len() {
+                            let end = (pos + chunk_reads).min(reads.len());
+                            let chunk = &reads[pos..end];
                             process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
                             for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..)) {
                                 acc.record(store_ref, cfg, *orig_idx, outcome);
                             }
+                            adapt(ctx, &mut chunk_reads);
+                            pos = end;
                         }
                     }
                     OverlapMode::DoubleBuffer => {
                         // Software pipeline: chunk k+1's lookup/fetch
                         // batches go out (non-blocking sends into the
                         // owner-side event queues) while chunk k extends;
-                        // the sender waits for its responses at chunk
-                        // k+1's scatter, net of the overlap credit for
+                        // with queue gating on, chunk k's extension first
+                        // stalls until k's batches have actually
+                        // completed service at their destination nodes —
+                        // the issue window is the slack that absorbs the
+                        // queue delay — net of the overlap credit for
                         // the comm hidden behind the extension. The
                         // issue/extend op sequence per chunk is
                         // unchanged — placements and cache state match
                         // Lockstep bit for bit.
-                        let chunks: Vec<&[(u32, PackedSeq)]> = reads.chunks(chunk_reads).collect();
                         let mut cur = ChunkState::default();
                         let mut next = ChunkState::default();
-                        if let Some(first) = chunks.first() {
-                            issue_read_chunk(ctx, &actx, first, &mut scratch, &mut cur);
+                        let mut pos = 0usize;
+                        let mut cur_range = 0usize..0usize;
+                        let mut cur_pending = (ctx.batch_mark(), ctx.batch_mark());
+                        if !reads.is_empty() {
+                            let end = chunk_reads.min(reads.len());
+                            let from = ctx.batch_mark();
+                            issue_read_chunk(ctx, &actx, &reads[..end], &mut scratch, &mut cur);
+                            cur_pending = (from, ctx.batch_mark());
+                            cur_range = 0..end;
+                            pos = end;
+                            adapt(ctx, &mut chunk_reads);
                         }
-                        for k in 0..chunks.len() {
-                            if k + 1 < chunks.len() {
+                        while !cur_range.is_empty() {
+                            let next_range = pos..(pos + chunk_reads).min(reads.len());
+                            let mut next_pending = (ctx.batch_mark(), ctx.batch_mark());
+                            if !next_range.is_empty() {
                                 let issue = ctx.overlap_mark();
+                                let from = ctx.batch_mark();
                                 issue_read_chunk(
                                     ctx,
                                     &actx,
-                                    chunks[k + 1],
+                                    &reads[next_range.clone()],
                                     &mut scratch,
                                     &mut next,
                                 );
+                                next_pending = (from, ctx.batch_mark());
+                                adapt(ctx, &mut chunk_reads);
+                                // Gate before taking the extend mark: the
+                                // completion checks belong to the issue
+                                // window, so the overlap credit measures
+                                // the extension alone and gated exposure
+                                // is exactly ungated exposure + stall.
+                                if cfg.queue_gate {
+                                    ctx.await_batches(cur_pending.0, cur_pending.1);
+                                }
                                 let extend = ctx.overlap_mark();
-                                extend_read_chunk(ctx, &actx, chunks[k], &mut scratch, &mut cur);
+                                extend_read_chunk(
+                                    ctx,
+                                    &actx,
+                                    &reads[cur_range.clone()],
+                                    &mut scratch,
+                                    &mut cur,
+                                );
                                 ctx.credit_overlap(issue, extend);
                             } else {
-                                extend_read_chunk(ctx, &actx, chunks[k], &mut scratch, &mut cur);
+                                if cfg.queue_gate {
+                                    ctx.await_batches(cur_pending.0, cur_pending.1);
+                                }
+                                extend_read_chunk(
+                                    ctx,
+                                    &actx,
+                                    &reads[cur_range.clone()],
+                                    &mut scratch,
+                                    &mut cur,
+                                );
                             }
-                            for ((orig_idx, _), outcome) in
-                                chunks[k].iter().zip(drain_chunk_outcomes(&mut cur))
+                            for ((orig_idx, _), outcome) in reads[cur_range.clone()]
+                                .iter()
+                                .zip(drain_chunk_outcomes(&mut cur))
                             {
                                 acc.record(store_ref, cfg, *orig_idx, outcome);
                             }
                             std::mem::swap(&mut cur, &mut next);
+                            pos = next_range.end;
+                            cur_range = next_range;
+                            cur_pending = next_pending;
                         }
                     }
                 }

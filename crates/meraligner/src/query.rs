@@ -814,6 +814,15 @@ pub fn drain_chunk_outcomes(state: &mut ChunkState) -> std::vec::Drain<'_, Query
 /// `OverlapMode::Lockstep` (and the tests pinning it) run. One
 /// [`QueryOutcome`] per read lands in `out` (chunk order).
 ///
+/// With `queue_gate` on, the chunk declares its gated synchronization
+/// point right after the issue half: the extension stalls until every
+/// off-node batch the chunk sent has completed service — arrival + queue
+/// wait + service — at its destination node (`RankCtx::await_batches`,
+/// resolved by the post-phase gating pass). Lockstep has no issue window
+/// to absorb the delay, so the full queue backpressure lands on the
+/// critical path here; the double-buffered pipeline awaits one issue
+/// window later.
+///
 /// Placements are identical to running [`process_query`] per read: both
 /// stages preserve per-seed results exactly (the node batch mirrors the
 /// point-lookup hierarchy), target bytes are identical however they are
@@ -829,7 +838,11 @@ pub fn process_read_chunk(
     out: &mut Vec<QueryOutcome>,
 ) {
     let mut state = std::mem::take(&mut scratch.state);
+    let from = ctx.batch_mark();
     issue_read_chunk(ctx, actx, reads, scratch, &mut state);
+    if actx.cfg.queue_gate {
+        ctx.await_batches(from, ctx.batch_mark());
+    }
     extend_read_chunk(ctx, actx, reads, scratch, &mut state);
     out.clear();
     out.append(&mut state.outcomes);

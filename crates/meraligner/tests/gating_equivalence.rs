@@ -1,0 +1,242 @@
+//! Property tests for queue-aware response gating and the handler
+//! placement policies: both move **time, never results**.
+//!
+//! * Placements, cache counters, message/batch counters and filter
+//!   decisions must be bit-identical across gating {off, on} ×
+//!   `HandlerPolicy` {all four} × ppn {1, 6, 24} — gating only resolves
+//!   stalls post-phase, policies only re-home handler busy time, and the
+//!   queue-aware chunk adaptation runs off the rank-local congestion
+//!   mirror, which none of those knobs perturb.
+//! * Gated exposed communication is the ungated exposure plus a
+//!   non-negative stall, so it can never fall below the ungated run's.
+//! * Under a congested cost model (expensive handlers) the stall is
+//!   strictly positive and grows the gated align time — deep receiver
+//!   queues now throttle the pipeline.
+//! * The queue-aware `Auto` chunk adaptation must not regress simulated
+//!   align time against the same configuration with adaptation disabled.
+
+use meraligner::{run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig};
+use proptest::prelude::*;
+
+/// Everything a run must keep bit-identical across gating and policies.
+fn result_profile(res: &meraligner::PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    let agg = res.align_phase().unwrap().aggregate();
+    (
+        res.placements.clone(),
+        res.exact_path_reads,
+        res.alignments_total,
+        (
+            agg.msgs_remote,
+            agg.msgs_local,
+            agg.bytes_remote,
+            agg.bytes_local,
+            agg.node_batches,
+            agg.node_batch_seeds,
+            agg.target_batches,
+            agg.target_batch_refs,
+        ),
+        (
+            agg.seed_cache_hits,
+            agg.seed_cache_misses,
+            agg.target_cache_hits,
+            agg.target_cache_misses,
+            agg.exact_hash_checks,
+            agg.exact_hash_skips,
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn gating_and_policies_move_time_never_results(
+        seed in 1u64..500,
+        ppn_sel in 0usize..3,
+        chunk_sel in 0usize..3,
+    ) {
+        let ppn = [1usize, 6, 24][ppn_sel];
+        let chunk = [
+            LookupChunk::Fixed(7),
+            LookupChunk::Auto,
+            LookupChunk::Fixed(usize::MAX),
+        ][chunk_sel];
+        let d = genome::human_like(0.001, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let run = |gate: bool, policy: HandlerPolicy| {
+            let mut cfg = PipelineConfig::new(12, ppn, d.k);
+            cfg.lookup_chunk = chunk;
+            cfg.queue_gate = gate;
+            cfg.handler_policy = policy;
+            run_pipeline(&cfg, &tdb, &qdb)
+        };
+        let reference = run(false, HandlerPolicy::LeadRank);
+        let ref_profile = result_profile(&reference);
+        let ref_phase = reference.align_phase().unwrap();
+        let ref_exposed: f64 = ref_phase
+            .rank_stats
+            .iter()
+            .map(|s| s.comm_exposed_ns())
+            .sum();
+        let ref_busy: f64 = ref_phase.rank_stats.iter().map(|s| s.handler_ns).sum();
+
+        for gate in [false, true] {
+            for policy in HandlerPolicy::ALL {
+                let res = run(gate, policy);
+                prop_assert_eq!(
+                    result_profile(&res),
+                    // Clone-free re-derivation keeps the assertion message usable.
+                    result_profile(&reference),
+                    "results moved at ppn {} chunk {:?} gate {} policy {:?}",
+                    ppn, chunk, gate, policy
+                );
+                let phase = res.align_phase().unwrap();
+                // Queue dynamics are gating-input and policy-independent:
+                // identical per-node service reports everywhere the
+                // arrivals are unshifted (ungated), identical across
+                // policies always.
+                if !gate {
+                    prop_assert_eq!(&phase.node_service, &ref_phase.node_service);
+                }
+                // Handler busy time is conserved — policies only re-home it.
+                let busy: f64 = phase.rank_stats.iter().map(|s| s.handler_ns).sum();
+                prop_assert!((busy - ref_busy).abs() < 1e-6);
+                // Gated exposure = ungated exposure + non-negative stall.
+                let exposed: f64 = phase
+                    .rank_stats
+                    .iter()
+                    .map(|s| s.comm_exposed_ns())
+                    .sum();
+                let stall: f64 = phase.rank_stats.iter().map(|s| s.gate_stall_ns).sum();
+                if gate {
+                    prop_assert!(stall >= 0.0);
+                    prop_assert!(
+                        exposed + 1e-6 >= ref_exposed,
+                        "gated exposed comm fell below ungated: {} vs {}",
+                        exposed, ref_exposed
+                    );
+                    prop_assert!((exposed - stall - ref_exposed).abs() < 1e-3);
+                } else {
+                    prop_assert_eq!(stall, 0.0);
+                    prop_assert!((exposed - ref_exposed).abs() < 1e-6);
+                }
+            }
+        }
+        let _ = ref_profile;
+    }
+}
+
+/// Under an expensive-handler cost model the receiver queues stay deep and
+/// the gated sender genuinely stalls: exposed communication and align time
+/// grow vs the ungated accounting, while results stay bit-identical.
+#[test]
+fn congested_queues_throttle_the_gated_sender() {
+    let d = genome::human_like(0.003, 11);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let run = |gate: bool| {
+        let mut cfg = PipelineConfig::new(24, 12, d.k);
+        // Handlers an order of magnitude slower than the default: every
+        // aggregated batch now costs the owner real service time, so the
+        // per-node FIFO backs up behind the issue bursts.
+        cfg.cost.handler_dispatch_ns = 200_000.0;
+        cfg.cost.node_route_ns_per_seed = 60.0;
+        cfg.cost.target_route_ns_per_ref = 60.0;
+        cfg.queue_gate = gate;
+        run_pipeline(&cfg, &tdb, &qdb)
+    };
+    let ungated = run(false);
+    let gated = run(true);
+    assert_eq!(ungated.placements, gated.placements);
+    let ug = ungated.align_phase().unwrap();
+    let gt = gated.align_phase().unwrap();
+    assert_eq!(
+        ug.aggregate().seed_cache_hits,
+        gt.aggregate().seed_cache_hits
+    );
+    let (_, stall_max, _) = gt.rank_gate_stall_spread();
+    assert!(
+        stall_max > 0.0,
+        "deep queues must stall the gated sender (max depth {})",
+        gt.max_queue_depth()
+    );
+    assert!(gt.mean_exposed_comm_seconds() > ug.mean_exposed_comm_seconds());
+    assert!(
+        gated.align_seconds() > ungated.align_seconds(),
+        "backpressure must show up in the gated align time: {} vs {}",
+        gated.align_seconds(),
+        ungated.align_seconds()
+    );
+    // The ungated run records zero stall by construction.
+    assert_eq!(ug.rank_gate_stall_spread().1, 0.0);
+}
+
+/// The queue-aware `Auto` chunk adaptation (grow when idle, shrink under
+/// sustained backpressure) must not regress simulated align time against
+/// the same run with adaptation pinned off — and never moves placements.
+#[test]
+fn queue_aware_chunk_adaptation_does_not_regress_align_time() {
+    // Big enough that each rank works through several chunks — the
+    // adaptation needs decision points to act on.
+    let d = genome::human_like(0.03, 7);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let run = |adapt: bool| {
+        let mut cfg = PipelineConfig::new(48, 24, d.k);
+        if !adapt {
+            cfg.gate_wait_ratio = f64::INFINITY;
+        }
+        run_pipeline(&cfg, &tdb, &qdb)
+    };
+    let fixed = run(false);
+    let adaptive = run(true);
+    assert_eq!(fixed.placements, adaptive.placements);
+    assert!(
+        adaptive.align_seconds() <= fixed.align_seconds() * 1.001,
+        "queue-aware chunk adaptation regressed align time: {} vs {}",
+        adaptive.align_seconds(),
+        fixed.align_seconds()
+    );
+    // Adaptation actually acted at this shape (chunk boundaries differ →
+    // different node-batch counts).
+    let fa = fixed.align_phase().unwrap().aggregate();
+    let aa = adaptive.align_phase().unwrap().aggregate();
+    assert_ne!(
+        fa.node_batches, aa.node_batches,
+        "adaptation should change the batching at a shape this loaded"
+    );
+}
+
+/// The headline placement-policy claim at the Edison node shape: spreading
+/// policies cut the worst per-rank handler load (the Table I
+/// receiver-imbalance signal) vs piling everything on the lead rank.
+#[test]
+fn spreading_policies_cut_receiver_imbalance_at_edison_shape() {
+    let d = genome::human_like(0.01, 7);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let run = |policy: HandlerPolicy| {
+        let mut cfg = PipelineConfig::new(48, 24, d.k);
+        cfg.handler_policy = policy;
+        cfg.overlap_mode = OverlapMode::DoubleBuffer;
+        run_pipeline(&cfg, &tdb, &qdb)
+    };
+    let lead = run(HandlerPolicy::LeadRank);
+    let lead_phase = lead.align_phase().unwrap();
+    let (_, lead_max, _) = lead_phase.rank_handler_spread();
+    assert!(lead_max > 0.0, "the service model must be live");
+    for policy in [HandlerPolicy::RotateRanks, HandlerPolicy::LeastLoaded] {
+        let res = run(policy);
+        assert_eq!(res.placements, lead.placements);
+        let phase = res.align_phase().unwrap();
+        // Same queues, same busy total, lower worst-rank handler load.
+        assert_eq!(&phase.node_service, &lead_phase.node_service);
+        let (_, max, _) = phase.rank_handler_spread();
+        assert!(
+            max < lead_max,
+            "{policy:?} must spread the handler load: {max} vs lead {lead_max}"
+        );
+    }
+}

@@ -80,6 +80,9 @@ proptest! {
         prop_assert_eq!(ls.exact_hash_checks, db.exact_hash_checks);
         prop_assert_eq!(ls.exact_hash_skips, db.exact_hash_skips);
         prop_assert_eq!(ls.handler_batches, db.handler_batches);
+        // Both modes declare one gated synchronization point per chunk
+        // over the same batches; only the stall they resolve to differs.
+        prop_assert_eq!(ls.gate_waits, db.gate_waits);
         if !filter {
             prop_assert_eq!(ls.exact_hash_checks, 0);
         }

@@ -81,6 +81,13 @@ pub struct CostModel {
     /// once per off-node batch by the destination node's handler — the
     /// dispatch term of every [`sim`](crate::sim) service event.
     pub handler_dispatch_ns: f64,
+    /// Sender-side cost of testing one outstanding aggregated batch for
+    /// completion at a queue-gated synchronization point (a GASNet-style
+    /// `try` on the batch's response flag). Paid per awaited batch by
+    /// `RankCtx::await_batches`; the *stall* itself — how long the
+    /// response actually takes beyond this point — is resolved by the
+    /// post-phase gating pass, not by this constant.
+    pub gate_check_ns: f64,
     /// Hashing one base of a candidate window for the exact-stage fetch
     /// filter (word-wise over the 2-bit packed words, like
     /// [`CostModel::memcmp_ns_per_base`]).
@@ -126,6 +133,7 @@ impl Default for CostModel {
             fetch_pack_ns_per_ref: 10.0,
             target_route_ns_per_ref: 4.0,
             handler_dispatch_ns: 500.0,
+            gate_check_ns: 40.0,
             window_hash_ns_per_base: 0.05,
             freeze_slot_ns: 60.0,
             cache_probe_ns: 25.0,

@@ -47,8 +47,8 @@ pub mod stats;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use machine::{Machine, MachineConfig, OverlapMark, PhaseReport, RankCtx};
+pub use machine::{BatchId, BatchMark, Machine, MachineConfig, OverlapMark, PhaseReport, RankCtx};
 pub use shared::{GlobalRef, ReservationStack, SharedArray};
-pub use sim::{EventKind, NodeQueue, QueueReport, SimEvent};
+pub use sim::{EventKind, NodeQueue, QueueReport, ServicedBatch, SimEvent};
 pub use stats::{CommTag, CompTag, RankStats, COMM_TAGS, COMP_TAGS};
-pub use topology::Topology;
+pub use topology::{HandlerPolicy, Topology};

@@ -14,9 +14,19 @@
 use rayon::prelude::*;
 
 use crate::cost::CostModel;
-use crate::sim::{service_phase, EventKind, QueueReport, SimEvent};
+use crate::sim::{service_phase_detailed, EventKind, QueueReport, ServicedBatch, SimEvent};
 use crate::stats::{CommTag, CompTag, RankStats};
-use crate::topology::Topology;
+use crate::topology::{HandlerPolicy, Topology};
+
+/// Gating fixed point: maximum replay rounds. Sender stalls shift later
+/// arrivals, which shift completions, which shift stalls; the iteration
+/// converges quickly in practice (stalls only delay arrivals, thinning
+/// the queues), so a small cap keeps the pass cheap and deterministic.
+const GATE_MAX_ROUNDS: usize = 4;
+
+/// Gating fixed point: stall change (ns) below which a round counts as
+/// converged.
+const GATE_CONVERGENCE_NS: f64 = 1e-3;
 
 /// Configuration for a simulated machine.
 #[derive(Clone, Debug)]
@@ -27,6 +37,10 @@ pub struct MachineConfig {
     pub ppn: usize,
     /// The cost model pricing every operation.
     pub cost: CostModel,
+    /// Which rank of a destination node absorbs each serviced batch's
+    /// busy time (receiver-imbalance mitigation; time only, never
+    /// results).
+    pub handler_policy: HandlerPolicy,
     /// Run ranks sequentially in rank order instead of in parallel.
     /// Slower, but makes cache-interleaving effects bit-for-bit
     /// reproducible; results (alignments) are identical either way.
@@ -40,6 +54,7 @@ impl MachineConfig {
             ranks,
             ppn,
             cost: CostModel::default(),
+            handler_policy: HandlerPolicy::LeadRank,
             sequential: false,
         }
     }
@@ -112,10 +127,23 @@ impl PhaseReport {
     }
 
     /// (min, max, mean) of per-rank owner-side handler seconds — the
-    /// receiver-imbalance signal of the service model (nonzero only on
-    /// node lead ranks).
+    /// receiver-imbalance signal of the service model (which ranks are
+    /// nonzero depends on the machine's [`HandlerPolicy`]).
     pub fn rank_handler_spread(&self) -> (f64, f64, f64) {
         spread(self.rank_stats.iter().map(|s| s.handler_ns))
+    }
+
+    /// (min, max, mean) of per-rank queue-gating stall seconds — how long
+    /// senders actually blocked on deep receiver queues (zero when the
+    /// phase declared no gated synchronization point).
+    pub fn rank_gate_stall_spread(&self) -> (f64, f64, f64) {
+        spread(self.rank_stats.iter().map(|s| s.gate_stall_ns))
+    }
+
+    /// Mean over ranks of queue-gating stall seconds.
+    pub fn mean_gate_stall_seconds(&self) -> f64 {
+        let n = self.rank_stats.len().max(1) as f64;
+        self.rank_stats.iter().map(|s| s.gate_stall_ns).sum::<f64>() / n / 1e9
     }
 
     /// Mean over ranks of communication seconds hidden behind computation
@@ -174,6 +202,7 @@ fn spread(it: impl Iterator<Item = f64>) -> (f64, f64, f64) {
 pub struct Machine {
     topo: Topology,
     cost: CostModel,
+    handler_policy: HandlerPolicy,
     sequential: bool,
     phases: Vec<PhaseReport>,
 }
@@ -184,6 +213,7 @@ impl Machine {
         Machine {
             topo: Topology::new(cfg.ranks, cfg.ppn),
             cost: cfg.cost,
+            handler_policy: cfg.handler_policy,
             sequential: cfg.sequential,
             phases: Vec::new(),
         }
@@ -206,29 +236,36 @@ impl Machine {
     /// After every rank finishes, the phase's off-node aggregated batches
     /// (recorded as [`SimEvent`]s by the `charge_*_node_batch` methods)
     /// are replayed through the [`sim`](crate::sim) service pass: each
-    /// destination node's handler queue runs FIFO, and the resulting busy
-    /// time is folded into that node's lead rank *before* the
-    /// max-over-ranks phase time is taken — so owner-side service
-    /// contends with the owner's own work in the makespan.
+    /// destination node's handler queue runs FIFO, the per-event
+    /// completion times are fed back into any gated synchronization
+    /// points the ranks declared ([`RankCtx::await_batches`] — senders
+    /// stall on deep receiver queues), and the resulting busy time is
+    /// folded into node ranks per the machine's [`HandlerPolicy`]
+    /// *before* the max-over-ranks phase time is taken — so owner-side
+    /// service contends with node work in the makespan.
     pub fn phase<T, F>(&mut self, name: &str, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut RankCtx) -> T + Sync,
     {
         let started = std::time::Instant::now();
-        let run_one = |rank: usize| -> (T, RankStats, Vec<SimEvent>) {
+        let run_one = |rank: usize| -> (T, RankStats, Vec<SimEvent>, Vec<WaitPoint>) {
             let mut ctx = RankCtx {
                 rank,
                 topo: self.topo,
                 cost: &self.cost,
                 stats: RankStats::default(),
                 events: Vec::new(),
+                waits: Vec::new(),
                 next_seq: 0,
+                mirror_free: Vec::new(),
+                mirror_wait_ns: 0.0,
+                mirror_service_ns: 0.0,
             };
             let out = f(&mut ctx);
-            (out, ctx.stats, ctx.events)
+            (out, ctx.stats, ctx.events, ctx.waits)
         };
-        let triples: Vec<(T, RankStats, Vec<SimEvent>)> = if self.sequential {
+        let parts: Vec<(T, RankStats, Vec<SimEvent>, Vec<WaitPoint>)> = if self.sequential {
             (0..self.topo.ranks()).map(run_one).collect()
         } else {
             (0..self.topo.ranks())
@@ -237,29 +274,24 @@ impl Machine {
                 .collect()
         };
         let wall_seconds = started.elapsed().as_secs_f64();
-        let mut outs = Vec::with_capacity(triples.len());
-        let mut rank_stats = Vec::with_capacity(triples.len());
-        let mut events = Vec::new();
-        for (out, st, evs) in triples {
+        let mut outs = Vec::with_capacity(parts.len());
+        let mut rank_stats = Vec::with_capacity(parts.len());
+        let mut rank_events = Vec::with_capacity(parts.len());
+        let mut rank_waits = Vec::with_capacity(parts.len());
+        for (out, st, evs, ws) in parts {
             outs.push(out);
             rank_stats.push(st);
-            events.extend(evs);
+            rank_events.push(evs);
+            rank_waits.push(ws);
         }
-        // Owner-side service pass: deterministic regardless of rank
-        // scheduling (each rank's trace is pure, the queues order by
-        // (arrival, src, seq)).
-        let node_service = if events.is_empty() {
+        // Owner-side service pass + queue-aware response gating:
+        // deterministic regardless of rank scheduling (each rank's trace
+        // is pure, the queues order by (arrival, src, seq), and the
+        // gating fixed point iterates over the recorded traces only).
+        let node_service = if rank_events.iter().all(Vec::is_empty) {
             Vec::new()
         } else {
-            let reports = service_phase(events, self.topo.nodes());
-            for r in &reports {
-                if r.events > 0 {
-                    let lead = self.topo.lead_rank(r.node);
-                    rank_stats[lead].handler_ns += r.busy_ns;
-                    rank_stats[lead].handler_batches += r.events;
-                }
-            }
-            reports
+            self.resolve_service(&rank_events, &rank_waits, &mut rank_stats)
         };
         let sim_seconds = rank_stats
             .iter()
@@ -274,6 +306,151 @@ impl Machine {
             node_service,
         });
         outs
+    }
+
+    /// Replay the phase's off-node batches through the node handler
+    /// queues, resolve the senders' gated stalls against the per-event
+    /// completion times (fixed-point: stalls delay a sender's later
+    /// arrivals, which shift completions, which shift stalls), fold the
+    /// handler busy time into node ranks per the [`HandlerPolicy`], and
+    /// return the per-node queue reports.
+    fn resolve_service(
+        &self,
+        rank_events: &[Vec<SimEvent>],
+        rank_waits: &[Vec<WaitPoint>],
+        rank_stats: &mut [RankStats],
+    ) -> Vec<QueueReport> {
+        let nodes = self.topo.nodes();
+        let total_events: usize = rank_events.iter().map(Vec::len).sum();
+        let gated = rank_waits.iter().any(|w| !w.is_empty());
+        let mut stalls: Vec<Vec<f64>> = rank_waits.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut detailed: Vec<(QueueReport, Vec<ServicedBatch>)>;
+        let mut round = 0usize;
+        loop {
+            // Replay with each event's arrival shifted by the stalls its
+            // sender accumulated before issuing it: an event with seq s
+            // was issued after exactly the wait points *declared* before
+            // it, i.e. those with `issued_seq <= s` (seq only advances at
+            // issue time; `to_seq` alone would wrongly delay batches the
+            // double buffer put on the wire before awaiting).
+            let mut events = Vec::with_capacity(total_events);
+            for (r, evs) in rank_events.iter().enumerate() {
+                let waits = &rank_waits[r];
+                let st = &stalls[r];
+                let mut w = 0usize;
+                let mut skew = 0.0f64;
+                for ev in evs {
+                    while w < waits.len() && waits[w].issued_seq <= ev.seq {
+                        skew += st[w];
+                        w += 1;
+                    }
+                    let mut shifted = *ev;
+                    shifted.arrival_ns += skew;
+                    events.push(shifted);
+                }
+            }
+            detailed = service_phase_detailed(events, nodes);
+            if !gated {
+                break;
+            }
+            // Per-event completions, indexed by (src rank, per-src seq)
+            // (a rank's seqs are consecutive from zero).
+            let mut completions: Vec<Vec<f64>> =
+                rank_events.iter().map(|e| vec![0.0; e.len()]).collect();
+            for (_, batches) in &detailed {
+                for b in batches {
+                    completions[b.src_rank as usize][b.seq as usize] = b.completion_ns;
+                }
+            }
+            // New stall per wait point: how far the latest awaited
+            // completion lands past the rank's (stall-adjusted) clock.
+            let mut delta = 0.0f64;
+            let new_stalls: Vec<Vec<f64>> = rank_waits
+                .iter()
+                .enumerate()
+                .map(|(r, waits)| {
+                    let mut skew = 0.0f64;
+                    waits
+                        .iter()
+                        .enumerate()
+                        .map(|(i, wp)| {
+                            let latest = (wp.from_seq..wp.to_seq)
+                                .map(|seq| completions[r][seq as usize])
+                                .fold(0.0f64, f64::max);
+                            let stall = (latest - (wp.at_ns + skew)).max(0.0);
+                            skew += stall;
+                            delta = delta.max((stall - stalls[r][i]).abs());
+                            stall
+                        })
+                        .collect()
+                })
+                .collect();
+            let converged = delta <= GATE_CONVERGENCE_NS;
+            stalls = new_stalls;
+            round += 1;
+            if converged || round >= GATE_MAX_ROUNDS {
+                break;
+            }
+        }
+        for (r, st) in stalls.iter().enumerate() {
+            rank_stats[r].gate_stall_ns += st.iter().sum::<f64>();
+        }
+        self.fold_handler(&detailed, rank_stats);
+        detailed.into_iter().map(|(report, _)| report).collect()
+    }
+
+    /// Distribute each node's serviced-batch busy time across the node's
+    /// ranks per the machine's [`HandlerPolicy`]. Service order (and thus
+    /// every queue report and completion time) is policy-independent; the
+    /// policy only chooses the absorbing rank per batch.
+    fn fold_handler(
+        &self,
+        detailed: &[(QueueReport, Vec<ServicedBatch>)],
+        rank_stats: &mut [RankStats],
+    ) {
+        for (node, (report, batches)) in detailed.iter().enumerate() {
+            if report.events == 0 {
+                continue;
+            }
+            match self.handler_policy {
+                HandlerPolicy::LeadRank => {
+                    let lead = self.topo.lead_rank(node);
+                    rank_stats[lead].handler_ns += report.busy_ns;
+                    rank_stats[lead].handler_batches += report.events;
+                }
+                HandlerPolicy::DedicatedProgressRank => {
+                    let prog = self.topo.progress_rank(node);
+                    rank_stats[prog].handler_ns += report.busy_ns;
+                    rank_stats[prog].handler_batches += report.events;
+                }
+                HandlerPolicy::RotateRanks => {
+                    let ranks = self.topo.ranks_on_node(node);
+                    let n = ranks.len();
+                    for (i, b) in batches.iter().enumerate() {
+                        let r = ranks.start + i % n;
+                        rank_stats[r].handler_ns += b.service_ns;
+                        rank_stats[r].handler_batches += 1;
+                    }
+                }
+                HandlerPolicy::LeastLoaded => {
+                    let ranks = self.topo.ranks_on_node(node);
+                    let mut loads: Vec<f64> =
+                        ranks.clone().map(|r| rank_stats[r].total_ns()).collect();
+                    for b in batches {
+                        let mut best = 0usize;
+                        for i in 1..loads.len() {
+                            if loads[i] < loads[best] {
+                                best = i;
+                            }
+                        }
+                        let r = ranks.start + best;
+                        rank_stats[r].handler_ns += b.service_ns;
+                        rank_stats[r].handler_batches += 1;
+                        loads[best] += b.service_ns;
+                    }
+                }
+            }
+        }
     }
 
     /// The phase log so far.
@@ -302,6 +479,34 @@ impl Machine {
     }
 }
 
+/// Identifies one off-node aggregated batch this rank issued (its
+/// per-rank event sequence number) — the handle [`RankCtx::await_batch`]
+/// stalls on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchId(u32);
+
+/// A marker into this rank's stream of off-node aggregated batches; a
+/// `(mark, mark)` pair delimits the batches issued in between, awaited
+/// together by [`RankCtx::await_batches`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchMark(u32);
+
+/// One gated synchronization point: at local time `at_ns` the rank
+/// blocked until every batch in `[from_seq, to_seq)` completed service at
+/// its destination node. Resolved into a stall by the post-phase gating
+/// pass. `issued_seq` is the rank's event sequence when the wait was
+/// *declared* — batches with `seq >= issued_seq` were sent after the
+/// stall and get delayed by it; batches issued between `to_seq` and the
+/// wait (the double buffer issues chunk k+1 before awaiting chunk k)
+/// were already on the wire and must not be.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WaitPoint {
+    from_seq: u32,
+    to_seq: u32,
+    issued_seq: u32,
+    at_ns: f64,
+}
+
 /// Per-rank handle: identity, topology, and the charging interface.
 ///
 /// Algorithm code performs its real work (hashing, copying, aligning) and
@@ -316,8 +521,21 @@ pub struct RankCtx<'a> {
     /// Off-node aggregated batches sent this phase, replayed through the
     /// destination nodes' handler queues after the barrier.
     events: Vec<SimEvent>,
+    /// Gated synchronization points, resolved post-phase against the
+    /// service replay's completion times.
+    waits: Vec<WaitPoint>,
     /// Per-rank event sequence (deterministic queue tie-break).
     next_seq: u32,
+    /// Local congestion mirror: per destination node, when that node's
+    /// handler would next be free under the SPMD-symmetry assumption that
+    /// every off-node sender issues traffic like this rank's. Purely
+    /// rank-local (deterministic); feeds [`RankCtx::queue_pressure`].
+    mirror_free: Vec<f64>,
+    /// Modeled queueing delay this rank's own batches accumulated in the
+    /// congestion mirror (ns).
+    mirror_wait_ns: f64,
+    /// Service demand this rank's own batches carried (ns).
+    mirror_service_ns: f64,
 }
 
 /// A snapshot of a rank's charged communication/computation, used to
@@ -447,19 +665,30 @@ impl RankCtx<'_> {
     /// handler queue, serviced after the phase with the busy time folded
     /// into the destination's lead rank. The node-batch counters feed the
     /// per-node breakdown of the fig8 query-side harness.
+    /// Returns the [`BatchId`] of the recorded service event for off-node
+    /// batches (awaitable via [`RankCtx::await_batch`]), `None` for
+    /// same-node batches (sender-demuxed, nothing to wait for).
     #[inline]
-    pub fn charge_lookup_node_batch(&mut self, dst: usize, seeds: u64, bytes: u64, tag: CommTag) {
+    pub fn charge_lookup_node_batch(
+        &mut self,
+        dst: usize,
+        seeds: u64,
+        bytes: u64,
+        tag: CommTag,
+    ) -> Option<BatchId> {
         self.charge_message(dst, bytes, tag);
         self.stats.comp_ns[CompTag::Lookup.idx()] +=
             seeds as f64 * self.cost.batch_pack_ns_per_seed;
-        if self.same_node(dst) {
+        let id = if self.same_node(dst) {
             self.stats.comp_ns[CompTag::Lookup.idx()] +=
                 seeds as f64 * self.cost.node_route_ns_per_seed;
+            None
         } else {
-            self.enqueue_service(dst, EventKind::LookupBatch, seeds);
-        }
+            Some(self.enqueue_service(dst, EventKind::LookupBatch, seeds))
+        };
         self.stats.node_batches += 1;
         self.stats.node_batch_seeds += seeds;
+        id
     }
 
     /// Charge one *node*-batched target-fetch message carrying `refs`
@@ -473,16 +702,26 @@ impl RankCtx<'_> {
     /// off-node batches enqueue a [`SimEvent`] serviced by the destination
     /// node's handler. The `TargetFetch` batch counters feed the per-node
     /// breakdown of the fig8 harness.
+    /// Returns the [`BatchId`] of the recorded service event for off-node
+    /// batches (awaitable via [`RankCtx::await_batch`]), `None` for
+    /// same-node batches (sender-demuxed, nothing to wait for).
     #[inline]
-    pub fn charge_target_node_batch(&mut self, dst: usize, refs: u64, bytes: u64, tag: CommTag) {
+    pub fn charge_target_node_batch(
+        &mut self,
+        dst: usize,
+        refs: u64,
+        bytes: u64,
+        tag: CommTag,
+    ) -> Option<BatchId> {
         self.charge_message(dst, bytes, tag);
         self.stats.comp_ns[CompTag::Lookup.idx()] += refs as f64 * self.cost.fetch_pack_ns_per_ref;
-        if self.same_node(dst) {
+        let id = if self.same_node(dst) {
             self.stats.comp_ns[CompTag::Lookup.idx()] +=
                 refs as f64 * self.cost.target_route_ns_per_ref;
+            None
         } else {
-            self.enqueue_service(dst, EventKind::TargetFetchBatch, refs);
-        }
+            Some(self.enqueue_service(dst, EventKind::TargetFetchBatch, refs))
+        };
         self.stats.target_batches += 1;
         self.stats.target_batch_refs += refs;
         let dst_node = self.topo.node_of(dst);
@@ -490,6 +729,7 @@ impl RankCtx<'_> {
             self.stats.target_batches_to_node.resize(dst_node + 1, 0);
         }
         self.stats.target_batches_to_node[dst_node] += 1;
+        id
     }
 
     /// Record one off-node aggregated batch on the destination node's
@@ -497,20 +737,93 @@ impl RankCtx<'_> {
     /// batch's charges so far (the α–β message and the per-item pack
     /// compute, both of which precede the send), service demand is priced
     /// by [`CostModel::handler_service_ns`]. The queues are replayed by
-    /// the phase executor after the barrier.
+    /// the phase executor after the barrier. Also advances the local
+    /// congestion mirror behind [`RankCtx::queue_pressure`].
     #[inline]
-    fn enqueue_service(&mut self, dst: usize, kind: EventKind, items: u64) {
+    fn enqueue_service(&mut self, dst: usize, kind: EventKind, items: u64) -> BatchId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let dst_node = self.topo.node_of(dst);
+        let arrival_ns = self.stats.total_ns();
+        let service_ns = self.cost.handler_service_ns(kind, items);
+        // Congestion mirror: under SPMD symmetry every off-node sender
+        // directs traffic like this rank's at the same queue, so each of
+        // this rank's batches is modeled as serialized behind one
+        // same-sized batch per other sender. The mirrored wait is the
+        // backlog the queue carries into this arrival, *normalized per
+        // sender*: an issue burst of a few batches then sits near
+        // wait/service ≈ 1 regardless of machine shape, and only
+        // sustained overload (queues that never drain between chunks)
+        // pushes the ratio well past it — which is what the chunked
+        // pipeline's adaptation thresholds key on.
+        if self.mirror_free.len() <= dst_node {
+            self.mirror_free.resize(dst_node + 1, 0.0);
+        }
+        let on_node = self.topo.ranks_on_node(dst_node).len();
+        let senders = (self.topo.ranks() - on_node).max(1) as f64;
+        let start = self.mirror_free[dst_node].max(arrival_ns);
+        self.mirror_wait_ns += (start - arrival_ns) / senders;
+        self.mirror_service_ns += service_ns;
+        self.mirror_free[dst_node] = start + senders * service_ns;
         self.events.push(SimEvent {
-            dst_node: self.topo.node_of(dst) as u32,
+            dst_node: dst_node as u32,
             src_rank: self.rank as u32,
             seq,
             kind,
             items,
-            arrival_ns: self.stats.total_ns(),
-            service_ns: self.cost.handler_service_ns(kind, items),
+            arrival_ns,
+            service_ns,
         });
+        BatchId(seq)
+    }
+
+    /// A marker delimiting the off-node batches issued so far; pair two
+    /// marks to [`RankCtx::await_batches`] the batches in between.
+    #[inline]
+    pub fn batch_mark(&self) -> BatchMark {
+        BatchMark(self.next_seq)
+    }
+
+    /// Declare a gated synchronization point on every off-node batch
+    /// issued between `from` and `to`: this rank blocks here until each
+    /// of those batches has completed service (arrival + queue wait +
+    /// service) at its destination node. The completion times are only
+    /// known globally, so the stall is resolved by the post-phase gating
+    /// pass and lands in [`RankStats::gate_stall_ns`]; the immediate
+    /// charge is one `gate_check_ns` completion test per awaited batch.
+    /// A no-op when no batch was issued in the range.
+    pub fn await_batches(&mut self, from: BatchMark, to: BatchMark) {
+        debug_assert!(from.0 <= to.0 && to.0 <= self.next_seq);
+        if from.0 >= to.0 {
+            return;
+        }
+        let n = u64::from(to.0 - from.0);
+        self.stats.comp_ns[CompTag::Other.idx()] += n as f64 * self.cost.gate_check_ns;
+        self.stats.gate_waits += n;
+        self.waits.push(WaitPoint {
+            from_seq: from.0,
+            to_seq: to.0,
+            issued_seq: self.next_seq,
+            at_ns: self.stats.total_ns(),
+        });
+    }
+
+    /// [`RankCtx::await_batches`] for a single batch.
+    pub fn await_batch(&mut self, id: BatchId) {
+        self.await_batches(BatchMark(id.0), BatchMark(id.0 + 1));
+    }
+
+    /// The local congestion mirror's cumulative `(queueing wait, service
+    /// demand)` in ns over this rank's off-node batches: a deterministic,
+    /// rank-local estimate of destination handler-queue pressure (built
+    /// on the SPMD-symmetry assumption — see
+    /// [`RankCtx::enqueue_service`]'s mirror). The chunked pipeline
+    /// samples the deltas between chunks to adapt its chunk size:
+    /// wait/service well above 1 means batches are backing up behind
+    /// other senders' traffic; near zero means the queues drain idle.
+    #[inline]
+    pub fn queue_pressure(&self) -> (f64, f64) {
+        (self.mirror_wait_ns, self.mirror_service_ns)
     }
 
     /// Snapshot this rank's charged comm/comp — a window delimiter for
@@ -828,6 +1141,200 @@ mod tests {
 
     fn m_extract_ns(ctx: &RankCtx, n: u64) -> f64 {
         n as f64 * ctx.cost().seed_extract_ns
+    }
+
+    #[test]
+    fn await_on_congested_queue_charges_a_stall() {
+        // Four node-0 ranks each send one batch to node 1 and immediately
+        // await it: the queue serializes the four services, so later
+        // senders (by the (arrival, src, seq) order) stall longer.
+        let mut m = Machine::new(MachineConfig::new(8, 4));
+        m.phase("gated", |ctx| {
+            if ctx.rank < 4 {
+                let lead = ctx.topo().lead_rank(1);
+                let from = ctx.batch_mark();
+                ctx.charge_lookup_node_batch(lead, 10, 240, CommTag::SeedLookup);
+                ctx.await_batches(from, ctx.batch_mark());
+            }
+        });
+        let p = &m.phases()[0];
+        let agg = p.aggregate();
+        assert_eq!(agg.gate_waits, 4);
+        assert!(agg.gate_stall_ns > 0.0, "congestion must stall someone");
+        // All four arrive at the same instant; rank 0 is serviced first
+        // and stalls least, rank 3 last and most.
+        let stalls: Vec<f64> = p.rank_stats[..4].iter().map(|s| s.gate_stall_ns).collect();
+        assert!(stalls[0] < stalls[3], "{stalls:?}");
+        // The stall is exposed communication and enters the makespan.
+        assert!(p.rank_stats[3].comm_exposed_ns() > p.rank_stats[3].comm_total_ns());
+        assert!(p.sim_seconds * 1e9 >= p.rank_stats[3].total_ns() - 1e-6);
+        let (_, max_stall, _) = p.rank_gate_stall_spread();
+        assert!(max_stall > 0.0);
+        assert!(p.mean_gate_stall_seconds() > 0.0);
+    }
+
+    #[test]
+    fn inflight_batches_are_not_delayed_by_later_waits() {
+        // Double-buffer pattern: each sender issues batch A (to node 1),
+        // then batch B (to node 2), THEN awaits A. B was on the wire
+        // before the stall, so node 2's queue dynamics must be identical
+        // to node 1's (same burst of simultaneous arrivals) — only
+        // batches issued after the await may be delayed by its stall.
+        let mut m = Machine::new(MachineConfig::new(12, 4));
+        m.phase("inflight", |ctx| {
+            if ctx.rank < 4 {
+                let from = ctx.batch_mark();
+                ctx.charge_lookup_node_batch(
+                    ctx.topo().lead_rank(1),
+                    10_000,
+                    2400,
+                    CommTag::SeedLookup,
+                );
+                let to = ctx.batch_mark();
+                ctx.charge_lookup_node_batch(
+                    ctx.topo().lead_rank(2),
+                    10_000,
+                    2400,
+                    CommTag::SeedLookup,
+                );
+                ctx.await_batches(from, to);
+            }
+        });
+        let p = &m.phases()[0];
+        // The awaited burst stalls its senders (distinct completions, one
+        // shared sync point per rank)...
+        assert!(p.aggregate().gate_stall_ns > 0.0);
+        // ...but both nodes saw the same four-simultaneous-batch burst:
+        // had the stall shifted the in-flight node-2 batches, their
+        // arrivals would spread and the total queue wait would shrink.
+        assert_eq!(p.node_service[1].events, 4);
+        assert_eq!(p.node_service[2].events, 4);
+        assert!((p.node_service[2].wait_ns - p.node_service[1].wait_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_queue_awaits_without_stalling() {
+        // One sender, plenty of compute between issue and await: the
+        // batch completes long before the synchronization point.
+        let mut m = Machine::new(MachineConfig::new(8, 4));
+        m.phase("idle", |ctx| {
+            if ctx.rank == 0 {
+                let lead = ctx.topo().lead_rank(1);
+                let id = ctx
+                    .charge_lookup_node_batch(lead, 10, 240, CommTag::SeedLookup)
+                    .expect("off-node batch has an id");
+                ctx.charge_extract(1_000_000); // ~0.6 ms of cover
+                ctx.await_batch(id);
+            }
+        });
+        let agg = m.phases()[0].aggregate();
+        assert_eq!(agg.gate_waits, 1);
+        assert!(
+            agg.gate_stall_ns.abs() < 1e-9,
+            "idle queue must not stall: {}",
+            agg.gate_stall_ns
+        );
+    }
+
+    #[test]
+    fn samenode_batches_have_no_id_and_waits_ignore_empty_ranges() {
+        let mut m = Machine::new(MachineConfig::new(8, 4));
+        m.phase("local", |ctx| {
+            if ctx.rank == 0 {
+                let from = ctx.batch_mark();
+                assert!(ctx
+                    .charge_lookup_node_batch(1, 10, 240, CommTag::SeedLookup)
+                    .is_none());
+                ctx.await_batches(from, ctx.batch_mark()); // empty range: no-op
+            }
+        });
+        let agg = m.phases()[0].aggregate();
+        assert_eq!(agg.gate_waits, 0);
+        assert_eq!(agg.gate_stall_ns, 0.0);
+    }
+
+    #[test]
+    fn gating_is_schedule_deterministic() {
+        let run = |sequential| {
+            let mut cfg = MachineConfig::new(12, 4);
+            cfg.sequential = sequential;
+            let mut m = Machine::new(cfg);
+            m.phase("gated-mixed", |ctx| {
+                ctx.charge_extract((ctx.rank % 3 + 1) as u64 * 10);
+                let other = (ctx.node() + 1) % ctx.topo().nodes();
+                let lead = ctx.topo().lead_rank(other);
+                let from = ctx.batch_mark();
+                ctx.charge_lookup_node_batch(lead, 4 + ctx.rank as u64, 128, CommTag::SeedLookup);
+                ctx.charge_target_node_batch(lead, 2, 4096, CommTag::TargetFetch);
+                ctx.await_batches(from, ctx.batch_mark());
+            });
+            let p = &m.phases()[0];
+            let stalls: Vec<f64> = p.rank_stats.iter().map(|s| s.gate_stall_ns).collect();
+            (p.sim_seconds, stalls, p.node_service.clone())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn handler_policies_distribute_busy_time() {
+        let run = |policy| {
+            let mut cfg = MachineConfig::new(8, 4);
+            cfg.handler_policy = policy;
+            let mut m = Machine::new(cfg);
+            m.phase("svc", |ctx| {
+                if ctx.node() == 0 {
+                    let lead = ctx.topo().lead_rank(1);
+                    ctx.charge_lookup_node_batch(lead, 10, 240, CommTag::SeedLookup);
+                }
+            });
+            let p = &m.phases()[0];
+            let handler: Vec<f64> = p.rank_stats.iter().map(|s| s.handler_ns).collect();
+            let batches: Vec<u64> = p.rank_stats.iter().map(|s| s.handler_batches).collect();
+            (handler, batches, p.node_service.clone())
+        };
+        let (lead_h, lead_b, lead_q) = run(HandlerPolicy::LeadRank);
+        let (rot_h, rot_b, rot_q) = run(HandlerPolicy::RotateRanks);
+        let (ll_h, _ll_b, _) = run(HandlerPolicy::LeastLoaded);
+        let (prog_h, prog_b, _) = run(HandlerPolicy::DedicatedProgressRank);
+        // Queue dynamics are policy-independent.
+        assert_eq!(lead_q, rot_q);
+        let busy = lead_q[1].busy_ns;
+        // LeadRank: everything on rank 4 (node 1's lead).
+        assert!((lead_h[4] - busy).abs() < 1e-9);
+        assert_eq!(lead_b[4], 4);
+        // DedicatedProgressRank: everything on rank 7 (node 1's last).
+        assert!((prog_h[7] - busy).abs() < 1e-9);
+        assert_eq!(prog_b[7], 4);
+        // RotateRanks: one batch per rank of node 1.
+        assert_eq!(&rot_b[4..8], &[1, 1, 1, 1]);
+        assert!((rot_h[4..8].iter().sum::<f64>() - busy).abs() < 1e-9);
+        // LeastLoaded: total conserved, max per rank no worse than lead's.
+        assert!((ll_h[4..8].iter().sum::<f64>() - busy).abs() < 1e-9);
+        let ll_max = ll_h[4..8].iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(ll_max <= lead_h[4] + 1e-9);
+        // Spreading policies strictly beat piling on one rank here.
+        let rot_max = rot_h[4..8].iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(rot_max < lead_h[4]);
+    }
+
+    #[test]
+    fn queue_pressure_mirror_tracks_backlog() {
+        let mut m = Machine::new(MachineConfig::new(8, 4));
+        m.phase("pressure", |ctx| {
+            if ctx.rank == 0 {
+                let (w0, s0) = ctx.queue_pressure();
+                assert_eq!((w0, s0), (0.0, 0.0));
+                let lead = ctx.topo().lead_rank(1);
+                // Back-to-back batches with no compute in between: the
+                // mirror models the other senders' matching traffic, so
+                // the second batch sees backlog.
+                ctx.charge_lookup_node_batch(lead, 100, 2400, CommTag::SeedLookup);
+                ctx.charge_lookup_node_batch(lead, 100, 2400, CommTag::SeedLookup);
+                let (w, s) = ctx.queue_pressure();
+                assert!(s > 0.0);
+                assert!(w > 0.0, "back-to-back sends must mirror a backlog");
+            }
+        });
     }
 
     #[test]

@@ -46,17 +46,33 @@
 //! direct shared-memory read and the sender performs the demux itself (the
 //! per-item routing term stays on the sender for those).
 //!
+//! ## Closing the loop: response gating and placement policies
+//!
+//! The replay also returns per-event **completion times**
+//! ([`ServicedBatch`]), which the phase executor feeds back into the
+//! senders: a rank that declared a gated synchronization point
+//! (`RankCtx::await_batches`) is charged a *stall* for any awaited batch
+//! that completes after the rank's own clock reached that point — deep
+//! receiver queues now throttle the pipeline instead of hiding behind the
+//! flat α–β charge. And instead of always folding a node's handler busy
+//! time into its lead rank, a
+//! [`HandlerPolicy`](crate::topology::HandlerPolicy) chooses the absorbing
+//! rank per batch (lead, rotating, least-loaded, or a dedicated progress
+//! rank) — moving *time*, never results.
+//!
 //! ## Determinism
 //!
 //! Every rank's event trace is a pure function of that rank's work, and the
 //! merge into each node queue orders by `(arrival time, source rank,
 //! per-source sequence number)` — so the service reports are bit-identical
-//! between sequential and parallel phase execution, run to run.
+//! between sequential and parallel phase execution, run to run. The gating
+//! pass runs after the barrier over the recorded traces and wait points —
+//! a deterministic fixed-point iteration, independent of host scheduling.
 
 pub mod event;
 pub mod queue;
 pub mod service;
 
 pub use event::{EventKind, SimEvent};
-pub use queue::{NodeQueue, QueueReport};
-pub use service::service_phase;
+pub use queue::{NodeQueue, QueueReport, ServicedBatch};
+pub use service::{service_phase, service_phase_detailed};

@@ -25,6 +25,27 @@ pub struct QueueReport {
     pub drained_ns: f64,
 }
 
+/// One serviced batch of a queue's replay, in service (FIFO) order — the
+/// per-event completion times the queue-aware response gating and the
+/// handler placement policies consume.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServicedBatch {
+    /// Sending rank.
+    pub src_rank: u32,
+    /// Per-sender sequence number (identifies the batch to its sender).
+    pub seq: u32,
+    /// Items carried (seeds or refs).
+    pub items: u64,
+    /// Arrival at the node (ns from phase start).
+    pub arrival_ns: f64,
+    /// When the handler began servicing it.
+    pub start_ns: f64,
+    /// When service finished — the instant the sender's response is ready.
+    pub completion_ns: f64,
+    /// Service demand (= `completion_ns - start_ns`).
+    pub service_ns: f64,
+}
+
 /// One node's FIFO, single-server handler queue. Fill it with
 /// [`NodeQueue::push`], then [`NodeQueue::run`] replays the arrivals in
 /// deterministic order and produces the [`QueueReport`].
@@ -64,34 +85,51 @@ impl NodeQueue {
     /// for its service demand. Queue depth at an arrival counts arrivals
     /// whose service has not completed by that instant, the new one
     /// included.
-    pub fn run(mut self) -> QueueReport {
+    pub fn run(self) -> QueueReport {
+        self.run_detailed().0
+    }
+
+    /// Like [`NodeQueue::run`], additionally returning one
+    /// [`ServicedBatch`] per event in service order — the per-event
+    /// completion times the gating pass feeds back into sender stalls and
+    /// the per-batch service demands the handler placement policies
+    /// distribute across the node's ranks.
+    pub fn run_detailed(mut self) -> (QueueReport, Vec<ServicedBatch>) {
         self.events.sort_unstable_by(SimEvent::replay_cmp);
         let mut report = QueueReport {
             node: self.node,
             ..QueueReport::default()
         };
-        let mut completions: Vec<f64> = Vec::with_capacity(self.events.len());
+        let mut batches: Vec<ServicedBatch> = Vec::with_capacity(self.events.len());
         let mut free_at = 0.0f64; // handler available from here
-        let mut drained = 0usize; // completions[..drained] <= current arrival
+        let mut drained = 0usize; // batches[..drained] completed <= current arrival
         for ev in &self.events {
             let start = free_at.max(ev.arrival_ns);
             let completion = start + ev.service_ns;
             free_at = completion;
             // Completions are FIFO-monotone, so a pointer walk counts how
             // many earlier batches finished by this arrival.
-            while drained < completions.len() && completions[drained] <= ev.arrival_ns {
+            while drained < batches.len() && batches[drained].completion_ns <= ev.arrival_ns {
                 drained += 1;
             }
-            let depth = completions.len() - drained + 1;
+            let depth = batches.len() - drained + 1;
             report.max_depth = report.max_depth.max(depth);
-            completions.push(completion);
+            batches.push(ServicedBatch {
+                src_rank: ev.src_rank,
+                seq: ev.seq,
+                items: ev.items,
+                arrival_ns: ev.arrival_ns,
+                start_ns: start,
+                completion_ns: completion,
+                service_ns: ev.service_ns,
+            });
             report.events += 1;
             report.items += ev.items;
             report.busy_ns += ev.service_ns;
             report.wait_ns += start - ev.arrival_ns;
             report.drained_ns = completion;
         }
-        report
+        (report, batches)
     }
 }
 
@@ -149,6 +187,29 @@ mod tests {
         let r = q.run();
         assert_eq!(r.max_depth, 2);
         assert_eq!(r.wait_ns, 4.0); // only the second waited (5 − 1)
+    }
+
+    #[test]
+    fn detailed_replay_reports_per_batch_completions() {
+        let mut q = NodeQueue::new(0);
+        q.push(ev(100.0, 10.0, 0, 0));
+        q.push(ev(100.0, 10.0, 1, 0)); // waits behind the first
+        q.push(ev(150.0, 10.0, 2, 0)); // idle handler by then
+        let (report, batches) = q.run_detailed();
+        assert_eq!(report.events, 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].completion_ns, 110.0);
+        assert_eq!(batches[1].start_ns, 110.0);
+        assert_eq!(batches[1].completion_ns, 120.0);
+        assert_eq!(batches[2].start_ns, 150.0);
+        assert_eq!(batches[2].completion_ns, 160.0);
+        assert_eq!(batches[1].src_rank, 1);
+        // run() and run_detailed() agree on the summary.
+        let mut q2 = NodeQueue::new(0);
+        q2.push(ev(100.0, 10.0, 0, 0));
+        q2.push(ev(100.0, 10.0, 1, 0));
+        q2.push(ev(150.0, 10.0, 2, 0));
+        assert_eq!(q2.run(), report);
     }
 
     #[test]

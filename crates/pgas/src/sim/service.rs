@@ -1,7 +1,7 @@
 //! The per-phase service pass: route events to node queues and run them.
 
 use crate::sim::event::SimEvent;
-use crate::sim::queue::{NodeQueue, QueueReport};
+use crate::sim::queue::{NodeQueue, QueueReport, ServicedBatch};
 
 /// Run every node's handler service loop over a phase's event trace.
 ///
@@ -10,13 +10,27 @@ use crate::sim::queue::{NodeQueue, QueueReport};
 /// debug builds and are clamped into range in release (they can only come
 /// from a mis-built trace).
 pub fn service_phase(events: Vec<SimEvent>, nodes: usize) -> Vec<QueueReport> {
+    service_phase_detailed(events, nodes)
+        .into_iter()
+        .map(|(report, _)| report)
+        .collect()
+}
+
+/// Like [`service_phase`], additionally returning each node's serviced
+/// batches in service order — per-event completion times for the
+/// queue-aware response gating, per-batch service demands for the handler
+/// placement policies.
+pub fn service_phase_detailed(
+    events: Vec<SimEvent>,
+    nodes: usize,
+) -> Vec<(QueueReport, Vec<ServicedBatch>)> {
     let mut queues: Vec<NodeQueue> = (0..nodes).map(NodeQueue::new).collect();
     for ev in events {
         debug_assert!((ev.dst_node as usize) < nodes, "event to unknown node");
         let node = (ev.dst_node as usize).min(nodes.saturating_sub(1));
         queues[node].push(ev);
     }
-    queues.into_iter().map(NodeQueue::run).collect()
+    queues.into_iter().map(NodeQueue::run_detailed).collect()
 }
 
 #[cfg(test)]

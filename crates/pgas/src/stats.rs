@@ -103,8 +103,22 @@ pub struct RankStats {
     /// previous chunk extends). Subtracted from [`RankStats::total_ns`];
     /// the remainder of `comm_total_ns` is the *exposed* communication.
     pub comm_overlapped_ns: f64,
+    /// Queue-gating stall nanoseconds resolved by the post-phase gating
+    /// pass: extra time this rank spent blocked at its `await_batches`
+    /// synchronization points because awaited batches had not yet
+    /// completed service (arrival, queue wait and service together ran
+    /// past the rank's own clock) at their destination nodes. Zero when
+    /// the pipeline never awaits. Counts into [`RankStats::total_ns`]
+    /// and into [`RankStats::comm_exposed_ns`] — it is communication
+    /// time exposed on the critical path that the flat α–β charge
+    /// missed.
+    pub gate_stall_ns: f64,
+    /// Off-node aggregated batches this rank awaited at gated
+    /// synchronization points.
+    pub gate_waits: u64,
     /// Owner-side handler nanoseconds folded into this rank by the
-    /// [`sim`](crate::sim) service pass (nonzero only on node lead ranks):
+    /// [`sim`](crate::sim) service pass (per the machine's
+    /// `HandlerPolicy`; nonzero only on ranks the policy selects):
     /// time spent servicing other nodes' aggregated batches, contending
     /// with this rank's own work in the phase makespan.
     pub handler_ns: f64,
@@ -162,16 +176,22 @@ impl RankStats {
 
     /// Total simulated time (ns) this rank spent in the phase: its own
     /// communication (minus what the double-buffered pipeline hid behind
-    /// computation) + its own computation + the handler service time its
-    /// node's [`sim`](crate::sim) queue charged it with.
+    /// computation, plus any queue-gating stall) + its own computation +
+    /// the handler service time its node's [`sim`](crate::sim) queue
+    /// charged it with.
     pub fn total_ns(&self) -> f64 {
-        self.comm_total_ns() - self.comm_overlapped_ns + self.comp_total_ns() + self.handler_ns
+        self.comm_total_ns() - self.comm_overlapped_ns
+            + self.gate_stall_ns
+            + self.comp_total_ns()
+            + self.handler_ns
     }
 
     /// Communication time actually exposed on the critical path (ns):
-    /// total communication minus the overlapped share.
+    /// total communication minus the overlapped share, plus the
+    /// queue-gating stall (blocking on deep receiver queues is exposed
+    /// communication the flat α–β charge missed).
     pub fn comm_exposed_ns(&self) -> f64 {
-        self.comm_total_ns() - self.comm_overlapped_ns
+        self.comm_total_ns() - self.comm_overlapped_ns + self.gate_stall_ns
     }
 
     /// Simulated communication time for one tag (ns).
@@ -208,6 +228,8 @@ impl RankStats {
             self.comp_ns[i] += other.comp_ns[i];
         }
         self.comm_overlapped_ns += other.comm_overlapped_ns;
+        self.gate_stall_ns += other.gate_stall_ns;
+        self.gate_waits += other.gate_waits;
         self.handler_ns += other.handler_ns;
         self.handler_batches += other.handler_batches;
         self.exact_hash_checks += other.exact_hash_checks;
@@ -272,6 +294,23 @@ mod tests {
         t.merge(&s);
         assert_eq!(t.comm_overlapped_ns, 60.0);
         assert_eq!(t.handler_ns, 40.0);
+    }
+
+    #[test]
+    fn gate_stall_enters_total_and_exposed_comm() {
+        let mut s = RankStats::default();
+        s.comm_ns[CommTag::SeedLookup.idx()] = 100.0;
+        s.comp_ns[CompTag::SmithWaterman.idx()] = 50.0;
+        s.comm_overlapped_ns = 30.0;
+        s.gate_stall_ns = 15.0;
+        s.gate_waits = 3;
+        assert_eq!(s.comm_exposed_ns(), 85.0);
+        assert_eq!(s.total_ns(), 85.0 + 50.0);
+        let mut t = RankStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.gate_stall_ns, 30.0);
+        assert_eq!(t.gate_waits, 6);
     }
 
     #[test]

@@ -5,6 +5,55 @@
 //! operations are ~20× more expensive than on-node ones, and the software
 //! caches of §III-B are shared per *node*.
 
+/// Which rank of a destination node absorbs the busy time of the node's
+/// aggregated-batch handler (the `pgas::sim` service loop).
+///
+/// The policy moves **time, never results**: batches are still serviced
+/// by one FIFO single-server loop per node in the same deterministic
+/// order (so queue waits and completion times are policy-independent);
+/// only the rank whose phase total the busy time stacks onto changes —
+/// the receiver-imbalance mitigation axis of Table I.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HandlerPolicy {
+    /// Status quo: the node's lead (lowest) rank absorbs every batch.
+    #[default]
+    LeadRank,
+    /// Round-robin: batch *i* of the node's service order lands on the
+    /// node's `i mod ppn`-th rank — spreads handler time evenly.
+    RotateRanks,
+    /// Each batch lands on the node rank with the smallest accumulated
+    /// load (own charged work plus handler time assigned so far, ties to
+    /// the lowest rank) — the work-stealing-style mitigation.
+    LeastLoaded,
+    /// One dedicated progress rank per node (the node's **last** rank, as
+    /// some UPC runtimes dedicate a core to progressing active messages)
+    /// absorbs every batch. Its own application work is unchanged here —
+    /// redistributing work would change placements — so the policy
+    /// differs from [`HandlerPolicy::LeadRank`] only through which rank's
+    /// own load the handler time stacks on.
+    DedicatedProgressRank,
+}
+
+impl HandlerPolicy {
+    /// All policies, in the order the harness tables report them.
+    pub const ALL: [HandlerPolicy; 4] = [
+        HandlerPolicy::LeadRank,
+        HandlerPolicy::RotateRanks,
+        HandlerPolicy::LeastLoaded,
+        HandlerPolicy::DedicatedProgressRank,
+    ];
+
+    /// Short display name for harness tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            HandlerPolicy::LeadRank => "lead-rank",
+            HandlerPolicy::RotateRanks => "rotate-ranks",
+            HandlerPolicy::LeastLoaded => "least-loaded",
+            HandlerPolicy::DedicatedProgressRank => "progress-rank",
+        }
+    }
+}
+
 /// Shape of the simulated machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
@@ -78,6 +127,15 @@ impl Topology {
         debug_assert!(node < self.nodes());
         node * self.ppn
     }
+
+    /// The highest rank on `node` — the rank
+    /// [`HandlerPolicy::DedicatedProgressRank`] dedicates to servicing
+    /// aggregated remote traffic.
+    #[inline]
+    pub fn progress_rank(&self, node: usize) -> usize {
+        debug_assert!(node < self.nodes());
+        self.ranks_on_node(node).end - 1
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +160,25 @@ mod tests {
         assert_eq!(t.lead_rank(0), 0);
         assert_eq!(t.lead_rank(1), 24);
         assert_eq!(t.node_of(t.lead_rank(1)), 1);
+    }
+
+    #[test]
+    fn progress_rank_is_last_on_node() {
+        let t = Topology::new(48, 24);
+        assert_eq!(t.progress_rank(0), 23);
+        assert_eq!(t.progress_rank(1), 47);
+        // Partial last node: the progress rank is the last *existing* rank.
+        let p = Topology::new(30, 24);
+        assert_eq!(p.progress_rank(1), 29);
+    }
+
+    #[test]
+    fn handler_policy_names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in HandlerPolicy::ALL {
+            assert!(seen.insert(p.name()));
+        }
+        assert_eq!(HandlerPolicy::default(), HandlerPolicy::LeadRank);
     }
 
     #[test]
