@@ -7,11 +7,17 @@
 //! 3.9× at 1920, 4.8× at 7680; the optimized build scales 12.7× from 480
 //! to 7680 cores.
 
-use bench::gates::{GATE_EXPOSED_EPS_S, MIN_TARGET_FETCH_DROP, OVERLAP_ALIGN_EPS_S};
+use bench::gates::{
+    CONGESTED_HANDLER_DISPATCH_NS, CONGESTED_NODE_ROUTE_NS_PER_SEED,
+    CONGESTED_TARGET_ROUTE_NS_PER_REF, GATE_EXPOSED_EPS_S, MIN_DEGRADED_READS_NODE_DOWN,
+    MIN_TARGET_FETCH_DROP, OVERLAP_ALIGN_EPS_S,
+};
 use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, Metrics, PPN};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
-use meraligner::{run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, TargetStore};
-use pgas::{CommTag, GlobalRef, Machine, MachineConfig};
+use meraligner::{
+    run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig, TargetStore,
+};
+use pgas::{CommTag, FaultPlan, GlobalRef, Machine, MachineConfig};
 use seq::KmerIter;
 
 fn build_time(cores: usize, tdb: &seq::SeqDb, k: usize, algo: BuildAlgorithm) -> (f64, u64, u64) {
@@ -100,6 +106,25 @@ fn main() {
     let cores = ablation_sweep(&cli)[0];
     let qdb = d.reads_seqdb();
     let n_reads = qdb.len().max(1) as f64;
+    // `--congested`: inflate the owner-side handler costs so the queue
+    // model carries sustained backpressure through every query-side run;
+    // the resulting metrics are gated against their own baseline
+    // (ci/baselines/fig8_congested.json). Knob values live in
+    // bench::gates next to the thresholds they stress.
+    let tune = |cfg: &mut PipelineConfig| {
+        if cli.congested {
+            cfg.cost.handler_dispatch_ns = CONGESTED_HANDLER_DISPATCH_NS;
+            cfg.cost.node_route_ns_per_seed = CONGESTED_NODE_ROUTE_NS_PER_SEED;
+            cfg.cost.target_route_ns_per_ref = CONGESTED_TARGET_ROUTE_NS_PER_REF;
+        }
+    };
+    if cli.congested {
+        eprintln!(
+            "# congested-cost run: handler dispatch {CONGESTED_HANDLER_DISPATCH_NS} ns, \
+             route {CONGESTED_NODE_ROUTE_NS_PER_SEED} ns/seed, \
+             {CONGESTED_TARGET_ROUTE_NS_PER_REF} ns/ref"
+        );
+    }
     eprintln!(
         "# query-side batching at {cores} cores | reads {}",
         qdb.len()
@@ -125,6 +150,7 @@ fn main() {
     // lockstep row of the overlap section below (same configuration).
     for mode in ["point", "rank-batched", "node-chunked"] {
         let mut cfg = pipeline_config(&d, cores, cores / PPN);
+        tune(&mut cfg);
         cfg.overlap_mode = OverlapMode::Lockstep;
         match mode {
             "point" => cfg.batch_lookups = false,
@@ -277,6 +303,7 @@ fn main() {
     // double-buffered run is new.
     let db = {
         let mut cfg = pipeline_config(&d, cores, cores / PPN);
+        tune(&mut cfg);
         cfg.overlap_mode = OverlapMode::DoubleBuffer;
         run_pipeline(&cfg, &tdb, &qdb)
     };
@@ -343,6 +370,7 @@ fn main() {
     // as *exposed* communication on the sender.
     let ungated = {
         let mut cfg = pipeline_config(&d, cores, cores / PPN);
+        tune(&mut cfg);
         cfg.overlap_mode = OverlapMode::DoubleBuffer;
         cfg.queue_gate = false;
         run_pipeline(&cfg, &tdb, &qdb)
@@ -424,6 +452,7 @@ fn main() {
             (res, phase) = (&db, db_phase);
         } else {
             let mut cfg = pipeline_config(&d, cores, cores / PPN);
+            tune(&mut cfg);
             cfg.handler_policy = policy;
             held = run_pipeline(&cfg, &tdb, &qdb);
             assert_eq!(
@@ -471,6 +500,109 @@ fn main() {
         }
     }
 
+    // ---- Fault injection (`--faults`): down the last node's handlers
+    // from the align phase's first event. Every batch sent to it exhausts
+    // its retry budget (timeout → backoff → re-route, then give-up); the
+    // affected reads either recover from surviving candidates or are
+    // deterministically degraded — the run must complete, twice,
+    // bit-identically, with every read accounted.
+    struct FaultStats {
+        degraded: usize,
+        recovered: usize,
+        failed_batches: u64,
+        retries: u64,
+        retry_s: f64,
+        align_s: f64,
+    }
+    let mut fault_stats: Option<FaultStats> = None;
+    if cli.faults {
+        let nodes = cores / PPN;
+        assert!(
+            nodes >= 2,
+            "--faults needs at least two nodes (got {nodes})"
+        );
+        let down_node = nodes - 1;
+        let mk = || {
+            let mut cfg = pipeline_config(&d, cores, cores / PPN);
+            tune(&mut cfg);
+            cfg.fault_plan = FaultPlan::node_down(0xFA17, down_node, 0);
+            cfg
+        };
+        let fa = run_pipeline(&mk(), &tdb, &qdb);
+        let fb = run_pipeline(&mk(), &tdb, &qdb);
+        assert_eq!(
+            fa.placements, fb.placements,
+            "faulted runs must be schedule-deterministic"
+        );
+        assert_eq!(
+            (fa.degraded_reads, fa.recovered_reads),
+            (fb.degraded_reads, fb.recovered_reads),
+            "degradation accounting must be deterministic"
+        );
+        let phase = fa.align_phase().expect("align phase");
+        let fs = &phase.fault_summary;
+        let agg = phase.aggregate();
+        // Conservation: flagged reads are exactly recovered + degraded,
+        // degraded reads are a subset of the unaligned, and the healthy
+        // runs above stayed spotless.
+        let flagged = fa.owner_lost.iter().filter(|&&b| b).count();
+        assert_eq!(
+            fa.recovered_reads + fa.degraded_reads,
+            flagged,
+            "every owner-lost read must be recovered or degraded"
+        );
+        assert!(fa.aligned_reads + fa.degraded_reads <= fa.total_reads);
+        assert!(fs.failed > 0, "a downed node must fail batches");
+        assert_eq!(fs.recovered, 0, "NodeDown batches never recover");
+        assert_eq!(
+            (db.degraded_reads, db.recovered_reads),
+            (0, 0),
+            "fault accounting leaked into a fault-free run"
+        );
+        // CI smoke assertion: the chaos run must actually bite —
+        // threshold in bench::gates.
+        assert!(
+            fa.degraded_reads as u64 >= MIN_DEGRADED_READS_NODE_DOWN,
+            "downing node {down_node} degraded only {} reads (gate: >= {})",
+            fa.degraded_reads,
+            MIN_DEGRADED_READS_NODE_DOWN
+        );
+        eprintln!(
+            "# fault injection: node {down_node} of {nodes} down from event 0 \
+             (graceful degradation, gated, double-buffered):"
+        );
+        header(&[
+            "downed_node",
+            "failed_batches",
+            "retries",
+            "retry_s_total",
+            "degraded_reads",
+            "recovered_reads",
+            "align_s",
+        ]);
+        row(&[
+            down_node.to_string(),
+            fs.failed.to_string(),
+            agg.retries.to_string(),
+            fmt_s(agg.retry_ns / 1e9),
+            fa.degraded_reads.to_string(),
+            fa.recovered_reads.to_string(),
+            fmt_s(fa.align_seconds()),
+        ]);
+        eprintln!(
+            "# downed node cost {} failed batches; {} of {} reads degraded, {} recovered from surviving candidates",
+            fs.failed, fa.degraded_reads, fa.total_reads, fa.recovered_reads
+        );
+        fault_stats = Some(FaultStats {
+            degraded: fa.degraded_reads,
+            recovered: fa.recovered_reads,
+            failed_batches: fs.failed,
+            retries: agg.retries,
+            retry_s: agg.retry_ns / 1e9,
+            align_s: fa.align_seconds(),
+        });
+    }
+
     // ---- Machine-readable metrics for the CI perf gate.
     if let Some(path) = &cli.json {
         let chunked_agg = &modes[2].agg;
@@ -503,6 +635,14 @@ fn main() {
             100.0 * chunked_agg.exact_hash_skips as f64
                 / chunked_agg.exact_hash_checks.max(1) as f64,
         );
+        if let Some(f) = &fault_stats {
+            m.push("fault_degraded_reads", f.degraded as f64);
+            m.push("fault_recovered_reads", f.recovered as f64);
+            m.push("fault_failed_batches", f.failed_batches as f64);
+            m.push("fault_retries", f.retries as f64);
+            m.push("retry_s_total", f.retry_s);
+            m.push("align_s_faulted", f.align_s);
+        }
         m.write(path).expect("write --json metrics");
         eprintln!("# metrics written to {path}");
     }

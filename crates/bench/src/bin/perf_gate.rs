@@ -123,11 +123,15 @@ fn main() {
         }
         println!("{key}\t{base}\t{cur}\t{:+.1}\t{verdict}", rel * 100.0);
     }
-    for (key, _) in current.entries() {
+    for (key, value) in current.entries() {
         if baseline.get(key).is_none() {
-            println!(
-                "{key}\t<new>\t{}\t-\tinfo (not in baseline)",
-                current.get(key).unwrap()
+            println!("{key}\t<new>\t{value}\t-\tinfo (not in baseline)");
+            // Loud, not fatal: an ungated metric is a hole in regression
+            // coverage until someone regenerates the baseline.
+            eprintln!(
+                "perf gate WARNING: current metric {key} is not in baseline {} — \
+                 it is NOT gated; regenerate the baseline to cover it",
+                args.baseline
             );
         }
     }

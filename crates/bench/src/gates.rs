@@ -22,6 +22,22 @@ pub const GATE_EXPOSED_EPS_S: f64 = 1e-12;
 /// may drift this fraction in its *bad* direction before the gate fails.
 pub const PERF_TOLERANCE: f64 = 0.15;
 
+/// The fig8 `--faults` downed-node run must deterministically degrade at
+/// least this many reads (a zero would mean the fault plan never touched
+/// the align phase and the chaos gate is vacuous).
+pub const MIN_DEGRADED_READS_NODE_DOWN: u64 = 1;
+
+/// Handler dispatch cost of the fig8 `--congested` run (ns per batch):
+/// ~400× the default, enough to push the owner-side queues into
+/// sustained backpressure at container scale.
+pub const CONGESTED_HANDLER_DISPATCH_NS: f64 = 200_000.0;
+
+/// Per-seed handler routing cost of the `--congested` run (ns).
+pub const CONGESTED_NODE_ROUTE_NS_PER_SEED: f64 = 60.0;
+
+/// Per-ref handler routing cost of the `--congested` run (ns).
+pub const CONGESTED_TARGET_ROUTE_NS_PER_REF: f64 = 60.0;
+
 /// Which direction of drift regresses a gated metric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Direction {
@@ -40,7 +56,9 @@ pub enum Direction {
 /// downward; everything else (seconds, counts, depths) regresses upward.
 pub fn metric_direction(key: &str) -> Direction {
     match key {
-        "fetch_drop" | "overlap_pct_double" | "exact_hash_skip_pct" => Direction::HigherIsBetter,
+        "fetch_drop" | "overlap_pct_double" | "exact_hash_skip_pct" | "fault_recovered_reads" => {
+            Direction::HigherIsBetter
+        }
         k if k.starts_with("info_") => Direction::Info,
         _ => Direction::LowerIsBetter,
     }
@@ -58,6 +76,14 @@ mod tests {
             Direction::LowerIsBetter
         );
         assert_eq!(metric_direction("fetch_drop"), Direction::HigherIsBetter);
+        assert_eq!(
+            metric_direction("fault_degraded_reads"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("fault_recovered_reads"),
+            Direction::HigherIsBetter
+        );
         assert_eq!(
             metric_direction("info_lookup_msgs_per_read_point"),
             Direction::Info

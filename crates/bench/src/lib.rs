@@ -30,6 +30,12 @@ pub struct Cli {
     pub full: bool,
     /// Where to write the run's metrics as flat JSON (`None` = don't).
     pub json: Option<String>,
+    /// Append the fault-injection section (fig8): a downed-node run that
+    /// must complete with every read accounted aligned or degraded.
+    pub faults: bool,
+    /// Inflate the owner-side handler costs (fig8): a congested-cost run
+    /// whose backpressure/adaptation behaviour gets its own baseline.
+    pub congested: bool,
 }
 
 impl Cli {
@@ -40,6 +46,8 @@ impl Cli {
             seed: 42,
             full: false,
             json: None,
+            faults: false,
+            congested: false,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -63,6 +71,14 @@ impl Cli {
                     cli.full = true;
                     i += 1;
                 }
+                "--faults" => {
+                    cli.faults = true;
+                    i += 1;
+                }
+                "--congested" => {
+                    cli.congested = true;
+                    i += 1;
+                }
                 "--json" => {
                     cli.json = Some(
                         args.get(i + 1)
@@ -72,7 +88,10 @@ impl Cli {
                     i += 2;
                 }
                 other => {
-                    panic!("unknown argument {other} (supported: --scale --seed --full --json)")
+                    panic!(
+                        "unknown argument {other} \
+                         (supported: --scale --seed --full --json --faults --congested)"
+                    )
                 }
             }
         }

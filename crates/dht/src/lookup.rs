@@ -278,6 +278,7 @@ impl LookupEnv<'_> {
         scratch: &mut NodeBatchScratch,
     ) -> usize {
         let span_base = spans.len();
+        scratch.lost.clear();
         if probes.is_empty() {
             return 0;
         }
@@ -298,7 +299,19 @@ impl LookupEnv<'_> {
                     + wire_seeds * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
                     + payload;
                 let dst = ctx.topo().lead_rank(node);
-                ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
+                let id = ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
+                if id.is_some_and(|id| ctx.batch_failed(id)) {
+                    // The batch exhausted its retry budget: every
+                    // off-rank probe's response is gone. Degrade
+                    // deterministically — a lost seed reads as
+                    // not-found, exactly like an absent seed.
+                    for (i, p) in probes.iter().enumerate() {
+                        if p.owner as usize != ctx.rank {
+                            spans[span_base + i] = HitSpan::default();
+                            scratch.lost.push(i as u32);
+                        }
+                    }
+                }
             }
             return self.cap_spans(spans, span_base);
         }
@@ -337,13 +350,25 @@ impl LookupEnv<'_> {
                 + wire_seeds * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
                 + payload;
             let dst = ctx.topo().lead_rank(node);
-            ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
-            // Fill in input order: the direct-mapped cache's final
-            // occupant of a contended slot must match N point lookups.
-            // Full (uncapped) hit lists are cached, like the point path.
-            for &i in &scratch.miss_inputs {
-                let span = spans[span_base + i as usize];
-                nc.seed.fill(probes[i as usize].kmer, &hits[span.range()]);
+            let id = ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
+            if id.is_some_and(|id| ctx.batch_failed(id)) {
+                // Retry budget exhausted: the misses' responses never
+                // arrive. They degrade to not-found and — crucially —
+                // the node cache is NOT filled, so later chunks re-probe
+                // the down node and get flagged the same way.
+                for &i in &scratch.miss_inputs {
+                    spans[span_base + i as usize] = HitSpan::default();
+                    scratch.lost.push(i);
+                }
+            } else {
+                // Fill in input order: the direct-mapped cache's final
+                // occupant of a contended slot must match N point lookups.
+                // Full (uncapped) hit lists are cached, like the point
+                // path.
+                for &i in &scratch.miss_inputs {
+                    let span = spans[span_base + i as usize];
+                    nc.seed.fill(probes[i as usize].kmer, &hits[span.range()]);
+                }
             }
         }
         self.cap_spans(spans, span_base)
@@ -436,6 +461,7 @@ impl LookupEnv<'_> {
         out: &mut Vec<Arc<PackedSeq>>,
         scratch: &mut TargetFetchScratch,
     ) {
+        scratch.lost.clear();
         if refs.is_empty() {
             return;
         }
@@ -461,7 +487,18 @@ impl LookupEnv<'_> {
                     + wire_refs * (FETCH_REQ_BYTES_PER_REF + FETCH_RESP_BYTES_PER_REF)
                     + payload;
                 let dst = ctx.topo().lead_rank(node);
-                ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
+                let id = ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
+                if id.is_some_and(|id| ctx.batch_failed(id)) {
+                    // The fetched bytes never arrive: positional output
+                    // is preserved (callers index `out` by ref slot) but
+                    // every wire ref is reported lost so the caller skips
+                    // those candidates.
+                    for (i, &gref) in refs.iter().enumerate() {
+                        if gref.rank as usize != ctx.rank {
+                            scratch.lost.push(i as u32);
+                        }
+                    }
+                }
             }
             return;
         }
@@ -492,13 +529,22 @@ impl LookupEnv<'_> {
                 + wire_refs * (FETCH_REQ_BYTES_PER_REF + FETCH_RESP_BYTES_PER_REF)
                 + payload;
             let dst = ctx.topo().lead_rank(node);
-            ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
-            // Fill in input order: the direct-mapped cache's final occupant
-            // of a contended slot — and the budget accountant's skip
-            // decisions — must match N point fetches.
-            for &i in &scratch.miss {
-                let gref = refs[i as usize];
-                nc.target.fill(gref, Arc::clone(&out[base + i as usize]));
+            let id = ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
+            if id.is_some_and(|id| ctx.batch_failed(id)) {
+                // Retry budget exhausted: the misses' payloads never
+                // arrive. Report them lost and skip the cache fills, so
+                // later chunks re-fetch from the down node and get
+                // flagged the same way.
+                scratch.lost.extend_from_slice(&scratch.miss);
+            } else {
+                // Fill in input order: the direct-mapped cache's final
+                // occupant of a contended slot — and the budget
+                // accountant's skip decisions — must match N point
+                // fetches.
+                for &i in &scratch.miss {
+                    let gref = refs[i as usize];
+                    nc.target.fill(gref, Arc::clone(&out[base + i as usize]));
+                }
             }
         }
     }
@@ -565,6 +611,12 @@ pub struct NodeBatchScratch {
     /// Input slots of cache-missing seeds, in input order (cache-fill
     /// order must match the point path).
     miss_inputs: Vec<u32>,
+    /// Input slots whose responses were permanently lost by the active
+    /// fault plan during the last [`LookupEnv::lookup_batch_node`] call
+    /// (retry budget exhausted). Those slots read as not-found; the
+    /// caller flags the reads that depended on them. Empty without
+    /// faults.
+    pub lost: Vec<u32>,
 }
 
 /// Reusable scratch for [`LookupEnv::fetch_targets_batch_node`].
@@ -573,6 +625,12 @@ pub struct TargetFetchScratch {
     /// Input slots of cache-missing refs, in input order (cache-fill order
     /// must match the point path).
     miss: Vec<u32>,
+    /// Input slots whose payloads were permanently lost by the active
+    /// fault plan during the last [`LookupEnv::fetch_targets_batch_node`]
+    /// call (retry budget exhausted). The positional `out` entries still
+    /// exist, but the caller must not use them as fetched data. Empty
+    /// without faults.
+    pub lost: Vec<u32>,
 }
 
 /// Fetch a target sequence through the same locality hierarchy: local part →
@@ -623,6 +681,10 @@ mod tests {
 
     /// 4 ranks, 2 per node; each rank owns one 40-base target.
     fn setup() -> (Machine, SeedIndex, SharedArray<Arc<PackedSeq>>) {
+        setup_with(MachineConfig::new(4, 2))
+    }
+
+    fn setup_with(cfg: MachineConfig) -> (Machine, SeedIndex, SharedArray<Arc<PackedSeq>>) {
         let mut state = 99u64;
         let mut parts = Vec::new();
         for _ in 0..4 {
@@ -636,7 +698,7 @@ mod tests {
             parts.push(vec![Arc::new(PackedSeq::from_ascii(&s))]);
         }
         let targets = SharedArray::from_parts(parts);
-        let mut machine = Machine::new(MachineConfig::new(4, 2));
+        let mut machine = Machine::new(cfg);
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
             let t = Arc::clone(&targets.part(r)[0]);
             KmerIter::new(&t, K)
@@ -886,6 +948,73 @@ mod tests {
             assert_eq!(ctx.stats().msgs_remote, 2);
             assert_eq!(ctx.stats().target_batches, 2);
             assert_eq!(out.len(), 4);
+        });
+    }
+
+    #[test]
+    fn failed_batches_degrade_to_not_found_without_cache_fills() {
+        use pgas::FaultPlan;
+        let mut cfg = MachineConfig::new(4, 2);
+        cfg.faults = FaultPlan::node_down(7, 1, 0);
+        let (mut machine, idx, targets) = setup_with(cfg);
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("degraded", |ctx| {
+            if ctx.rank != 0 {
+                return;
+            }
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            // Seed lookups to the downed node: every off-node probe reads
+            // as not-found, with the lost slots reported and no cache fill.
+            let mut scratch = NodeBatchScratch::default();
+            let (mut hits, mut spans) = (Vec::new(), Vec::new());
+            let t = &targets.part(2)[0];
+            let probes: Vec<SeedProbe> = KmerIter::new(t, K)
+                .map(|(_, km)| SeedProbe {
+                    kmer: km,
+                    owner: idx.owner_of(km) as u32,
+                })
+                .filter(|p| ctx.topo().node_of(p.owner as usize) == 1)
+                .collect();
+            assert!(!probes.is_empty());
+            let found = env.lookup_batch_node(ctx, 1, &probes, &mut hits, &mut spans, &mut scratch);
+            assert_eq!(found, 0, "lost lookups must read as not-found");
+            assert!(spans.iter().all(|s| !s.found && s.len == 0));
+            assert_eq!(scratch.lost.len(), probes.len());
+            // No fills happened: a repeat batch misses the cache again
+            // (and is lost again) instead of hitting stale data.
+            let misses = ctx.stats().seed_cache_misses;
+            spans.clear();
+            env.lookup_batch_node(ctx, 1, &probes, &mut hits, &mut spans, &mut scratch);
+            assert_eq!(scratch.lost.len(), probes.len());
+            assert!(ctx.stats().seed_cache_misses > misses);
+            assert_eq!(ctx.stats().seed_cache_hits, 0);
+
+            // Target fetches to the downed node: positional output is
+            // preserved, every wire ref reported lost, no cache fill.
+            let mut fscratch = TargetFetchScratch::default();
+            let mut out = Vec::new();
+            let refs = [GlobalRef::new(2, 0), GlobalRef::new(3, 0)];
+            env.fetch_targets_batch_node(ctx, &targets, 1, &refs, &mut out, &mut fscratch);
+            assert_eq!(out.len(), 2);
+            assert_eq!(fscratch.lost, vec![0, 1]);
+            assert_eq!(ctx.stats().target_cache_hits, 0);
+
+            // A healthy destination (own node) is untouched by the plan.
+            let mut out2 = Vec::new();
+            env.fetch_targets_batch_node(
+                ctx,
+                &targets,
+                0,
+                &[GlobalRef::new(0, 0), GlobalRef::new(1, 0)],
+                &mut out2,
+                &mut fscratch,
+            );
+            assert!(fscratch.lost.is_empty());
+            assert_eq!(out2.len(), 2);
         });
     }
 

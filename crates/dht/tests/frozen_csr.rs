@@ -82,6 +82,8 @@ proptest! {
                 cost: Default::default(),
                 handler_policy: Default::default(),
                 sequential: true,
+                faults: Default::default(),
+                retry: Default::default(),
             })
         };
         let mut machine = mk_machine();

@@ -61,6 +61,8 @@ proptest! {
             cost: Default::default(),
             handler_policy: Default::default(),
             sequential: true,
+            faults: Default::default(),
+            retry: Default::default(),
         });
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
             per_rank[r].clone().into_iter()

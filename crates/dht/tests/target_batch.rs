@@ -88,6 +88,8 @@ proptest! {
             cost: Default::default(),
             handler_policy: Default::default(),
             sequential: true,
+            faults: Default::default(),
+            retry: Default::default(),
         });
         // A minimal index: LookupEnv requires one, fetches never touch it.
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {

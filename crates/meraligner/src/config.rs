@@ -4,7 +4,7 @@
 
 use align::{Engine, Scoring};
 use dht::{BuildAlgorithm, CacheConfig};
-use pgas::{CostModel, HandlerPolicy};
+use pgas::{CostModel, FaultPlan, HandlerPolicy, RetryPolicy};
 
 /// Granularity of the chunked, node-aware lookup/fetch aggregation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +69,14 @@ pub struct PipelineConfig {
     pub cost: CostModel,
     /// Execute ranks sequentially (bit-reproducible timing; same results).
     pub sequential: bool,
+    /// Deterministic fault plan injected into the simulated machine
+    /// (handler slowdowns, dropped batches, downed nodes).
+    /// [`FaultPlan::none`] — the default — is bit-identical to a machine
+    /// without the fault subsystem.
+    pub fault_plan: FaultPlan,
+    /// Sender-side recovery policy (timeout, retries, backoff) for
+    /// batches the fault plan loses. Inert without a fault plan.
+    pub retry: RetryPolicy,
 
     // ---- algorithm ----
     /// Seed length `k` (51 for human/wheat, 19 for E. coli in the paper).
@@ -194,6 +202,8 @@ impl PipelineConfig {
             ppn,
             cost: CostModel::default(),
             sequential: false,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             k,
             seed_stride: 1,
             engine: Engine::Striped,
@@ -323,6 +333,9 @@ mod tests {
         assert!(c.load_balance);
         assert_eq!(c.buffer_size, 1000);
         assert_eq!(c.seed_stride, 1);
+        // Fault injection is strictly opt-in.
+        assert!(c.fault_plan.is_none());
+        assert_eq!(c.retry, RetryPolicy::default());
     }
 
     #[test]

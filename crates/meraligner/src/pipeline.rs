@@ -44,6 +44,21 @@ pub struct PipelineResult {
     pub exact_path_reads: u64,
     /// Total alignments found (all reads).
     pub alignments_total: u64,
+    /// Reads that lost owner-side data to the active fault plan (a
+    /// seed-lookup or target-fetch batch exhausted its retry budget) but
+    /// still aligned from surviving candidates. Always 0 without faults.
+    pub recovered_reads: usize,
+    /// Reads deterministically left unaligned because every path to
+    /// their placement went through a permanently lost batch. A flagged
+    /// subset of the unaligned reads, so
+    /// `aligned_reads + (total_reads − aligned_reads) == total_reads`
+    /// accounts for every read with `degraded_reads` carved out of the
+    /// unaligned side. Always 0 without faults.
+    pub degraded_reads: usize,
+    /// Per-read owner-lost flags, indexed by original read number:
+    /// `true` iff the read's resolution touched a permanently lost
+    /// batch (degraded *or* recovered).
+    pub owner_lost: Vec<bool>,
     /// Distinct seeds in the index.
     pub index_distinct_seeds: usize,
     /// Total seed occurrences in the index.
@@ -110,7 +125,7 @@ impl PipelineResult {
 /// per-read align loops).
 #[derive(Default)]
 struct RankOutcomes {
-    placements: Vec<(u32, Option<Placement>)>,
+    placements: Vec<(u32, Option<Placement>, bool)>,
     exact_path: u64,
     alignments_total: u64,
     collected: Vec<(u32, u32, Alignment)>,
@@ -132,7 +147,8 @@ impl RankOutcomes {
             reverse: aln.strand == align::Strand::Reverse,
             score: aln.score,
         });
-        self.placements.push((orig_idx, placement));
+        self.placements
+            .push((orig_idx, placement, outcome.owner_lost));
         if cfg.collect_alignments {
             for (gref, aln) in outcome.all {
                 self.collected
@@ -155,6 +171,8 @@ pub fn run_pipeline(
         cost: cfg.cost.clone(),
         handler_policy: cfg.handler_policy,
         sequential: cfg.sequential,
+        faults: cfg.fault_plan.clone(),
+        retry: cfg.retry,
     });
     let p = cfg.ranks;
     let k = cfg.k;
@@ -266,7 +284,7 @@ pub fn run_pipeline(
                         let mut outcomes: Vec<QueryOutcome> = Vec::new();
                         let mut pos = 0usize;
                         while pos < reads.len() {
-                            let end = (pos + chunk_reads).min(reads.len());
+                            let end = pos.saturating_add(chunk_reads).min(reads.len());
                             let chunk = &reads[pos..end];
                             process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
                             for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..)) {
@@ -304,7 +322,7 @@ pub fn run_pipeline(
                             adapt(ctx, &mut chunk_reads);
                         }
                         while !cur_range.is_empty() {
-                            let next_range = pos..(pos + chunk_reads).min(reads.len());
+                            let next_range = pos..pos.saturating_add(chunk_reads).min(reads.len());
                             let mut next_pending = (ctx.batch_mark(), ctx.batch_mark());
                             if !next_range.is_empty() {
                                 let issue = ctx.overlap_mark();
@@ -380,27 +398,54 @@ pub fn run_pipeline(
 
     // ---- Assemble the result.
     let mut placements: Vec<Option<Placement>> = vec![None; n_reads];
+    let mut owner_lost = vec![false; n_reads];
     let mut exact_path_reads = 0u64;
     let mut alignments_total = 0u64;
     let mut alignments = Vec::new();
     for (rank_placements, exact, total, collected) in per_rank {
-        for (idx, pl) in rank_placements {
+        for (idx, pl, lost) in rank_placements {
             placements[idx as usize] = pl;
+            owner_lost[idx as usize] = lost;
         }
         exact_path_reads += exact;
         alignments_total += total;
         alignments.extend(collected);
     }
     let aligned_reads = placements.iter().filter(|p| p.is_some()).count();
+    // A read that touched a permanently lost batch either still aligned
+    // from surviving candidates (recovered) or is deterministically
+    // degraded — never hung, never panicked.
+    let mut recovered_reads = 0usize;
+    let mut degraded_reads = 0usize;
+    for (pl, &lost) in placements.iter().zip(&owner_lost) {
+        if lost {
+            if pl.is_some() {
+                recovered_reads += 1;
+            } else {
+                degraded_reads += 1;
+            }
+        }
+    }
     alignments.sort_by_key(|(r, c, a)| (*r, *c, a.t_beg));
 
+    // The machine counted injected/retried/failed batches; only the
+    // pipeline knows which *reads* degraded — patch that into the align
+    // phase's fault summary so PhaseReport carries the whole story.
+    let mut phases = machine.phases().to_vec();
+    if let Some(p) = phases.iter_mut().rev().find(|p| p.name == "align") {
+        p.fault_summary.degraded_reads = degraded_reads as u64;
+    }
+
     PipelineResult {
-        phases: machine.phases().to_vec(),
+        phases,
         placements,
         total_reads: n_reads,
         aligned_reads,
         exact_path_reads,
         alignments_total,
+        recovered_reads,
+        degraded_reads,
+        owner_lost,
         index_distinct_seeds: index.distinct_seeds(),
         index_total_entries: index.total_entries(),
         index_balance: index.partition_balance(),

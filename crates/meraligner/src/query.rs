@@ -88,6 +88,13 @@ pub struct QueryOutcome {
     pub n_alignments: u32,
     /// Whether the §IV-A exact-match fast path resolved this query.
     pub used_exact_path: bool,
+    /// Whether any of this read's seed-lookup or target-fetch batches
+    /// was permanently lost by the active fault plan (retry budget
+    /// exhausted). With `best` set the read *recovered* from surviving
+    /// candidates; with `best` unset it is *degraded* —
+    /// deterministically unaligned with reason "owner lost". Always
+    /// `false` without faults.
+    pub owner_lost: bool,
     /// All alignments, when `collect_alignments` is set.
     pub all: Vec<(GlobalRef, Alignment)>,
 }
@@ -253,7 +260,15 @@ fn extend_read_candidates(
         {
             j += 1;
         }
-        let target = fetch_candidate_target(ctx, actx, head.target, table);
+        let Some(target) = fetch_candidate_target(ctx, actx, head.target, table) else {
+            // The chunk's fetch batch for this target was permanently
+            // lost: skip the candidate group (the bytes never arrived)
+            // and flag the read — it may still place from surviving
+            // groups, or end deterministically unaligned.
+            outcome.owner_lost = true;
+            i = j;
+            continue;
+        };
         let codes = if head.reverse {
             align::dna_codes(rc)
         } else {
@@ -290,23 +305,27 @@ fn extend_read_candidates(
 /// Resolve one candidate target sequence: from the chunk's prefetched
 /// table when one is in force, else through the point [`fetch_target`]
 /// locality hierarchy — the single target-fetch call site shared by the
-/// exact-match and extension paths.
+/// exact-match and extension paths. `None` means the table dropped the
+/// ref because its fetch batch was permanently lost under the active
+/// fault plan (the only way a noted ref can be absent); the caller
+/// degrades the read instead of re-fetching from a dead owner.
 fn fetch_candidate_target(
     ctx: &mut RankCtx,
     actx: &AlignContext<'_>,
     gref: GlobalRef,
     table: Option<&TargetTable>,
-) -> Arc<PackedSeq> {
+) -> Option<Arc<PackedSeq>> {
     if let Some(table) = table {
         if let Some(seq) = table.get(gref) {
-            return Arc::clone(seq);
+            return Some(Arc::clone(seq));
         }
         debug_assert!(
-            false,
+            ctx.faults_active(),
             "candidate target missing from the chunk's prefetch table"
         );
+        return None;
     }
-    fetch_target(ctx, &actx.store.seqs, gref, actx.env.caches)
+    Some(fetch_target(ctx, &actx.store.seqs, gref, actx.env.caches))
 }
 
 /// Run one extension over a diagonal band, charge its DP cells, and record
@@ -409,6 +428,10 @@ struct TargetTable {
     index: Vec<(GlobalRef, u32)>,
     /// Fetched sequences, aligned with the deduped `touches`.
     seqs: Vec<Arc<PackedSeq>>,
+    /// Per-touch "fetch batch permanently lost" flags (aligned with the
+    /// deduped `touches`); lost refs are excluded from `index` so `get`
+    /// reports them as absent. All `false` without faults.
+    lost: Vec<bool>,
 }
 
 impl TargetTable {
@@ -416,6 +439,7 @@ impl TargetTable {
         self.touches.clear();
         self.index.clear();
         self.seqs.clear();
+        self.lost.clear();
     }
 
     /// Record one candidate-target touch (walk order, repeats welcome).
@@ -438,6 +462,8 @@ impl TargetTable {
         let topo = ctx.topo();
         self.touches
             .sort_unstable_by_key(|&(gref, pos)| (topo.node_of(gref.rank as usize), pos));
+        self.lost.clear();
+        self.lost.resize(self.touches.len(), false);
         let mut g = 0usize;
         while g < self.touches.len() {
             let node = topo.node_of(self.touches[g].0.rank as usize);
@@ -455,12 +481,17 @@ impl TargetTable {
                 &mut self.seqs,
                 fs,
             );
+            for &i in &fs.lost {
+                self.lost[g + i as usize] = true;
+            }
             g = e;
         }
+        let lost = &self.lost;
         self.index.extend(
             self.touches
                 .iter()
                 .enumerate()
+                .filter(|&(i, _)| !lost[i])
                 .map(|(i, &(gref, _))| (gref, i as u32)),
         );
         self.index.sort_unstable_by_key(|&(gref, _)| gref);
@@ -514,6 +545,10 @@ pub struct ChunkScratch {
     hits: Vec<TargetHit>,
     /// Per-unique-probe spans into `hits`.
     spans: Vec<HitSpan>,
+    /// Per-unique-probe "lookup batch permanently lost" flags (aligned
+    /// with `spans`); consumers flag the affected reads' outcomes as
+    /// `owner_lost`. All `false` without faults.
+    lost_spans: Vec<bool>,
     /// Exact-stage span index per (read slot, strand); `u32::MAX` = no
     /// probe extracted.
     exact_span: Vec<[u32; 2]>,
@@ -611,6 +646,11 @@ pub fn issue_read_chunk(
         scratch.exact_span.resize(reads.len(), [u32::MAX; 2]);
         for (req, &sp) in scratch.reqs.iter().zip(&scratch.req_span) {
             scratch.exact_span[req.slot as usize][usize::from(req.reverse)] = sp;
+            if scratch.lost_spans[sp as usize] {
+                // Exact probe lost with its batch: the span reads as
+                // not-found, the read falls through to stage 2 flagged.
+                state.outcomes[req.slot as usize].owner_lost = true;
+            }
         }
         // Precheck pass: find each read's per-orientation exact candidate
         // (single occurrence, unique-fragment window) and note its target
@@ -679,7 +719,14 @@ pub fn issue_read_chunk(
                 let Some(hit) = scratch.exact_cand[s][usize::from(reverse)] else {
                     continue;
                 };
-                let target = fetch_candidate_target(ctx, actx, hit.target, Some(&state.table));
+                let Some(target) =
+                    fetch_candidate_target(ctx, actx, hit.target, Some(&state.table))
+                else {
+                    // Fetch batch permanently lost: the candidate can't
+                    // verify, the read falls through to stage 2 flagged.
+                    state.outcomes[s].owner_lost = true;
+                    continue;
+                };
                 if let Some((gref, aln)) = exact_verify(ctx, actx, oriented, reverse, hit, &target)
                 {
                     let o = &mut state.outcomes[s];
@@ -727,6 +774,11 @@ pub fn issue_read_chunk(
     // below restores exactly the order the per-read path extends in.
     state.cands.clear();
     for (req, &sp) in scratch.reqs.iter().zip(&scratch.req_span) {
+        if scratch.lost_spans[sp as usize] {
+            // Seed lookup lost with its batch: no candidates from this
+            // probe; the read may still place from surviving seeds.
+            state.outcomes[req.slot as usize].owner_lost = true;
+        }
         let span = scratch.spans[sp as usize];
         for hit in &scratch.hits[span.range()] {
             state.cands.push((
@@ -857,6 +909,7 @@ pub fn process_read_chunk(
 fn issue_node_batches(ctx: &mut RankCtx, actx: &AlignContext<'_>, scratch: &mut ChunkScratch) {
     scratch.hits.clear();
     scratch.spans.clear();
+    scratch.lost_spans.clear();
     scratch.req_span.clear();
     if scratch.reqs.is_empty() {
         return;
@@ -889,6 +942,10 @@ fn issue_node_batches(ctx: &mut RankCtx, actx: &AlignContext<'_>, scratch: &mut 
             &mut scratch.spans,
             &mut scratch.node,
         );
+        scratch.lost_spans.resize(scratch.spans.len(), false);
+        for &p in &scratch.node.lost {
+            scratch.lost_spans[span_base as usize + p as usize] = true;
+        }
         g = e;
     }
 }
@@ -910,7 +967,7 @@ fn try_exact(
     ctx.charge_extract(1);
     let found = actx.env.lookup(ctx, km, &mut scratch.hits);
     let hit = exact_candidate(actx, oriented, found, &scratch.hits)?;
-    let target = fetch_candidate_target(ctx, actx, hit.target, None);
+    let target = fetch_candidate_target(ctx, actx, hit.target, None)?;
     exact_verify(ctx, actx, oriented, reverse, hit, &target)
 }
 

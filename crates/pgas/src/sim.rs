@@ -21,6 +21,10 @@
 //!   node: events are replayed in deterministic `(arrival, src rank, seq)`
 //!   order through a single-server service loop, yielding per-node busy
 //!   time, queue-depth high-water marks and total queueing delay.
+//! * [`fault`] — [`FaultPlan`], deterministic seeded fault injection:
+//!   compiled per-node/per-phase schedules (handler slowdowns, dropped
+//!   batches, dead nodes) that the replay consults per event, plus the
+//!   sender-side [`RetryPolicy`] pricing timeout/backoff recovery.
 //! * [`service`] — [`service_phase`], the per-phase post-pass
 //!   [`Machine::phase`](crate::Machine::phase) runs after all ranks finish:
 //!   it routes every recorded event to its destination node's queue, runs
@@ -70,9 +74,13 @@
 //! a deterministic fixed-point iteration, independent of host scheduling.
 
 pub mod event;
+pub mod fault;
 pub mod queue;
 pub mod service;
 
 pub use event::{EventKind, SimEvent};
+pub use fault::{
+    splitmix64, CompiledFaults, FaultKind, FaultPlan, FaultSpec, FaultSummary, Lost, RetryPolicy,
+};
 pub use queue::{NodeQueue, QueueReport, ServicedBatch};
 pub use service::{service_phase, service_phase_detailed};

@@ -16,7 +16,7 @@ pub enum EventKind {
 /// One off-node aggregated batch, recorded by the **sender** at charge time
 /// and replayed through the destination node's [`NodeQueue`]
 /// (crate::sim::NodeQueue) after the phase.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimEvent {
     /// Destination node whose handler services the batch.
     pub dst_node: u32,

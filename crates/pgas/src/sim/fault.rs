@@ -1,0 +1,500 @@
+//! Deterministic fault injection for the owner-side service engine.
+//!
+//! A [`FaultPlan`] is a seeded, declarative description of what goes wrong
+//! on the simulated machine: handler slowdowns, dropped batches, dead
+//! owner nodes. [`FaultPlan::compile`] turns it into per-node, per-phase
+//! schedules that the phase executor consults where it replays
+//! [`SimEvent`]s through the node queues — faults land in arrival and
+//! completion times, never in ad-hoc control flow, so every faulted run is
+//! schedule-deterministic (sequential and parallel replays agree
+//! bit-for-bit) and [`FaultPlan::none`] leaves the machine untouched.
+//!
+//! All randomness comes from a splitmix64 hash of the plan's seed and the
+//! batch's identity `(phase, node, src rank, seq)` — no OS entropy, so the
+//! same plan drops the same batches on every run.
+
+use crate::sim::event::SimEvent;
+
+/// One splitmix64 output for the given input word. Stateless: feeding the
+/// previous output back in walks the classic splitmix64 sequence, and
+/// hashing independent words (seed, node, seq…) through it gives the
+/// decorrelated per-batch coins the drop predicate needs.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fold `word` into `acc` through one splitmix64 step.
+#[inline]
+fn mix(acc: u64, word: u64) -> u64 {
+    splitmix64(acc ^ word)
+}
+
+/// What a fault does to the batches addressed to its node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The node's handler runs `factor`× slower for every batch whose
+    /// *original* (pre-gating-skew) arrival falls inside `window` (ns from
+    /// phase start) — a straggling owner. Batches are still delivered.
+    HandlerSlowdown { factor: f64, window: (f64, f64) },
+    /// On average one in `nth` batches addressed to the node is lost in
+    /// flight (deterministic splitmix64 coin per batch identity). The
+    /// sender's retry re-delivers the data, so results are unchanged —
+    /// only clocks and retry counters move.
+    BatchDrop { nth: u64 },
+    /// The node's handler stops accepting off-node batches: every batch
+    /// whose per-sender sequence number is `>= from_event` is lost, and no
+    /// retry can recover it — senders exhaust their budget and complete
+    /// degraded.
+    NodeDown { from_event: u32 },
+}
+
+/// One fault bound to one destination node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// The destination node the fault afflicts.
+    pub node: usize,
+    /// What happens to batches addressed to it.
+    pub kind: FaultKind,
+}
+
+/// A seeded, declarative fault scenario. The default (and
+/// [`FaultPlan::none`]) is the empty plan — the load-bearing invariant,
+/// pinned by the fault-equivalence suites, is that an empty plan is
+/// bit-identical to a machine without the fault subsystem at all.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the plan's deterministic RNG (drop coins).
+    pub seed: u64,
+    /// The injected faults.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, bit-identical to today's machine.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan carrying `seed`, ready for [`FaultPlan::with`].
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Builder: add one fault to the plan.
+    #[must_use]
+    pub fn with(mut self, node: usize, kind: FaultKind) -> Self {
+        self.specs.push(FaultSpec { node, kind });
+        self
+    }
+
+    /// Convenience: one dead node from its `from_event`-th per-sender batch.
+    pub fn node_down(seed: u64, node: usize, from_event: u32) -> Self {
+        Self::seeded(seed).with(node, FaultKind::NodeDown { from_event })
+    }
+
+    /// Convenience: drop ~1/`nth` of the batches addressed to `node`.
+    pub fn batch_drop(seed: u64, node: usize, nth: u64) -> Self {
+        Self::seeded(seed).with(node, FaultKind::BatchDrop { nth })
+    }
+
+    /// Convenience: slow `node`'s handler by `factor` inside `window`.
+    pub fn handler_slowdown(seed: u64, node: usize, factor: f64, window: (f64, f64)) -> Self {
+        Self::seeded(seed).with(node, FaultKind::HandlerSlowdown { factor, window })
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Compile the plan into the per-node schedules of one phase of a
+    /// `nodes`-node machine. Faults bound to nodes past `nodes` are
+    /// silently inert (a plan can outlive a machine-shape sweep).
+    pub fn compile(&self, nodes: usize, phase_index: usize) -> CompiledFaults {
+        let mut per_node = vec![NodeFaults::default(); nodes];
+        for spec in &self.specs {
+            let Some(nf) = per_node.get_mut(spec.node) else {
+                continue;
+            };
+            match spec.kind {
+                FaultKind::HandlerSlowdown { factor, window } => {
+                    nf.slowdowns.push((factor, window.0, window.1));
+                }
+                FaultKind::BatchDrop { nth } => {
+                    if nth > 0 {
+                        nf.drops.push(nth);
+                    }
+                }
+                FaultKind::NodeDown { from_event } => {
+                    nf.down_from = Some(match nf.down_from {
+                        Some(prev) => prev.min(from_event),
+                        None => from_event,
+                    });
+                }
+            }
+        }
+        CompiledFaults {
+            drop_seed: mix(self.seed, phase_index as u64),
+            per_node,
+        }
+    }
+}
+
+/// One node's compiled fault schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct NodeFaults {
+    /// `(factor, from_ns, until_ns)` slowdown windows; overlapping windows
+    /// multiply.
+    slowdowns: Vec<(f64, f64, f64)>,
+    /// `nth` values of the node's drop faults.
+    drops: Vec<u64>,
+    /// Per-sender sequence number from which the node is down.
+    down_from: Option<u32>,
+}
+
+/// Why a batch never completed service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lost {
+    /// Lost in flight; the sender's first retry re-delivers it.
+    Transient,
+    /// The owner is down; the retry budget cannot recover it.
+    Permanent,
+}
+
+/// A [`FaultPlan`] compiled against one machine shape and phase: the
+/// predicates the phase executor (and the sender-side
+/// `RankCtx::batch_failed` probe) consult per batch. Pure functions of
+/// batch identity and original arrival time — independent of the gating
+/// fixed point, so sequential and parallel replays agree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledFaults {
+    drop_seed: u64,
+    per_node: Vec<NodeFaults>,
+}
+
+impl CompiledFaults {
+    /// Whether the compiled schedule can affect anything.
+    pub fn any(&self) -> bool {
+        self.per_node
+            .iter()
+            .any(|n| !n.slowdowns.is_empty() || !n.drops.is_empty() || n.down_from.is_some())
+    }
+
+    /// Is the batch `(dst_node, src_rank, seq)` lost, and can a retry
+    /// recover it? A dead node ([`Lost::Permanent`]) takes precedence over
+    /// a drop coin.
+    pub fn lost(&self, dst_node: usize, src_rank: u32, seq: u32) -> Option<Lost> {
+        let nf = self.per_node.get(dst_node)?;
+        if let Some(from) = nf.down_from {
+            if seq >= from {
+                return Some(Lost::Permanent);
+            }
+        }
+        for &nth in &nf.drops {
+            let coin = mix(
+                mix(mix(self.drop_seed, dst_node as u64), u64::from(src_rank)),
+                u64::from(seq),
+            );
+            if coin.is_multiple_of(nth) {
+                return Some(Lost::Transient);
+            }
+        }
+        None
+    }
+
+    /// Service-demand multiplier for a batch arriving at `dst_node` at
+    /// (original, pre-skew) `arrival_ns`. Overlapping windows multiply;
+    /// `1.0` when no slowdown covers the arrival.
+    pub fn service_scale(&self, dst_node: usize, arrival_ns: f64) -> f64 {
+        let Some(nf) = self.per_node.get(dst_node) else {
+            return 1.0;
+        };
+        let mut scale = 1.0;
+        for &(factor, from, until) in &nf.slowdowns {
+            if arrival_ns >= from && arrival_ns < until {
+                scale *= factor;
+            }
+        }
+        scale
+    }
+
+    /// Partition one event trace into live batches (service demands scaled
+    /// by any slowdown window covering their original arrival) and lost
+    /// batches. A pure, order-preserving transform — the testable seam the
+    /// phase executor builds its faulted replay on.
+    pub fn apply_to_trace(&self, events: &[SimEvent]) -> (Vec<SimEvent>, Vec<(SimEvent, Lost)>) {
+        let mut live = Vec::with_capacity(events.len());
+        let mut lost = Vec::new();
+        for ev in events {
+            match self.lost(ev.dst_node as usize, ev.src_rank, ev.seq) {
+                Some(kind) => lost.push((*ev, kind)),
+                None => {
+                    let mut e = *ev;
+                    e.service_ns *= self.service_scale(ev.dst_node as usize, ev.arrival_ns);
+                    live.push(e);
+                }
+            }
+        }
+        (live, lost)
+    }
+}
+
+/// Sender-side recovery policy for timed-out aggregated batches.
+///
+/// A batch that has not completed `timeout_ns` after its send is presumed
+/// lost: the sender waits an exponentially growing backoff
+/// (`backoff_ns · 2^(k−1)` before retry `k`), re-sends (priced by the α–β
+/// model), and gives up after `max_retries` failed attempts — at which
+/// point the batch is failed and the pipeline completes the affected reads
+/// degraded. All waits land in `RankStats::retry_ns`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Time after a send at which the batch is presumed lost (ns).
+    pub timeout_ns: f64,
+    /// Re-send attempts before the sender gives up.
+    pub max_retries: u32,
+    /// Base backoff before the first retry (doubles per attempt, ns).
+    pub backoff_ns: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_ns: 50_000.0,
+            max_retries: 2,
+            backoff_ns: 10_000.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Total backoff waited across `attempts` retries
+    /// (`backoff · (2^attempts − 1)`).
+    pub fn backoff_sum_ns(&self, attempts: u32) -> f64 {
+        self.backoff_ns * (((1u64 << attempts.min(62)) - 1) as f64)
+    }
+
+    /// Delay from a lost batch's send until its first retry has been
+    /// delivered (transient loss: detect the timeout, back off once,
+    /// re-send). The re-send's wire and service time are priced separately.
+    pub fn recover_wait_ns(&self) -> f64 {
+        self.timeout_ns + self.backoff_ns
+    }
+
+    /// Delay from a permanently lost batch's send until the sender
+    /// exhausts its budget and proceeds degraded: the initial send and
+    /// every retry each time out, with the exponential backoffs between.
+    pub fn give_up_ns(&self) -> f64 {
+        f64::from(self.max_retries + 1) * self.timeout_ns + self.backoff_sum_ns(self.max_retries)
+    }
+}
+
+/// Per-phase fault accounting, reported in `PhaseReport::fault_summary`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSummary {
+    /// Batches a fault predicate removed from the service replay.
+    pub injected: u64,
+    /// Batches serviced under a handler-slowdown window.
+    pub slowed: u64,
+    /// Re-send attempts the retry engine charged.
+    pub retried: u64,
+    /// Lost batches a retry re-delivered (results unchanged).
+    pub recovered: u64,
+    /// Lost batches that exhausted the retry budget.
+    pub failed: u64,
+    /// Reads the pipeline completed degraded because a failed batch took
+    /// their seed hits or candidate targets (filled by the pipeline, not
+    /// the machine).
+    pub degraded_reads: u64,
+}
+
+impl FaultSummary {
+    /// Whether nothing fault-related happened in the phase.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultSummary::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::event::EventKind;
+
+    fn ev(dst_node: u32, src_rank: u32, seq: u32, arrival_ns: f64) -> SimEvent {
+        SimEvent {
+            dst_node,
+            src_rank,
+            seq,
+            kind: EventKind::LookupBatch,
+            items: 4,
+            arrival_ns,
+            service_ns: 100.0,
+        }
+    }
+
+    #[test]
+    fn splitmix64_matches_the_reference_sequence() {
+        // Seed 0: the published splitmix64 stream starts
+        // e220a8397b1dcdaf, 6e789e6aa1b965f4, 06c45d188009454f.
+        let a = splitmix64(0);
+        assert_eq!(a, 0xE220_A839_7B1D_CDAF);
+        let b = splitmix64(a);
+        // Stateless chaining is not the sequential stream; pin the chained
+        // value instead so any rewrite of the mixer fails loudly.
+        assert_eq!(b, splitmix64(0xE220_A839_7B1D_CDAF));
+        assert_ne!(a, b);
+        // Distinct inputs decorrelate.
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn empty_plan_is_none_and_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert_eq!(plan, FaultPlan::default());
+        let c = plan.compile(4, 0);
+        assert!(!c.any());
+        assert_eq!(c.lost(0, 0, 0), None);
+        assert_eq!(c.service_scale(2, 1e6), 1.0);
+        let trace = vec![ev(1, 0, 0, 10.0), ev(2, 3, 1, 20.0)];
+        let (live, lost) = c.apply_to_trace(&trace);
+        assert_eq!(live, trace);
+        assert!(lost.is_empty());
+    }
+
+    #[test]
+    fn node_down_loses_batches_from_its_event_permanently() {
+        let c = FaultPlan::node_down(7, 1, 2).compile(4, 0);
+        assert!(c.any());
+        assert_eq!(c.lost(1, 0, 0), None);
+        assert_eq!(c.lost(1, 0, 1), None);
+        assert_eq!(c.lost(1, 0, 2), Some(Lost::Permanent));
+        assert_eq!(c.lost(1, 5, 9), Some(Lost::Permanent));
+        // Other nodes are healthy.
+        assert_eq!(c.lost(0, 0, 9), None);
+        assert_eq!(c.lost(2, 0, 9), None);
+    }
+
+    #[test]
+    fn batch_drop_is_deterministic_and_roughly_one_in_nth() {
+        let c = FaultPlan::batch_drop(42, 2, 4).compile(4, 1);
+        let mut dropped = 0usize;
+        for src in 0..8u32 {
+            for seq in 0..128u32 {
+                let first = c.lost(2, src, seq);
+                assert_eq!(first, c.lost(2, src, seq), "predicate must be pure");
+                if first == Some(Lost::Transient) {
+                    dropped += 1;
+                }
+                assert_eq!(c.lost(1, src, seq), None, "only node 2 drops");
+            }
+        }
+        // 1024 coins at p = 1/4: expect ~256, accept a generous band.
+        assert!((150..400).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn drop_schedule_depends_on_seed_and_phase() {
+        let verdicts = |seed: u64, phase: usize| {
+            let c = FaultPlan::batch_drop(seed, 0, 3).compile(1, phase);
+            (0..64u32)
+                .map(|seq| c.lost(0, 0, seq).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            verdicts(1, 0),
+            verdicts(1, 0),
+            "same seed+phase: same coins"
+        );
+        assert_ne!(verdicts(1, 0), verdicts(2, 0), "seed changes the schedule");
+        assert_ne!(verdicts(1, 0), verdicts(1, 1), "phase changes the schedule");
+    }
+
+    #[test]
+    fn slowdown_scales_service_inside_its_window_only() {
+        let c = FaultPlan::handler_slowdown(0, 1, 8.0, (100.0, 200.0)).compile(2, 0);
+        assert_eq!(c.service_scale(1, 50.0), 1.0);
+        assert_eq!(c.service_scale(1, 100.0), 8.0);
+        assert_eq!(c.service_scale(1, 199.0), 8.0);
+        assert_eq!(c.service_scale(1, 200.0), 1.0);
+        assert_eq!(c.service_scale(0, 150.0), 1.0);
+        // Overlapping windows multiply.
+        let c2 = FaultPlan::seeded(0)
+            .with(
+                1,
+                FaultKind::HandlerSlowdown {
+                    factor: 2.0,
+                    window: (0.0, 300.0),
+                },
+            )
+            .with(
+                1,
+                FaultKind::HandlerSlowdown {
+                    factor: 3.0,
+                    window: (100.0, 200.0),
+                },
+            )
+            .compile(2, 0);
+        assert_eq!(c2.service_scale(1, 150.0), 6.0);
+        assert_eq!(c2.service_scale(1, 50.0), 2.0);
+    }
+
+    #[test]
+    fn apply_to_trace_partitions_and_scales() {
+        let plan = FaultPlan::node_down(0, 2, 1).with(
+            1,
+            FaultKind::HandlerSlowdown {
+                factor: 4.0,
+                window: (0.0, 1e9),
+            },
+        );
+        let c = plan.compile(3, 0);
+        let trace = vec![ev(1, 0, 0, 10.0), ev(2, 0, 1, 20.0), ev(0, 1, 0, 30.0)];
+        let (live, lost) = c.apply_to_trace(&trace);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].service_ns, 400.0, "slowdown scales node 1");
+        assert_eq!(live[1].service_ns, 100.0, "node 0 untouched");
+        assert_eq!(lost, vec![(trace[1], Lost::Permanent)]);
+    }
+
+    #[test]
+    fn faults_past_the_machine_are_inert() {
+        let c = FaultPlan::node_down(0, 9, 0).compile(2, 0);
+        assert!(!c.any());
+        assert_eq!(c.lost(1, 0, 0), None);
+    }
+
+    #[test]
+    fn retry_policy_prices_waits() {
+        let p = RetryPolicy {
+            timeout_ns: 1_000.0,
+            max_retries: 2,
+            backoff_ns: 100.0,
+        };
+        assert_eq!(p.backoff_sum_ns(0), 0.0);
+        assert_eq!(p.backoff_sum_ns(1), 100.0);
+        assert_eq!(p.backoff_sum_ns(2), 300.0);
+        assert_eq!(p.recover_wait_ns(), 1_100.0);
+        // 3 timeouts (initial + 2 retries) + 100 + 200 of backoff.
+        assert_eq!(p.give_up_ns(), 3_300.0);
+        let d = RetryPolicy::default();
+        assert!(d.timeout_ns > 0.0 && d.max_retries > 0 && d.backoff_ns > 0.0);
+    }
+
+    #[test]
+    fn fault_summary_zero_detection() {
+        assert!(FaultSummary::default().is_zero());
+        let s = FaultSummary {
+            injected: 1,
+            ..Default::default()
+        };
+        assert!(!s.is_zero());
+    }
+}

@@ -116,6 +116,17 @@ pub struct RankStats {
     /// Off-node aggregated batches this rank awaited at gated
     /// synchronization points.
     pub gate_waits: u64,
+    /// Retry/backoff nanoseconds the sender-side recovery engine charged
+    /// this rank: timeout-detection and backoff waits for batches a fault
+    /// plan lost (resolved at the gated synchronization points, alongside
+    /// [`RankStats::gate_stall_ns`]) plus the α–β cost of each re-send.
+    /// Zero without an active fault plan. Counts into
+    /// [`RankStats::total_ns`] and [`RankStats::comm_exposed_ns`] — retry
+    /// waits are communication time exposed on the critical path.
+    pub retry_ns: f64,
+    /// Re-send attempts the retry engine issued for this rank's lost
+    /// batches.
+    pub retries: u64,
     /// Owner-side handler nanoseconds folded into this rank by the
     /// [`sim`](crate::sim) service pass (per the machine's
     /// `HandlerPolicy`; nonzero only on ranks the policy selects):
@@ -182,6 +193,7 @@ impl RankStats {
     pub fn total_ns(&self) -> f64 {
         self.comm_total_ns() - self.comm_overlapped_ns
             + self.gate_stall_ns
+            + self.retry_ns
             + self.comp_total_ns()
             + self.handler_ns
     }
@@ -189,9 +201,10 @@ impl RankStats {
     /// Communication time actually exposed on the critical path (ns):
     /// total communication minus the overlapped share, plus the
     /// queue-gating stall (blocking on deep receiver queues is exposed
-    /// communication the flat α–β charge missed).
+    /// communication the flat α–β charge missed) and any retry/backoff
+    /// waits the fault-recovery engine charged.
     pub fn comm_exposed_ns(&self) -> f64 {
-        self.comm_total_ns() - self.comm_overlapped_ns + self.gate_stall_ns
+        self.comm_total_ns() - self.comm_overlapped_ns + self.gate_stall_ns + self.retry_ns
     }
 
     /// Simulated communication time for one tag (ns).
@@ -230,6 +243,8 @@ impl RankStats {
         self.comm_overlapped_ns += other.comm_overlapped_ns;
         self.gate_stall_ns += other.gate_stall_ns;
         self.gate_waits += other.gate_waits;
+        self.retry_ns += other.retry_ns;
+        self.retries += other.retries;
         self.handler_ns += other.handler_ns;
         self.handler_batches += other.handler_batches;
         self.exact_hash_checks += other.exact_hash_checks;
@@ -311,6 +326,23 @@ mod tests {
         t.merge(&s);
         assert_eq!(t.gate_stall_ns, 30.0);
         assert_eq!(t.gate_waits, 6);
+    }
+
+    #[test]
+    fn retry_enters_total_and_exposed_comm() {
+        let mut s = RankStats::default();
+        s.comm_ns[CommTag::SeedLookup.idx()] = 100.0;
+        s.comp_ns[CompTag::SmithWaterman.idx()] = 50.0;
+        s.gate_stall_ns = 15.0;
+        s.retry_ns = 25.0;
+        s.retries = 2;
+        assert_eq!(s.comm_exposed_ns(), 140.0);
+        assert_eq!(s.total_ns(), 140.0 + 50.0);
+        let mut t = RankStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.retry_ns, 50.0);
+        assert_eq!(t.retries, 4);
     }
 
     #[test]

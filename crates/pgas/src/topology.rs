@@ -136,6 +136,26 @@ impl Topology {
         debug_assert!(node < self.nodes());
         self.ranks_on_node(node).end - 1
     }
+
+    /// The rank a timed-out aggregated batch is re-routed to when the
+    /// sender's retry re-delivers it: the node's "next-best" handler under
+    /// `policy` — a neighbor of the (presumed wedged) primary handler for
+    /// the fixed policies, a `salt`-rotated rank for the spreading ones.
+    /// On a one-rank node every policy falls back to that rank.
+    pub fn next_best_rank(&self, node: usize, policy: HandlerPolicy, salt: u32) -> usize {
+        let ranks = self.ranks_on_node(node);
+        let n = ranks.len();
+        if n == 1 {
+            return ranks.start;
+        }
+        match policy {
+            HandlerPolicy::LeadRank => ranks.start + 1,
+            HandlerPolicy::DedicatedProgressRank => ranks.end - 2,
+            HandlerPolicy::RotateRanks | HandlerPolicy::LeastLoaded => {
+                ranks.start + salt as usize % n
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +190,33 @@ mod tests {
         // Partial last node: the progress rank is the last *existing* rank.
         let p = Topology::new(30, 24);
         assert_eq!(p.progress_rank(1), 29);
+    }
+
+    #[test]
+    fn next_best_rank_avoids_the_primary_handler() {
+        let t = Topology::new(48, 24);
+        // LeadRank: the lead's on-node neighbor picks up the retry.
+        assert_eq!(t.next_best_rank(1, HandlerPolicy::LeadRank, 0), 25);
+        // DedicatedProgressRank: the progress rank's neighbor.
+        assert_eq!(
+            t.next_best_rank(1, HandlerPolicy::DedicatedProgressRank, 0),
+            46
+        );
+        // Spreading policies rotate by the salt, staying on the node.
+        for salt in 0..50u32 {
+            let r = t.next_best_rank(1, HandlerPolicy::RotateRanks, salt);
+            assert!(t.ranks_on_node(1).contains(&r));
+            assert_eq!(r, t.next_best_rank(1, HandlerPolicy::LeastLoaded, salt));
+        }
+        assert_ne!(
+            t.next_best_rank(1, HandlerPolicy::RotateRanks, 0),
+            t.next_best_rank(1, HandlerPolicy::RotateRanks, 1)
+        );
+        // One-rank node: every policy falls back to the only rank.
+        let single = Topology::new(3, 1);
+        for p in HandlerPolicy::ALL {
+            assert_eq!(single.next_best_rank(2, p, 7), 2);
+        }
     }
 
     #[test]
