@@ -9,13 +9,14 @@
 
 use bench::gates::{
     CONGESTED_HANDLER_DISPATCH_NS, CONGESTED_NODE_ROUTE_NS_PER_SEED,
-    CONGESTED_TARGET_ROUTE_NS_PER_REF, GATE_EXPOSED_EPS_S, MIN_DEGRADED_READS_NODE_DOWN,
-    MIN_TARGET_FETCH_DROP, OVERLAP_ALIGN_EPS_S,
+    CONGESTED_TARGET_ROUTE_NS_PER_REF, GATE_EXPOSED_EPS_S, MAX_DEGRADED_READS_REPLICATED,
+    MIN_DEGRADED_READS_NODE_DOWN, MIN_TARGET_FETCH_DROP, OVERLAP_ALIGN_EPS_S,
 };
 use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, Metrics, PPN};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
 use meraligner::{
-    run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig, TargetStore,
+    run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig, ReplicationMode,
+    TargetStore,
 };
 use pgas::{CommTag, FaultPlan, GlobalRef, Machine, MachineConfig};
 use seq::KmerIter;
@@ -603,6 +604,111 @@ fn main() {
         });
     }
 
+    // ---- Replicated shards (`--faults --replicated`): the same downed
+    // node, but every partition is held by two nodes (`Full(2)`). Batches
+    // that time out against the dead primary fail over to the surviving
+    // replica with valid bytes, so the run must reproduce the *healthy*
+    // placements exactly — actual recovery, not graceful degradation.
+    struct ReplicatedStats {
+        degraded: usize,
+        recovered: usize,
+        failovers: u64,
+        failover_s: f64,
+        replicate_s: f64,
+        align_s: f64,
+    }
+    let mut replicated_stats: Option<ReplicatedStats> = None;
+    if cli.replicated {
+        assert!(
+            cli.faults,
+            "--replicated extends the fault section; pass --faults too"
+        );
+        let nodes = cores / PPN;
+        let down_node = nodes - 1;
+        let mk = || {
+            let mut cfg = pipeline_config(&d, cores, cores / PPN);
+            tune(&mut cfg);
+            cfg.fault_plan = FaultPlan::node_down(0xFA17, down_node, 0);
+            cfg.replication = ReplicationMode::Full(2);
+            cfg
+        };
+        let ra = run_pipeline(&mk(), &tdb, &qdb);
+        let rb = run_pipeline(&mk(), &tdb, &qdb);
+        assert_eq!(
+            ra.placements, rb.placements,
+            "replicated faulted runs must be schedule-deterministic"
+        );
+        // CI smoke assertions (thresholds in bench::gates): zero loss —
+        // nothing degrades, placements replay the healthy run bit for
+        // bit, and every owner-lost read is accounted recovered.
+        assert!(
+            ra.degraded_reads as u64 <= MAX_DEGRADED_READS_REPLICATED,
+            "Full(2) replication left {} reads degraded (gate: <= {})",
+            ra.degraded_reads,
+            MAX_DEGRADED_READS_REPLICATED
+        );
+        assert_eq!(
+            ra.placements, db.placements,
+            "replicated failover must reproduce the healthy placements"
+        );
+        let flagged = ra.owner_lost.iter().filter(|&&b| b).count();
+        assert_eq!(
+            ra.recovered_reads, flagged,
+            "every owner-lost read must be recovered under Full(2)"
+        );
+        let phase = ra.align_phase().expect("align phase");
+        let agg = phase.aggregate();
+        assert!(
+            phase.fault_summary.failovers > 0,
+            "recovery must go through the failover path"
+        );
+        assert_eq!(phase.fault_summary.degraded_reads, 0);
+        assert_eq!(
+            phase.fault_summary.recovered_reads,
+            ra.recovered_reads as u64
+        );
+        let replicate_s = ra
+            .phases
+            .iter()
+            .find(|p| p.name == "replicate-index")
+            .map_or(0.0, |p| p.sim_seconds);
+        eprintln!(
+            "# replicated shards: node {down_node} of {nodes} down, Full(2) \
+             (failover recovery, gated, double-buffered):"
+        );
+        header(&[
+            "downed_node",
+            "failovers",
+            "failover_s",
+            "degraded_reads",
+            "recovered_reads",
+            "replicate_s",
+            "align_s",
+        ]);
+        row(&[
+            down_node.to_string(),
+            phase.fault_summary.failovers.to_string(),
+            fmt_s(agg.failover_ns / 1e9),
+            ra.degraded_reads.to_string(),
+            ra.recovered_reads.to_string(),
+            fmt_s(replicate_s),
+            fmt_s(ra.align_seconds()),
+        ]);
+        eprintln!(
+            "# replication recovered all {} owner-lost reads ({} degraded under Off — see the fault section)",
+            ra.recovered_reads,
+            fault_stats.as_ref().map_or(0, |f| f.degraded),
+        );
+        replicated_stats = Some(ReplicatedStats {
+            degraded: ra.degraded_reads,
+            recovered: ra.recovered_reads,
+            failovers: phase.fault_summary.failovers,
+            failover_s: agg.failover_ns / 1e9,
+            replicate_s,
+            align_s: ra.align_seconds(),
+        });
+    }
+
     // ---- Machine-readable metrics for the CI perf gate.
     if let Some(path) = &cli.json {
         let chunked_agg = &modes[2].agg;
@@ -642,6 +748,14 @@ fn main() {
             m.push("fault_retries", f.retries as f64);
             m.push("retry_s_total", f.retry_s);
             m.push("align_s_faulted", f.align_s);
+        }
+        if let Some(r) = &replicated_stats {
+            m.push("replicated_degraded_reads", r.degraded as f64);
+            m.push("replicated_recovered_reads", r.recovered as f64);
+            m.push("info_replicated_failovers", r.failovers as f64);
+            m.push("info_failover_s_total", r.failover_s);
+            m.push("replicate_copy_s", r.replicate_s);
+            m.push("align_s_replicated", r.align_s);
         }
         m.write(path).expect("write --json metrics");
         eprintln!("# metrics written to {path}");

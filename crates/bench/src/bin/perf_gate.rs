@@ -4,14 +4,18 @@
 //!
 //! ```text
 //! perf_gate --baseline ci/baselines/fig8_scale0.02.json \
-//!           --current  fig8_current.json [--tolerance 0.15]
+//!           --current  fig8_current.json [--tolerance 0.15] [--strict]
 //! ```
 //!
 //! Every key in the baseline must exist in the current run (a vanished
 //! metric is itself a regression — an emitter was dropped or renamed).
-//! Directions and the default tolerance live in `bench::gates`, shared
-//! with the in-binary fig8 assertions, so thresholds have exactly one
-//! home. Keys prefixed `info_` are contextual and never gated.
+//! A current metric *missing from the baseline* is a warning by default
+//! (a coverage hole until the baseline is regenerated) and a failure
+//! under `--strict`, which CI passes on the default runs so new emitters
+//! land together with their baselines. Directions and the default
+//! tolerance live in `bench::gates`, shared with the in-binary fig8
+//! assertions, so thresholds have exactly one home. Keys prefixed
+//! `info_` are contextual and never gated.
 
 use bench::gates::{metric_direction, Direction, PERF_TOLERANCE};
 use bench::Metrics;
@@ -20,6 +24,7 @@ struct Args {
     baseline: String,
     current: String,
     tolerance: f64,
+    strict: bool,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +32,7 @@ fn parse_args() -> Args {
     let mut baseline = None;
     let mut current = None;
     let mut tolerance = PERF_TOLERANCE;
+    let mut strict = false;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -45,8 +51,15 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| panic!("--tolerance needs a number"));
                 i += 2;
             }
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
             other => {
-                panic!("unknown argument {other} (supported: --baseline --current --tolerance)")
+                panic!(
+                    "unknown argument {other} \
+                     (supported: --baseline --current --tolerance --strict)"
+                )
             }
         }
     }
@@ -54,6 +67,7 @@ fn parse_args() -> Args {
         baseline: baseline.expect("--baseline <path> is required"),
         current: current.expect("--current <path> is required"),
         tolerance,
+        strict,
     }
 }
 
@@ -125,14 +139,22 @@ fn main() {
     }
     for (key, value) in current.entries() {
         if baseline.get(key).is_none() {
-            println!("{key}\t<new>\t{value}\t-\tinfo (not in baseline)");
-            // Loud, not fatal: an ungated metric is a hole in regression
-            // coverage until someone regenerates the baseline.
-            eprintln!(
-                "perf gate WARNING: current metric {key} is not in baseline {} — \
-                 it is NOT gated; regenerate the baseline to cover it",
-                args.baseline
-            );
+            if args.strict {
+                // `--strict` turns the coverage hole into a failure: a
+                // new emitter must land with a regenerated baseline.
+                println!("{key}\t<new>\t{value}\t-\tREGRESSED (not in baseline, --strict)");
+                regressions += 1;
+            } else {
+                println!("{key}\t<new>\t{value}\t-\tinfo (not in baseline)");
+                // Loud, not fatal: an ungated metric is a hole in
+                // regression coverage until someone regenerates the
+                // baseline.
+                eprintln!(
+                    "perf gate WARNING: current metric {key} is not in baseline {} — \
+                     it is NOT gated; regenerate the baseline to cover it",
+                    args.baseline
+                );
+            }
         }
     }
     if regressions > 0 {

@@ -1,0 +1,186 @@
+//! table_skew: per-node owner-side skew on a repeat-heavy genome, before
+//! and after r-way shard replication.
+//!
+//! The wheat-like dataset (35 % young repeats) concentrates high-degree
+//! seed buckets on a few partitions, so under the modulo placement some
+//! nodes store more index and service more lookup traffic than others.
+//! This harness quantifies both skews — per-node index storage (heap
+//! bytes of the frozen CSR partitions, plus replica shards) and per-node
+//! handler busy time in the align phase — for the unreplicated machine
+//! and for `Full(2)` replication, whose congestion-mirror routing takes
+//! load off the hottest node's handlers (much of it onto the sender's
+//! own replica, where it stops being wire traffic entirely) at the
+//! price of doubled storage. `Hot` replication's storage footprint
+//! rides along as the cheap middle ground.
+//!
+//! Imbalance is reported as max/mean across nodes (1.0 = perfectly
+//! flat). The `--json` metrics feed the CI perf gate via
+//! `ci/baselines/table_skew_scale0.02.json`.
+
+use bench::gates::MAX_REPLICATED_BUSY_RATIO;
+use bench::{fmt_s, header, pipeline_config, row, Cli, Metrics, PPN};
+use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
+use meraligner::{run_pipeline, ReplicationMode, TargetStore};
+use pgas::{GlobalRef, Machine, MachineConfig, ReplicaMap};
+use seq::KmerIter;
+
+/// max/mean over per-node totals (1.0 = flat).
+fn imbalance(per_node: &[f64]) -> f64 {
+    let max = per_node.iter().cloned().fold(0.0, f64::max);
+    let mean = per_node.iter().sum::<f64>() / per_node.len().max(1) as f64;
+    max / mean.max(1e-12)
+}
+
+fn main() {
+    let cli = Cli::parse(0.02);
+    let d = genome::wheat_like(cli.scale, cli.seed);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    let cores = if cli.full { 480 } else { 96 };
+    let nodes = cores / PPN;
+    assert!(nodes >= 2, "skew needs at least two nodes (got {nodes})");
+    eprintln!(
+        "# dataset {} | contigs {} | reads {} | {cores} cores / {nodes} nodes",
+        d.name,
+        d.contigs.len(),
+        qdb.len()
+    );
+
+    // ---- Storage skew: build the index once on the driver and account
+    // heap bytes per node, then the replica shards on top. Each of a
+    // partition's `r − 1` secondaries holds a full copy of its replica
+    // payload; `Hot` shrinks that payload to the high-degree buckets.
+    let mut machine = Machine::new(MachineConfig::new(cores, PPN));
+    let store = TargetStore::load(&mut machine, &tdb);
+    let bcfg = BuildConfig {
+        k: d.k,
+        algorithm: BuildAlgorithm::AggregatingStores,
+        buffer_size: 1000,
+    };
+    let seqs = &store.seqs;
+    let mut index = build_seed_index(&mut machine, &bcfg, |r| {
+        seqs.part(r).iter().enumerate().flat_map(move |(idx, t)| {
+            KmerIter::new(t, d.k).map(move |(off, km)| SeedEntry {
+                kmer: km,
+                target: GlobalRef::new(r, idx),
+                offset: off,
+            })
+        })
+    });
+    let map = ReplicaMap::full(nodes, 2);
+    let mut primary = vec![0.0f64; nodes];
+    for r in 0..cores {
+        primary[r / PPN] += index.partition(r).heap_bytes() as f64;
+    }
+    // One pass per replication flavour: the replica payload per owner
+    // rank lands on every secondary node of the owner's home.
+    let replica_totals = |index: &dht::SeedIndex| {
+        let mut per_node = primary.clone();
+        for r in 0..cores {
+            let bytes = index.replica_heap_bytes(r) as f64;
+            for i in 1..map.factor() {
+                per_node[map.replica_node(r / PPN, i)] += bytes;
+            }
+        }
+        per_node
+    };
+    index.replicate_hot(2);
+    let hot = replica_totals(&index);
+    index.replicate_full();
+    let full = replica_totals(&index);
+
+    header(&["node", "index_mb_off", "index_mb_hot2", "index_mb_full2"]);
+    for n in 0..nodes {
+        row(&[
+            n.to_string(),
+            format!("{:.2}", primary[n] / 1e6),
+            format!("{:.2}", hot[n] / 1e6),
+            format!("{:.2}", full[n] / 1e6),
+        ]);
+    }
+    let storage_imb_off = imbalance(&primary);
+    let storage_imb_full = imbalance(&full);
+    let total = |v: &[f64]| v.iter().sum::<f64>();
+    let overhead_pct =
+        |v: &[f64]| 100.0 * (total(v) - total(&primary)) / total(&primary).max(1e-12);
+    eprintln!(
+        "# storage imbalance (max/mean): off {:.3} | hot2 {:.3} | full2 {:.3}",
+        storage_imb_off,
+        imbalance(&hot),
+        storage_imb_full
+    );
+    eprintln!(
+        "# storage overhead vs off: hot2 +{:.1} % | full2 +{:.1} %",
+        overhead_pct(&hot),
+        overhead_pct(&full)
+    );
+
+    // ---- Handler-load skew: one full pipeline per mode; the align
+    // phase's per-node service queues say which nodes' handlers carried
+    // the lookup/fetch traffic. Placements must not move (pinned by the
+    // meraligner replica_equivalence suite; re-asserted here).
+    let run = |replication: ReplicationMode| {
+        let mut cfg = pipeline_config(&d, cores, nodes);
+        cfg.replication = replication;
+        run_pipeline(&cfg, &tdb, &qdb)
+    };
+    let off = run(ReplicationMode::Off);
+    let rep = run(ReplicationMode::Full(2));
+    assert_eq!(
+        off.placements, rep.placements,
+        "healthy replication must never move placements"
+    );
+    let busy = |res: &meraligner::PipelineResult| {
+        let phase = res.align_phase().expect("align phase");
+        let mut per_node = vec![0.0f64; nodes];
+        for q in &phase.node_service {
+            if q.node < per_node.len() {
+                per_node[q.node] += q.busy_ns / 1e9;
+            }
+        }
+        per_node
+    };
+    let busy_off = busy(&off);
+    let busy_rep = busy(&rep);
+    header(&["node", "handler_busy_s_off", "handler_busy_s_full2"]);
+    for n in 0..nodes {
+        row(&[n.to_string(), fmt_s(busy_off[n]), fmt_s(busy_rep[n])]);
+    }
+    let handler_imb_off = imbalance(&busy_off);
+    let handler_imb_rep = imbalance(&busy_rep);
+    let busy_max_off = busy_off.iter().cloned().fold(0.0, f64::max);
+    let busy_max_rep = busy_rep.iter().cloned().fold(0.0, f64::max);
+    eprintln!(
+        "# handler load: max busy {} -> {} s | imbalance (max/mean) {:.3} -> {:.3} | align_s {} -> {}",
+        fmt_s(busy_max_off),
+        fmt_s(busy_max_rep),
+        handler_imb_off,
+        handler_imb_rep,
+        fmt_s(off.align_seconds()),
+        fmt_s(rep.align_seconds())
+    );
+    // CI smoke assertion: replica routing may only take load off the
+    // hottest node's handlers, never add to it. Threshold in bench::gates.
+    assert!(
+        busy_max_rep <= busy_max_off * MAX_REPLICATED_BUSY_RATIO,
+        "replication loaded the hottest node harder: {busy_max_rep} s vs off \
+         {busy_max_off} s (gate: <= {MAX_REPLICATED_BUSY_RATIO}x)"
+    );
+
+    // ---- Machine-readable metrics for the CI perf gate.
+    if let Some(path) = &cli.json {
+        let mut m = Metrics::default();
+        m.push("skew_storage_imb_off", storage_imb_off);
+        m.push("skew_storage_imb_replicated", storage_imb_full);
+        m.push("info_storage_overhead_hot_pct", overhead_pct(&hot));
+        m.push("info_storage_overhead_full_pct", overhead_pct(&full));
+        m.push("skew_handler_busy_max_s_off", busy_max_off);
+        m.push("skew_handler_busy_max_s_replicated", busy_max_rep);
+        m.push("skew_handler_imb_off", handler_imb_off);
+        m.push("skew_handler_imb_replicated", handler_imb_rep);
+        m.push("align_s_skew_off", off.align_seconds());
+        m.push("align_s_skew_replicated", rep.align_seconds());
+        m.write(path).expect("write --json metrics");
+        eprintln!("# metrics written to {path}");
+    }
+}

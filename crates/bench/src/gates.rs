@@ -27,6 +27,20 @@ pub const PERF_TOLERANCE: f64 = 0.15;
 /// the align phase and the chaos gate is vacuous).
 pub const MIN_DEGRADED_READS_NODE_DOWN: u64 = 1;
 
+/// The fig8 `--faults --replicated` run (same downed node, `Full(2)`
+/// shards) may degrade at most this many reads: with every partition
+/// held by two nodes, a single `NodeDown` must lose **nothing** — every
+/// owner-lost batch fails over to the surviving replica.
+pub const MAX_DEGRADED_READS_REPLICATED: u64 = 0;
+
+/// The table_skew replicated run's **max** per-node handler busy time
+/// must come in at or under the unreplicated run's times this factor:
+/// congestion-mirror routing across full replicas can only divert
+/// events away from the most-pressured queue (often onto the sender's
+/// own node, where they stop being service events at all), so the
+/// hottest node's load must never grow.
+pub const MAX_REPLICATED_BUSY_RATIO: f64 = 1.0;
+
 /// Handler dispatch cost of the fig8 `--congested` run (ns per batch):
 /// ~400× the default, enough to push the owner-side queues into
 /// sustained backpressure at container scale.
@@ -56,9 +70,11 @@ pub enum Direction {
 /// downward; everything else (seconds, counts, depths) regresses upward.
 pub fn metric_direction(key: &str) -> Direction {
     match key {
-        "fetch_drop" | "overlap_pct_double" | "exact_hash_skip_pct" | "fault_recovered_reads" => {
-            Direction::HigherIsBetter
-        }
+        "fetch_drop"
+        | "overlap_pct_double"
+        | "exact_hash_skip_pct"
+        | "fault_recovered_reads"
+        | "replicated_recovered_reads" => Direction::HigherIsBetter,
         k if k.starts_with("info_") => Direction::Info,
         _ => Direction::LowerIsBetter,
     }
@@ -83,6 +99,18 @@ mod tests {
         assert_eq!(
             metric_direction("fault_recovered_reads"),
             Direction::HigherIsBetter
+        );
+        assert_eq!(
+            metric_direction("replicated_degraded_reads"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("replicated_recovered_reads"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            metric_direction("skew_handler_imb_replicated"),
+            Direction::LowerIsBetter
         );
         assert_eq!(
             metric_direction("info_lookup_msgs_per_read_point"),

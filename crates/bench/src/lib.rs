@@ -36,6 +36,10 @@ pub struct Cli {
     /// Inflate the owner-side handler costs (fig8): a congested-cost run
     /// whose backpressure/adaptation behaviour gets its own baseline.
     pub congested: bool,
+    /// Add the replicated-shards section (fig8 `--faults`, table_skew):
+    /// the same downed-node run with `Full(2)` replication, which must
+    /// recover every owner-lost read with zero degradation.
+    pub replicated: bool,
 }
 
 impl Cli {
@@ -48,6 +52,7 @@ impl Cli {
             json: None,
             faults: false,
             congested: false,
+            replicated: false,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -79,6 +84,10 @@ impl Cli {
                     cli.congested = true;
                     i += 1;
                 }
+                "--replicated" => {
+                    cli.replicated = true;
+                    i += 1;
+                }
                 "--json" => {
                     cli.json = Some(
                         args.get(i + 1)
@@ -90,7 +99,7 @@ impl Cli {
                 other => {
                     panic!(
                         "unknown argument {other} \
-                         (supported: --scale --seed --full --json --faults --congested)"
+                         (supported: --scale --seed --full --json --faults --congested --replicated)"
                     )
                 }
             }

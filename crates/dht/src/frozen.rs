@@ -594,6 +594,58 @@ impl FrozenPartition {
             (slot.kmer, &self.hits[s..s + slot.len as usize])
         })
     }
+
+    /// A full replica of this partition: a byte-for-byte copy of the
+    /// frozen table. The frozen CSR layout is what makes replication
+    /// cheap — three contiguous arrays, no rehashing, no pointer
+    /// chasing — so a secondary node materializes the shard with plain
+    /// `memcpy`s of [`FrozenPartition::heap_bytes`] bytes.
+    pub fn replicate(&self) -> FrozenPartition {
+        FrozenPartition {
+            mask: self.mask,
+            shift: self.shift,
+            tags: self.tags.clone(),
+            slots: self.slots.clone(),
+            hits: self.hits.clone(),
+            distinct: self.distinct,
+            entries: self.entries,
+        }
+    }
+
+    /// A *hot* replica holding only the seeds whose hit-list degree is at
+    /// least `min_degree` — the high-degree buckets that concentrate
+    /// handler load under repeat-heavy inputs. Rebuilt through
+    /// [`FrozenPartition::from_seeds`], so the replica is itself a
+    /// well-formed frozen table; its `total_entries` counts only the
+    /// occurrences it carries.
+    pub fn replicate_hot(&self, min_degree: u32) -> FrozenPartition {
+        let entries: u64 = self
+            .iter()
+            .filter(|(_, h)| h.len() as u32 >= min_degree)
+            .map(|(_, h)| h.len() as u64)
+            .sum();
+        FrozenPartition::from_seeds(
+            self.iter().filter(|(_, h)| h.len() as u32 >= min_degree),
+            entries,
+        )
+    }
+
+    /// The degree cutoff that keeps roughly the top `degree_pct` percent
+    /// highest-degree seeds of this partition: sort the distinct seeds'
+    /// hit counts descending and read the count at the percentile
+    /// boundary. Ties at the boundary are included (the cutoff is a
+    /// degree, not a rank), so the hot set is a deterministic function of
+    /// the partition contents. An empty partition — or `degree_pct == 0`
+    /// — yields `u32::MAX` (nothing is hot).
+    pub fn hot_degree_threshold(&self, degree_pct: u32) -> u32 {
+        if self.distinct == 0 || degree_pct == 0 {
+            return u32::MAX;
+        }
+        let mut degrees: Vec<u32> = self.iter().map(|(_, h)| h.len() as u32).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let keep = (self.distinct * degree_pct as usize).div_ceil(100).max(1);
+        degrees[keep.min(degrees.len()) - 1]
+    }
 }
 
 #[cfg(test)]
@@ -796,6 +848,74 @@ mod tests {
         assert!(spans[0].found && !spans[1].found);
         assert_eq!(spans[n - 1].found, queries[n - 1] == km(b"ACGTA"));
         assert_eq!(&hits_arena[spans[0].range()], &[hit(0, 0, 3)]);
+    }
+
+    #[test]
+    fn full_replica_is_byte_identical() {
+        let pairs = [
+            (km(b"ACGTA"), vec![hit(0, 0, 3)]),
+            (km(b"TTTTT"), vec![hit(1, 2, 0), hit(2, 0, 9)]),
+            (km(b"GGGGG"), vec![hit(3, 3, 3)]),
+        ];
+        let f = FrozenPartition::from_seeds(pairs.iter().map(|(k, v)| (*k, v.as_slice())), 4);
+        let r = f.replicate();
+        assert_eq!(r.distinct_seeds(), f.distinct_seeds());
+        assert_eq!(r.total_entries(), f.total_entries());
+        assert_eq!(r.capacity(), f.capacity());
+        assert_eq!(r.heap_bytes(), f.heap_bytes());
+        for (k, h) in f.iter() {
+            assert_eq!(r.get(k).unwrap(), h);
+        }
+        assert!(r.get(km(b"CCCCC")).is_none());
+    }
+
+    #[test]
+    fn hot_replica_keeps_only_high_degree_seeds() {
+        let fat_hits: Vec<TargetHit> = (0..10).map(|i| hit(0, i, i as u32)).collect();
+        let pairs = [
+            (km(b"ACGTA"), vec![hit(0, 0, 3)]),
+            (km(b"TTTTT"), fat_hits.clone()),
+            (km(b"GGGGG"), vec![hit(3, 3, 3), hit(3, 4, 7)]),
+        ];
+        let f = FrozenPartition::from_seeds(pairs.iter().map(|(k, v)| (*k, v.as_slice())), 13);
+        let hot = f.replicate_hot(2);
+        assert_eq!(hot.distinct_seeds(), 2);
+        assert_eq!(hot.total_entries(), 12);
+        assert!(hot.get(km(b"ACGTA")).is_none(), "degree-1 seed excluded");
+        assert_eq!(hot.get(km(b"TTTTT")).unwrap(), fat_hits.as_slice());
+        assert_eq!(hot.get(km(b"GGGGG")).unwrap().len(), 2);
+        assert!(hot.heap_bytes() < f.heap_bytes());
+        // An impossible cutoff leaves the replica empty, never panics.
+        assert_eq!(f.replicate_hot(100).distinct_seeds(), 0);
+    }
+
+    #[test]
+    fn hot_degree_threshold_tracks_percentile() {
+        // 10 seeds with degrees 1..=10: top 10 % keeps only degree 10,
+        // top 50 % cuts at degree 6, 100 % admits everything.
+        let mut distinct: Vec<Kmer> = Vec::new();
+        for k in kmer_stream(200, 3) {
+            if !distinct.contains(&k) {
+                distinct.push(k);
+            }
+            if distinct.len() == 10 {
+                break;
+            }
+        }
+        let pairs: Vec<(Kmer, Vec<TargetHit>)> = distinct
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, (0..=i).map(|j| hit(0, j, j as u32)).collect()))
+            .collect();
+        let total: u64 = pairs.iter().map(|(_, h)| h.len() as u64).sum();
+        let f = FrozenPartition::from_seeds(pairs.iter().map(|(k, v)| (*k, v.as_slice())), total);
+        assert_eq!(f.distinct_seeds(), 10);
+        assert_eq!(f.hot_degree_threshold(10), 10);
+        assert_eq!(f.hot_degree_threshold(50), 6);
+        assert_eq!(f.hot_degree_threshold(100), 1);
+        assert_eq!(f.hot_degree_threshold(0), u32::MAX);
+        let empty = FrozenPartition::from_seeds(std::iter::empty(), 0);
+        assert_eq!(empty.hot_degree_threshold(50), u32::MAX);
     }
 
     #[test]

@@ -279,6 +279,7 @@ impl LookupEnv<'_> {
     ) -> usize {
         let span_base = spans.len();
         scratch.lost.clear();
+        scratch.recovered.clear();
         if probes.is_empty() {
             return 0;
         }
@@ -298,17 +299,43 @@ impl LookupEnv<'_> {
                 let bytes = LOOKUP_RESP_HEADER
                     + wire_seeds * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
                     + payload;
-                let dst = ctx.topo().lead_rank(node);
-                let id = ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
-                if id.is_some_and(|id| ctx.batch_failed(id)) {
-                    // The batch exhausted its retry budget: every
-                    // off-rank probe's response is gone. Degrade
-                    // deterministically — a lost seed reads as
-                    // not-found, exactly like an absent seed.
-                    for (i, p) in probes.iter().enumerate() {
-                        if p.owner as usize != ctx.rank {
-                            spans[span_base + i] = HitSpan::default();
-                            scratch.lost.push(i as u32);
+                let dst = ctx.topo().lead_rank(self.route(ctx, node));
+                let id = ctx.charge_lookup_node_batch_for(
+                    node,
+                    dst,
+                    wire_seeds,
+                    bytes,
+                    CommTag::SeedLookup,
+                );
+                if let Some(id) = id {
+                    if ctx.batch_failed(id) {
+                        // The batch exhausted its retry budget with no
+                        // surviving replica: every off-rank probe's
+                        // response is gone. Degrade deterministically — a
+                        // lost seed reads as not-found, exactly like an
+                        // absent seed.
+                        for (i, p) in probes.iter().enumerate() {
+                            if p.owner as usize != ctx.rank {
+                                spans[span_base + i] = HitSpan::default();
+                                scratch.lost.push(i as u32);
+                            }
+                        }
+                    } else if ctx.batch_failed_over(id) {
+                        // The wire destination died but a surviving
+                        // replica re-answered. Full replicas recover
+                        // every off-rank probe; hot replicas recover
+                        // only their hot set (a cold seed may exist
+                        // solely on the dead primary, so it degrades).
+                        for (i, p) in probes.iter().enumerate() {
+                            if p.owner as usize == ctx.rank {
+                                continue;
+                            }
+                            if self.index.replica_covers(p.owner as usize, p.kmer) {
+                                scratch.recovered.push(i as u32);
+                            } else {
+                                spans[span_base + i] = HitSpan::default();
+                                scratch.lost.push(i as u32);
+                            }
                         }
                     }
                 }
@@ -349,16 +376,35 @@ impl LookupEnv<'_> {
             let bytes = LOOKUP_RESP_HEADER
                 + wire_seeds * (BATCH_REQ_BYTES_PER_SEED + BATCH_RESP_BYTES_PER_SEED)
                 + payload;
-            let dst = ctx.topo().lead_rank(node);
-            let id = ctx.charge_lookup_node_batch(dst, wire_seeds, bytes, CommTag::SeedLookup);
+            let dst = ctx.topo().lead_rank(self.route(ctx, node));
+            let id =
+                ctx.charge_lookup_node_batch_for(node, dst, wire_seeds, bytes, CommTag::SeedLookup);
             if id.is_some_and(|id| ctx.batch_failed(id)) {
-                // Retry budget exhausted: the misses' responses never
-                // arrive. They degrade to not-found and — crucially —
-                // the node cache is NOT filled, so later chunks re-probe
-                // the down node and get flagged the same way.
+                // Retry budget exhausted with no surviving replica: the
+                // misses' responses never arrive. They degrade to
+                // not-found and — crucially — the node cache is NOT
+                // filled, so later chunks re-probe the down node and get
+                // flagged the same way.
                 for &i in &scratch.miss_inputs {
                     spans[span_base + i as usize] = HitSpan::default();
                     scratch.lost.push(i);
+                }
+            } else if id.is_some_and(|id| ctx.batch_failed_over(id)) {
+                // A surviving replica re-answered the misses. Covered
+                // seeds recover — and fill the cache in the same input
+                // order as the healthy path, keeping the direct-mapped
+                // state deterministic. Uncovered (cold, hot-mode-only)
+                // seeds degrade without fills.
+                for &i in &scratch.miss_inputs {
+                    let p = &probes[i as usize];
+                    if self.index.replica_covers(p.owner as usize, p.kmer) {
+                        scratch.recovered.push(i);
+                        let span = spans[span_base + i as usize];
+                        nc.seed.fill(p.kmer, &hits[span.range()]);
+                    } else {
+                        spans[span_base + i as usize] = HitSpan::default();
+                        scratch.lost.push(i);
+                    }
                 }
             } else {
                 // Fill in input order: the direct-mapped cache's final
@@ -462,6 +508,7 @@ impl LookupEnv<'_> {
         scratch: &mut TargetFetchScratch,
     ) {
         scratch.lost.clear();
+        scratch.recovered.clear();
         if refs.is_empty() {
             return;
         }
@@ -486,16 +533,34 @@ impl LookupEnv<'_> {
                 let bytes = FETCH_RESP_HEADER
                     + wire_refs * (FETCH_REQ_BYTES_PER_REF + FETCH_RESP_BYTES_PER_REF)
                     + payload;
-                let dst = ctx.topo().lead_rank(node);
-                let id = ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
-                if id.is_some_and(|id| ctx.batch_failed(id)) {
-                    // The fetched bytes never arrive: positional output
-                    // is preserved (callers index `out` by ref slot) but
-                    // every wire ref is reported lost so the caller skips
-                    // those candidates.
-                    for (i, &gref) in refs.iter().enumerate() {
-                        if gref.rank as usize != ctx.rank {
-                            scratch.lost.push(i as u32);
+                let dst = ctx.topo().lead_rank(self.route(ctx, node));
+                let id = ctx.charge_target_node_batch_for(
+                    node,
+                    dst,
+                    wire_refs,
+                    bytes,
+                    CommTag::TargetFetch,
+                );
+                if let Some(id) = id {
+                    if ctx.batch_failed(id) {
+                        // The fetched bytes never arrive: positional output
+                        // is preserved (callers index `out` by ref slot) but
+                        // every wire ref is reported lost so the caller skips
+                        // those candidates.
+                        for (i, &gref) in refs.iter().enumerate() {
+                            if gref.rank as usize != ctx.rank {
+                                scratch.lost.push(i as u32);
+                            }
+                        }
+                    } else if ctx.batch_failed_over(id) {
+                        // Target heaps fail over only under full
+                        // replication (the machine's failover excludes
+                        // fetches for hot-only maps), so every wire ref
+                        // is re-served by the surviving replica.
+                        for (i, &gref) in refs.iter().enumerate() {
+                            if gref.rank as usize != ctx.rank {
+                                scratch.recovered.push(i as u32);
+                            }
                         }
                     }
                 }
@@ -528,24 +593,44 @@ impl LookupEnv<'_> {
             let bytes = FETCH_RESP_HEADER
                 + wire_refs * (FETCH_REQ_BYTES_PER_REF + FETCH_RESP_BYTES_PER_REF)
                 + payload;
-            let dst = ctx.topo().lead_rank(node);
-            let id = ctx.charge_target_node_batch(dst, wire_refs, bytes, CommTag::TargetFetch);
+            let dst = ctx.topo().lead_rank(self.route(ctx, node));
+            let id =
+                ctx.charge_target_node_batch_for(node, dst, wire_refs, bytes, CommTag::TargetFetch);
             if id.is_some_and(|id| ctx.batch_failed(id)) {
-                // Retry budget exhausted: the misses' payloads never
-                // arrive. Report them lost and skip the cache fills, so
-                // later chunks re-fetch from the down node and get
-                // flagged the same way.
+                // Retry budget exhausted with no surviving replica: the
+                // misses' payloads never arrive. Report them lost and
+                // skip the cache fills, so later chunks re-fetch from
+                // the down node and get flagged the same way.
                 scratch.lost.extend_from_slice(&scratch.miss);
             } else {
-                // Fill in input order: the direct-mapped cache's final
-                // occupant of a contended slot — and the budget
-                // accountant's skip decisions — must match N point
-                // fetches.
+                // Healthy, or re-served whole by a surviving full
+                // replica (fetch failover never fires for hot-only
+                // maps). Fill in input order either way: the
+                // direct-mapped cache's final occupant of a contended
+                // slot — and the budget accountant's skip decisions —
+                // must match N point fetches.
+                if id.is_some_and(|id| ctx.batch_failed_over(id)) {
+                    scratch.recovered.extend_from_slice(&scratch.miss);
+                }
                 for &i in &scratch.miss {
                     let gref = refs[i as usize];
                     nc.target.fill(gref, Arc::clone(&out[base + i as usize]));
                 }
             }
+        }
+    }
+
+    /// Wire destination node for a batch homed on `node`: the home itself
+    /// for same-node batches (local reads never reroute), otherwise the
+    /// least-pressured surviving replica per the rank-local congestion
+    /// mirror ([`RankCtx::route_replica`] — the home when no replica map
+    /// is configured, so the unreplicated path is untouched).
+    #[inline]
+    fn route(&self, ctx: &RankCtx, node: usize) -> usize {
+        if node == ctx.node() {
+            node
+        } else {
+            ctx.route_replica(node)
         }
     }
 
@@ -617,6 +702,12 @@ pub struct NodeBatchScratch {
     /// caller flags the reads that depended on them. Empty without
     /// faults.
     pub lost: Vec<u32>,
+    /// Input slots whose responses were lost at the wire destination but
+    /// re-served by a surviving replica (the machine's failover path).
+    /// Those slots carry correct data; the caller may count the reads
+    /// that depended on them as recovered rather than degraded. Empty
+    /// without faults or replicas.
+    pub recovered: Vec<u32>,
 }
 
 /// Reusable scratch for [`LookupEnv::fetch_targets_batch_node`].
@@ -631,6 +722,11 @@ pub struct TargetFetchScratch {
     /// exist, but the caller must not use them as fetched data. Empty
     /// without faults.
     pub lost: Vec<u32>,
+    /// Input slots whose payloads were lost at the wire destination but
+    /// re-served by a surviving full replica. The positional `out`
+    /// entries are valid fetched data; the caller may count the reads
+    /// that used them as recovered. Empty without faults or replicas.
+    pub recovered: Vec<u32>,
 }
 
 /// Fetch a target sequence through the same locality hierarchy: local part →
@@ -1015,6 +1111,134 @@ mod tests {
             );
             assert!(fscratch.lost.is_empty());
             assert_eq!(out2.len(), 2);
+        });
+    }
+
+    #[test]
+    fn failed_over_lookups_recover_with_full_replicas() {
+        use pgas::{FaultPlan, ReplicaMap};
+        let mut cfg = MachineConfig::new(4, 2);
+        cfg.faults = FaultPlan::node_down(7, 1, 0);
+        cfg.replicas = Some(ReplicaMap::full(2, 2));
+        let (mut machine, mut idx, targets) = setup_with(cfg);
+        idx.replicate_full();
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("recovered", |ctx| {
+            if ctx.rank != 0 {
+                return;
+            }
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            let mut scratch = NodeBatchScratch::default();
+            let (mut hits, mut spans) = (Vec::new(), Vec::new());
+            let t = &targets.part(2)[0];
+            let probes: Vec<SeedProbe> = KmerIter::new(t, K)
+                .map(|(_, km)| SeedProbe {
+                    kmer: km,
+                    owner: idx.owner_of(km) as u32,
+                })
+                .filter(|p| ctx.topo().node_of(p.owner as usize) == 1)
+                .collect();
+            assert!(!probes.is_empty());
+            let found = env.lookup_batch_node(ctx, 1, &probes, &mut hits, &mut spans, &mut scratch);
+            assert_eq!(
+                found,
+                probes.len(),
+                "failed-over lookups keep their results"
+            );
+            assert!(spans.iter().all(|s| s.found));
+            assert!(scratch.lost.is_empty());
+            assert_eq!(scratch.recovered.len(), probes.len());
+            // The replica re-answer also filled the cache: a repeat batch
+            // resolves from it without touching the wire.
+            let cache_hits = ctx.stats().seed_cache_hits;
+            spans.clear();
+            env.lookup_batch_node(ctx, 1, &probes, &mut hits, &mut spans, &mut scratch);
+            assert!(scratch.lost.is_empty() && scratch.recovered.is_empty());
+            assert!(ctx.stats().seed_cache_hits > cache_hits);
+        });
+    }
+
+    #[test]
+    fn failed_over_fetches_recover_with_full_replicas() {
+        use pgas::{FaultPlan, ReplicaMap};
+        let mut cfg = MachineConfig::new(4, 2);
+        cfg.faults = FaultPlan::node_down(7, 1, 0);
+        cfg.replicas = Some(ReplicaMap::full(2, 2));
+        let (mut machine, mut idx, targets) = setup_with(cfg);
+        idx.replicate_full();
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("recovered-fetch", |ctx| {
+            if ctx.rank != 0 {
+                return;
+            }
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            let mut fscratch = TargetFetchScratch::default();
+            let mut out = Vec::new();
+            let refs = [GlobalRef::new(2, 0), GlobalRef::new(3, 0)];
+            env.fetch_targets_batch_node(ctx, &targets, 1, &refs, &mut out, &mut fscratch);
+            assert_eq!(out.len(), 2);
+            assert!(fscratch.lost.is_empty());
+            assert_eq!(fscratch.recovered, vec![0, 1]);
+            assert_eq!(out[0].to_ascii(), targets.get(refs[0]).to_ascii());
+            assert_eq!(out[1].to_ascii(), targets.get(refs[1]).to_ascii());
+            // The recovered payloads filled the cache.
+            out.clear();
+            env.fetch_targets_batch_node(ctx, &targets, 1, &refs, &mut out, &mut fscratch);
+            assert!(fscratch.recovered.is_empty());
+            assert_eq!(ctx.stats().target_cache_hits, 2);
+        });
+    }
+
+    #[test]
+    fn hot_replicas_degrade_uncovered_seeds_and_all_fetches() {
+        use pgas::{FaultPlan, ReplicaMap};
+        let mut cfg = MachineConfig::new(4, 2);
+        cfg.faults = FaultPlan::node_down(7, 1, 0);
+        cfg.replicas = Some(ReplicaMap::hot(2, 2));
+        let (mut machine, mut idx, targets) = setup_with(cfg);
+        // Empty hot set (0th percentile): the machine still fails the
+        // batch over, but no seed is covered — everything degrades.
+        idx.replicate_hot(0);
+        let caches = CacheSet::new(2, &CacheConfig::default());
+        machine.phase("hot-uncovered", |ctx| {
+            if ctx.rank != 0 {
+                return;
+            }
+            let env = LookupEnv {
+                index: &idx,
+                caches: Some(&caches),
+                max_hits: 0,
+            };
+            let mut scratch = NodeBatchScratch::default();
+            let (mut hits, mut spans) = (Vec::new(), Vec::new());
+            let t = &targets.part(2)[0];
+            let probes: Vec<SeedProbe> = KmerIter::new(t, K)
+                .map(|(_, km)| SeedProbe {
+                    kmer: km,
+                    owner: idx.owner_of(km) as u32,
+                })
+                .filter(|p| ctx.topo().node_of(p.owner as usize) == 1)
+                .collect();
+            assert!(!probes.is_empty());
+            let found = env.lookup_batch_node(ctx, 1, &probes, &mut hits, &mut spans, &mut scratch);
+            assert_eq!(found, 0, "uncovered seeds must degrade to not-found");
+            assert_eq!(scratch.lost.len(), probes.len());
+            assert!(scratch.recovered.is_empty());
+            // Target fetches never fail over under a hot-only map.
+            let mut fscratch = TargetFetchScratch::default();
+            let mut out = Vec::new();
+            let refs = [GlobalRef::new(2, 0), GlobalRef::new(3, 0)];
+            env.fetch_targets_batch_node(ctx, &targets, 1, &refs, &mut out, &mut fscratch);
+            assert_eq!(fscratch.lost, vec![0, 1]);
+            assert!(fscratch.recovered.is_empty());
         });
     }
 

@@ -214,6 +214,14 @@ impl Partition {
 pub struct SeedIndex {
     k: usize,
     parts: Vec<FrozenPartition>,
+    /// Replica copies materialized at freeze time, one per partition
+    /// (the *content* a secondary node holds; placement — which nodes
+    /// hold a copy — is the topology's [`pgas::ReplicaMap`]). `None`
+    /// until [`SeedIndex::replicate_full`] / [`SeedIndex::replicate_hot`].
+    replicas: Option<Vec<FrozenPartition>>,
+    /// Whether the replicas cover every seed (full copies) or only the
+    /// high-degree hot set.
+    replicas_full: bool,
 }
 
 impl SeedIndex {
@@ -222,15 +230,17 @@ impl SeedIndex {
     /// [`SeedIndex::from_frozen`]).
     #[cfg(test)]
     pub(crate) fn new(k: usize, parts: Vec<Partition>) -> Self {
-        SeedIndex {
-            k,
-            parts: parts.iter().map(Partition::freeze).collect(),
-        }
+        Self::from_frozen(k, parts.iter().map(Partition::freeze).collect())
     }
 
     /// Assemble from already-frozen partitions.
     pub(crate) fn from_frozen(k: usize, parts: Vec<FrozenPartition>) -> Self {
-        SeedIndex { k, parts }
+        SeedIndex {
+            k,
+            parts,
+            replicas: None,
+            replicas_full: false,
+        }
     }
 
     /// Seed length the index was built with.
@@ -273,6 +283,68 @@ impl SeedIndex {
     /// Total seed occurrences.
     pub fn total_entries(&self) -> u64 {
         self.parts.iter().map(FrozenPartition::total_entries).sum()
+    }
+
+    /// Materialize one **full** replica copy per partition — the contents
+    /// a secondary node holds under r-way replication. Since every
+    /// secondary of a partition holds the same bytes, one materialized
+    /// copy per partition suffices regardless of the replication factor;
+    /// the per-copy memory/transfer cost is charged by the pipeline's
+    /// replicate phase, once per (partition, secondary).
+    pub fn replicate_full(&mut self) {
+        self.replicas = Some(self.parts.iter().map(FrozenPartition::replicate).collect());
+        self.replicas_full = true;
+    }
+
+    /// Materialize one **hot** replica per partition: only the top
+    /// `degree_pct` percent highest-degree seeds of each partition (ties
+    /// at the percentile boundary included), per
+    /// [`FrozenPartition::hot_degree_threshold`]. Cheap where full copies
+    /// are not — repeat-heavy genomes concentrate hits in few buckets.
+    pub fn replicate_hot(&mut self, degree_pct: u32) {
+        self.replicas = Some(
+            self.parts
+                .iter()
+                .map(|p| p.replicate_hot(p.hot_degree_threshold(degree_pct)))
+                .collect(),
+        );
+        self.replicas_full = false;
+    }
+
+    /// Whether replicas have been materialized.
+    pub fn is_replicated(&self) -> bool {
+        self.replicas.is_some()
+    }
+
+    /// Whether the replicas cover every seed (full copies): a failed-over
+    /// batch then loses nothing. Hot replicas cover only their hot set.
+    pub fn replicas_cover_all(&self) -> bool {
+        self.replicas_full
+    }
+
+    /// The replica copy of `rank`'s partition, if materialized.
+    pub fn replica(&self, rank: usize) -> Option<&FrozenPartition> {
+        self.replicas.as_ref().map(|r| &r[rank])
+    }
+
+    /// Whether a surviving replica of `owner`'s partition can answer for
+    /// `kmer` after a failover: always under full replication (even an
+    /// absent seed resolves definitively from a full copy); under hot
+    /// replication only if the seed is in the replica's hot set — a miss
+    /// there is indeterminate (the seed may exist, cold, only on the dead
+    /// primary), so the caller must degrade it. `false` without replicas.
+    pub fn replica_covers(&self, owner: usize, kmer: Kmer) -> bool {
+        match &self.replicas {
+            None => false,
+            Some(_) if self.replicas_full => true,
+            Some(reps) => reps[owner].get(kmer).is_some(),
+        }
+    }
+
+    /// Heap bytes of one partition's replica copy — what each secondary
+    /// node pays to hold it (0 when not replicated).
+    pub fn replica_heap_bytes(&self, rank: usize) -> usize {
+        self.replicas.as_ref().map_or(0, |r| r[rank].heap_bytes())
     }
 
     /// Load-balance report: (min, max, mean) distinct seeds per partition —
@@ -395,6 +467,51 @@ mod tests {
         assert_eq!(idx.distinct_seeds(), seeds.len());
         assert_eq!(idx.total_entries(), seeds.len() as u64);
         assert!(idx.get(Kmer::from_ascii(b"AAAAC").unwrap()).is_none());
+    }
+
+    #[test]
+    fn replicated_index_covers_per_mode() {
+        let k = 5;
+        let p = 4;
+        let mut parts: Vec<Partition> = (0..p).map(|_| Partition::default()).collect();
+        // One low-degree seed, one high-degree seed, routed to their owners.
+        let cold = Kmer::from_ascii(b"ACGTA").unwrap();
+        let hot = Kmer::from_ascii(b"TTTTT").unwrap();
+        parts[seed_owner(cold, k, p)].insert(entry(b"ACGTA", 0, 0, 0));
+        for i in 0..6 {
+            parts[seed_owner(hot, k, p)].insert(entry(b"TTTTT", 0, i, i as u32));
+        }
+        let absent = Kmer::from_ascii(b"CCCCC").unwrap();
+
+        let mut full = SeedIndex::new(k, parts);
+        assert!(!full.is_replicated());
+        assert!(!full.replica_covers(full.owner_of(cold), cold));
+        full.replicate_full();
+        assert!(full.is_replicated() && full.replicas_cover_all());
+        for km in [cold, hot, absent] {
+            assert!(full.replica_covers(full.owner_of(km), km));
+        }
+        let owner = full.owner_of(hot);
+        assert_eq!(full.replica(owner).unwrap().get(hot).unwrap().len(), 6);
+        assert!(full.replica_heap_bytes(owner) > 0);
+
+        // Hot replication: both seeds share one partition so the per-
+        // partition percentile threshold can separate them.
+        let mut shared = Partition::default();
+        shared.insert(entry(b"ACGTA", 0, 0, 0));
+        for i in 0..6 {
+            shared.insert(entry(b"TTTTT", 0, i, i as u32));
+        }
+        let mut one = SeedIndex::from_frozen(k, vec![shared.freeze()]);
+        one.replicate_hot(50);
+        assert!(one.is_replicated() && !one.replicas_cover_all());
+        assert!(one.replica_covers(0, hot), "high-degree seed is hot");
+        assert!(!one.replica_covers(0, cold), "cold seed is not covered");
+        assert!(
+            !one.replica_covers(0, absent),
+            "absent seed is indeterminate"
+        );
+        assert!(one.replica_heap_bytes(0) < one.partition(0).heap_bytes());
     }
 
     #[test]

@@ -84,6 +84,7 @@ proptest! {
                 sequential: true,
                 faults: Default::default(),
                 retry: Default::default(),
+                replicas: None,
             })
         };
         let mut machine = mk_machine();

@@ -63,6 +63,7 @@ proptest! {
             sequential: true,
             faults: Default::default(),
             retry: Default::default(),
+            replicas: None,
         });
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
             per_rank[r].clone().into_iter()

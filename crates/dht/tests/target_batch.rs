@@ -90,6 +90,7 @@ proptest! {
             sequential: true,
             faults: Default::default(),
             retry: Default::default(),
+            replicas: None,
         });
         // A minimal index: LookupEnv requires one, fetches never touch it.
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {

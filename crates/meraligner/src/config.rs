@@ -41,6 +41,45 @@ pub enum OverlapMode {
     DoubleBuffer,
 }
 
+/// r-way replication of the frozen seed-index shards (and, under
+/// [`ReplicationMode::Full`], the target heaps) onto distinct nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// No replicas: the machine, placements, counters, and clocks are
+    /// bit-identical to a build without the replication subsystem.
+    Off,
+    /// Every partition is copied onto `r - 1` additional distinct nodes
+    /// at freeze time. Lookups route to the least-pressured replica;
+    /// after a node loss, lookups *and* target fetches fail over to a
+    /// surviving replica — with `r >= 2`, a single downed node yields
+    /// zero degraded reads.
+    Full(usize),
+    /// Only each partition's hottest seeds — the top `degree_pct`-percent
+    /// by hit-list length (ties at the boundary included) — are copied
+    /// onto `r - 1` additional nodes. Much cheaper than full copies on
+    /// repeat-heavy genomes; covered lookups fail over, cold lookups and
+    /// all target fetches degrade as without replicas. Routing stays on
+    /// the primary (a replica holding a fraction of the shard cannot
+    /// answer arbitrary batches).
+    Hot { r: usize, degree_pct: u32 },
+}
+
+impl ReplicationMode {
+    /// Whether replication is disabled (the bit-identity mode).
+    pub fn is_off(&self) -> bool {
+        matches!(self, ReplicationMode::Off)
+    }
+
+    /// The replication factor `r` (1 when off: primary only).
+    pub fn factor(&self) -> usize {
+        match *self {
+            ReplicationMode::Off => 1,
+            ReplicationMode::Full(r) => r.max(1),
+            ReplicationMode::Hot { r, .. } => r.max(1),
+        }
+    }
+}
+
 /// `Auto` floor: below this the per-chunk scratch reuse stops paying.
 const AUTO_CHUNK_MIN: usize = 16;
 
@@ -77,6 +116,10 @@ pub struct PipelineConfig {
     /// Sender-side recovery policy (timeout, retries, backoff) for
     /// batches the fault plan loses. Inert without a fault plan.
     pub retry: RetryPolicy,
+    /// r-way shard replication with failover routing
+    /// ([`ReplicationMode::Off`] — the default — is bit-identical to a
+    /// machine without the replication subsystem under every other knob).
+    pub replication: ReplicationMode,
 
     // ---- algorithm ----
     /// Seed length `k` (51 for human/wheat, 19 for E. coli in the paper).
@@ -204,6 +247,7 @@ impl PipelineConfig {
             sequential: false,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            replication: ReplicationMode::Off,
             k,
             seed_stride: 1,
             engine: Engine::Striped,
@@ -333,9 +377,20 @@ mod tests {
         assert!(c.load_balance);
         assert_eq!(c.buffer_size, 1000);
         assert_eq!(c.seed_stride, 1);
-        // Fault injection is strictly opt-in.
+        // Fault injection and replication are strictly opt-in.
         assert!(c.fault_plan.is_none());
         assert_eq!(c.retry, RetryPolicy::default());
+        assert!(c.replication.is_off());
+        assert_eq!(c.replication.factor(), 1);
+        assert_eq!(ReplicationMode::Full(2).factor(), 2);
+        assert_eq!(
+            ReplicationMode::Hot {
+                r: 3,
+                degree_pct: 5
+            }
+            .factor(),
+            3
+        );
     }
 
     #[test]

@@ -2,14 +2,14 @@
 
 use align::Alignment;
 use dht::{build_seed_index, CacheSet, LookupEnv, SeedEntry};
-use pgas::{GlobalRef, Machine, MachineConfig, PhaseReport, RankCtx};
+use pgas::{CommTag, CompTag, GlobalRef, Machine, MachineConfig, PhaseReport, RankCtx, ReplicaMap};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use seq::seqdb::block_range;
 use seq::{KmerIter, SeqDb};
 
-use crate::config::{OverlapMode, PipelineConfig};
+use crate::config::{OverlapMode, PipelineConfig, ReplicationMode};
 use crate::query::QueryOutcome;
 use crate::query::{
     drain_chunk_outcomes, extend_read_chunk, issue_read_chunk, process_query, process_read_chunk,
@@ -44,9 +44,11 @@ pub struct PipelineResult {
     pub exact_path_reads: u64,
     /// Total alignments found (all reads).
     pub alignments_total: u64,
-    /// Reads that lost owner-side data to the active fault plan (a
-    /// seed-lookup or target-fetch batch exhausted its retry budget) but
-    /// still aligned from surviving candidates. Always 0 without faults.
+    /// Reads that lost owner-side data to the active fault plan at the
+    /// wire (a seed-lookup or target-fetch batch exhausted its retry
+    /// budget against its primary) and were made whole anyway — either
+    /// re-served by a surviving shard replica (failover) or aligned from
+    /// surviving candidates. Always 0 without faults.
     pub recovered_reads: usize,
     /// Reads deterministically left unaligned because every path to
     /// their placement went through a permanently lost batch. A flagged
@@ -56,8 +58,9 @@ pub struct PipelineResult {
     /// unaligned side. Always 0 without faults.
     pub degraded_reads: usize,
     /// Per-read owner-lost flags, indexed by original read number:
-    /// `true` iff the read's resolution touched a permanently lost
-    /// batch (degraded *or* recovered).
+    /// `true` iff the read's resolution touched a batch that was lost at
+    /// its wire destination (degraded *or* recovered, including replica
+    /// failovers).
     pub owner_lost: Vec<bool>,
     /// Distinct seeds in the index.
     pub index_distinct_seeds: usize,
@@ -125,7 +128,7 @@ impl PipelineResult {
 /// per-read align loops).
 #[derive(Default)]
 struct RankOutcomes {
-    placements: Vec<(u32, Option<Placement>, bool)>,
+    placements: Vec<(u32, Option<Placement>, bool, bool)>,
     exact_path: u64,
     alignments_total: u64,
     collected: Vec<(u32, u32, Alignment)>,
@@ -147,8 +150,12 @@ impl RankOutcomes {
             reverse: aln.strand == align::Strand::Reverse,
             score: aln.score,
         });
-        self.placements
-            .push((orig_idx, placement, outcome.owner_lost));
+        self.placements.push((
+            orig_idx,
+            placement,
+            outcome.owner_lost,
+            outcome.owner_recovered,
+        ));
         if cfg.collect_alignments {
             for (gref, aln) in outcome.all {
                 self.collected
@@ -165,6 +172,12 @@ pub fn run_pipeline(
     targets_db: &SeqDb,
     queries_db: &SeqDb,
 ) -> PipelineResult {
+    let nodes = cfg.ranks.div_ceil(cfg.ppn.max(1)).max(1);
+    let replica_map = match cfg.replication {
+        ReplicationMode::Off => None,
+        ReplicationMode::Full(r) => Some(ReplicaMap::full(nodes, r)),
+        ReplicationMode::Hot { r, .. } => Some(ReplicaMap::hot(nodes, r)),
+    };
     let mut machine = Machine::new(MachineConfig {
         ranks: cfg.ranks,
         ppn: cfg.ppn,
@@ -173,6 +186,7 @@ pub fn run_pipeline(
         sequential: cfg.sequential,
         faults: cfg.fault_plan.clone(),
         retry: cfg.retry,
+        replicas: replica_map,
     });
     let p = cfg.ranks;
     let k = cfg.k;
@@ -181,7 +195,7 @@ pub fn run_pipeline(
     let mut store = TargetStore::load(&mut machine, targets_db);
 
     // ---- Phase 2: extract seeds + build the distributed seed index.
-    let index = {
+    let mut index = {
         let seqs = &store.seqs;
         build_seed_index(&mut machine, &cfg.build_config(), |r| {
             seqs.part(r).iter().enumerate().flat_map(move |(idx, t)| {
@@ -193,6 +207,43 @@ pub fn run_pipeline(
             })
         })
     };
+
+    // ---- Phase 2b: replicate the frozen shards at freeze time. Contents
+    // are materialized once on the driver (every secondary of a partition
+    // holds identical bytes — the frozen CSR makes a replica one
+    // contiguous copy); the phase charges each secondary node's lead rank
+    // for pulling and installing its copies: one α–β message per
+    // (partition, secondary) plus the contiguous copy compute.
+    if let Some(map) = replica_map {
+        match cfg.replication {
+            ReplicationMode::Off => unreachable!("replica map without a mode"),
+            ReplicationMode::Full(_) => index.replicate_full(),
+            ReplicationMode::Hot { degree_pct, .. } => index.replicate_hot(degree_pct),
+        }
+        let index_ref = &index;
+        machine.phase("replicate-index", |ctx| {
+            let my_node = ctx.node();
+            if ctx.rank != ctx.topo().lead_rank(my_node) {
+                return;
+            }
+            let per_byte = ctx.cost().replica_copy_ns_per_byte;
+            for home in 0..ctx.topo().nodes() {
+                if home == my_node
+                    || !(1..map.factor()).any(|i| map.replica_node(home, i) == my_node)
+                {
+                    continue;
+                }
+                for owner in ctx.topo().ranks_on_node(home) {
+                    let bytes = index_ref.replica_heap_bytes(owner) as u64;
+                    if bytes == 0 {
+                        continue;
+                    }
+                    ctx.charge_message(owner, bytes, CommTag::Build);
+                    ctx.charge_compute_ns(bytes as f64 * per_byte, CompTag::Other);
+                }
+            }
+        });
+    }
 
     // ---- Phase 3: exact-match preprocessing.
     if cfg.exact_match_opt {
@@ -398,32 +449,38 @@ pub fn run_pipeline(
 
     // ---- Assemble the result.
     let mut placements: Vec<Option<Placement>> = vec![None; n_reads];
-    let mut owner_lost = vec![false; n_reads];
+    let mut lost_flags = vec![false; n_reads];
+    let mut failover_flags = vec![false; n_reads];
     let mut exact_path_reads = 0u64;
     let mut alignments_total = 0u64;
     let mut alignments = Vec::new();
     for (rank_placements, exact, total, collected) in per_rank {
-        for (idx, pl, lost) in rank_placements {
+        for (idx, pl, lost, failed_over) in rank_placements {
             placements[idx as usize] = pl;
-            owner_lost[idx as usize] = lost;
+            lost_flags[idx as usize] = lost;
+            failover_flags[idx as usize] = failed_over;
         }
         exact_path_reads += exact;
         alignments_total += total;
         alignments.extend(collected);
     }
     let aligned_reads = placements.iter().filter(|p| p.is_some()).count();
-    // A read that touched a permanently lost batch either still aligned
-    // from surviving candidates (recovered) or is deterministically
-    // degraded — never hung, never panicked.
+    // A read that lost owner-side data at the wire either got it back
+    // from a surviving replica (failover), still aligned from surviving
+    // candidates, or is deterministically degraded — never hung, never
+    // panicked. Degradation requires data to actually be missing: a
+    // failed-over read whose data was fully re-served counts recovered
+    // even when it (ordinarily) doesn't align.
     let mut recovered_reads = 0usize;
     let mut degraded_reads = 0usize;
-    for (pl, &lost) in placements.iter().zip(&owner_lost) {
-        if lost {
-            if pl.is_some() {
-                recovered_reads += 1;
-            } else {
-                degraded_reads += 1;
-            }
+    let mut owner_lost = vec![false; n_reads];
+    for (i, pl) in placements.iter().enumerate() {
+        let (lost, failed_over) = (lost_flags[i], failover_flags[i]);
+        owner_lost[i] = lost || failed_over;
+        if lost && pl.is_none() {
+            degraded_reads += 1;
+        } else if lost || failed_over {
+            recovered_reads += 1;
         }
     }
     alignments.sort_by_key(|(r, c, a)| (*r, *c, a.t_beg));
@@ -434,6 +491,7 @@ pub fn run_pipeline(
     let mut phases = machine.phases().to_vec();
     if let Some(p) = phases.iter_mut().rev().find(|p| p.name == "align") {
         p.fault_summary.degraded_reads = degraded_reads as u64;
+        p.fault_summary.recovered_reads = recovered_reads as u64;
     }
 
     PipelineResult {

@@ -95,6 +95,13 @@ pub struct QueryOutcome {
     /// deterministically unaligned with reason "owner lost". Always
     /// `false` without faults.
     pub owner_lost: bool,
+    /// Whether any of this read's batches was lost at its wire
+    /// destination but re-served by a surviving shard replica (the
+    /// failover path). The read's data is intact — placements match a
+    /// healthy run — so, unlike [`QueryOutcome::owner_lost`], this never
+    /// degrades the read; it only marks it recovered for the fault
+    /// report. Always `false` without faults or replicas.
+    pub owner_recovered: bool,
     /// All alignments, when `collect_alignments` is set.
     pub all: Vec<(GlobalRef, Alignment)>,
 }
@@ -269,6 +276,11 @@ fn extend_read_candidates(
             i = j;
             continue;
         };
+        if table.is_some_and(|t| t.recovered(head.target)) {
+            // The bytes arrived via a surviving replica: the extension
+            // proceeds unchanged, the read is marked recovered.
+            outcome.owner_recovered = true;
+        }
         let codes = if head.reverse {
             align::dna_codes(rc)
         } else {
@@ -432,6 +444,11 @@ struct TargetTable {
     /// deduped `touches`); lost refs are excluded from `index` so `get`
     /// reports them as absent. All `false` without faults.
     lost: Vec<bool>,
+    /// Per-touch "re-served by a surviving replica" flags (aligned with
+    /// the deduped `touches`); recovered refs stay in `index` — their
+    /// bytes are valid — but the walk marks the reads that use them. All
+    /// `false` without faults or replicas.
+    recovered: Vec<bool>,
 }
 
 impl TargetTable {
@@ -440,6 +457,7 @@ impl TargetTable {
         self.index.clear();
         self.seqs.clear();
         self.lost.clear();
+        self.recovered.clear();
     }
 
     /// Record one candidate-target touch (walk order, repeats welcome).
@@ -464,6 +482,8 @@ impl TargetTable {
             .sort_unstable_by_key(|&(gref, pos)| (topo.node_of(gref.rank as usize), pos));
         self.lost.clear();
         self.lost.resize(self.touches.len(), false);
+        self.recovered.clear();
+        self.recovered.resize(self.touches.len(), false);
         let mut g = 0usize;
         while g < self.touches.len() {
             let node = topo.node_of(self.touches[g].0.rank as usize);
@@ -484,6 +504,9 @@ impl TargetTable {
             for &i in &fs.lost {
                 self.lost[g + i as usize] = true;
             }
+            for &i in &fs.recovered {
+                self.recovered[g + i as usize] = true;
+            }
             g = e;
         }
         let lost = &self.lost;
@@ -503,6 +526,15 @@ impl TargetTable {
             .binary_search_by_key(&gref, |&(g, _)| g)
             .ok()
             .map(|i| &self.seqs[self.index[i].1 as usize])
+    }
+
+    /// Whether a candidate ref's fetch batch failed over to a surviving
+    /// replica (its bytes are valid, the read counts as recovered).
+    fn recovered(&self, gref: GlobalRef) -> bool {
+        self.index
+            .binary_search_by_key(&gref, |&(g, _)| g)
+            .ok()
+            .is_some_and(|i| self.recovered[self.index[i].1 as usize])
     }
 }
 
@@ -549,6 +581,11 @@ pub struct ChunkScratch {
     /// with `spans`); consumers flag the affected reads' outcomes as
     /// `owner_lost`. All `false` without faults.
     lost_spans: Vec<bool>,
+    /// Per-unique-probe "lookup batch failed over to a surviving
+    /// replica" flags (aligned with `spans`); the hits are valid, the
+    /// affected reads are marked `owner_recovered`. All `false` without
+    /// faults or replicas.
+    recovered_spans: Vec<bool>,
     /// Exact-stage span index per (read slot, strand); `u32::MAX` = no
     /// probe extracted.
     exact_span: Vec<[u32; 2]>,
@@ -650,6 +687,8 @@ pub fn issue_read_chunk(
                 // Exact probe lost with its batch: the span reads as
                 // not-found, the read falls through to stage 2 flagged.
                 state.outcomes[req.slot as usize].owner_lost = true;
+            } else if scratch.recovered_spans[sp as usize] {
+                state.outcomes[req.slot as usize].owner_recovered = true;
             }
         }
         // Precheck pass: find each read's per-orientation exact candidate
@@ -727,6 +766,9 @@ pub fn issue_read_chunk(
                     state.outcomes[s].owner_lost = true;
                     continue;
                 };
+                if state.table.recovered(hit.target) {
+                    state.outcomes[s].owner_recovered = true;
+                }
                 if let Some((gref, aln)) = exact_verify(ctx, actx, oriented, reverse, hit, &target)
                 {
                     let o = &mut state.outcomes[s];
@@ -778,6 +820,8 @@ pub fn issue_read_chunk(
             // Seed lookup lost with its batch: no candidates from this
             // probe; the read may still place from surviving seeds.
             state.outcomes[req.slot as usize].owner_lost = true;
+        } else if scratch.recovered_spans[sp as usize] {
+            state.outcomes[req.slot as usize].owner_recovered = true;
         }
         let span = scratch.spans[sp as usize];
         for hit in &scratch.hits[span.range()] {
@@ -910,6 +954,7 @@ fn issue_node_batches(ctx: &mut RankCtx, actx: &AlignContext<'_>, scratch: &mut 
     scratch.hits.clear();
     scratch.spans.clear();
     scratch.lost_spans.clear();
+    scratch.recovered_spans.clear();
     scratch.req_span.clear();
     if scratch.reqs.is_empty() {
         return;
@@ -945,6 +990,10 @@ fn issue_node_batches(ctx: &mut RankCtx, actx: &AlignContext<'_>, scratch: &mut 
         scratch.lost_spans.resize(scratch.spans.len(), false);
         for &p in &scratch.node.lost {
             scratch.lost_spans[span_base as usize + p as usize] = true;
+        }
+        scratch.recovered_spans.resize(scratch.spans.len(), false);
+        for &p in &scratch.node.recovered {
+            scratch.recovered_spans[span_base as usize + p as usize] = true;
         }
         g = e;
     }

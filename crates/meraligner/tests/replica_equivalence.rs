@@ -1,0 +1,262 @@
+//! Equivalence property tests for r-way shard replication: replicas may
+//! move time (the replicate-at-freeze copy, failover re-sends) and may
+//! *save* data, but must never change what a healthy run computes.
+//!
+//! * `ReplicationMode::Off` is the PR-6 machine, bit for bit — the knob
+//!   at its default leaves placements, cache state, every counter and
+//!   the simulated clock untouched across gating × handler policy ×
+//!   overlap mode × ppn, and failover counters stay zero even under a
+//!   killed node.
+//! * `Full(r)` / `Hot { .. }` on a **healthy** machine are placement-
+//!   and align-profile-identical to `Off`: replicas only pay the
+//!   freeze-time copy (its own phase), they never perturb routing
+//!   results or caches.
+//! * A single `NodeDown` under `Full(2)` yields **zero** degraded reads:
+//!   every owner-lost batch fails over to the surviving replica with
+//!   valid bytes, so placements match the healthy run exactly and every
+//!   flagged read is accounted recovered.
+//! * Replica choice is rank-local and deterministic: sequential and
+//!   parallel execution of the same faulted, replicated run agree on
+//!   everything, including failover counts and the simulated clock.
+
+use meraligner::{run_pipeline, HandlerPolicy, OverlapMode, PipelineConfig, ReplicationMode};
+use pgas::{FaultPlan, RetryPolicy};
+use proptest::prelude::*;
+
+/// Everything a healthy run must keep bit-identical when replication is
+/// off or unexercised (mirrors the chaos-equivalence profile).
+fn result_profile(res: &meraligner::PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    let agg = res.align_phase().unwrap().aggregate();
+    (
+        res.placements.clone(),
+        res.exact_path_reads,
+        res.alignments_total,
+        (
+            agg.msgs_remote,
+            agg.msgs_local,
+            agg.bytes_remote,
+            agg.bytes_local,
+            agg.node_batches,
+            agg.node_batch_seeds,
+            agg.target_batches,
+            agg.target_batch_refs,
+        ),
+        (
+            agg.seed_cache_hits,
+            agg.seed_cache_misses,
+            agg.target_cache_hits,
+            agg.target_cache_misses,
+            agg.exact_hash_checks,
+            agg.exact_hash_skips,
+        ),
+    )
+}
+
+/// A fast retry policy so give-up paths don't dominate simulated time.
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        timeout_ns: 1_000.0,
+        max_retries: 2,
+        backoff_ns: 100.0,
+    }
+}
+
+/// Total failovers recorded by the align phase.
+fn failovers(res: &meraligner::PipelineResult) -> u64 {
+    res.align_phase().unwrap().fault_summary.failovers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // `Off` is the default and must be inert even under a killed node:
+    // same results and clock as a config that never mentions the knob,
+    // and the failover machinery never fires.
+    #[test]
+    fn replication_off_is_the_pr6_machine(
+        seed in 1u64..500,
+        ppn_sel in 0usize..2,
+        policy_sel in 0usize..4,
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+    ) {
+        let ppn = [6usize, 24][ppn_sel];
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let mut cfg = PipelineConfig::new(48, ppn, d.k);
+        cfg.handler_policy = HandlerPolicy::ALL[policy_sel];
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+        cfg.fault_plan = FaultPlan::node_down(7, 1, 0);
+        cfg.retry = quick_retry();
+        let baseline = run_pipeline(&cfg, &tdb, &qdb);
+
+        let mut explicit = cfg.clone();
+        explicit.replication = ReplicationMode::Off;
+        let res = run_pipeline(&explicit, &tdb, &qdb);
+
+        prop_assert_eq!(result_profile(&res), result_profile(&baseline));
+        prop_assert_eq!(res.align_seconds(), baseline.align_seconds());
+        prop_assert_eq!(&res.owner_lost, &baseline.owner_lost);
+        prop_assert_eq!(
+            (res.degraded_reads, res.recovered_reads),
+            (baseline.degraded_reads, baseline.recovered_reads)
+        );
+        // No replica map, no failovers, no replicate phase — the fault
+        // plan degrades exactly as it did before replication existed.
+        prop_assert_eq!(failovers(&res), 0);
+        prop_assert!(res.phases.iter().all(|p| p.name != "replicate-index"));
+        let phase = res.align_phase().unwrap();
+        prop_assert!(phase.rank_stats.iter().all(|s| s.failovers == 0 && s.failover_ns == 0.0));
+    }
+
+    // Healthy replicated runs compute exactly what `Off` computes.
+    // `Hot` replicas are failover-only (routing stays on the primary),
+    // so a healthy hot run is bit-identical to `Off` down to the clock;
+    // `Full` replicas actively absorb traffic via the congestion-mirror
+    // router, so message placement moves — but placements, the exact
+    // path and every alignment must not.
+    #[test]
+    fn healthy_replicated_runs_match_off_results(
+        seed in 1u64..500,
+        ppn_sel in 0usize..2,
+        overlap_sel in 0usize..2,
+        mode_sel in 0usize..3,
+        gate in proptest::bool::ANY,
+    ) {
+        let ppn = [6usize, 24][ppn_sel];
+        let mode = [
+            ReplicationMode::Full(2),
+            ReplicationMode::Full(3),
+            ReplicationMode::Hot { r: 2, degree_pct: 10 },
+        ][mode_sel];
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let mut cfg = PipelineConfig::new(48, ppn, d.k);
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+        let off = run_pipeline(&cfg, &tdb, &qdb);
+
+        let mut replicated = cfg.clone();
+        replicated.replication = mode;
+        let res = run_pipeline(&replicated, &tdb, &qdb);
+
+        prop_assert_eq!(
+            &res.placements,
+            &off.placements,
+            "healthy {:?} moved placements at ppn {}",
+            mode, ppn
+        );
+        prop_assert_eq!(res.exact_path_reads, off.exact_path_reads);
+        prop_assert_eq!(res.alignments_total, off.alignments_total);
+        if matches!(mode, ReplicationMode::Hot { .. }) {
+            // Failover-only replicas: healthy routing never leaves the
+            // primary, so the whole profile and the clock are untouched.
+            prop_assert_eq!(result_profile(&res), result_profile(&off));
+            prop_assert_eq!(res.align_seconds(), off.align_seconds());
+        }
+        prop_assert_eq!((res.degraded_reads, res.recovered_reads), (0, 0));
+        prop_assert_eq!(failovers(&res), 0);
+        // The copy itself is real work on a real phase.
+        let copy = res.phases.iter().find(|p| p.name == "replicate-index");
+        prop_assert!(copy.is_some(), "replicated run must record the freeze-time copy");
+        prop_assert!(copy.unwrap().sim_seconds > 0.0);
+    }
+
+    // The tentpole promise: with `Full(2)` a single killed node loses
+    // no data. Every batch that times out against the dead primary is
+    // re-served by the surviving replica, so placements match the
+    // healthy run exactly and zero reads degrade.
+    #[test]
+    fn node_down_under_full_replication_degrades_nothing(
+        seed in 1u64..500,
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+    ) {
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        let mut cfg = PipelineConfig::new(12, 6, d.k);
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+        let healthy = run_pipeline(&cfg, &tdb, &qdb);
+
+        let mut faulty = cfg.clone();
+        faulty.fault_plan = FaultPlan::node_down(7, 1, 0);
+        faulty.retry = quick_retry();
+        faulty.replication = ReplicationMode::Full(2);
+        let res = run_pipeline(&faulty, &tdb, &qdb);
+
+        prop_assert_eq!(res.degraded_reads, 0, "Full(2) must recover every read");
+        // Recovered bytes are the *same* bytes: placements replay the
+        // healthy run, fault or no fault.
+        prop_assert_eq!(&res.placements, &healthy.placements);
+        prop_assert_eq!(res.aligned_reads, healthy.aligned_reads);
+        // Conservation: every flagged read is accounted recovered.
+        let flagged = res.owner_lost.iter().filter(|&&l| l).count();
+        prop_assert_eq!(res.recovered_reads, flagged);
+        prop_assert!(flagged > 0, "the killed node must actually be hit");
+        prop_assert!(failovers(&res) > 0, "recovery must go through failover");
+        let fs = &res.align_phase().unwrap().fault_summary;
+        prop_assert_eq!(fs.degraded_reads, 0);
+        prop_assert_eq!(fs.recovered_reads, res.recovered_reads as u64);
+
+        // Hot replication of the heaviest seeds recovers a subset: never
+        // more degradation than Off, full conservation either way.
+        let mut off = faulty.clone();
+        off.replication = ReplicationMode::Off;
+        let off_res = run_pipeline(&off, &tdb, &qdb);
+        let mut hot = faulty.clone();
+        hot.replication = ReplicationMode::Hot { r: 2, degree_pct: 20 };
+        let hot_res = run_pipeline(&hot, &tdb, &qdb);
+        prop_assert!(hot_res.degraded_reads <= off_res.degraded_reads);
+        let hot_flagged = hot_res.owner_lost.iter().filter(|&&l| l).count();
+        prop_assert_eq!(hot_res.recovered_reads + hot_res.degraded_reads, hot_flagged);
+    }
+
+    // Replica choice reads only rank-local congestion state, so the
+    // same faulted, replicated run replays identically whether ranks
+    // execute sequentially or in parallel.
+    #[test]
+    fn replica_routing_is_schedule_deterministic(
+        seed in 1u64..500,
+        mode_sel in 0usize..2,
+        overlap_sel in 0usize..2,
+    ) {
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        let mut cfg = PipelineConfig::new(12, 6, d.k);
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.fault_plan = FaultPlan::node_down(7, 1, 0);
+        cfg.retry = quick_retry();
+        cfg.replication = [
+            ReplicationMode::Full(2),
+            ReplicationMode::Hot { r: 2, degree_pct: 15 },
+        ][mode_sel];
+
+        let mut seq = cfg.clone();
+        seq.sequential = true;
+        let a = run_pipeline(&seq, &tdb, &qdb);
+        let mut par = cfg.clone();
+        par.sequential = false;
+        let b = run_pipeline(&par, &tdb, &qdb);
+
+        prop_assert_eq!(&a.placements, &b.placements);
+        prop_assert_eq!(&a.owner_lost, &b.owner_lost);
+        prop_assert_eq!(
+            (a.degraded_reads, a.recovered_reads),
+            (b.degraded_reads, b.recovered_reads)
+        );
+        prop_assert_eq!(a.align_seconds(), b.align_seconds());
+        prop_assert_eq!(
+            &a.align_phase().unwrap().fault_summary,
+            &b.align_phase().unwrap().fault_summary
+        );
+        prop_assert_eq!(failovers(&a), failovers(&b));
+    }
+}

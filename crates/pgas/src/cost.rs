@@ -112,6 +112,11 @@ pub struct CostModel {
     /// re-send without threading the exact wire layout through the fault
     /// layer. See [`CostModel::retry_resend_ns`].
     pub retry_resend_bytes_per_item: f64,
+    /// Copying one byte of a frozen partition into a replica shard at
+    /// freeze time (contiguous memcpy of the CSR arrays on the receiving
+    /// node) — the compute side of r-way replication; the transfer itself
+    /// is priced as an ordinary α–β message.
+    pub replica_copy_ns_per_byte: f64,
 
     // ---- I/O ----
     /// Sustained read bandwidth available to one node (bytes/s).
@@ -148,6 +153,7 @@ impl Default for CostModel {
             sw_cell_scalar_ns: 1.1,
             memcmp_ns_per_base: 0.06,
             retry_resend_bytes_per_item: 16.0,
+            replica_copy_ns_per_byte: 0.05,
             io_node_bw: 1.5e9,
             io_aggregate_bw: 120e9,
         }

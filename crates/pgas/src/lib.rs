@@ -54,4 +54,4 @@ pub use sim::{
     QueueReport, RetryPolicy, ServicedBatch, SimEvent,
 };
 pub use stats::{CommTag, CompTag, RankStats, COMM_TAGS, COMP_TAGS};
-pub use topology::{HandlerPolicy, Topology};
+pub use topology::{HandlerPolicy, ReplicaMap, Topology};

@@ -17,7 +17,7 @@ use crate::cost::CostModel;
 use crate::sim::fault::{CompiledFaults, FaultPlan, FaultSummary, Lost, RetryPolicy};
 use crate::sim::{service_phase_detailed, EventKind, QueueReport, ServicedBatch, SimEvent};
 use crate::stats::{CommTag, CompTag, RankStats};
-use crate::topology::{HandlerPolicy, Topology};
+use crate::topology::{HandlerPolicy, ReplicaMap, Topology};
 
 /// Gating fixed point: maximum replay rounds. Sender stalls shift later
 /// arrivals, which shift completions, which shift stalls; the iteration
@@ -54,6 +54,12 @@ pub struct MachineConfig {
     /// (timeout, exponential backoff, retry budget). Inert without a
     /// fault plan.
     pub retry: RetryPolicy,
+    /// Shard replica placement, when the index is replicated. Enables
+    /// replica-aware routing ([`RankCtx::route_replica`]) and true
+    /// failover for permanently lost batches (re-send to the next
+    /// surviving replica node instead of giving up). `None` (the
+    /// default) is bit-identical to the pre-replication machine.
+    pub replicas: Option<ReplicaMap>,
 }
 
 impl MachineConfig {
@@ -67,6 +73,7 @@ impl MachineConfig {
             sequential: false,
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            replicas: None,
         }
     }
 }
@@ -222,6 +229,7 @@ pub struct Machine {
     sequential: bool,
     faults: FaultPlan,
     retry: RetryPolicy,
+    replicas: Option<ReplicaMap>,
     phases: Vec<PhaseReport>,
 }
 
@@ -235,6 +243,7 @@ impl Machine {
             sequential: cfg.sequential,
             faults: cfg.faults,
             retry: cfg.retry,
+            replicas: cfg.replicas,
             phases: Vec::new(),
         }
     }
@@ -293,6 +302,7 @@ impl Machine {
                 mirror_service_ns: 0.0,
                 faults: compiled.as_ref(),
                 retry: self.retry,
+                replicas: self.replicas,
             };
             let out = f(&mut ctx);
             (out, ctx.stats, ctx.events, ctx.waits)
@@ -420,16 +430,40 @@ impl Machine {
                                 Some(self.retry.recover_wait_ns() + resend + ev.service_ns);
                         }
                         Some(Lost::Permanent) => {
-                            // The owner is down: every retry times out and
-                            // the sender gives up after its full budget.
                             summary.injected += 1;
-                            summary.failed += 1;
-                            let attempts = u64::from(self.retry.max_retries);
-                            summary.retried += attempts;
-                            let resend = self.cost.retry_resend_ns(ev.items);
-                            rank_stats[r].retries += attempts;
-                            rank_stats[r].retry_ns += attempts as f64 * resend;
-                            lost_delay[r][s] = Some(self.retry.give_up_ns());
+                            if let Some(alt) = self.failover_node(f, ev) {
+                                // True failover: one timeout detects the
+                                // dead destination, then the re-send goes
+                                // to the next surviving replica node —
+                                // node-aware, unlike `next_best_rank` —
+                                // and its primary handler serves the
+                                // batch. Results are re-delivered, so the
+                                // sender never degrades.
+                                summary.retried += 1;
+                                summary.recovered += 1;
+                                summary.failovers += 1;
+                                let resend = self.cost.retry_resend_ns(ev.items);
+                                rank_stats[r].retries += 1;
+                                rank_stats[r].retry_ns += resend;
+                                let delay = self.retry.recover_wait_ns() + resend + ev.service_ns;
+                                rank_stats[r].failovers += 1;
+                                rank_stats[r].failover_ns += delay;
+                                let hr = self.topo.handler_rank(alt, self.handler_policy, ev.seq);
+                                rank_stats[hr].handler_ns += ev.service_ns;
+                                rank_stats[hr].handler_batches += 1;
+                                lost_delay[r][s] = Some(delay);
+                            } else {
+                                // The owner is down and no replica
+                                // survives: every retry times out and the
+                                // sender gives up after its full budget.
+                                summary.failed += 1;
+                                let attempts = u64::from(self.retry.max_retries);
+                                summary.retried += attempts;
+                                let resend = self.cost.retry_resend_ns(ev.items);
+                                rank_stats[r].retries += attempts;
+                                rank_stats[r].retry_ns += attempts as f64 * resend;
+                                lost_delay[r][s] = Some(self.retry.give_up_ns());
+                            }
                         }
                     }
                 }
@@ -561,6 +595,12 @@ impl Machine {
         )
     }
 
+    /// The surviving replica node a permanently lost batch fails over to
+    /// (see [`failover_target`]).
+    fn failover_node(&self, faults: &CompiledFaults, ev: &SimEvent) -> Option<usize> {
+        failover_target(self.replicas, faults, ev)
+    }
+
     /// Distribute each node's serviced-batch busy time across the node's
     /// ranks per the machine's [`HandlerPolicy`]. Service order (and thus
     /// every queue report and completion time) is policy-independent; the
@@ -641,6 +681,26 @@ impl Machine {
     }
 }
 
+/// The surviving replica node a permanently lost batch re-sends to, or
+/// `None` when it must give up: no replica map configured, a hot-only map
+/// asked to recover a target fetch (only seed buckets are mirrored), or
+/// every copy of the shard is down. Shared by the sender-side probes
+/// ([`RankCtx::batch_failed`]) and the post-phase retry engine so the two
+/// always agree on a batch's fate.
+fn failover_target(
+    replicas: Option<ReplicaMap>,
+    faults: &CompiledFaults,
+    ev: &SimEvent,
+) -> Option<usize> {
+    let map = replicas?;
+    if map.hot_only() && ev.kind != EventKind::LookupBatch {
+        return None;
+    }
+    map.next_surviving(ev.home_node as usize, ev.dst_node as usize, |n| {
+        faults.node_down_at(n, ev.seq)
+    })
+}
+
 /// Identifies one off-node aggregated batch this rank issued (its
 /// per-rank event sequence number) — the handle [`RankCtx::await_batch`]
 /// stalls on.
@@ -702,6 +762,8 @@ pub struct RankCtx<'a> {
     faults: Option<&'a CompiledFaults>,
     /// Sender-side recovery policy in force for lost batches.
     retry: RetryPolicy,
+    /// Shard replica placement (None when the index is not replicated).
+    replicas: Option<ReplicaMap>,
 }
 
 /// A snapshot of a rank's charged communication/computation, used to
@@ -842,6 +904,25 @@ impl RankCtx<'_> {
         bytes: u64,
         tag: CommTag,
     ) -> Option<BatchId> {
+        let home = self.topo.node_of(dst);
+        self.charge_lookup_node_batch_for(home, dst, seeds, bytes, tag)
+    }
+
+    /// [`RankCtx::charge_lookup_node_batch`] with the shard's *home* node
+    /// made explicit: `dst` is the wire destination (possibly a replica
+    /// node picked by [`RankCtx::route_replica`]), `home` the static
+    /// modulo owner's node — the failover path walks `home`'s replica set
+    /// when `dst` turns out to be dead. Identical to the plain variant
+    /// when `home == node_of(dst)` (always true without replication).
+    #[inline]
+    pub fn charge_lookup_node_batch_for(
+        &mut self,
+        home: usize,
+        dst: usize,
+        seeds: u64,
+        bytes: u64,
+        tag: CommTag,
+    ) -> Option<BatchId> {
         self.charge_message(dst, bytes, tag);
         self.stats.comp_ns[CompTag::Lookup.idx()] +=
             seeds as f64 * self.cost.batch_pack_ns_per_seed;
@@ -850,7 +931,7 @@ impl RankCtx<'_> {
                 seeds as f64 * self.cost.node_route_ns_per_seed;
             None
         } else {
-            Some(self.enqueue_service(dst, EventKind::LookupBatch, seeds))
+            Some(self.enqueue_service(home, dst, EventKind::LookupBatch, seeds))
         };
         self.stats.node_batches += 1;
         self.stats.node_batch_seeds += seeds;
@@ -879,6 +960,21 @@ impl RankCtx<'_> {
         bytes: u64,
         tag: CommTag,
     ) -> Option<BatchId> {
+        let home = self.topo.node_of(dst);
+        self.charge_target_node_batch_for(home, dst, refs, bytes, tag)
+    }
+
+    /// [`RankCtx::charge_target_node_batch`] with the targets' *home* node
+    /// made explicit (see [`RankCtx::charge_lookup_node_batch_for`]).
+    #[inline]
+    pub fn charge_target_node_batch_for(
+        &mut self,
+        home: usize,
+        dst: usize,
+        refs: u64,
+        bytes: u64,
+        tag: CommTag,
+    ) -> Option<BatchId> {
         self.charge_message(dst, bytes, tag);
         self.stats.comp_ns[CompTag::Lookup.idx()] += refs as f64 * self.cost.fetch_pack_ns_per_ref;
         let id = if self.same_node(dst) {
@@ -886,7 +982,7 @@ impl RankCtx<'_> {
                 refs as f64 * self.cost.target_route_ns_per_ref;
             None
         } else {
-            Some(self.enqueue_service(dst, EventKind::TargetFetchBatch, refs))
+            Some(self.enqueue_service(home, dst, EventKind::TargetFetchBatch, refs))
         };
         self.stats.target_batches += 1;
         self.stats.target_batch_refs += refs;
@@ -906,7 +1002,7 @@ impl RankCtx<'_> {
     /// the phase executor after the barrier. Also advances the local
     /// congestion mirror behind [`RankCtx::queue_pressure`].
     #[inline]
-    fn enqueue_service(&mut self, dst: usize, kind: EventKind, items: u64) -> BatchId {
+    fn enqueue_service(&mut self, home: usize, dst: usize, kind: EventKind, items: u64) -> BatchId {
         let seq = self.next_seq;
         self.next_seq += 1;
         let dst_node = self.topo.node_of(dst);
@@ -939,10 +1035,20 @@ impl RankCtx<'_> {
         if let Some(f) = self.faults {
             if f.lost(dst_node, self.rank as u32, seq).is_some() {
                 self.mirror_wait_ns += self.retry.timeout_ns;
+                // With replicas configured the timeout also backs up the
+                // mirror's per-node view, so [`RankCtx::route_replica`]
+                // steers subsequent batches away from the struggling
+                // destination. Replica-gated: without a map nothing reads
+                // the per-node view and faulted runs stay byte-identical
+                // to the pre-replication machine.
+                if self.replicas.is_some() {
+                    self.mirror_free[dst_node] += self.retry.timeout_ns;
+                }
             }
         }
         self.events.push(SimEvent {
             dst_node: dst_node as u32,
+            home_node: home as u32,
             src_rank: self.rank as u32,
             seq,
             kind,
@@ -998,12 +1104,15 @@ impl RankCtx<'_> {
     }
 
     /// Whether the off-node batch `id` is **permanently** lost under the
-    /// active fault plan: its destination node is down, the retry budget
-    /// cannot re-deliver it, and the response data never arrives — the
-    /// caller must degrade (fill defaults, skip cache fills, flag the
-    /// reads). Transiently dropped batches return `false`: the retry
-    /// engine re-delivers their data, so results are unchanged and only
-    /// the clocks move. Always `false` without a fault plan.
+    /// active fault plan: its destination node is down, neither the retry
+    /// budget nor a surviving shard replica can re-deliver it, and the
+    /// response data never arrives — the caller must degrade (fill
+    /// defaults, skip cache fills, flag the reads). Transiently dropped
+    /// batches return `false`: the retry engine re-delivers their data, so
+    /// results are unchanged and only the clocks move. Permanently lost
+    /// batches with a surviving replica also return `false`: the failover
+    /// re-send recovers them (see [`RankCtx::batch_failed_over`]). Always
+    /// `false` without a fault plan.
     #[inline]
     pub fn batch_failed(&self, id: BatchId) -> bool {
         let Some(f) = self.faults else {
@@ -1014,7 +1123,55 @@ impl RankCtx<'_> {
         matches!(
             f.lost(ev.dst_node as usize, ev.src_rank, ev.seq),
             Some(Lost::Permanent)
-        )
+        ) && failover_target(self.replicas, f, ev).is_none()
+    }
+
+    /// Whether the off-node batch `id` was permanently lost at its routed
+    /// destination but recovered by failing over to a surviving replica.
+    /// Full replicas re-deliver everything; a hot-only replica covers only
+    /// the mirrored high-degree buckets, so callers of a failed-over
+    /// lookup must degrade the seeds the replica does not hold. Always
+    /// `false` without a fault plan or replica map.
+    #[inline]
+    pub fn batch_failed_over(&self, id: BatchId) -> bool {
+        let Some(f) = self.faults else {
+            return false;
+        };
+        let ev = &self.events[id.0 as usize];
+        debug_assert_eq!(ev.seq, id.0);
+        matches!(
+            f.lost(ev.dst_node as usize, ev.src_rank, ev.seq),
+            Some(Lost::Permanent)
+        ) && failover_target(self.replicas, f, ev).is_some()
+    }
+
+    /// Pick the wire destination node for a batch whose shard is homed on
+    /// `home`: the least-pressured replica per this rank's congestion
+    /// mirror (the per-node backlog behind [`RankCtx::queue_pressure`]),
+    /// ties to the primary. Deterministic and rank-local, so sequential
+    /// and parallel runs route identically. Returns `home` without a
+    /// replica map, and under a hot-only map (secondaries cannot answer
+    /// cold seeds, so healthy traffic stays on the primary and the
+    /// replicas serve strictly as failover targets).
+    #[inline]
+    pub fn route_replica(&self, home: usize) -> usize {
+        let Some(map) = self.replicas else {
+            return home;
+        };
+        if map.hot_only() {
+            return home;
+        }
+        let mut best = home;
+        let mut best_free = self.mirror_free.get(home).copied().unwrap_or(0.0);
+        for i in 1..map.factor() {
+            let n = map.replica_node(home, i);
+            let free = self.mirror_free.get(n).copied().unwrap_or(0.0);
+            if free < best_free {
+                best = n;
+                best_free = free;
+            }
+        }
+        best
     }
 
     /// The local congestion mirror's cumulative `(queueing wait, service
@@ -1779,5 +1936,177 @@ mod tests {
         let healthy = run(FaultPlan::none());
         let down = run(FaultPlan::node_down(0, 1, 0));
         assert!(down >= healthy + RetryPolicy::default().timeout_ns);
+    }
+
+    use crate::topology::ReplicaMap;
+
+    /// Regression for the PR-6 retry path, which could only retarget a
+    /// rank on the *same* node (`next_best_rank`): node-level loss was
+    /// unsurvivable even with retries remaining. With a replica map the
+    /// re-send crosses to the surviving replica node and nothing fails.
+    /// This test fails on the PR-6 code (there, `batch_failed` is true
+    /// and `fault_summary.failed == 4`).
+    #[test]
+    fn node_down_with_replicas_fails_over_across_nodes() {
+        let mut cfg = MachineConfig::new(8, 4);
+        cfg.faults = FaultPlan::node_down(5, 1, 0);
+        cfg.replicas = Some(ReplicaMap::full(2, 2));
+        let mut m = Machine::new(cfg);
+        let failed = m.phase("failover", |ctx| {
+            if ctx.rank < 4 {
+                let from = ctx.batch_mark();
+                let id = ctx
+                    .charge_lookup_node_batch(ctx.topo().lead_rank(1), 10, 240, CommTag::SeedLookup)
+                    .expect("off-node batch");
+                ctx.await_batches(from, ctx.batch_mark());
+                assert!(ctx.batch_failed_over(id));
+                ctx.batch_failed(id)
+            } else {
+                false
+            }
+        });
+        // The replica re-delivered every batch: nothing failed.
+        assert!(!failed.iter().any(|&b| b));
+        let p = &m.phases()[0];
+        let fs = &p.fault_summary;
+        assert_eq!(fs.injected, 4);
+        assert_eq!(fs.failed, 0);
+        assert_eq!(fs.failovers, 4);
+        assert_eq!(fs.recovered, 4);
+        assert_eq!(fs.retried, 4);
+        // The dead node serviced nothing; the failover service landed on
+        // the surviving replica node's primary handler — node 0's lead
+        // rank, a *different node* than the destination.
+        assert_eq!(p.node_service[1].events, 0);
+        let per_batch = m.cost().handler_service_ns(EventKind::LookupBatch, 10);
+        assert!((p.rank_stats[0].handler_ns - 4.0 * per_batch).abs() < 1e-9);
+        assert_eq!(p.rank_stats[0].handler_batches, 4);
+        for r in 4..8 {
+            assert_eq!(p.rank_stats[r].handler_ns, 0.0);
+        }
+        // One re-send each, failover accounted, and the sender waited the
+        // single-timeout recovery — not the full give-up budget.
+        let retry = RetryPolicy::default();
+        for r in 0..4 {
+            assert_eq!(p.rank_stats[r].retries, 1);
+            assert_eq!(p.rank_stats[r].failovers, 1);
+            assert!(p.rank_stats[r].failover_ns >= retry.recover_wait_ns());
+            assert!(p.rank_stats[r].retry_ns >= retry.recover_wait_ns());
+            assert!(p.rank_stats[r].retry_ns < retry.give_up_ns());
+            assert_eq!(p.rank_stats[r].gate_stall_ns, 0.0);
+        }
+    }
+
+    #[test]
+    fn every_replica_down_still_gives_up() {
+        // r = 2 on 2 nodes, but both the destination and its replica are
+        // down: failover has nowhere to go, the PR-6 give-up path runs.
+        let mut cfg = MachineConfig::new(8, 4);
+        cfg.faults = FaultPlan::node_down(5, 1, 0).with(0, FaultKind::NodeDown { from_event: 0 });
+        cfg.replicas = Some(ReplicaMap::full(2, 2));
+        let mut m = Machine::new(cfg);
+        let failed = m.phase("all-down", |ctx| {
+            if ctx.rank < 4 {
+                let id = ctx
+                    .charge_lookup_node_batch(ctx.topo().lead_rank(1), 10, 240, CommTag::SeedLookup)
+                    .expect("off-node batch");
+                ctx.batch_failed(id)
+            } else {
+                false
+            }
+        });
+        assert_eq!(&failed[..4], &[true; 4]);
+        let fs = &m.phases()[0].fault_summary;
+        assert_eq!(fs.failovers, 0);
+        assert_eq!(fs.recovered, 0);
+        assert_eq!(fs.failed, 4);
+    }
+
+    #[test]
+    fn hot_replicas_fail_over_lookups_but_not_target_fetches() {
+        let mut cfg = MachineConfig::new(8, 4);
+        cfg.faults = FaultPlan::node_down(5, 1, 0);
+        cfg.replicas = Some(ReplicaMap::hot(2, 2));
+        let mut m = Machine::new(cfg);
+        let fates = m.phase("hot", |ctx| {
+            if ctx.rank < 4 {
+                let lead = ctx.topo().lead_rank(1);
+                let lk = ctx
+                    .charge_lookup_node_batch(lead, 10, 240, CommTag::SeedLookup)
+                    .expect("off-node batch");
+                let tf = ctx
+                    .charge_target_node_batch(lead, 5, 2048, CommTag::TargetFetch)
+                    .expect("off-node batch");
+                (
+                    ctx.batch_failed(lk),
+                    ctx.batch_failed_over(lk),
+                    ctx.batch_failed(tf),
+                )
+            } else {
+                (false, false, false)
+            }
+        });
+        for &(lk_failed, lk_over, tf_failed) in &fates[..4] {
+            assert!(!lk_failed, "hot replica recovers the lookup");
+            assert!(lk_over, "recovery is a failover, caller filters cold seeds");
+            assert!(tf_failed, "targets are not mirrored under hot replication");
+        }
+        let fs = &m.phases()[0].fault_summary;
+        assert_eq!(fs.failovers, 4);
+        assert_eq!(fs.failed, 4);
+    }
+
+    #[test]
+    fn healthy_machine_ignores_a_replica_map() {
+        // With no fault plan, configuring replicas changes nothing at the
+        // machine level as long as routing is never consulted — the
+        // bit-identity half of the Full(r)-healthy == Off invariant.
+        let run = |replicas: Option<ReplicaMap>| {
+            let mut cfg = MachineConfig::new(12, 4);
+            cfg.replicas = replicas;
+            let mut m = Machine::new(cfg);
+            gated_mixed(&mut m);
+            let p = &m.phases()[0];
+            (p.sim_seconds, p.rank_stats.clone(), p.node_service.clone())
+        };
+        assert_eq!(run(None), run(Some(ReplicaMap::full(3, 2))));
+    }
+
+    #[test]
+    fn route_replica_prefers_primary_then_least_pressure() {
+        let mut cfg = MachineConfig::new(12, 4);
+        cfg.replicas = Some(ReplicaMap::full(3, 2));
+        let mut m = Machine::new(cfg);
+        m.phase("route", |ctx| {
+            if ctx.rank != 0 {
+                return;
+            }
+            // Fresh mirror: every replica ties at zero ⇒ primary wins.
+            assert_eq!(ctx.route_replica(1), 1);
+            // Pressure node 1's mirror with back-to-back batches; home 1's
+            // replica set is {1, 2}, so routing shifts to node 2.
+            ctx.charge_lookup_node_batch(ctx.topo().lead_rank(1), 100, 2400, CommTag::SeedLookup);
+            ctx.charge_lookup_node_batch(ctx.topo().lead_rank(1), 100, 2400, CommTag::SeedLookup);
+            assert_eq!(ctx.route_replica(1), 2);
+            // Home 2's set is {2, 0}: node 2 is clean but 0 is our own
+            // node's (unpressured) mirror slot — still ties resolve to the
+            // primary only on strictly-equal pressure.
+            assert_eq!(ctx.route_replica(2), 2);
+        });
+    }
+
+    #[test]
+    fn route_replica_without_map_or_hot_stays_home() {
+        let mut cfg = MachineConfig::new(12, 4);
+        cfg.replicas = Some(ReplicaMap::hot(3, 2));
+        let mut m = Machine::new(cfg);
+        m.phase("hot-route", |ctx| {
+            ctx.charge_lookup_node_batch(ctx.topo().lead_rank(1), 100, 2400, CommTag::SeedLookup);
+            assert_eq!(ctx.route_replica(1), 1, "hot-only never reroutes");
+        });
+        let mut m2 = Machine::new(MachineConfig::new(12, 4));
+        m2.phase("no-map", |ctx| {
+            assert_eq!(ctx.route_replica(2), 2);
+        });
     }
 }

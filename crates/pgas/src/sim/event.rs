@@ -20,6 +20,11 @@ pub enum EventKind {
 pub struct SimEvent {
     /// Destination node whose handler services the batch.
     pub dst_node: u32,
+    /// Node the requested shard is *homed* on (its static modulo owner).
+    /// Equal to [`SimEvent::dst_node`] unless replica routing sent the
+    /// batch to a secondary copy; the failover path walks the home's
+    /// replica set when `dst_node` turns out to be dead.
+    pub home_node: u32,
     /// Sending rank (deterministic tie-break, second key).
     pub src_rank: u32,
     /// Per-sender sequence number (deterministic tie-break, third key).
@@ -57,6 +62,7 @@ mod tests {
     fn ev(arrival_ns: f64, src_rank: u32, seq: u32) -> SimEvent {
         SimEvent {
             dst_node: 0,
+            home_node: 0,
             src_rank,
             seq,
             kind: EventKind::LookupBatch,

@@ -209,6 +209,18 @@ impl CompiledFaults {
         None
     }
 
+    /// Whether `node` is down (its handler rejects off-node batches) for a
+    /// batch with per-sender sequence `seq` — the survival predicate the
+    /// replica failover path uses to pick the next copy to re-send to.
+    /// Drop coins are deliberately ignored: a dropping-but-alive node still
+    /// recovers transiently lost batches by itself.
+    pub fn node_down_at(&self, node: usize, seq: u32) -> bool {
+        self.per_node
+            .get(node)
+            .and_then(|nf| nf.down_from)
+            .is_some_and(|from| seq >= from)
+    }
+
     /// Service-demand multiplier for a batch arriving at `dst_node` at
     /// (original, pre-skew) `arrival_ns`. Overlapping windows multiply;
     /// `1.0` when no slowdown covers the arrival.
@@ -305,14 +317,24 @@ pub struct FaultSummary {
     pub slowed: u64,
     /// Re-send attempts the retry engine charged.
     pub retried: u64,
-    /// Lost batches a retry re-delivered (results unchanged).
+    /// Lost batches a retry re-delivered (results unchanged). Includes the
+    /// [`FaultSummary::failovers`] that a surviving replica absorbed.
     pub recovered: u64,
-    /// Lost batches that exhausted the retry budget.
+    /// Permanently lost batches recovered by re-sending to a surviving
+    /// shard replica on another node (zero without a configured
+    /// `ReplicaMap`). Also counted in [`FaultSummary::recovered`].
+    pub failovers: u64,
+    /// Lost batches that exhausted the retry budget (no surviving replica
+    /// to fail over to).
     pub failed: u64,
     /// Reads the pipeline completed degraded because a failed batch took
     /// their seed hits or candidate targets (filled by the pipeline, not
     /// the machine).
     pub degraded_reads: u64,
+    /// Reads that lost owner-side data at the wire destination but still
+    /// aligned — via replica failover or surviving candidates (filled by
+    /// the pipeline, not the machine).
+    pub recovered_reads: u64,
 }
 
 impl FaultSummary {
@@ -330,6 +352,7 @@ mod tests {
     fn ev(dst_node: u32, src_rank: u32, seq: u32, arrival_ns: f64) -> SimEvent {
         SimEvent {
             dst_node,
+            home_node: dst_node,
             src_rank,
             seq,
             kind: EventKind::LookupBatch,
@@ -380,6 +403,18 @@ mod tests {
         // Other nodes are healthy.
         assert_eq!(c.lost(0, 0, 9), None);
         assert_eq!(c.lost(2, 0, 9), None);
+    }
+
+    #[test]
+    fn node_down_at_tracks_only_dead_nodes() {
+        let c = FaultPlan::node_down(7, 1, 2).compile(4, 0);
+        assert!(!c.node_down_at(1, 1));
+        assert!(c.node_down_at(1, 2));
+        assert!(!c.node_down_at(0, 9));
+        // A dropping node is alive for failover purposes.
+        let d = FaultPlan::batch_drop(42, 2, 1).compile(4, 0);
+        assert!(!d.node_down_at(2, 0));
+        assert_eq!(d.lost(2, 0, 0), Some(Lost::Transient));
     }
 
     #[test]

@@ -141,6 +141,7 @@ mod tests {
     fn ev(arrival_ns: f64, service_ns: f64, src_rank: u32, seq: u32) -> SimEvent {
         SimEvent {
             dst_node: 0,
+            home_node: 0,
             src_rank,
             seq,
             kind: EventKind::LookupBatch,

@@ -41,6 +41,7 @@ mod tests {
     fn ev(dst_node: u32, arrival_ns: f64, service_ns: f64, src_rank: u32) -> SimEvent {
         SimEvent {
             dst_node,
+            home_node: dst_node,
             src_rank,
             seq: 0,
             kind: EventKind::TargetFetchBatch,

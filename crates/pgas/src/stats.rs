@@ -127,6 +127,18 @@ pub struct RankStats {
     /// Re-send attempts the retry engine issued for this rank's lost
     /// batches.
     pub retries: u64,
+    /// Failover-resolution nanoseconds for this rank's permanently lost
+    /// batches that a surviving shard replica absorbed: the timeout +
+    /// backoff wait before the re-send plus the replica's service time.
+    /// **Informational** — the constituent costs already enter
+    /// [`RankStats::total_ns`] elsewhere (the re-send α–β charge through
+    /// [`RankStats::retry_ns`], the wait through the gated-sync stall
+    /// machinery), so this accumulator is reported but never summed into
+    /// the totals.
+    pub failover_ns: f64,
+    /// Batches this rank lost to a permanent fault and recovered by
+    /// re-sending to a surviving replica node.
+    pub failovers: u64,
     /// Owner-side handler nanoseconds folded into this rank by the
     /// [`sim`](crate::sim) service pass (per the machine's
     /// `HandlerPolicy`; nonzero only on ranks the policy selects):
@@ -245,6 +257,8 @@ impl RankStats {
         self.gate_waits += other.gate_waits;
         self.retry_ns += other.retry_ns;
         self.retries += other.retries;
+        self.failover_ns += other.failover_ns;
+        self.failovers += other.failovers;
         self.handler_ns += other.handler_ns;
         self.handler_batches += other.handler_batches;
         self.exact_hash_checks += other.exact_hash_checks;
@@ -343,6 +357,24 @@ mod tests {
         t.merge(&s);
         assert_eq!(t.retry_ns, 50.0);
         assert_eq!(t.retries, 4);
+    }
+
+    #[test]
+    fn failover_is_informational_but_merges() {
+        let mut s = RankStats::default();
+        s.comm_ns[CommTag::SeedLookup.idx()] = 100.0;
+        s.retry_ns = 25.0;
+        s.failover_ns = 60_000.0;
+        s.failovers = 1;
+        // The failover accumulator never double-counts into the totals:
+        // its constituents (re-send, gated wait) are charged elsewhere.
+        assert_eq!(s.comm_exposed_ns(), 125.0);
+        assert_eq!(s.total_ns(), 125.0);
+        let mut t = RankStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.failover_ns, 120_000.0);
+        assert_eq!(t.failovers, 2);
     }
 
     #[test]

@@ -142,6 +142,13 @@ impl Topology {
     /// `policy` — a neighbor of the (presumed wedged) primary handler for
     /// the fixed policies, a `salt`-rotated rank for the spreading ones.
     /// On a one-rank node every policy falls back to that rank.
+    ///
+    /// Note the retarget stays on the *same node* — correct for a dropped
+    /// message (the node is alive, only the delivery was lost), but useless
+    /// against node-level loss. Node-aware recovery goes through
+    /// [`ReplicaMap::next_surviving`], which picks a different node entirely,
+    /// and [`Topology::handler_rank`] then places the re-sent batch on that
+    /// node's primary handler.
     pub fn next_best_rank(&self, node: usize, policy: HandlerPolicy, salt: u32) -> usize {
         let ranks = self.ranks_on_node(node);
         let n = ranks.len();
@@ -155,6 +162,114 @@ impl Topology {
                 ranks.start + salt as usize % n
             }
         }
+    }
+
+    /// The rank that absorbs a batch serviced on `node` under `policy` —
+    /// the node's *primary* handler (the node is healthy; this is where a
+    /// failed-over batch lands after [`ReplicaMap::next_surviving`] picked
+    /// the node).
+    pub fn handler_rank(&self, node: usize, policy: HandlerPolicy, salt: u32) -> usize {
+        let ranks = self.ranks_on_node(node);
+        match policy {
+            HandlerPolicy::LeadRank => ranks.start,
+            HandlerPolicy::DedicatedProgressRank => ranks.end - 1,
+            HandlerPolicy::RotateRanks | HandlerPolicy::LeastLoaded => {
+                ranks.start + salt as usize % ranks.len()
+            }
+        }
+    }
+}
+
+/// Deterministic r-way shard replica placement.
+///
+/// The primary copy of a partition stays where the static modulo owner map
+/// put it; secondaries go to stride-offset nodes — `home + i·stride (mod
+/// nodes)` with `stride = max(1, nodes / r)` — so replicas of one shard are
+/// never co-located and consecutive homes spread their secondaries instead
+/// of piling onto one neighbor. The requested factor is clamped to the node
+/// count (a replica per node is the most a machine can hold).
+///
+/// `hot_only` marks a *partial* replica set ([`Hot`-mode]: only high-degree
+/// k-mer buckets are mirrored): secondaries can then answer only the hot
+/// subset, so pressure routing keeps healthy traffic on the primary and the
+/// replicas serve strictly as failover targets for seed lookups (target
+/// fetches are not mirrored and still degrade on loss).
+///
+/// [`Hot`-mode]: ReplicaMap::hot
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaMap {
+    nodes: usize,
+    r: usize,
+    stride: usize,
+    hot_only: bool,
+}
+
+impl ReplicaMap {
+    /// Full r-way replication: every replica mirrors the whole shard.
+    ///
+    /// # Panics
+    /// Panics if `nodes` or `r` is zero.
+    pub fn full(nodes: usize, r: usize) -> Self {
+        Self::with_scope(nodes, r, false)
+    }
+
+    /// Hot replication: secondaries hold only high-degree buckets.
+    ///
+    /// # Panics
+    /// Panics if `nodes` or `r` is zero.
+    pub fn hot(nodes: usize, r: usize) -> Self {
+        Self::with_scope(nodes, r, true)
+    }
+
+    fn with_scope(nodes: usize, r: usize, hot_only: bool) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(r > 0, "need at least one replica (the primary)");
+        let r = r.min(nodes);
+        ReplicaMap {
+            nodes,
+            r,
+            stride: (nodes / r).max(1),
+            hot_only,
+        }
+    }
+
+    /// Effective replication factor (requested r clamped to the node count).
+    #[inline]
+    pub fn factor(&self) -> usize {
+        self.r
+    }
+
+    /// Whether secondaries hold only the hot-bucket subset.
+    #[inline]
+    pub fn hot_only(&self) -> bool {
+        self.hot_only
+    }
+
+    /// Node holding replica `i` of the shard homed on `home`: the primary
+    /// for `i == 0`, stride-offset nodes after.
+    #[inline]
+    pub fn replica_node(&self, home: usize, i: usize) -> usize {
+        debug_assert!(home < self.nodes);
+        debug_assert!(i < self.r);
+        (home + i * self.stride) % self.nodes
+    }
+
+    /// The nodes holding `home`'s shard, primary first.
+    pub fn replicas(&self, home: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.r).map(move |i| self.replica_node(home, i))
+    }
+
+    /// The next surviving replica a timed-out batch re-sends to: the first
+    /// node of `home`'s replica set (primary first) that is neither the
+    /// destination that just failed nor down itself. `None` means every
+    /// copy is gone and the batch must give up — the PR-6 degrade path.
+    pub fn next_surviving(
+        &self,
+        home: usize,
+        failed: usize,
+        is_down: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        self.replicas(home).find(|&n| n != failed && !is_down(n))
     }
 }
 
@@ -246,5 +361,79 @@ mod tests {
     #[should_panic]
     fn zero_ranks_panics() {
         Topology::new(0, 4);
+    }
+
+    #[test]
+    fn handler_rank_is_the_primary_handler() {
+        let t = Topology::new(48, 24);
+        assert_eq!(t.handler_rank(1, HandlerPolicy::LeadRank, 9), 24);
+        assert_eq!(
+            t.handler_rank(1, HandlerPolicy::DedicatedProgressRank, 9),
+            47
+        );
+        for salt in 0..50u32 {
+            let r = t.handler_rank(1, HandlerPolicy::RotateRanks, salt);
+            assert!(t.ranks_on_node(1).contains(&r));
+            assert_eq!(r, t.handler_rank(1, HandlerPolicy::LeastLoaded, salt));
+        }
+    }
+
+    #[test]
+    fn replica_map_places_distinct_nodes_primary_first() {
+        for nodes in 1..9usize {
+            for r in 1..=nodes {
+                let m = ReplicaMap::full(nodes, r);
+                assert_eq!(m.factor(), r);
+                for home in 0..nodes {
+                    let set: Vec<usize> = m.replicas(home).collect();
+                    assert_eq!(set[0], home, "primary is the modulo owner node");
+                    let distinct: std::collections::HashSet<_> = set.iter().collect();
+                    assert_eq!(distinct.len(), r, "replicas never co-locate: {set:?}");
+                    assert!(set.iter().all(|&n| n < nodes));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replica_factor_clamps_to_node_count() {
+        let m = ReplicaMap::full(2, 5);
+        assert_eq!(m.factor(), 2);
+        assert_eq!(m.replica_node(1, 1), 0);
+        assert!(!m.hot_only());
+        assert!(ReplicaMap::hot(4, 2).hot_only());
+    }
+
+    #[test]
+    fn replica_secondaries_spread_by_stride() {
+        // 8 nodes, r=2 ⇒ stride 4: node 0 mirrors to 4, node 1 to 5 — not
+        // everyone onto their right-hand neighbor.
+        let m = ReplicaMap::full(8, 2);
+        assert_eq!(m.replica_node(0, 1), 4);
+        assert_eq!(m.replica_node(1, 1), 5);
+        assert_eq!(m.replica_node(5, 1), 1);
+    }
+
+    /// The PR-6 retry path could only retarget a rank on the same node
+    /// (`next_best_rank`), so node-level loss was unsurvivable; the replica
+    /// map's next-surviving choice crosses nodes and skips dead ones.
+    #[test]
+    fn next_surviving_replica_leaves_the_dead_node() {
+        let t = Topology::new(48, 24);
+        // Pinned PR-6 behavior: every next-best rank stays on the node.
+        for p in HandlerPolicy::ALL {
+            for salt in 0..8u32 {
+                assert_eq!(t.node_of(t.next_best_rank(1, p, salt)), 1);
+            }
+        }
+        // Node-aware recovery: home node 1 is down, the surviving replica
+        // is node 0 — a different node entirely.
+        let m = ReplicaMap::full(2, 2);
+        assert_eq!(m.next_surviving(1, 1, |n| n == 1), Some(0));
+        // Every copy down ⇒ give up (the PR-6 degrade path).
+        assert_eq!(m.next_surviving(1, 1, |_| true), None);
+        // A secondary was the routed destination and failed; the primary
+        // survives and takes the re-send.
+        assert_eq!(m.next_surviving(0, 1, |_| false), Some(0));
     }
 }
