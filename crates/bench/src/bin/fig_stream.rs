@@ -1,0 +1,236 @@
+//! fig_stream: the streaming front-end under healthy and congested
+//! owner-side cost models — read-to-alignment latency percentiles and
+//! the admission controller's shed rate.
+//!
+//! The paper's pipeline is batch (all reads on disk before align
+//! starts); this harness drives the same align phase from a seeded
+//! arrival stream instead and measures what batch mode cannot: the
+//! latency from a read's arrival to its alignment, and how admission
+//! control bounds that latency's tail when the owner-side handlers are
+//! congested. Healthy section always runs; `--congested` adds the
+//! overload contrast (admission on vs off against the same inflated
+//! cost model) and asserts in-binary that admission keeps p99 at or
+//! under `STREAM_CONGESTED_P99_BOUND_S` where the uncontrolled run
+//! exceeds it.
+
+use bench::gates::{
+    CONGESTED_HANDLER_DISPATCH_NS, CONGESTED_NODE_ROUTE_NS_PER_SEED,
+    CONGESTED_TARGET_ROUTE_NS_PER_REF, MIN_STREAM_SHED_READS, STREAM_CONGESTED_P99_BOUND_S,
+};
+use bench::{fmt_s, header, pipeline_config, row, summarize_latency, Cli, Metrics, PPN};
+use meraligner::{
+    run_pipeline, ArrivalModel, LookupChunk, PipelineConfig, PipelineMode, PipelineResult,
+};
+
+/// Two Edison nodes — enough for real off-node traffic and handler
+/// queues while staying CI-sized.
+const CORES: usize = 48;
+
+/// Healthy deadline/flush windows in units of the arrival gap: generous
+/// enough that a keeping-pace stream never expires a read.
+const HEALTHY_DEADLINE_GAPS: f64 = 20_000.0;
+const HEALTHY_FLUSH_GAPS: f64 = 32.0;
+
+/// Fraction of reads the congested admission controller may refuse.
+const CONGESTED_LOW_PRIORITY_PCT: u32 = 90;
+
+/// Congested-section admission thresholds: shed as soon as cumulative
+/// queue wait overtakes cumulative service. The defer band is left
+/// empty (defer == shed) on purpose: deferral only *reorders* work to
+/// end-of-stream, and under sustained overload that relief valve lets
+/// the ratio hover below the shed trigger while every read still gets
+/// processed — the backlog must be *refused*, not rescheduled, for the
+/// tail to stay bounded.
+const CONGESTED_SHED_RATIO: f64 = 1.0;
+const CONGESTED_DEFER_RATIO: f64 = 1.0;
+
+/// Reads per chunk in the congested section (admission checkpoints come
+/// once per chunk — see the `lookup_chunk` note in `congested_cfg`).
+const CONGESTED_CHUNK_READS: usize = 32;
+
+fn lat_row(name: &str, res: &PipelineResult, align_s: f64) -> Vec<String> {
+    let s = summarize_latency(res.read_latency_ns());
+    vec![
+        name.to_string(),
+        s.n.to_string(),
+        fmt_s(s.p50 / 1e9),
+        fmt_s(s.p99 / 1e9),
+        fmt_s(s.mean / 1e9),
+        res.shed_reads.to_string(),
+        res.expired_reads.to_string(),
+        fmt_s(align_s),
+    ]
+}
+
+fn main() {
+    let cli = Cli::parse(0.02);
+    let d = genome::human_like(cli.scale, cli.seed);
+    let tdb = d.contigs_seqdb();
+    let qdb = d.reads_seqdb();
+    eprintln!(
+        "# dataset {} | reads {} | {CORES} cores / ppn {PPN}",
+        d.name,
+        qdb.len()
+    );
+
+    // ---- Probe: one batch run prices the healthy align phase so the
+    // arrival gap is calibrated to the machine, not hard-coded — the
+    // healthy stream arrives at roughly the rate the pipeline drains.
+    let batch = run_pipeline(&pipeline_config(&d, CORES, CORES / PPN), &tdb, &qdb);
+    let reads_per_rank = (qdb.len() as f64 / CORES as f64).max(1.0);
+    let mean_gap_ns = batch.align_seconds() * 1e9 / reads_per_rank;
+    eprintln!(
+        "# arrival model: seeded, mean gap {} us (batch align {} s / {:.0} reads per rank)",
+        fmt_s(mean_gap_ns / 1e3),
+        fmt_s(batch.align_seconds()),
+        reads_per_rank
+    );
+
+    let stream_cfg = |admission: bool| -> PipelineConfig {
+        let mut cfg = pipeline_config(&d, CORES, CORES / PPN);
+        cfg.pipeline_mode = PipelineMode::Streaming;
+        cfg.arrival = ArrivalModel::Seeded {
+            seed: cli.seed,
+            mean_gap_ns,
+        };
+        cfg.stream_deadline_ns = HEALTHY_DEADLINE_GAPS * mean_gap_ns;
+        cfg.stream_flush_ns = HEALTHY_FLUSH_GAPS * mean_gap_ns;
+        cfg.stream_admission = admission;
+        cfg
+    };
+
+    // ---- Healthy streaming: admission armed but never provoked. The
+    // front-end must refuse nothing, account every read, and reproduce
+    // the batch placements (chunk boundaries move, results never do).
+    let healthy = run_pipeline(&stream_cfg(true), &tdb, &qdb);
+    healthy.assert_read_conservation();
+    assert_eq!(
+        (healthy.shed_reads, healthy.expired_reads),
+        (0, 0),
+        "healthy streaming must not shed or expire"
+    );
+    assert_eq!(
+        healthy.placements, batch.placements,
+        "healthy streaming moved placements"
+    );
+    assert_eq!(
+        healthy.read_latency_ns().len(),
+        healthy.total_reads,
+        "healthy streaming must record one latency per read"
+    );
+    let hs = summarize_latency(healthy.read_latency_ns());
+    header(&[
+        "section", "n", "p50_s", "p99_s", "mean_s", "shed", "expired", "align_s",
+    ]);
+    row(&lat_row("healthy", &healthy, healthy.align_seconds()));
+    eprintln!(
+        "# healthy read-to-alignment latency: p50 {} s, p99 {} s over {} reads, zero refusals",
+        fmt_s(hs.p50 / 1e9),
+        fmt_s(hs.p99 / 1e9),
+        hs.n
+    );
+
+    // ---- Congested contrast (`--congested`): same arrival stream, the
+    // fig8 congested cost model, no deadline (nothing may hide in the
+    // expired bucket) — admission on vs off.
+    let mut congested_stats = None;
+    if cli.congested {
+        let congested_cfg = |admission: bool| -> PipelineConfig {
+            let mut cfg = stream_cfg(admission);
+            cfg.cost.handler_dispatch_ns = CONGESTED_HANDLER_DISPATCH_NS;
+            cfg.cost.node_route_ns_per_seed = CONGESTED_NODE_ROUTE_NS_PER_SEED;
+            cfg.cost.target_route_ns_per_ref = CONGESTED_TARGET_ROUTE_NS_PER_REF;
+            cfg.stream_deadline_ns = f64::INFINITY;
+            cfg.stream_flush_ns = f64::INFINITY;
+            cfg.stream_low_priority_pct = CONGESTED_LOW_PRIORITY_PCT;
+            cfg.stream_shed_ratio = CONGESTED_SHED_RATIO;
+            cfg.stream_defer_ratio = CONGESTED_DEFER_RATIO;
+            // Small fixed chunks: admission only observes queue pressure
+            // at chunk boundaries, and Auto chunking at this scale hands
+            // each rank a handful of huge chunks — most reads would be
+            // admitted before the mirror reports any overload at all.
+            cfg.lookup_chunk = LookupChunk::Fixed(CONGESTED_CHUNK_READS);
+            cfg
+        };
+        eprintln!(
+            "# congested-cost run: handler dispatch {CONGESTED_HANDLER_DISPATCH_NS} ns, \
+             route {CONGESTED_NODE_ROUTE_NS_PER_SEED} ns/seed, \
+             {CONGESTED_TARGET_ROUTE_NS_PER_REF} ns/ref; \
+             {CONGESTED_LOW_PRIORITY_PCT}% of reads sheddable"
+        );
+        let on = run_pipeline(&congested_cfg(true), &tdb, &qdb);
+        let on2 = run_pipeline(&congested_cfg(true), &tdb, &qdb);
+        let off = run_pipeline(&congested_cfg(false), &tdb, &qdb);
+        on.assert_read_conservation();
+        off.assert_read_conservation();
+        // Shed sets and latencies are pure functions of the config.
+        assert_eq!(on.shed, on2.shed, "shed set must be run-twice identical");
+        assert_eq!(
+            on.read_latency_ns(),
+            on2.read_latency_ns(),
+            "latencies must be run-twice identical"
+        );
+        assert_eq!(on.placements, on2.placements);
+        let on_s = summarize_latency(on.read_latency_ns());
+        let off_s = summarize_latency(off.read_latency_ns());
+        row(&lat_row("congested_admission_on", &on, on.align_seconds()));
+        row(&lat_row(
+            "congested_admission_off",
+            &off,
+            off.align_seconds(),
+        ));
+        // The load-bearing contrast: shedding keeps the tail at or under
+        // the gate bound; the uncontrolled run must blow through it
+        // (otherwise the section isn't actually overloaded and the
+        // admission assertion is vacuous). Thresholds in bench::gates.
+        assert!(
+            on_s.p99 / 1e9 <= STREAM_CONGESTED_P99_BOUND_S,
+            "admission-on p99 {} s exceeds the gate bound {} s",
+            on_s.p99 / 1e9,
+            STREAM_CONGESTED_P99_BOUND_S
+        );
+        assert!(
+            off_s.p99 / 1e9 > STREAM_CONGESTED_P99_BOUND_S,
+            "admission-off p99 {} s did not exceed the bound {} s — congestion too mild",
+            off_s.p99 / 1e9,
+            STREAM_CONGESTED_P99_BOUND_S
+        );
+        assert!(
+            on.shed_reads as u64 >= MIN_STREAM_SHED_READS,
+            "congested admission-on run shed only {} reads",
+            on.shed_reads
+        );
+        assert_eq!(
+            (off.shed_reads, off.expired_reads),
+            (0, 0),
+            "admission-off must process everything"
+        );
+        let shed_rate = 100.0 * on.shed_reads as f64 / on.total_reads as f64;
+        eprintln!(
+            "# admission control under congestion: p99 {} s (on, shed {:.1}%) vs {} s (off, shed 0%)",
+            fmt_s(on_s.p99 / 1e9),
+            shed_rate,
+            fmt_s(off_s.p99 / 1e9)
+        );
+        congested_stats = Some((on_s, off_s, shed_rate, on.align_seconds()));
+    }
+
+    // ---- Machine-readable metrics for the CI perf gate.
+    if let Some(path) = &cli.json {
+        let mut m = Metrics::default();
+        m.push("stream_healthy_p50_s", hs.p50 / 1e9);
+        m.push("stream_healthy_p99_s", hs.p99 / 1e9);
+        m.push("stream_healthy_align_s", healthy.align_seconds());
+        m.push("info_stream_mean_gap_us", mean_gap_ns / 1e3);
+        if let Some((on_s, off_s, shed_rate, align_s)) = congested_stats {
+            m.push("stream_congested_p50_s", on_s.p50 / 1e9);
+            m.push("stream_congested_p99_s", on_s.p99 / 1e9);
+            m.push("stream_shed_rate_pct", shed_rate);
+            m.push("stream_congested_align_s", align_s);
+            m.push("info_stream_congested_p99_off_s", off_s.p99 / 1e9);
+            m.push("info_stream_congested_p50_off_s", off_s.p50 / 1e9);
+        }
+        m.write(path).expect("write --json metrics");
+        eprintln!("# metrics written to {path}");
+    }
+}

@@ -52,6 +52,20 @@ pub const CONGESTED_NODE_ROUTE_NS_PER_SEED: f64 = 60.0;
 /// Per-ref handler routing cost of the `--congested` run (ns).
 pub const CONGESTED_TARGET_ROUTE_NS_PER_REF: f64 = 60.0;
 
+/// The fig_stream congested run with **admission on** must keep its
+/// read-to-alignment p99 at or under this bound (simulated seconds, at
+/// the CI scale of 0.02): shedding low-priority arrivals is what keeps
+/// the tail finite. The same run with admission **off** must exceed the
+/// bound — otherwise the congested section isn't actually overloaded
+/// and the admission assertion is vacuous. Calibrated between the
+/// observed tails (~0.064 s on, ~0.247 s off) with ~2× headroom each
+/// way.
+pub const STREAM_CONGESTED_P99_BOUND_S: f64 = 0.12;
+
+/// The fig_stream congested admission-on run must shed at least this
+/// many reads (zero would mean the controller never engaged).
+pub const MIN_STREAM_SHED_READS: u64 = 1;
+
 /// Which direction of drift regresses a gated metric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Direction {
@@ -85,7 +99,33 @@ mod tests {
     use super::*;
 
     #[test]
+    fn stream_bounds_are_sane() {
+        let (bound, min_shed) =
+            std::hint::black_box((STREAM_CONGESTED_P99_BOUND_S, MIN_STREAM_SHED_READS));
+        assert!(bound > 0.0 && bound.is_finite());
+        assert!(min_shed >= 1);
+    }
+
+    #[test]
     fn directions_classify_known_keys() {
+        // Streaming latency/shed metrics regress upward; the admission-off
+        // contrast is contextual (it is *supposed* to blow up).
+        assert_eq!(
+            metric_direction("stream_healthy_p99_s"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("stream_congested_p99_s"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("stream_shed_rate_pct"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("info_stream_congested_p99_off_s"),
+            Direction::Info
+        );
         assert_eq!(metric_direction("align_s_double"), Direction::LowerIsBetter);
         assert_eq!(
             metric_direction("max_queue_depth"),

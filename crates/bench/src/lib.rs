@@ -258,6 +258,52 @@ pub fn pipeline_config(d: &Dataset, cores: usize, min_nodes: usize) -> PipelineC
     cfg
 }
 
+/// Nearest-rank percentile over a sample set: the smallest value such
+/// that at least `p` percent of the samples are ≤ it (inclusive,
+/// `0 < p ≤ 100`; `p = 0` returns the minimum). Sorts a copy — the
+/// fig_stream latency vectors are small enough that clarity wins.
+///
+/// # Panics
+/// Panics on an empty sample set or a `p` outside `[0, 100]`: a harness
+/// asking for a percentile of nothing is broken, and a silent 0.0 would
+/// feed the perf gate a fake number.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// p50/p99/mean/max summary of a latency sample set (units follow the
+/// input; the streaming harness feeds nanoseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub n: usize,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Summarize a non-empty latency sample set.
+pub fn summarize_latency(samples: &[f64]) -> LatencySummary {
+    LatencySummary {
+        n: samples.len(),
+        p50: percentile(samples, 50.0),
+        p99: percentile(samples, 99.0),
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
 /// Deterministic LCG random DNA, shared by the microbench setups.
 pub fn lcg_dna(n: usize, mut state: u64) -> Vec<u8> {
     (0..n)
@@ -318,6 +364,49 @@ mod tests {
         assert_eq!(fmt_s(123.456), "123.5");
         assert_eq!(fmt_s(12.345), "12.35");
         assert_eq!(fmt_s(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn percentile_hits_exact_ranks() {
+        // 1..=100 shuffled: nearest-rank p is exactly p.
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        v.reverse();
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        // Fractional ranks round up to the next sample.
+        assert_eq!(percentile(&[10.0, 20.0, 30.0], 50.0), 20.0);
+        assert_eq!(percentile(&[10.0, 20.0, 30.0], 66.7), 30.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.25], p), 7.25);
+        }
+        let s = summarize_latency(&[7.25]);
+        assert_eq!(
+            (s.n, s.p50, s.p99, s.mean, s.max),
+            (1, 7.25, 7.25, 7.25, 7.25)
+        );
+    }
+
+    #[test]
+    fn percentile_all_equal_is_flat() {
+        let v = [3.5; 64];
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&v, p), 3.5);
+        }
+        let s = summarize_latency(&v);
+        assert_eq!((s.p50, s.p99, s.mean, s.max), (3.5, 3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use align::{Engine, Scoring};
 use dht::{BuildAlgorithm, CacheConfig};
-use pgas::{CostModel, FaultPlan, HandlerPolicy, RetryPolicy};
+use pgas::{ArrivalModel, CostModel, FaultPlan, HandlerPolicy, RetryPolicy};
 
 /// Granularity of the chunked, node-aware lookup/fetch aggregation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,6 +39,23 @@ pub enum OverlapMode {
     /// performs no cache operation, so the cache-visible lookup/fetch
     /// order is unchanged.
     DoubleBuffer,
+}
+
+/// How the align phase receives its input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// All reads are present before the align phase starts; chunks are
+    /// formed purely by size (the PR-1…7 pipeline). The default.
+    Batch,
+    /// Streaming front-end: each rank's reads arrive over the simulated
+    /// clock per the configured [`ArrivalModel`], chunks are formed by
+    /// **deadline-or-size**, each read carries a deadline and a priority
+    /// class, and the admission controller may shed or defer low-priority
+    /// reads under congestion. With the degenerate knobs — all-at-zero
+    /// arrivals, infinite deadlines, admission off — this is bit-identical
+    /// to [`PipelineMode::Batch`]: placements, cache state, every counter
+    /// and the simulated clock (the streaming-equivalence suite pins it).
+    Streaming,
 }
 
 /// r-way replication of the frozen seed-index shards (and, under
@@ -226,6 +243,53 @@ pub struct PipelineConfig {
     /// identical whether gating is on or off.
     pub gate_wait_ratio: f64,
 
+    // ---- streaming front-end ----
+    /// Batch (all input up front) vs streaming (reads arrive over the
+    /// simulated clock, with deadlines and admission control). The
+    /// degenerate streaming knobs reproduce batch bit for bit.
+    pub pipeline_mode: PipelineMode,
+    /// When each rank's reads arrive on the simulated clock
+    /// ([`PipelineMode::Streaming`] only). [`ArrivalModel::AllAtZero`]
+    /// (the default) is the identity anchor: no arrival ever postdates
+    /// the rank clock, so no wait is charged and chunking reduces to
+    /// pure size.
+    pub arrival: ArrivalModel,
+    /// Per-read deadline (ns after the read's arrival). A read whose
+    /// deadline is already dead when the front-end would admit it is
+    /// **expired**: deterministically unaligned, never issued, counted
+    /// apart from fault-degraded reads. Also caps the retry engine's
+    /// give-up ladder for batches issued on its behalf
+    /// (`RankCtx::set_deadline_budget_ns`). `INFINITY` (the default)
+    /// disables both effects.
+    pub stream_deadline_ns: f64,
+    /// Deadline-or-size chunk flush slack (ns): a partially filled chunk
+    /// closes early instead of waiting for an arrival more than this far
+    /// past the rank clock — admitted reads are not held hostage to a
+    /// slow stream. `INFINITY` (the default) restores pure size
+    /// chunking, which the all-at-zero model needs for bit-identity.
+    pub stream_flush_ns: f64,
+    /// Admission control (default off): when the rank's congestion
+    /// mirror (`RankCtx::queue_pressure`) reports a cumulative
+    /// wait/service ratio above [`PipelineConfig::stream_shed_ratio`],
+    /// low-priority reads are **shed** (deterministically unaligned,
+    /// never issued); above [`PipelineConfig::stream_defer_ratio`] they
+    /// are **deferred** once (re-admitted after the main stream drains,
+    /// re-checking only their deadline — so deferral terminates).
+    /// High-priority reads are always admitted.
+    pub stream_admission: bool,
+    /// Mirror wait/service ratio above which admission sheds
+    /// low-priority reads.
+    pub stream_shed_ratio: f64,
+    /// Mirror wait/service ratio above which admission defers
+    /// low-priority reads (should sit below the shed ratio).
+    pub stream_defer_ratio: f64,
+    /// Percent of reads in the low-priority class (deterministic
+    /// splitmix64 coin per global read id — `pgas::sim::arrival::
+    /// low_priority` — so the class survives redistribution).
+    pub stream_low_priority_pct: u32,
+    /// Seed of the priority coin.
+    pub stream_priority_seed: u64,
+
     // ---- §IV-C: sensitivity threshold ----
     /// Maximum candidate alignments per seed (0 = unlimited).
     pub max_hits_per_seed: usize,
@@ -270,6 +334,15 @@ impl PipelineConfig {
             queue_gate: true,
             handler_policy: HandlerPolicy::LeadRank,
             gate_wait_ratio: 2.0,
+            pipeline_mode: PipelineMode::Batch,
+            arrival: ArrivalModel::AllAtZero,
+            stream_deadline_ns: f64::INFINITY,
+            stream_flush_ns: f64::INFINITY,
+            stream_admission: false,
+            stream_shed_ratio: 8.0,
+            stream_defer_ratio: 4.0,
+            stream_low_priority_pct: 50,
+            stream_priority_seed: 0x57EA,
             max_hits_per_seed: 256,
             collect_alignments: false,
         }
@@ -292,6 +365,11 @@ impl PipelineConfig {
     /// pipeline (vs per-read batches or point lookups).
     pub fn chunked_lookups(&self) -> bool {
         self.batch_lookups && self.lookup_chunk != LookupChunk::Fixed(0)
+    }
+
+    /// Whether the align phase runs the streaming front-end.
+    pub fn streaming(&self) -> bool {
+        self.pipeline_mode == PipelineMode::Streaming
     }
 
     /// The reads-per-chunk the align phase *starts* with, given the mean
@@ -381,6 +459,16 @@ mod tests {
         assert!(c.fault_plan.is_none());
         assert_eq!(c.retry, RetryPolicy::default());
         assert!(c.replication.is_off());
+        // The streaming front-end is opt-in, and its knobs default to the
+        // degenerate values under which streaming is bit-identical to
+        // batch (the identity anchor the equivalence suite leans on).
+        assert_eq!(c.pipeline_mode, PipelineMode::Batch);
+        assert!(!c.streaming());
+        assert!(c.arrival.is_all_at_zero());
+        assert!(c.stream_deadline_ns.is_infinite());
+        assert!(c.stream_flush_ns.is_infinite());
+        assert!(!c.stream_admission);
+        assert!(c.stream_defer_ratio < c.stream_shed_ratio);
         assert_eq!(c.replication.factor(), 1);
         assert_eq!(ReplicationMode::Full(2).factor(), 2);
         assert_eq!(

@@ -27,7 +27,8 @@ pub mod query;
 pub mod targets;
 
 pub use analysis::{expected_seed_frequency, load_imbalance_bound, seed_reuse_probability};
-pub use config::{LookupChunk, OverlapMode, PipelineConfig, ReplicationMode};
+pub use config::{LookupChunk, OverlapMode, PipelineConfig, PipelineMode, ReplicationMode};
+pub use pgas::ArrivalModel;
 pub use pgas::HandlerPolicy;
 pub use pipeline::{run_pipeline, PipelineResult, Placement};
 pub use targets::{FragMeta, TargetStore};

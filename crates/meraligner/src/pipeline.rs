@@ -7,7 +7,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use seq::seqdb::block_range;
-use seq::{KmerIter, SeqDb};
+use seq::{KmerIter, PackedSeq, SeqDb};
+use std::collections::VecDeque;
 
 use crate::config::{OverlapMode, PipelineConfig, ReplicationMode};
 use crate::query::QueryOutcome;
@@ -62,6 +63,23 @@ pub struct PipelineResult {
     /// its wire destination (degraded *or* recovered, including replica
     /// failovers).
     pub owner_lost: Vec<bool>,
+    /// Reads the streaming admission controller refused outright under
+    /// overload (low-priority arrivals while the congestion mirror sat
+    /// above `stream_shed_ratio`). Never issued a single lookup: they end
+    /// deterministically unaligned with `owner_lost == false`, so
+    /// overload degradation can never alias fault degradation. Always 0
+    /// in batch mode and in healthy streaming runs.
+    pub shed_reads: usize,
+    /// Reads whose `stream_deadline_ns` expired before the front-end
+    /// could admit them (the stream fell too far behind). Like shed
+    /// reads they are never issued and end deterministically unaligned;
+    /// the two outcomes are disjoint by construction. Always 0 with an
+    /// infinite deadline.
+    pub expired_reads: usize,
+    /// Per-read shed flags, indexed by original read number.
+    pub shed: Vec<bool>,
+    /// Per-read deadline-expired flags, indexed by original read number.
+    pub expired: Vec<bool>,
     /// Distinct seeds in the index.
     pub index_distinct_seeds: usize,
     /// Total seed occurrences in the index.
@@ -122,6 +140,89 @@ impl PipelineResult {
     pub fn exact_path_fraction(&self) -> f64 {
         self.exact_path_reads as f64 / self.aligned_reads.max(1) as f64
     }
+
+    /// Read-to-alignment latencies (ns): one entry per read the
+    /// streaming front-end admitted and completed, rank-major in
+    /// completion order. Empty in batch mode.
+    pub fn read_latency_ns(&self) -> &[f64] {
+        self.align_phase()
+            .map(|p| p.read_latency_ns.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Unaligned reads that are *not* fault-degraded, shed, or expired —
+    /// the ordinary "no placement found" remainder in the conservation
+    /// identity. Panics on underflow (which would itself be a
+    /// conservation violation).
+    pub fn clean_unaligned_reads(&self) -> usize {
+        self.total_reads
+            .checked_sub(self.aligned_reads)
+            .and_then(|r| r.checked_sub(self.degraded_reads))
+            .and_then(|r| r.checked_sub(self.shed_reads))
+            .and_then(|r| r.checked_sub(self.expired_reads))
+            .expect("outcome counts exceed total reads")
+    }
+
+    /// Asserts the read-conservation invariant: every arrival ends in
+    /// exactly one outcome class, so
+    /// `aligned + clean_unaligned + fault_degraded + shed + expired ==
+    /// total`, the per-read flag vectors agree with the counts, and
+    /// shed/expired reads carry no placement and no owner-loss marking
+    /// (overload degradation never aliases fault degradation). Called
+    /// in-binary by the streaming harness and by the regression tests.
+    pub fn assert_read_conservation(&self) {
+        assert_eq!(self.placements.len(), self.total_reads);
+        assert_eq!(self.shed.len(), self.total_reads);
+        assert_eq!(self.expired.len(), self.total_reads);
+        assert_eq!(self.owner_lost.len(), self.total_reads);
+        let (mut aligned, mut shed, mut expired, mut degraded) = (0usize, 0usize, 0usize, 0usize);
+        for i in 0..self.total_reads {
+            if self.shed[i] || self.expired[i] {
+                assert!(
+                    !(self.shed[i] && self.expired[i]),
+                    "read {i} both shed and expired"
+                );
+                assert!(
+                    self.placements[i].is_none(),
+                    "shed/expired read {i} has a placement"
+                );
+                assert!(
+                    !self.owner_lost[i],
+                    "shed/expired read {i} marked owner-lost"
+                );
+                if self.shed[i] {
+                    shed += 1;
+                } else {
+                    expired += 1;
+                }
+            } else if self.placements[i].is_some() {
+                aligned += 1;
+            } else if self.owner_lost[i] {
+                degraded += 1;
+            }
+        }
+        assert_eq!(shed, self.shed_reads, "shed flags disagree with count");
+        assert_eq!(
+            expired, self.expired_reads,
+            "expired flags disagree with count"
+        );
+        assert_eq!(aligned, self.aligned_reads, "aligned count drifted");
+        // `degraded` recounts lost-and-unaligned; recovered-but-unaligned
+        // reads are owner-lost too, so the stored count is a subset.
+        assert!(
+            self.degraded_reads <= degraded,
+            "degraded count exceeds owner-lost unaligned reads"
+        );
+        assert_eq!(
+            self.aligned_reads
+                + self.clean_unaligned_reads()
+                + self.degraded_reads
+                + self.shed_reads
+                + self.expired_reads,
+            self.total_reads,
+            "read conservation violated"
+        );
+    }
 }
 
 /// Per-rank accumulation of query outcomes (shared by the chunked and
@@ -132,6 +233,13 @@ struct RankOutcomes {
     exact_path: u64,
     alignments_total: u64,
     collected: Vec<(u32, u32, Alignment)>,
+    /// Original ids of reads the admission controller shed (streaming).
+    shed: Vec<u32>,
+    /// Original ids of reads whose deadline expired before admission.
+    expired: Vec<u32>,
+    /// Read-to-alignment latency (ns) per completed read, in record
+    /// order (streaming only; batch leaves it empty).
+    latency: Vec<f64>,
 }
 
 impl RankOutcomes {
@@ -163,6 +271,124 @@ impl RankOutcomes {
             }
         }
     }
+}
+
+/// Per-rank streaming front-end: pulls reads off the rank's seeded
+/// arrival stream and forms chunks by **deadline-or-size** — a chunk
+/// closes when it reaches the adaptive chunk size *or* when the next
+/// arrival is more than `stream_flush_ns` away. At admission time each
+/// read is expiry-checked against its `stream_deadline_ns` and, when
+/// admission control is on and the rank's congestion mirror sits above
+/// the configured wait/service ratios, low-priority reads are shed
+/// (above `stream_shed_ratio`) or deferred once (above
+/// `stream_defer_ratio`; re-checked for expiry only after the main
+/// stream drains, so the stream always terminates).
+///
+/// With all-at-zero arrivals, infinite deadlines, and admission off,
+/// `next_chunk` returns exactly the contiguous size-bounded slices the
+/// batch pipeline forms and charges nothing — the bit-identity anchor
+/// the `streaming_equivalence` suite pins.
+struct StreamFront<'a> {
+    reads: &'a [(u32, PackedSeq)],
+    /// Arrival timestamp per local read index (nondecreasing).
+    arrivals: Vec<f64>,
+    /// Cursor into the main arrival stream.
+    pos: usize,
+    /// Local indices deferred by the admission controller.
+    deferred: VecDeque<usize>,
+}
+
+impl<'a> StreamFront<'a> {
+    fn new(cfg: &PipelineConfig, rank: usize, reads: &'a [(u32, PackedSeq)]) -> Self {
+        Self {
+            reads,
+            arrivals: cfg.arrival.schedule(rank, reads.len()),
+            pos: 0,
+            deferred: VecDeque::new(),
+        }
+    }
+
+    /// Form the next chunk: admitted reads plus their matching arrival
+    /// timestamps (both in chunk order). An empty chunk means both the
+    /// main stream and the deferred queue are drained.
+    fn next_chunk(
+        &mut self,
+        ctx: &mut RankCtx,
+        cfg: &PipelineConfig,
+        chunk_reads: usize,
+        acc: &mut RankOutcomes,
+    ) -> (Vec<(u32, PackedSeq)>, Vec<f64>) {
+        let mut chunk = Vec::new();
+        let mut chunk_arrivals = Vec::new();
+        while chunk.len() < chunk_reads {
+            let (i, fresh) = if self.pos < self.reads.len() {
+                (self.pos, true)
+            } else if let Some(&i) = self.deferred.front() {
+                (i, false)
+            } else {
+                break;
+            };
+            let arr = self.arrivals[i];
+            if fresh && arr > ctx.now_ns() {
+                // The next read hasn't arrived yet. A non-empty chunk
+                // whose wait would exceed the flush window closes early
+                // (the "deadline" half of deadline-or-size); otherwise
+                // the rank idles until the arrival — charged as stream
+                // wait, which enters the rank clock but is not exposed
+                // communication.
+                if !chunk.is_empty() && arr > ctx.now_ns() + cfg.stream_flush_ns {
+                    break;
+                }
+                ctx.charge_stream_wait(arr - ctx.now_ns());
+            }
+            if fresh {
+                self.pos += 1;
+            } else {
+                self.deferred.pop_front();
+            }
+            let orig_idx = self.reads[i].0;
+            if ctx.now_ns() - arr > cfg.stream_deadline_ns {
+                acc.expired.push(orig_idx);
+                continue;
+            }
+            if fresh && cfg.stream_admission {
+                let (wait, service) = ctx.queue_pressure();
+                let ratio = if service > 0.0 { wait / service } else { 0.0 };
+                if ratio > cfg.stream_defer_ratio
+                    && pgas::sim::low_priority(
+                        cfg.stream_priority_seed,
+                        orig_idx,
+                        cfg.stream_low_priority_pct,
+                    )
+                {
+                    if ratio > cfg.stream_shed_ratio {
+                        acc.shed.push(orig_idx);
+                    } else {
+                        self.deferred.push_back(i);
+                    }
+                    continue;
+                }
+            }
+            chunk_arrivals.push(arr);
+            chunk.push(self.reads[i].clone());
+        }
+        (chunk, chunk_arrivals)
+    }
+}
+
+/// Remaining deadline budget at issue time: the tightest
+/// `arrival + deadline − now` over the chunk, floored at zero (the
+/// retry engine still grants one timeout). INFINITY when no deadline is
+/// configured — the retry ladder's bit-for-bit identity.
+fn chunk_budget_ns(arrivals: &[f64], now: f64, deadline_ns: f64) -> f64 {
+    if deadline_ns.is_infinite() {
+        return f64::INFINITY;
+    }
+    arrivals
+        .iter()
+        .map(|a| a + deadline_ns - now)
+        .fold(f64::INFINITY, f64::min)
+        .max(0.0)
 }
 
 /// Run the full pipeline: targets and queries come from SDB1 containers
@@ -298,7 +524,7 @@ pub fn run_pipeline(
             };
             let mut acc = RankOutcomes::default();
             let reads = &reads_ref[ctx.rank];
-            if cfg.chunked_lookups() {
+            if cfg.chunked_lookups() || cfg.streaming() {
                 // Chunked, node-aware aggregation: one batch per
                 // (chunk, owner node) per stage. `Auto` derives the chunk
                 // from α/β, the node count, and this rank's observed
@@ -330,102 +556,230 @@ pub fn run_pipeline(
                         .max(1);
                     (last_wait, last_service) = (w, s);
                 };
-                match cfg.overlap_mode {
-                    OverlapMode::Lockstep => {
-                        let mut outcomes: Vec<QueryOutcome> = Vec::new();
-                        let mut pos = 0usize;
-                        while pos < reads.len() {
-                            let end = pos.saturating_add(chunk_reads).min(reads.len());
-                            let chunk = &reads[pos..end];
-                            process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
-                            for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..)) {
-                                acc.record(store_ref, cfg, *orig_idx, outcome);
+                if cfg.streaming() {
+                    // Streaming front-end: chunks come off the arrival
+                    // stream (deadline-or-size) instead of contiguous
+                    // slices; each chunk's issue carries the tightest
+                    // remaining deadline budget so owner-side retries
+                    // never ride the give-up ladder past it. Admitted
+                    // chunks run through the *same* issue/extend ops as
+                    // batch — identical content charges identically.
+                    let mut front = StreamFront::new(cfg, ctx.rank, reads);
+                    match cfg.overlap_mode {
+                        OverlapMode::Lockstep => {
+                            let mut outcomes: Vec<QueryOutcome> = Vec::new();
+                            loop {
+                                let (chunk, arrivals) =
+                                    front.next_chunk(ctx, cfg, chunk_reads, &mut acc);
+                                if chunk.is_empty() {
+                                    break;
+                                }
+                                ctx.set_deadline_budget_ns(chunk_budget_ns(
+                                    &arrivals,
+                                    ctx.now_ns(),
+                                    cfg.stream_deadline_ns,
+                                ));
+                                process_read_chunk(ctx, &actx, &chunk, &mut scratch, &mut outcomes);
+                                // A read is done when its chunk's batches
+                                // have actually been serviced — the later
+                                // of the rank clock and the congestion
+                                // mirror's completion horizon (the clock
+                                // alone never sees handler busy time or
+                                // gate stalls; those land post-phase).
+                                let done = ctx.now_ns().max(ctx.queue_eta_ns());
+                                for (((orig_idx, _), arr), outcome) in
+                                    chunk.iter().zip(&arrivals).zip(outcomes.drain(..))
+                                {
+                                    acc.latency.push(done - arr);
+                                    acc.record(store_ref, cfg, *orig_idx, outcome);
+                                }
+                                adapt(ctx, &mut chunk_reads);
                             }
-                            adapt(ctx, &mut chunk_reads);
-                            pos = end;
+                        }
+                        OverlapMode::DoubleBuffer => {
+                            // Same software pipeline as batch, with
+                            // chunk formation (and its stream waits)
+                            // interleaved at the issue points.
+                            let mut cur = ChunkState::default();
+                            let mut next = ChunkState::default();
+                            let (mut cur_chunk, mut cur_arr) =
+                                front.next_chunk(ctx, cfg, chunk_reads, &mut acc);
+                            let mut cur_pending = (ctx.batch_mark(), ctx.batch_mark());
+                            if !cur_chunk.is_empty() {
+                                ctx.set_deadline_budget_ns(chunk_budget_ns(
+                                    &cur_arr,
+                                    ctx.now_ns(),
+                                    cfg.stream_deadline_ns,
+                                ));
+                                let from = ctx.batch_mark();
+                                issue_read_chunk(ctx, &actx, &cur_chunk, &mut scratch, &mut cur);
+                                cur_pending = (from, ctx.batch_mark());
+                                adapt(ctx, &mut chunk_reads);
+                            }
+                            while !cur_chunk.is_empty() {
+                                let (next_chunk, next_arr) =
+                                    front.next_chunk(ctx, cfg, chunk_reads, &mut acc);
+                                let mut next_pending = (ctx.batch_mark(), ctx.batch_mark());
+                                if !next_chunk.is_empty() {
+                                    let issue = ctx.overlap_mark();
+                                    ctx.set_deadline_budget_ns(chunk_budget_ns(
+                                        &next_arr,
+                                        ctx.now_ns(),
+                                        cfg.stream_deadline_ns,
+                                    ));
+                                    let from = ctx.batch_mark();
+                                    issue_read_chunk(
+                                        ctx,
+                                        &actx,
+                                        &next_chunk,
+                                        &mut scratch,
+                                        &mut next,
+                                    );
+                                    next_pending = (from, ctx.batch_mark());
+                                    adapt(ctx, &mut chunk_reads);
+                                    if cfg.queue_gate {
+                                        ctx.await_batches(cur_pending.0, cur_pending.1);
+                                    }
+                                    let extend = ctx.overlap_mark();
+                                    extend_read_chunk(
+                                        ctx,
+                                        &actx,
+                                        &cur_chunk,
+                                        &mut scratch,
+                                        &mut cur,
+                                    );
+                                    ctx.credit_overlap(issue, extend);
+                                } else {
+                                    if cfg.queue_gate {
+                                        ctx.await_batches(cur_pending.0, cur_pending.1);
+                                    }
+                                    extend_read_chunk(
+                                        ctx,
+                                        &actx,
+                                        &cur_chunk,
+                                        &mut scratch,
+                                        &mut cur,
+                                    );
+                                }
+                                // Same completion model as lockstep: the
+                                // mirror horizon stands in for the queue
+                                // delay the live clock cannot see.
+                                let done = ctx.now_ns().max(ctx.queue_eta_ns());
+                                for (((orig_idx, _), arr), outcome) in cur_chunk
+                                    .iter()
+                                    .zip(&cur_arr)
+                                    .zip(drain_chunk_outcomes(&mut cur))
+                                {
+                                    acc.latency.push(done - arr);
+                                    acc.record(store_ref, cfg, *orig_idx, outcome);
+                                }
+                                std::mem::swap(&mut cur, &mut next);
+                                cur_chunk = next_chunk;
+                                cur_arr = next_arr;
+                                cur_pending = next_pending;
+                            }
                         }
                     }
-                    OverlapMode::DoubleBuffer => {
-                        // Software pipeline: chunk k+1's lookup/fetch
-                        // batches go out (non-blocking sends into the
-                        // owner-side event queues) while chunk k extends;
-                        // with queue gating on, chunk k's extension first
-                        // stalls until k's batches have actually
-                        // completed service at their destination nodes —
-                        // the issue window is the slack that absorbs the
-                        // queue delay — net of the overlap credit for
-                        // the comm hidden behind the extension. The
-                        // issue/extend op sequence per chunk is
-                        // unchanged — placements and cache state match
-                        // Lockstep bit for bit.
-                        let mut cur = ChunkState::default();
-                        let mut next = ChunkState::default();
-                        let mut pos = 0usize;
-                        let mut cur_range = 0usize..0usize;
-                        let mut cur_pending = (ctx.batch_mark(), ctx.batch_mark());
-                        if !reads.is_empty() {
-                            let end = chunk_reads.min(reads.len());
-                            let from = ctx.batch_mark();
-                            issue_read_chunk(ctx, &actx, &reads[..end], &mut scratch, &mut cur);
-                            cur_pending = (from, ctx.batch_mark());
-                            cur_range = 0..end;
-                            pos = end;
-                            adapt(ctx, &mut chunk_reads);
-                        }
-                        while !cur_range.is_empty() {
-                            let next_range = pos..pos.saturating_add(chunk_reads).min(reads.len());
-                            let mut next_pending = (ctx.batch_mark(), ctx.batch_mark());
-                            if !next_range.is_empty() {
-                                let issue = ctx.overlap_mark();
-                                let from = ctx.batch_mark();
-                                issue_read_chunk(
-                                    ctx,
-                                    &actx,
-                                    &reads[next_range.clone()],
-                                    &mut scratch,
-                                    &mut next,
-                                );
-                                next_pending = (from, ctx.batch_mark());
+                } else {
+                    match cfg.overlap_mode {
+                        OverlapMode::Lockstep => {
+                            let mut outcomes: Vec<QueryOutcome> = Vec::new();
+                            let mut pos = 0usize;
+                            while pos < reads.len() {
+                                let end = pos.saturating_add(chunk_reads).min(reads.len());
+                                let chunk = &reads[pos..end];
+                                process_read_chunk(ctx, &actx, chunk, &mut scratch, &mut outcomes);
+                                for ((orig_idx, _), outcome) in chunk.iter().zip(outcomes.drain(..))
+                                {
+                                    acc.record(store_ref, cfg, *orig_idx, outcome);
+                                }
                                 adapt(ctx, &mut chunk_reads);
-                                // Gate before taking the extend mark: the
-                                // completion checks belong to the issue
-                                // window, so the overlap credit measures
-                                // the extension alone and gated exposure
-                                // is exactly ungated exposure + stall.
-                                if cfg.queue_gate {
-                                    ctx.await_batches(cur_pending.0, cur_pending.1);
-                                }
-                                let extend = ctx.overlap_mark();
-                                extend_read_chunk(
-                                    ctx,
-                                    &actx,
-                                    &reads[cur_range.clone()],
-                                    &mut scratch,
-                                    &mut cur,
-                                );
-                                ctx.credit_overlap(issue, extend);
-                            } else {
-                                if cfg.queue_gate {
-                                    ctx.await_batches(cur_pending.0, cur_pending.1);
-                                }
-                                extend_read_chunk(
-                                    ctx,
-                                    &actx,
-                                    &reads[cur_range.clone()],
-                                    &mut scratch,
-                                    &mut cur,
-                                );
+                                pos = end;
                             }
-                            for ((orig_idx, _), outcome) in reads[cur_range.clone()]
-                                .iter()
-                                .zip(drain_chunk_outcomes(&mut cur))
-                            {
-                                acc.record(store_ref, cfg, *orig_idx, outcome);
+                        }
+                        OverlapMode::DoubleBuffer => {
+                            // Software pipeline: chunk k+1's lookup/fetch
+                            // batches go out (non-blocking sends into the
+                            // owner-side event queues) while chunk k extends;
+                            // with queue gating on, chunk k's extension first
+                            // stalls until k's batches have actually
+                            // completed service at their destination nodes —
+                            // the issue window is the slack that absorbs the
+                            // queue delay — net of the overlap credit for
+                            // the comm hidden behind the extension. The
+                            // issue/extend op sequence per chunk is
+                            // unchanged — placements and cache state match
+                            // Lockstep bit for bit.
+                            let mut cur = ChunkState::default();
+                            let mut next = ChunkState::default();
+                            let mut pos = 0usize;
+                            let mut cur_range = 0usize..0usize;
+                            let mut cur_pending = (ctx.batch_mark(), ctx.batch_mark());
+                            if !reads.is_empty() {
+                                let end = chunk_reads.min(reads.len());
+                                let from = ctx.batch_mark();
+                                issue_read_chunk(ctx, &actx, &reads[..end], &mut scratch, &mut cur);
+                                cur_pending = (from, ctx.batch_mark());
+                                cur_range = 0..end;
+                                pos = end;
+                                adapt(ctx, &mut chunk_reads);
                             }
-                            std::mem::swap(&mut cur, &mut next);
-                            pos = next_range.end;
-                            cur_range = next_range;
-                            cur_pending = next_pending;
+                            while !cur_range.is_empty() {
+                                let next_range =
+                                    pos..pos.saturating_add(chunk_reads).min(reads.len());
+                                let mut next_pending = (ctx.batch_mark(), ctx.batch_mark());
+                                if !next_range.is_empty() {
+                                    let issue = ctx.overlap_mark();
+                                    let from = ctx.batch_mark();
+                                    issue_read_chunk(
+                                        ctx,
+                                        &actx,
+                                        &reads[next_range.clone()],
+                                        &mut scratch,
+                                        &mut next,
+                                    );
+                                    next_pending = (from, ctx.batch_mark());
+                                    adapt(ctx, &mut chunk_reads);
+                                    // Gate before taking the extend mark: the
+                                    // completion checks belong to the issue
+                                    // window, so the overlap credit measures
+                                    // the extension alone and gated exposure
+                                    // is exactly ungated exposure + stall.
+                                    if cfg.queue_gate {
+                                        ctx.await_batches(cur_pending.0, cur_pending.1);
+                                    }
+                                    let extend = ctx.overlap_mark();
+                                    extend_read_chunk(
+                                        ctx,
+                                        &actx,
+                                        &reads[cur_range.clone()],
+                                        &mut scratch,
+                                        &mut cur,
+                                    );
+                                    ctx.credit_overlap(issue, extend);
+                                } else {
+                                    if cfg.queue_gate {
+                                        ctx.await_batches(cur_pending.0, cur_pending.1);
+                                    }
+                                    extend_read_chunk(
+                                        ctx,
+                                        &actx,
+                                        &reads[cur_range.clone()],
+                                        &mut scratch,
+                                        &mut cur,
+                                    );
+                                }
+                                for ((orig_idx, _), outcome) in reads[cur_range.clone()]
+                                    .iter()
+                                    .zip(drain_chunk_outcomes(&mut cur))
+                                {
+                                    acc.record(store_ref, cfg, *orig_idx, outcome);
+                                }
+                                std::mem::swap(&mut cur, &mut next);
+                                pos = next_range.end;
+                                cur_range = next_range;
+                                cur_pending = next_pending;
+                            }
                         }
                     }
                 }
@@ -438,12 +792,7 @@ pub fn run_pipeline(
                     acc.record(store_ref, cfg, *orig_idx, outcome);
                 }
             }
-            (
-                acc.placements,
-                acc.exact_path,
-                acc.alignments_total,
-                acc.collected,
-            )
+            acc
         })
     };
 
@@ -454,16 +803,28 @@ pub fn run_pipeline(
     let mut exact_path_reads = 0u64;
     let mut alignments_total = 0u64;
     let mut alignments = Vec::new();
-    for (rank_placements, exact, total, collected) in per_rank {
-        for (idx, pl, lost, failed_over) in rank_placements {
+    let mut shed_flags = vec![false; n_reads];
+    let mut expired_flags = vec![false; n_reads];
+    let mut read_latency = Vec::new();
+    for acc in per_rank {
+        for (idx, pl, lost, failed_over) in acc.placements {
             placements[idx as usize] = pl;
             lost_flags[idx as usize] = lost;
             failover_flags[idx as usize] = failed_over;
         }
-        exact_path_reads += exact;
-        alignments_total += total;
-        alignments.extend(collected);
+        exact_path_reads += acc.exact_path;
+        alignments_total += acc.alignments_total;
+        alignments.extend(acc.collected);
+        for idx in acc.shed {
+            shed_flags[idx as usize] = true;
+        }
+        for idx in acc.expired {
+            expired_flags[idx as usize] = true;
+        }
+        read_latency.extend(acc.latency);
     }
+    let shed_reads = shed_flags.iter().filter(|&&s| s).count();
+    let expired_reads = expired_flags.iter().filter(|&&e| e).count();
     let aligned_reads = placements.iter().filter(|p| p.is_some()).count();
     // A read that lost owner-side data at the wire either got it back
     // from a surviving replica (failover), still aligned from surviving
@@ -492,6 +853,7 @@ pub fn run_pipeline(
     if let Some(p) = phases.iter_mut().rev().find(|p| p.name == "align") {
         p.fault_summary.degraded_reads = degraded_reads as u64;
         p.fault_summary.recovered_reads = recovered_reads as u64;
+        p.read_latency_ns = read_latency;
     }
 
     PipelineResult {
@@ -504,6 +866,10 @@ pub fn run_pipeline(
         recovered_reads,
         degraded_reads,
         owner_lost,
+        shed_reads,
+        expired_reads,
+        shed: shed_flags,
+        expired: expired_flags,
         index_distinct_seeds: index.distinct_seeds(),
         index_total_entries: index.total_entries(),
         index_balance: index.partition_balance(),

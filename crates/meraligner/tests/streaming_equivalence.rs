@@ -1,0 +1,237 @@
+//! Equivalence property tests for the streaming front-end: arrivals,
+//! deadlines, and the admission controller may move *time* and may
+//! refuse work, but the degenerate configuration must be the batch
+//! pipeline bit for bit, and every refusal must be deterministic and
+//! accounted.
+//!
+//! * **Identity anchor**: `PipelineMode::Streaming` with all-at-zero
+//!   arrivals, infinite deadlines, and admission off reproduces the
+//!   batch pipeline exactly — placements, cache state, every message
+//!   and batch counter, and the simulated clock — across queue gating ×
+//!   handler policy × overlap mode × replication × ppn.
+//! * **Determinism**: shed and expired sets are pure functions of the
+//!   config — sequential and parallel execution agree, and running the
+//!   same congested config twice is bit-identical, latencies included.
+//! * **Conservation**: under overload every arrival still ends in
+//!   exactly one outcome class (aligned / clean-unaligned /
+//!   fault-degraded / shed / expired), and overload outcomes never
+//!   carry the owner-lost marking that fault outcomes do.
+
+use meraligner::{
+    run_pipeline, ArrivalModel, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig,
+    PipelineMode, ReplicationMode,
+};
+use proptest::prelude::*;
+
+/// Everything the degenerate-streaming run must keep bit-identical to
+/// batch (mirrors the chaos- and replica-equivalence profiles).
+fn result_profile(res: &meraligner::PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    let agg = res.align_phase().unwrap().aggregate();
+    (
+        res.placements.clone(),
+        res.exact_path_reads,
+        res.alignments_total,
+        (
+            agg.msgs_remote,
+            agg.msgs_local,
+            agg.bytes_remote,
+            agg.bytes_local,
+            agg.node_batches,
+            agg.node_batch_seeds,
+            agg.target_batches,
+            agg.target_batch_refs,
+        ),
+        (
+            agg.seed_cache_hits,
+            agg.seed_cache_misses,
+            agg.target_cache_hits,
+            agg.target_cache_misses,
+            agg.exact_hash_checks,
+            agg.exact_hash_skips,
+        ),
+    )
+}
+
+/// Everything a congested streaming run must reproduce run-to-run:
+/// outcomes, flags, the clock, and the full latency trace.
+fn stream_profile(res: &meraligner::PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        res.placements.clone(),
+        res.shed.clone(),
+        res.expired.clone(),
+        res.owner_lost.clone(),
+        (res.aligned_reads, res.shed_reads, res.expired_reads),
+        res.align_seconds(),
+        res.read_latency_ns().to_vec(),
+    )
+}
+
+/// The bench harness's congested cost model: handler dispatch and
+/// per-item routing two to three orders of magnitude above the
+/// calibrated defaults, so owner-side queues actually back up.
+fn congest(cfg: &mut PipelineConfig) {
+    cfg.cost.handler_dispatch_ns = 200_000.0;
+    cfg.cost.node_route_ns_per_seed = 60.0;
+    cfg.cost.target_route_ns_per_ref = 60.0;
+}
+
+/// A congested streaming config with admission control and deadlines
+/// engaged, calibrated so a 12-rank run sheds reliably: small fixed
+/// chunks (admission observes queue pressure once per chunk — Auto
+/// chunking at this scale would admit most reads before the mirror
+/// reports overload) and an empty defer band (deferral only reorders
+/// work to end-of-stream; refusing is what relieves the backlog).
+fn overloaded_cfg(ranks: usize, ppn: usize, k: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(ranks, ppn, k);
+    cfg.sequential = false;
+    cfg.pipeline_mode = PipelineMode::Streaming;
+    cfg.arrival = ArrivalModel::Seeded {
+        seed: 7,
+        mean_gap_ns: 2_000.0,
+    };
+    cfg.stream_deadline_ns = 40_000_000.0;
+    cfg.stream_flush_ns = 100_000.0;
+    cfg.stream_admission = true;
+    cfg.stream_shed_ratio = 1.0;
+    cfg.stream_defer_ratio = 1.0;
+    cfg.lookup_chunk = LookupChunk::Fixed(32);
+    congest(&mut cfg);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The load-bearing identity: streaming with every knob at its
+    // degenerate default is the batch pipeline, bit for bit, clock
+    // included — the front-end adds accounting, never behavior.
+    #[test]
+    fn degenerate_streaming_is_the_batch_pipeline(
+        seed in 1u64..500,
+        ppn_sel in 0usize..2,
+        policy_sel in 0usize..4,
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+        replicated in proptest::bool::ANY,
+    ) {
+        let ppn = [6usize, 24][ppn_sel];
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let mut cfg = PipelineConfig::new(48, ppn, d.k);
+        cfg.handler_policy = HandlerPolicy::ALL[policy_sel];
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+        if replicated {
+            cfg.replication = ReplicationMode::Full(2);
+        }
+        let batch = run_pipeline(&cfg, &tdb, &qdb);
+
+        let mut streaming = cfg.clone();
+        streaming.pipeline_mode = PipelineMode::Streaming;
+        let res = run_pipeline(&streaming, &tdb, &qdb);
+
+        prop_assert_eq!(result_profile(&res), result_profile(&batch));
+        prop_assert_eq!(res.align_seconds(), batch.align_seconds());
+        prop_assert_eq!(res.sim_seconds(), batch.sim_seconds());
+        prop_assert_eq!(&res.owner_lost, &batch.owner_lost);
+        prop_assert_eq!((res.shed_reads, res.expired_reads), (0, 0));
+        // Streaming measures what batch doesn't: one latency per read.
+        prop_assert_eq!(res.read_latency_ns().len(), res.total_reads);
+        prop_assert_eq!(batch.read_latency_ns().len(), 0);
+        prop_assert!(res.read_latency_ns().iter().all(|&l| l > 0.0));
+        res.assert_read_conservation();
+        batch.assert_read_conservation();
+    }
+
+    // Shed and expired sets are pure functions of the config: the same
+    // congested run replays identically whether ranks execute
+    // sequentially or in parallel, and run-to-run — latencies included.
+    #[test]
+    fn overload_outcomes_are_schedule_deterministic(
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+    ) {
+        let d = genome::human_like(0.0015, 99);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        let mut cfg = overloaded_cfg(12, 6, d.k);
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+
+        let mut seq = cfg.clone();
+        seq.sequential = true;
+        let a = run_pipeline(&seq, &tdb, &qdb);
+        let b = run_pipeline(&cfg, &tdb, &qdb);
+        let c = run_pipeline(&cfg, &tdb, &qdb);
+
+        prop_assert_eq!(stream_profile(&a), stream_profile(&b));
+        prop_assert_eq!(stream_profile(&b), stream_profile(&c));
+        a.assert_read_conservation();
+        b.assert_read_conservation();
+    }
+
+    // Under overload the controller actually sheds, refusals stay in
+    // their own outcome classes (never aliasing fault degradation), and
+    // every arrival is conserved. Healthy streaming with the same
+    // admission knobs sheds nothing.
+    #[test]
+    fn overload_sheds_deterministically_and_conserves_reads(
+        seed in 1u64..500,
+        overlap_sel in 0usize..2,
+    ) {
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        let mut congested = overloaded_cfg(12, 6, d.k);
+        congested.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+
+        let res = run_pipeline(&congested, &tdb, &qdb);
+        res.assert_read_conservation();
+        prop_assert!(
+            res.shed_reads > 0,
+            "congested run must shed (shed {}, expired {})",
+            res.shed_reads, res.expired_reads
+        );
+        // Refusals are overload outcomes, not fault outcomes: no shed or
+        // expired read carries a placement or the owner-lost marking.
+        for i in 0..res.total_reads {
+            if res.shed[i] || res.expired[i] {
+                prop_assert!(res.placements[i].is_none());
+                prop_assert!(!res.owner_lost[i]);
+            }
+        }
+        // Only low-priority reads are ever shed.
+        for (i, &s) in res.shed.iter().enumerate() {
+            if s {
+                prop_assert!(pgas::sim::low_priority(
+                    congested.stream_priority_seed,
+                    i as u32,
+                    congested.stream_low_priority_pct
+                ));
+            }
+        }
+        // Latencies exist exactly for the reads that went through.
+        prop_assert_eq!(
+            res.read_latency_ns().len(),
+            res.total_reads - res.shed_reads - res.expired_reads
+        );
+
+        // The same admission knobs on a healthy machine refuse nothing
+        // and reproduce the healthy batch placements.
+        let mut healthy = congested.clone();
+        healthy.cost = PipelineConfig::new(12, 6, d.k).cost;
+        healthy.arrival = ArrivalModel::AllAtZero;
+        healthy.stream_deadline_ns = f64::INFINITY;
+        healthy.stream_flush_ns = f64::INFINITY;
+        let h = run_pipeline(&healthy, &tdb, &qdb);
+        h.assert_read_conservation();
+        prop_assert_eq!((h.shed_reads, h.expired_reads), (0, 0));
+        let mut batch = PipelineConfig::new(12, 6, d.k);
+        batch.sequential = false;
+        batch.overlap_mode = congested.overlap_mode;
+        let b = run_pipeline(&batch, &tdb, &qdb);
+        prop_assert_eq!(&h.placements, &b.placements);
+    }
+}

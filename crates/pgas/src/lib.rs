@@ -50,8 +50,8 @@ pub use cost::CostModel;
 pub use machine::{BatchId, BatchMark, Machine, MachineConfig, OverlapMark, PhaseReport, RankCtx};
 pub use shared::{GlobalRef, ReservationStack, SharedArray};
 pub use sim::{
-    CompiledFaults, EventKind, FaultKind, FaultPlan, FaultSpec, FaultSummary, NodeQueue,
-    QueueReport, RetryPolicy, ServicedBatch, SimEvent,
+    ArrivalModel, CompiledFaults, EventKind, FaultKind, FaultPlan, FaultSpec, FaultSummary,
+    NodeQueue, QueueReport, RetryPolicy, ServicedBatch, SimEvent,
 };
 pub use stats::{CommTag, CompTag, RankStats, COMM_TAGS, COMP_TAGS};
 pub use topology::{HandlerPolicy, ReplicaMap, Topology};

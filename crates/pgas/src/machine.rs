@@ -98,6 +98,13 @@ pub struct PhaseReport {
     /// a fault plan; `degraded_reads` is filled by the pipeline (the
     /// machine does not know what a read is).
     pub fault_summary: FaultSummary,
+    /// Per-read read-to-alignment latencies (ns: completion on the
+    /// issuing rank's simulated clock minus the read's arrival). Empty
+    /// for batch phases and for phases that are not an alignment front
+    /// end; filled post-hoc by the streaming pipeline, the same way
+    /// `fault_summary`'s read counts are (the machine does not know what
+    /// a read is).
+    pub read_latency_ns: Vec<f64>,
 }
 
 impl PhaseReport {
@@ -300,6 +307,7 @@ impl Machine {
                 mirror_free: Vec::new(),
                 mirror_wait_ns: 0.0,
                 mirror_service_ns: 0.0,
+                deadline_budget_ns: f64::INFINITY,
                 faults: compiled.as_ref(),
                 retry: self.retry,
                 replicas: self.replicas,
@@ -352,6 +360,7 @@ impl Machine {
             rank_stats,
             node_service,
             fault_summary,
+            read_latency_ns: Vec::new(),
         });
         outs
     }
@@ -455,14 +464,19 @@ impl Machine {
                             } else {
                                 // The owner is down and no replica
                                 // survives: every retry times out and the
-                                // sender gives up after its full budget.
+                                // sender gives up — after its full budget,
+                                // or earlier when the batch carries a
+                                // finite read-deadline budget the full
+                                // ladder would overshoot.
                                 summary.failed += 1;
-                                let attempts = u64::from(self.retry.max_retries);
+                                let (tries, give_up) =
+                                    self.retry.deadline_capped_give_up(ev.deadline_budget_ns);
+                                let attempts = u64::from(tries);
                                 summary.retried += attempts;
                                 let resend = self.cost.retry_resend_ns(ev.items);
                                 rank_stats[r].retries += attempts;
                                 rank_stats[r].retry_ns += attempts as f64 * resend;
-                                lost_delay[r][s] = Some(self.retry.give_up_ns());
+                                lost_delay[r][s] = Some(give_up);
                             }
                         }
                     }
@@ -758,6 +772,11 @@ pub struct RankCtx<'a> {
     mirror_wait_ns: f64,
     /// Service demand this rank's own batches carried (ns).
     mirror_service_ns: f64,
+    /// Remaining read-deadline budget stamped onto subsequently issued
+    /// batches ([`RankCtx::set_deadline_budget_ns`]); `INFINITY` (the
+    /// default, and the batch pipeline's only value) leaves the retry
+    /// engine's give-up ladder untouched.
+    deadline_budget_ns: f64,
     /// The phase's compiled fault schedule (None without a fault plan).
     faults: Option<&'a CompiledFaults>,
     /// Sender-side recovery policy in force for lost batches.
@@ -1055,6 +1074,7 @@ impl RankCtx<'_> {
             items,
             arrival_ns,
             service_ns,
+            deadline_budget_ns: self.deadline_budget_ns,
         });
         BatchId(seq)
     }
@@ -1185,6 +1205,53 @@ impl RankCtx<'_> {
     #[inline]
     pub fn queue_pressure(&self) -> (f64, f64) {
         (self.mirror_wait_ns, self.mirror_service_ns)
+    }
+
+    /// The congestion mirror's completion horizon (ns on this rank's
+    /// phase clock): when the most-backlogged destination queue would
+    /// finish draining the batches this rank has issued so far, under
+    /// the same SPMD-symmetry model as [`RankCtx::queue_pressure`]. On
+    /// queues that drain between chunks this sits just past the last
+    /// issue; under sustained overload it runs arbitrarily far ahead of
+    /// the clock. The streaming front-end folds it into
+    /// read-to-alignment latency, because the live rank clock excludes
+    /// the two places congestion actually lands (handler busy time and
+    /// gate stalls are post-phase computations). Deterministic and
+    /// rank-local; `0` before any off-node batch.
+    #[inline]
+    pub fn queue_eta_ns(&self) -> f64 {
+        self.mirror_free.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// This rank's simulated clock so far: total charged time (ns from
+    /// phase start). The streaming front-end reads it to timestamp read
+    /// completions and to test arrivals/deadlines against the clock.
+    #[inline]
+    pub fn now_ns(&self) -> f64 {
+        self.stats.total_ns()
+    }
+
+    /// Charge `ns` of stream-arrival idle wait: the rank's clock ran
+    /// ahead of its input stream and it blocked for the next read. Lands
+    /// in [`RankStats::stream_wait_ns`] (enters the phase total, not
+    /// exposed communication). Negative or zero charges are ignored — an
+    /// already-arrived read costs nothing to pick up.
+    #[inline]
+    pub fn charge_stream_wait(&mut self, ns: f64) {
+        if ns > 0.0 {
+            self.stats.stream_wait_ns += ns;
+        }
+    }
+
+    /// Stamp the remaining read-deadline budget (ns) onto every off-node
+    /// batch issued from here on: the retry engine will not ride a
+    /// give-up ladder past it
+    /// ([`RetryPolicy::deadline_capped_give_up`]). `INFINITY` (the
+    /// default) restores the uncapped ladder; the batch pipeline never
+    /// calls this.
+    #[inline]
+    pub fn set_deadline_budget_ns(&mut self, ns: f64) {
+        self.deadline_budget_ns = ns;
     }
 
     /// Snapshot this rank's charged comm/comp — a window delimiter for
@@ -1694,6 +1761,25 @@ mod tests {
                 let (w, s) = ctx.queue_pressure();
                 assert!(s > 0.0);
                 assert!(w > 0.0, "back-to-back sends must mirror a backlog");
+            }
+        });
+    }
+
+    #[test]
+    fn queue_eta_tracks_the_mirror_horizon() {
+        let mut m = Machine::new(MachineConfig::new(8, 4));
+        m.phase("eta", |ctx| {
+            if ctx.rank == 0 {
+                assert_eq!(ctx.queue_eta_ns(), 0.0, "no batches, no horizon");
+                let lead = ctx.topo().lead_rank(1);
+                ctx.charge_lookup_node_batch(lead, 100, 2400, CommTag::SeedLookup);
+                let eta1 = ctx.queue_eta_ns();
+                // The horizon sits past the clock: the issued batch still
+                // has to drain behind the mirrored senders' traffic.
+                assert!(eta1 > ctx.now_ns());
+                ctx.charge_lookup_node_batch(lead, 100, 2400, CommTag::SeedLookup);
+                let eta2 = ctx.queue_eta_ns();
+                assert!(eta2 > eta1, "each batch pushes the horizon out");
             }
         });
     }

@@ -25,6 +25,11 @@
 //!   compiled per-node/per-phase schedules (handler slowdowns, dropped
 //!   batches, dead nodes) that the replay consults per event, plus the
 //!   sender-side [`RetryPolicy`] pricing timeout/backoff recovery.
+//! * [`arrival`] — [`ArrivalModel`], deterministic seeded read-arrival
+//!   streams for the streaming front-end: per-rank arrival timestamps and
+//!   the admission controller's priority coins, pure functions of
+//!   `(seed, rank/read id, index)` exactly like the fault predicates —
+//!   sequential and parallel execution see identical streams.
 //! * [`service`] — [`service_phase`], the per-phase post-pass
 //!   [`Machine::phase`](crate::Machine::phase) runs after all ranks finish:
 //!   it routes every recorded event to its destination node's queue, runs
@@ -73,11 +78,13 @@
 //! pass runs after the barrier over the recorded traces and wait points —
 //! a deterministic fixed-point iteration, independent of host scheduling.
 
+pub mod arrival;
 pub mod event;
 pub mod fault;
 pub mod queue;
 pub mod service;
 
+pub use arrival::{low_priority, ArrivalModel};
 pub use event::{EventKind, SimEvent};
 pub use fault::{
     splitmix64, CompiledFaults, FaultKind, FaultPlan, FaultSpec, FaultSummary, Lost, RetryPolicy,

@@ -1,0 +1,165 @@
+//! Deterministic per-rank read-arrival streams for the streaming
+//! front-end.
+//!
+//! A batch pipeline owns all of its input up front; a *serving* pipeline
+//! sees reads arrive over time and buys per-read latency, not aggregate
+//! bandwidth. [`ArrivalModel`] places every read's arrival on the
+//! simulated clock as a pure function of `(seed, rank, index)` mixed
+//! through [`splitmix64`] — no OS entropy, no global state — so
+//! sequential and parallel phase execution see identical streams and a
+//! model replays bit-identically, exactly like
+//! [`FaultPlan`](crate::sim::fault::FaultPlan).
+//!
+//! The load-bearing identity anchor mirrors `FaultPlan::none()`:
+//! [`ArrivalModel::AllAtZero`] (the default) puts every arrival at
+//! `t = 0`, which makes a streaming front-end that admits everything
+//! degenerate to the batch pipeline — no arrival ever postdates the
+//! rank's clock, so no wait is charged and chunk formation reduces to
+//! pure size.
+
+use crate::sim::fault::splitmix64;
+
+/// Fold `word` into `acc` through one splitmix64 step.
+#[inline]
+fn mix(acc: u64, word: u64) -> u64 {
+    splitmix64(acc ^ word)
+}
+
+/// Map a splitmix64 output to a unit float in `[0, 1)` (53 mantissa bits).
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// When each of a rank's reads arrives on the simulated clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ArrivalModel {
+    /// Every read is present at phase start (`t = 0`): the degenerate
+    /// model under which streaming is bit-identical to batch. The
+    /// default.
+    #[default]
+    AllAtZero,
+    /// Seeded open-loop stream: read `i` of a rank arrives after `i`
+    /// independent inter-arrival gaps, each uniform in
+    /// `[0, 2 · mean_gap_ns)` from a splitmix64 coin keyed on
+    /// `(seed, rank, i)` — mean rate `1 / mean_gap_ns`, schedule- and
+    /// run-independent.
+    Seeded {
+        /// Seed of the stream's deterministic RNG.
+        seed: u64,
+        /// Mean inter-arrival gap (ns); the stream's long-run rate is its
+        /// reciprocal.
+        mean_gap_ns: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Whether this is the identity model (everything at `t = 0`).
+    pub fn is_all_at_zero(&self) -> bool {
+        matches!(self, ArrivalModel::AllAtZero)
+    }
+
+    /// The arrival times (ns from phase start) of a rank's `n` reads, in
+    /// stream order: nondecreasing, starting at the first gap. A pure
+    /// function of `(model, rank, n)`.
+    pub fn schedule(&self, rank: usize, n: usize) -> Vec<f64> {
+        match *self {
+            ArrivalModel::AllAtZero => vec![0.0; n],
+            ArrivalModel::Seeded { seed, mean_gap_ns } => {
+                let rank_seed = mix(seed, rank as u64);
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|i| {
+                        let coin = mix(rank_seed, i as u64);
+                        t += 2.0 * mean_gap_ns * unit_f64(coin);
+                        t
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Deterministic priority coin for the admission controller: whether the
+/// read with global id `read_id` is *low* priority, with `pct` percent of
+/// reads low on average. Keyed on the global id (not the rank), so the
+/// class survives any read-to-rank redistribution. `pct >= 100` makes
+/// every read low priority; `0` none.
+#[inline]
+pub fn low_priority(seed: u64, read_id: u32, pct: u32) -> bool {
+    if pct >= 100 {
+        return true;
+    }
+    mix(seed, u64::from(read_id)) % 100 < u64::from(pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_at_zero_is_all_zeros() {
+        let m = ArrivalModel::default();
+        assert!(m.is_all_at_zero());
+        assert_eq!(m.schedule(3, 4), vec![0.0; 4]);
+        assert_eq!(m.schedule(0, 0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn seeded_schedule_is_pure_and_nondecreasing() {
+        let m = ArrivalModel::Seeded {
+            seed: 42,
+            mean_gap_ns: 1_000.0,
+        };
+        let a = m.schedule(5, 256);
+        assert_eq!(a, m.schedule(5, 256), "same inputs, same stream");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "nondecreasing");
+        assert!(a[0] >= 0.0);
+        // A prefix of a longer stream is the same stream: read i's arrival
+        // never depends on how many reads follow it.
+        let longer = m.schedule(5, 512);
+        assert_eq!(&longer[..256], &a[..]);
+    }
+
+    #[test]
+    fn seeded_schedule_tracks_the_mean_rate() {
+        let m = ArrivalModel::Seeded {
+            seed: 7,
+            mean_gap_ns: 1_000.0,
+        };
+        let n = 4096;
+        let a = m.schedule(0, n);
+        let mean_gap = a.last().unwrap() / n as f64;
+        assert!(
+            (800.0..1200.0).contains(&mean_gap),
+            "mean gap {mean_gap} strays from 1000"
+        );
+    }
+
+    #[test]
+    fn seeded_schedule_depends_on_seed_and_rank() {
+        let m1 = ArrivalModel::Seeded {
+            seed: 1,
+            mean_gap_ns: 100.0,
+        };
+        let m2 = ArrivalModel::Seeded {
+            seed: 2,
+            mean_gap_ns: 100.0,
+        };
+        assert_ne!(m1.schedule(0, 32), m2.schedule(0, 32), "seed moves it");
+        assert_ne!(m1.schedule(0, 32), m1.schedule(1, 32), "rank moves it");
+    }
+
+    #[test]
+    fn low_priority_is_pure_and_roughly_pct() {
+        let n = 10_000u32;
+        let low = (0..n).filter(|&i| low_priority(9, i, 30)).count();
+        // p = 0.3 over 10k coins: accept a generous band.
+        assert!((2_500..3_500).contains(&low), "low {low}");
+        for i in 0..64 {
+            assert_eq!(low_priority(9, i, 30), low_priority(9, i, 30));
+        }
+        assert!((0..n).all(|i| low_priority(9, i, 100)));
+        assert!(!(0..n).any(|i| low_priority(9, i, 0)));
+    }
+}

@@ -39,6 +39,13 @@ pub struct SimEvent {
     pub arrival_ns: f64,
     /// Service demand: dispatch + items × per-item handler rate (ns).
     pub service_ns: f64,
+    /// Remaining read-deadline budget the sender had when it issued the
+    /// batch (ns): the retry engine will not ride a give-up ladder past
+    /// it ([`RetryPolicy::deadline_capped_give_up`]
+    /// (crate::sim::fault::RetryPolicy::deadline_capped_give_up)).
+    /// `f64::INFINITY` — the batch pipeline, or a streaming read with no
+    /// deadline — leaves the ladder untouched, bit for bit.
+    pub deadline_budget_ns: f64,
 }
 
 impl SimEvent {
@@ -69,6 +76,7 @@ mod tests {
             items: 1,
             arrival_ns,
             service_ns: 1.0,
+            deadline_budget_ns: f64::INFINITY,
         }
     }
 

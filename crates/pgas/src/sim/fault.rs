@@ -306,6 +306,25 @@ impl RetryPolicy {
     pub fn give_up_ns(&self) -> f64 {
         f64::from(self.max_retries + 1) * self.timeout_ns + self.backoff_sum_ns(self.max_retries)
     }
+
+    /// [`RetryPolicy::give_up_ns`] capped by a remaining deadline budget:
+    /// the longest retry ladder (`attempts <= max_retries`) whose total
+    /// delay still fits `budget_ns`, and that ladder's delay — a sender
+    /// whose reads' deadline is nearly dead stops re-sending into the
+    /// void instead of riding the full ladder past it. An infinite budget
+    /// (the default — batch mode, or streaming with infinite deadlines)
+    /// returns exactly `(max_retries, give_up_ns())`, bit for bit. Even a
+    /// dead budget pays one timeout: the loss cannot be detected faster.
+    pub fn deadline_capped_give_up(&self, budget_ns: f64) -> (u32, f64) {
+        let ladder = |attempts: u32| {
+            f64::from(attempts + 1) * self.timeout_ns + self.backoff_sum_ns(attempts)
+        };
+        let mut attempts = self.max_retries;
+        while attempts > 0 && ladder(attempts) > budget_ns {
+            attempts -= 1;
+        }
+        (attempts, ladder(attempts))
+    }
 }
 
 /// Per-phase fault accounting, reported in `PhaseReport::fault_summary`.
@@ -359,6 +378,7 @@ mod tests {
             items: 4,
             arrival_ns,
             service_ns: 100.0,
+            deadline_budget_ns: f64::INFINITY,
         }
     }
 
@@ -521,6 +541,27 @@ mod tests {
         assert_eq!(p.give_up_ns(), 3_300.0);
         let d = RetryPolicy::default();
         assert!(d.timeout_ns > 0.0 && d.max_retries > 0 && d.backoff_ns > 0.0);
+    }
+
+    #[test]
+    fn deadline_cap_trims_the_give_up_ladder() {
+        let p = RetryPolicy {
+            timeout_ns: 1_000.0,
+            max_retries: 2,
+            backoff_ns: 100.0,
+        };
+        // Infinite budget: bit-identical to the uncapped ladder.
+        assert_eq!(
+            p.deadline_capped_give_up(f64::INFINITY),
+            (2, p.give_up_ns())
+        );
+        // Exactly the full ladder still fits.
+        assert_eq!(p.deadline_capped_give_up(3_300.0), (2, 3_300.0));
+        // One retry fits (2 timeouts + 100 backoff = 2100), two don't.
+        assert_eq!(p.deadline_capped_give_up(3_299.0), (1, 2_100.0));
+        // A dead deadline still pays the one detection timeout.
+        assert_eq!(p.deadline_capped_give_up(0.0), (0, 1_000.0));
+        assert_eq!(p.deadline_capped_give_up(500.0), (0, 1_000.0));
     }
 
     #[test]

@@ -148,6 +148,7 @@ mod tests {
             items: 2,
             arrival_ns,
             service_ns,
+            deadline_budget_ns: f64::INFINITY,
         }
     }
 

@@ -48,6 +48,7 @@ mod tests {
             items: 1,
             arrival_ns,
             service_ns,
+            deadline_budget_ns: f64::INFINITY,
         }
     }
 

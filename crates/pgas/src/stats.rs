@@ -127,6 +127,15 @@ pub struct RankStats {
     /// Re-send attempts the retry engine issued for this rank's lost
     /// batches.
     pub retries: u64,
+    /// Nanoseconds the streaming front-end spent idle waiting for the
+    /// next read to *arrive* (its rank clock ran ahead of the arrival
+    /// stream). Zero for the batch pipeline and under the degenerate
+    /// all-at-zero arrival model — an arrival at `t = 0` never postdates
+    /// the clock — which keeps degenerate streaming bit-identical to
+    /// batch. Counts into [`RankStats::total_ns`] (the rank really is
+    /// blocked) but **not** into [`RankStats::comm_exposed_ns`]: waiting
+    /// for input is not communication.
+    pub stream_wait_ns: f64,
     /// Failover-resolution nanoseconds for this rank's permanently lost
     /// batches that a surviving shard replica absorbed: the timeout +
     /// backoff wait before the re-send plus the replica's service time.
@@ -206,6 +215,7 @@ impl RankStats {
         self.comm_total_ns() - self.comm_overlapped_ns
             + self.gate_stall_ns
             + self.retry_ns
+            + self.stream_wait_ns
             + self.comp_total_ns()
             + self.handler_ns
     }
@@ -257,6 +267,7 @@ impl RankStats {
         self.gate_waits += other.gate_waits;
         self.retry_ns += other.retry_ns;
         self.retries += other.retries;
+        self.stream_wait_ns += other.stream_wait_ns;
         self.failover_ns += other.failover_ns;
         self.failovers += other.failovers;
         self.handler_ns += other.handler_ns;
@@ -357,6 +368,21 @@ mod tests {
         t.merge(&s);
         assert_eq!(t.retry_ns, 50.0);
         assert_eq!(t.retries, 4);
+    }
+
+    #[test]
+    fn stream_wait_enters_total_but_not_exposed_comm() {
+        let mut s = RankStats::default();
+        s.comm_ns[CommTag::SeedLookup.idx()] = 100.0;
+        s.comp_ns[CompTag::SmithWaterman.idx()] = 50.0;
+        s.stream_wait_ns = 40.0;
+        // Waiting for input blocks the rank but is not communication.
+        assert_eq!(s.comm_exposed_ns(), 100.0);
+        assert_eq!(s.total_ns(), 190.0);
+        let mut t = RankStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.stream_wait_ns, 80.0);
     }
 
     #[test]
