@@ -12,7 +12,10 @@ use bench::gates::{
     CONGESTED_TARGET_ROUTE_NS_PER_REF, GATE_EXPOSED_EPS_S, MAX_DEGRADED_READS_REPLICATED,
     MIN_DEGRADED_READS_NODE_DOWN, MIN_TARGET_FETCH_DROP, OVERLAP_ALIGN_EPS_S,
 };
-use bench::{ablation_sweep, fmt_s, header, pipeline_config, row, Cli, Metrics, PPN};
+use bench::{
+    ablation_sweep, fmt_s, header, pipeline_config, push_registry, row, save_trace, Cli, Metrics,
+    PPN,
+};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
 use meraligner::{
     run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig, ReplicationMode,
@@ -306,6 +309,10 @@ fn main() {
         let mut cfg = pipeline_config(&d, cores, cores / PPN);
         tune(&mut cfg);
         cfg.overlap_mode = OverlapMode::DoubleBuffer;
+        // `--trace` records the headline (gated, double-buffered) run.
+        // Observe-only: every assertion below compares this traced run
+        // against untraced ones, so any timing drift would fail loudly.
+        cfg.trace = cli.trace.is_some();
         run_pipeline(&cfg, &tdb, &qdb)
     };
     let ls = &modes[2];
@@ -314,6 +321,10 @@ fn main() {
         "overlap modes must place identically"
     );
     let db_phase = db.align_phase().expect("align phase");
+    if let Some(path) = &cli.trace {
+        let trace = db.trace.as_ref().expect("traced run must return a trace");
+        save_trace(path, trace, &db.phases);
+    }
     eprintln!("# comm/comp overlap at {cores} cores / ppn {PPN} (node-chunked):");
     header(&[
         "overlap_mode",
@@ -757,6 +768,9 @@ fn main() {
             m.push("replicate_copy_s", r.replicate_s);
             m.push("align_s_replicated", r.align_s);
         }
+        // The full metrics-registry snapshot of the headline (gated,
+        // double-buffered) align phase — one key per registry row.
+        push_registry(&mut m, "align", db_phase);
         m.write(path).expect("write --json metrics");
         eprintln!("# metrics written to {path}");
     }

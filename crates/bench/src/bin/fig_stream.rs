@@ -17,7 +17,10 @@ use bench::gates::{
     CONGESTED_HANDLER_DISPATCH_NS, CONGESTED_NODE_ROUTE_NS_PER_SEED,
     CONGESTED_TARGET_ROUTE_NS_PER_REF, MIN_STREAM_SHED_READS, STREAM_CONGESTED_P99_BOUND_S,
 };
-use bench::{fmt_s, header, pipeline_config, row, summarize_latency, Cli, Metrics, PPN};
+use bench::{
+    fmt_s, header, pipeline_config, push_registry, row, save_trace, summarize_latency, Cli,
+    Metrics, PPN,
+};
 use meraligner::{
     run_pipeline, ArrivalModel, LookupChunk, PipelineConfig, PipelineMode, PipelineResult,
 };
@@ -102,7 +105,17 @@ fn main() {
     // ---- Healthy streaming: admission armed but never provoked. The
     // front-end must refuse nothing, account every read, and reproduce
     // the batch placements (chunk boundaries move, results never do).
-    let healthy = run_pipeline(&stream_cfg(true), &tdb, &qdb);
+    // `--trace` records this run unless `--congested` supplies the more
+    // interesting overloaded run below; either way the traced run's
+    // results are asserted identical to untraced references in-binary.
+    let healthy = {
+        let mut cfg = stream_cfg(true);
+        cfg.trace = cli.trace.is_some() && !cli.congested;
+        run_pipeline(&cfg, &tdb, &qdb)
+    };
+    if let (Some(path), Some(trace)) = (&cli.trace, healthy.trace.as_ref()) {
+        save_trace(path, trace, &healthy.phases);
+    }
     healthy.assert_read_conservation();
     assert_eq!(
         (healthy.shed_reads, healthy.expired_reads),
@@ -134,6 +147,7 @@ fn main() {
     // fig8 congested cost model, no deadline (nothing may hide in the
     // expired bucket) — admission on vs off.
     let mut congested_stats = None;
+    let mut congested_phase = None;
     if cli.congested {
         let congested_cfg = |admission: bool| -> PipelineConfig {
             let mut cfg = stream_cfg(admission);
@@ -158,9 +172,19 @@ fn main() {
              {CONGESTED_TARGET_ROUTE_NS_PER_REF} ns/ref; \
              {CONGESTED_LOW_PRIORITY_PCT}% of reads sheddable"
         );
-        let on = run_pipeline(&congested_cfg(true), &tdb, &qdb);
+        // The traced run (`--trace`) is the admission-on one; `on2` stays
+        // untraced, so the run-twice identity assertions below double as
+        // an end-to-end check that tracing observes without perturbing.
+        let on = {
+            let mut cfg = congested_cfg(true);
+            cfg.trace = cli.trace.is_some();
+            run_pipeline(&cfg, &tdb, &qdb)
+        };
         let on2 = run_pipeline(&congested_cfg(true), &tdb, &qdb);
         let off = run_pipeline(&congested_cfg(false), &tdb, &qdb);
+        if let (Some(path), Some(trace)) = (&cli.trace, on.trace.as_ref()) {
+            save_trace(path, trace, &on.phases);
+        }
         on.assert_read_conservation();
         off.assert_read_conservation();
         // Shed sets and latencies are pure functions of the config.
@@ -213,6 +237,7 @@ fn main() {
             fmt_s(off_s.p99 / 1e9)
         );
         congested_stats = Some((on_s, off_s, shed_rate, on.align_seconds()));
+        congested_phase = on.align_phase().cloned();
     }
 
     // ---- Machine-readable metrics for the CI perf gate.
@@ -229,6 +254,12 @@ fn main() {
             m.push("stream_congested_align_s", align_s);
             m.push("info_stream_congested_p99_off_s", off_s.p99 / 1e9);
             m.push("info_stream_congested_p50_off_s", off_s.p50 / 1e9);
+        }
+        // Full metrics-registry snapshots: the healthy align phase, plus
+        // the congested admission-on one when that section ran.
+        push_registry(&mut m, "align", healthy.align_phase().expect("align phase"));
+        if let Some(phase) = &congested_phase {
+            push_registry(&mut m, "congested", phase);
         }
         m.write(path).expect("write --json metrics");
         eprintln!("# metrics written to {path}");

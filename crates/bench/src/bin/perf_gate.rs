@@ -71,10 +71,21 @@ fn parse_args() -> Args {
     }
 }
 
-fn load(path: &str) -> Metrics {
+/// Load a metrics file. An unreadable or truncated/malformed file is a
+/// *hard gate failure*, not a crash path: a harness that died mid-write
+/// (or a mis-spelled CI path) must fail the gate with a clear message,
+/// never be scored as "ok" or buried in a panic backtrace.
+fn load_result(path: &str) -> Result<Metrics, String> {
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read metrics file {path}: {e}"));
-    Metrics::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+        .map_err(|e| format!("cannot read metrics file {path}: {e}"))?;
+    Metrics::parse(&text).map_err(|e| format!("metrics file {path} is truncated or malformed: {e}"))
+}
+
+fn load(path: &str) -> Metrics {
+    load_result(path).unwrap_or_else(|e| {
+        eprintln!("perf gate FAILED: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// One comparison verdict.
@@ -170,7 +181,7 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::judge;
+    use super::{judge, load_result};
 
     #[test]
     fn lower_is_better_flags_growth() {
@@ -194,5 +205,30 @@ mod tests {
     fn zero_baseline_is_handled() {
         assert_eq!(judge("gate_stall_max_s", 0.0, 0.0, 0.15).0, "ok");
         assert_eq!(judge("gate_stall_max_s", 0.0, 1.0, 0.15).0, "REGRESSED");
+    }
+
+    #[test]
+    fn unreadable_metrics_file_is_a_hard_failure() {
+        let err = load_result("/nonexistent/definitely_missing.json").unwrap_err();
+        assert!(err.contains("cannot read metrics file"), "{err}");
+        assert!(err.contains("definitely_missing.json"), "{err}");
+    }
+
+    #[test]
+    fn truncated_metrics_file_is_a_hard_failure() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("perf_gate_truncated_test.json");
+        // A harness killed mid-write: object never closed.
+        std::fs::write(&path, "{\n  \"align_s\": 1.25,\n  \"comm_s\": ").unwrap();
+        let err = load_result(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("truncated or malformed"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // And a fully valid file still loads.
+        let ok_path = dir.join("perf_gate_ok_test.json");
+        std::fs::write(&ok_path, "{\n  \"align_s\": 1.25\n}\n").unwrap();
+        let m = load_result(ok_path.to_str().unwrap()).unwrap();
+        assert_eq!(m.get("align_s"), Some(1.25));
+        std::fs::remove_file(&ok_path).ok();
     }
 }

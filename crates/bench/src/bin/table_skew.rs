@@ -18,7 +18,7 @@
 //! `ci/baselines/table_skew_scale0.02.json`.
 
 use bench::gates::MAX_REPLICATED_BUSY_RATIO;
-use bench::{fmt_s, header, pipeline_config, row, Cli, Metrics, PPN};
+use bench::{fmt_s, header, pipeline_config, push_registry, row, save_trace, Cli, Metrics, PPN};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
 use meraligner::{run_pipeline, ReplicationMode, TargetStore};
 use pgas::{GlobalRef, Machine, MachineConfig, ReplicaMap};
@@ -119,13 +119,20 @@ fn main() {
     // phase's per-node service queues say which nodes' handlers carried
     // the lookup/fetch traffic. Placements must not move (pinned by the
     // meraligner replica_equivalence suite; re-asserted here).
-    let run = |replication: ReplicationMode| {
+    let run = |replication: ReplicationMode, trace: bool| {
         let mut cfg = pipeline_config(&d, cores, nodes);
         cfg.replication = replication;
+        cfg.trace = trace;
         run_pipeline(&cfg, &tdb, &qdb)
     };
-    let off = run(ReplicationMode::Off);
-    let rep = run(ReplicationMode::Full(2));
+    let off = run(ReplicationMode::Off, false);
+    // `--trace` records the replicated run (the one with failover-routing
+    // structure worth looking at); the placement assertion against the
+    // untraced run doubles as an observe-only check.
+    let rep = run(ReplicationMode::Full(2), cli.trace.is_some());
+    if let (Some(path), Some(trace)) = (&cli.trace, rep.trace.as_ref()) {
+        save_trace(path, trace, &rep.phases);
+    }
     assert_eq!(
         off.placements, rep.placements,
         "healthy replication must never move placements"
@@ -180,6 +187,8 @@ fn main() {
         m.push("skew_handler_imb_replicated", handler_imb_rep);
         m.push("align_s_skew_off", off.align_seconds());
         m.push("align_s_skew_replicated", rep.align_seconds());
+        // Full metrics-registry snapshot of the replicated align phase.
+        push_registry(&mut m, "align", rep.align_phase().expect("align phase"));
         m.write(path).expect("write --json metrics");
         eprintln!("# metrics written to {path}");
     }

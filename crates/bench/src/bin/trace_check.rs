@@ -1,0 +1,140 @@
+//! trace_check: CI validation of a saved trace against the run's own
+//! `--json` metrics.
+//!
+//! ```text
+//! trace_check --trace fig8_trace.json --json fig8_current.json [--prefix align=congested]
+//! ```
+//!
+//! Three layers, all hard failures:
+//!
+//! 1. the trace file must be well-formed Chrome `trace_event` JSON that
+//!    our own parser round-trips;
+//! 2. the spans must pass the structural checks — monotone nesting per
+//!    lane and **exact** span-sum conservation against the embedded
+//!    per-rank targets (both re-run here via `check_chrome`, so the gate
+//!    does not trust the exporter's in-binary assertion);
+//! 3. every embedded per-phase registry value that the harness also
+//!    emitted as a `reg_<phase>_<key>` metric must match **bit-for-bit**
+//!    (both sides print f64 via `Display`, which round-trips exactly) —
+//!    the trace and the `--json` file must describe the same run.
+//!
+//! Layer 3 must match at least one key, otherwise the cross-check is
+//! vacuous (wrong file pairing, or a harness that stopped emitting
+//! registry snapshots) and the gate fails.
+//!
+//! By default registry keys are matched as `reg_<phase name>_<key>`.
+//! A harness that snapshots a traced phase under a different prefix —
+//! `fig_stream --congested` records the congested run's trace but files
+//! its align registry under `reg_congested_*`, keeping `reg_align_*`
+//! for the healthy run — passes the remap as `--prefix <phase>=<prefix>`
+//! (e.g. `--prefix align=congested`); other phases keep their own name.
+
+use bench::Metrics;
+use pgas::sim::trace::check_chrome;
+
+struct Args {
+    trace: String,
+    json: String,
+    /// `(phase name, replacement prefix)` from `--prefix <phase>=<prefix>`.
+    prefix: Option<(String, String)>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut trace = None;
+    let mut json = None;
+    let mut prefix = None;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace" => {
+                trace = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--json" => {
+                json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--prefix" => {
+                let spec = argv.get(i + 1).expect("--prefix needs <phase>=<prefix>");
+                let (phase, pfx) = spec
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("--prefix wants <phase>=<prefix>, got {spec}"));
+                prefix = Some((phase.to_string(), pfx.to_string()));
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (supported: --trace --json --prefix)"),
+        }
+    }
+    Args {
+        trace: trace.expect("--trace <path> is required"),
+        json: json.expect("--json <path> is required"),
+        prefix,
+    }
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("trace check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.trace)
+        .unwrap_or_else(|e| fail(format!("cannot read trace file {}: {e}", args.trace)));
+    // Layers 1 + 2: parse, nesting, exact conservation.
+    let parsed = check_chrome(&text)
+        .unwrap_or_else(|e| fail(format!("{} does not validate: {e}", args.trace)));
+    let spans: usize = parsed
+        .trace
+        .phases
+        .iter()
+        .map(|p| {
+            p.rank_spans.iter().map(Vec::len).sum::<usize>()
+                + p.handler_spans.iter().map(Vec::len).sum::<usize>()
+        })
+        .sum();
+    eprintln!(
+        "# {}: {} phase(s), {} ranks, {} spans — nesting + conservation ok",
+        args.trace,
+        parsed.trace.phases.len(),
+        parsed.trace.ranks,
+        spans
+    );
+
+    // Layer 3: the embedded registry vs the harness --json metrics.
+    let mtext = std::fs::read_to_string(&args.json)
+        .unwrap_or_else(|e| fail(format!("cannot read metrics file {}: {e}", args.json)));
+    let metrics = Metrics::parse(&mtext)
+        .unwrap_or_else(|e| fail(format!("metrics file {} is malformed: {e}", args.json)));
+    let mut matched = 0usize;
+    for (phase, registry) in parsed.trace.phases.iter().zip(&parsed.registry) {
+        let prefix = match &args.prefix {
+            Some((name, pfx)) if *name == phase.name => pfx.as_str(),
+            _ => phase.name.as_str(),
+        };
+        for (key, trace_value) in registry {
+            let metric_key = format!("reg_{prefix}_{key}");
+            let Some(json_value) = metrics.get(&metric_key) else {
+                continue; // harness only snapshots the phases it reports on
+            };
+            if json_value.to_bits() != trace_value.to_bits() {
+                fail(format!(
+                    "{metric_key} disagrees: trace {} has {trace_value}, \
+                     metrics {} has {json_value} — the files are from different runs",
+                    args.trace, args.json
+                ));
+            }
+            matched += 1;
+        }
+    }
+    if matched == 0 {
+        fail(format!(
+            "no registry key of {} appears in {} — cross-check is vacuous \
+             (wrong file pairing?)",
+            args.trace, args.json
+        ));
+    }
+    eprintln!("# {matched} registry value(s) match the --json metrics bit-for-bit");
+    eprintln!("trace check passed");
+}

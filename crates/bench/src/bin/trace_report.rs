@@ -1,0 +1,86 @@
+//! trace_report: print the critical-path attribution table from a saved
+//! Chrome-trace file.
+//!
+//! ```text
+//! trace_report --trace fig8_trace.json [--topk 5]
+//! ```
+//!
+//! The exporter embeds everything the report needs in the file's
+//! `meraligner` block — per-rank category targets and the registry
+//! snapshot — so this binary works on the artifact alone, long after the
+//! run that produced it. The file is re-validated first (well-formed
+//! JSON, monotone span nesting, exact span-sum conservation against the
+//! embedded targets), so a report is only ever printed from a trace that
+//! still checks out.
+
+use pgas::sim::trace::{check_chrome, critical_path, render_critical_path};
+
+struct Args {
+    trace: String,
+    topk: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut trace = None;
+    let mut topk = 5usize;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace" => {
+                trace = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--topk" => {
+                topk = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--topk needs a positive integer"));
+                i += 2;
+            }
+            other => panic!("unknown argument {other} (supported: --trace --topk)"),
+        }
+    }
+    Args {
+        trace: trace.expect("--trace <path> is required"),
+        topk,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.trace).unwrap_or_else(|e| {
+        eprintln!(
+            "trace_report FAILED: cannot read trace file {}: {e}",
+            args.trace
+        );
+        std::process::exit(1);
+    });
+    let parsed = check_chrome(&text).unwrap_or_else(|e| {
+        eprintln!("trace_report FAILED: {} does not validate: {e}", args.trace);
+        std::process::exit(1);
+    });
+    let ppn = parsed.trace.ppn;
+    eprintln!(
+        "# {} | {} ranks / {} nodes | {} phase(s)",
+        args.trace,
+        parsed.trace.ranks,
+        parsed.trace.nodes(),
+        parsed.trace.phases.len()
+    );
+    let mut reported = 0usize;
+    for (phase, targets) in parsed.trace.phases.iter().zip(&parsed.targets) {
+        let Some(cp) = critical_path(phase, targets, args.topk) else {
+            continue;
+        };
+        print!("{}", render_critical_path(&phase.name, ppn, &cp));
+        reported += 1;
+    }
+    if reported == 0 {
+        eprintln!(
+            "trace_report FAILED: no phase in {} has any ranks",
+            args.trace
+        );
+        std::process::exit(1);
+    }
+}

@@ -80,9 +80,27 @@ pub enum Direction {
 }
 
 /// The drift direction a metric key is gated on. Keys prefixed `info_`
-/// are contextual and never gated; percentage/drop metrics regress
-/// downward; everything else (seconds, counts, depths) regresses upward.
+/// are contextual and never gated; `reg_<phase>_<metric>` keys (the
+/// unified metrics-registry snapshots the harnesses emit) take their
+/// direction from the registry's own [`pgas::Better`] row; percentage/
+/// drop metrics regress downward; everything else (seconds, counts,
+/// depths) regresses upward.
 pub fn metric_direction(key: &str) -> Direction {
+    if let Some(rest) = key.strip_prefix("reg_") {
+        // reg_<phase>_<metric>: strip one phase segment, look the metric
+        // up in the registry (phase names never contain '_' in the
+        // harness emitters; registry keys may).
+        if let Some((_, metric)) = rest.split_once('_') {
+            if let Some(desc) = pgas::metrics::lookup(metric) {
+                return match desc.better {
+                    pgas::Better::Lower => Direction::LowerIsBetter,
+                    pgas::Better::Higher => Direction::HigherIsBetter,
+                    pgas::Better::Info => Direction::Info,
+                };
+            }
+        }
+        return Direction::Info;
+    }
     match key {
         "fetch_drop"
         | "overlap_pct_double"
@@ -156,6 +174,23 @@ mod tests {
             metric_direction("info_lookup_msgs_per_read_point"),
             Direction::Info
         );
+        // Registry snapshots inherit the registry's own directions.
+        assert_eq!(
+            metric_direction("reg_align_sim_s"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("reg_align_comm_overlapped_s"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(metric_direction("reg_align_failover_s"), Direction::Info);
+        assert_eq!(
+            metric_direction("reg_align_exact_hash_skips"),
+            Direction::HigherIsBetter
+        );
+        // Unknown registry keys are contextual, never gated.
+        assert_eq!(metric_direction("reg_align_nope"), Direction::Info);
+        assert_eq!(metric_direction("reg_bogus"), Direction::Info);
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct Cli {
     pub full: bool,
     /// Where to write the run's metrics as flat JSON (`None` = don't).
     pub json: Option<String>,
+    /// Where to write a Chrome-trace export of the harness's headline run
+    /// (`None` = tracing off). Tracing is observe-only: every other
+    /// output is bit-identical with or without it.
+    pub trace: Option<String>,
     /// Append the fault-injection section (fig8): a downed-node run that
     /// must complete with every read accounted aligned or degraded.
     pub faults: bool,
@@ -50,6 +54,7 @@ impl Cli {
             seed: 42,
             full: false,
             json: None,
+            trace: None,
             faults: false,
             congested: false,
             replicated: false,
@@ -96,10 +101,19 @@ impl Cli {
                     );
                     i += 2;
                 }
+                "--trace" => {
+                    cli.trace = Some(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--trace needs a path"))
+                            .clone(),
+                    );
+                    i += 2;
+                }
                 other => {
                     panic!(
                         "unknown argument {other} \
-                         (supported: --scale --seed --full --json --faults --congested --replicated)"
+                         (supported: --scale --seed --full --json --trace \
+                         --faults --congested --replicated)"
                     )
                 }
             }
@@ -196,6 +210,39 @@ impl Metrics {
     pub fn get(&self, key: &str) -> Option<f64> {
         self.entries.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
+}
+
+/// Push one phase's full metrics-registry snapshot into `m`, each key
+/// prefixed `reg_<prefix>_` — the unified descriptor table
+/// ([`pgas::metrics::REGISTRY`]) shared by the perf gate's direction
+/// bands and the trace exporter, so the harness ships every machine
+/// counter without hand-picking fields.
+pub fn push_registry(m: &mut Metrics, prefix: &str, phase: &pgas::PhaseReport) {
+    for (key, value) in pgas::metrics::snapshot(phase) {
+        m.push(&format!("reg_{prefix}_{key}"), value);
+    }
+}
+
+/// Save a traced run: assert span-sum conservation in-binary (traced
+/// spans must reproduce the run's own `RankStats` accumulators
+/// bit-for-bit), write the Chrome export to `path`, and print the align
+/// phase's critical-path attribution to stdout.
+pub fn save_trace(path: &str, trace: &pgas::Trace, phases: &[pgas::PhaseReport]) {
+    use pgas::sim::trace as tr;
+    trace.assert_conserved(phases);
+    trace
+        .write_chrome(path, phases)
+        .unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
+    for (pt, report) in trace.phases.iter().zip(phases) {
+        if pt.name != "align" {
+            continue;
+        }
+        let targets = tr::RankTargets::from_report(report);
+        if let Some(cp) = tr::critical_path(pt, &targets, 5) {
+            print!("{}", tr::render_critical_path(&pt.name, trace.ppn, &cp));
+        }
+    }
+    eprintln!("trace written to {path}");
 }
 
 /// The Edison ranks-per-node constant used throughout the paper.

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use pgas::{CommTag, GlobalRef, RankCtx, SharedArray};
+use pgas::{CommTag, GlobalRef, RankCtx, SharedArray, SpanKind};
 use seq::{Kmer, PackedSeq};
 
 use crate::cache::CacheSet;
@@ -277,6 +277,21 @@ impl LookupEnv<'_> {
         spans: &mut Vec<HitSpan>,
         scratch: &mut NodeBatchScratch,
     ) -> usize {
+        let tm = ctx.trace_begin(SpanKind::LookupBatch, node as u32, probes.len() as u32);
+        let found = self.lookup_batch_node_inner(ctx, node, probes, hits, spans, scratch);
+        ctx.trace_end(tm);
+        found
+    }
+
+    fn lookup_batch_node_inner(
+        &self,
+        ctx: &mut RankCtx,
+        node: usize,
+        probes: &[SeedProbe],
+        hits: &mut Vec<TargetHit>,
+        spans: &mut Vec<HitSpan>,
+        scratch: &mut NodeBatchScratch,
+    ) -> usize {
         let span_base = spans.len();
         scratch.lost.clear();
         scratch.recovered.clear();
@@ -499,6 +514,20 @@ impl LookupEnv<'_> {
     /// cache-fill order; equivalence is per the order actually issued.)
     /// One `Arc<PackedSeq>` per ref is appended to `out` (input order).
     pub fn fetch_targets_batch_node(
+        &self,
+        ctx: &mut RankCtx,
+        targets: &SharedArray<Arc<PackedSeq>>,
+        node: usize,
+        refs: &[GlobalRef],
+        out: &mut Vec<Arc<PackedSeq>>,
+        scratch: &mut TargetFetchScratch,
+    ) {
+        let tm = ctx.trace_begin(SpanKind::FetchBatch, node as u32, refs.len() as u32);
+        self.fetch_targets_batch_node_inner(ctx, targets, node, refs, out, scratch);
+        ctx.trace_end(tm);
+    }
+
+    fn fetch_targets_batch_node_inner(
         &self,
         ctx: &mut RankCtx,
         targets: &SharedArray<Arc<PackedSeq>>,

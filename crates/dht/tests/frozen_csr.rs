@@ -85,6 +85,7 @@ proptest! {
                 faults: Default::default(),
                 retry: Default::default(),
                 replicas: None,
+                trace: false,
             })
         };
         let mut machine = mk_machine();

@@ -64,6 +64,7 @@ proptest! {
             faults: Default::default(),
             retry: Default::default(),
             replicas: None,
+            trace: false,
         });
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
             per_rank[r].clone().into_iter()

@@ -91,6 +91,7 @@ proptest! {
             faults: Default::default(),
             retry: Default::default(),
             replicas: None,
+            trace: false,
         });
         // A minimal index: LookupEnv requires one, fetches never touch it.
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {

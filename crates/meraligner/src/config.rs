@@ -125,6 +125,12 @@ pub struct PipelineConfig {
     pub cost: CostModel,
     /// Execute ranks sequentially (bit-reproducible timing; same results).
     pub sequential: bool,
+    /// Record an observe-only machine trace (typed spans for every event
+    /// the machine already computes), returned in
+    /// [`PipelineResult::trace`](crate::PipelineResult). A traced run is
+    /// bit-identical to an untraced one — pinned by the
+    /// `trace_equivalence` suite.
+    pub trace: bool,
     /// Deterministic fault plan injected into the simulated machine
     /// (handler slowdowns, dropped batches, downed nodes).
     /// [`FaultPlan::none`] — the default — is bit-identical to a machine
@@ -309,6 +315,7 @@ impl PipelineConfig {
             ppn,
             cost: CostModel::default(),
             sequential: false,
+            trace: false,
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
             replication: ReplicationMode::Off,
@@ -455,7 +462,8 @@ mod tests {
         assert!(c.load_balance);
         assert_eq!(c.buffer_size, 1000);
         assert_eq!(c.seed_stride, 1);
-        // Fault injection and replication are strictly opt-in.
+        // Tracing, fault injection and replication are strictly opt-in.
+        assert!(!c.trace);
         assert!(c.fault_plan.is_none());
         assert_eq!(c.retry, RetryPolicy::default());
         assert!(c.replication.is_off());

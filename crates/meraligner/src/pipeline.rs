@@ -89,6 +89,9 @@ pub struct PipelineResult {
     /// Full alignments `(read, contig, alignment)` when
     /// `collect_alignments` was set.
     pub alignments: Vec<(u32, u32, Alignment)>,
+    /// The machine trace when [`PipelineConfig::trace`] was set
+    /// (observe-only: its presence never changes any other field).
+    pub trace: Option<pgas::Trace>,
 }
 
 impl PipelineResult {
@@ -348,6 +351,7 @@ impl<'a> StreamFront<'a> {
             }
             let orig_idx = self.reads[i].0;
             if ctx.now_ns() - arr > cfg.stream_deadline_ns {
+                ctx.trace_instant(pgas::SpanKind::Expired, orig_idx, 0);
                 acc.expired.push(orig_idx);
                 continue;
             }
@@ -362,6 +366,7 @@ impl<'a> StreamFront<'a> {
                     )
                 {
                     if ratio > cfg.stream_shed_ratio {
+                        ctx.trace_instant(pgas::SpanKind::Shed, orig_idx, 0);
                         acc.shed.push(orig_idx);
                     } else {
                         self.deferred.push_back(i);
@@ -410,6 +415,7 @@ pub fn run_pipeline(
         cost: cfg.cost.clone(),
         handler_policy: cfg.handler_policy,
         sequential: cfg.sequential,
+        trace: cfg.trace,
         faults: cfg.fault_plan.clone(),
         retry: cfg.retry,
         replicas: replica_map,
@@ -855,6 +861,7 @@ pub fn run_pipeline(
         p.fault_summary.recovered_reads = recovered_reads as u64;
         p.read_latency_ns = read_latency;
     }
+    let trace = machine.take_trace();
 
     PipelineResult {
         phases,
@@ -874,6 +881,7 @@ pub fn run_pipeline(
         index_total_entries: index.total_entries(),
         index_balance: index.partition_balance(),
         alignments,
+        trace,
     }
 }
 

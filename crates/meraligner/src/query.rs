@@ -635,6 +635,7 @@ pub fn issue_read_chunk(
     scratch: &mut ChunkScratch,
     state: &mut ChunkState,
 ) {
+    let tm = ctx.trace_begin(pgas::SpanKind::ChunkIssue, reads.len() as u32, 0);
     let cfg = actx.cfg;
     let k = cfg.k;
     let topo = ctx.topo();
@@ -858,6 +859,7 @@ pub fn issue_read_chunk(
         }
     }
     state.table.fetch(ctx, actx, &mut scratch.tfetch);
+    ctx.trace_end(tm);
 }
 
 /// The extension half of one chunk (Algorithm 1 lines 11–12), per read as
@@ -874,6 +876,7 @@ pub fn extend_read_chunk(
     scratch: &mut ChunkScratch,
     state: &mut ChunkState,
 ) {
+    let tm = ctx.trace_begin(pgas::SpanKind::ChunkExtend, reads.len() as u32, 0);
     let cands = std::mem::take(&mut state.cands);
     let mut i = 0usize;
     while i < cands.len() {
@@ -898,6 +901,7 @@ pub fn extend_read_chunk(
         i = r;
     }
     state.cands = cands;
+    ctx.trace_end(tm);
 }
 
 /// Drain one finished chunk's outcomes (chunk order) out of its state.

@@ -1,0 +1,224 @@
+//! Equivalence property tests for the trace subsystem: the recorder may
+//! observe everything and charge for nothing.
+//!
+//! * **Observe-only**: `cfg.trace = true` is bit-identical to
+//!   `cfg.trace = false` — placements, outcome flags, every machine
+//!   counter of every phase (compared through the unified metrics
+//!   registry, bit-for-bit), the simulated clock, and streaming
+//!   latencies — across queue gating × handler policy × overlap mode ×
+//!   replication × streaming × ppn.
+//! * **Determinism**: the Chrome export is a pure function of the
+//!   config — sequential and parallel execution produce byte-identical
+//!   JSON, and running the same traced config twice does too.
+//! * **Conservation**: span sums reproduce the run's own `RankStats`
+//!   accumulators exactly, including under seeded fault plans (retries,
+//!   failovers, recovered handler work), and the exported JSON
+//!   round-trips through the self-checking parser.
+
+use meraligner::{
+    run_pipeline, ArrivalModel, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig,
+    PipelineMode, ReplicationMode,
+};
+use pgas::sim::trace::check_chrome;
+use pgas::FaultPlan;
+use proptest::prelude::*;
+
+/// Every observable of a run except the trace itself. Phase counters go
+/// through the metrics registry (bit-preserved via `to_bits`), so a new
+/// machine counter is automatically covered the day it gets a registry
+/// row.
+fn full_profile(res: &meraligner::PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    let phases: Vec<(String, Vec<(&'static str, u64)>)> = res
+        .phases
+        .iter()
+        .map(|p| {
+            let snap = pgas::metrics::snapshot(p)
+                .into_iter()
+                .map(|(k, v)| (k, v.to_bits()))
+                .collect();
+            (p.name.clone(), snap)
+        })
+        .collect();
+    (
+        res.placements.clone(),
+        res.owner_lost.clone(),
+        res.shed.clone(),
+        res.expired.clone(),
+        (
+            res.exact_path_reads,
+            res.alignments_total,
+            res.aligned_reads,
+            res.shed_reads,
+            res.expired_reads,
+        ),
+        (res.align_seconds().to_bits(), res.sim_seconds().to_bits()),
+        res.read_latency_ns()
+            .iter()
+            .map(|l| l.to_bits())
+            .collect::<Vec<_>>(),
+        phases,
+    )
+}
+
+/// The congested streaming profile from `streaming_equivalence`, reused
+/// here so tracing is exercised against the machine's most scheduling-
+/// sensitive mode.
+fn overloaded_cfg(ranks: usize, ppn: usize, k: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(ranks, ppn, k);
+    cfg.sequential = false;
+    cfg.pipeline_mode = PipelineMode::Streaming;
+    cfg.arrival = ArrivalModel::Seeded {
+        seed: 7,
+        mean_gap_ns: 2_000.0,
+    };
+    cfg.stream_deadline_ns = 40_000_000.0;
+    cfg.stream_flush_ns = 100_000.0;
+    cfg.stream_admission = true;
+    cfg.stream_shed_ratio = 1.0;
+    cfg.stream_defer_ratio = 1.0;
+    cfg.lookup_chunk = LookupChunk::Fixed(32);
+    cfg.cost.handler_dispatch_ns = 200_000.0;
+    cfg.cost.node_route_ns_per_seed = 60.0;
+    cfg.cost.target_route_ns_per_ref = 60.0;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The load-bearing invariant: turning the recorder on changes
+    // *nothing* the machine computes — only whether it was written down.
+    #[test]
+    fn tracing_is_observe_only(
+        seed in 1u64..500,
+        ppn_sel in 0usize..2,
+        policy_sel in 0usize..4,
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+        replicated in proptest::bool::ANY,
+        streaming in proptest::bool::ANY,
+    ) {
+        let ppn = [6usize, 24][ppn_sel];
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let mut cfg = PipelineConfig::new(48, ppn, d.k);
+        cfg.handler_policy = HandlerPolicy::ALL[policy_sel];
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+        if replicated {
+            cfg.replication = ReplicationMode::Full(2);
+        }
+        if streaming {
+            cfg.pipeline_mode = PipelineMode::Streaming;
+        }
+        let off = run_pipeline(&cfg, &tdb, &qdb);
+
+        let mut traced = cfg.clone();
+        traced.trace = true;
+        let on = run_pipeline(&traced, &tdb, &qdb);
+
+        prop_assert_eq!(full_profile(&on), full_profile(&off));
+        prop_assert!(off.trace.is_none(), "untraced run must not allocate a trace");
+        let trace = on.trace.as_ref().expect("traced run must return a trace");
+        prop_assert_eq!(trace.ranks, 48);
+        prop_assert_eq!(trace.ppn, ppn);
+        prop_assert_eq!(trace.phases.len(), on.phases.len());
+        // Span sums reproduce the run's own accumulators exactly.
+        if let Err(e) = trace.check(&on.phases) {
+            prop_assert!(false, "trace check failed: {}", e);
+        }
+    }
+
+    // The export is a deterministic artifact: schedule (seq vs par) and
+    // repetition never change a byte. The congested streaming profile is
+    // the hardest case — sheds, expiries, stream waits, gate stalls.
+    #[test]
+    fn trace_export_is_schedule_deterministic(
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+    ) {
+        let d = genome::human_like(0.0015, 99);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        let mut cfg = overloaded_cfg(12, 6, d.k);
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+        cfg.trace = true;
+
+        let mut seq = cfg.clone();
+        seq.sequential = true;
+        let a = run_pipeline(&seq, &tdb, &qdb);
+        let b = run_pipeline(&cfg, &tdb, &qdb);
+        let c = run_pipeline(&cfg, &tdb, &qdb);
+
+        let export = |res: &meraligner::PipelineResult| {
+            res.trace
+                .as_ref()
+                .expect("traced run must return a trace")
+                .to_chrome_string(&res.phases)
+        };
+        let (ja, jb, jc) = (export(&a), export(&b), export(&c));
+        prop_assert_eq!(&ja, &jb, "sequential and parallel exports differ");
+        prop_assert_eq!(&jb, &jc, "run-twice exports differ");
+        // A congested run must actually have recorded its refusals.
+        let shed_events = jb.matches("\"shed\"").count();
+        prop_assert!(b.shed_reads > 0 && shed_events >= b.shed_reads as usize);
+    }
+
+    // Conservation survives the fault engine: retries, failovers, and
+    // recovered handler work all carry their exact charges, and the
+    // written file is self-checking end to end.
+    #[test]
+    fn trace_conserves_under_faults_and_roundtrips(
+        seed in 1u64..500,
+        plan_sel in 0usize..3,
+        plan_seed in 1u64..100,
+        replicated in proptest::bool::ANY,
+    ) {
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+        let mut cfg = PipelineConfig::new(48, 24, d.k);
+        cfg.trace = true;
+        cfg.fault_plan = match plan_sel {
+            0 => FaultPlan::node_down(plan_seed, 1, 0),
+            1 => FaultPlan::batch_drop(plan_seed, 1, 2),
+            _ => FaultPlan::seeded(plan_seed),
+        };
+        if replicated {
+            cfg.replication = ReplicationMode::Full(2);
+        }
+        let res = run_pipeline(&cfg, &tdb, &qdb);
+        let trace = res.trace.as_ref().expect("traced run must return a trace");
+        if let Err(e) = trace.check(&res.phases) {
+            prop_assert!(false, "trace check failed under faults: {}", e);
+        }
+        // Export → parse → re-check: the saved artifact carries enough to
+        // re-verify itself (trace_check binary path), bit for bit.
+        let json = trace.to_chrome_string(&res.phases);
+        let parsed = match check_chrome(&json) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("check_chrome failed: {e}"))),
+        };
+        prop_assert_eq!(parsed.trace.ranks, trace.ranks);
+        prop_assert_eq!(parsed.trace.phases.len(), trace.phases.len());
+        for (reparsed, original) in parsed.trace.phases.iter().zip(&trace.phases) {
+            let count = |p: &pgas::PhaseTrace| {
+                p.rank_spans.iter().map(Vec::len).sum::<usize>()
+                    + p.handler_spans.iter().map(Vec::len).sum::<usize>()
+            };
+            prop_assert_eq!(count(reparsed), count(original));
+        }
+        // The embedded registry is the run's own snapshot, bit for bit.
+        for (reg, phase) in parsed.registry.iter().zip(&res.phases) {
+            let snap = pgas::metrics::snapshot(phase);
+            prop_assert_eq!(reg.len(), snap.len());
+            for ((pk, pv), (sk, sv)) in reg.iter().zip(&snap) {
+                prop_assert_eq!(pk.as_str(), *sk);
+                prop_assert_eq!(pv.to_bits(), sv.to_bits());
+            }
+        }
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod cost;
 pub mod machine;
+pub mod metrics;
 pub mod shared;
 pub mod sim;
 pub mod stats;
@@ -48,10 +49,12 @@ pub mod topology;
 
 pub use cost::CostModel;
 pub use machine::{BatchId, BatchMark, Machine, MachineConfig, OverlapMark, PhaseReport, RankCtx};
+pub use metrics::{Better, MetricDesc, REGISTRY};
 pub use shared::{GlobalRef, ReservationStack, SharedArray};
 pub use sim::{
     ArrivalModel, CompiledFaults, EventKind, FaultKind, FaultPlan, FaultSpec, FaultSummary,
     NodeQueue, QueueReport, RetryPolicy, ServicedBatch, SimEvent,
 };
+pub use sim::{PhaseTrace, Span, SpanKind, Trace};
 pub use stats::{CommTag, CompTag, RankStats, COMM_TAGS, COMP_TAGS};
 pub use topology::{HandlerPolicy, ReplicaMap, Topology};

@@ -15,6 +15,9 @@ use rayon::prelude::*;
 
 use crate::cost::CostModel;
 use crate::sim::fault::{CompiledFaults, FaultPlan, FaultSummary, Lost, RetryPolicy};
+use crate::sim::trace::{
+    PhaseTrace, RankTraceBuf, Span, SpanKind, Trace, TraceMark, MACHINE_ORDER_BASE,
+};
 use crate::sim::{service_phase_detailed, EventKind, QueueReport, ServicedBatch, SimEvent};
 use crate::stats::{CommTag, CompTag, RankStats};
 use crate::topology::{HandlerPolicy, ReplicaMap, Topology};
@@ -60,6 +63,12 @@ pub struct MachineConfig {
     /// surviving replica node instead of giving up). `None` (the
     /// default) is bit-identical to the pre-replication machine.
     pub replicas: Option<ReplicaMap>,
+    /// Record per-event [`Span`]s for every phase
+    /// ([`Machine::take_trace`]). Observe-only: a traced run charges the
+    /// same times, places the same batches and produces bit-identical
+    /// results and counters as an untraced one (pinned by the
+    /// `trace_equivalence` proptest suite).
+    pub trace: bool,
 }
 
 impl MachineConfig {
@@ -74,6 +83,7 @@ impl MachineConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             replicas: None,
+            trace: false,
         }
     }
 }
@@ -238,6 +248,8 @@ pub struct Machine {
     retry: RetryPolicy,
     replicas: Option<ReplicaMap>,
     phases: Vec<PhaseReport>,
+    trace: bool,
+    trace_phases: Vec<PhaseTrace>,
 }
 
 impl Machine {
@@ -252,6 +264,8 @@ impl Machine {
             retry: cfg.retry,
             replicas: cfg.replicas,
             phases: Vec::new(),
+            trace: cfg.trace,
+            trace_phases: Vec::new(),
         }
     }
 
@@ -295,7 +309,14 @@ impl Machine {
         } else {
             Some(self.faults.compile(self.topo.nodes(), self.phases.len()))
         };
-        let run_one = |rank: usize| -> (T, RankStats, Vec<SimEvent>, Vec<WaitPoint>) {
+        type RankParts<T> = (
+            T,
+            RankStats,
+            Vec<SimEvent>,
+            Vec<WaitPoint>,
+            Option<Box<RankTraceBuf>>,
+        );
+        let run_one = |rank: usize| -> RankParts<T> {
             let mut ctx = RankCtx {
                 rank,
                 topo: self.topo,
@@ -311,11 +332,16 @@ impl Machine {
                 faults: compiled.as_ref(),
                 retry: self.retry,
                 replicas: self.replicas,
+                trace: if self.trace {
+                    Some(Box::new(RankTraceBuf::new()))
+                } else {
+                    None
+                },
             };
             let out = f(&mut ctx);
-            (out, ctx.stats, ctx.events, ctx.waits)
+            (out, ctx.stats, ctx.events, ctx.waits, ctx.trace)
         };
-        let parts: Vec<(T, RankStats, Vec<SimEvent>, Vec<WaitPoint>)> = if self.sequential {
+        let parts: Vec<RankParts<T>> = if self.sequential {
             (0..self.topo.ranks()).map(run_one).collect()
         } else {
             (0..self.topo.ranks())
@@ -328,12 +354,27 @@ impl Machine {
         let mut rank_stats = Vec::with_capacity(parts.len());
         let mut rank_events = Vec::with_capacity(parts.len());
         let mut rank_waits = Vec::with_capacity(parts.len());
-        for (out, st, evs, ws) in parts {
+        let mut rank_bufs = Vec::with_capacity(parts.len());
+        for (out, st, evs, ws, buf) in parts {
             outs.push(out);
             rank_stats.push(st);
             rank_events.push(evs);
             rank_waits.push(ws);
+            rank_bufs.push(buf);
         }
+        let mut phase_trace = if self.trace {
+            Some(PhaseTrace {
+                name: name.to_string(),
+                sim_seconds: 0.0,
+                rank_spans: rank_bufs
+                    .into_iter()
+                    .map(|b| b.map(|t| t.spans).unwrap_or_default())
+                    .collect(),
+                handler_spans: vec![Vec::new(); self.topo.nodes()],
+            })
+        } else {
+            None
+        };
         // Owner-side service pass + queue-aware response gating:
         // deterministic regardless of rank scheduling (each rank's trace
         // is pure, the queues order by (arrival, src, seq), and the
@@ -346,6 +387,7 @@ impl Machine {
                 &rank_events,
                 &rank_waits,
                 &mut rank_stats,
+                phase_trace.as_mut(),
             )
         };
         let sim_seconds = rank_stats
@@ -353,6 +395,10 @@ impl Machine {
             .map(RankStats::total_ns)
             .fold(0.0, f64::max)
             / 1e9;
+        if let Some(mut tr) = phase_trace {
+            tr.sim_seconds = sim_seconds;
+            self.trace_phases.push(tr);
+        }
         self.phases.push(PhaseReport {
             name: name.to_string(),
             sim_seconds,
@@ -391,12 +437,27 @@ impl Machine {
         rank_events: &[Vec<SimEvent>],
         rank_waits: &[Vec<WaitPoint>],
         rank_stats: &mut [RankStats],
+        trace: Option<&mut PhaseTrace>,
     ) -> (Vec<QueueReport>, FaultSummary) {
         let nodes = self.topo.nodes();
         let total_events: usize = rank_events.iter().map(Vec::len).sum();
         let gated = rank_waits.iter().any(|w| !w.is_empty());
         let faulted = faults.is_some();
         let mut summary = FaultSummary::default();
+        // Machine-side span staging (observe-only, populated when tracing):
+        // retry/failover spans land on the sender's lane *after* the
+        // gate-stall shift (they are placed at pre-skew arrival times and
+        // must not be shifted), handler spans on per-node lanes. `morder`
+        // serializes machine-side emissions so the conservation checker can
+        // re-fold every accumulator in its true add order.
+        let tracing = trace.is_some();
+        let mut tr_rank_extra: Vec<Vec<Span>> = Vec::new();
+        let mut tr_handler: Vec<Vec<Span>> = Vec::new();
+        let mut morder: u32 = MACHINE_ORDER_BASE;
+        if tracing {
+            tr_rank_extra = vec![Vec::new(); rank_events.len()];
+            tr_handler = vec![Vec::new(); nodes];
+        }
         // lost_delay[r][seq]: Some(retry-resolution delay after the
         // skew-shifted send) for batches the plan loses; None for live.
         let mut lost_delay: Vec<Vec<Option<f64>>> = Vec::new();
@@ -435,8 +496,36 @@ impl Machine {
                             let nbr = self.topo.next_best_rank(node, self.handler_policy, ev.seq);
                             rank_stats[nbr].handler_ns += ev.service_ns;
                             rank_stats[nbr].handler_batches += 1;
-                            lost_delay[r][s] =
-                                Some(self.retry.recover_wait_ns() + resend + ev.service_ns);
+                            let delay = self.retry.recover_wait_ns() + resend + ev.service_ns;
+                            if tracing {
+                                tr_rank_extra[r].push(Span {
+                                    kind: SpanKind::Retry,
+                                    start_ns: ev.arrival_ns,
+                                    dur_ns: delay,
+                                    ns: resend,
+                                    aux: 0.0,
+                                    a: ev.dst_node,
+                                    b: ev.seq,
+                                    c: 0,
+                                    group: morder,
+                                    order: morder,
+                                });
+                                morder += 1;
+                                tr_handler[node].push(Span {
+                                    kind: SpanKind::HandlerRecovered,
+                                    start_ns: ev.arrival_ns,
+                                    dur_ns: ev.service_ns,
+                                    ns: ev.service_ns,
+                                    aux: 0.0,
+                                    a: nbr as u32,
+                                    b: ev.seq,
+                                    c: ev.src_rank,
+                                    group: morder,
+                                    order: morder,
+                                });
+                                morder += 1;
+                            }
+                            lost_delay[r][s] = Some(delay);
                         }
                         Some(Lost::Permanent) => {
                             summary.injected += 1;
@@ -460,6 +549,47 @@ impl Machine {
                                 let hr = self.topo.handler_rank(alt, self.handler_policy, ev.seq);
                                 rank_stats[hr].handler_ns += ev.service_ns;
                                 rank_stats[hr].handler_batches += 1;
+                                if tracing {
+                                    tr_rank_extra[r].push(Span {
+                                        kind: SpanKind::Retry,
+                                        start_ns: ev.arrival_ns,
+                                        dur_ns: delay,
+                                        ns: resend,
+                                        aux: 0.0,
+                                        a: ev.dst_node,
+                                        b: ev.seq,
+                                        c: 0,
+                                        group: morder,
+                                        order: morder,
+                                    });
+                                    morder += 1;
+                                    tr_rank_extra[r].push(Span {
+                                        kind: SpanKind::Failover,
+                                        start_ns: ev.arrival_ns,
+                                        dur_ns: delay,
+                                        ns: delay,
+                                        aux: 0.0,
+                                        a: alt as u32,
+                                        b: ev.seq,
+                                        c: 0,
+                                        group: morder,
+                                        order: morder,
+                                    });
+                                    morder += 1;
+                                    tr_handler[alt].push(Span {
+                                        kind: SpanKind::HandlerRecovered,
+                                        start_ns: ev.arrival_ns,
+                                        dur_ns: ev.service_ns,
+                                        ns: ev.service_ns,
+                                        aux: 0.0,
+                                        a: hr as u32,
+                                        b: ev.seq,
+                                        c: ev.src_rank,
+                                        group: morder,
+                                        order: morder,
+                                    });
+                                    morder += 1;
+                                }
                                 lost_delay[r][s] = Some(delay);
                             } else {
                                 // The owner is down and no replica
@@ -476,6 +606,21 @@ impl Machine {
                                 let resend = self.cost.retry_resend_ns(ev.items);
                                 rank_stats[r].retries += attempts;
                                 rank_stats[r].retry_ns += attempts as f64 * resend;
+                                if tracing {
+                                    tr_rank_extra[r].push(Span {
+                                        kind: SpanKind::Retry,
+                                        start_ns: ev.arrival_ns,
+                                        dur_ns: give_up,
+                                        ns: attempts as f64 * resend,
+                                        aux: 0.0,
+                                        a: ev.dst_node,
+                                        b: ev.seq,
+                                        c: 0,
+                                        group: morder,
+                                        order: morder,
+                                    });
+                                    morder += 1;
+                                }
                                 lost_delay[r][s] = Some(give_up);
                             }
                         }
@@ -602,7 +747,91 @@ impl Machine {
             rank_stats[r].gate_stall_ns += st.iter().sum::<f64>() - retry;
             rank_stats[r].retry_ns += retry;
         }
-        self.fold_handler(&detailed, rank_stats);
+        self.fold_handler(
+            &detailed,
+            rank_stats,
+            if tracing {
+                Some((&mut tr_handler, &mut morder))
+            } else {
+                None
+            },
+        );
+        if let Some(tr) = trace {
+            // Final per-event completions, for naming each stall's
+            // bounding batch (the one whose completion the gate actually
+            // waited on).
+            let mut completions: Vec<Vec<f64>> = Vec::new();
+            if gated {
+                completions = rank_events.iter().map(|e| vec![0.0; e.len()]).collect();
+                for (_, batches) in &detailed {
+                    for b in batches {
+                        completions[b.src_rank as usize][b.seq as usize] = b.completion_ns;
+                    }
+                }
+            }
+            for (r, lane) in tr.rank_spans.iter_mut().enumerate() {
+                let waits = &rank_waits[r];
+                let st = &stalls[r];
+                // Shift every rank-side span begun after a wait point by
+                // the stalls resolved before it, so the timeline shows the
+                // stalled clock. The pipeline awaits between chunk
+                // halves, so a wait point never splits an *open* span;
+                // it can sit inside a `ChunkExtend` window the overlap
+                // credit rewound the clock into, which the nesting check
+                // sanctions. The conserved `ns` values are untouched.
+                lane.sort_unstable_by_key(|s| s.order);
+                let mut w = 0usize;
+                let mut skew = 0.0f64;
+                for sp in lane.iter_mut() {
+                    while w < waits.len() && waits[w].trace_order <= sp.order {
+                        skew += st[w];
+                        w += 1;
+                    }
+                    sp.start_ns += skew;
+                }
+                let mut skew = 0.0f64;
+                for (i, wp) in waits.iter().enumerate() {
+                    let stall = st[i];
+                    if stall > 0.0 {
+                        let mut best = f64::NEG_INFINITY;
+                        let (mut ba, mut bb) = (u32::MAX, 0u32);
+                        for seq in wp.from_seq..wp.to_seq {
+                            let s = seq as usize;
+                            let (t, lost) = if faulted && lost_delay[r][s].is_some() {
+                                (lost_resolution[r][s], true)
+                            } else {
+                                (completions[r][s], false)
+                            };
+                            if t > best {
+                                best = t;
+                                ba = if lost {
+                                    u32::MAX
+                                } else {
+                                    rank_events[r][s].dst_node
+                                };
+                                bb = seq;
+                            }
+                        }
+                        lane.push(Span {
+                            kind: SpanKind::GateStall,
+                            start_ns: wp.at_ns + skew,
+                            dur_ns: stall,
+                            ns: stall,
+                            aux: retry_parts[r][i],
+                            a: ba,
+                            b: bb,
+                            c: 0,
+                            group: morder,
+                            order: morder,
+                        });
+                        morder += 1;
+                    }
+                    skew += stall;
+                }
+                lane.append(&mut tr_rank_extra[r]);
+            }
+            tr.handler_spans = tr_handler;
+        }
         (
             detailed.into_iter().map(|(report, _)| report).collect(),
             summary,
@@ -623,7 +852,39 @@ impl Machine {
         &self,
         detailed: &[(QueueReport, Vec<ServicedBatch>)],
         rank_stats: &mut [RankStats],
+        mut tr: Option<(&mut Vec<Vec<Span>>, &mut u32)>,
     ) {
+        // One handler-service span per serviced batch on the node's
+        // handler lane. The `group` id encodes how the busy time entered
+        // the absorbing rank's accumulator: whole-queue policies add one
+        // pre-folded `busy_ns`, so the node's batches share a group (the
+        // conservation checker folds the group first, reproducing
+        // `busy_ns`'s own add order); per-batch policies add each service
+        // demand individually, so every span is its own group.
+        fn emit(
+            tr: &mut Option<(&mut Vec<Vec<Span>>, &mut u32)>,
+            node: usize,
+            rank: usize,
+            group_of: impl Fn(u32) -> u32,
+            b: &ServicedBatch,
+        ) {
+            if let Some((lanes, morder)) = tr.as_mut() {
+                let order = **morder;
+                **morder += 1;
+                lanes[node].push(Span {
+                    kind: SpanKind::HandlerService,
+                    start_ns: b.start_ns,
+                    dur_ns: b.service_ns,
+                    ns: b.service_ns,
+                    aux: b.start_ns - b.arrival_ns,
+                    a: rank as u32,
+                    b: b.seq,
+                    c: b.src_rank,
+                    group: group_of(order),
+                    order,
+                });
+            }
+        }
         for (node, (report, batches)) in detailed.iter().enumerate() {
             if report.events == 0 {
                 continue;
@@ -633,11 +894,19 @@ impl Machine {
                     let lead = self.topo.lead_rank(node);
                     rank_stats[lead].handler_ns += report.busy_ns;
                     rank_stats[lead].handler_batches += report.events;
+                    let g = tr.as_ref().map_or(0, |(_, m)| **m);
+                    for b in batches {
+                        emit(&mut tr, node, lead, |_| g, b);
+                    }
                 }
                 HandlerPolicy::DedicatedProgressRank => {
                     let prog = self.topo.progress_rank(node);
                     rank_stats[prog].handler_ns += report.busy_ns;
                     rank_stats[prog].handler_batches += report.events;
+                    let g = tr.as_ref().map_or(0, |(_, m)| **m);
+                    for b in batches {
+                        emit(&mut tr, node, prog, |_| g, b);
+                    }
                 }
                 HandlerPolicy::RotateRanks => {
                     let ranks = self.topo.ranks_on_node(node);
@@ -646,6 +915,7 @@ impl Machine {
                         let r = ranks.start + i % n;
                         rank_stats[r].handler_ns += b.service_ns;
                         rank_stats[r].handler_batches += 1;
+                        emit(&mut tr, node, r, |o| o, b);
                     }
                 }
                 HandlerPolicy::LeastLoaded => {
@@ -663,6 +933,7 @@ impl Machine {
                         rank_stats[r].handler_ns += b.service_ns;
                         rank_stats[r].handler_batches += 1;
                         loads[best] += b.service_ns;
+                        emit(&mut tr, node, r, |o| o, b);
                     }
                 }
             }
@@ -692,6 +963,22 @@ impl Machine {
     /// Drop the phase log (e.g. between independent experiment repetitions).
     pub fn clear_phases(&mut self) {
         self.phases.clear();
+        self.trace_phases.clear();
+    }
+
+    /// Take the recorded trace: one [`PhaseTrace`] per completed phase,
+    /// ready for [`Trace::to_chrome_string`] against [`Machine::phases`].
+    /// `None` when the machine was built without
+    /// [`MachineConfig::trace`]; drains the buffer (the phase log stays).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        if !self.trace {
+            return None;
+        }
+        Some(Trace {
+            ranks: self.topo.ranks(),
+            ppn: self.topo.ppn(),
+            phases: std::mem::take(&mut self.trace_phases),
+        })
     }
 }
 
@@ -741,6 +1028,10 @@ pub(crate) struct WaitPoint {
     to_seq: u32,
     issued_seq: u32,
     at_ns: f64,
+    /// The rank's trace-order counter when the wait was declared: spans
+    /// with `order >= trace_order` began after the wait and are shifted by
+    /// its resolved stall. Zero (harmless) when tracing is off.
+    trace_order: u32,
 }
 
 /// Per-rank handle: identity, topology, and the charging interface.
@@ -783,6 +1074,10 @@ pub struct RankCtx<'a> {
     retry: RetryPolicy,
     /// Shard replica placement (None when the index is not replicated).
     replicas: Option<ReplicaMap>,
+    /// Span recorder, boxed in when the machine traces. Observe-only: the
+    /// recorder reads the clock ([`RankStats::total_ns`]) but never
+    /// charges, so `None` vs `Some` never changes a simulated number.
+    trace: Option<Box<RankTraceBuf>>,
 }
 
 /// A snapshot of a rank's charged communication/computation, used to
@@ -1076,6 +1371,9 @@ impl RankCtx<'_> {
             service_ns,
             deadline_budget_ns: self.deadline_budget_ns,
         });
+        if let Some(t) = self.trace.as_mut() {
+            t.instant(SpanKind::BatchSend, dst_node as u32, seq, arrival_ns);
+        }
         BatchId(seq)
     }
 
@@ -1107,6 +1405,7 @@ impl RankCtx<'_> {
             to_seq: to.0,
             issued_seq: self.next_seq,
             at_ns: self.stats.total_ns(),
+            trace_order: self.trace.as_ref().map_or(0, |t| t.next_order),
         });
     }
 
@@ -1239,6 +1538,12 @@ impl RankCtx<'_> {
     #[inline]
     pub fn charge_stream_wait(&mut self, ns: f64) {
         if ns > 0.0 {
+            if self.trace.is_some() {
+                let start = self.stats.total_ns();
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(SpanKind::StreamWait, start, ns, ns, 0, 0);
+                }
+            }
             self.stats.stream_wait_ns += ns;
         }
     }
@@ -1353,6 +1658,43 @@ impl RankCtx<'_> {
     /// Read access to the accumulating stats.
     pub fn stats(&self) -> &RankStats {
         &self.stats
+    }
+
+    /// Whether this machine records spans. Observe-only — callers never
+    /// need to branch on it (the recording methods are no-ops when off),
+    /// but it lets hot paths skip building span payloads.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Open a span at the rank's current clock. Returns `None` (for a
+    /// matching no-op [`RankCtx::trace_end`]) when tracing is off.
+    #[inline]
+    pub fn trace_begin(&mut self, kind: SpanKind, a: u32, b: u32) -> Option<TraceMark> {
+        let now = self.stats.total_ns();
+        self.trace.as_mut().map(|t| t.begin(kind, a, b, now))
+    }
+
+    /// Close a span opened by [`RankCtx::trace_begin`] at the current
+    /// clock.
+    #[inline]
+    pub fn trace_end(&mut self, mark: Option<TraceMark>) {
+        if let Some(m) = mark {
+            let now = self.stats.total_ns();
+            if let Some(t) = self.trace.as_mut() {
+                t.end(m, now);
+            }
+        }
+    }
+
+    /// Record an instant event at the current clock (no-op when off).
+    #[inline]
+    pub fn trace_instant(&mut self, kind: SpanKind, a: u32, b: u32) {
+        let now = self.stats.total_ns();
+        if let Some(t) = self.trace.as_mut() {
+            t.instant(kind, a, b, now);
+        }
     }
 }
 

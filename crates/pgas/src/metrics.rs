@@ -1,0 +1,211 @@
+//! The unified metrics registry: one typed descriptor table naming every
+//! deterministic counter a [`PhaseReport`] carries, so the harness JSON
+//! emitters, `perf_gate`'s direction-aware bands, and the trace exporter
+//! all read the same source of truth instead of each hand-picking fields.
+//!
+//! Every metric is a pure function of the phase report's *simulated*
+//! state — wall-clock and latency percentiles are deliberately excluded so
+//! a registry snapshot is bit-reproducible across runs (the trace export's
+//! determinism tests depend on this).
+
+use crate::machine::PhaseReport;
+use crate::stats::{CommTag, RankStats};
+
+/// Which direction is an improvement, for perf-gate banding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Better {
+    /// Smaller is better (times, message counts).
+    Lower,
+    /// Larger is better (overlap credit, filter skips).
+    Higher,
+    /// Informational: tracked, never gated on direction.
+    Info,
+}
+
+/// One registry row: a stable key, its gate direction, and the extractor.
+pub struct MetricDesc {
+    pub key: &'static str,
+    pub better: Better,
+    pub extract: fn(&PhaseReport) -> f64,
+}
+
+fn agg(p: &PhaseReport) -> RankStats {
+    p.aggregate()
+}
+
+macro_rules! m {
+    ($key:literal, $better:expr, $f:expr) => {
+        MetricDesc {
+            key: $key,
+            better: $better,
+            extract: $f,
+        }
+    };
+}
+
+/// The descriptor table. Keys are stable once shipped: baselines, traces
+/// and harness JSONs all spell them.
+pub static REGISTRY: &[MetricDesc] = &[
+    m!("sim_s", Better::Lower, |p| p.sim_seconds),
+    m!("comp_s", Better::Lower, |p| p.max_comp_seconds()),
+    m!("comm_s", Better::Lower, |p| agg(p).comm_total_ns() / 1e9),
+    m!("comm_overlapped_s", Better::Higher, |p| {
+        agg(p).comm_overlapped_ns / 1e9
+    }),
+    m!("comm_exposed_s", Better::Lower, |p| {
+        agg(p).comm_exposed_ns() / 1e9
+    }),
+    m!("handler_s", Better::Lower, |p| agg(p).handler_ns / 1e9),
+    m!("gate_stall_s", Better::Lower, |p| agg(p).gate_stall_ns
+        / 1e9),
+    m!("retry_s", Better::Lower, |p| agg(p).retry_ns / 1e9),
+    m!("failover_s", Better::Info, |p| agg(p).failover_ns / 1e9),
+    m!("stream_wait_s", Better::Info, |p| agg(p).stream_wait_ns
+        / 1e9),
+    m!("msgs_remote", Better::Lower, |p| agg(p).msgs_remote as f64),
+    m!("msgs_local", Better::Info, |p| agg(p).msgs_local as f64),
+    m!("bytes_remote", Better::Lower, |p| agg(p).bytes_remote
+        as f64),
+    m!("bytes_local", Better::Info, |p| agg(p).bytes_local as f64),
+    m!("atomics_remote", Better::Info, |p| {
+        agg(p).atomics_remote as f64
+    }),
+    m!("atomics_local", Better::Info, |p| agg(p).atomics_local
+        as f64),
+    m!("io_bytes", Better::Info, |p| agg(p).io_bytes as f64),
+    m!("msgs_seed_lookup", Better::Lower, |p| {
+        agg(p).msgs_for(CommTag::SeedLookup) as f64
+    }),
+    m!("msgs_target_fetch", Better::Lower, |p| {
+        agg(p).msgs_for(CommTag::TargetFetch) as f64
+    }),
+    m!("gate_waits", Better::Info, |p| agg(p).gate_waits as f64),
+    m!("retries", Better::Info, |p| agg(p).retries as f64),
+    m!("failovers", Better::Info, |p| agg(p).failovers as f64),
+    m!("handler_batches", Better::Info, |p| {
+        agg(p).handler_batches as f64
+    }),
+    m!("lookup_batches", Better::Info, |p| agg(p).lookup_batches
+        as f64),
+    m!("lookup_batch_seeds", Better::Info, |p| {
+        agg(p).lookup_batch_seeds as f64
+    }),
+    m!("node_batches", Better::Info, |p| agg(p).node_batches as f64),
+    m!("node_batch_seeds", Better::Info, |p| {
+        agg(p).node_batch_seeds as f64
+    }),
+    m!("target_batches", Better::Info, |p| agg(p).target_batches
+        as f64),
+    m!("target_batch_refs", Better::Info, |p| {
+        agg(p).target_batch_refs as f64
+    }),
+    m!("seed_cache_hits", Better::Info, |p| {
+        agg(p).seed_cache_hits as f64
+    }),
+    m!("seed_cache_misses", Better::Info, |p| {
+        agg(p).seed_cache_misses as f64
+    }),
+    m!("target_cache_hits", Better::Info, |p| {
+        agg(p).target_cache_hits as f64
+    }),
+    m!("target_cache_misses", Better::Info, |p| {
+        agg(p).target_cache_misses as f64
+    }),
+    m!("exact_hash_checks", Better::Info, |p| {
+        agg(p).exact_hash_checks as f64
+    }),
+    m!("exact_hash_skips", Better::Higher, |p| {
+        agg(p).exact_hash_skips as f64
+    }),
+    m!("max_queue_depth", Better::Info, |p| p.max_queue_depth()
+        as f64),
+    m!("fault_injected", Better::Info, |p| {
+        p.fault_summary.injected as f64
+    }),
+    m!("fault_slowed", Better::Info, |p| p.fault_summary.slowed
+        as f64),
+    m!("fault_retried", Better::Info, |p| {
+        p.fault_summary.retried as f64
+    }),
+    m!("fault_recovered", Better::Info, |p| {
+        p.fault_summary.recovered as f64
+    }),
+    m!("fault_failed", Better::Info, |p| p.fault_summary.failed
+        as f64),
+    m!("fault_failovers", Better::Info, |p| {
+        p.fault_summary.failovers as f64
+    }),
+    m!("fault_degraded_reads", Better::Lower, |p| {
+        p.fault_summary.degraded_reads as f64
+    }),
+    m!("fault_recovered_reads", Better::Higher, |p| {
+        p.fault_summary.recovered_reads as f64
+    }),
+];
+
+/// Snapshot every registry metric for one phase, in table order.
+pub fn snapshot(p: &PhaseReport) -> Vec<(&'static str, f64)> {
+    REGISTRY.iter().map(|d| (d.key, (d.extract)(p))).collect()
+}
+
+/// Find a registry row by key.
+pub fn lookup(key: &str) -> Option<&'static MetricDesc> {
+    REGISTRY.iter().find(|d| d.key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::fault::FaultSummary;
+
+    fn report() -> PhaseReport {
+        let mut s = RankStats::default();
+        s.comm_ns[CommTag::SeedLookup.idx()] = 2e9;
+        s.comp_ns[2] = 1e9;
+        s.gate_stall_ns = 5e8;
+        s.msgs_remote = 7;
+        s.seed_cache_hits = 3;
+        PhaseReport {
+            name: "align".into(),
+            sim_seconds: 3.5,
+            wall_seconds: 0.0,
+            rank_stats: vec![s],
+            node_service: Vec::new(),
+            fault_summary: FaultSummary {
+                injected: 2,
+                ..Default::default()
+            },
+            read_latency_ns: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn keys_are_unique_and_lookup_finds_them() {
+        let mut seen = std::collections::HashSet::new();
+        for d in REGISTRY {
+            assert!(seen.insert(d.key), "duplicate key {}", d.key);
+            assert_eq!(lookup(d.key).unwrap().key, d.key);
+        }
+        assert!(lookup("wall_seconds").is_none());
+        assert!(lookup("nope").is_none());
+    }
+
+    #[test]
+    fn snapshot_reads_the_report() {
+        let p = report();
+        let snap = snapshot(&p);
+        assert_eq!(snap.len(), REGISTRY.len());
+        let get = |k: &str| snap.iter().find(|(key, _)| *key == k).unwrap().1;
+        assert_eq!(get("sim_s"), 3.5);
+        assert_eq!(get("comm_s"), 2.0);
+        assert_eq!(get("gate_stall_s"), 0.5);
+        assert_eq!(get("msgs_remote"), 7.0);
+        assert_eq!(get("seed_cache_hits"), 3.0);
+        assert_eq!(get("fault_injected"), 2.0);
+        // Every metric is finite and deterministic (no wall-clock key).
+        for (k, v) in &snap {
+            assert!(v.is_finite(), "{k} not finite");
+            assert_ne!(*k, "wall_s");
+        }
+    }
+}

@@ -83,6 +83,7 @@ pub mod event;
 pub mod fault;
 pub mod queue;
 pub mod service;
+pub mod trace;
 
 pub use arrival::{low_priority, ArrivalModel};
 pub use event::{EventKind, SimEvent};
@@ -91,3 +92,4 @@ pub use fault::{
 };
 pub use queue::{NodeQueue, QueueReport, ServicedBatch};
 pub use service::{service_phase, service_phase_detailed};
+pub use trace::{PhaseTrace, RankTraceBuf, Span, SpanKind, Trace, TraceMark};
