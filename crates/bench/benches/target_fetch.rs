@@ -25,7 +25,7 @@ use dht::{
     build_seed_index, fetch_target, BuildConfig, CacheConfig, CacheSet, LookupEnv, SeedEntry,
     TargetFetchScratch,
 };
-use pgas::{GlobalRef, Machine, MachineConfig, SharedArray};
+use pgas::{GlobalRef, Machine, MachineSpec, SharedArray};
 use seq::{Kmer, PackedSeq};
 
 /// Targets owned by the remote rank.
@@ -52,9 +52,11 @@ fn setup() -> (Machine, SharedArray<Arc<PackedSeq>>, Vec<GlobalRef>) {
         })
         .collect();
     let targets = SharedArray::from_parts(parts);
-    let mut cfg = MachineConfig::new(2, 1);
-    cfg.sequential = true;
-    let machine = Machine::new(cfg);
+    let machine = Machine::new(
+        MachineSpec::new(2, 1)
+            .with_sequential(true)
+            .machine_config(),
+    );
     let mut state = 99u64;
     let refs = (0..STREAM)
         .map(|_| {

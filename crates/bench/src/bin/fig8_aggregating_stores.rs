@@ -21,11 +21,11 @@ use meraligner::{
     run_pipeline, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig, ReplicationMode,
     TargetStore,
 };
-use pgas::{CommTag, FaultPlan, GlobalRef, Machine, MachineConfig};
+use pgas::{CommTag, FaultPlan, GlobalRef, Machine, MachineSpec};
 use seq::KmerIter;
 
 fn build_time(cores: usize, tdb: &seq::SeqDb, k: usize, algo: BuildAlgorithm) -> (f64, u64, u64) {
-    let mut machine = Machine::new(MachineConfig::new(cores, PPN));
+    let mut machine = Machine::new(MachineSpec::new(cores, PPN).machine_config());
     let store = TargetStore::load(&mut machine, tdb);
     let cfg = BuildConfig {
         k,

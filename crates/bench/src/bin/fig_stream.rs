@@ -12,10 +12,17 @@
 //! cost model) and asserts in-binary that admission keeps p99 at or
 //! under `STREAM_CONGESTED_P99_BOUND_S` where the uncontrolled run
 //! exceeds it.
+//!
+//! `--discipline edf` switches to the multi-server contrast instead:
+//! the congested cost model served by the default single-lane FIFO
+//! engine vs `Edf { servers: k }` (`--servers`, default ppn), asserting
+//! the k-lane EDF tail lands at or under
+//! `STREAM_EDF_P99_FRAC_OF_FIFO` of FIFO's.
 
 use bench::gates::{
     CONGESTED_HANDLER_DISPATCH_NS, CONGESTED_NODE_ROUTE_NS_PER_SEED,
     CONGESTED_TARGET_ROUTE_NS_PER_REF, MIN_STREAM_SHED_READS, STREAM_CONGESTED_P99_BOUND_S,
+    STREAM_EDF_P99_FRAC_OF_FIFO,
 };
 use bench::{
     fmt_s, header, pipeline_config, push_registry, row, save_trace, summarize_latency, Cli,
@@ -24,6 +31,7 @@ use bench::{
 use meraligner::{
     run_pipeline, ArrivalModel, LookupChunk, PipelineConfig, PipelineMode, PipelineResult,
 };
+use pgas::ServiceDiscipline;
 
 /// Two Edison nodes — enough for real off-node traffic and handler
 /// queues while staying CI-sized.
@@ -101,6 +109,111 @@ fn main() {
         cfg.stream_admission = admission;
         cfg
     };
+
+    // ---- Discipline contrast (`--discipline edf`): the congested cost
+    // model with finite (healthy-window) deadlines, served by the
+    // default single-lane FIFO engine vs `Edf { servers: k }`. With k
+    // lanes per node the owner queues drain ~k× faster, so the tail the
+    // FIFO machine can only shed its way out of never builds — the gate
+    // asserts the EDF p99 lands at or under
+    // `STREAM_EDF_P99_FRAC_OF_FIFO` of FIFO's. This mode replaces the
+    // healthy/congested sections and writes its own `--json` feed
+    // (`stream_edf_*`), gated against its own baseline.
+    if cli.edf {
+        let edf_disc = cli.discipline(PPN);
+        let k = edf_disc.servers();
+        let contrast_cfg = |discipline: ServiceDiscipline| -> PipelineConfig {
+            let mut cfg = stream_cfg(true);
+            cfg.cost.handler_dispatch_ns = CONGESTED_HANDLER_DISPATCH_NS;
+            cfg.cost.node_route_ns_per_seed = CONGESTED_NODE_ROUTE_NS_PER_SEED;
+            cfg.cost.target_route_ns_per_ref = CONGESTED_TARGET_ROUTE_NS_PER_REF;
+            cfg.stream_low_priority_pct = CONGESTED_LOW_PRIORITY_PCT;
+            cfg.stream_shed_ratio = CONGESTED_SHED_RATIO;
+            cfg.stream_defer_ratio = CONGESTED_DEFER_RATIO;
+            cfg.lookup_chunk = LookupChunk::Fixed(CONGESTED_CHUNK_READS);
+            cfg.discipline = discipline;
+            cfg
+        };
+        eprintln!(
+            "# discipline contrast under congested cost: \
+             Fifo {{ servers: 1 }} vs Edf {{ servers: {k} }}, finite deadlines"
+        );
+        let fifo = run_pipeline(
+            &contrast_cfg(ServiceDiscipline::Fifo { servers: 1 }),
+            &tdb,
+            &qdb,
+        );
+        // The traced run (`--trace`) is the EDF one; `edf2` stays
+        // untraced, so run-twice identity doubles as the observe-only
+        // tracing check.
+        let edf = {
+            let mut cfg = contrast_cfg(edf_disc);
+            cfg.trace = cli.trace.is_some();
+            run_pipeline(&cfg, &tdb, &qdb)
+        };
+        let edf2 = run_pipeline(&contrast_cfg(edf_disc), &tdb, &qdb);
+        if let (Some(path), Some(trace)) = (&cli.trace, edf.trace.as_ref()) {
+            save_trace(path, trace, &edf.phases);
+        }
+        fifo.assert_read_conservation();
+        edf.assert_read_conservation();
+        assert_eq!(
+            edf.shed, edf2.shed,
+            "EDF shed set must be run-twice identical"
+        );
+        assert_eq!(
+            edf.expired, edf2.expired,
+            "EDF expiry set must be run-twice identical"
+        );
+        assert_eq!(
+            edf.read_latency_ns(),
+            edf2.read_latency_ns(),
+            "EDF latencies must be run-twice identical"
+        );
+        assert_eq!(edf.placements, edf2.placements);
+        let fifo_s = summarize_latency(fifo.read_latency_ns());
+        let edf_s = summarize_latency(edf.read_latency_ns());
+        header(&[
+            "section", "n", "p50_s", "p99_s", "mean_s", "shed", "expired", "align_s",
+        ]);
+        row(&lat_row("congested_fifo1", &fifo, fifo.align_seconds()));
+        row(&lat_row(
+            &format!("congested_edf{k}"),
+            &edf,
+            edf.align_seconds(),
+        ));
+        // The load-bearing contrast: more lanes plus deadline ordering
+        // must move the congested tail, not just shuffle it.
+        assert!(
+            edf_s.p99 <= STREAM_EDF_P99_FRAC_OF_FIFO * fifo_s.p99,
+            "Edf {{ servers: {k} }} p99 {} s must land at or under {} of \
+             the single-lane FIFO p99 {} s",
+            fmt_s(edf_s.p99 / 1e9),
+            STREAM_EDF_P99_FRAC_OF_FIFO,
+            fmt_s(fifo_s.p99 / 1e9)
+        );
+        eprintln!(
+            "# k-lane EDF under congestion: p99 {} s (Edf k={k}) vs {} s (Fifo k=1)",
+            fmt_s(edf_s.p99 / 1e9),
+            fmt_s(fifo_s.p99 / 1e9)
+        );
+        if let Some(path) = &cli.json {
+            let mut m = Metrics::default();
+            m.push("stream_edf_p50_s", edf_s.p50 / 1e9);
+            m.push("stream_edf_p99_s", edf_s.p99 / 1e9);
+            m.push("stream_edf_align_s", edf.align_seconds());
+            m.push("info_stream_edf_servers", k as f64);
+            m.push("info_stream_edf_shed_reads", edf.shed_reads as f64);
+            m.push("info_stream_edf_expired_reads", edf.expired_reads as f64);
+            m.push("info_stream_edf_fifo_p50_s", fifo_s.p50 / 1e9);
+            m.push("info_stream_edf_fifo_p99_s", fifo_s.p99 / 1e9);
+            m.push("info_stream_mean_gap_us", mean_gap_ns / 1e3);
+            push_registry(&mut m, "edf", edf.align_phase().expect("align phase"));
+            m.write(path).expect("write --json metrics");
+            eprintln!("# metrics written to {path}");
+        }
+        return;
+    }
 
     // ---- Healthy streaming: admission armed but never provoked. The
     // front-end must refuse nothing, account every read, and reproduce

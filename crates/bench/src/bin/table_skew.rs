@@ -21,7 +21,7 @@ use bench::gates::MAX_REPLICATED_BUSY_RATIO;
 use bench::{fmt_s, header, pipeline_config, push_registry, row, save_trace, Cli, Metrics, PPN};
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry};
 use meraligner::{run_pipeline, ReplicationMode, TargetStore};
-use pgas::{GlobalRef, Machine, MachineConfig, ReplicaMap};
+use pgas::{GlobalRef, Machine, MachineSpec, ReplicaMap};
 use seq::KmerIter;
 
 /// max/mean over per-node totals (1.0 = flat).
@@ -50,7 +50,7 @@ fn main() {
     // heap bytes per node, then the replica shards on top. Each of a
     // partition's `r − 1` secondaries holds a full copy of its replica
     // payload; `Hot` shrinks that payload to the high-degree buckets.
-    let mut machine = Machine::new(MachineConfig::new(cores, PPN));
+    let mut machine = Machine::new(MachineSpec::new(cores, PPN).machine_config());
     let store = TargetStore::load(&mut machine, &tdb);
     let bcfg = BuildConfig {
         k: d.k,

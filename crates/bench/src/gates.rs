@@ -66,6 +66,15 @@ pub const STREAM_CONGESTED_P99_BOUND_S: f64 = 0.12;
 /// many reads (zero would mean the controller never engaged).
 pub const MIN_STREAM_SHED_READS: u64 = 1;
 
+/// The fig_stream `--discipline edf` contrast: the congested run under
+/// `Edf { servers: ppn }` must bring its read-to-alignment p99 down to
+/// at most this fraction of the same run under the default single-lane
+/// FIFO engine. With every node draining on ppn lanes instead of one,
+/// the queue horizon shrinks ~k-fold, so a 0.5 bound leaves wide
+/// headroom while still failing if the multi-server engine stops
+/// moving the tail.
+pub const STREAM_EDF_P99_FRAC_OF_FIFO: f64 = 0.5;
+
 /// Which direction of drift regresses a gated metric.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Direction {
@@ -122,6 +131,8 @@ mod tests {
             std::hint::black_box((STREAM_CONGESTED_P99_BOUND_S, MIN_STREAM_SHED_READS));
         assert!(bound > 0.0 && bound.is_finite());
         assert!(min_shed >= 1);
+        let frac = std::hint::black_box(STREAM_EDF_P99_FRAC_OF_FIFO);
+        assert!(frac > 0.0 && frac < 1.0);
     }
 
     #[test]
@@ -142,6 +153,16 @@ mod tests {
         );
         assert_eq!(
             metric_direction("info_stream_congested_p99_off_s"),
+            Direction::Info
+        );
+        // The EDF contrast's own tail is gated; its FIFO twin is the
+        // yardstick the in-binary assertion already enforces.
+        assert_eq!(
+            metric_direction("stream_edf_p99_s"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("info_stream_edf_fifo_p99_s"),
             Direction::Info
         );
         assert_eq!(metric_direction("align_s_double"), Direction::LowerIsBetter);

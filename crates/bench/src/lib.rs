@@ -44,6 +44,12 @@ pub struct Cli {
     /// the same downed-node run with `Full(2)` replication, which must
     /// recover every owner-lost read with zero degradation.
     pub replicated: bool,
+    /// Owner-side service lanes per node (`--servers <k>`; `None` = the
+    /// discipline's own default — 1 for FIFO, the harness's ppn for EDF).
+    pub servers: Option<usize>,
+    /// Serve owner queues earliest-deadline-first (`--discipline edf`;
+    /// the default, also spellable `--discipline fifo`, is FIFO).
+    pub edf: bool,
 }
 
 impl Cli {
@@ -58,6 +64,8 @@ impl Cli {
             faults: false,
             congested: false,
             replicated: false,
+            servers: None,
+            edf: false,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -109,16 +117,49 @@ impl Cli {
                     );
                     i += 2;
                 }
+                "--servers" => {
+                    cli.servers = Some(
+                        args.get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&k: &usize| k >= 1)
+                            .unwrap_or_else(|| panic!("--servers needs a positive integer")),
+                    );
+                    i += 2;
+                }
+                "--discipline" => {
+                    match args.get(i + 1).map(String::as_str) {
+                        Some("fifo") => cli.edf = false,
+                        Some("edf") => cli.edf = true,
+                        other => panic!("--discipline needs fifo or edf, got {other:?}"),
+                    }
+                    i += 2;
+                }
                 other => {
                     panic!(
                         "unknown argument {other} \
                          (supported: --scale --seed --full --json --trace \
-                         --faults --congested --replicated)"
+                         --faults --congested --replicated --servers --discipline)"
                     )
                 }
             }
         }
         cli
+    }
+
+    /// Resolve `--discipline`/`--servers` into a service discipline.
+    /// `default_servers` is the lane count an EDF run gets when
+    /// `--servers` is absent (harnesses pass their machine's ppn); a
+    /// flag-less invocation resolves to `Fifo { servers: 1 }`, the
+    /// default engine every baseline was recorded on.
+    pub fn discipline(&self, default_servers: usize) -> pgas::ServiceDiscipline {
+        let servers = self
+            .servers
+            .unwrap_or(if self.edf { default_servers } else { 1 });
+        if self.edf {
+            pgas::ServiceDiscipline::Edf { servers }
+        } else {
+            pgas::ServiceDiscipline::Fifo { servers }
+        }
     }
 }
 
@@ -454,6 +495,41 @@ mod tests {
     #[should_panic(expected = "empty sample set")]
     fn percentile_rejects_empty() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn discipline_flags_resolve() {
+        use pgas::ServiceDiscipline;
+        let base = Cli {
+            scale: 0.01,
+            seed: 42,
+            full: false,
+            json: None,
+            trace: None,
+            faults: false,
+            congested: false,
+            replicated: false,
+            servers: None,
+            edf: false,
+        };
+        // Flag-less = the default engine (what the baselines pin).
+        assert_eq!(base.discipline(24), ServiceDiscipline::Fifo { servers: 1 });
+        let edf = Cli {
+            edf: true,
+            ..base.clone()
+        };
+        assert_eq!(edf.discipline(24), ServiceDiscipline::Edf { servers: 24 });
+        let wide = Cli {
+            servers: Some(6),
+            ..base.clone()
+        };
+        assert_eq!(wide.discipline(24), ServiceDiscipline::Fifo { servers: 6 });
+        let both = Cli {
+            servers: Some(6),
+            edf: true,
+            ..base
+        };
+        assert_eq!(both.discipline(24), ServiceDiscipline::Edf { servers: 6 });
     }
 
     #[test]

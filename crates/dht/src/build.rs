@@ -209,7 +209,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgas::{GlobalRef, MachineConfig, SharedArray};
+    use pgas::{GlobalRef, MachineSpec, SharedArray};
     use seq::{KmerIter, PackedSeq};
 
     /// Extract all (offset, kmer) entries from per-rank targets.
@@ -261,7 +261,7 @@ mod tests {
         let p = 8;
         let k = 11;
         let targets = test_targets(p);
-        let mut machine = Machine::new(MachineConfig::new(p, 4));
+        let mut machine = Machine::new(MachineSpec::new(p, 4).machine_config());
         let cfg = BuildConfig {
             k,
             algorithm: algo,

@@ -799,14 +799,14 @@ mod tests {
     use crate::build::{build_seed_index, BuildConfig};
     use crate::cache::CacheConfig;
     use crate::entry::SeedEntry;
-    use pgas::{Machine, MachineConfig};
+    use pgas::{Machine, MachineConfig, MachineSpec, ReplicationMode};
     use seq::KmerIter;
 
     const K: usize = 7;
 
     /// 4 ranks, 2 per node; each rank owns one 40-base target.
     fn setup() -> (Machine, SeedIndex, SharedArray<Arc<PackedSeq>>) {
-        setup_with(MachineConfig::new(4, 2))
+        setup_with(MachineSpec::new(4, 2).machine_config())
     }
 
     fn setup_with(cfg: MachineConfig) -> (Machine, SeedIndex, SharedArray<Arc<PackedSeq>>) {
@@ -943,7 +943,7 @@ mod tests {
     #[test]
     fn max_hits_caps_results() {
         // Index where one seed maps to many targets.
-        let mut machine = Machine::new(MachineConfig::new(2, 2));
+        let mut machine = Machine::new(MachineSpec::new(2, 2).machine_config());
         let km = Kmer::from_ascii(b"ACGTACG").unwrap();
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
             (0..10u32)
@@ -1079,8 +1079,9 @@ mod tests {
     #[test]
     fn failed_batches_degrade_to_not_found_without_cache_fills() {
         use pgas::FaultPlan;
-        let mut cfg = MachineConfig::new(4, 2);
-        cfg.faults = FaultPlan::node_down(7, 1, 0);
+        let cfg = MachineSpec::new(4, 2)
+            .with_faults(FaultPlan::node_down(7, 1, 0))
+            .machine_config();
         let (mut machine, idx, targets) = setup_with(cfg);
         let caches = CacheSet::new(2, &CacheConfig::default());
         machine.phase("degraded", |ctx| {
@@ -1145,10 +1146,11 @@ mod tests {
 
     #[test]
     fn failed_over_lookups_recover_with_full_replicas() {
-        use pgas::{FaultPlan, ReplicaMap};
-        let mut cfg = MachineConfig::new(4, 2);
-        cfg.faults = FaultPlan::node_down(7, 1, 0);
-        cfg.replicas = Some(ReplicaMap::full(2, 2));
+        use pgas::FaultPlan;
+        let cfg = MachineSpec::new(4, 2)
+            .with_faults(FaultPlan::node_down(7, 1, 0))
+            .with_replication(ReplicationMode::Full(2))
+            .machine_config();
         let (mut machine, mut idx, targets) = setup_with(cfg);
         idx.replicate_full();
         let caches = CacheSet::new(2, &CacheConfig::default());
@@ -1193,10 +1195,11 @@ mod tests {
 
     #[test]
     fn failed_over_fetches_recover_with_full_replicas() {
-        use pgas::{FaultPlan, ReplicaMap};
-        let mut cfg = MachineConfig::new(4, 2);
-        cfg.faults = FaultPlan::node_down(7, 1, 0);
-        cfg.replicas = Some(ReplicaMap::full(2, 2));
+        use pgas::FaultPlan;
+        let cfg = MachineSpec::new(4, 2)
+            .with_faults(FaultPlan::node_down(7, 1, 0))
+            .with_replication(ReplicationMode::Full(2))
+            .machine_config();
         let (mut machine, mut idx, targets) = setup_with(cfg);
         idx.replicate_full();
         let caches = CacheSet::new(2, &CacheConfig::default());
@@ -1228,10 +1231,14 @@ mod tests {
 
     #[test]
     fn hot_replicas_degrade_uncovered_seeds_and_all_fetches() {
-        use pgas::{FaultPlan, ReplicaMap};
-        let mut cfg = MachineConfig::new(4, 2);
-        cfg.faults = FaultPlan::node_down(7, 1, 0);
-        cfg.replicas = Some(ReplicaMap::hot(2, 2));
+        use pgas::FaultPlan;
+        let cfg = MachineSpec::new(4, 2)
+            .with_faults(FaultPlan::node_down(7, 1, 0))
+            .with_replication(ReplicationMode::Hot {
+                r: 2,
+                degree_pct: 0,
+            })
+            .machine_config();
         let (mut machine, mut idx, targets) = setup_with(cfg);
         // Empty hot set (0th percentile): the machine still fails the
         // batch over, but no seed is covered — everything degrades.

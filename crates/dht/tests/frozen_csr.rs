@@ -11,7 +11,7 @@ use dht::{
     build_seed_index, BatchScratch, BuildConfig, CacheConfig, CacheSet, LookupEnv, Partition,
     SeedEntry, TargetHit,
 };
-use pgas::{GlobalRef, Machine, MachineConfig};
+use pgas::{GlobalRef, Machine, MachineSpec};
 use proptest::prelude::*;
 use seq::{bucket_hash, Kmer};
 
@@ -76,17 +76,7 @@ proptest! {
         max_hits in 0usize..4,
     ) {
         let mk_machine = || {
-            Machine::new(MachineConfig {
-                ranks: 6,
-                ppn: 2,
-                cost: Default::default(),
-                handler_policy: Default::default(),
-                sequential: true,
-                faults: Default::default(),
-                retry: Default::default(),
-                replicas: None,
-                trace: false,
-            })
+            Machine::new(MachineSpec::new(6, 2).with_sequential(true).machine_config())
         };
         let mut machine = mk_machine();
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {

@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use dht::{build_seed_index, BuildAlgorithm, BuildConfig, SeedEntry, TargetHit};
-use pgas::{GlobalRef, Machine, MachineConfig};
+use pgas::{GlobalRef, Machine, MachineSpec};
 use proptest::prelude::*;
 use seq::Kmer;
 
@@ -56,7 +56,7 @@ proptest! {
         aggregating in proptest::bool::ANY,
         buffer_size in 1usize..16,
     ) {
-        let mut machine = Machine::new(MachineConfig::new(6, 3));
+        let mut machine = Machine::new(MachineSpec::new(6, 3).machine_config());
         let cfg = BuildConfig {
             k: K,
             algorithm: if aggregating {
@@ -89,7 +89,7 @@ proptest! {
         // The same entries distributed over the same 4 ranks must produce
         // the same logical content regardless of node shape.
         let build = |ppn: usize| {
-            let mut machine = Machine::new(MachineConfig::new(4, ppn));
+            let mut machine = Machine::new(MachineSpec::new(4, ppn).machine_config());
             build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
                 per_rank[r].clone().into_iter()
             })

@@ -12,7 +12,7 @@ use dht::{
     build_seed_index, BuildConfig, CacheConfig, CacheSet, LookupEnv, NodeBatchScratch, SeedEntry,
     SeedProbe, TargetHit,
 };
-use pgas::{GlobalRef, Machine, MachineConfig};
+use pgas::{GlobalRef, Machine, MachineSpec};
 use proptest::prelude::*;
 use seq::Kmer;
 
@@ -55,17 +55,9 @@ proptest! {
         let ppn = [1usize, 6, 24][ppn_sel];
         // 1-slot (all contended), small (some contention), ample.
         let seed_budget = [1usize, 2 << 10, 1 << 20][budget_sel];
-        let mut machine = Machine::new(MachineConfig {
-            ranks: 6,
-            ppn,
-            cost: Default::default(),
-            handler_policy: Default::default(),
-            sequential: true,
-            faults: Default::default(),
-            retry: Default::default(),
-            replicas: None,
-            trace: false,
-        });
+        let mut machine = Machine::new(
+            MachineSpec::new(6, ppn).with_sequential(true).machine_config(),
+        );
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
             per_rank[r].clone().into_iter()
         });

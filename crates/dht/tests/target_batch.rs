@@ -21,7 +21,7 @@ use dht::{
     build_seed_index, fetch_target, BuildConfig, CacheConfig, CacheSet, LookupEnv, SeedEntry,
     TargetFetchScratch,
 };
-use pgas::{GlobalRef, Machine, MachineConfig};
+use pgas::{GlobalRef, Machine, MachineSpec};
 use proptest::prelude::*;
 use seq::{Kmer, PackedSeq};
 
@@ -82,17 +82,9 @@ proptest! {
             .collect();
         let chunk = [1usize, 7, refs.len() + 5][chunk_sel];
 
-        let mut machine = Machine::new(MachineConfig {
-            ranks: RANKS,
-            ppn,
-            cost: Default::default(),
-            handler_policy: Default::default(),
-            sequential: true,
-            faults: Default::default(),
-            retry: Default::default(),
-            replicas: None,
-            trace: false,
-        });
+        let mut machine = Machine::new(
+            MachineSpec::new(RANKS, ppn).with_sequential(true).machine_config(),
+        );
         // A minimal index: LookupEnv requires one, fetches never touch it.
         let idx = build_seed_index(&mut machine, &BuildConfig::new(K), |r| {
             std::iter::once(SeedEntry {

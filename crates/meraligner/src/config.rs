@@ -4,7 +4,9 @@
 
 use align::{Engine, Scoring};
 use dht::{BuildAlgorithm, CacheConfig};
-use pgas::{ArrivalModel, CostModel, FaultPlan, HandlerPolicy, RetryPolicy};
+use pgas::{
+    ArrivalModel, CostModel, FaultPlan, HandlerPolicy, MachineSpec, RetryPolicy, ServiceDiscipline,
+};
 
 /// Granularity of the chunked, node-aware lookup/fetch aggregation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,44 +60,10 @@ pub enum PipelineMode {
     Streaming,
 }
 
-/// r-way replication of the frozen seed-index shards (and, under
-/// [`ReplicationMode::Full`], the target heaps) onto distinct nodes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ReplicationMode {
-    /// No replicas: the machine, placements, counters, and clocks are
-    /// bit-identical to a build without the replication subsystem.
-    Off,
-    /// Every partition is copied onto `r - 1` additional distinct nodes
-    /// at freeze time. Lookups route to the least-pressured replica;
-    /// after a node loss, lookups *and* target fetches fail over to a
-    /// surviving replica — with `r >= 2`, a single downed node yields
-    /// zero degraded reads.
-    Full(usize),
-    /// Only each partition's hottest seeds — the top `degree_pct`-percent
-    /// by hit-list length (ties at the boundary included) — are copied
-    /// onto `r - 1` additional nodes. Much cheaper than full copies on
-    /// repeat-heavy genomes; covered lookups fail over, cold lookups and
-    /// all target fetches degrade as without replicas. Routing stays on
-    /// the primary (a replica holding a fraction of the shard cannot
-    /// answer arbitrary batches).
-    Hot { r: usize, degree_pct: u32 },
-}
-
-impl ReplicationMode {
-    /// Whether replication is disabled (the bit-identity mode).
-    pub fn is_off(&self) -> bool {
-        matches!(self, ReplicationMode::Off)
-    }
-
-    /// The replication factor `r` (1 when off: primary only).
-    pub fn factor(&self) -> usize {
-        match *self {
-            ReplicationMode::Off => 1,
-            ReplicationMode::Full(r) => r.max(1),
-            ReplicationMode::Hot { r, .. } => r.max(1),
-        }
-    }
-}
+/// r-way shard replication — now defined in [`pgas::spec`] next to the
+/// rest of the machine-knob surface, re-exported here so existing
+/// `meraligner::ReplicationMode` call sites keep compiling.
+pub use pgas::ReplicationMode;
 
 /// `Auto` floor: below this the per-chunk scratch reuse stops paying.
 const AUTO_CHUNK_MIN: usize = 16;
@@ -143,6 +111,12 @@ pub struct PipelineConfig {
     /// ([`ReplicationMode::Off`] — the default — is bit-identical to a
     /// machine without the replication subsystem under every other knob).
     pub replication: ReplicationMode,
+    /// Owner-side service discipline: handler lanes per destination node
+    /// (clamped to `ppn`) and their dispatch order — FIFO replay order or
+    /// earliest-deadline-first against each batch's stamped deadline
+    /// budget. `Fifo { servers: 1 }` (the default) is bit-identical to
+    /// the single-server machine under every other knob.
+    pub discipline: ServiceDiscipline,
 
     // ---- algorithm ----
     /// Seed length `k` (51 for human/wheat, 19 for E. coli in the paper).
@@ -319,6 +293,7 @@ impl PipelineConfig {
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
             replication: ReplicationMode::Off,
+            discipline: ServiceDiscipline::default(),
             k,
             seed_stride: 1,
             engine: Engine::Striped,
@@ -353,6 +328,21 @@ impl PipelineConfig {
             max_hits_per_seed: 256,
             collect_alignments: false,
         }
+    }
+
+    /// The machine-knob surface of this pipeline configuration, as the
+    /// shared [`MachineSpec`] both config types consume — the pipeline's
+    /// simulated machine is exactly `self.machine_spec().machine_config()`.
+    pub fn machine_spec(&self) -> MachineSpec {
+        MachineSpec::new(self.ranks, self.ppn)
+            .with_cost(self.cost.clone())
+            .with_handler_policy(self.handler_policy)
+            .with_sequential(self.sequential)
+            .with_trace(self.trace)
+            .with_faults(self.fault_plan.clone())
+            .with_retry(self.retry)
+            .with_replication(self.replication)
+            .with_discipline(self.discipline)
     }
 
     /// The dht build configuration implied by this pipeline configuration.

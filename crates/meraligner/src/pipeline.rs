@@ -2,7 +2,7 @@
 
 use align::Alignment;
 use dht::{build_seed_index, CacheSet, LookupEnv, SeedEntry};
-use pgas::{CommTag, CompTag, GlobalRef, Machine, MachineConfig, PhaseReport, RankCtx, ReplicaMap};
+use pgas::{CommTag, CompTag, GlobalRef, Machine, PhaseReport, RankCtx};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -377,6 +377,24 @@ impl<'a> StreamFront<'a> {
             chunk_arrivals.push(arr);
             chunk.push(self.reads[i].clone());
         }
+        // Deadline-aware formation: with a finite deadline the chunk is
+        // ordered by remaining slack — every read in a chunk shares one
+        // deadline window, so slack order is arrival order, tightest
+        // (oldest arrival) first. Fresh arrivals are already
+        // nondecreasing; the stable sort only moves re-admitted deferred
+        // reads (older arrivals, hence less slack) ahead of fresh ones in
+        // the chunk that mixes both, so the most urgent reads lead the
+        // chunk's issue and extension walks. Infinite deadlines skip the
+        // pass entirely — the batch bit-identity anchor is untouched.
+        if cfg.stream_deadline_ns.is_finite() && !chunk.is_empty() {
+            let mut by_slack: Vec<(f64, (u32, PackedSeq))> =
+                chunk_arrivals.drain(..).zip(chunk.drain(..)).collect();
+            by_slack.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (arr, read) in by_slack {
+                chunk_arrivals.push(arr);
+                chunk.push(read);
+            }
+        }
         (chunk, chunk_arrivals)
     }
 }
@@ -396,6 +414,45 @@ fn chunk_budget_ns(arrivals: &[f64], now: f64, deadline_ns: f64) -> f64 {
         .max(0.0)
 }
 
+/// Post-gate expiry sweep of one in-flight chunk (streaming): a read
+/// whose deadline lapsed while its batches sat in the owner queue is
+/// dead — its candidates leave the extension walk and it is filed under
+/// `expired` instead of getting a placement or a latency. The sweep runs
+/// between a chunk's issue half (and its queue gate, when on) and its
+/// extension half, and tests each read against the same completion
+/// stand-in the latency records use: the later of the rank clock and the
+/// congestion mirror's horizon — the live clock alone never sees the
+/// queue delay that actually kills the read. Returns the per-slot
+/// expired mask; all-false — and charge-free — under the default
+/// infinite deadline, preserving the batch bit-identity anchor.
+fn expire_in_queue(
+    ctx: &mut RankCtx,
+    cfg: &PipelineConfig,
+    chunk: &[(u32, PackedSeq)],
+    arrivals: &[f64],
+    state: &mut ChunkState,
+    acc: &mut RankOutcomes,
+) -> Vec<bool> {
+    let mut expired = vec![false; chunk.len()];
+    if !cfg.stream_deadline_ns.is_finite() {
+        return expired;
+    }
+    let done = ctx.now_ns().max(ctx.queue_eta_ns());
+    let mut any = false;
+    for (slot, ((orig_idx, _), arr)) in chunk.iter().zip(arrivals).enumerate() {
+        if done - arr > cfg.stream_deadline_ns {
+            ctx.trace_instant(pgas::SpanKind::Expired, *orig_idx, 0);
+            acc.expired.push(*orig_idx);
+            expired[slot] = true;
+            any = true;
+        }
+    }
+    if any {
+        state.expire_reads(&expired);
+    }
+    expired
+}
+
 /// Run the full pipeline: targets and queries come from SDB1 containers
 /// (the parallel-I/O path), everything else per `cfg`.
 pub fn run_pipeline(
@@ -403,23 +460,9 @@ pub fn run_pipeline(
     targets_db: &SeqDb,
     queries_db: &SeqDb,
 ) -> PipelineResult {
-    let nodes = cfg.ranks.div_ceil(cfg.ppn.max(1)).max(1);
-    let replica_map = match cfg.replication {
-        ReplicationMode::Off => None,
-        ReplicationMode::Full(r) => Some(ReplicaMap::full(nodes, r)),
-        ReplicationMode::Hot { r, .. } => Some(ReplicaMap::hot(nodes, r)),
-    };
-    let mut machine = Machine::new(MachineConfig {
-        ranks: cfg.ranks,
-        ppn: cfg.ppn,
-        cost: cfg.cost.clone(),
-        handler_policy: cfg.handler_policy,
-        sequential: cfg.sequential,
-        trace: cfg.trace,
-        faults: cfg.fault_plan.clone(),
-        retry: cfg.retry,
-        replicas: replica_map,
-    });
+    let spec = cfg.machine_spec();
+    let replica_map = spec.replica_map();
+    let mut machine = Machine::new(spec.machine_config());
     let p = cfg.ranks;
     let k = cfg.k;
 
@@ -573,7 +616,12 @@ pub fn run_pipeline(
                     let mut front = StreamFront::new(cfg, ctx.rank, reads);
                     match cfg.overlap_mode {
                         OverlapMode::Lockstep => {
-                            let mut outcomes: Vec<QueryOutcome> = Vec::new();
+                            // `process_read_chunk`'s composition, opened
+                            // up so the post-gate expiry sweep can run
+                            // between the issue and extension halves
+                            // (identical charges and trace when nothing
+                            // expires).
+                            let mut state = ChunkState::default();
                             loop {
                                 let (chunk, arrivals) =
                                     front.next_chunk(ctx, cfg, chunk_reads, &mut acc);
@@ -585,7 +633,15 @@ pub fn run_pipeline(
                                     ctx.now_ns(),
                                     cfg.stream_deadline_ns,
                                 ));
-                                process_read_chunk(ctx, &actx, &chunk, &mut scratch, &mut outcomes);
+                                let from = ctx.batch_mark();
+                                issue_read_chunk(ctx, &actx, &chunk, &mut scratch, &mut state);
+                                if cfg.queue_gate {
+                                    ctx.await_batches(from, ctx.batch_mark());
+                                }
+                                let expired = expire_in_queue(
+                                    ctx, cfg, &chunk, &arrivals, &mut state, &mut acc,
+                                );
+                                extend_read_chunk(ctx, &actx, &chunk, &mut scratch, &mut state);
                                 // A read is done when its chunk's batches
                                 // have actually been serviced — the later
                                 // of the rank clock and the congestion
@@ -593,9 +649,15 @@ pub fn run_pipeline(
                                 // alone never sees handler busy time or
                                 // gate stalls; those land post-phase).
                                 let done = ctx.now_ns().max(ctx.queue_eta_ns());
-                                for (((orig_idx, _), arr), outcome) in
-                                    chunk.iter().zip(&arrivals).zip(outcomes.drain(..))
+                                for (slot, (((orig_idx, _), arr), outcome)) in chunk
+                                    .iter()
+                                    .zip(&arrivals)
+                                    .zip(drain_chunk_outcomes(&mut state))
+                                    .enumerate()
                                 {
+                                    if expired[slot] {
+                                        continue;
+                                    }
                                     acc.latency.push(done - arr);
                                     acc.record(store_ref, cfg, *orig_idx, outcome);
                                 }
@@ -626,6 +688,7 @@ pub fn run_pipeline(
                                 let (next_chunk, next_arr) =
                                     front.next_chunk(ctx, cfg, chunk_reads, &mut acc);
                                 let mut next_pending = (ctx.batch_mark(), ctx.batch_mark());
+                                let expired;
                                 if !next_chunk.is_empty() {
                                     let issue = ctx.overlap_mark();
                                     ctx.set_deadline_budget_ns(chunk_budget_ns(
@@ -646,6 +709,9 @@ pub fn run_pipeline(
                                     if cfg.queue_gate {
                                         ctx.await_batches(cur_pending.0, cur_pending.1);
                                     }
+                                    expired = expire_in_queue(
+                                        ctx, cfg, &cur_chunk, &cur_arr, &mut cur, &mut acc,
+                                    );
                                     let extend = ctx.overlap_mark();
                                     extend_read_chunk(
                                         ctx,
@@ -659,6 +725,9 @@ pub fn run_pipeline(
                                     if cfg.queue_gate {
                                         ctx.await_batches(cur_pending.0, cur_pending.1);
                                     }
+                                    expired = expire_in_queue(
+                                        ctx, cfg, &cur_chunk, &cur_arr, &mut cur, &mut acc,
+                                    );
                                     extend_read_chunk(
                                         ctx,
                                         &actx,
@@ -671,11 +740,15 @@ pub fn run_pipeline(
                                 // mirror horizon stands in for the queue
                                 // delay the live clock cannot see.
                                 let done = ctx.now_ns().max(ctx.queue_eta_ns());
-                                for (((orig_idx, _), arr), outcome) in cur_chunk
+                                for (slot, (((orig_idx, _), arr), outcome)) in cur_chunk
                                     .iter()
                                     .zip(&cur_arr)
                                     .zip(drain_chunk_outcomes(&mut cur))
+                                    .enumerate()
                                 {
+                                    if expired[slot] {
+                                        continue;
+                                    }
                                     acc.latency.push(done - arr);
                                     acc.record(store_ref, cfg, *orig_idx, outcome);
                                 }

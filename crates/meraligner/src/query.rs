@@ -561,6 +561,20 @@ pub struct ChunkState {
     outcomes: Vec<QueryOutcome>,
 }
 
+impl ChunkState {
+    /// Drop the pending extension work of every read flagged in
+    /// `expired` (indexed by chunk slot): their candidates leave the
+    /// chunk's extension walk, so a read whose streaming deadline lapsed
+    /// while its batches sat in the owner queue never pays for — or
+    /// charges — extension. Called between the issue half (or its queue
+    /// gate) and [`extend_read_chunk`]; the issue-half charges already
+    /// happened and stand.
+    pub fn expire_reads(&mut self, expired: &[bool]) {
+        self.cands
+            .retain(|&(slot, _)| !expired.get(slot as usize).copied().unwrap_or(false));
+    }
+}
+
 /// Reused per-rank buffers of the chunked, node-aware lookup pipeline
 /// (transient within one issue/extend half — safe to share between the
 /// two chunks a double-buffered rank has in flight).

@@ -1,0 +1,231 @@
+//! Property tests for the multi-server owner engine and its service
+//! disciplines: more lanes and deadline ordering move **time, never
+//! results** — and the default is the old machine, bit for bit.
+//!
+//! * **Fifo/servers=1 is the pre-discipline machine**: every observable
+//!   of a run — placements, outcome flags, cache/message counters (the
+//!   whole metrics registry, bit-preserved), the simulated clock,
+//!   streaming latencies, and trace span-sum conservation — is
+//!   bit-identical between the default config and an explicit
+//!   `Fifo { servers: 1 }`, across gating × handler policy × overlap
+//!   mode × replication × streaming × ppn.
+//! * **EDF is schedule-deterministic**: under a congested, deadline-
+//!   carrying streaming profile with `Edf { servers: k }`, sequential
+//!   and parallel phase execution agree bit for bit, and so does
+//!   running the same config twice.
+//! * **Infinite deadlines defuse EDF**: at the engine level, `Edf`
+//!   with every budget infinite serves the same per-node completion
+//!   multiset as `Fifo` at the same lane count (the tie-break degrades
+//!   to replay order).
+
+use meraligner::{
+    run_pipeline, ArrivalModel, HandlerPolicy, LookupChunk, OverlapMode, PipelineConfig,
+    PipelineMode, ReplicationMode,
+};
+use pgas::sim::service_phase;
+use pgas::{EventKind, ServiceDiscipline, SimEvent};
+use proptest::prelude::*;
+
+/// Every observable of a run. Phase counters go through the metrics
+/// registry (bit-preserved via `to_bits`), so a new machine counter is
+/// automatically covered the day it gets a registry row.
+fn full_profile(res: &meraligner::PipelineResult) -> impl PartialEq + std::fmt::Debug {
+    let phases: Vec<(String, Vec<(&'static str, u64)>)> = res
+        .phases
+        .iter()
+        .map(|p| {
+            let snap = pgas::metrics::snapshot(p)
+                .into_iter()
+                .map(|(k, v)| (k, v.to_bits()))
+                .collect();
+            (p.name.clone(), snap)
+        })
+        .collect();
+    (
+        res.placements.clone(),
+        res.owner_lost.clone(),
+        res.shed.clone(),
+        res.expired.clone(),
+        (
+            res.exact_path_reads,
+            res.alignments_total,
+            res.aligned_reads,
+            res.shed_reads,
+            res.expired_reads,
+        ),
+        (res.align_seconds().to_bits(), res.sim_seconds().to_bits()),
+        res.read_latency_ns()
+            .iter()
+            .map(|l| l.to_bits())
+            .collect::<Vec<_>>(),
+        phases,
+    )
+}
+
+/// The congested deadline-carrying streaming profile: finite deadlines
+/// stamp real budgets onto every batch, expensive handlers keep the
+/// owner queues backed up, admission sheds — the most scheduling-
+/// sensitive mode the pipeline has.
+fn overloaded_cfg(ranks: usize, ppn: usize, k: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(ranks, ppn, k);
+    cfg.sequential = false;
+    cfg.pipeline_mode = PipelineMode::Streaming;
+    cfg.arrival = ArrivalModel::Seeded {
+        seed: 7,
+        mean_gap_ns: 2_000.0,
+    };
+    cfg.stream_deadline_ns = 40_000_000.0;
+    cfg.stream_flush_ns = 100_000.0;
+    cfg.stream_admission = true;
+    cfg.stream_shed_ratio = 1.0;
+    cfg.stream_defer_ratio = 1.0;
+    cfg.lookup_chunk = LookupChunk::Fixed(32);
+    cfg.cost.handler_dispatch_ns = 200_000.0;
+    cfg.cost.node_route_ns_per_seed = 60.0;
+    cfg.cost.target_route_ns_per_ref = 60.0;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The load-bearing invariant of the whole redesign: the default
+    // discipline IS the PR-9 single-FIFO machine, under every knob.
+    #[test]
+    fn explicit_single_fifo_is_the_default_machine(
+        seed in 1u64..500,
+        ppn_sel in 0usize..3,
+        policy_sel in 0usize..4,
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+        replicated in proptest::bool::ANY,
+        streaming in proptest::bool::ANY,
+    ) {
+        let ppn = [1usize, 6, 24][ppn_sel];
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let mut cfg = PipelineConfig::new(48, ppn, d.k);
+        cfg.handler_policy = HandlerPolicy::ALL[policy_sel];
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+        if replicated {
+            cfg.replication = ReplicationMode::Full(2);
+        }
+        if streaming {
+            cfg.pipeline_mode = PipelineMode::Streaming;
+        }
+        let default_run = run_pipeline(&cfg, &tdb, &qdb);
+
+        // Same config with the knob spelled out — and the trace recorder
+        // on, so span-sum conservation is pinned in the same sweep
+        // (tracing itself is observe-only per trace_equivalence).
+        let mut explicit = cfg.clone();
+        explicit.discipline = ServiceDiscipline::Fifo { servers: 1 };
+        explicit.trace = true;
+        let explicit_run = run_pipeline(&explicit, &tdb, &qdb);
+
+        prop_assert_eq!(
+            full_profile(&explicit_run),
+            full_profile(&default_run),
+            "Fifo{{servers: 1}} diverged from the default machine at ppn {} policy {:?} \
+             overlap {:?} gate {} replicated {} streaming {}",
+            ppn, cfg.handler_policy, cfg.overlap_mode, gate, replicated, streaming
+        );
+        let trace = explicit_run.trace.as_ref().expect("traced run must return a trace");
+        if let Err(e) = trace.check(&explicit_run.phases) {
+            prop_assert!(false, "trace conservation failed under Fifo{{servers: 1}}: {}", e);
+        }
+    }
+
+    // EDF scheduling decisions (admissions, expiries, latencies, every
+    // clock) are pure functions of the config: seq == par, and run-twice
+    // changes nothing.
+    #[test]
+    fn edf_is_schedule_deterministic(
+        seed in 1u64..500,
+        servers_sel in 0usize..3,
+        overlap_sel in 0usize..2,
+        gate in proptest::bool::ANY,
+    ) {
+        let servers = [2usize, 6, 24][servers_sel];
+        let d = genome::human_like(0.0015, seed);
+        let tdb = d.contigs_seqdb();
+        let qdb = d.reads_seqdb();
+
+        let mut cfg = overloaded_cfg(48, 6, d.k);
+        cfg.discipline = ServiceDiscipline::Edf { servers };
+        cfg.overlap_mode = [OverlapMode::Lockstep, OverlapMode::DoubleBuffer][overlap_sel];
+        cfg.queue_gate = gate;
+
+        let par = run_pipeline(&cfg, &tdb, &qdb);
+        let par_again = run_pipeline(&cfg, &tdb, &qdb);
+        let mut seq_cfg = cfg.clone();
+        seq_cfg.sequential = true;
+        let seq = run_pipeline(&seq_cfg, &tdb, &qdb);
+
+        prop_assert_eq!(
+            full_profile(&par_again),
+            full_profile(&par),
+            "EDF run-twice diverged at servers {} overlap {:?} gate {}",
+            servers, cfg.overlap_mode, gate
+        );
+        prop_assert_eq!(
+            full_profile(&seq),
+            full_profile(&par),
+            "EDF seq vs par diverged at servers {} overlap {:?} gate {}",
+            servers, cfg.overlap_mode, gate
+        );
+    }
+
+    // Engine-level: with every deadline budget infinite, EDF has nothing
+    // to order by and its tie-break is replay order — each node serves
+    // the same completion multiset as FIFO at the same lane count.
+    #[test]
+    fn infinite_deadline_edf_matches_fifo_completions(
+        raw in proptest::collection::vec(
+            // (dst_node, src_rank, arrival gap, service)
+            (0u32..4, 0u32..8, 0u64..5_000, 1u64..20_000), 1..120),
+        servers in 1usize..5,
+    ) {
+        let mut seq_by_rank = [0u32; 8];
+        let mut clock_by_rank = [0.0f64; 8];
+        let events: Vec<SimEvent> = raw
+            .iter()
+            .map(|&(node, rank, gap, service)| {
+                let r = rank as usize;
+                seq_by_rank[r] += 1;
+                clock_by_rank[r] += gap as f64;
+                SimEvent {
+                    dst_node: node,
+                    home_node: node,
+                    src_rank: rank,
+                    seq: seq_by_rank[r] - 1,
+                    kind: EventKind::LookupBatch,
+                    items: 1,
+                    arrival_ns: clock_by_rank[r],
+                    service_ns: service as f64,
+                    deadline_budget_ns: f64::INFINITY,
+                }
+            })
+            .collect();
+
+        let completions = |discipline: ServiceDiscipline| -> Vec<Vec<u64>> {
+            service_phase(events.clone(), 4, discipline)
+                .iter()
+                .map(|ph| {
+                    let mut c: Vec<u64> =
+                        ph.batches.iter().map(|b| b.completion_ns.to_bits()).collect();
+                    c.sort_unstable();
+                    c
+                })
+                .collect()
+        };
+        prop_assert_eq!(
+            completions(ServiceDiscipline::Edf { servers }),
+            completions(ServiceDiscipline::Fifo { servers }),
+            "infinite-deadline EDF must serve FIFO's completion multiset per node"
+        );
+    }
+}

@@ -21,9 +21,16 @@
 //!   aggregating-stores optimization reserves into with `atomic_fetchadd`
 //!   (paper §III-A).
 //! * [`sim`] — the owner-side service engine: off-node aggregated batches
-//!   become discrete events on their destination node's FIFO handler
-//!   queue, replayed deterministically after each phase; the handler busy
-//!   time lands on the node's lead rank, contending with its own work.
+//!   become discrete events on their destination node's handler queue —
+//!   `k` service lanes per node under a [`ServiceDiscipline`] (FIFO
+//!   replay order or earliest-deadline-first) — replayed
+//!   deterministically after each phase; the handler busy time lands on
+//!   node ranks per the [`HandlerPolicy`], contending with their own
+//!   work.
+//! * [`spec`] — [`MachineSpec`], the one shared surface for every
+//!   machine knob (shape, cost, policies, faults, replication,
+//!   discipline) with builder-style `with_*` constructors; lowers into a
+//!   [`MachineConfig`].
 //!
 //! ## Timing model
 //!
@@ -44,6 +51,7 @@ pub mod machine;
 pub mod metrics;
 pub mod shared;
 pub mod sim;
+pub mod spec;
 pub mod stats;
 pub mod topology;
 
@@ -53,8 +61,9 @@ pub use metrics::{Better, MetricDesc, REGISTRY};
 pub use shared::{GlobalRef, ReservationStack, SharedArray};
 pub use sim::{
     ArrivalModel, CompiledFaults, EventKind, FaultKind, FaultPlan, FaultSpec, FaultSummary,
-    NodeQueue, QueueReport, RetryPolicy, ServicedBatch, SimEvent,
+    NodeQueue, QueueReport, RetryPolicy, ServiceDiscipline, ServicedBatch, ServicedPhase, SimEvent,
 };
 pub use sim::{PhaseTrace, Span, SpanKind, Trace};
+pub use spec::{MachineSpec, ReplicationMode};
 pub use stats::{CommTag, CompTag, RankStats, COMM_TAGS, COMP_TAGS};
 pub use topology::{HandlerPolicy, ReplicaMap, Topology};

@@ -18,7 +18,10 @@ use crate::sim::fault::{CompiledFaults, FaultPlan, FaultSummary, Lost, RetryPoli
 use crate::sim::trace::{
     PhaseTrace, RankTraceBuf, Span, SpanKind, Trace, TraceMark, MACHINE_ORDER_BASE,
 };
-use crate::sim::{service_phase_detailed, EventKind, QueueReport, ServicedBatch, SimEvent};
+use crate::sim::{
+    service_phase, EventKind, QueueReport, ServiceDiscipline, ServicedBatch, ServicedPhase,
+    SimEvent,
+};
 use crate::stats::{CommTag, CompTag, RankStats};
 use crate::topology::{HandlerPolicy, ReplicaMap, Topology};
 
@@ -69,22 +72,22 @@ pub struct MachineConfig {
     /// results and counters as an untraced one (pinned by the
     /// `trace_equivalence` proptest suite).
     pub trace: bool,
+    /// Owner-side service discipline: how many parallel handler lanes
+    /// each node runs and how they pick the next batch (FIFO replay
+    /// order or earliest-deadline-first). The server count is clamped to
+    /// `1..=ppn` at machine construction. The default —
+    /// `Fifo { servers: 1 }` — is bit-identical to the pre-discipline
+    /// machine under every other knob (pinned by the
+    /// `discipline_equivalence` suite).
+    pub discipline: ServiceDiscipline,
 }
 
 impl MachineConfig {
     /// A machine with `ranks` ranks, `ppn` per node, default cost model.
+    /// Delegates to [`MachineSpec`](crate::spec::MachineSpec) — the one
+    /// place the machine-knob defaults are spelled.
     pub fn new(ranks: usize, ppn: usize) -> Self {
-        MachineConfig {
-            ranks,
-            ppn,
-            cost: CostModel::default(),
-            handler_policy: HandlerPolicy::LeadRank,
-            sequential: false,
-            faults: FaultPlan::none(),
-            retry: RetryPolicy::default(),
-            replicas: None,
-            trace: false,
-        }
+        crate::spec::MachineSpec::new(ranks, ppn).machine_config()
     }
 }
 
@@ -250,6 +253,8 @@ pub struct Machine {
     phases: Vec<PhaseReport>,
     trace: bool,
     trace_phases: Vec<PhaseTrace>,
+    /// Clamped at construction: `servers` never exceeds `ppn`.
+    discipline: ServiceDiscipline,
 }
 
 impl Machine {
@@ -266,6 +271,7 @@ impl Machine {
             phases: Vec::new(),
             trace: cfg.trace,
             trace_phases: Vec::new(),
+            discipline: cfg.discipline.clamped(cfg.ppn),
         }
     }
 
@@ -328,6 +334,7 @@ impl Machine {
                 mirror_free: Vec::new(),
                 mirror_wait_ns: 0.0,
                 mirror_service_ns: 0.0,
+                servers: self.discipline.servers().max(1) as f64,
                 deadline_budget_ns: f64::INFINITY,
                 faults: compiled.as_ref(),
                 retry: self.retry,
@@ -509,6 +516,7 @@ impl Machine {
                                     c: 0,
                                     group: morder,
                                     order: morder,
+                                    server: 0,
                                 });
                                 morder += 1;
                                 tr_handler[node].push(Span {
@@ -522,6 +530,7 @@ impl Machine {
                                     c: ev.src_rank,
                                     group: morder,
                                     order: morder,
+                                    server: 0,
                                 });
                                 morder += 1;
                             }
@@ -561,6 +570,7 @@ impl Machine {
                                         c: 0,
                                         group: morder,
                                         order: morder,
+                                        server: 0,
                                     });
                                     morder += 1;
                                     tr_rank_extra[r].push(Span {
@@ -574,6 +584,7 @@ impl Machine {
                                         c: 0,
                                         group: morder,
                                         order: morder,
+                                        server: 0,
                                     });
                                     morder += 1;
                                     tr_handler[alt].push(Span {
@@ -587,6 +598,7 @@ impl Machine {
                                         c: ev.src_rank,
                                         group: morder,
                                         order: morder,
+                                        server: 0,
                                     });
                                     morder += 1;
                                 }
@@ -618,6 +630,7 @@ impl Machine {
                                         c: 0,
                                         group: morder,
                                         order: morder,
+                                        server: 0,
                                     });
                                     morder += 1;
                                 }
@@ -640,7 +653,7 @@ impl Machine {
         } else {
             Vec::new()
         };
-        let mut detailed: Vec<(QueueReport, Vec<ServicedBatch>)>;
+        let mut detailed: Vec<ServicedPhase>;
         let mut round = 0usize;
         loop {
             // Replay with each event's arrival shifted by the stalls its
@@ -679,7 +692,7 @@ impl Machine {
                     }
                 }
             }
-            detailed = service_phase_detailed(events, nodes);
+            detailed = service_phase(events, nodes, self.discipline);
             if !gated {
                 break;
             }
@@ -687,8 +700,8 @@ impl Machine {
             // (a rank's seqs are consecutive from zero).
             let mut completions: Vec<Vec<f64>> =
                 rank_events.iter().map(|e| vec![0.0; e.len()]).collect();
-            for (_, batches) in &detailed {
-                for b in batches {
+            for ph in &detailed {
+                for b in &ph.batches {
                     completions[b.src_rank as usize][b.seq as usize] = b.completion_ns;
                 }
             }
@@ -763,8 +776,8 @@ impl Machine {
             let mut completions: Vec<Vec<f64>> = Vec::new();
             if gated {
                 completions = rank_events.iter().map(|e| vec![0.0; e.len()]).collect();
-                for (_, batches) in &detailed {
-                    for b in batches {
+                for ph in &detailed {
+                    for b in &ph.batches {
                         completions[b.src_rank as usize][b.seq as usize] = b.completion_ns;
                     }
                 }
@@ -823,6 +836,7 @@ impl Machine {
                             c: 0,
                             group: morder,
                             order: morder,
+                            server: 0,
                         });
                         morder += 1;
                     }
@@ -832,10 +846,7 @@ impl Machine {
             }
             tr.handler_spans = tr_handler;
         }
-        (
-            detailed.into_iter().map(|(report, _)| report).collect(),
-            summary,
-        )
+        (detailed.into_iter().map(|ph| ph.report).collect(), summary)
     }
 
     /// The surviving replica node a permanently lost batch fails over to
@@ -850,7 +861,7 @@ impl Machine {
     /// policy only chooses the absorbing rank per batch.
     fn fold_handler(
         &self,
-        detailed: &[(QueueReport, Vec<ServicedBatch>)],
+        detailed: &[ServicedPhase],
         rank_stats: &mut [RankStats],
         mut tr: Option<(&mut Vec<Vec<Span>>, &mut u32)>,
     ) {
@@ -882,10 +893,12 @@ impl Machine {
                     c: b.src_rank,
                     group: group_of(order),
                     order,
+                    server: b.server,
                 });
             }
         }
-        for (node, (report, batches)) in detailed.iter().enumerate() {
+        for (node, ph) in detailed.iter().enumerate() {
+            let (report, batches) = (&ph.report, &ph.batches);
             if report.events == 0 {
                 continue;
             }
@@ -1063,6 +1076,15 @@ pub struct RankCtx<'a> {
     mirror_wait_ns: f64,
     /// Service demand this rank's own batches carried (ns).
     mirror_service_ns: f64,
+    /// Handler lanes per destination node under the machine's
+    /// [`ServiceDiscipline`] (clamped to `ppn`, `>= 1`). The congestion
+    /// mirror divides each mirrored service demand by this: `k` lanes
+    /// drain a symmetric backlog `k` times faster, so the mirrored
+    /// horizon — and everything keyed on it (`queue_pressure`,
+    /// `queue_eta_ns`, `Auto` chunk adaptation) — must not over-report
+    /// pressure under `Edf { servers: k > 1 }`. Exactly `1.0` for the
+    /// default discipline, leaving the mirror bit-identical.
+    servers: f64,
     /// Remaining read-deadline budget stamped onto subsequently issued
     /// batches ([`RankCtx::set_deadline_budget_ns`]); `INFINITY` (the
     /// default, and the batch pipeline's only value) leaves the retry
@@ -1340,7 +1362,10 @@ impl RankCtx<'_> {
         let start = self.mirror_free[dst_node].max(arrival_ns);
         self.mirror_wait_ns += (start - arrival_ns) / senders;
         self.mirror_service_ns += service_ns;
-        self.mirror_free[dst_node] = start + senders * service_ns;
+        // k handler lanes drain the symmetric backlog k× faster; dividing
+        // by 1.0 is an IEEE identity, so the default discipline's mirror
+        // is bit-identical to the pre-discipline machine.
+        self.mirror_free[dst_node] = start + senders * service_ns / self.servers;
         // Retry storms are pressure: a batch the active fault plan will
         // lose spends at least its timeout in flight before the retry
         // engine touches it, and the congestion mirror surfaces that so
@@ -2124,6 +2149,56 @@ mod tests {
                 assert!(eta2 > eta1, "each batch pushes the horizon out");
             }
         });
+    }
+
+    #[test]
+    fn congestion_mirror_normalizes_by_server_count() {
+        // Identical traffic under k ∈ {1, 2, 4} handler lanes: the
+        // mirror must divide each mirrored service demand by k — `k`
+        // lanes drain the symmetric backlog `k`× faster — so
+        // `queue_eta_ns`/`queue_pressure` (and the `Auto` chunk
+        // adaptation keyed on them) don't over-report pressure under
+        // `Edf { servers: k > 1 }`.
+        let probe = |discipline: ServiceDiscipline| {
+            let mut cfg = MachineConfig::new(8, 4);
+            cfg.discipline = discipline;
+            // Service far above the α–β send cost, so the second batch
+            // sees mirrored backlog even with 4 lanes and the horizon
+            // algebra below is exact (start = previous mirror free time,
+            // not the arrival).
+            cfg.cost.handler_dispatch_ns = 1_000_000.0;
+            let mut m = Machine::new(cfg);
+            m.phase("eta", |ctx| {
+                if ctx.rank != 0 {
+                    return (0.0, 0.0, 0.0);
+                }
+                let lead = ctx.topo().lead_rank(1);
+                ctx.charge_lookup_node_batch(lead, 100, 2400, CommTag::SeedLookup);
+                ctx.charge_lookup_node_batch(lead, 100, 2400, CommTag::SeedLookup);
+                let (wait, service) = ctx.queue_pressure();
+                (ctx.queue_eta_ns(), wait, service)
+            })[0]
+        };
+        let (eta1, wait1, service1) = probe(ServiceDiscipline::Fifo { servers: 1 });
+        let (eta2, wait2, service2) = probe(ServiceDiscipline::Edf { servers: 2 });
+        let (eta4, wait4, service4) = probe(ServiceDiscipline::Edf { servers: 4 });
+        // Default discipline == one explicit FIFO server, bit for bit.
+        let (d_eta, d_wait, d_service) = probe(ServiceDiscipline::default());
+        assert_eq!((eta1, wait1, service1), (d_eta, d_wait, d_service));
+        // Raw service demand is lane-independent; only the drain is.
+        assert_eq!(service1, service2);
+        assert_eq!(service1, service4);
+        // More lanes ⇒ nearer horizon and less mirrored backlog wait.
+        assert!(eta1 > eta2 && eta2 > eta4, "eta must shrink with k");
+        assert!(wait1 > wait2 && wait2 > wait4, "wait must shrink with k");
+        // Exact 1/k normalization: both charges share one arrival `a`
+        // and demand `S` over `s` mirrored senders, so
+        // eta_k = a + 2·s·S/k, hence eta1 − eta4 = 1.5 · (eta1 − eta2).
+        let (d12, d14) = (eta1 - eta2, eta1 - eta4);
+        assert!(
+            (d14 - 1.5 * d12).abs() <= 1e-6 * d14.abs(),
+            "horizon is not 1/k-normalized: d12 {d12} d14 {d14}"
+        );
     }
 
     #[test]

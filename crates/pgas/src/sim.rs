@@ -17,10 +17,13 @@
 //!   and per-item pack compute) and a service demand priced by the
 //!   [`CostModel`](crate::CostModel) handler constants
 //!   (`handler_dispatch_ns` per batch + per-item demux rates).
-//! * [`queue`] — [`NodeQueue`], the FIFO handler queue of one destination
+//! * [`queue`] — [`NodeQueue`], the handler queue of one destination
 //!   node: events are replayed in deterministic `(arrival, src rank, seq)`
-//!   order through a single-server service loop, yielding per-node busy
-//!   time, queue-depth high-water marks and total queueing delay.
+//!   order through `k` parallel service lanes (a
+//!   [`ServiceDiscipline`] — FIFO or earliest-deadline-first, with
+//!   `servers` bounded by ranks-per-node), yielding per-node and
+//!   per-server busy time, queue-depth high-water marks and total
+//!   queueing delay.
 //! * [`fault`] — [`FaultPlan`], deterministic seeded fault injection:
 //!   compiled per-node/per-phase schedules (handler slowdowns, dropped
 //!   batches, dead nodes) that the replay consults per event, plus the
@@ -33,23 +36,28 @@
 //! * [`service`] — [`service_phase`], the per-phase post-pass
 //!   [`Machine::phase`](crate::Machine::phase) runs after all ranks finish:
 //!   it routes every recorded event to its destination node's queue, runs
-//!   the service loops, and returns one [`QueueReport`] per node. The
-//!   phase executor then folds each node's handler busy time into the
-//!   node's **lead rank** (the rank the paper dedicates to servicing
-//!   aggregated remote traffic), so the owner's own work and its handler
-//!   work contend for the same simulated rank time — `max over ranks`
-//!   picks the contention up automatically.
+//!   the service loops under the configured [`ServiceDiscipline`], and
+//!   returns one [`ServicedPhase`] per node. The phase executor then
+//!   folds each node's handler busy time into the node's **lead rank**
+//!   (the rank the paper dedicates to servicing aggregated remote
+//!   traffic), so the owner's own work and its handler work contend for
+//!   the same simulated rank time — `max over ranks` picks the
+//!   contention up automatically.
 //!
 //! ## Model
 //!
 //! The handler is interrupt-style, like a UPC runtime progressing active
-//! messages: an arriving batch starts service as soon as the handler has
-//! finished every earlier arrival (FIFO, one server per node). Queue depth
-//! at an arrival counts the batches that have arrived but not yet completed
-//! service, the new one included — the receiver-imbalance signal Table I
-//! reports. Contention with the owner's own alignment work is modelled in
-//! the makespan: a lead rank's phase time is its own charged work *plus*
-//! its node's total handler busy time (one core timeshares both).
+//! messages: an arriving batch starts service as soon as one of the
+//! node's `k` handler lanes is free of every batch dispatched to it
+//! (`k = 1` by default; at most one lane per rank on the node). Under
+//! FIFO, dispatch follows replay order; under EDF, the waiting batch
+//! with the earliest absolute deadline (`arrival + deadline budget`)
+//! goes first. Queue depth at an arrival counts the batches that have
+//! arrived but not yet completed service, the new one included — the
+//! receiver-imbalance signal Table I reports. Contention with the
+//! owner's own alignment work is modelled in the makespan: a handler
+//! rank's phase time is its own charged work *plus* the handler busy
+//! time folded onto it (one core timeshares both).
 //!
 //! Same-node batches never enter a queue: on-node aggregated access is a
 //! direct shared-memory read and the sender performs the demux itself (the
@@ -90,6 +98,6 @@ pub use event::{EventKind, SimEvent};
 pub use fault::{
     splitmix64, CompiledFaults, FaultKind, FaultPlan, FaultSpec, FaultSummary, Lost, RetryPolicy,
 };
-pub use queue::{NodeQueue, QueueReport, ServicedBatch};
-pub use service::{service_phase, service_phase_detailed};
+pub use queue::{NodeQueue, QueueReport, ServiceDiscipline, ServicedBatch, ServicedPhase};
+pub use service::service_phase;
 pub use trace::{PhaseTrace, RankTraceBuf, Span, SpanKind, Trace, TraceMark};

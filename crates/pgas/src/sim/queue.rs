@@ -1,6 +1,82 @@
-//! The FIFO handler queue of one destination node.
+//! The handler queue of one destination node: a shared arrival queue
+//! drained by `k` parallel service lanes ("servers", bounded by the
+//! node's ranks-per-node) under a pluggable [`ServiceDiscipline`].
 
 use crate::sim::event::SimEvent;
+
+/// How a node's handler lanes pick the next batch to serve.
+///
+/// Both disciplines run `servers` parallel service lanes over one shared
+/// arrival queue; a dispatched batch always lands on the **earliest-free
+/// server** (deterministic ties by lowest server index). They differ only
+/// in *which* waiting batch is dispatched next:
+///
+/// * [`Fifo`](ServiceDiscipline::Fifo) — strict replay order
+///   `(arrival, src rank, seq)`, the single-server engine generalized to
+///   k lanes. With `servers = 1` it is bit-identical to that engine.
+/// * [`Edf`](ServiceDiscipline::Edf) — earliest-deadline-first over the
+///   batches that have arrived by the chosen server's free instant,
+///   where a batch's absolute deadline is
+///   `arrival_ns + deadline_budget_ns` (the budget the streaming
+///   front-end stamps onto [`SimEvent`]); ties fall back to replay
+///   order. With every budget infinite, EDF degenerates to FIFO exactly
+///   (same completions, same service order).
+///
+/// `servers` is clamped into `1..=ppn` by the machine before the service
+/// pass — a node cannot run more handler lanes than it has ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceDiscipline {
+    /// First-in-first-out over `servers` parallel lanes.
+    Fifo {
+        /// Parallel service lanes per node (clamped to `1..=ppn`).
+        servers: usize,
+    },
+    /// Earliest-deadline-first over `servers` parallel lanes.
+    Edf {
+        /// Parallel service lanes per node (clamped to `1..=ppn`).
+        servers: usize,
+    },
+}
+
+impl Default for ServiceDiscipline {
+    /// The classic machine: one FIFO server per node.
+    fn default() -> Self {
+        ServiceDiscipline::Fifo { servers: 1 }
+    }
+}
+
+impl ServiceDiscipline {
+    /// The configured server count (unclamped, may be 0).
+    #[inline]
+    pub fn servers(&self) -> usize {
+        match *self {
+            ServiceDiscipline::Fifo { servers } | ServiceDiscipline::Edf { servers } => servers,
+        }
+    }
+
+    /// The server count the engine actually runs: at least one lane,
+    /// never more lanes than the node has ranks.
+    #[inline]
+    pub fn effective_servers(&self, ppn: usize) -> usize {
+        self.servers().min(ppn.max(1)).max(1)
+    }
+
+    /// The same discipline with its server count clamped to `1..=ppn`.
+    #[inline]
+    pub fn clamped(self, ppn: usize) -> Self {
+        let k = self.effective_servers(ppn);
+        match self {
+            ServiceDiscipline::Fifo { .. } => ServiceDiscipline::Fifo { servers: k },
+            ServiceDiscipline::Edf { .. } => ServiceDiscipline::Edf { servers: k },
+        }
+    }
+
+    /// Whether deadlines (not arrival order) pick the next batch.
+    #[inline]
+    pub fn is_edf(&self) -> bool {
+        matches!(self, ServiceDiscipline::Edf { .. })
+    }
+}
 
 /// Everything measured about one node's handler queue over a phase.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -12,20 +88,28 @@ pub struct QueueReport {
     /// Items (seeds + refs) serviced across all batches.
     pub items: u64,
     /// Total handler busy time (sum of service demands, ns). This is the
-    /// time folded into the node's lead rank — the handler/own-work
+    /// time folded into the node's handler ranks — the handler/own-work
     /// contention of the makespan.
     pub busy_ns: f64,
     /// Total queueing delay (service start − arrival, summed, ns):
     /// how long batches sat behind earlier arrivals.
     pub wait_ns: f64,
-    /// High-water mark of the queue: the most batches that were ever
-    /// arrived-but-not-yet-serviced at once (the new arrival included).
+    /// High-water mark of the shared queue: the most batches that were
+    /// ever arrived-but-not-yet-completed at once (the new arrival
+    /// included). Node-level — the servers drain one queue.
     pub max_depth: usize,
-    /// Completion time of the last serviced batch (ns from phase start).
+    /// Completion time of the latest-finishing batch (ns from phase
+    /// start) across all servers.
     pub drained_ns: f64,
+    /// Per-server busy time (ns), indexed by server lane. One entry per
+    /// effective server; a single-lane queue has exactly one column and
+    /// `server_busy_ns[0] == busy_ns`.
+    pub server_busy_ns: Vec<f64>,
+    /// Per-server serviced-batch counts, indexed by server lane.
+    pub server_events: Vec<u64>,
 }
 
-/// One serviced batch of a queue's replay, in service (FIFO) order — the
+/// One serviced batch of a queue's replay, in service-start order — the
 /// per-event completion times the queue-aware response gating and the
 /// handler placement policies consume.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -38,17 +122,29 @@ pub struct ServicedBatch {
     pub items: u64,
     /// Arrival at the node (ns from phase start).
     pub arrival_ns: f64,
-    /// When the handler began servicing it.
+    /// When a handler lane began servicing it.
     pub start_ns: f64,
     /// When service finished — the instant the sender's response is ready.
     pub completion_ns: f64,
     /// Service demand (= `completion_ns - start_ns`).
     pub service_ns: f64,
+    /// The server lane that serviced it (always 0 with one server).
+    pub server: u32,
 }
 
-/// One node's FIFO, single-server handler queue. Fill it with
-/// [`NodeQueue::push`], then [`NodeQueue::run`] replays the arrivals in
-/// deterministic order and produces the [`QueueReport`].
+/// One node's serviced phase: the [`QueueReport`] summary plus every
+/// [`ServicedBatch`] in service-start order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServicedPhase {
+    /// The per-node summary.
+    pub report: QueueReport,
+    /// Per-event service records, in service-start order.
+    pub batches: Vec<ServicedBatch>,
+}
+
+/// One node's handler queue. Fill it with [`NodeQueue::push`], then
+/// [`NodeQueue::service`] replays the arrivals deterministically under a
+/// [`ServiceDiscipline`] and produces the [`ServicedPhase`].
 #[derive(Debug, Default)]
 pub struct NodeQueue {
     node: usize,
@@ -64,7 +160,7 @@ impl NodeQueue {
         }
     }
 
-    /// Enqueue one arrival (any order; `run` sorts deterministically).
+    /// Enqueue one arrival (any order; `service` sorts deterministically).
     pub fn push(&mut self, ev: SimEvent) {
         debug_assert_eq!(ev.dst_node as usize, self.node);
         self.events.push(ev);
@@ -80,57 +176,183 @@ impl NodeQueue {
         self.events.is_empty()
     }
 
-    /// Replay the arrivals through the FIFO service loop: service of the
-    /// i-th arrival starts at `max(arrival_i, completion_{i-1})` and runs
-    /// for its service demand. Queue depth at an arrival counts arrivals
-    /// whose service has not completed by that instant, the new one
-    /// included.
-    pub fn run(self) -> QueueReport {
-        self.run_detailed().0
-    }
-
-    /// Like [`NodeQueue::run`], additionally returning one
-    /// [`ServicedBatch`] per event in service order — the per-event
-    /// completion times the gating pass feeds back into sender stalls and
-    /// the per-batch service demands the handler placement policies
-    /// distribute across the node's ranks.
-    pub fn run_detailed(mut self) -> (QueueReport, Vec<ServicedBatch>) {
+    /// Replay the arrivals through the k-server service loop of
+    /// `discipline`: each dispatched batch starts on the earliest-free
+    /// server at `max(server free, arrival)` and runs for its service
+    /// demand. Queue depth at an arrival counts arrivals (in replay
+    /// order) whose service has not completed by that instant, the new
+    /// one included — a property of the shared queue, not of any lane.
+    pub fn service(mut self, discipline: ServiceDiscipline) -> ServicedPhase {
         self.events.sort_unstable_by(SimEvent::replay_cmp);
+        let k = discipline.servers().max(1);
+        // Completion time per replay position, for the depth sweep.
+        let mut completion_by_pos = vec![0.0f64; self.events.len()];
+        let batches = if discipline.is_edf() {
+            self.run_edf(k, &mut completion_by_pos)
+        } else {
+            self.run_fifo(k, &mut completion_by_pos)
+        };
         let mut report = QueueReport {
             node: self.node,
+            server_busy_ns: vec![0.0; k],
+            server_events: vec![0; k],
             ..QueueReport::default()
         };
-        let mut batches: Vec<ServicedBatch> = Vec::with_capacity(self.events.len());
-        let mut free_at = 0.0f64; // handler available from here
-        let mut drained = 0usize; // batches[..drained] completed <= current arrival
-        for ev in &self.events {
-            let start = free_at.max(ev.arrival_ns);
-            let completion = start + ev.service_ns;
-            free_at = completion;
-            // Completions are FIFO-monotone, so a pointer walk counts how
-            // many earlier batches finished by this arrival.
-            while drained < batches.len() && batches[drained].completion_ns <= ev.arrival_ns {
-                drained += 1;
-            }
-            let depth = batches.len() - drained + 1;
-            report.max_depth = report.max_depth.max(depth);
-            batches.push(ServicedBatch {
-                src_rank: ev.src_rank,
-                seq: ev.seq,
-                items: ev.items,
-                arrival_ns: ev.arrival_ns,
-                start_ns: start,
-                completion_ns: completion,
-                service_ns: ev.service_ns,
-            });
+        for b in &batches {
             report.events += 1;
-            report.items += ev.items;
-            report.busy_ns += ev.service_ns;
-            report.wait_ns += start - ev.arrival_ns;
-            report.drained_ns = completion;
+            report.items += b.items;
+            report.busy_ns += b.service_ns;
+            report.wait_ns += b.start_ns - b.arrival_ns;
+            report.drained_ns = report.drained_ns.max(b.completion_ns);
+            report.server_busy_ns[b.server as usize] += b.service_ns;
+            report.server_events[b.server as usize] += 1;
         }
-        (report, batches)
+        report.max_depth = max_depth(&self.events, &completion_by_pos);
+        ServicedPhase { report, batches }
     }
+
+    /// FIFO dispatch: events in replay order, each to the earliest-free
+    /// server. Service-start times are nondecreasing (arrivals and the
+    /// min-free horizon both are), so replay order *is* start order.
+    fn run_fifo(&self, k: usize, completion_by_pos: &mut [f64]) -> Vec<ServicedBatch> {
+        let mut free = vec![0.0f64; k];
+        let mut batches = Vec::with_capacity(self.events.len());
+        for (i, ev) in self.events.iter().enumerate() {
+            let s = earliest_free(&free);
+            let start = free[s].max(ev.arrival_ns);
+            let completion = start + ev.service_ns;
+            free[s] = completion;
+            completion_by_pos[i] = completion;
+            batches.push(serviced(ev, start, completion, s as u32));
+        }
+        batches
+    }
+
+    /// EDF dispatch: repeatedly pick the earliest-free server; admit
+    /// every arrival up to its free instant (or up to the next arrival
+    /// when nothing waits); serve the admitted batch with the earliest
+    /// absolute deadline `arrival + deadline_budget`, ties by replay
+    /// order. With every budget infinite the admitted minimum is always
+    /// the replay-order head (arrivals are sorted, so any admitted later
+    /// event implies the earlier one is admitted too), making EDF equal
+    /// to k-server FIFO bit for bit.
+    fn run_edf(&self, k: usize, completion_by_pos: &mut [f64]) -> Vec<ServicedBatch> {
+        let n = self.events.len();
+        let mut free = vec![0.0f64; k];
+        let mut batches = Vec::with_capacity(n);
+        let mut pos = 0usize; // next un-admitted event (replay order)
+        let mut ready: Vec<usize> = Vec::new(); // admitted, unserved
+        while pos < n || !ready.is_empty() {
+            let s = earliest_free(&free);
+            let mut now = if ready.is_empty() {
+                free[s].max(self.events[pos].arrival_ns)
+            } else {
+                free[s]
+            };
+            while pos < n && self.events[pos].arrival_ns <= now {
+                ready.push(pos);
+                pos += 1;
+            }
+            if ready.is_empty() {
+                // Every admitted batch is served but arrivals remain: the
+                // chosen server idles to the next arrival; admit it and
+                // any tied arrivals at that instant.
+                now = self.events[pos].arrival_ns;
+                while pos < n && self.events[pos].arrival_ns <= now {
+                    ready.push(pos);
+                    pos += 1;
+                }
+            }
+            let slot = ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    let da = self.events[a].arrival_ns + self.events[a].deadline_budget_ns;
+                    let db = self.events[b].arrival_ns + self.events[b].deadline_budget_ns;
+                    da.total_cmp(&db).then(a.cmp(&b))
+                })
+                .map(|(slot, _)| slot)
+                .expect("ready is non-empty");
+            let idx = ready.remove(slot);
+            let ev = &self.events[idx];
+            // An admitted batch may predate this server's horizon (a
+            // lane freed earlier than the admission instant): it still
+            // cannot start before it arrived.
+            let start = now.max(ev.arrival_ns);
+            let completion = start + ev.service_ns;
+            free[s] = completion;
+            completion_by_pos[idx] = completion;
+            batches.push(serviced(ev, start, completion, s as u32));
+        }
+        batches
+    }
+}
+
+/// The earliest-free server, deterministic ties by lowest index.
+#[inline]
+fn earliest_free(free: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, &f) in free.iter().enumerate().skip(1) {
+        if f < free[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[inline]
+fn serviced(ev: &SimEvent, start: f64, completion: f64, server: u32) -> ServicedBatch {
+    ServicedBatch {
+        src_rank: ev.src_rank,
+        seq: ev.seq,
+        items: ev.items,
+        arrival_ns: ev.arrival_ns,
+        start_ns: start,
+        completion_ns: completion,
+        service_ns: ev.service_ns,
+        server,
+    }
+}
+
+/// Shared-queue depth high-water mark: for each arrival in replay order,
+/// count the replay-earlier batches whose service has not completed by
+/// that instant, plus the arrival itself. Completions are swept with a
+/// min-heap because k-server completion times are not replay-monotone
+/// (at `k = 1` this reproduces the single-server drained-pointer walk
+/// exactly, including its `<=` boundary).
+fn max_depth(events: &[SimEvent], completion_by_pos: &[f64]) -> usize {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Total-order f64 wrapper for the heap.
+    #[derive(PartialEq)]
+    struct Ns(f64);
+    impl Eq for Ns {}
+    impl PartialOrd for Ns {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ns {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Ns>> = BinaryHeap::with_capacity(events.len());
+    let mut depth = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        while let Some(Reverse(Ns(c))) = heap.peek() {
+            if *c <= ev.arrival_ns {
+                heap.pop();
+            } else {
+                break;
+            }
+        }
+        heap.push(Reverse(Ns(completion_by_pos[i])));
+        depth = depth.max(heap.len());
+    }
+    depth
 }
 
 #[cfg(test)]
@@ -152,18 +374,29 @@ mod tests {
         }
     }
 
+    fn ev_dl(arrival_ns: f64, service_ns: f64, src_rank: u32, seq: u32, budget: f64) -> SimEvent {
+        SimEvent {
+            deadline_budget_ns: budget,
+            ..ev(arrival_ns, service_ns, src_rank, seq)
+        }
+    }
+
+    const FIFO1: ServiceDiscipline = ServiceDiscipline::Fifo { servers: 1 };
+
     #[test]
     fn idle_handler_services_immediately() {
         let mut q = NodeQueue::new(0);
         q.push(ev(100.0, 10.0, 0, 0));
         q.push(ev(200.0, 10.0, 0, 1));
-        let r = q.run();
+        let r = q.service(FIFO1).report;
         assert_eq!(r.events, 2);
         assert_eq!(r.items, 4);
         assert_eq!(r.busy_ns, 20.0);
         assert_eq!(r.wait_ns, 0.0);
         assert_eq!(r.max_depth, 1);
         assert_eq!(r.drained_ns, 210.0);
+        assert_eq!(r.server_busy_ns, vec![20.0]);
+        assert_eq!(r.server_events, vec![2]);
     }
 
     #[test]
@@ -173,7 +406,7 @@ mod tests {
         for seq in 0..3 {
             q.push(ev(100.0, 10.0, seq, 0));
         }
-        let r = q.run();
+        let r = q.service(FIFO1).report;
         // Second waits 10, third waits 20.
         assert_eq!(r.wait_ns, 30.0);
         assert_eq!(r.max_depth, 3);
@@ -186,7 +419,7 @@ mod tests {
         q.push(ev(0.0, 5.0, 0, 0));
         q.push(ev(1.0, 5.0, 1, 0)); // depth 2
         q.push(ev(100.0, 5.0, 2, 0)); // earlier two long done: depth 1
-        let r = q.run();
+        let r = q.service(FIFO1).report;
         assert_eq!(r.max_depth, 2);
         assert_eq!(r.wait_ns, 4.0); // only the second waited (5 − 1)
     }
@@ -197,7 +430,8 @@ mod tests {
         q.push(ev(100.0, 10.0, 0, 0));
         q.push(ev(100.0, 10.0, 1, 0)); // waits behind the first
         q.push(ev(150.0, 10.0, 2, 0)); // idle handler by then
-        let (report, batches) = q.run_detailed();
+        let phase = q.service(FIFO1);
+        let (report, batches) = (&phase.report, &phase.batches);
         assert_eq!(report.events, 3);
         assert_eq!(batches.len(), 3);
         assert_eq!(batches[0].completion_ns, 110.0);
@@ -206,12 +440,7 @@ mod tests {
         assert_eq!(batches[2].start_ns, 150.0);
         assert_eq!(batches[2].completion_ns, 160.0);
         assert_eq!(batches[1].src_rank, 1);
-        // run() and run_detailed() agree on the summary.
-        let mut q2 = NodeQueue::new(0);
-        q2.push(ev(100.0, 10.0, 0, 0));
-        q2.push(ev(100.0, 10.0, 1, 0));
-        q2.push(ev(150.0, 10.0, 2, 0));
-        assert_eq!(q2.run(), report);
+        assert!(batches.iter().all(|b| b.server == 0));
     }
 
     #[test]
@@ -223,11 +452,112 @@ mod tests {
             for &(src, seq) in order {
                 q.push(ev(50.0, 7.0, src, seq));
             }
-            q.run()
+            q.service(FIFO1)
         };
         let a = build(&[(2, 0), (1, 1), (1, 0)]);
         let b = build(&[(1, 0), (1, 1), (2, 0)]);
         assert_eq!(a, b);
-        assert_eq!(a.wait_ns, 7.0 + 14.0);
+        assert_eq!(a.report.wait_ns, 7.0 + 14.0);
+    }
+
+    #[test]
+    fn two_servers_drain_a_burst_in_parallel() {
+        let mut q = NodeQueue::new(0);
+        for seq in 0..4 {
+            q.push(ev(100.0, 10.0, seq, 0));
+        }
+        let phase = q.service(ServiceDiscipline::Fifo { servers: 2 });
+        let r = &phase.report;
+        // Batches 0/1 start immediately on lanes 0/1; 2/3 wait 10 each.
+        assert_eq!(r.wait_ns, 20.0);
+        assert_eq!(r.drained_ns, 120.0);
+        assert_eq!(r.busy_ns, 40.0);
+        assert_eq!(r.server_busy_ns, vec![20.0, 20.0]);
+        assert_eq!(r.server_events, vec![2, 2]);
+        // Depth is a shared-queue property: all four present at arrival.
+        assert_eq!(r.max_depth, 4);
+        assert_eq!(
+            phase.batches.iter().map(|b| b.server).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn ties_to_the_lowest_free_server() {
+        let mut q = NodeQueue::new(0);
+        q.push(ev(0.0, 5.0, 0, 0));
+        let phase = q.service(ServiceDiscipline::Fifo { servers: 3 });
+        assert_eq!(phase.batches[0].server, 0);
+        assert_eq!(phase.report.server_events, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn edf_with_infinite_budgets_equals_fifo() {
+        for k in [1usize, 2, 3] {
+            let build = || {
+                let mut q = NodeQueue::new(0);
+                q.push(ev(0.0, 10.0, 0, 0));
+                q.push(ev(0.0, 4.0, 1, 0));
+                q.push(ev(3.0, 6.0, 2, 0));
+                q.push(ev(9.0, 2.0, 0, 1));
+                q.push(ev(9.0, 8.0, 3, 0));
+                q
+            };
+            let fifo = build().service(ServiceDiscipline::Fifo { servers: k });
+            let edf = build().service(ServiceDiscipline::Edf { servers: k });
+            assert_eq!(fifo, edf, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn edf_serves_the_tightest_deadline_first() {
+        let mut q = NodeQueue::new(0);
+        // Both wait behind the in-service batch; the later arrival has
+        // the tighter absolute deadline and jumps the queue.
+        q.push(ev_dl(0.0, 10.0, 0, 0, f64::INFINITY));
+        q.push(ev_dl(1.0, 5.0, 1, 0, 1000.0)); // deadline 1001
+        q.push(ev_dl(2.0, 5.0, 2, 0, 50.0)); // deadline 52 — tightest
+        let edf = q.service(ServiceDiscipline::Edf { servers: 1 });
+        let order: Vec<u32> = edf.batches.iter().map(|b| b.src_rank).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(edf.batches[1].start_ns, 10.0);
+        assert_eq!(edf.batches[2].start_ns, 15.0);
+        // FIFO would have served in arrival order.
+        let mut q2 = NodeQueue::new(0);
+        q2.push(ev_dl(0.0, 10.0, 0, 0, f64::INFINITY));
+        q2.push(ev_dl(1.0, 5.0, 1, 0, 1000.0));
+        q2.push(ev_dl(2.0, 5.0, 2, 0, 50.0));
+        let fifo = q2.service(FIFO1);
+        let order: Vec<u32> = fifo.batches.iter().map(|b| b.src_rank).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        // Either way the completion *multiset* per lane count matches.
+        assert_eq!(fifo.report.busy_ns, edf.report.busy_ns);
+        assert_eq!(fifo.report.drained_ns, edf.report.drained_ns);
+    }
+
+    #[test]
+    fn edf_deadline_ties_fall_back_to_replay_order() {
+        let mut q = NodeQueue::new(0);
+        q.push(ev_dl(0.0, 10.0, 0, 0, 100.0));
+        q.push(ev_dl(5.0, 5.0, 2, 0, 95.0)); // deadline 100 — tie
+        q.push(ev_dl(5.0, 5.0, 1, 0, 95.0)); // deadline 100 — tie
+        let phase = q.service(ServiceDiscipline::Edf { servers: 1 });
+        let order: Vec<u32> = phase.batches.iter().map(|b| b.src_rank).collect();
+        // Tie broken by replay order (arrival, src, seq): rank 1 first.
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn discipline_clamps_to_ppn() {
+        let d = ServiceDiscipline::Edf { servers: 48 };
+        assert_eq!(d.effective_servers(24), 24);
+        assert_eq!(d.clamped(24), ServiceDiscipline::Edf { servers: 24 });
+        assert_eq!(
+            ServiceDiscipline::Fifo { servers: 0 }.effective_servers(4),
+            1
+        );
+        assert_eq!(ServiceDiscipline::default().effective_servers(24), 1);
+        assert!(!ServiceDiscipline::default().is_edf());
+        assert_eq!(ServiceDiscipline::Edf { servers: 3 }.servers(), 3);
     }
 }

@@ -1,36 +1,31 @@
 //! The per-phase service pass: route events to node queues and run them.
 
 use crate::sim::event::SimEvent;
-use crate::sim::queue::{NodeQueue, QueueReport, ServicedBatch};
+use crate::sim::queue::{NodeQueue, ServiceDiscipline, ServicedPhase};
 
-/// Run every node's handler service loop over a phase's event trace.
+/// Run every node's handler service loop over a phase's event trace
+/// under `discipline`.
 ///
-/// Returns one [`QueueReport`] per node (`0..nodes`), empty reports for
+/// Returns one [`ServicedPhase`] per node (`0..nodes`) — the
+/// [`QueueReport`](crate::sim::QueueReport) summary plus the node's
+/// serviced batches in service-start order: per-event completion times
+/// for the queue-aware response gating, per-batch service demands and
+/// server lanes for the handler placement policies. Empty phases for
 /// nodes that received no batch. Events addressed past `nodes` panic in
-/// debug builds and are clamped into range in release (they can only come
-/// from a mis-built trace).
-pub fn service_phase(events: Vec<SimEvent>, nodes: usize) -> Vec<QueueReport> {
-    service_phase_detailed(events, nodes)
-        .into_iter()
-        .map(|(report, _)| report)
-        .collect()
-}
-
-/// Like [`service_phase`], additionally returning each node's serviced
-/// batches in service order — per-event completion times for the
-/// queue-aware response gating, per-batch service demands for the handler
-/// placement policies.
-pub fn service_phase_detailed(
+/// debug builds and are clamped into range in release (they can only
+/// come from a mis-built trace).
+pub fn service_phase(
     events: Vec<SimEvent>,
     nodes: usize,
-) -> Vec<(QueueReport, Vec<ServicedBatch>)> {
+    discipline: ServiceDiscipline,
+) -> Vec<ServicedPhase> {
     let mut queues: Vec<NodeQueue> = (0..nodes).map(NodeQueue::new).collect();
     for ev in events {
         debug_assert!((ev.dst_node as usize) < nodes, "event to unknown node");
         let node = (ev.dst_node as usize).min(nodes.saturating_sub(1));
         queues[node].push(ev);
     }
-    queues.into_iter().map(NodeQueue::run_detailed).collect()
+    queues.into_iter().map(|q| q.service(discipline)).collect()
 }
 
 #[cfg(test)]
@@ -52,19 +47,21 @@ mod tests {
         }
     }
 
+    const FIFO1: ServiceDiscipline = ServiceDiscipline::Fifo { servers: 1 };
+
     #[test]
     fn routes_events_to_their_nodes() {
         let events = vec![ev(1, 10.0, 5.0, 0), ev(0, 0.0, 2.0, 3), ev(1, 10.0, 5.0, 2)];
-        let reports = service_phase(events, 3);
-        assert_eq!(reports.len(), 3);
-        assert_eq!(reports[0].events, 1);
-        assert_eq!(reports[0].busy_ns, 2.0);
-        assert_eq!(reports[1].events, 2);
-        assert_eq!(reports[1].busy_ns, 10.0);
-        assert_eq!(reports[1].max_depth, 2);
-        assert_eq!(reports[2].events, 0);
-        assert_eq!(reports[2].busy_ns, 0.0);
-        assert_eq!(reports[2].max_depth, 0);
+        let phases = service_phase(events, 3, FIFO1);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].report.events, 1);
+        assert_eq!(phases[0].report.busy_ns, 2.0);
+        assert_eq!(phases[1].report.events, 2);
+        assert_eq!(phases[1].report.busy_ns, 10.0);
+        assert_eq!(phases[1].report.max_depth, 2);
+        assert_eq!(phases[2].report.events, 0);
+        assert_eq!(phases[2].report.busy_ns, 0.0);
+        assert_eq!(phases[2].report.max_depth, 0);
     }
 
     #[test]
@@ -76,8 +73,21 @@ mod tests {
             if shuffle {
                 events.reverse();
             }
-            service_phase(events, 1)
+            service_phase(events, 1, FIFO1)
         };
         assert_eq!(trace(false), trace(true));
+    }
+
+    #[test]
+    fn multi_server_phase_spreads_lanes_per_node() {
+        let events = vec![
+            ev(0, 0.0, 10.0, 0),
+            ev(0, 0.0, 10.0, 1),
+            ev(1, 0.0, 10.0, 2),
+        ];
+        let phases = service_phase(events, 2, ServiceDiscipline::Edf { servers: 2 });
+        assert_eq!(phases[0].report.server_events, vec![1, 1]);
+        assert_eq!(phases[0].report.wait_ns, 0.0);
+        assert_eq!(phases[1].report.server_events, vec![1, 0]);
     }
 }

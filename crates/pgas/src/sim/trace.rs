@@ -10,8 +10,10 @@
 //!
 //! Two exports:
 //! - [`Trace::to_chrome_string`]: Chrome `trace_event` JSON (pid = node,
-//!   tid = rank, plus one handler lane per node at tid `10000 + node`),
-//!   loadable in Perfetto / `chrome://tracing`. Display timestamps are µs;
+//!   tid = rank, plus one handler lane per node *per server* at tid
+//!   `10000 + node + 10000·server` — a machine running the default
+//!   single-server discipline emits exactly the one `10000 + node` lane
+//!   per node), loadable in Perfetto / `chrome://tracing`. Display timestamps are µs;
 //!   every event additionally carries its *exact* ns payload in `args`, and
 //!   the file embeds a `"meraligner"` section with the per-rank conservation
 //!   targets and the phase metrics-registry snapshot, so a saved trace is
@@ -165,6 +167,13 @@ pub struct Span {
     /// the machine-side counter offset by [`MACHINE_ORDER_BASE`]). Folding
     /// by ascending order reproduces the accumulator's add order.
     pub order: u32,
+    /// Handler lane index within the destination node for
+    /// [`SpanKind::HandlerService`] spans under a multi-server
+    /// [`ServiceDiscipline`](crate::sim::ServiceDiscipline) — the Chrome
+    /// export renders each server as its own thread. Zero for every
+    /// rank-side span and for recovery spans serviced outside the queue
+    /// replay.
+    pub server: u32,
 }
 
 impl Span {
@@ -224,6 +233,7 @@ impl RankTraceBuf {
             c: 0,
             group: mark.order,
             order: mark.order,
+            server: 0,
         });
     }
 
@@ -242,6 +252,7 @@ impl RankTraceBuf {
             c: 0,
             group: order,
             order,
+            server: 0,
         });
     }
 
@@ -262,6 +273,7 @@ impl RankTraceBuf {
             c: 0,
             group: order,
             order,
+            server: 0,
         });
     }
 }
@@ -472,7 +484,18 @@ pub fn check_nesting(phase: &PhaseTrace) -> Result<(), String> {
         check_lane_nesting(&format!("phase {:?} rank {r}", phase.name), lane)?;
     }
     for (n, lane) in phase.handler_spans.iter().enumerate() {
-        check_lane_nesting(&format!("phase {:?} node {n} handlers", phase.name), lane)?;
+        // Each server is its own serial lane: spans on different servers
+        // of the same node overlap freely, so partition before checking.
+        let mut servers: Vec<u32> = lane.iter().map(|s| s.server).collect();
+        servers.sort_unstable();
+        servers.dedup();
+        for srv in servers {
+            let sub: Vec<Span> = lane.iter().filter(|s| s.server == srv).copied().collect();
+            check_lane_nesting(
+                &format!("phase {:?} node {n} handlers s{srv}", phase.name),
+                &sub,
+            )?;
+        }
     }
     Ok(())
 }
@@ -674,7 +697,18 @@ impl Trace {
             *first = false;
             out.push_str(&line);
         };
-        for n in 0..nodes {
+        // One handler thread per node per server lane actually used (a
+        // single-server machine emits exactly the legacy `10000 + node`
+        // lane).
+        let mut max_server = vec![0u32; nodes];
+        for phase in &self.phases {
+            for (n, lane) in phase.handler_spans.iter().enumerate() {
+                for s in lane {
+                    max_server[n] = max_server[n].max(s.server);
+                }
+            }
+        }
+        for (n, &node_max_server) in max_server.iter().enumerate() {
             push_line(
                 &mut out,
                 format!(
@@ -682,14 +716,21 @@ impl Trace {
                 ),
                 &mut first,
             );
-            push_line(
-                &mut out,
-                format!(
-                    "{{\"ph\":\"M\",\"pid\":{n},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"node {n} handlers\"}}}}",
-                    10000 + n
-                ),
-                &mut first,
-            );
+            for srv in 0..=node_max_server {
+                let label = if srv == 0 {
+                    format!("node {n} handlers")
+                } else {
+                    format!("node {n} handlers s{srv}")
+                };
+                push_line(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"M\",\"pid\":{n},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{label}\"}}}}",
+                        10000 + n + 10000 * srv as usize
+                    ),
+                    &mut first,
+                );
+            }
         }
         for r in 0..self.ranks {
             push_line(
@@ -719,8 +760,8 @@ impl Trace {
                     line.push_str(&format!(",\"dur\":{}", s.dur_ns / 1e3));
                 }
                 line.push_str(&format!(
-                    ",\"args\":{{\"ts_ns\":{},\"dur_ns\":{},\"ns\":{},\"aux\":{},\"a\":{},\"b\":{},\"c\":{},\"grp\":{},\"ord\":{}}}}}",
-                    s.start_ns, s.dur_ns, s.ns, s.aux, s.a, s.b, s.c, s.group, s.order
+                    ",\"args\":{{\"ts_ns\":{},\"dur_ns\":{},\"ns\":{},\"aux\":{},\"a\":{},\"b\":{},\"c\":{},\"grp\":{},\"ord\":{},\"srv\":{}}}}}",
+                    s.start_ns, s.dur_ns, s.ns, s.aux, s.a, s.b, s.c, s.group, s.order, s.server
                 ));
                 push_line(out, line, first);
             };
@@ -731,7 +772,13 @@ impl Trace {
             }
             for (n, lane) in phase.handler_spans.iter().enumerate() {
                 for s in lane {
-                    emit(&mut out, &mut first, n, 10000 + n, s);
+                    emit(
+                        &mut out,
+                        &mut first,
+                        n,
+                        10000 + n + 10000 * s.server as usize,
+                        s,
+                    );
                 }
             }
             offset_ns += phase.sim_seconds * 1e9;
@@ -1206,9 +1253,11 @@ pub fn parse_chrome(text: &str) -> Result<ParsedTrace, String> {
             c: field_f64(args, "c", "event args")? as u32,
             group: field_f64(args, "grp", "event args")? as u32,
             order: field_f64(args, "ord", "event args")? as u32,
+            // Absent in exports written before multi-server disciplines.
+            server: args.get("srv").and_then(json::Value::as_f64).unwrap_or(0.0) as u32,
         };
         if tid >= 10000 {
-            let n = tid - 10000;
+            let n = (tid - 10000) % 10000;
             if n >= nodes {
                 return Err(format!(
                     "handler lane for node {n} out of range ({nodes} nodes)"
@@ -1270,6 +1319,7 @@ mod tests {
             c: 0,
             group,
             order,
+            server: 0,
         }
     }
 

@@ -1,0 +1,288 @@
+//! spec — the one shared surface for every machine knob.
+//!
+//! Before this module, the machine's nine configuration knobs (ranks,
+//! ppn, cost model, handler policy, sequential execution, tracing, fault
+//! plan, retry policy, replication) were duplicated field-for-field
+//! between [`MachineConfig`](crate::machine::MachineConfig) and the
+//! aligner's `PipelineConfig`, and every harness and test re-spelled the
+//! same literals. [`MachineSpec`] centralizes them — plus the
+//! [`ServiceDiscipline`] added with the multi-server owner engine — with
+//! `Default` and builder-style `with_*` constructors, and knows how to
+//! lower itself into a [`MachineConfig`] (computing the replica placement
+//! from the declarative [`ReplicationMode`] on the way).
+
+use crate::cost::CostModel;
+use crate::machine::MachineConfig;
+use crate::sim::fault::{FaultPlan, RetryPolicy};
+use crate::sim::ServiceDiscipline;
+use crate::topology::{HandlerPolicy, ReplicaMap};
+
+/// r-way replication of the frozen seed-index shards (and, under
+/// [`ReplicationMode::Full`], the target heaps) onto distinct nodes.
+///
+/// Declarative: the spec turns the mode into the concrete
+/// [`ReplicaMap`] placement ([`MachineSpec::replica_map`]) so callers
+/// never hand-build one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// No replicas: the machine, placements, counters, and clocks are
+    /// bit-identical to a build without the replication subsystem.
+    Off,
+    /// Every partition is copied onto `r - 1` additional distinct nodes
+    /// at freeze time. Lookups route to the least-pressured replica;
+    /// after a node loss, lookups *and* target fetches fail over to a
+    /// surviving replica — with `r >= 2`, a single downed node yields
+    /// zero degraded reads.
+    Full(usize),
+    /// Only each partition's hottest seeds — the top `degree_pct`-percent
+    /// by hit-list length (ties at the boundary included) — are copied
+    /// onto `r - 1` additional nodes. Much cheaper than full copies on
+    /// repeat-heavy genomes; covered lookups fail over, cold lookups and
+    /// all target fetches degrade as without replicas. Routing stays on
+    /// the primary (a replica holding a fraction of the shard cannot
+    /// answer arbitrary batches).
+    Hot { r: usize, degree_pct: u32 },
+}
+
+impl ReplicationMode {
+    /// Whether replication is disabled (the bit-identity mode).
+    pub fn is_off(&self) -> bool {
+        matches!(self, ReplicationMode::Off)
+    }
+
+    /// The replication factor `r` (1 when off: primary only).
+    pub fn factor(&self) -> usize {
+        match *self {
+            ReplicationMode::Off => 1,
+            ReplicationMode::Full(r) => r.max(1),
+            ReplicationMode::Hot { r, .. } => r.max(1),
+        }
+    }
+}
+
+/// Every knob of the simulated machine, in one place.
+///
+/// `MachineSpec::new(ranks, ppn)` (or `Default`, a 1×1 machine) gives the
+/// canonical defaults — the bit-identity anchor every equivalence suite
+/// pins against — and `with_*` builders override knobs fluently:
+///
+/// ```
+/// use pgas::{HandlerPolicy, MachineSpec, ServiceDiscipline};
+/// let cfg = MachineSpec::new(48, 24)
+///     .with_handler_policy(HandlerPolicy::RotateRanks)
+///     .with_discipline(ServiceDiscipline::Edf { servers: 4 })
+///     .machine_config();
+/// assert_eq!(cfg.ranks, 48);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// Total ranks (the paper's "cores").
+    pub ranks: usize,
+    /// Ranks per node (24 on Edison).
+    pub ppn: usize,
+    /// The cost model pricing every operation.
+    pub cost: CostModel,
+    /// Which rank of a destination node absorbs each serviced batch's
+    /// busy time (time only, never results).
+    pub handler_policy: HandlerPolicy,
+    /// Run ranks sequentially in rank order instead of in parallel.
+    pub sequential: bool,
+    /// Record observe-only per-event spans for every phase.
+    pub trace: bool,
+    /// Deterministic fault plan ([`FaultPlan::none`] = bit-identity).
+    pub faults: FaultPlan,
+    /// Sender-side recovery policy for lost batches.
+    pub retry: RetryPolicy,
+    /// Declarative shard replication ([`ReplicationMode::Off`] =
+    /// bit-identity); lowered to a [`ReplicaMap`] by
+    /// [`MachineSpec::replica_map`].
+    pub replication: ReplicationMode,
+    /// Owner-side service discipline (handler lanes per node + dispatch
+    /// order); `Fifo { servers: 1 }` = bit-identity.
+    pub discipline: ServiceDiscipline,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec::new(1, 1)
+    }
+}
+
+impl MachineSpec {
+    /// The canonical defaults for a machine of `ranks` ranks, `ppn` per
+    /// node.
+    pub fn new(ranks: usize, ppn: usize) -> Self {
+        MachineSpec {
+            ranks,
+            ppn,
+            cost: CostModel::default(),
+            handler_policy: HandlerPolicy::LeadRank,
+            sequential: false,
+            trace: false,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            replication: ReplicationMode::Off,
+            discipline: ServiceDiscipline::default(),
+        }
+    }
+
+    /// Override the machine shape.
+    pub fn with_shape(mut self, ranks: usize, ppn: usize) -> Self {
+        self.ranks = ranks;
+        self.ppn = ppn;
+        self
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the handler placement policy.
+    pub fn with_handler_policy(mut self, policy: HandlerPolicy) -> Self {
+        self.handler_policy = policy;
+        self
+    }
+
+    /// Force sequential rank execution.
+    pub fn with_sequential(mut self, sequential: bool) -> Self {
+        self.sequential = sequential;
+        self
+    }
+
+    /// Enable the observe-only trace recorder.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Install a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Select a replication mode.
+    pub fn with_replication(mut self, replication: ReplicationMode) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Select the owner-side service discipline.
+    pub fn with_discipline(mut self, discipline: ServiceDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Nodes this machine spans (`ceil(ranks / ppn)`, at least one).
+    pub fn nodes(&self) -> usize {
+        self.ranks.div_ceil(self.ppn.max(1)).max(1)
+    }
+
+    /// The concrete replica placement the replication mode implies
+    /// (`None` when off — the bit-identity anchor).
+    pub fn replica_map(&self) -> Option<ReplicaMap> {
+        let nodes = self.nodes();
+        match self.replication {
+            ReplicationMode::Off => None,
+            ReplicationMode::Full(r) => Some(ReplicaMap::full(nodes, r)),
+            ReplicationMode::Hot { r, .. } => Some(ReplicaMap::hot(nodes, r)),
+        }
+    }
+
+    /// Lower into the [`MachineConfig`] the machine constructor consumes.
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig {
+            ranks: self.ranks,
+            ppn: self.ppn,
+            cost: self.cost.clone(),
+            handler_policy: self.handler_policy,
+            sequential: self.sequential,
+            faults: self.faults.clone(),
+            retry: self.retry,
+            replicas: self.replica_map(),
+            trace: self.trace,
+            discipline: self.discipline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_lowers_to_the_default_machine_config() {
+        let spec = MachineSpec::new(48, 24);
+        let cfg = spec.machine_config();
+        let base = MachineConfig::new(48, 24);
+        assert_eq!(cfg.ranks, base.ranks);
+        assert_eq!(cfg.ppn, base.ppn);
+        assert_eq!(cfg.handler_policy, base.handler_policy);
+        assert_eq!(cfg.sequential, base.sequential);
+        assert_eq!(cfg.trace, base.trace);
+        assert_eq!(cfg.replicas, base.replicas);
+        assert_eq!(cfg.discipline, base.discipline);
+    }
+
+    #[test]
+    fn builders_override_each_knob() {
+        let spec = MachineSpec::default()
+            .with_shape(8, 4)
+            .with_handler_policy(HandlerPolicy::RotateRanks)
+            .with_sequential(true)
+            .with_trace(true)
+            .with_retry(RetryPolicy {
+                timeout_ns: 7.0,
+                max_retries: 1,
+                backoff_ns: 3.0,
+            })
+            .with_replication(ReplicationMode::Full(2))
+            .with_discipline(ServiceDiscipline::Edf { servers: 3 });
+        assert_eq!(spec.ranks, 8);
+        assert_eq!(spec.ppn, 4);
+        assert_eq!(spec.handler_policy, HandlerPolicy::RotateRanks);
+        assert!(spec.sequential);
+        assert!(spec.trace);
+        assert_eq!(spec.retry.max_retries, 1);
+        assert_eq!(spec.nodes(), 2);
+        let map = spec.replica_map().expect("full replication places a map");
+        assert!(!map.hot_only());
+        assert_eq!(
+            spec.machine_config().discipline,
+            ServiceDiscipline::Edf { servers: 3 }
+        );
+    }
+
+    #[test]
+    fn replication_mode_reports_factor_and_offness() {
+        assert!(ReplicationMode::Off.is_off());
+        assert_eq!(ReplicationMode::Off.factor(), 1);
+        assert_eq!(ReplicationMode::Full(2).factor(), 2);
+        assert_eq!(
+            ReplicationMode::Hot {
+                r: 3,
+                degree_pct: 10
+            }
+            .factor(),
+            3
+        );
+        assert!(!ReplicationMode::Full(2).is_off());
+    }
+
+    #[test]
+    fn hot_replication_lowers_to_a_hot_only_map() {
+        let spec = MachineSpec::new(4, 2).with_replication(ReplicationMode::Hot {
+            r: 2,
+            degree_pct: 25,
+        });
+        assert!(spec.replica_map().expect("hot map").hot_only());
+    }
+}

@@ -2,7 +2,7 @@
 //! reservation stack under heavy contention and phase-level determinism of
 //! charged statistics.
 
-use pgas::{CommTag, Machine, MachineConfig, ReservationStack};
+use pgas::{CommTag, Machine, MachineSpec, ReservationStack};
 use proptest::prelude::*;
 
 #[test]
@@ -41,7 +41,7 @@ fn reservation_stack_stress_many_writers_varied_chunks() {
 fn phase_charges_are_schedule_independent() {
     // Aggregated charge totals must not depend on rayon's scheduling.
     let run = || {
-        let mut m = Machine::new(MachineConfig::new(64, 8));
+        let mut m = Machine::new(MachineSpec::new(64, 8).machine_config());
         m.phase("work", |ctx| {
             for i in 0..100u64 {
                 ctx.charge_message((ctx.rank + i as usize) % 64, i, CommTag::SeedLookup);
